@@ -1,0 +1,163 @@
+// A — ablations over the framework's design choices (DESIGN.md §5).
+//
+//  A1: gram length of the FSM index — pruning power vs index size.
+//  A2: Onion peeling depth — query work for deep K when the peel is shallow
+//      (the lazy-peel deviation documented in DESIGN.md).
+//  A3: kd-tree leaf size — branch & bound node work vs leaf scanning.
+//  A4: SPROC t-norm (product vs min) — processor agreement and work.
+//
+// (Tile size and classification start/margin are swept inside E5 and E2.)
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/tuples.hpp"
+#include "data/weather.hpp"
+#include "fsm/fire_ants.hpp"
+#include "fsm/matcher.hpp"
+#include "index/gram_index.hpp"
+#include "index/kdtree.hpp"
+#include "index/onion.hpp"
+#include "index/seqscan.hpp"
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mmir;
+using namespace mmir::bench;
+
+void ablate_gram_length() {
+  std::printf("A1: FSM gram length (fire-ants retrieval, 2000 regions, 20%% hot climate)\n");
+  WeatherConfig hot;
+  hot.days = 365;
+  hot.temp_mean_c = 24.0;
+  WeatherConfig cold = hot;
+  cold.temp_mean_c = 10.0;
+  cold.temp_amplitude_c = 5.0;
+  std::vector<SymbolSeq> sequences;
+  Rng master(7);
+  for (std::size_t r = 0; r < 2000; ++r) {
+    Rng rng = master.fork();
+    sequences.push_back(
+        discretize_weather(generate_weather(rng.uniform() < 0.2 ? hot : cold, rng)));
+  }
+  const Dfa model = fire_ants_model();
+  CostMeter m_scan;
+  (void)fsm_scan_top_k(sequences, model, 10, m_scan);
+
+  std::printf("  %4s | %12s %12s | %10s %12s\n", "n", "grams", "postings", "speedup",
+              "accepting^n");
+  for (const std::size_t n : {2ULL, 3ULL, 4ULL, 5ULL}) {
+    const GramIndex index(sequences, n, kWeatherAlphabet);
+    CostMeter meter;
+    (void)fsm_indexed_top_k(sequences, model, index, 10, meter);
+    std::printf("  %4zu | %12zu %12zu | %9.1fx %12zu\n", n, index.distinct_grams(),
+                sequences.size(), op_ratio(m_scan, meter), model.accepting_grams(n).size());
+  }
+  std::printf(
+      "  -> for this model every accepting gram ends in a hot dry day, so 2-grams\n"
+      "     already prune all cold regions; longer grams grow the posting index\n"
+      "     (3^n keys) without additional pruning power here.\n\n");
+}
+
+void ablate_onion_depth() {
+  std::printf("A2: Onion peeling depth (100k 3-D Gaussian points, K = 10 and K = 40)\n");
+  const TupleSet points = gaussian_tuples(100000, 3, 11);
+  const std::vector<double> w{1.0, -0.5, 0.75};
+  std::printf("  %10s | %8s | %12s %12s\n", "max_layers", "layers", "pts @K=10", "pts @K=40");
+  for (const std::size_t depth : {4ULL, 12ULL, 24ULL, 48ULL}) {
+    OnionConfig config;
+    config.max_layers = depth;
+    const OnionIndex index(points, config);
+    CostMeter m10;
+    CostMeter m40;
+    (void)index.top_k(w, 10, m10);
+    (void)index.top_k(w, 40, m40);
+    std::printf("  %10zu | %8zu | %12lu %12lu\n", depth, index.layer_count(),
+                static_cast<unsigned long>(m10.points()),
+                static_cast<unsigned long>(m40.points()));
+  }
+  std::printf(
+      "  -> a shallow peel stays exact but falls back to the residual bucket when K\n"
+      "     exceeds the peeled depth and the residual box still looks promising;\n"
+      "     peeling a little past the workload's largest K restores cheap queries,\n"
+      "     and peeling far beyond it buys nothing more.\n\n");
+}
+
+void ablate_kd_leaf() {
+  std::printf("A3: kd-tree leaf size (200k 3-D Gaussian points, top-10 linear B&B)\n");
+  const TupleSet points = gaussian_tuples(200000, 3, 13);
+  Rng rng(14);
+  std::vector<std::vector<double>> queries;
+  for (int q = 0; q < 8; ++q) queries.push_back({rng.normal(), rng.normal(), rng.normal()});
+  std::printf("  %6s | %8s | %12s %12s %12s\n", "leaf", "nodes", "points/q", "bound ops/q",
+              "total ops/q");
+  for (const std::size_t leaf : {4ULL, 16ULL, 64ULL, 256ULL}) {
+    const KdTree tree(points, leaf);
+    CostMeter meter;
+    for (const auto& w : queries) (void)tree.top_k_linear(w, 10, meter);
+    const double q = static_cast<double>(queries.size());
+    const double pts = static_cast<double>(meter.points()) / q;
+    const double total = static_cast<double>(meter.ops()) / q;
+    std::printf("  %6zu | %8zu | %12.0f %12.0f %12.0f\n", leaf, tree.node_count(), pts,
+                total - pts * 3.0, total);
+  }
+  std::printf(
+      "  -> the two budgets trade off: small leaves spend on MBR bounds, large\n"
+      "     leaves on scanning.  Bound work grows much slower than leaf scans on\n"
+      "     this workload, so small leaves win overall.\n\n");
+}
+
+void ablate_tnorm() {
+  std::printf("A4: SPROC t-norm (M = 3, L = 60, K = 10)\n");
+  Rng rng(15);
+  const std::size_t l = 60;
+  std::vector<double> unary(3 * l);
+  for (auto& v : unary) v = rng.uniform();
+  std::vector<double> binary(3 * l * l);
+  for (auto& v : binary) v = 0.2 + 0.8 * rng.uniform();
+
+  std::printf("  %9s | %12s %12s %12s | %6s\n", "t-norm", "brute ops", "sproc ops",
+              "thresh ops", "agree");
+  for (const TNorm tnorm : {TNorm::kProduct, TNorm::kMin}) {
+    CartesianQuery q;
+    q.components = 3;
+    q.library_size = l;
+    q.tnorm = tnorm;
+    q.unary = [&](std::size_t m, std::uint32_t j) { return unary[m * l + j]; };
+    q.binary = [&](std::size_t m, std::uint32_t i, std::uint32_t j) {
+      return binary[(m * l + i) * l + j];
+    };
+    CostMeter mb;
+    CostMeter md;
+    CostMeter mf;
+    const auto brute = brute_force_top_k(q, 10, mb);
+    const auto dp = sproc_top_k(q, 10, md);
+    const auto fast = fast_sproc_top_k(q, 10, mf);
+    const bool agree = same_scores(brute, dp) && same_scores(brute, fast);
+    std::printf("  %9s | %12lu %12lu %12lu | %6s\n",
+                tnorm == TNorm::kProduct ? "product" : "min",
+                static_cast<unsigned long>(mb.ops()), static_cast<unsigned long>(md.ops()),
+                static_cast<unsigned long>(mf.ops()), agree ? "yes" : "NO");
+  }
+  std::printf(
+      "  -> both monotone conjunctions keep every processor exact, and the DP's\n"
+      "     work is t-norm independent.  Under min the threshold processor's bounds\n"
+      "     are capped directly by each sibling's unary degree, so its frontier\n"
+      "     converges in even fewer expansions than under the product norm.\n");
+}
+
+}  // namespace
+
+int main() {
+  heading("A: design-choice ablations", "gram length / onion depth / kd leaf size / t-norm");
+  ablate_gram_length();
+  ablate_onion_depth();
+  ablate_kd_leaf();
+  ablate_tnorm();
+  footer();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E6 — §4.1 model accuracy: the miss / false-alarm decomposition
+//
+//   Pm = Prob[R > T | O = 0],   Pf = Prob[R < T | O > 0]
+//   C(x,y) = cm·Pm·P[O=0] + cf·Pf·P[O>0],   CT = Σ w(x,y)·C(x,y)
+//
+// plus the top-K precision/recall defined on the ordering of R(x,y).
+//
+// Table 1: threshold sweep of Pm, Pf and population-weighted CT under three
+// cost regimes (cm:cf = 1:1, 1:10, 10:1) — the paper's "tradeoffs can be
+// made for minimizing one type of the errors at the expense of the other".
+// Table 2: precision/recall@K for the exact HPS model and two degraded
+// models (truncated R*, and a miscalibrated competitor).
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/events.hpp"
+#include "data/scene.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace {
+
+using namespace mmir;
+using namespace mmir::bench;
+
+Grid risk_surface(const Scene& scene, const LinearModel& model,
+                  const std::vector<const Grid*>& bands) {
+  Grid risk(scene.width, scene.height);
+  std::vector<double> pixel(bands.size());
+  for (std::size_t y = 0; y < scene.height; ++y) {
+    for (std::size_t x = 0; x < scene.width; ++x) {
+      for (std::size_t b = 0; b < bands.size(); ++b) pixel[b] = bands[b]->cell(x, y);
+      risk.cell(x, y) = model.evaluate(pixel);
+    }
+  }
+  return risk;
+}
+
+void run_tables() {
+  heading("E6: SS4.1 model accuracy — Pm / Pf / CT and precision-recall@K",
+          "cost tradeoff between misses and false alarms; top-K quality by R(x,y) ordering");
+
+  SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 61;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const LinearModel truth = hps_risk_model();
+  const Grid risk = risk_surface(scene, truth, bands);
+  EventConfig event_cfg;
+  event_cfg.high_risk_fraction = 0.1;
+  event_cfg.peak_rate = 3.0;
+  event_cfg.background_rate = 0.02;
+  event_cfg.seed = 62;
+  const Grid events = generate_events(risk, event_cfg);
+
+  std::printf("Table 1: threshold sweep (population-weighted CT, 256x256 HPS scene)\n");
+  std::printf("%10s %8s %8s | %14s %14s %14s\n", "T", "Pm", "Pf", "CT 1:1", "CT cm=1,cf=10",
+              "CT cm=10,cf=1");
+  std::printf("-------------------------------------------------------------------------\n");
+  const auto sweep = threshold_sweep(risk, events, scene.population, 1.0, 1.0, 9);
+  for (const auto& point : sweep) {
+    const double ct_f = total_cost(risk, events, scene.population, point.threshold, 1.0, 10.0);
+    const double ct_m = total_cost(risk, events, scene.population, point.threshold, 10.0, 1.0);
+    std::printf("%10.2f %8.3f %8.3f | %14.0f %14.0f %14.0f\n", point.threshold, point.rates.p_m,
+                point.rates.p_f, point.cost, ct_f, ct_m);
+  }
+  const auto best_balanced = best_threshold(sweep);
+  std::printf("balanced-cost optimum: T = %.2f (CT = %.0f)\n\n", best_balanced.threshold,
+              best_balanced.cost);
+
+  std::printf("Table 2: precision/recall of top-K retrieval (correct = O(x,y) > 0)\n");
+  // Competing risk models: the truth, its 2-term coarse version R*, and a
+  // miscalibrated model with perturbed weights.
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const ProgressiveLinearModel progressive(truth, ranges);
+  const LinearModel coarse = progressive.truncated(2);
+  const LinearModel skewed({0.1, 0.5, 0.05, 0.05}, 0.0, {"b4", "b5", "b7", "elevation_m"});
+  const Grid risk_coarse = risk_surface(scene, coarse, bands);
+  const Grid risk_skewed = risk_surface(scene, skewed, bands);
+
+  std::printf("%8s | %10s %8s | %10s %8s | %10s %8s\n", "K", "full prec", "recall",
+              "R* prec", "recall", "skew prec", "recall");
+  std::printf("-------------------------------------------------------------------------\n");
+  for (const std::size_t k : {50ULL, 200ULL, 1000ULL, 4000ULL}) {
+    const auto pr_full = precision_recall_at_k(risk, events, k);
+    const auto pr_coarse = precision_recall_at_k(risk_coarse, events, k);
+    const auto pr_skewed = precision_recall_at_k(risk_skewed, events, k);
+    std::printf("%8zu | %10.3f %8.3f | %10.3f %8.3f | %10.3f %8.3f\n", k, pr_full.precision,
+                pr_full.recall, pr_coarse.precision, pr_coarse.recall, pr_skewed.precision,
+                pr_skewed.recall);
+  }
+  std::printf(
+      "\nshape check: Pm falls / Pf rises with T; expensive false alarms (cf=10) push\n"
+      "the optimum threshold down, expensive misses push it up; precision decays and\n"
+      "recall grows with K; the two-term coarse model R* tracks the generating model\n"
+      "almost exactly (the property progressive screening relies on) while the\n"
+      "miscalibrated competitor trails both.\n");
+  footer();
+}
+
+}  // namespace
+
+int main() {
+  run_tables();
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Shared helpers for the reproduction benchmarks.
+//
+// Every bench binary prints (a) a paper-style results table for its
+// experiment id (see DESIGN.md §4) and (b) optional google-benchmark
+// micro-timings.  Speedups are reported as *work ratios* (points / ops from
+// CostMeter) so the tables reproduce the paper's shape on any host;
+// wall-clock columns are for reference only.
+
+#include <cstdio>
+#include <string>
+
+#include "util/cost.hpp"
+
+namespace mmir::bench {
+
+inline void heading(const std::string& experiment, const std::string& claim) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void footer() { std::printf("\n"); }
+
+/// Ratio helper that tolerates zero denominators.
+inline double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+inline double point_ratio(const CostMeter& baseline, const CostMeter& method) {
+  return ratio(static_cast<double>(baseline.points()), static_cast<double>(method.points()));
+}
+
+inline double op_ratio(const CostMeter& baseline, const CostMeter& method) {
+  return ratio(static_cast<double>(baseline.ops()), static_cast<double>(method.ops()));
+}
+
+}  // namespace mmir::bench

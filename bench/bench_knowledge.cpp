@@ -1,0 +1,112 @@
+// E8 — Figs. 2-4 knowledge models:
+//   (a) the geology riverbed query ("shale on top of sandstone on top of
+//       siltstone, adjacent, < 10 ft, gamma > 45") over a well-log archive,
+//       evaluated by all three SPROC processors;
+//   (b) the HPS high-risk-house Bayesian model over a synthetic scene +
+//       weather pattern, with posterior-ranked retrieval validated against
+//       the rodent-habitat ground truth (houses with dense bushes).
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/scene.hpp"
+#include "data/weather.hpp"
+#include "data/welllog.hpp"
+#include "knowledge/hps.hpp"
+#include "knowledge/strata.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mmir;
+using namespace mmir::bench;
+
+void run_geology() {
+  std::printf("Table 1: Fig. 4 riverbed query over well-log archives (top-5 wells)\n");
+  std::printf("%7s %8s | %14s %14s %14s | %9s %9s\n", "wells", "layers", "brute ops",
+              "sproc ops", "threshold ops", "sproc", "thresh");
+  std::printf(
+      "---------------------------------------------------------------------------------------\n");
+  for (const std::size_t wells : {50ULL, 200ULL}) {
+    for (const std::size_t layers : {16ULL, 32ULL, 64ULL}) {
+      WellLogConfig cfg;
+      cfg.mean_layers = layers;
+      const WellLogArchive archive = generate_well_log_archive(wells, cfg, 3 + wells + layers);
+      CostMeter mb;
+      CostMeter md;
+      CostMeter mf;
+      const auto brute = find_riverbeds(archive, 5, SprocEngine::kBruteForce, mb);
+      const auto dp = find_riverbeds(archive, 5, SprocEngine::kDynamicProgramming, md);
+      const auto fast = find_riverbeds(archive, 5, SprocEngine::kThreshold, mf);
+      bool agree = brute.size() == dp.size() && brute.size() == fast.size();
+      for (std::size_t i = 0; agree && i < brute.size(); ++i) {
+        agree = std::abs(brute[i].match.score - dp[i].match.score) < 1e-9 &&
+                std::abs(brute[i].match.score - fast[i].match.score) < 1e-9;
+      }
+      std::printf("%7zu %8zu | %14lu %14lu %14lu | %8.1fx %8.1fx%s\n", wells, layers,
+                  static_cast<unsigned long>(mb.ops()), static_cast<unsigned long>(md.ops()),
+                  static_cast<unsigned long>(mf.ops()), op_ratio(mb, md), op_ratio(mb, mf),
+                  agree ? "" : "  !! disagree");
+    }
+  }
+  std::printf("\n");
+}
+
+void run_hps() {
+  std::printf("Table 2: Fig. 2/3 HPS high-risk houses (Bayes posterior ranking)\n");
+  SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 19;
+  const Scene scene = generate_scene(cfg);
+
+  // Two climates: the HPS-prone wet-then-dry pattern vs uniform drizzle.
+  Rng rng(20);
+  WeatherSeries wet_dry;
+  for (int d = 0; d < 90; ++d) wet_dry.push_back({rng.bernoulli(0.6) ? 8.0 : 0.0, 22.0});
+  for (int d = 0; d < 120; ++d) wet_dry.push_back({0.0, 28.0});
+  WeatherSeries drizzle;
+  for (int d = 0; d < 210; ++d) drizzle.push_back({rng.bernoulli(0.25) ? 3.0 : 0.0, 22.0});
+
+  std::printf("%12s | %8s | %14s | %12s | %16s\n", "climate", "houses", "inference ops",
+              "top-20 P(risk)", "bushy in top-20");
+  std::printf("--------------------------------------------------------------------------\n");
+  for (const auto& [name, series] : {std::pair{"wet->dry", &wet_dry}, {"drizzle", &drizzle}}) {
+    CostMeter meter;
+    const auto hits = rank_high_risk_houses(scene, *series, 20, meter);
+    std::size_t houses = 0;
+    for (double v : scene.landcover.flat()) {
+      houses += v == static_cast<double>(LandCover::kHouse) ? 1 : 0;
+    }
+    // Ground truth habitat check: fraction of the top-20 whose neighbourhood
+    // really is bushy (>= 25% bush cover in a 7x7 window).
+    std::size_t bushy = 0;
+    for (const auto& hit : hits) {
+      const std::size_t x0 = hit.x >= 3 ? hit.x - 3 : 0;
+      const std::size_t y0 = hit.y >= 3 ? hit.y - 3 : 0;
+      if (scene.landcover.window_fraction(x0, y0, 7, 7,
+                                          static_cast<double>(LandCover::kBush)) >= 0.25) {
+        ++bushy;
+      }
+    }
+    std::printf("%12s | %8zu | %14lu | %12.3f | %13zu/20\n", name, houses,
+                static_cast<unsigned long>(meter.ops()),
+                hits.empty() ? 0.0 : hits.front().probability, bushy);
+  }
+  std::printf(
+      "\nshape check: SPROC processors agree with brute force everywhere and scale as\n"
+      "L^2 instead of L^3; the wet->dry climate drives top-house risk far above the\n"
+      "drizzle climate, and the top-ranked houses are the bush-surrounded ones.\n");
+}
+
+}  // namespace
+
+int main() {
+  mmir::bench::heading("E8: knowledge-model retrieval (geology riverbeds + HPS houses)",
+                       "Figs. 2-4: fuzzy/probabilistic rule models over multi-modal archives");
+  run_geology();
+  run_hps();
+  mmir::bench::footer();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E3 — §3.1 claim (ref [12]): "a 4-8 times speedup can be accomplished
+// through applying feature extraction progressively on progressively
+// represented data."
+//
+// Table: progressive texture matching (coarse screening on a low-resolution
+// pyramid level, full descriptors only for the shortlist) vs exhaustive
+// full-resolution extraction.  Sweeps the screening level and shortlist
+// factor; recall is measured against the exhaustive top-K.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/texture_search.hpp"
+#include "data/scene.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mmir;
+using namespace mmir::bench;
+
+void run_table() {
+  heading("E3: progressive texture matching",
+          "[12] 4-8x speedup from progressive feature extraction on progressive data");
+
+  SceneConfig cfg;
+  cfg.width = 512;
+  cfg.height = 512;
+  cfg.seed = 77;
+  const Scene scene = generate_scene(cfg);
+  const Grid& band = scene.band("b4");
+  const ResolutionPyramid pyramid(band, 5);
+  constexpr std::size_t kTile = 32;
+  constexpr std::size_t kTopK = 10;
+  constexpr int kQueries = 12;
+
+  // Query descriptors drawn from random tiles of the scene itself; per-level
+  // coarse descriptors are extracted from the same pyramid the screening uses.
+  Rng rng(5);
+  struct Query {
+    std::size_t x0, y0;
+    TextureDescriptor full;
+  };
+  std::vector<Query> queries;
+  for (int q = 0; q < kQueries; ++q) {
+    CostMeter scratch;
+    const std::size_t tx = rng.uniform_int(band.width() / kTile);
+    const std::size_t ty = rng.uniform_int(band.height() / kTile);
+    queries.push_back(Query{tx * kTile, ty * kTile,
+                            extract_texture(band, tx * kTile, ty * kTile, kTile, kTile, scratch)});
+  }
+
+  std::printf("%6s %10s | %12s %9s | %7s\n", "level", "shortlist", "points/q", "speedup",
+              "recall");
+  std::printf("----------------------------------------------------------\n");
+  for (const std::size_t level : {1ULL, 2ULL, 3ULL}) {
+    for (const double factor : {2.0, 4.0, 8.0}) {
+      CostMeter m_full;
+      CostMeter m_prog;
+      double recall_sum = 0.0;
+      for (const auto& query : queries) {
+        const auto exact = texture_search_full(band, kTile, query.full, kTopK, m_full);
+        ProgressiveTextureConfig config;
+        config.coarse_level = level;
+        config.shortlist_factor = factor;
+        const TextureDescriptor coarse =
+            coarse_query_descriptor(pyramid, level, query.x0, query.y0, kTile, m_prog);
+        const auto approx = texture_search_progressive(pyramid, kTile, query.full, coarse,
+                                                       kTopK, config, m_prog);
+        recall_sum += texture_recall(exact, approx);
+      }
+      std::printf("%6zu %9.0fx | %12.0f %8.1fx | %7.2f\n", level, factor,
+                  static_cast<double>(m_prog.points()) / kQueries,
+                  point_ratio(m_full, m_prog), recall_sum / kQueries);
+    }
+  }
+  std::printf(
+      "\nshape check: coarse-domain screening keeps recall at/near 1.0 on this\n"
+      "workload; levels 2-3 with 2-4x shortlists land in the paper's 4-8x speedup\n"
+      "band, and the speedup ceiling is set by the shortlist's full extractions.\n");
+  footer();
+}
+
+}  // namespace
+
+int main() {
+  run_table();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E5b — §3.1's time-varying model, verbatim from the paper:
+//
+//   R(x,y,t) = a1·X1(x,y,t) + a2·X2(x,y,t) + a3·X3(x,y,t) + a4·R(x,y,t-1)
+//   "If |a1,a2| >> |a3,a4| then … R*(x,y,t) ~ a1·X1(x,y,t) + a2·X2(x,y,t)"
+//
+// Table 1: exact top-K retrieval of final-frame risk — dense evaluation vs
+// interval-recurrence tile screening, sweeping frame count and tile size.
+// Table 2: ranking fidelity of the paper's coarse model R* as the weight
+// skew |a1,a2| / |a3,a4| varies — the premise behind progressive screening.
+
+#include <set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/temporal.hpp"
+#include "data/scene.hpp"
+#include "data/scene_series.hpp"
+#include "data/weather.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mmir;
+using namespace mmir::bench;
+
+SceneSeries make_series(std::size_t size, std::size_t frames, std::uint64_t seed) {
+  SceneConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  cfg.seed = seed;
+  const Scene scene = generate_scene(cfg);
+  WeatherConfig wcfg;
+  wcfg.days = frames * 30 + 5;
+  Rng rng(seed + 1);
+  const WeatherSeries weather = generate_weather(wcfg, rng);
+  SceneSeriesConfig scfg;
+  scfg.frame_count = frames;
+  scfg.seed = seed + 2;
+  return generate_scene_series(scene, weather, scfg);
+}
+
+void run_tables() {
+  heading("E5b: time-varying model R(x,y,t) with recurrence (SS3.1 example)",
+          "progressive execution of the temporal model; R* coarse screening premise");
+
+  std::printf("Table 1: exact top-10 of final-frame risk, 256x256 scene\n");
+  std::printf("%8s %6s | %12s %12s | %9s %9s\n", "frames", "tile", "dense ops",
+              "screened ops", "speedup", "pruned");
+  std::printf("----------------------------------------------------------------------\n");
+  for (const std::size_t frames : {4ULL, 8ULL, 16ULL}) {
+    const SceneSeries series = make_series(256, frames, 40 + frames);
+    const TemporalRiskModel model({0.443, 0.222, 0.153}, 0.35, 0.0);
+    for (const std::size_t tile : {16ULL, 32ULL}) {
+      CostMeter m_scan;
+      CostMeter m_prog;
+      const auto expected = temporal_scan_top_k(series, model, 10, m_scan);
+      const auto actual = temporal_progressive_top_k(series, model, 10, tile, m_prog);
+      const bool agree = expected.size() == actual.size() &&
+                         std::abs(expected[0].score - actual[0].score) < 1e-9;
+      std::printf("%8zu %6zu | %12lu %12lu | %8.1fx %9lu%s\n", frames, tile,
+                  static_cast<unsigned long>(m_scan.ops()),
+                  static_cast<unsigned long>(m_prog.ops()), op_ratio(m_scan, m_prog),
+                  static_cast<unsigned long>(m_prog.pruned()), agree ? "" : "  !! disagree");
+    }
+  }
+
+  std::printf("\nTable 2: top-100 overlap between the full model and coarse R* (2 terms)\n");
+  std::printf("%28s | %10s\n", "weights (a1,a2 | a3,a4)", "overlap");
+  std::printf("-------------------------------------------\n");
+  const SceneSeries series = make_series(192, 8, 90);
+  struct Case {
+    const char* label;
+    std::vector<double> w;
+    double a4;
+  };
+  for (const Case& c : {Case{"strong skew (.9,.5|.01,.05)", {0.9, 0.5, 0.01}, 0.05},
+                        Case{"moderate   (.9,.5|.2,.2)", {0.9, 0.5, 0.2}, 0.2},
+                        Case{"weak skew  (.9,.5|.45,.4)", {0.9, 0.5, 0.45}, 0.4}}) {
+    const TemporalRiskModel full(c.w, c.a4, 0.0);
+    const TemporalRiskModel coarse = full.truncated(2);
+    CostMeter m1;
+    CostMeter m2;
+    const auto top_full = temporal_scan_top_k(series, full, 100, m1);
+    const auto top_coarse = temporal_scan_top_k(series, coarse, 100, m2);
+    std::set<std::pair<std::size_t, std::size_t>> full_set;
+    for (const auto& hit : top_full) full_set.emplace(hit.x, hit.y);
+    std::size_t overlap = 0;
+    for (const auto& hit : top_coarse) overlap += full_set.count({hit.x, hit.y});
+    std::printf("%28s | %9.2f\n", c.label, static_cast<double>(overlap) / 100.0);
+  }
+  std::printf(
+      "\nshape check: screened retrieval is exact at a fraction of the dense cost and\n"
+      "the saving persists as frames grow; R*'s ranking fidelity decays as the\n"
+      "dropped terms' weights grow — exactly the |a1,a2| >> |a3,a4| premise of SS3.1.\n");
+  footer();
+}
+
+}  // namespace
+
+int main() {
+  run_tables();
+  return 0;
+}

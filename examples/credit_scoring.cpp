@@ -1,0 +1,130 @@
+// FICO-style credit scoring (paper §2.1).
+//
+// "The complete FICO credit score, which ranges from 300 to 900, has several
+//  hundred parameters with a model similar to FICO = 900 − a1·X1 − … − aN·XN."
+//
+// A lender wants the best / worst credit risks in a 200k-applicant book.
+// This example:
+//
+//   1. generates correlated synthetic applicants and the preset score model;
+//   2. retrieves the top and bottom of the book through the Onion index,
+//      comparing with sequential scan;
+//   3. recalibrates the model by regression against observed foreclosure
+//      outcomes (the §2.1 "weights trained by historical data" step) and
+//      shows the paper's score-band default-rate table shape.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/retrieval.hpp"
+#include "data/tuples.hpp"
+#include "linear/model.hpp"
+#include "linear/regression.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace mmir;
+
+namespace {
+
+/// Reported scores clamp to the published 300-900 FICO range.
+double fico_clamp(double score) { return std::clamp(score, 300.0, 900.0); }
+
+}  // namespace
+
+int main() {
+  std::printf("== credit-book screening with the Onion index ==\n\n");
+
+  const std::size_t book_size = 200000;
+  const TupleSet applicants = credit_applicants(book_size, 314);
+  const LinearModel fico = fico_score_model();
+
+  Framework framework;
+  framework.register_tuples("book", applicants);
+
+  // Score distribution.
+  OnlineStats scores;
+  for (std::size_t i = 0; i < applicants.size(); ++i) {
+    scores.add(fico.evaluate(applicants.row(i)));
+  }
+  std::printf("book of %zu applicants: score mean %.0f, sd %.0f, range [%.0f, %.0f]\n",
+              book_size, scores.mean(), scores.stddev(), scores.min(), scores.max());
+
+  // 2. Extremes via Onion vs scan.  The Onion ranks by w·x; the bias (900)
+  //    shifts every score equally, so top/bottom sets match the FICO order.
+  CostMeter m_onion_top;
+  CostMeter m_scan_top;
+  const auto best = framework.retrieve_tuples("book", fico.weights(), 5, true, m_onion_top);
+  const auto best_check = framework.retrieve_tuples("book", fico.weights(), 5, false, m_scan_top);
+  std::printf("\nbest credit risks (Onion touched %lu points; scan %lu; identical: %s):\n",
+              static_cast<unsigned long>(m_onion_top.points()),
+              static_cast<unsigned long>(m_scan_top.points()),
+              best[0].id == best_check[0].id ? "yes" : "no");
+  for (const auto& hit : best) {
+    const auto row = applicants.row(hit.id);
+    std::printf("  applicant %6u  score %3.0f  (late=%.0f util=%.2f derog=%.0f age=%.0fy)\n",
+                hit.id, fico_clamp(fico.bias() + hit.score),
+                row[static_cast<std::size_t>(CreditAttribute::kLatePayments)],
+                row[static_cast<std::size_t>(CreditAttribute::kUtilization)],
+                row[static_cast<std::size_t>(CreditAttribute::kDerogatories)],
+                row[static_cast<std::size_t>(CreditAttribute::kCreditAgeYears)]);
+  }
+
+  CostMeter m_onion_bottom;
+  const auto worst = framework.retrieve_tuples(
+      "book", std::vector<double>{28.0, -6.0, 180.0, -2.0, -3.0, 60.0}, 5, true, m_onion_bottom);
+  std::printf("\nworst credit risks (minimization as negated maximization):\n");
+  for (const auto& hit : worst) {
+    std::printf("  applicant %6u  score %3.0f\n", hit.id, fico_clamp(fico.bias() - hit.score));
+  }
+
+  // 3. Recalibrate against observed outcomes, then the paper's band table:
+  //    "probability of foreclosure < 2% above 680, ~8% below 620".
+  Rng rng(315);
+  std::vector<double> default_flag(book_size);
+  for (std::size_t i = 0; i < book_size; ++i) {
+    const double score = fico.evaluate(applicants.row(i));
+    // Latent default probability calibrated to the paper's quoted rates:
+    // ~8% below 620, < 2% above 680.
+    const double p = 0.12 / (1.0 + std::exp((score - 580.0) / 45.0));
+    default_flag[i] = rng.bernoulli(p) ? 1.0 : 0.0;
+  }
+  const RegressionResult refit = fit_linear(applicants, default_flag, 1e-6);
+  std::printf("\nrecalibration: default-probability regression on the six attributes\n");
+  std::printf("  R^2 = %.3f; heaviest penalties: ", refit.r_squared);
+  for (std::size_t d = 0; d < refit.model.dim(); ++d) {
+    if (refit.model.weight(d) > 0.001) {
+      std::printf("%s (+%.3f) ", credit_attribute_name(static_cast<CreditAttribute>(d)).c_str(),
+                  refit.model.weight(d));
+    }
+  }
+  std::printf("\n\nscore band vs observed default rate (paper: <2%% above 680, ~8%% below 620):\n");
+  struct Band {
+    double lo, hi;
+    std::size_t count = 0;
+    std::size_t defaults = 0;
+  };
+  std::vector<Band> bands{{-1e9, 560, 0, 0}, {560, 620, 0, 0}, {620, 680, 0, 0},
+                          {680, 740, 0, 0},  {740, 1e9, 0, 0}};
+  for (std::size_t i = 0; i < book_size; ++i) {
+    const double score = fico.evaluate(applicants.row(i));
+    for (auto& band : bands) {
+      if (score >= band.lo && score < band.hi) {
+        ++band.count;
+        band.defaults += default_flag[i] > 0 ? 1 : 0;
+        break;
+      }
+    }
+  }
+  for (const auto& band : bands) {
+    if (band.count == 0) continue;
+    std::printf("  %4.0f - %4.0f: %6zu applicants, default rate %5.1f%%\n",
+                fico_clamp(std::max(band.lo, scores.min())),
+                fico_clamp(std::min(band.hi, scores.max())), band.count,
+                100.0 * static_cast<double>(band.defaults) / static_cast<double>(band.count));
+  }
+  std::printf("\ndone.\n");
+  return 0;
+}

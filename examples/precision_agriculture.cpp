@@ -1,0 +1,94 @@
+// Precision agriculture / forestry (paper §1, fourth application domain):
+// "site-specific crop or forest management … monitoring the growth
+// condition, determining the optimal time for harvesting, monitoring the
+// watershed condition."
+//
+// A farm cooperative monitors a growing season:
+//
+//   1. build a 12-frame temporal stack of the scene driven by the season's
+//      weather (the multi-modal fusion of imagery + weather);
+//   2. track a vegetation-vigour model through the season with the §3.1
+//      recurrent risk model (memory captures sustained stress, not blips)
+//      and retrieve the most stressed field cells progressively;
+//   3. lift cell hits to *semantic* management zones via region extraction
+//      (the top abstraction level) — the unit a tractor actually treats;
+//   4. watershed view: extract the largest contiguous wet zones from the
+//      moisture iso-bands.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/temporal.hpp"
+#include "data/scene.hpp"
+#include "data/scene_series.hpp"
+#include "data/weather.hpp"
+#include "progressive/features.hpp"
+#include "progressive/regions.hpp"
+#include "util/rng.hpp"
+
+using namespace mmir;
+
+int main() {
+  std::printf("== growing-season monitoring (precision agriculture) ==\n\n");
+
+  // 1. Scene + season.
+  SceneConfig cfg;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 401;
+  const Scene scene = generate_scene(cfg);
+  WeatherConfig wcfg;
+  wcfg.days = 370;
+  Rng rng(402);
+  const WeatherSeries season = generate_weather(wcfg, rng);
+  SceneSeriesConfig scfg;
+  scfg.frame_count = 12;
+  scfg.days_per_frame = 30;
+  scfg.seed = 403;
+  const SceneSeries stack = generate_scene_series(scene, season, scfg);
+  std::printf("temporal stack: %zu monthly frames, wetness index per frame:\n  ", 12UL);
+  for (const auto& frame : stack.frames) std::printf("%.2f ", frame.wetness);
+  std::printf("\n");
+
+  // 2. Crop-stress model: stress rises with bright SWIR (dry soil / thin
+  //    canopy) and falls with near-IR vigour; 0.5 recurrence makes sustained
+  //    stress count far more than a single bad month.
+  const TemporalRiskModel stress({-0.30, 0.25, 0.15}, 0.5, 0.0);
+  CostMeter m_dense;
+  CostMeter m_screen;
+  const auto worst_dense = temporal_scan_top_k(stack, stress, 300, m_dense);
+  const auto worst = temporal_progressive_top_k(stack, stress, 300, 16, m_screen);
+  std::printf("\nmost-stressed 300 cells at season end: worst score %.1f at (%zu, %zu)\n",
+              worst[0].score, worst[0].x, worst[0].y);
+  std::printf("dense evaluation: %lu ops; screened: %lu ops (%.1fx, identical: %s)\n",
+              static_cast<unsigned long>(m_dense.ops()),
+              static_cast<unsigned long>(m_screen.ops()),
+              static_cast<double>(m_dense.ops()) / static_cast<double>(m_screen.ops()),
+              worst_dense[0].score == worst[0].score ? "yes" : "no");
+
+  // 3. Management zones: mark the retrieved cells, extract regions, keep
+  //    zones big enough to treat (>= 20 cells).
+  Grid stressed(scene.width, scene.height, 0.0);
+  for (const auto& hit : worst) stressed.cell(hit.x, hit.y) = 1.0;
+  const Segmentation zones = label_regions(stressed);
+  const auto treatable = regions_of_class(zones, 1.0, 20);
+  std::printf("\nmanagement zones (>= 20 contiguous stressed cells): %zu\n", treatable.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, treatable.size()); ++i) {
+    const Region& zone = treatable[i];
+    std::printf("  zone %zu: %4zu cells, bbox %zux%zu at (%zu, %zu)\n", i, zone.area,
+                zone.bbox_width(), zone.bbox_height(), zone.min_x, zone.min_y);
+  }
+
+  // 4. Watershed condition: contiguous wet zones from moisture iso-bands.
+  const Grid bands = iso_bands(scene.moisture, 6);
+  const Segmentation wet = label_regions(bands);
+  const auto wetlands = regions_of_class(wet, 5.0, 10);
+  std::printf("\nwatershed: %zu contiguous wettest-band zones (largest %zu cells", wetlands.size(),
+              wetlands.empty() ? 0 : wetlands.front().area);
+  if (!wetlands.empty()) {
+    std::printf(" centred near (%.0f, %.0f)", wetlands.front().centroid_x,
+                wetlands.front().centroid_y);
+  }
+  std::printf(")\n\ndone.\n");
+  return 0;
+}

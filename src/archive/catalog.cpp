@@ -1,0 +1,50 @@
+#include "archive/catalog.hpp"
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+std::string_view modality_name(Modality m) {
+  switch (m) {
+    case Modality::kRaster: return "raster";
+    case Modality::kTimeSeries: return "time_series";
+    case Modality::kWellLog: return "well_log";
+    case Modality::kTuples: return "tuples";
+  }
+  throw Error("modality_name: unknown modality");
+}
+
+void Catalog::add(DatasetInfo info) {
+  for (const auto& existing : entries_) {
+    if (existing.name == info.name) {
+      throw Error("Catalog::add: duplicate dataset name '" + info.name + "'");
+    }
+  }
+  entries_.push_back(std::move(info));
+}
+
+std::optional<DatasetInfo> Catalog::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return entry;
+  }
+  return std::nullopt;
+}
+
+std::vector<DatasetInfo> Catalog::by_modality(Modality m) const {
+  std::vector<DatasetInfo> out;
+  for (const auto& entry : entries_) {
+    if (entry.modality == m) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<DatasetInfo> Catalog::by_attribute(std::string_view key, std::string_view value) const {
+  std::vector<DatasetInfo> out;
+  for (const auto& entry : entries_) {
+    const auto it = entry.attributes.find(std::string(key));
+    if (it != entry.attributes.end() && it->second == value) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace mmir

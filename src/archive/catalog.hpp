@@ -1,0 +1,54 @@
+#pragma once
+// Multi-modal dataset catalog — the "metadata" abstraction level of the
+// paper's progressive data representation (§3.1).
+//
+// Before any raw data is touched, a retrieval plan consults the catalog to
+// find which datasets carry the modalities a model needs (raster bands,
+// weather series, well logs, tuple tables), their sizes, and coarse
+// statistics.  Filtering at this level costs O(datasets) instead of O(data).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmir {
+
+/// Modality of a catalogued dataset.
+enum class Modality {
+  kRaster,      ///< gridded imagery / DEM / derived surfaces
+  kTimeSeries,  ///< per-region daily observations
+  kWellLog,     ///< 1-D depth-indexed traces + layer stacks
+  kTuples,      ///< relational rows in a d-dimensional attribute space
+};
+
+[[nodiscard]] std::string_view modality_name(Modality m);
+
+/// Catalog entry describing a dataset without holding its payload.
+struct DatasetInfo {
+  std::string name;
+  Modality modality = Modality::kRaster;
+  std::size_t item_count = 0;  ///< pixels / regions / wells / rows
+  std::size_t dims = 0;        ///< bands / attributes per item
+  std::map<std::string, std::string> attributes;  ///< free-form metadata
+};
+
+/// In-memory catalog with name and modality lookup.
+class Catalog {
+ public:
+  /// Registers a dataset; names must be unique (throws on duplicates).
+  void add(DatasetInfo info);
+
+  [[nodiscard]] std::optional<DatasetInfo> find(std::string_view name) const;
+  [[nodiscard]] std::vector<DatasetInfo> by_modality(Modality m) const;
+  /// Entries whose attribute `key` equals `value`.
+  [[nodiscard]] std::vector<DatasetInfo> by_attribute(std::string_view key,
+                                                      std::string_view value) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<DatasetInfo> entries_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,223 @@
+#include "archive/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mmir {
+
+namespace {
+
+constexpr char kGridMagic[8] = {'M', 'M', 'I', 'R', 'G', 'R', 'D', '1'};
+constexpr char kTupleMagic[8] = {'M', 'M', 'I', 'R', 'T', 'U', 'P', '1'};
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) throw Error("io: cannot open '" + path + "' for writing");
+  return out;
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) throw Error("io: cannot open '" + path + "' for reading");
+  return in;
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in, const std::string& path) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw Error("io: truncated header in '" + path + "'");
+  return v;
+}
+
+void check_magic(std::ifstream& in, const char (&magic)[8], const std::string& path) {
+  char buffer[8] = {};
+  in.read(buffer, 8);
+  if (!in || !std::equal(buffer, buffer + 8, magic)) {
+    throw Error("io: '" + path + "' has the wrong format tag");
+  }
+}
+
+std::vector<double> parse_csv_row(const std::string& line, const std::string& path) {
+  std::vector<double> values;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      values.push_back(std::stod(field));
+    } catch (const std::exception&) {
+      throw Error("io: non-numeric CSV field '" + field + "' in '" + path + "'");
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_grid(const Grid& grid, const std::string& path) {
+  auto out = open_out(path, std::ios::binary);
+  out.write(kGridMagic, 8);
+  write_u64(out, grid.width());
+  write_u64(out, grid.height());
+  out.write(reinterpret_cast<const char*>(grid.flat().data()),
+            static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!out) throw Error("io: short write to '" + path + "'");
+}
+
+Grid load_grid(const std::string& path) {
+  auto in = open_in(path, std::ios::binary);
+  check_magic(in, kGridMagic, path);
+  const std::uint64_t width = read_u64(in, path);
+  const std::uint64_t height = read_u64(in, path);
+  if (width == 0 || height == 0 || width * height > (1ULL << 32)) {
+    throw Error("io: implausible grid dimensions in '" + path + "'");
+  }
+  Grid grid(width, height);
+  in.read(reinterpret_cast<char*>(grid.flat().data()),
+          static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!in) throw Error("io: truncated grid payload in '" + path + "'");
+  return grid;
+}
+
+void save_grid_csv(const Grid& grid, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  out.precision(17);
+  for (std::size_t y = 0; y < grid.height(); ++y) {
+    for (std::size_t x = 0; x < grid.width(); ++x) {
+      if (x > 0) out << ',';
+      out << grid.cell(x, y);
+    }
+    out << '\n';
+  }
+  if (!out) throw Error("io: short write to '" + path + "'");
+}
+
+Grid load_grid_csv(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_csv_row(line, path));
+    if (rows.back().size() != rows.front().size()) {
+      throw Error("io: ragged CSV rows in '" + path + "'");
+    }
+  }
+  if (rows.empty()) throw Error("io: empty CSV grid in '" + path + "'");
+  Grid grid(rows.front().size(), rows.size());
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) grid.cell(x, y) = rows[y][x];
+  }
+  return grid;
+}
+
+void save_tuples(const TupleSet& tuples, const std::string& path) {
+  auto out = open_out(path, std::ios::binary);
+  out.write(kTupleMagic, 8);
+  write_u64(out, tuples.dim());
+  write_u64(out, tuples.size());
+  out.write(reinterpret_cast<const char*>(tuples.raw().data()),
+            static_cast<std::streamsize>(tuples.raw().size() * sizeof(double)));
+  if (!out) throw Error("io: short write to '" + path + "'");
+}
+
+TupleSet load_tuples(const std::string& path) {
+  auto in = open_in(path, std::ios::binary);
+  check_magic(in, kTupleMagic, path);
+  const std::uint64_t dim = read_u64(in, path);
+  const std::uint64_t rows = read_u64(in, path);
+  if (dim == 0 || dim > 4096) throw Error("io: implausible tuple dim in '" + path + "'");
+  TupleSet tuples(dim, rows);
+  std::vector<double> row(dim);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(dim * sizeof(double)));
+    if (!in) throw Error("io: truncated tuple payload in '" + path + "'");
+    tuples.push_row(row);
+  }
+  return tuples;
+}
+
+void save_tuples_csv(const TupleSet& tuples, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  out.precision(17);
+  for (std::size_t r = 0; r < tuples.size(); ++r) {
+    const auto row = tuples.row(r);
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      if (d > 0) out << ',';
+      out << row[d];
+    }
+    out << '\n';
+  }
+  if (!out) throw Error("io: short write to '" + path + "'");
+}
+
+TupleSet load_tuples_csv(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  std::string line;
+  TupleSet tuples;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto row = parse_csv_row(line, path);
+    if (first) {
+      tuples = TupleSet(row.size());
+      first = false;
+    } else if (row.size() != tuples.dim()) {
+      throw Error("io: ragged CSV rows in '" + path + "'");
+    }
+    tuples.push_row(row);
+  }
+  if (first) throw Error("io: empty CSV table in '" + path + "'");
+  return tuples;
+}
+
+void save_well_logs_csv(const WellLogArchive& archive, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  out.precision(17);
+  out << "well_id,layer_index,lithology,top_ft,thickness_ft,gamma_api\n";
+  for (const WellLog& well : archive.wells) {
+    for (std::size_t i = 0; i < well.layers.size(); ++i) {
+      const LogLayer& layer = well.layers[i];
+      out << well.id << ',' << i << ',' << static_cast<int>(layer.lithology) << ','
+          << layer.top_ft << ',' << layer.thickness_ft << ',' << layer.gamma_api << '\n';
+    }
+  }
+  if (!out) throw Error("io: short write to '" + path + "'");
+}
+
+WellLogArchive load_well_logs_csv(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  std::string line;
+  if (!std::getline(in, line)) throw Error("io: empty well-log CSV '" + path + "'");
+  WellLogArchive archive;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = parse_csv_row(line, path);
+    if (fields.size() != 6) throw Error("io: malformed well-log row in '" + path + "'");
+    const auto well_id = static_cast<std::size_t>(fields[0]);
+    const auto lith = static_cast<int>(fields[2]);
+    if (lith < 0 || lith >= kLithologyClasses) {
+      throw Error("io: unknown lithology code in '" + path + "'");
+    }
+    while (archive.wells.size() <= well_id) {
+      WellLog well;
+      well.id = archive.wells.size();
+      archive.wells.push_back(well);
+    }
+    LogLayer layer;
+    layer.lithology = static_cast<Lithology>(lith);
+    layer.top_ft = fields[3];
+    layer.thickness_ft = fields[4];
+    layer.gamma_api = fields[5];
+    archive.wells[well_id].layers.push_back(layer);
+  }
+  return archive;
+}
+
+}  // namespace mmir

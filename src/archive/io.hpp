@@ -1,0 +1,46 @@
+#pragma once
+// Archive serialization: binary and CSV round-trips for the core data
+// containers, so archives can be built once and shared between tools (and so
+// downstream users can feed their own rasters / tables into the framework).
+//
+// Binary formats carry a magic tag + dimensions + little-endian doubles;
+// loaders validate the tag and sizes and throw mmir::Error on mismatch.
+
+#include <string>
+
+#include "data/grid.hpp"
+#include "data/tuples.hpp"
+#include "data/welllog.hpp"
+
+namespace mmir {
+
+// ------------------------------------------------------------------- Grid
+
+/// Writes a raster as "MMIRGRD1" + u64 width + u64 height + doubles.
+void save_grid(const Grid& grid, const std::string& path);
+[[nodiscard]] Grid load_grid(const std::string& path);
+
+/// CSV: one row per raster row, comma-separated cell values.
+void save_grid_csv(const Grid& grid, const std::string& path);
+[[nodiscard]] Grid load_grid_csv(const std::string& path);
+
+// --------------------------------------------------------------- TupleSet
+
+/// Writes a table as "MMIRTUP1" + u64 dim + u64 rows + row-major doubles.
+void save_tuples(const TupleSet& tuples, const std::string& path);
+[[nodiscard]] TupleSet load_tuples(const std::string& path);
+
+/// CSV: one row per tuple.
+void save_tuples_csv(const TupleSet& tuples, const std::string& path);
+/// Loads a CSV of uniform-width numeric rows.
+[[nodiscard]] TupleSet load_tuples_csv(const std::string& path);
+
+// ------------------------------------------------------------ WellLogArchive
+
+/// CSV of layers: well_id,layer_index,lithology,top_ft,thickness_ft,gamma_api.
+/// Gamma traces are not serialized (they re-derive from the layers); loaded
+/// wells have empty traces.
+void save_well_logs_csv(const WellLogArchive& archive, const std::string& path);
+[[nodiscard]] WellLogArchive load_well_logs_csv(const std::string& path);
+
+}  // namespace mmir

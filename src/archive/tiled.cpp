@@ -1,0 +1,55 @@
+#include "archive/tiled.hpp"
+
+#include <algorithm>
+
+namespace mmir {
+
+TiledArchive::TiledArchive(std::vector<const Grid*> bands, std::size_t tile_size)
+    : bands_(std::move(bands)), tile_size_(tile_size) {
+  MMIR_EXPECTS(!bands_.empty());
+  MMIR_EXPECTS(tile_size_ > 0);
+  for (const Grid* band : bands_) MMIR_EXPECTS(band != nullptr);
+  width_ = bands_.front()->width();
+  height_ = bands_.front()->height();
+  for (const Grid* band : bands_) {
+    MMIR_EXPECTS(band->width() == width_ && band->height() == height_);
+  }
+  tiles_x_ = (width_ + tile_size_ - 1) / tile_size_;
+  tiles_y_ = (height_ + tile_size_ - 1) / tile_size_;
+
+  summaries_.reserve(tiles_x_ * tiles_y_);
+  for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+      TileSummary summary;
+      summary.x0 = tx * tile_size_;
+      summary.y0 = ty * tile_size_;
+      summary.width = std::min(tile_size_, width_ - summary.x0);
+      summary.height = std::min(tile_size_, height_ - summary.y0);
+      summary.band_range.reserve(bands_.size());
+      summary.band_mean.reserve(bands_.size());
+      for (const Grid* band : bands_) {
+        const OnlineStats stats =
+            band->window_stats(summary.x0, summary.y0, summary.width, summary.height);
+        summary.band_range.push_back(stats.range());
+        summary.band_mean.push_back(stats.mean());
+      }
+      summaries_.push_back(std::move(summary));
+    }
+  }
+}
+
+const TileSummary& TiledArchive::tile(std::size_t tx, std::size_t ty) const {
+  MMIR_EXPECTS(tx < tiles_x_ && ty < tiles_y_);
+  return summaries_[ty * tiles_x_ + tx];
+}
+
+void TiledArchive::read_pixel(std::size_t x, std::size_t y, std::span<double> out,
+                              CostMeter& meter) const {
+  MMIR_EXPECTS(out.size() == bands_.size());
+  MMIR_EXPECTS(x < width_ && y < height_);
+  for (std::size_t b = 0; b < bands_.size(); ++b) out[b] = bands_[b]->cell(x, y);
+  meter.add_points(bands_.size());
+  meter.add_bytes(bands_.size() * sizeof(double));
+}
+
+}  // namespace mmir

@@ -1,0 +1,73 @@
+#pragma once
+// Tiled view over a multi-band raster archive.
+//
+// Tiles are the unit of progressive screening: each tile carries per-band
+// [min, max] ranges and means computed once at ingest.  A model evaluated in
+// interval arithmetic over a tile's ranges bounds the model's value for every
+// pixel inside — tiles whose upper bound cannot reach the current top-K
+// threshold are skipped wholesale, which is where the paper's "progressive
+// data representation" speedup comes from at the abstraction level.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/grid.hpp"
+#include "util/cost.hpp"
+#include "util/interval.hpp"
+
+namespace mmir {
+
+/// Summary of one tile across all bands of the archive.
+struct TileSummary {
+  std::size_t x0 = 0;
+  std::size_t y0 = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<Interval> band_range;  ///< per-band [min, max]
+  std::vector<double> band_mean;     ///< per-band mean
+
+  [[nodiscard]] std::size_t pixel_count() const noexcept { return width * height; }
+};
+
+/// Non-owning tiled view over co-registered bands.  All bands must share the
+/// same dimensions; summaries are computed eagerly at construction (this is
+/// the "ingest" step a production archive would run once).
+class TiledArchive {
+ public:
+  /// `bands` must outlive the archive.
+  TiledArchive(std::vector<const Grid*> bands, std::size_t tile_size);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t band_count() const noexcept { return bands_.size(); }
+  [[nodiscard]] std::size_t tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] std::size_t tiles_x() const noexcept { return tiles_x_; }
+  [[nodiscard]] std::size_t tiles_y() const noexcept { return tiles_y_; }
+
+  [[nodiscard]] std::span<const TileSummary> tiles() const noexcept { return summaries_; }
+  [[nodiscard]] const TileSummary& tile(std::size_t tx, std::size_t ty) const;
+
+  /// Reads one pixel across all bands into `out` (size band_count()),
+  /// charging the meter for the touched points.
+  void read_pixel(std::size_t x, std::size_t y, std::span<double> out, CostMeter& meter) const;
+
+  [[nodiscard]] const Grid& band(std::size_t b) const {
+    MMIR_EXPECTS(b < bands_.size());
+    return *bands_[b];
+  }
+
+  /// Total pixels across the scene (one band).
+  [[nodiscard]] std::size_t pixel_count() const noexcept { return width_ * height_; }
+
+ private:
+  std::vector<const Grid*> bands_;
+  std::size_t tile_size_;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::size_t tiles_x_ = 0;
+  std::size_t tiles_y_ = 0;
+  std::vector<TileSummary> summaries_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,321 @@
+#include "bayes/bayesnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmir {
+
+std::size_t BayesNet::add_variable(std::string name, std::size_t cardinality,
+                                   std::vector<std::size_t> parents) {
+  MMIR_EXPECTS(cardinality >= 2);
+  for (std::size_t p : parents) MMIR_EXPECTS(p < vars_.size());
+  for (const auto& v : vars_) MMIR_EXPECTS(v.var_name != name);
+  Variable var;
+  var.var_name = std::move(name);
+  var.card = cardinality;
+  var.parent_ids = std::move(parents);
+  vars_.push_back(std::move(var));
+  const std::size_t id = vars_.size() - 1;
+  // Uniform default CPT.
+  vars_[id].table.assign(parent_config_count(id) * cardinality,
+                         1.0 / static_cast<double>(cardinality));
+  return id;
+}
+
+const std::string& BayesNet::name(std::size_t v) const {
+  MMIR_EXPECTS(v < vars_.size());
+  return vars_[v].var_name;
+}
+
+std::size_t BayesNet::cardinality(std::size_t v) const {
+  MMIR_EXPECTS(v < vars_.size());
+  return vars_[v].card;
+}
+
+std::span<const std::size_t> BayesNet::parents(std::size_t v) const {
+  MMIR_EXPECTS(v < vars_.size());
+  return vars_[v].parent_ids;
+}
+
+std::size_t BayesNet::find(std::string_view name) const {
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    if (vars_[v].var_name == name) return v;
+  }
+  throw Error("BayesNet::find: no variable named '" + std::string(name) + "'");
+}
+
+std::size_t BayesNet::parent_config_count(std::size_t v) const {
+  std::size_t count = 1;
+  for (std::size_t p : vars_[v].parent_ids) count *= vars_[p].card;
+  return count;
+}
+
+std::size_t BayesNet::parent_index(std::size_t v,
+                                   std::span<const std::size_t> parent_values) const {
+  MMIR_EXPECTS(parent_values.size() == vars_[v].parent_ids.size());
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < parent_values.size(); ++i) {
+    const std::size_t parent_card = vars_[vars_[v].parent_ids[i]].card;
+    MMIR_EXPECTS(parent_values[i] < parent_card);
+    index = index * parent_card + parent_values[i];
+  }
+  return index;
+}
+
+void BayesNet::set_cpt(std::size_t v, std::vector<double> table) {
+  MMIR_EXPECTS(v < vars_.size());
+  const std::size_t expected = parent_config_count(v) * vars_[v].card;
+  MMIR_EXPECTS(table.size() == expected);
+  for (std::size_t row = 0; row < table.size(); row += vars_[v].card) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < vars_[v].card; ++c) {
+      MMIR_EXPECTS(table[row + c] >= 0.0);
+      sum += table[row + c];
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      throw Error("BayesNet::set_cpt: CPT row does not sum to 1 for '" + vars_[v].var_name + "'");
+    }
+  }
+  vars_[v].table = std::move(table);
+}
+
+double BayesNet::cpt(std::size_t v, std::span<const std::size_t> parent_values,
+                     std::size_t value) const {
+  MMIR_EXPECTS(v < vars_.size());
+  MMIR_EXPECTS(value < vars_[v].card);
+  return vars_[v].table[parent_index(v, parent_values) * vars_[v].card + value];
+}
+
+double BayesNet::joint(std::span<const std::size_t> assignment) const {
+  MMIR_EXPECTS(assignment.size() == vars_.size());
+  double p = 1.0;
+  std::vector<std::size_t> parent_values;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    parent_values.clear();
+    for (std::size_t pid : vars_[v].parent_ids) parent_values.push_back(assignment[pid]);
+    p *= cpt(v, parent_values, assignment[v]);
+  }
+  return p;
+}
+
+namespace {
+
+/// Multi-variable factor for variable elimination.
+struct Factor {
+  std::vector<std::size_t> vars;   // variable ids, ascending
+  std::vector<std::size_t> cards;  // matching cardinalities
+  std::vector<double> values;      // row-major over vars
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+};
+
+/// Index of an assignment (values addressed by global variable id).
+std::size_t factor_index(const Factor& f, std::span<const std::size_t> full_assignment) {
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < f.vars.size(); ++i) {
+    index = index * f.cards[i] + full_assignment[f.vars[i]];
+  }
+  return index;
+}
+
+/// Iterates all assignments of a factor's variables, invoking fn(assignment).
+template <typename Fn>
+void for_each_assignment(const Factor& f, std::vector<std::size_t>& full_assignment, Fn&& fn) {
+  const std::size_t total = f.values.size();
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t rest = code;
+    for (std::size_t i = f.vars.size(); i-- > 0;) {
+      full_assignment[f.vars[i]] = rest % f.cards[i];
+      rest /= f.cards[i];
+    }
+    fn();
+  }
+}
+
+Factor product(const Factor& a, const Factor& b, std::size_t var_total, CostMeter& meter) {
+  Factor out;
+  out.vars.reserve(a.vars.size() + b.vars.size());
+  std::merge(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
+             std::back_inserter(out.vars));
+  out.vars.erase(std::unique(out.vars.begin(), out.vars.end()), out.vars.end());
+  std::size_t total = 1;
+  for (std::size_t v : out.vars) {
+    // Cardinality from whichever operand carries the variable.
+    const auto ia = std::find(a.vars.begin(), a.vars.end(), v);
+    const std::size_t card = ia != a.vars.end()
+                                 ? a.cards[static_cast<std::size_t>(ia - a.vars.begin())]
+                                 : b.cards[static_cast<std::size_t>(
+                                       std::find(b.vars.begin(), b.vars.end(), v) - b.vars.begin())];
+    out.cards.push_back(card);
+    total *= card;
+  }
+  out.values.assign(total, 0.0);
+  std::vector<std::size_t> assignment(var_total, 0);
+  for_each_assignment(out, assignment, [&] {
+    out.values[factor_index(out, assignment)] =
+        a.values[factor_index(a, assignment)] * b.values[factor_index(b, assignment)];
+  });
+  meter.add_ops(total);
+  return out;
+}
+
+Factor marginalize(const Factor& f, std::size_t var, std::size_t var_total, CostMeter& meter) {
+  Factor out;
+  for (std::size_t i = 0; i < f.vars.size(); ++i) {
+    if (f.vars[i] != var) {
+      out.vars.push_back(f.vars[i]);
+      out.cards.push_back(f.cards[i]);
+    }
+  }
+  std::size_t total = 1;
+  for (std::size_t c : out.cards) total *= c;
+  out.values.assign(total, 0.0);
+  std::vector<std::size_t> assignment(var_total, 0);
+  for_each_assignment(f, assignment, [&] {
+    out.values[factor_index(out, assignment)] += f.values[factor_index(f, assignment)];
+  });
+  meter.add_ops(f.size());
+  return out;
+}
+
+/// Restricts a factor to the evidence (drops evidence variables).
+Factor reduce(const Factor& f, const std::map<std::size_t, std::size_t>& evidence,
+              std::size_t var_total) {
+  Factor out;
+  bool any_evidence = false;
+  for (std::size_t i = 0; i < f.vars.size(); ++i) {
+    if (evidence.count(f.vars[i]) != 0) {
+      any_evidence = true;
+    } else {
+      out.vars.push_back(f.vars[i]);
+      out.cards.push_back(f.cards[i]);
+    }
+  }
+  if (!any_evidence) return f;
+  std::size_t total = 1;
+  for (std::size_t c : out.cards) total *= c;
+  out.values.assign(total, 0.0);
+  std::vector<std::size_t> assignment(var_total, 0);
+  for (const auto& [v, value] : evidence) assignment[v] = value;
+  for_each_assignment(out, assignment, [&] {
+    out.values[factor_index(out, assignment)] = f.values[factor_index(f, assignment)];
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> BayesNet::posterior(std::size_t query,
+                                        const std::map<std::size_t, std::size_t>& evidence,
+                                        CostMeter& meter) const {
+  MMIR_EXPECTS(query < vars_.size());
+  MMIR_EXPECTS(evidence.count(query) == 0);
+  for (const auto& [v, value] : evidence) {
+    MMIR_EXPECTS(v < vars_.size());
+    MMIR_EXPECTS(value < vars_[v].card);
+  }
+  ScopedTimer timer(meter);
+  const std::size_t var_total = vars_.size();
+
+  // One factor per CPT, reduced by evidence.
+  std::vector<Factor> factors;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    Factor f;
+    f.vars = vars_[v].parent_ids;
+    f.vars.push_back(v);
+    std::sort(f.vars.begin(), f.vars.end());
+    f.cards.reserve(f.vars.size());
+    for (std::size_t fv : f.vars) f.cards.push_back(vars_[fv].card);
+    std::size_t total = 1;
+    for (std::size_t c : f.cards) total *= c;
+    f.values.assign(total, 0.0);
+    std::vector<std::size_t> assignment(var_total, 0);
+    std::vector<std::size_t> parent_values;
+    for_each_assignment(f, assignment, [&] {
+      parent_values.clear();
+      for (std::size_t pid : vars_[v].parent_ids) parent_values.push_back(assignment[pid]);
+      f.values[factor_index(f, assignment)] = cpt(v, parent_values, assignment[v]);
+    });
+    factors.push_back(reduce(f, evidence, var_total));
+  }
+
+  // Eliminate every non-query, non-evidence variable (declaration order).
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    if (v == query || evidence.count(v) != 0) continue;
+    Factor combined;
+    combined.values = {1.0};
+    std::vector<Factor> remaining;
+    for (auto& f : factors) {
+      if (std::find(f.vars.begin(), f.vars.end(), v) != f.vars.end()) {
+        combined = product(combined, f, var_total, meter);
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    remaining.push_back(marginalize(combined, v, var_total, meter));
+    factors = std::move(remaining);
+  }
+
+  // Multiply what is left (factors over the query variable only).
+  Factor result;
+  result.values = {1.0};
+  for (const auto& f : factors) result = product(result, f, var_total, meter);
+
+  std::vector<double> posterior(vars_[query].card, 0.0);
+  if (result.vars.empty()) {
+    // Query was disconnected given the evidence: fall back to its prior
+    // weighting (uniform over values of a normalized empty product).
+    std::fill(posterior.begin(), posterior.end(), result.values[0]);
+  } else {
+    MMIR_ENSURES(result.vars.size() == 1 && result.vars[0] == query);
+    posterior = result.values;
+  }
+  double z = 0.0;
+  for (double p : posterior) z += p;
+  if (z <= 0.0) throw Error("BayesNet::posterior: evidence has zero probability");
+  for (double& p : posterior) p /= z;
+  return posterior;
+}
+
+std::vector<std::size_t> BayesNet::sample(Rng& rng) const {
+  std::vector<std::size_t> assignment(vars_.size(), 0);
+  std::vector<std::size_t> parent_values;
+  std::vector<double> dist;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    parent_values.clear();
+    for (std::size_t pid : vars_[v].parent_ids) parent_values.push_back(assignment[pid]);
+    dist.clear();
+    for (std::size_t value = 0; value < vars_[v].card; ++value) {
+      dist.push_back(cpt(v, parent_values, value));
+    }
+    assignment[v] = rng.categorical(dist);
+  }
+  return assignment;
+}
+
+void BayesNet::fit(std::span<const std::vector<std::size_t>> rows, double alpha) {
+  MMIR_EXPECTS(alpha > 0.0);
+  for (auto& var : vars_) {
+    std::fill(var.table.begin(), var.table.end(), alpha);
+  }
+  std::vector<std::size_t> parent_values;
+  for (const auto& row : rows) {
+    MMIR_EXPECTS(row.size() == vars_.size());
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      MMIR_EXPECTS(row[v] < vars_[v].card);
+      parent_values.clear();
+      for (std::size_t pid : vars_[v].parent_ids) parent_values.push_back(row[pid]);
+      vars_[v].table[parent_index(v, parent_values) * vars_[v].card + row[v]] += 1.0;
+    }
+  }
+  // Normalize each CPT row.
+  for (auto& var : vars_) {
+    for (std::size_t row = 0; row < var.table.size(); row += var.card) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < var.card; ++c) sum += var.table[row + c];
+      for (std::size_t c = 0; c < var.card; ++c) var.table[row + c] /= sum;
+    }
+  }
+}
+
+}  // namespace mmir

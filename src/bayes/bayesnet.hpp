@@ -1,0 +1,85 @@
+#pragma once
+// Discrete Bayesian networks (paper §2.3): "a graphical model for
+// probabilistic relationships among a set of variables … a popular
+// representation for encoding expert knowledge in expert systems.  Recently,
+// methods have been developed to learn Bayesian networks from data."
+//
+// This module supplies all three capabilities the paper leans on:
+//  * representation — DAG of discrete variables with CPTs;
+//  * inference      — exact posterior by variable elimination, so knowledge
+//                     models can rank locations by P(high risk | evidence);
+//  * learning       — CPT estimation from complete data with Dirichlet
+//                     smoothing (and ancestral sampling to generate data).
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/cost.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+
+/// Discrete Bayesian network.  Variables are added parents-first (parent ids
+/// must already exist), which guarantees acyclicity by construction.
+class BayesNet {
+ public:
+  /// Adds a variable with the given cardinality and parent set; returns its
+  /// id.  The CPT is initialized to uniform.
+  std::size_t add_variable(std::string name, std::size_t cardinality,
+                           std::vector<std::size_t> parents = {});
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return vars_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t v) const;
+  [[nodiscard]] std::size_t cardinality(std::size_t v) const;
+  [[nodiscard]] std::span<const std::size_t> parents(std::size_t v) const;
+  /// Id of the variable with the given name; throws when absent.
+  [[nodiscard]] std::size_t find(std::string_view name) const;
+
+  /// Sets the full CPT for `v`.  Layout: for each parent assignment (parents
+  /// in declaration order, row-major), `cardinality(v)` probabilities that
+  /// must each sum to 1 (validated within 1e-6).
+  void set_cpt(std::size_t v, std::vector<double> table);
+
+  /// P(v = value | parents = parent_values).
+  [[nodiscard]] double cpt(std::size_t v, std::span<const std::size_t> parent_values,
+                           std::size_t value) const;
+
+  /// Joint probability of a complete assignment (one value per variable).
+  [[nodiscard]] double joint(std::span<const std::size_t> assignment) const;
+
+  /// Exact posterior P(query | evidence) by variable elimination.
+  /// Returns a distribution over the query variable's values.  Charges the
+  /// meter one op per factor-table entry touched (the model-execution cost
+  /// that progressive evaluation tries to avoid).
+  [[nodiscard]] std::vector<double> posterior(std::size_t query,
+                                              const std::map<std::size_t, std::size_t>& evidence,
+                                              CostMeter& meter) const;
+
+  /// Ancestral sample of all variables (topological = declaration order).
+  [[nodiscard]] std::vector<std::size_t> sample(Rng& rng) const;
+
+  /// Fits every CPT from complete-data rows (each row: one value per
+  /// variable) with Dirichlet-style additive smoothing `alpha`.
+  void fit(std::span<const std::vector<std::size_t>> rows, double alpha = 1.0);
+
+ private:
+  struct Variable {
+    std::string var_name;
+    std::size_t card = 0;
+    std::vector<std::size_t> parent_ids;
+    std::vector<double> table;
+  };
+
+  [[nodiscard]] std::size_t parent_config_count(std::size_t v) const;
+  [[nodiscard]] std::size_t parent_index(std::size_t v,
+                                         std::span<const std::size_t> parent_values) const;
+
+  std::vector<Variable> vars_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,60 @@
+#include "bayes/fuzzy.hpp"
+
+#include <algorithm>
+
+namespace mmir {
+
+Membership ramp_up(double lo, double hi) {
+  MMIR_EXPECTS(hi > lo);
+  return [lo, hi](double x) {
+    if (x <= lo) return 0.0;
+    if (x >= hi) return 1.0;
+    return (x - lo) / (hi - lo);
+  };
+}
+
+Membership ramp_down(double lo, double hi) {
+  MMIR_EXPECTS(hi > lo);
+  return [lo, hi](double x) {
+    if (x <= lo) return 1.0;
+    if (x >= hi) return 0.0;
+    return (hi - x) / (hi - lo);
+  };
+}
+
+Membership triangular(double lo, double peak, double hi) {
+  MMIR_EXPECTS(lo < peak && peak < hi);
+  return [lo, peak, hi](double x) {
+    if (x <= lo || x >= hi) return 0.0;
+    if (x <= peak) return (x - lo) / (peak - lo);
+    return (hi - x) / (hi - peak);
+  };
+}
+
+Membership trapezoid(double a, double b, double c, double d) {
+  MMIR_EXPECTS(a < b && b <= c && c < d);
+  return [a, b, c, d](double x) {
+    if (x <= a || x >= d) return 0.0;
+    if (x >= b && x <= c) return 1.0;
+    if (x < b) return (x - a) / (b - a);
+    return (d - x) / (d - c);
+  };
+}
+
+Membership crisp_at_least(double threshold) {
+  return [threshold](double x) { return x >= threshold ? 1.0 : 0.0; };
+}
+
+double fuzzy_and_min(double a, double b) noexcept { return std::min(a, b); }
+double fuzzy_and_product(double a, double b) noexcept { return a * b; }
+double fuzzy_or_max(double a, double b) noexcept { return std::max(a, b); }
+double fuzzy_or_probsum(double a, double b) noexcept { return a + b - a * b; }
+double fuzzy_not(double a) noexcept { return 1.0 - a; }
+
+double fuzzy_all(const std::vector<double>& degrees) noexcept {
+  double result = 1.0;
+  for (double d : degrees) result = std::min(result, d);
+  return result;
+}
+
+}  // namespace mmir

@@ -1,0 +1,48 @@
+#pragma once
+// Fuzzy memberships and connectives (paper §3: knowledge models "locate the
+// top-K data patterns that satisfy the fuzzy and/or probabilistic rules
+// specified within the model").
+//
+// Knowledge-model predicates like "gamma ray higher than 45" or "thick
+// sandstone" are soft: a layer at 44.5 API should score nearly as well as one
+// at 45.5.  Membership functions map raw attribute values to [0, 1] degrees;
+// connectives combine them.  SPROC consumes these degrees as component
+// scores.
+
+#include <functional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// A membership function: attribute value -> degree in [0, 1].
+using Membership = std::function<double(double)>;
+
+/// 1 above `hi`, 0 below `lo`, linear ramp between (a soft ">= threshold").
+[[nodiscard]] Membership ramp_up(double lo, double hi);
+
+/// 1 below `lo`, 0 above `hi`, linear ramp between (a soft "<= threshold").
+[[nodiscard]] Membership ramp_down(double lo, double hi);
+
+/// Classic triangular membership peaking at `peak`.
+[[nodiscard]] Membership triangular(double lo, double peak, double hi);
+
+/// Trapezoidal membership: ramps up on [a,b], flat 1 on [b,c], down on [c,d].
+[[nodiscard]] Membership trapezoid(double a, double b, double c, double d);
+
+/// Crisp threshold (degree 0 or 1) — the degenerate case used by baselines.
+[[nodiscard]] Membership crisp_at_least(double threshold);
+
+// Connectives.  Both a t-norm pair (min/max — Zadeh) and a product pair
+// (product / probabilistic sum) are provided; knowledge models pick one.
+[[nodiscard]] double fuzzy_and_min(double a, double b) noexcept;
+[[nodiscard]] double fuzzy_and_product(double a, double b) noexcept;
+[[nodiscard]] double fuzzy_or_max(double a, double b) noexcept;
+[[nodiscard]] double fuzzy_or_probsum(double a, double b) noexcept;
+[[nodiscard]] double fuzzy_not(double a) noexcept;
+
+/// Folds a set of degrees with the min t-norm (empty -> 1).
+[[nodiscard]] double fuzzy_all(const std::vector<double>& degrees) noexcept;
+
+}  // namespace mmir

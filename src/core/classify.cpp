@@ -1,0 +1,176 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+
+GaussianNaiveBayes::GaussianNaiveBayes(std::size_t bands, std::size_t classes)
+    : bands_(bands),
+      classes_(classes),
+      prior_log_(classes, std::log(1.0 / static_cast<double>(classes))),
+      mean_(classes * bands, 0.0),
+      inv_var_(classes * bands, 1.0),
+      log_norm_(classes * bands, 0.0) {
+  MMIR_EXPECTS(bands >= 1);
+  MMIR_EXPECTS(classes >= 2);
+}
+
+void GaussianNaiveBayes::fit(std::span<const std::vector<double>> samples,
+                             std::span<const std::size_t> labels) {
+  MMIR_EXPECTS(samples.size() == labels.size());
+  MMIR_EXPECTS(!samples.empty());
+  std::vector<std::vector<OnlineStats>> stats(classes_, std::vector<OnlineStats>(bands_));
+  std::vector<std::size_t> counts(classes_, 0);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    MMIR_EXPECTS(samples[s].size() == bands_);
+    MMIR_EXPECTS(labels[s] < classes_);
+    ++counts[labels[s]];
+    for (std::size_t b = 0; b < bands_; ++b) stats[labels[s]][b].add(samples[s][b]);
+  }
+  for (std::size_t c = 0; c < classes_; ++c) {
+    // Laplace-style prior smoothing keeps unobserved classes finite.
+    prior_log_[c] = std::log((static_cast<double>(counts[c]) + 1.0) /
+                             (static_cast<double>(samples.size()) + static_cast<double>(classes_)));
+    for (std::size_t b = 0; b < bands_; ++b) {
+      const double variance = std::max(stats[c][b].variance(), 1e-3);
+      mean_[c * bands_ + b] = stats[c][b].mean();
+      inv_var_[c * bands_ + b] = 1.0 / variance;
+      log_norm_[c * bands_ + b] = -0.5 * std::log(2.0 * std::numbers::pi * variance);
+    }
+  }
+}
+
+GaussianNaiveBayes::Prediction GaussianNaiveBayes::predict(std::span<const double> pixel,
+                                                           CostMeter& meter) const {
+  MMIR_EXPECTS(pixel.size() == bands_);
+  double best = -std::numeric_limits<double>::infinity();
+  double second = best;
+  std::size_t best_class = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    double log_p = prior_log_[c];
+    for (std::size_t b = 0; b < bands_; ++b) {
+      const double d = pixel[b] - mean_[c * bands_ + b];
+      log_p += log_norm_[c * bands_ + b] - 0.5 * d * d * inv_var_[c * bands_ + b];
+    }
+    if (log_p > best) {
+      second = best;
+      best = log_p;
+      best_class = c;
+    } else if (log_p > second) {
+      second = log_p;
+    }
+  }
+  meter.add_ops(classes_ * bands_);
+  meter.add_points(bands_);
+  return Prediction{best_class, best - second};
+}
+
+ClassificationResult classify_full(const MultiBandPyramid& pyramid,
+                                   const GaussianNaiveBayes& classifier, CostMeter& meter) {
+  MMIR_EXPECTS(pyramid.band_count() == classifier.bands());
+  ScopedTimer timer(meter);
+  const Grid& base = pyramid.band(0).level(0);
+  ClassificationResult result{Grid(base.width(), base.height()), 0.0};
+  std::vector<double> pixel(pyramid.band_count());
+  for (std::size_t y = 0; y < base.height(); ++y) {
+    for (std::size_t x = 0; x < base.width(); ++x) {
+      for (std::size_t b = 0; b < pyramid.band_count(); ++b) {
+        pixel[b] = pyramid.band(b).level(0).cell(x, y);
+      }
+      result.labels.cell(x, y) = static_cast<double>(classifier.predict(pixel, meter).label);
+    }
+  }
+  return result;
+}
+
+ClassificationResult classify_progressive(const MultiBandPyramid& pyramid,
+                                          const GaussianNaiveBayes& classifier,
+                                          const ProgressiveClassifyConfig& config,
+                                          CostMeter& meter) {
+  MMIR_EXPECTS(pyramid.band_count() == classifier.bands());
+  ScopedTimer timer(meter);
+  const std::size_t start = std::min(config.start_level, pyramid.levels() - 1);
+  const Grid& base = pyramid.band(0).level(0);
+  ClassificationResult result{Grid(base.width(), base.height(), -1.0), 0.0};
+
+  struct Block {
+    std::size_t level, x, y;
+  };
+  std::vector<Block> frontier;
+  {
+    const Grid& coarse = pyramid.band(0).level(start);
+    frontier.reserve(coarse.size());
+    for (std::size_t y = 0; y < coarse.height(); ++y)
+      for (std::size_t x = 0; x < coarse.width(); ++x) frontier.push_back(Block{start, x, y});
+  }
+
+  std::vector<double> pixel(pyramid.band_count());
+  while (!frontier.empty()) {
+    const Block block = frontier.back();
+    frontier.pop_back();
+    for (std::size_t b = 0; b < pyramid.band_count(); ++b) {
+      pixel[b] = pyramid.band(b).level(block.level).cell(block.x, block.y);
+    }
+    const auto prediction = classifier.predict(pixel, meter);
+    const bool confident = prediction.margin >= config.confidence_margin || block.level == 0;
+    if (confident) {
+      const PixelRegion region = pyramid.band(0).base_region(block.level, block.x, block.y);
+      for (std::size_t y = region.y0; y < region.y0 + region.height; ++y) {
+        for (std::size_t x = region.x0; x < region.x0 + region.width; ++x) {
+          result.labels.cell(x, y) = static_cast<double>(prediction.label);
+        }
+      }
+      if (block.level > 0) meter.add_pruned(region.area() - 1);
+    } else {
+      // Descend: enqueue the up-to-4 children at the next finer level.
+      const std::size_t child_level = block.level - 1;
+      const Grid& child = pyramid.band(0).level(child_level);
+      for (std::size_t dy = 0; dy < 2; ++dy) {
+        for (std::size_t dx = 0; dx < 2; ++dx) {
+          const std::size_t cx = 2 * block.x + dx;
+          const std::size_t cy = 2 * block.y + dy;
+          if (cx < child.width() && cy < child.height()) {
+            frontier.push_back(Block{child_level, cx, cy});
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double label_agreement(const Grid& a, const Grid& b) {
+  MMIR_EXPECTS(a.width() == b.width() && a.height() == b.height());
+  std::size_t agree = 0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (fa[i] == fb[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(fa.size());
+}
+
+void sample_training_data(const std::vector<const Grid*>& bands, const Grid& labels,
+                          std::size_t count, Rng& rng, std::vector<std::vector<double>>& samples,
+                          std::vector<std::size_t>& sample_labels) {
+  MMIR_EXPECTS(!bands.empty());
+  samples.clear();
+  sample_labels.clear();
+  samples.reserve(count);
+  sample_labels.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t x = rng.uniform_int(labels.width());
+    const std::size_t y = rng.uniform_int(labels.height());
+    std::vector<double> pixel(bands.size());
+    for (std::size_t b = 0; b < bands.size(); ++b) pixel[b] = bands[b]->cell(x, y);
+    samples.push_back(std::move(pixel));
+    sample_labels.push_back(static_cast<std::size_t>(labels.cell(x, y)));
+  }
+}
+
+}  // namespace mmir

@@ -1,0 +1,166 @@
+#include "core/progressive_exec.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mmir {
+
+namespace {
+
+std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
+  std::vector<RasterHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+/// Staged evaluation of one pixel with early abandoning: returns the exact
+/// score, or any value strictly below `threshold` once the upper bound drops
+/// under it.  Charges one op + point per term actually computed.
+double staged_pixel(const TiledArchive& archive, const ProgressiveLinearModel& model,
+                    std::size_t x, std::size_t y, double threshold, CostMeter& meter) {
+  const auto order = model.order();
+  double partial = model.model().bias();
+  for (std::size_t stage = 0; stage < order.size(); ++stage) {
+    const std::size_t band = order[stage];
+    partial += model.model().weight(band) * archive.band(band).cell(x, y);
+    meter.add_ops(1);
+    meter.add_points(1);
+    meter.add_bytes(sizeof(double));
+    if (stage + 1 < order.size()) {
+      const Interval tail = model.tail(stage);
+      if (partial + tail.hi < threshold) {
+        meter.add_pruned();
+        return partial + tail.hi;  // certified below threshold
+      }
+    }
+  }
+  return partial;
+}
+
+/// Full-model evaluation of one pixel.
+double full_pixel(const TiledArchive& archive, const RasterModel& model, std::size_t x,
+                  std::size_t y, std::vector<double>& scratch, CostMeter& meter) {
+  archive.read_pixel(x, y, scratch, meter);
+  meter.add_ops(model.ops_per_evaluation());
+  return model.evaluate(scratch);
+}
+
+/// Tile visit order: by descending interval upper bound of the model.
+std::vector<std::size_t> tiles_by_bound(const TiledArchive& archive, const RasterModel& model,
+                                        std::vector<Interval>& bounds, CostMeter& meter) {
+  const auto tiles = archive.tiles();
+  bounds.resize(tiles.size());
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    bounds[t] = model.bound(tiles[t].band_range);
+    // Metadata-level work: one model-bound evaluation per tile.
+    meter.add_ops(model.ops_per_evaluation());
+  }
+  std::vector<std::size_t> order(tiles.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return bounds[a].hi > bounds[b].hi; });
+  return order;
+}
+
+}  // namespace
+
+std::vector<RasterHit> full_scan_top_k(const TiledArchive& archive, const RasterModel& model,
+                                       std::size_t k, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  ScopedTimer timer(meter);
+  TopK<RasterHit> top(k);
+  std::vector<double> pixel(archive.band_count());
+  for (std::size_t y = 0; y < archive.height(); ++y) {
+    for (std::size_t x = 0; x < archive.width(); ++x) {
+      const double score = full_pixel(archive, model, x, y, pixel, meter);
+      top.offer(score, RasterHit{x, y, score});
+    }
+  }
+  return finalize(top);
+}
+
+std::vector<RasterHit> progressive_model_top_k(const TiledArchive& archive,
+                                               const ProgressiveLinearModel& model, std::size_t k,
+                                               CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  ScopedTimer timer(meter);
+  TopK<RasterHit> top(k);
+  for (std::size_t y = 0; y < archive.height(); ++y) {
+    for (std::size_t x = 0; x < archive.width(); ++x) {
+      const double score = staged_pixel(archive, model, x, y, top.threshold(), meter);
+      if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
+    }
+  }
+  return finalize(top);
+}
+
+std::vector<RasterHit> tile_screened_top_k(const TiledArchive& archive, const RasterModel& model,
+                                           std::size_t k, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  ScopedTimer timer(meter);
+  std::vector<Interval> bounds;
+  const auto order = tiles_by_bound(archive, model, bounds, meter);
+  const auto tiles = archive.tiles();
+
+  TopK<RasterHit> top(k);
+  std::vector<double> pixel(archive.band_count());
+  for (std::size_t t : order) {
+    if (top.full() && bounds[t].hi <= top.threshold()) {
+      // Tiles are sorted, so every later tile is dominated too; count them
+      // all as pruned and stop.
+      for (std::size_t rest = 0; rest < order.size(); ++rest) {
+        if (order[rest] == t) {
+          meter.add_pruned(order.size() - rest);
+          break;
+        }
+      }
+      break;
+    }
+    const TileSummary& tile = tiles[t];
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        const double score = full_pixel(archive, model, x, y, pixel, meter);
+        top.offer(score, RasterHit{x, y, score});
+      }
+    }
+  }
+  return finalize(top);
+}
+
+std::vector<RasterHit> progressive_combined_top_k(const TiledArchive& archive,
+                                                  const ProgressiveLinearModel& model,
+                                                  std::size_t k, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  ScopedTimer timer(meter);
+  const LinearRasterModel raster_model(model.model());
+  std::vector<Interval> bounds;
+  const auto order = tiles_by_bound(archive, raster_model, bounds, meter);
+  const auto tiles = archive.tiles();
+
+  TopK<RasterHit> top(k);
+  for (std::size_t t : order) {
+    if (top.full() && bounds[t].hi <= top.threshold()) {
+      for (std::size_t rest = 0; rest < order.size(); ++rest) {
+        if (order[rest] == t) {
+          meter.add_pruned(order.size() - rest);
+          break;
+        }
+      }
+      break;
+    }
+    const TileSummary& tile = tiles[t];
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        const double score = staged_pixel(archive, model, x, y, top.threshold(), meter);
+        if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
+      }
+    }
+  }
+  return finalize(top);
+}
+
+}  // namespace mmir

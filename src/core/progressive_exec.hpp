@@ -1,0 +1,58 @@
+#pragma once
+// Progressive model execution over tiled raster archives — the heart of the
+// framework (§3.1) and the engine behind experiment E5 (§4.2).
+//
+// Four executors, one exact answer:
+//   * full_scan_top_k          — every pixel, full model:          O(n·N)
+//   * progressive_model_top_k  — every pixel, staged model terms
+//     with per-pixel early abandoning:                              /pm
+//   * tile_screened_top_k      — tile-summary interval pruning,
+//     full model inside surviving tiles:                            /pd
+//   * progressive_combined_top_k — both legs together:              /(pm·pd)
+//
+// The model leg requires a linear model (stage decomposition); the data leg
+// works for any RasterModel.  All four return identical top-K sets (modulo
+// exact ties) because every pruning step is justified by a sound bound.
+
+#include <cstdint>
+#include <vector>
+
+#include "archive/tiled.hpp"
+#include "core/raster_model.hpp"
+#include "linear/progressive.hpp"
+#include "util/cost.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+/// A retrieved raster location.
+struct RasterHit {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  double score = 0.0;
+};
+
+/// Exhaustive baseline: full model on every pixel.
+[[nodiscard]] std::vector<RasterHit> full_scan_top_k(const TiledArchive& archive,
+                                                     const RasterModel& model, std::size_t k,
+                                                     CostMeter& meter);
+
+/// Progressive model only: staged term evaluation with early abandoning
+/// against the running top-K threshold; all pixels visited.
+[[nodiscard]] std::vector<RasterHit> progressive_model_top_k(const TiledArchive& archive,
+                                                             const ProgressiveLinearModel& model,
+                                                             std::size_t k, CostMeter& meter);
+
+/// Progressive data only: tiles processed best-bound-first; a tile whose
+/// interval upper bound cannot reach the current K-th best is pruned without
+/// touching its pixels.
+[[nodiscard]] std::vector<RasterHit> tile_screened_top_k(const TiledArchive& archive,
+                                                         const RasterModel& model, std::size_t k,
+                                                         CostMeter& meter);
+
+/// Both legs: tile screening outside, staged terms inside surviving tiles.
+[[nodiscard]] std::vector<RasterHit> progressive_combined_top_k(
+    const TiledArchive& archive, const ProgressiveLinearModel& model, std::size_t k,
+    CostMeter& meter);
+
+}  // namespace mmir

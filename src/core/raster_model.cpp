@@ -1,0 +1,7 @@
+#include "core/raster_model.hpp"
+
+// RasterModel is header-only today; this TU anchors the vtable.
+
+namespace mmir {
+
+}  // namespace mmir

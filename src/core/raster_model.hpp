@@ -1,0 +1,58 @@
+#pragma once
+// Model abstraction over raster archives.
+//
+// The framework's progressive executor works with any model that can
+// (a) score a pixel's band vector and (b) bound its score over a box of band
+// ranges — the two capabilities §3 requires for progressive execution on
+// progressively represented data.  LinearRasterModel adapts the §2.1 linear
+// family; custom models (e.g. learned classifiers) implement the interface
+// directly.
+
+#include <memory>
+#include <span>
+
+#include "linear/model.hpp"
+#include "util/cost.hpp"
+#include "util/interval.hpp"
+
+namespace mmir {
+
+/// A model evaluable per pixel and boundable per tile.
+class RasterModel {
+ public:
+  virtual ~RasterModel() = default;
+
+  /// Number of bands the model consumes.
+  [[nodiscard]] virtual std::size_t bands() const = 0;
+
+  /// Score of one pixel (band values in archive band order).
+  [[nodiscard]] virtual double evaluate(std::span<const double> pixel) const = 0;
+
+  /// Bounds of the score over a box of per-band ranges.
+  [[nodiscard]] virtual Interval bound(std::span<const Interval> ranges) const = 0;
+
+  /// Elementary operations one evaluate() costs (for §4.2 accounting).
+  [[nodiscard]] virtual std::size_t ops_per_evaluation() const = 0;
+};
+
+/// Adapter: LinearModel -> RasterModel.
+class LinearRasterModel final : public RasterModel {
+ public:
+  explicit LinearRasterModel(LinearModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] std::size_t bands() const override { return model_.dim(); }
+  [[nodiscard]] double evaluate(std::span<const double> pixel) const override {
+    return model_.evaluate(pixel);
+  }
+  [[nodiscard]] Interval bound(std::span<const Interval> ranges) const override {
+    return model_.evaluate_interval(ranges);
+  }
+  [[nodiscard]] std::size_t ops_per_evaluation() const override { return model_.dim(); }
+
+  [[nodiscard]] const LinearModel& linear() const noexcept { return model_; }
+
+ private:
+  LinearModel model_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,182 @@
+#include "core/retrieval.hpp"
+
+#include "fsm/fire_ants.hpp"
+#include "index/seqscan.hpp"
+#include "linear/progressive.hpp"
+
+namespace mmir {
+
+void Framework::register_scene(const std::string& name, const Scene& scene,
+                               std::size_t tile_size) {
+  SceneEntry entry;
+  entry.scene = &scene;
+  entry.bands = {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem};
+  entry.archive = std::make_unique<TiledArchive>(entry.bands, tile_size);
+  scenes_[name] = std::move(entry);
+
+  DatasetInfo info;
+  info.name = name;
+  info.modality = Modality::kRaster;
+  info.item_count = scene.width * scene.height;
+  info.dims = 4;
+  info.attributes["tile_size"] = std::to_string(tile_size);
+  catalog_.add(std::move(info));
+}
+
+void Framework::register_weather(const std::string& name, const WeatherArchive& archive,
+                                 std::size_t gram_length) {
+  WeatherEntry entry;
+  entry.archive = &archive;
+  entry.symbols = discretize_archive(archive);
+  entry.grams = std::make_unique<GramIndex>(entry.symbols, gram_length, kWeatherAlphabet);
+  weather_[name] = std::move(entry);
+
+  DatasetInfo info;
+  info.name = name;
+  info.modality = Modality::kTimeSeries;
+  info.item_count = archive.region_count();
+  info.dims = 2;  // rain, temperature
+  info.attributes["days"] = std::to_string(archive.days());
+  catalog_.add(std::move(info));
+}
+
+void Framework::register_well_logs(const std::string& name, const WellLogArchive& archive) {
+  wells_[name] = &archive;
+
+  DatasetInfo info;
+  info.name = name;
+  info.modality = Modality::kWellLog;
+  info.item_count = archive.size();
+  info.dims = 1;  // gamma trace
+  catalog_.add(std::move(info));
+}
+
+void Framework::register_tuples(const std::string& name, const TupleSet& tuples,
+                                OnionConfig onion) {
+  TupleEntry entry;
+  entry.tuples = &tuples;
+  entry.onion = std::make_unique<OnionIndex>(tuples, onion);
+  const std::size_t layer_count = entry.onion->layer_count();
+  tuples_[name] = std::move(entry);
+
+  DatasetInfo info;
+  info.name = name;
+  info.modality = Modality::kTuples;
+  info.item_count = tuples.size();
+  info.dims = tuples.dim();
+  info.attributes["onion_layers"] = std::to_string(layer_count);
+  catalog_.add(std::move(info));
+}
+
+void Framework::register_scene_series(const std::string& name, const SceneSeries& series) {
+  MMIR_EXPECTS(series.frame_count() >= 1);
+  series_[name] = &series;
+
+  DatasetInfo info;
+  info.name = name;
+  info.modality = Modality::kRaster;
+  info.item_count = series.width * series.height * series.frame_count();
+  info.dims = series.band_count();
+  info.attributes["frames"] = std::to_string(series.frame_count());
+  info.attributes["temporal"] = "true";
+  catalog_.add(std::move(info));
+}
+
+std::vector<RasterHit> Framework::retrieve_temporal(std::string_view series,
+                                                    const TemporalRiskModel& model, std::size_t k,
+                                                    LinearStrategy strategy, CostMeter& meter,
+                                                    std::size_t tile_size) const {
+  const auto it = series_.find(series);
+  if (it == series_.end()) {
+    throw Error("Framework: unknown scene series '" + std::string(series) + "'");
+  }
+  switch (strategy) {
+    case LinearStrategy::kFullScan:
+      return temporal_scan_top_k(*it->second, model, k, meter);
+    case LinearStrategy::kProgressive:
+      return temporal_progressive_top_k(*it->second, model, k, tile_size, meter);
+  }
+  throw Error("Framework::retrieve_temporal: unknown strategy");
+}
+
+const Framework::SceneEntry& Framework::scene_entry(std::string_view name) const {
+  const auto it = scenes_.find(name);
+  if (it == scenes_.end()) throw Error("Framework: unknown scene '" + std::string(name) + "'");
+  return it->second;
+}
+
+const Framework::WeatherEntry& Framework::weather_entry(std::string_view name) const {
+  const auto it = weather_.find(name);
+  if (it == weather_.end()) {
+    throw Error("Framework: unknown weather archive '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const Framework::TupleEntry& Framework::tuple_entry(std::string_view name) const {
+  const auto it = tuples_.find(name);
+  if (it == tuples_.end()) {
+    throw Error("Framework: unknown tuple dataset '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<RasterHit> Framework::retrieve_linear(std::string_view scene,
+                                                  const LinearModel& model, std::size_t k,
+                                                  LinearStrategy strategy,
+                                                  CostMeter& meter) const {
+  const SceneEntry& entry = scene_entry(scene);
+  switch (strategy) {
+    case LinearStrategy::kFullScan: {
+      const LinearRasterModel raster_model(model);
+      return full_scan_top_k(*entry.archive, raster_model, k, meter);
+    }
+    case LinearStrategy::kProgressive: {
+      std::vector<Interval> ranges;
+      ranges.reserve(entry.bands.size());
+      for (const Grid* band : entry.bands) ranges.push_back(band->stats().range());
+      const ProgressiveLinearModel progressive(model, std::move(ranges));
+      return progressive_combined_top_k(*entry.archive, progressive, k, meter);
+    }
+  }
+  throw Error("Framework::retrieve_linear: unknown strategy");
+}
+
+std::vector<ScoredId> Framework::retrieve_tuples(std::string_view dataset,
+                                                 std::span<const double> weights, std::size_t k,
+                                                 bool use_onion, CostMeter& meter) const {
+  const TupleEntry& entry = tuple_entry(dataset);
+  if (use_onion) return entry.onion->top_k(weights, k, meter);
+  return scan_top_k(*entry.tuples, weights, k, meter);
+}
+
+std::vector<FsmHit> Framework::retrieve_fsm(std::string_view dataset, const Dfa& model,
+                                            std::size_t k, bool use_index,
+                                            CostMeter& meter) const {
+  const WeatherEntry& entry = weather_entry(dataset);
+  if (use_index) return fsm_indexed_top_k(entry.symbols, model, *entry.grams, k, meter);
+  return fsm_scan_top_k(entry.symbols, model, k, meter);
+}
+
+std::vector<WellMatch> Framework::retrieve_riverbeds(std::string_view dataset, std::size_t k,
+                                                     SprocEngine engine, CostMeter& meter,
+                                                     const RiverbedRule& rule) const {
+  const auto it = wells_.find(dataset);
+  if (it == wells_.end()) {
+    throw Error("Framework: unknown well-log archive '" + std::string(dataset) + "'");
+  }
+  return find_riverbeds(*it->second, k, engine, meter, rule);
+}
+
+std::vector<HouseRisk> Framework::retrieve_high_risk_houses(std::string_view scene,
+                                                            std::string_view weather,
+                                                            std::size_t region, std::size_t k,
+                                                            CostMeter& meter) const {
+  const SceneEntry& scene_data = scene_entry(scene);
+  const WeatherEntry& weather_data = weather_entry(weather);
+  MMIR_EXPECTS(region < weather_data.archive->region_count());
+  return rank_high_risk_houses(*scene_data.scene, weather_data.archive->regions[region], k,
+                               meter);
+}
+
+}  // namespace mmir

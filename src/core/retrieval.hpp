@@ -1,0 +1,125 @@
+#pragma once
+// Framework facade: the public entry point a downstream application uses.
+//
+// A Framework instance owns a Catalog of registered multi-modal datasets
+// (scenes, weather archives, well-log archives, tuple tables) plus the
+// model-specific indices built over them (tiled summaries, Onion layers,
+// n-gram postings), and exposes one retrieval call per model family of §2:
+//
+//   linear models     -> top-K raster cells / tuples (Onion or progressive)
+//   finite-state      -> top-K regions whose series the FSM accepts
+//   knowledge models  -> top-K wells (SPROC) or houses (Bayes inference)
+//
+// Datasets are non-owning references and must outlive the Framework; indices
+// are owned and built at registration (the archive-ingest step).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "archive/catalog.hpp"
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/temporal.hpp"
+#include "data/scene.hpp"
+#include "data/tuples.hpp"
+#include "data/weather.hpp"
+#include "data/welllog.hpp"
+#include "fsm/matcher.hpp"
+#include "index/gram_index.hpp"
+#include "index/onion.hpp"
+#include "knowledge/hps.hpp"
+#include "knowledge/strata.hpp"
+#include "linear/model.hpp"
+
+namespace mmir {
+
+/// Execution strategy for linear raster retrieval.
+enum class LinearStrategy {
+  kFullScan,     ///< O(n·N) sequential baseline
+  kProgressive,  ///< tile screening + staged model (§3.1)
+};
+
+class Framework {
+ public:
+  Framework() = default;
+
+  // Registration (ingest).  References must outlive the Framework.
+  void register_scene(const std::string& name, const Scene& scene, std::size_t tile_size = 16);
+  void register_weather(const std::string& name, const WeatherArchive& archive,
+                        std::size_t gram_length = 3);
+  void register_well_logs(const std::string& name, const WellLogArchive& archive);
+  void register_tuples(const std::string& name, const TupleSet& tuples,
+                       OnionConfig onion = OnionConfig{});
+  /// Temporal band stacks for the §3.1 recurrent model.
+  void register_scene_series(const std::string& name, const SceneSeries& series);
+
+  [[nodiscard]] const Catalog& catalog() const noexcept { return catalog_; }
+
+  /// Linear model over a registered scene's bands (b4, b5, b7, dem order).
+  [[nodiscard]] std::vector<RasterHit> retrieve_linear(std::string_view scene,
+                                                       const LinearModel& model, std::size_t k,
+                                                       LinearStrategy strategy,
+                                                       CostMeter& meter) const;
+
+  /// Linear optimization over a registered tuple table (Onion vs scan).
+  [[nodiscard]] std::vector<ScoredId> retrieve_tuples(std::string_view dataset,
+                                                      std::span<const double> weights,
+                                                      std::size_t k, bool use_onion,
+                                                      CostMeter& meter) const;
+
+  /// Finite-state model over a registered weather archive.
+  [[nodiscard]] std::vector<FsmHit> retrieve_fsm(std::string_view dataset, const Dfa& model,
+                                                 std::size_t k, bool use_index,
+                                                 CostMeter& meter) const;
+
+  /// Fig. 4 geology knowledge model over a registered well-log archive.
+  [[nodiscard]] std::vector<WellMatch> retrieve_riverbeds(std::string_view dataset, std::size_t k,
+                                                          SprocEngine engine, CostMeter& meter,
+                                                          const RiverbedRule& rule = {}) const;
+
+  /// §3.1 temporal recurrence model over a registered scene series; the
+  /// progressive strategy uses interval-recurrence tile screening (exact).
+  [[nodiscard]] std::vector<RasterHit> retrieve_temporal(std::string_view series,
+                                                         const TemporalRiskModel& model,
+                                                         std::size_t k, LinearStrategy strategy,
+                                                         CostMeter& meter,
+                                                         std::size_t tile_size = 16) const;
+
+  /// Fig. 2/3 HPS knowledge model: scene land cover + one weather region.
+  [[nodiscard]] std::vector<HouseRisk> retrieve_high_risk_houses(std::string_view scene,
+                                                                 std::string_view weather,
+                                                                 std::size_t region,
+                                                                 std::size_t k,
+                                                                 CostMeter& meter) const;
+
+ private:
+  struct SceneEntry {
+    const Scene* scene = nullptr;
+    std::vector<const Grid*> bands;  // b4, b5, b7, dem
+    std::unique_ptr<TiledArchive> archive;
+  };
+  struct WeatherEntry {
+    const WeatherArchive* archive = nullptr;
+    std::vector<SymbolSeq> symbols;
+    std::unique_ptr<GramIndex> grams;
+  };
+  struct TupleEntry {
+    const TupleSet* tuples = nullptr;
+    std::unique_ptr<OnionIndex> onion;
+  };
+
+  [[nodiscard]] const SceneEntry& scene_entry(std::string_view name) const;
+  [[nodiscard]] const WeatherEntry& weather_entry(std::string_view name) const;
+  [[nodiscard]] const TupleEntry& tuple_entry(std::string_view name) const;
+
+  Catalog catalog_;
+  std::map<std::string, SceneEntry, std::less<>> scenes_;
+  std::map<std::string, WeatherEntry, std::less<>> weather_;
+  std::map<std::string, const WellLogArchive*, std::less<>> wells_;
+  std::map<std::string, TupleEntry, std::less<>> tuples_;
+  std::map<std::string, const SceneSeries*, std::less<>> series_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,152 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "archive/tiled.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+TemporalRiskModel::TemporalRiskModel(std::vector<double> feature_weights, double recurrence,
+                                     double initial_risk)
+    : weights_(std::move(feature_weights)), recurrence_(recurrence), initial_risk_(initial_risk) {
+  MMIR_EXPECTS(!weights_.empty());
+  MMIR_EXPECTS(std::abs(recurrence_) < 1.0);
+}
+
+double TemporalRiskModel::step(double previous_risk, std::span<const double> features) const {
+  MMIR_EXPECTS(features.size() == weights_.size());
+  double risk = recurrence_ * previous_risk;
+  for (std::size_t d = 0; d < weights_.size(); ++d) risk += weights_[d] * features[d];
+  return risk;
+}
+
+Interval TemporalRiskModel::step(const Interval& previous_risk,
+                                 std::span<const Interval> feature_ranges) const {
+  MMIR_EXPECTS(feature_ranges.size() == weights_.size());
+  Interval risk = recurrence_ * previous_risk;
+  for (std::size_t d = 0; d < weights_.size(); ++d) {
+    risk = risk + weights_[d] * feature_ranges[d];
+  }
+  return risk;
+}
+
+TemporalRiskModel TemporalRiskModel::truncated(std::size_t terms) const {
+  MMIR_EXPECTS(terms >= 1 && terms <= weights_.size());
+  // Keep the `terms` largest-magnitude weights, zero the rest and a4.
+  std::vector<std::size_t> order(weights_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(weights_[a]) > std::abs(weights_[b]);
+  });
+  std::vector<double> kept(weights_.size(), 0.0);
+  for (std::size_t i = 0; i < terms; ++i) kept[order[i]] = weights_[order[i]];
+  return TemporalRiskModel(std::move(kept), 0.0, initial_risk_);
+}
+
+Grid TemporalRiskModel::risk_at_end(const SceneSeries& series, CostMeter& meter) const {
+  MMIR_EXPECTS(series.band_count() == weights_.size());
+  MMIR_EXPECTS(series.frame_count() >= 1);
+  ScopedTimer timer(meter);
+  Grid risk(series.width, series.height, initial_risk_);
+  std::vector<double> features(weights_.size());
+  for (const SceneFrame& frame : series.frames) {
+    for (std::size_t y = 0; y < series.height; ++y) {
+      for (std::size_t x = 0; x < series.width; ++x) {
+        for (std::size_t d = 0; d < weights_.size(); ++d) {
+          features[d] = frame.bands[d].cell(x, y);
+        }
+        risk.cell(x, y) = step(risk.cell(x, y), features);
+      }
+    }
+    meter.add_points(series.width * series.height * weights_.size());
+    meter.add_ops(series.width * series.height * (weights_.size() + 1));
+  }
+  return risk;
+}
+
+std::vector<RasterHit> temporal_scan_top_k(const SceneSeries& series,
+                                           const TemporalRiskModel& model, std::size_t k,
+                                           CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  const Grid risk = model.risk_at_end(series, meter);
+  TopK<RasterHit> top(k);
+  for (std::size_t y = 0; y < risk.height(); ++y) {
+    for (std::size_t x = 0; x < risk.width(); ++x) {
+      top.offer(risk.cell(x, y), RasterHit{x, y, risk.cell(x, y)});
+    }
+  }
+  std::vector<RasterHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+std::vector<RasterHit> temporal_progressive_top_k(const SceneSeries& series,
+                                                  const TemporalRiskModel& model, std::size_t k,
+                                                  std::size_t tile_size, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(series.band_count() == model.dim());
+  MMIR_EXPECTS(series.frame_count() >= 1);
+  ScopedTimer timer(meter);
+
+  // Per-frame tiled summaries (the archive-ingest representation).  The
+  // interval recurrence then runs over tiles × frames — summary-level work.
+  std::vector<TiledArchive> frames;
+  frames.reserve(series.frame_count());
+  for (const SceneFrame& frame : series.frames) {
+    std::vector<const Grid*> bands;
+    bands.reserve(frame.bands.size());
+    for (const Grid& band : frame.bands) bands.push_back(&band);
+    frames.emplace_back(std::move(bands), tile_size);
+  }
+  const std::size_t tile_count = frames.front().tiles().size();
+
+  std::vector<Interval> tile_risk(tile_count, Interval::point(model.initial_risk()));
+  for (const TiledArchive& archive : frames) {
+    const auto tiles = archive.tiles();
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      tile_risk[t] = model.step(tile_risk[t], tiles[t].band_range);
+    }
+    meter.add_ops(tile_count * (model.dim() + 1));
+  }
+
+  // Visit tiles best-upper-bound-first; evaluate pixels of a tile through the
+  // full recurrence; stop when the next tile cannot beat the K-th best.
+  std::vector<std::size_t> order(tile_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return tile_risk[a].hi > tile_risk[b].hi; });
+
+  TopK<RasterHit> top(k);
+  std::vector<double> features(model.dim());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t t = order[rank];
+    if (top.full() && tile_risk[t].hi <= top.threshold()) {
+      meter.add_pruned(order.size() - rank);
+      break;
+    }
+    const TileSummary& tile = frames.front().tiles()[t];
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        double risk = model.initial_risk();
+        for (const SceneFrame& frame : series.frames) {
+          for (std::size_t d = 0; d < model.dim(); ++d) {
+            features[d] = frame.bands[d].cell(x, y);
+          }
+          risk = model.step(risk, features);
+        }
+        meter.add_points(series.frame_count() * model.dim());
+        meter.add_ops(series.frame_count() * (model.dim() + 1));
+        top.offer(risk, RasterHit{x, y, risk});
+      }
+    }
+  }
+
+  std::vector<RasterHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,73 @@
+#pragma once
+// Time-varying linear risk model with recurrence — §3.1's worked example:
+//
+//   R(x,y,t) = a1·X1(x,y,t) + a2·X2(x,y,t) + a3·X3(x,y,t) + a4·R(x,y,t-1)
+//
+//   "If |a1,a2| >> |a3,a4| then a coarser representation of the model will be
+//    R*(x,y,t) ~ a1·X1(x,y,t) + a2·X2(x,y,t)."
+//
+// The recurrence accumulates risk across the whole frame stack, so a naive
+// evaluation costs frames × pixels × terms.  The progressive executor runs
+// the *interval recurrence* on tile summaries instead — per tile, the risk
+// range satisfies  Rng_t = a4·Rng_{t-1} + Σ ai·band_range_i(t) — and prunes
+// every tile whose final-frame upper bound cannot reach the current K-th
+// best.  The pruning bound is sound, so the progressive top-K is exact.
+
+#include <vector>
+
+#include "core/progressive_exec.hpp"  // RasterHit
+#include "data/scene_series.hpp"
+#include "linear/model.hpp"
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// The §3.1 recurrent risk model over a SceneSeries.
+class TemporalRiskModel {
+ public:
+  /// `feature_weights` are a1..aD over the series' bands; `recurrence` is a4
+  /// (|a4| < 1 keeps the accumulation stable); `initial_risk` seeds R(·, -1).
+  TemporalRiskModel(std::vector<double> feature_weights, double recurrence,
+                    double initial_risk = 0.0);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return weights_.size(); }
+  [[nodiscard]] std::span<const double> feature_weights() const noexcept { return weights_; }
+  [[nodiscard]] double recurrence() const noexcept { return recurrence_; }
+  [[nodiscard]] double initial_risk() const noexcept { return initial_risk_; }
+
+  /// One recurrence step.
+  [[nodiscard]] double step(double previous_risk, std::span<const double> features) const;
+
+  /// Interval form of one step (for tile screening).
+  [[nodiscard]] Interval step(const Interval& previous_risk,
+                              std::span<const Interval> feature_ranges) const;
+
+  /// The paper's coarse model R*: recurrence dropped (a4 = 0), and optionally
+  /// only the `terms` largest-|ai| feature weights kept.
+  [[nodiscard]] TemporalRiskModel truncated(std::size_t terms) const;
+
+  /// Full risk surface at the final frame (dense evaluation of every pixel
+  /// through every frame); charges frames × pixels × (dim + 1) ops.
+  [[nodiscard]] Grid risk_at_end(const SceneSeries& series, CostMeter& meter) const;
+
+ private:
+  std::vector<double> weights_;
+  double recurrence_;
+  double initial_risk_;
+};
+
+/// Exhaustive top-k of final-frame risk (the O(n·N·T) baseline).
+[[nodiscard]] std::vector<RasterHit> temporal_scan_top_k(const SceneSeries& series,
+                                                         const TemporalRiskModel& model,
+                                                         std::size_t k, CostMeter& meter);
+
+/// Exact top-k via interval-recurrence tile screening: per-tile risk ranges
+/// are propagated through all frames at summary cost, tiles are visited
+/// best-bound-first, and dominated tiles are pruned wholesale.
+[[nodiscard]] std::vector<RasterHit> temporal_progressive_top_k(const SceneSeries& series,
+                                                                const TemporalRiskModel& model,
+                                                                std::size_t k,
+                                                                std::size_t tile_size,
+                                                                CostMeter& meter);
+
+}  // namespace mmir

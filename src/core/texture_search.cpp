@@ -1,0 +1,115 @@
+#include "core/texture_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// Offers a hit with negated distance so TopK keeps the k *closest*.
+void offer(TopK<TextureHit>& top, TextureHit hit) { top.offer(-hit.distance, hit); }
+
+std::vector<TextureHit> finalize(TopK<TextureHit>& top) {
+  std::vector<TextureHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TextureHit> texture_search_full(const Grid& grid, std::size_t tile_size,
+                                            const TextureDescriptor& query, std::size_t k,
+                                            CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(tile_size > 0);
+  ScopedTimer timer(meter);
+  const std::size_t tiles_x = (grid.width() + tile_size - 1) / tile_size;
+  const std::size_t tiles_y = (grid.height() + tile_size - 1) / tile_size;
+  TopK<TextureHit> top(k);
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      const TextureDescriptor d =
+          extract_texture(grid, tx * tile_size, ty * tile_size, tile_size, tile_size, meter);
+      offer(top, TextureHit{tx, ty, d.full_distance(query)});
+    }
+  }
+  return finalize(top);
+}
+
+TextureDescriptor coarse_query_descriptor(const ResolutionPyramid& pyramid, std::size_t level,
+                                          std::size_t x0, std::size_t y0, std::size_t window,
+                                          CostMeter& meter) {
+  const std::size_t clamped_level = std::min(level, pyramid.levels() - 1);
+  const std::size_t scale = std::size_t{1} << clamped_level;
+  const std::size_t coarse_window = std::max<std::size_t>(1, window / scale);
+  return extract_coarse_texture(pyramid.level(clamped_level), x0 / scale, y0 / scale,
+                                coarse_window, coarse_window, meter);
+}
+
+std::vector<TextureHit> texture_search_progressive(const ResolutionPyramid& pyramid,
+                                                   std::size_t tile_size,
+                                                   const TextureDescriptor& query_full,
+                                                   const TextureDescriptor& query_coarse,
+                                                   std::size_t k,
+                                                   const ProgressiveTextureConfig& config,
+                                                   CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(tile_size > 0);
+  MMIR_EXPECTS(config.shortlist_factor >= 1.0);
+  ScopedTimer timer(meter);
+  const std::size_t level = std::min(config.coarse_level, pyramid.levels() - 1);
+  const std::size_t scale = std::size_t{1} << level;
+  const std::size_t coarse_tile = std::max<std::size_t>(1, tile_size / scale);
+  const Grid& base = pyramid.level(0);
+  const Grid& coarse = pyramid.level(level);
+  const std::size_t tiles_x = (base.width() + tile_size - 1) / tile_size;
+  const std::size_t tiles_y = (base.height() + tile_size - 1) / tile_size;
+
+  // Phase 1: coarse screening on the low-resolution level (mean/variance
+  // survive mean-pooling; edge energies do not, so only the coarse distance
+  // is trusted here).
+  const std::size_t shortlist_size = std::max<std::size_t>(
+      k, static_cast<std::size_t>(static_cast<double>(k) * config.shortlist_factor));
+  TopK<TextureHit> screening(shortlist_size);
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      const TextureDescriptor d = extract_coarse_texture(
+          coarse, tx * coarse_tile, ty * coarse_tile, coarse_tile, coarse_tile, meter);
+      const double coarse_dist = d.coarse_distance(query_coarse);
+      screening.offer(-coarse_dist, TextureHit{tx, ty, coarse_dist});
+    }
+  }
+
+  // Phase 2: full extraction on the shortlist only.
+  TopK<TextureHit> top(k);
+  const auto shortlist = screening.take_sorted();
+  meter.add_pruned(tiles_x * tiles_y - shortlist.size());
+  for (const auto& entry : shortlist) {
+    const TextureHit& candidate = entry.item;
+    const TextureDescriptor d =
+        extract_texture(base, candidate.tile_x * tile_size, candidate.tile_y * tile_size,
+                        tile_size, tile_size, meter);
+    offer(top, TextureHit{candidate.tile_x, candidate.tile_y, d.full_distance(query_full)});
+  }
+  return finalize(top);
+}
+
+double texture_recall(const std::vector<TextureHit>& reference,
+                      const std::vector<TextureHit>& result) {
+  if (reference.empty()) return 1.0;
+  std::size_t found = 0;
+  for (const auto& ref : reference) {
+    for (const auto& hit : result) {
+      if (ref.tile_x == hit.tile_x && ref.tile_y == hit.tile_y) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(reference.size());
+}
+
+}  // namespace mmir

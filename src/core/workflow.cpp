@@ -1,0 +1,107 @@
+#include "core/workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "linear/progressive.hpp"
+#include "linear/regression.hpp"
+#include "metrics/accuracy.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+
+namespace {
+
+double cosine(std::span<const double> a, std::span<const double> b) {
+  MMIR_EXPECTS(a.size() == b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
+                                  const WorkflowConfig& config, const LinearModel* truth,
+                                  CostMeter& meter) {
+  MMIR_EXPECTS(config.iterations >= 1);
+  MMIR_EXPECTS(config.initial_samples >= 8);
+  MMIR_EXPECTS(events.width() == scene.width && events.height() == scene.height);
+  ScopedTimer timer(meter);
+  Rng rng(config.seed);
+
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const TiledArchive archive(bands, config.tile_size);
+  const std::vector<std::string> names = {"b4", "b5", "b7", "elevation_m"};
+
+  // Accumulated training set: (features, observed occurrence count).
+  TupleSet train_x(bands.size());
+  std::vector<double> train_y;
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  const auto add_cell = [&](std::size_t x, std::size_t y) {
+    if (!seen.emplace(x, y).second) return;
+    std::vector<double> row(bands.size());
+    for (std::size_t b = 0; b < bands.size(); ++b) row[b] = bands[b]->cell(x, y);
+    train_x.push_row(row);
+    train_y.push_back(events.cell(x, y));
+    meter.add_points(bands.size() + 1);
+  };
+
+  // Steps 1–2: hypothesize + calibrate on random cells.
+  for (std::size_t s = 0; s < config.initial_samples; ++s) {
+    add_cell(rng.uniform_int(scene.width), rng.uniform_int(scene.height));
+  }
+
+  WorkflowResult result;
+  result.final_risk = Grid(scene.width, scene.height);
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const RegressionResult fit = fit_linear(train_x, train_y, config.ridge, names);
+    meter.add_ops(train_x.size() * bands.size());
+
+    // Step 3: retrieve the current top-K risk locations progressively.
+    std::vector<Interval> ranges;
+    ranges.reserve(bands.size());
+    for (const Grid* band : bands) ranges.push_back(band->stats().range());
+    const ProgressiveLinearModel progressive(fit.model, std::move(ranges));
+    const auto hits = progressive_combined_top_k(archive, progressive, config.k, meter);
+
+    // Step 5: apply the model to the entire archive for evaluation.
+    for (std::size_t y = 0; y < scene.height; ++y) {
+      for (std::size_t x = 0; x < scene.width; ++x) {
+        std::vector<double> row(bands.size());
+        for (std::size_t b = 0; b < bands.size(); ++b) row[b] = bands[b]->cell(x, y);
+        result.final_risk.cell(x, y) = fit.model.evaluate(row);
+      }
+    }
+    meter.add_ops(scene.width * scene.height * bands.size());
+    const PrecisionRecall pr = precision_recall_at_k(result.final_risk, events, config.k);
+
+    WorkflowIteration record;
+    record.weights.assign(fit.model.weights().begin(), fit.model.weights().end());
+    record.bias = fit.model.bias();
+    record.train_r2 = fit.r_squared;
+    record.precision_at_k = pr.precision;
+    record.recall_at_k = pr.recall;
+    record.weight_cosine = truth != nullptr ? cosine(fit.model.weights(), truth->weights()) : 0.0;
+    record.training_size = train_x.size();
+    result.iterations.push_back(std::move(record));
+
+    // Step 4: revise — retrieved locations (with their observed outcomes)
+    // become training data for the next cycle.
+    for (const RasterHit& hit : hits) add_cell(hit.x, hit.y);
+  }
+  return result;
+}
+
+}  // namespace mmir

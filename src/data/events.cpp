@@ -1,0 +1,39 @@
+#include "data/events.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mmir {
+
+Grid generate_events(const Grid& latent_risk, const EventConfig& config) {
+  MMIR_EXPECTS(!latent_risk.empty());
+  MMIR_EXPECTS(config.high_risk_fraction > 0.0 && config.high_risk_fraction < 1.0);
+
+  // Risk quantile threshold via a sorted copy.
+  std::vector<double> sorted(latent_risk.flat().begin(), latent_risk.flat().end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto cut_index =
+      static_cast<std::size_t>((1.0 - config.high_risk_fraction) * static_cast<double>(sorted.size()));
+  const double threshold = sorted[std::min(cut_index, sorted.size() - 1)];
+  const double top = sorted.back();
+  const double ramp = std::max(top - threshold, 1e-12);
+
+  Rng rng(config.seed);
+  Grid events(latent_risk.width(), latent_risk.height(), 0.0);
+  for (std::size_t y = 0; y < latent_risk.height(); ++y) {
+    for (std::size_t x = 0; x < latent_risk.width(); ++x) {
+      const double risk = latent_risk.cell(x, y);
+      double rate = config.background_rate;
+      if (risk >= threshold) {
+        const double t = std::clamp((risk - threshold) / ramp, 0.0, 1.0);
+        rate += t * config.peak_rate;
+      }
+      events.cell(x, y) = static_cast<double>(rng.poisson(rate));
+    }
+  }
+  return events;
+}
+
+}  // namespace mmir

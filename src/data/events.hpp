@@ -1,0 +1,34 @@
+#pragma once
+// Ground-truth event synthesis for the §4.1 accuracy metrics.
+//
+// The paper defines miss / false-alarm probabilities against observed event
+// occurrences O(x,y) (disease incident reports).  Those reports are not
+// available, so we *generate* occurrences from a known latent risk surface:
+// O(x,y) ~ Poisson(rate(risk(x,y))).  Because the generating risk is known,
+// Pm, Pf, CT, precision and recall can be evaluated exactly, and a model's
+// accuracy degrades in a controlled way as it diverges from the truth.
+
+#include <cstdint>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+struct EventConfig {
+  /// Fraction of cells (by latent-risk rank) considered truly "high risk";
+  /// the Poisson rate ramps up across this top fraction.
+  double high_risk_fraction = 0.1;
+  /// Expected events per high-risk cell at the very top of the risk range.
+  double peak_rate = 3.0;
+  /// Background rate everywhere (events can occur in "low risk" cells too —
+  /// this is what makes misses/false alarms a genuine tradeoff).
+  double background_rate = 0.01;
+  std::uint64_t seed = 99;
+};
+
+/// Generates an occurrence-count grid O(x,y) from a latent risk surface.
+/// Cells above the (1 - high_risk_fraction) risk quantile get a rate that
+/// ramps linearly from background_rate to peak_rate; others get background.
+[[nodiscard]] Grid generate_events(const Grid& latent_risk, const EventConfig& config);
+
+}  // namespace mmir

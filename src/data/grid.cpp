@@ -1,0 +1,77 @@
+#include "data/grid.hpp"
+
+#include <algorithm>
+
+namespace mmir {
+
+double Grid::at_clamped(long x, long y) const noexcept {
+  const long mx = static_cast<long>(width_) - 1;
+  const long my = static_cast<long>(height_) - 1;
+  x = std::clamp(x, 0L, mx);
+  y = std::clamp(y, 0L, my);
+  return cells_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)];
+}
+
+OnlineStats Grid::stats() const noexcept {
+  OnlineStats s;
+  for (double v : cells_) s.add(v);
+  return s;
+}
+
+OnlineStats Grid::window_stats(std::size_t x0, std::size_t y0, std::size_t w,
+                               std::size_t h) const noexcept {
+  OnlineStats s;
+  const std::size_t x1 = std::min(x0 + w, width_);
+  const std::size_t y1 = std::min(y0 + h, height_);
+  for (std::size_t y = y0; y < y1; ++y)
+    for (std::size_t x = x0; x < x1; ++x) s.add(cell(x, y));
+  return s;
+}
+
+Grid Grid::downsample2x() const {
+  const std::size_t nw = (width_ + 1) / 2;
+  const std::size_t nh = (height_ + 1) / 2;
+  Grid out(nw, nh);
+  for (std::size_t y = 0; y < nh; ++y) {
+    for (std::size_t x = 0; x < nw; ++x) {
+      double sum = 0.0;
+      int n = 0;
+      for (std::size_t dy = 0; dy < 2; ++dy) {
+        for (std::size_t dx = 0; dx < 2; ++dx) {
+          const std::size_t sx = 2 * x + dx;
+          const std::size_t sy = 2 * y + dy;
+          if (sx < width_ && sy < height_) {
+            sum += cell(sx, sy);
+            ++n;
+          }
+        }
+      }
+      out.cell(x, y) = sum / static_cast<double>(n);
+    }
+  }
+  return out;
+}
+
+void Grid::normalize(double lo, double hi) noexcept {
+  const OnlineStats s = stats();
+  const double span = s.max() - s.min();
+  if (span <= 0.0) return;
+  for (double& v : cells_) v = lo + (hi - lo) * (v - s.min()) / span;
+}
+
+double Grid::window_fraction(std::size_t x0, std::size_t y0, std::size_t w, std::size_t h,
+                             double label) const noexcept {
+  const std::size_t x1 = std::min(x0 + w, width_);
+  const std::size_t y1 = std::min(y0 + h, height_);
+  std::size_t total = 0;
+  std::size_t hits = 0;
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) {
+      ++total;
+      if (cell(x, y) == label) ++hits;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace mmir

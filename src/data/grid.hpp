@@ -1,0 +1,74 @@
+#pragma once
+// Dense 2-D grid of doubles — the raster primitive for DEMs, spectral bands,
+// land-cover maps, risk surfaces and population weights.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+
+/// Row-major W×H raster of doubles.
+class Grid {
+ public:
+  Grid() = default;
+  Grid(std::size_t width, std::size_t height, double fill = 0.0)
+      : width_(width), height_(height), cells_(width * height, fill) {
+    MMIR_EXPECTS(width > 0 && height > 0);
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y) {
+    MMIR_EXPECTS(x < width_ && y < height_);
+    return cells_[y * width_ + x];
+  }
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const {
+    MMIR_EXPECTS(x < width_ && y < height_);
+    return cells_[y * width_ + x];
+  }
+
+  /// Unchecked access for hot loops (callers validate bounds once).
+  [[nodiscard]] double& cell(std::size_t x, std::size_t y) noexcept {
+    return cells_[y * width_ + x];
+  }
+  [[nodiscard]] double cell(std::size_t x, std::size_t y) const noexcept {
+    return cells_[y * width_ + x];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return cells_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return cells_; }
+
+  /// Clamped neighbourhood read (edge pixels replicate).
+  [[nodiscard]] double at_clamped(long x, long y) const noexcept;
+
+  /// Single-pass stats over all cells.
+  [[nodiscard]] OnlineStats stats() const noexcept;
+
+  /// Stats over the [x0, x0+w) × [y0, y0+h) window, clipped to the grid.
+  [[nodiscard]] OnlineStats window_stats(std::size_t x0, std::size_t y0, std::size_t w,
+                                         std::size_t h) const noexcept;
+
+  /// 2× mean-pool downsample; odd trailing rows/columns average what exists.
+  [[nodiscard]] Grid downsample2x() const;
+
+  /// Rescales all values linearly onto [lo, hi] (no-op on constant grids).
+  void normalize(double lo, double hi) noexcept;
+
+  /// Fraction of cells in the window equal to `label` (for land-cover maps).
+  [[nodiscard]] double window_fraction(std::size_t x0, std::size_t y0, std::size_t w,
+                                       std::size_t h, double label) const noexcept;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace mmir

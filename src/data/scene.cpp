@@ -1,0 +1,176 @@
+#include "data/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/terrain.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+
+std::string_view land_cover_name(LandCover c) {
+  switch (c) {
+    case LandCover::kWater: return "water";
+    case LandCover::kForest: return "forest";
+    case LandCover::kGrass: return "grass";
+    case LandCover::kBush: return "bush";
+    case LandCover::kBare: return "bare";
+    case LandCover::kHouse: return "house";
+  }
+  throw Error("land_cover_name: unknown class");
+}
+
+const Grid& Scene::band(std::string_view name) const {
+  for (std::size_t i = 0; i < band_names.size(); ++i) {
+    if (band_names[i] == name) return bands[i];
+  }
+  throw Error("Scene::band: no band named '" + std::string(name) + "'");
+}
+
+namespace {
+
+/// Clamps a band value into the 8-bit TM digital-number range.
+double dn(double v) noexcept { return std::clamp(v, 0.0, 255.0); }
+
+}  // namespace
+
+Scene generate_scene(const SceneConfig& config) {
+  MMIR_EXPECTS(config.width >= 16 && config.height >= 16);
+  Rng rng(config.seed);
+
+  Scene scene;
+  scene.width = config.width;
+  scene.height = config.height;
+
+  TerrainConfig terrain_cfg;
+  terrain_cfg.width = config.width;
+  terrain_cfg.height = config.height;
+  terrain_cfg.seed = rng.next_u64();
+  scene.dem = generate_terrain(terrain_cfg);
+
+  scene.moisture = value_noise(config.width, config.height, 5, rng.next_u64());
+  Grid veg_noise = value_noise(config.width, config.height, 5, rng.next_u64());
+
+  // Elevation suppresses vegetation and moisture collects downhill: normalize
+  // the DEM to [0,1] and blend.
+  Grid elevation01 = scene.dem;
+  elevation01.normalize(0.0, 1.0);
+  scene.vegetation = Grid(config.width, config.height);
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      const double e = elevation01.cell(x, y);
+      scene.moisture.cell(x, y) =
+          std::clamp(scene.moisture.cell(x, y) * (1.15 - 0.6 * e), 0.0, 1.0);
+      scene.vegetation.cell(x, y) =
+          std::clamp(veg_noise.cell(x, y) * (1.1 - 0.5 * e) * (0.4 + 0.8 * scene.moisture.cell(x, y)),
+                     0.0, 1.0);
+    }
+  }
+
+  // Land cover from the latent fields, plus village seeds for houses.
+  scene.landcover = Grid(config.width, config.height, static_cast<double>(LandCover::kBare));
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      const double m = scene.moisture.cell(x, y);
+      const double v = scene.vegetation.cell(x, y);
+      const double e = elevation01.cell(x, y);
+      LandCover cover = LandCover::kBare;
+      if (m > 0.82 && e < 0.35) {
+        cover = LandCover::kWater;
+      } else if (v > 0.62) {
+        cover = LandCover::kForest;
+      } else if (v > 0.38) {
+        cover = LandCover::kBush;
+      } else if (v > 0.18) {
+        cover = LandCover::kGrass;
+      }
+      scene.landcover.cell(x, y) = static_cast<double>(cover);
+    }
+  }
+
+  // Villages: Gaussian blobs of houses on non-water cells.
+  struct Village {
+    double cx, cy, radius;
+  };
+  std::vector<Village> villages;
+  villages.reserve(config.villages);
+  for (std::size_t v = 0; v < config.villages; ++v) {
+    villages.push_back(Village{rng.uniform(0.1, 0.9) * static_cast<double>(config.width),
+                               rng.uniform(0.1, 0.9) * static_cast<double>(config.height),
+                               rng.uniform(0.02, 0.05) * static_cast<double>(config.width)});
+  }
+  for (const auto& village : villages) {
+    const long r = static_cast<long>(std::ceil(village.radius * 2.5));
+    for (long dy = -r; dy <= r; ++dy) {
+      for (long dx = -r; dx <= r; ++dx) {
+        const long x = static_cast<long>(village.cx) + dx;
+        const long y = static_cast<long>(village.cy) + dy;
+        if (x < 0 || y < 0 || x >= static_cast<long>(config.width) ||
+            y >= static_cast<long>(config.height))
+          continue;
+        const double d2 = (static_cast<double>(dx) * dx + static_cast<double>(dy) * dy) /
+                          (village.radius * village.radius);
+        const double p = config.house_density * std::exp(-d2);
+        const auto ux = static_cast<std::size_t>(x);
+        const auto uy = static_cast<std::size_t>(y);
+        if (scene.landcover.cell(ux, uy) != static_cast<double>(LandCover::kWater) &&
+            rng.bernoulli(p)) {
+          scene.landcover.cell(ux, uy) = static_cast<double>(LandCover::kHouse);
+        }
+      }
+    }
+  }
+
+  // Spectral bands.  Response model (coarse TM physics):
+  //   b4 (near-IR)  : strong vegetation reflectance, dark water
+  //   b5 (SWIR-1)   : decreases with soil/vegetation moisture
+  //   b7 (SWIR-2)   : bare soil / geology bright, moisture dark
+  Grid b4(config.width, config.height);
+  Grid b5(config.width, config.height);
+  Grid b7(config.width, config.height);
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      const double m = scene.moisture.cell(x, y);
+      const double v = scene.vegetation.cell(x, y);
+      const bool water = scene.landcover.cell(x, y) == static_cast<double>(LandCover::kWater);
+      const double noise4 = rng.normal(0.0, 4.0);
+      const double noise5 = rng.normal(0.0, 4.0);
+      const double noise7 = rng.normal(0.0, 4.0);
+      if (water) {
+        b4.cell(x, y) = dn(15.0 + noise4);
+        b5.cell(x, y) = dn(8.0 + noise5);
+        b7.cell(x, y) = dn(5.0 + noise7);
+      } else {
+        b4.cell(x, y) = dn(40.0 + 170.0 * v + noise4);
+        b5.cell(x, y) = dn(190.0 - 130.0 * m - 30.0 * v + noise5);
+        b7.cell(x, y) = dn(150.0 - 90.0 * m - 60.0 * v + noise7);
+      }
+    }
+  }
+  scene.bands.push_back(std::move(b4));
+  scene.band_names.emplace_back("b4");
+  scene.bands.push_back(std::move(b5));
+  scene.band_names.emplace_back("b5");
+  scene.bands.push_back(std::move(b7));
+  scene.band_names.emplace_back("b7");
+
+  // Population density: exponential falloff around villages over a small
+  // rural background — the §4.1 importance weight w(x,y).
+  scene.population = Grid(config.width, config.height, 0.5);
+  for (std::size_t y = 0; y < config.height; ++y) {
+    for (std::size_t x = 0; x < config.width; ++x) {
+      double density = 0.5;
+      for (const auto& village : villages) {
+        const double dx = static_cast<double>(x) - village.cx;
+        const double dy = static_cast<double>(y) - village.cy;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        density += 40.0 * std::exp(-d / (village.radius * 1.5));
+      }
+      scene.population.cell(x, y) = density;
+    }
+  }
+
+  return scene;
+}
+
+}  // namespace mmir

@@ -1,0 +1,63 @@
+#pragma once
+// Synthetic multi-modal scene: the stand-in for the paper's Landsat TM bands,
+// DEM, land-cover and demographic (population) layers.
+//
+// The generator builds latent moisture / vegetation fields with fractal
+// spatial correlation, derives spectral bands from them the way TM bands
+// respond to vegetation and soil moisture, assigns land-cover classes
+// (including the bushes and houses that the HPS knowledge model needs), and
+// lays population density around settlements for the §4.1 weights w(x,y).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// Land-cover classes stored (as doubles) in Scene::landcover.
+enum class LandCover : int {
+  kWater = 0,
+  kForest = 1,
+  kGrass = 2,
+  kBush = 3,
+  kBare = 4,
+  kHouse = 5,
+};
+
+/// Number of distinct land-cover classes.
+inline constexpr int kLandCoverClasses = 6;
+
+[[nodiscard]] std::string_view land_cover_name(LandCover c);
+
+/// A complete synthetic scene.  Bands are scaled to the 8-bit [0,255] range of
+/// Landsat TM digital numbers; the DEM is in metres.
+struct Scene {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  Grid dem;                         ///< elevation (m)
+  std::vector<Grid> bands;          ///< spectral bands, [0,255]
+  std::vector<std::string> band_names;
+  Grid landcover;                   ///< LandCover labels
+  Grid population;                  ///< demographic weight w(x,y) >= 0
+  Grid moisture;                    ///< latent soil moisture in [0,1]
+  Grid vegetation;                  ///< latent vegetation density in [0,1]
+
+  /// Index of a band by name; throws when absent.
+  [[nodiscard]] const Grid& band(std::string_view name) const;
+};
+
+struct SceneConfig {
+  std::size_t width = 256;
+  std::size_t height = 256;
+  std::size_t villages = 6;          ///< settlement cluster count
+  double house_density = 0.25;       ///< in-village house probability
+  std::uint64_t seed = 7;
+};
+
+/// Generates a scene with bands "b4" (near-IR), "b5" (SWIR-1), "b7" (SWIR-2),
+/// mirroring the TM bands the paper's HPS risk model uses.
+[[nodiscard]] Scene generate_scene(const SceneConfig& config);
+
+}  // namespace mmir

@@ -1,0 +1,70 @@
+#include "data/scene_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mmir {
+
+SceneSeries generate_scene_series(const Scene& base, const WeatherSeries& weather,
+                                  const SceneSeriesConfig& config) {
+  MMIR_EXPECTS(config.frame_count >= 1);
+  MMIR_EXPECTS(config.days_per_frame >= 1);
+  MMIR_EXPECTS(weather.size() >= config.frame_count * config.days_per_frame);
+  Rng rng(config.seed);
+
+  SceneSeries series;
+  series.width = base.width;
+  series.height = base.height;
+  series.band_names = {"b4", "b5", "b7"};
+
+  // Per-frame wetness index: trailing-rain fraction of wet days, normalized.
+  std::vector<double> wetness(config.frame_count, 0.0);
+  for (std::size_t f = 0; f < config.frame_count; ++f) {
+    std::size_t wet_days = 0;
+    for (std::size_t d = 0; d < config.days_per_frame; ++d) {
+      wet_days += weather[f * config.days_per_frame + d].rained() ? 1 : 0;
+    }
+    wetness[f] = static_cast<double>(wet_days) / static_cast<double>(config.days_per_frame);
+  }
+
+  const Grid& b4 = base.band("b4");
+  const Grid& b5 = base.band("b5");
+  const Grid& b7 = base.band("b7");
+  series.frames.reserve(config.frame_count);
+  for (std::size_t f = 0; f < config.frame_count; ++f) {
+    SceneFrame frame;
+    frame.wetness = wetness[f];
+    // Vegetation responds to *last* frame's rain (growth lag).
+    const double veg_pulse = f == 0 ? wetness[0] : wetness[f - 1];
+    Grid f4(base.width, base.height);
+    Grid f5(base.width, base.height);
+    Grid f7(base.width, base.height);
+    for (std::size_t y = 0; y < base.height; ++y) {
+      for (std::size_t x = 0; x < base.width; ++x) {
+        const double veg = base.vegetation.cell(x, y);
+        // Vegetated cells green up after rain; wet soil darkens the SWIRs.
+        f4.cell(x, y) = std::clamp(
+            b4.cell(x, y) * (1.0 + config.vegetation_gain * veg * (veg_pulse - 0.3)) +
+                rng.normal(0.0, config.noise_dn),
+            0.0, 255.0);
+        f5.cell(x, y) = std::clamp(
+            b5.cell(x, y) * (1.0 - config.moisture_gain * (frame.wetness - 0.3)) +
+                rng.normal(0.0, config.noise_dn),
+            0.0, 255.0);
+        f7.cell(x, y) = std::clamp(
+            b7.cell(x, y) * (1.0 - 0.6 * config.moisture_gain * (frame.wetness - 0.3)) +
+                rng.normal(0.0, config.noise_dn),
+            0.0, 255.0);
+      }
+    }
+    frame.bands.push_back(std::move(f4));
+    frame.bands.push_back(std::move(f5));
+    frame.bands.push_back(std::move(f7));
+    series.frames.push_back(std::move(frame));
+  }
+  return series;
+}
+
+}  // namespace mmir

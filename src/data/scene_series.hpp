@@ -1,0 +1,51 @@
+#pragma once
+// Temporal scene stacks — the substrate for the paper's time-varying risk
+// model (§3.1):  R(x,y,t) = a1·X1(x,y,t) + a2·X2(x,y,t) + a3·X3(x,y,t)
+//                          + a4·R(x,y,t-1).
+//
+// A SceneSeries is a sequence of co-registered band frames derived from a
+// base scene, modulated by the regional weather record: trailing rainfall
+// wets the soil (darkening the SWIR bands) and pulses vegetation (brightening
+// near-IR with a lag), so band dynamics carry the wet-then-dry signal the
+// epidemiological models key on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/scene.hpp"
+#include "data/weather.hpp"
+
+namespace mmir {
+
+/// One time step of the band stack.
+struct SceneFrame {
+  std::vector<Grid> bands;  ///< same order/names as SceneSeries::band_names
+  double wetness = 0.0;     ///< the frame's trailing-rain index in [0, 1]
+};
+
+/// A co-registered temporal stack over a base scene.
+struct SceneSeries {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::string> band_names;  ///< "b4", "b5", "b7"
+  std::vector<SceneFrame> frames;
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames.size(); }
+  [[nodiscard]] std::size_t band_count() const noexcept { return band_names.size(); }
+};
+
+struct SceneSeriesConfig {
+  std::size_t frame_count = 12;
+  std::size_t days_per_frame = 30;  ///< weather days aggregated per frame
+  double moisture_gain = 0.5;       ///< SWIR response to the wetness index
+  double vegetation_gain = 0.35;    ///< near-IR response (lagged one frame)
+  double noise_dn = 2.0;            ///< per-frame sensor noise
+  std::uint64_t seed = 77;
+};
+
+/// Builds the stack.  `weather` must cover frame_count * days_per_frame days.
+[[nodiscard]] SceneSeries generate_scene_series(const Scene& base, const WeatherSeries& weather,
+                                                const SceneSeriesConfig& config);
+
+}  // namespace mmir

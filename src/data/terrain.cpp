@@ -1,0 +1,114 @@
+#include "data/terrain.hpp"
+
+#include <cmath>
+
+namespace mmir {
+
+namespace {
+
+/// Smallest 2^k + 1 covering both dimensions.
+std::size_t diamond_square_size(std::size_t w, std::size_t h) {
+  std::size_t need = (w > h ? w : h);
+  std::size_t n = 2;
+  while (n + 1 < need) n *= 2;
+  return n + 1;
+}
+
+/// Deterministic per-lattice-point uniform in [-1, 1].
+double lattice_noise(std::uint64_t seed, std::uint64_t x, std::uint64_t y) {
+  const std::uint64_t h = mix64(seed ^ (x * 0x9e3779b97f4a7c15ULL) ^ (y * 0xc2b2ae3d27d4eb4fULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+double smoothstep(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+Grid generate_terrain(const TerrainConfig& config) {
+  MMIR_EXPECTS(config.roughness > 0.0 && config.roughness < 1.0);
+  const std::size_t n = diamond_square_size(config.width, config.height);
+  Grid field(n, n, config.base_elevation_m);
+  Rng rng(config.seed);
+
+  // Seed the four corners.
+  for (std::size_t y : {std::size_t{0}, n - 1})
+    for (std::size_t x : {std::size_t{0}, n - 1})
+      field.cell(x, y) = config.base_elevation_m + rng.normal(0.0, config.relief_m);
+
+  double amplitude = config.relief_m;
+  for (std::size_t step = n - 1; step > 1; step /= 2) {
+    const std::size_t half = step / 2;
+    // Diamond step: centre of each square gets the corner mean + noise.
+    for (std::size_t y = half; y < n; y += step) {
+      for (std::size_t x = half; x < n; x += step) {
+        const double mean = 0.25 * (field.cell(x - half, y - half) + field.cell(x + half, y - half) +
+                                    field.cell(x - half, y + half) + field.cell(x + half, y + half));
+        field.cell(x, y) = mean + rng.normal(0.0, amplitude);
+      }
+    }
+    // Square step: edge midpoints get the mean of their (clamped) diamond.
+    for (std::size_t y = 0; y < n; y += half) {
+      const std::size_t x_start = (y / half) % 2 == 0 ? half : 0;
+      for (std::size_t x = x_start; x < n; x += step) {
+        double sum = 0.0;
+        int count = 0;
+        const auto lx = static_cast<long>(x);
+        const auto ly = static_cast<long>(y);
+        const auto lh = static_cast<long>(half);
+        const long offsets[4][2] = {{0, -lh}, {0, lh}, {-lh, 0}, {lh, 0}};
+        for (const auto& o : offsets) {
+          const long px = lx + o[0];
+          const long py = ly + o[1];
+          if (px >= 0 && py >= 0 && px < static_cast<long>(n) && py < static_cast<long>(n)) {
+            sum += field.cell(static_cast<std::size_t>(px), static_cast<std::size_t>(py));
+            ++count;
+          }
+        }
+        field.cell(x, y) = sum / count + rng.normal(0.0, amplitude);
+      }
+    }
+    amplitude *= config.roughness;
+  }
+
+  // Crop to the requested dimensions.
+  Grid out(config.width, config.height);
+  for (std::size_t y = 0; y < config.height; ++y)
+    for (std::size_t x = 0; x < config.width; ++x) out.cell(x, y) = field.cell(x, y);
+  return out;
+}
+
+Grid value_noise(std::size_t width, std::size_t height, std::size_t octaves, std::uint64_t seed) {
+  MMIR_EXPECTS(octaves > 0);
+  Grid out(width, height, 0.0);
+  double amplitude = 1.0;
+  double total_amplitude = 0.0;
+  double frequency = 4.0;  // lattice cells across the grid at octave 0
+  for (std::size_t octave = 0; octave < octaves; ++octave) {
+    const std::uint64_t octave_seed = mix64(seed + octave * 0x51afd6ed558ccd6dULL);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double fx = static_cast<double>(x) / static_cast<double>(width) * frequency;
+        const double fy = static_cast<double>(y) / static_cast<double>(height) * frequency;
+        const auto x0 = static_cast<std::uint64_t>(fx);
+        const auto y0 = static_cast<std::uint64_t>(fy);
+        const double tx = smoothstep(fx - static_cast<double>(x0));
+        const double ty = smoothstep(fy - static_cast<double>(y0));
+        const double v00 = lattice_noise(octave_seed, x0, y0);
+        const double v10 = lattice_noise(octave_seed, x0 + 1, y0);
+        const double v01 = lattice_noise(octave_seed, x0, y0 + 1);
+        const double v11 = lattice_noise(octave_seed, x0 + 1, y0 + 1);
+        const double top = v00 + (v10 - v00) * tx;
+        const double bottom = v01 + (v11 - v01) * tx;
+        out.cell(x, y) += amplitude * (top + (bottom - top) * ty);
+      }
+    }
+    total_amplitude += amplitude;
+    amplitude *= 0.5;
+    frequency *= 2.0;
+  }
+  // Map from [-total, total] to [0, 1].
+  for (double& v : out.flat()) v = 0.5 + 0.5 * v / total_amplitude;
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,37 @@
+#pragma once
+// Fractal terrain synthesis.
+//
+// The paper's HPS risk model consumes Landsat TM bands plus a digital
+// elevation map (DEM).  We have no DEM, so we synthesize one with the
+// diamond–square algorithm, which produces the 1/f spatial correlation that
+// makes real elevation data compressible — and therefore makes the paper's
+// tile-summary and pyramid screening effective, exactly the property the
+// reproduction needs (see DESIGN.md §2).
+
+#include <cstdint>
+
+#include "data/grid.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+
+/// Parameters of the diamond–square generator.
+struct TerrainConfig {
+  std::size_t width = 256;
+  std::size_t height = 256;
+  double base_elevation_m = 1500.0;  ///< mean elevation
+  double relief_m = 800.0;           ///< initial corner perturbation amplitude
+  double roughness = 0.55;           ///< amplitude decay per octave in (0,1)
+  std::uint64_t seed = 1;
+};
+
+/// Generates a fractal DEM (metres).  Output is width×height even though the
+/// algorithm internally runs on the enclosing (2^k+1) square.
+[[nodiscard]] Grid generate_terrain(const TerrainConfig& config);
+
+/// Smooth value-noise field in [0,1] with `octaves` levels of detail; used for
+/// moisture / vegetation latent fields that drive band synthesis.
+[[nodiscard]] Grid value_noise(std::size_t width, std::size_t height, std::size_t octaves,
+                               std::uint64_t seed);
+
+}  // namespace mmir

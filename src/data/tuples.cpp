@@ -1,0 +1,127 @@
+#include "data/tuples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/matrix.hpp"
+
+namespace mmir {
+
+TupleSet gaussian_tuples(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  TupleSet set(dim, n);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.normal();
+    set.push_row(row);
+  }
+  return set;
+}
+
+TupleSet correlated_tuples(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  // Random SPD covariance: A A^T + dim * I, then Cholesky for sampling.
+  Matrix a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) a(i, j) = rng.normal();
+  Matrix cov = a * a.transposed();
+  for (std::size_t i = 0; i < dim; ++i) cov(i, i) += static_cast<double>(dim);
+
+  // Lower Cholesky factor of cov.
+  Matrix l(dim, dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = cov(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        l(i, i) = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+
+  TupleSet set(dim, n);
+  std::vector<double> z(dim);
+  std::vector<double> row(dim);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (auto& v : z) v = rng.normal();
+    for (std::size_t i = 0; i < dim; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) sum += l(i, k) * z[k];
+      row[i] = sum;
+    }
+    set.push_row(row);
+  }
+  return set;
+}
+
+TupleSet uniform_tuples(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  TupleSet set(dim, n);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : row) v = rng.uniform();
+    set.push_row(row);
+  }
+  return set;
+}
+
+TupleSet clustered_tuples(std::size_t n, std::size_t dim, std::size_t clusters,
+                          std::uint64_t seed) {
+  MMIR_EXPECTS(clusters > 0);
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers(clusters, std::vector<double>(dim));
+  for (auto& c : centers)
+    for (auto& v : c) v = rng.uniform(0.15, 0.85);
+  TupleSet set(dim, n);
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = rng.uniform_int(clusters);
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = std::clamp(centers[c][d] + rng.normal(0.0, 0.05), 0.0, 1.0);
+    }
+    set.push_row(row);
+  }
+  return set;
+}
+
+std::string credit_attribute_name(CreditAttribute a) {
+  switch (a) {
+    case CreditAttribute::kLatePayments: return "late_payments";
+    case CreditAttribute::kCreditAgeYears: return "credit_age_years";
+    case CreditAttribute::kUtilization: return "utilization";
+    case CreditAttribute::kResidenceYears: return "residence_years";
+    case CreditAttribute::kEmploymentYears: return "employment_years";
+    case CreditAttribute::kDerogatories: return "derogatories";
+  }
+  throw Error("credit_attribute_name: unknown attribute");
+}
+
+TupleSet credit_applicants(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  TupleSet set(kCreditAttributes, n);
+  std::vector<double> row(kCreditAttributes);
+  for (std::size_t i = 0; i < n; ++i) {
+    // A latent "financial stability" factor couples the attributes.
+    const double stability = rng.normal();  // higher = more stable
+    const double credit_age = std::max(0.0, 8.0 + 5.0 * stability + rng.normal(0.0, 3.0));
+    const double utilization =
+        std::clamp(0.45 - 0.15 * stability + rng.normal(0.0, 0.18), 0.0, 1.0);
+    const double late = std::max(0.0, rng.normal(2.0 - 1.2 * stability, 1.2));
+    const double residence = std::max(0.0, 4.0 + 2.5 * stability + rng.normal(0.0, 2.5));
+    const double employment = std::max(0.0, 6.0 + 3.0 * stability + rng.normal(0.0, 3.0));
+    const double derogatories =
+        static_cast<double>(rng.poisson(std::max(0.02, 0.5 - 0.3 * stability)));
+    row[static_cast<std::size_t>(CreditAttribute::kLatePayments)] = late;
+    row[static_cast<std::size_t>(CreditAttribute::kCreditAgeYears)] = credit_age;
+    row[static_cast<std::size_t>(CreditAttribute::kUtilization)] = utilization;
+    row[static_cast<std::size_t>(CreditAttribute::kResidenceYears)] = residence;
+    row[static_cast<std::size_t>(CreditAttribute::kEmploymentYears)] = employment;
+    row[static_cast<std::size_t>(CreditAttribute::kDerogatories)] = derogatories;
+    set.push_row(row);
+  }
+  return set;
+}
+
+}  // namespace mmir

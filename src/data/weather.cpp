@@ -1,0 +1,64 @@
+#include "data/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+WeatherSeries generate_weather(const WeatherConfig& config, Rng& rng) {
+  MMIR_EXPECTS(config.days > 0);
+  WeatherSeries series;
+  series.reserve(config.days);
+  bool wet = rng.bernoulli(0.3);
+  double noise = 0.0;
+  for (std::size_t day = 0; day < config.days; ++day) {
+    const double p_wet = wet ? config.p_wet_given_wet : config.p_wet_given_dry;
+    wet = rng.bernoulli(p_wet);
+    DailyWeather w;
+    w.rain_mm = wet ? rng.exponential(1.0 / config.mean_rain_mm) : 0.0;
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(day) / 365.0 - std::numbers::pi / 2.0;
+    noise = config.temp_ar1 * noise + rng.normal(0.0, config.temp_noise_c);
+    w.temp_c = config.temp_mean_c + config.temp_amplitude_c * std::sin(phase) + noise -
+               (wet ? 1.5 : 0.0);  // rainy days run slightly cooler
+    series.push_back(w);
+  }
+  return series;
+}
+
+WeatherArchive generate_weather_archive(std::size_t regions, const WeatherConfig& base,
+                                        std::uint64_t seed) {
+  MMIR_EXPECTS(regions > 0);
+  WeatherArchive archive;
+  archive.regions.reserve(regions);
+  Rng master(seed);
+  for (std::size_t r = 0; r < regions; ++r) {
+    Rng region_rng = master.fork();
+    WeatherConfig cfg = base;
+    // Regional climate jitter: some regions are wetter, some hotter.
+    cfg.p_wet_given_dry = std::clamp(base.p_wet_given_dry + region_rng.normal(0.0, 0.06), 0.02, 0.6);
+    cfg.p_wet_given_wet = std::clamp(base.p_wet_given_wet + region_rng.normal(0.0, 0.08), 0.2, 0.92);
+    cfg.temp_mean_c = base.temp_mean_c + region_rng.normal(0.0, 3.0);
+    archive.regions.push_back(generate_weather(cfg, region_rng));
+  }
+  return archive;
+}
+
+std::size_t longest_dry_spell(const WeatherSeries& series) noexcept {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (const auto& day : series) {
+    if (day.rained()) {
+      run = 0;
+    } else {
+      ++run;
+      best = std::max(best, run);
+    }
+  }
+  return best;
+}
+
+}  // namespace mmir

@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic daily weather series — the stand-in for the weather-station feeds
+// consumed by the paper's fire-ants finite-state model (Fig. 1) and the
+// "wet season followed by dry season" node of the HPS Bayesian model (Fig. 3).
+//
+// Rain occurrence follows a two-state Markov chain (wet/dry persistence gives
+// realistic dry-spell run lengths); temperature is a seasonal sinusoid plus
+// AR(1) noise.  Each region of a WeatherArchive gets an independent stream
+// derived from one master seed, so archives are reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mmir {
+
+/// One day of observations at one region.
+struct DailyWeather {
+  double rain_mm = 0.0;
+  double temp_c = 0.0;
+
+  [[nodiscard]] bool rained() const noexcept { return rain_mm > 0.1; }
+};
+
+using WeatherSeries = std::vector<DailyWeather>;
+
+struct WeatherConfig {
+  std::size_t days = 365;
+  double p_wet_given_wet = 0.65;   ///< rain persistence
+  double p_wet_given_dry = 0.18;   ///< rain onset probability
+  double mean_rain_mm = 9.0;       ///< rain amount on wet days (exponential mean)
+  double temp_mean_c = 22.0;       ///< annual mean temperature
+  double temp_amplitude_c = 9.0;   ///< seasonal swing
+  double temp_noise_c = 2.5;       ///< day-to-day AR(1) innovation scale
+  double temp_ar1 = 0.6;           ///< AR(1) coefficient of the noise
+};
+
+/// Generates one region's series.
+[[nodiscard]] WeatherSeries generate_weather(const WeatherConfig& config, Rng& rng);
+
+/// A multi-region weather archive; region r is independent but reproducible.
+struct WeatherArchive {
+  std::vector<WeatherSeries> regions;
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions.size(); }
+  [[nodiscard]] std::size_t days() const noexcept {
+    return regions.empty() ? 0 : regions.front().size();
+  }
+};
+
+/// Builds an archive of `regions` series.  Per-region configs are jittered
+/// around `base` (wetter / drier / hotter regions) so retrieval has contrast.
+[[nodiscard]] WeatherArchive generate_weather_archive(std::size_t regions,
+                                                      const WeatherConfig& base,
+                                                      std::uint64_t seed);
+
+/// Longest run of consecutive dry days in a series.
+[[nodiscard]] std::size_t longest_dry_spell(const WeatherSeries& series) noexcept;
+
+}  // namespace mmir

@@ -1,0 +1,125 @@
+#include "data/welllog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+std::string_view lithology_name(Lithology l) {
+  switch (l) {
+    case Lithology::kShale: return "shale";
+    case Lithology::kSandstone: return "sandstone";
+    case Lithology::kSiltstone: return "siltstone";
+    case Lithology::kLimestone: return "limestone";
+    case Lithology::kCoal: return "coal";
+  }
+  throw Error("lithology_name: unknown lithology");
+}
+
+double typical_gamma_api(Lithology l) noexcept {
+  switch (l) {
+    case Lithology::kShale: return 110.0;
+    case Lithology::kSandstone: return 35.0;
+    case Lithology::kSiltstone: return 70.0;
+    case Lithology::kLimestone: return 20.0;
+    case Lithology::kCoal: return 45.0;
+  }
+  return 60.0;
+}
+
+double WellLog::total_depth_ft() const noexcept {
+  if (layers.empty()) return 0.0;
+  const LogLayer& last = layers.back();
+  return last.top_ft + last.thickness_ft;
+}
+
+long WellLog::layer_at(double depth_ft) const noexcept {
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (depth_ft >= layers[i].top_ft && depth_ft < layers[i].top_ft + layers[i].thickness_ft) {
+      return static_cast<long>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+/// Transition preference between successive (downward) lithologies.  Fluvial
+/// fining-upward packages make shale→sandstone→siltstone successions common,
+/// which is exactly the pattern the Fig. 4 riverbed query hunts for.
+double succession_weight(Lithology above, Lithology below) noexcept {
+  if (above == below) return 0.2;  // discourage duplicate merges
+  if (above == Lithology::kShale && below == Lithology::kSandstone) return 3.0;
+  if (above == Lithology::kSandstone && below == Lithology::kSiltstone) return 2.5;
+  if (above == Lithology::kSiltstone && below == Lithology::kShale) return 1.5;
+  if (above == Lithology::kLimestone && below == Lithology::kShale) return 1.2;
+  return 1.0;
+}
+
+}  // namespace
+
+WellLog generate_well_log(std::size_t id, const WellLogConfig& config, Rng& rng) {
+  MMIR_EXPECTS(config.mean_layers >= 3);
+  MMIR_EXPECTS(config.sample_interval_ft > 0.0);
+  WellLog log;
+  log.id = id;
+  log.sample_interval_ft = config.sample_interval_ft;
+
+  const std::size_t layer_count =
+      std::max<std::size_t>(3, static_cast<std::size_t>(
+                                   rng.normal(static_cast<double>(config.mean_layers),
+                                              static_cast<double>(config.mean_layers) * 0.25)));
+  double depth = 0.0;
+  auto current = static_cast<Lithology>(rng.uniform_int(kLithologyClasses));
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    LogLayer layer;
+    layer.lithology = current;
+    layer.top_ft = depth;
+    layer.thickness_ft = std::max(1.0, rng.exponential(1.0 / config.mean_thickness_ft));
+    layer.gamma_api =
+        std::max(0.0, rng.normal(typical_gamma_api(current), config.gamma_noise_api));
+    depth += layer.thickness_ft;
+    log.layers.push_back(layer);
+
+    // Choose the next (deeper) lithology with succession bias.
+    std::vector<double> weights(kLithologyClasses, 1.0);
+    for (int l = 0; l < kLithologyClasses; ++l) {
+      const double w = succession_weight(current, static_cast<Lithology>(l));
+      weights[static_cast<std::size_t>(l)] =
+          (1.0 - config.succession_bias) + config.succession_bias * w;
+    }
+    current = static_cast<Lithology>(rng.categorical(weights));
+  }
+
+  // Sample the gamma trace from the layer stack with measurement noise.
+  const auto samples = static_cast<std::size_t>(depth / config.sample_interval_ft);
+  log.gamma_trace.reserve(samples);
+  std::size_t layer_idx = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double z = static_cast<double>(s) * config.sample_interval_ft;
+    while (layer_idx + 1 < log.layers.size() &&
+           z >= log.layers[layer_idx].top_ft + log.layers[layer_idx].thickness_ft) {
+      ++layer_idx;
+    }
+    log.gamma_trace.push_back(
+        std::max(0.0, log.layers[layer_idx].gamma_api + rng.normal(0.0, config.gamma_noise_api)));
+  }
+  return log;
+}
+
+WellLogArchive generate_well_log_archive(std::size_t wells, const WellLogConfig& config,
+                                         std::uint64_t seed) {
+  MMIR_EXPECTS(wells > 0);
+  WellLogArchive archive;
+  archive.wells.reserve(wells);
+  Rng master(seed);
+  for (std::size_t w = 0; w < wells; ++w) {
+    Rng rng = master.fork();
+    archive.wells.push_back(generate_well_log(w, config, rng));
+  }
+  return archive;
+}
+
+}  // namespace mmir

@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic well logs — the stand-in for the FMI image + gamma-ray traces in
+// the paper's geology knowledge model (Fig. 4: "shale on top of sandstone on
+// top of siltstone, adjacent, <10 ft, gamma ray > 45").
+//
+// A well is a column of lithology layers; each lithology has a characteristic
+// gamma-ray (API) distribution — shale is hot (high API), clean sandstone is
+// cold — and the continuous gamma trace is sampled from the layer stack with
+// measurement noise.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mmir {
+
+enum class Lithology : int {
+  kShale = 0,
+  kSandstone = 1,
+  kSiltstone = 2,
+  kLimestone = 3,
+  kCoal = 4,
+};
+
+inline constexpr int kLithologyClasses = 5;
+
+[[nodiscard]] std::string_view lithology_name(Lithology l);
+
+/// Typical gamma-ray mean for a lithology (API units), used by the generator
+/// and available to models as domain knowledge.
+[[nodiscard]] double typical_gamma_api(Lithology l) noexcept;
+
+/// One stratigraphic layer, measured downward from the surface.
+struct LogLayer {
+  Lithology lithology = Lithology::kShale;
+  double top_ft = 0.0;        ///< depth of the layer top
+  double thickness_ft = 0.0;
+  double gamma_api = 0.0;     ///< mean gamma response of the layer
+};
+
+/// A well: layer stack plus the sampled gamma trace.
+struct WellLog {
+  std::size_t id = 0;
+  std::vector<LogLayer> layers;          ///< ordered top-down
+  std::vector<double> gamma_trace;       ///< sampled every sample_interval_ft
+  double sample_interval_ft = 0.5;
+
+  [[nodiscard]] double total_depth_ft() const noexcept;
+  /// Layer index containing the given depth, or -1 when out of range.
+  [[nodiscard]] long layer_at(double depth_ft) const noexcept;
+};
+
+struct WellLogConfig {
+  std::size_t mean_layers = 24;
+  double mean_thickness_ft = 18.0;
+  double gamma_noise_api = 6.0;
+  double sample_interval_ft = 0.5;
+  /// Probability boost for geologically common successions (e.g. shale over
+  /// sandstone in fluvial sequences) so riverbed patterns actually occur.
+  double succession_bias = 0.5;
+};
+
+[[nodiscard]] WellLog generate_well_log(std::size_t id, const WellLogConfig& config, Rng& rng);
+
+struct WellLogArchive {
+  std::vector<WellLog> wells;
+  [[nodiscard]] std::size_t size() const noexcept { return wells.size(); }
+};
+
+[[nodiscard]] WellLogArchive generate_well_log_archive(std::size_t wells,
+                                                       const WellLogConfig& config,
+                                                       std::uint64_t seed);
+
+}  // namespace mmir

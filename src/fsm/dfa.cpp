@@ -1,0 +1,148 @@
+#include "fsm/dfa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace mmir {
+
+Dfa::Dfa(std::size_t states, std::size_t alphabet, std::size_t start)
+    : states_(states),
+      alphabet_(alphabet),
+      start_(start),
+      table_(states * alphabet, start),
+      accepting_(states, false) {
+  MMIR_EXPECTS(states > 0);
+  MMIR_EXPECTS(alphabet > 0 && alphabet <= 16);
+  MMIR_EXPECTS(start < states);
+}
+
+void Dfa::set_transition(std::size_t state, std::uint8_t symbol, std::size_t next) {
+  MMIR_EXPECTS(state < states_ && symbol < alphabet_ && next < states_);
+  table_[state * alphabet_ + symbol] = next;
+}
+
+void Dfa::set_accepting(std::size_t state, bool accepting) {
+  MMIR_EXPECTS(state < states_);
+  accepting_[state] = accepting;
+}
+
+std::size_t Dfa::run(std::span<const std::uint8_t> input) const {
+  std::size_t state = start_;
+  for (std::uint8_t symbol : input) state = step(state, symbol);
+  return state;
+}
+
+bool Dfa::accepts(std::span<const std::uint8_t> input) const {
+  return is_accepting(run(input));
+}
+
+std::vector<std::size_t> Dfa::accept_positions(std::span<const std::uint8_t> input,
+                                               CostMeter& meter) const {
+  std::vector<std::size_t> positions;
+  std::size_t state = start_;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    state = step(state, input[i]);
+    if (accepting_[state]) positions.push_back(i);
+  }
+  meter.add_ops(input.size());
+  meter.add_points(input.size());
+  return positions;
+}
+
+std::vector<std::size_t> Dfa::reachable_states() const {
+  std::vector<bool> seen(states_, false);
+  std::vector<std::size_t> stack{start_};
+  seen[start_] = true;
+  std::vector<std::size_t> out;
+  while (!stack.empty()) {
+    const std::size_t state = stack.back();
+    stack.pop_back();
+    out.push_back(state);
+    for (std::size_t symbol = 0; symbol < alphabet_; ++symbol) {
+      const std::size_t next = table_[state * alphabet_ + symbol];
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::minimized() const {
+  // Restrict to reachable states.
+  const auto reachable = reachable_states();
+  std::vector<long> dense(states_, -1);
+  for (std::size_t i = 0; i < reachable.size(); ++i) dense[reachable[i]] = static_cast<long>(i);
+  const std::size_t m = reachable.size();
+
+  // Moore refinement: start from the accepting / non-accepting split and
+  // refine by transition-class signatures.  Signatures include the state's
+  // own class, so each round only ever splits classes; the partition is
+  // stable exactly when the class count stops growing.
+  std::vector<std::size_t> cls(m);
+  for (std::size_t i = 0; i < m; ++i) cls[i] = accepting_[reachable[i]] ? 1 : 0;
+  std::size_t class_total = std::set<std::size_t>(cls.begin(), cls.end()).size();
+  for (;;) {
+    std::map<std::vector<std::size_t>, std::size_t> interned;
+    std::vector<std::size_t> next_cls(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::size_t> signature;
+      signature.reserve(alphabet_ + 1);
+      signature.push_back(cls[i]);
+      for (std::size_t s = 0; s < alphabet_; ++s) {
+        const std::size_t succ = table_[reachable[i] * alphabet_ + s];
+        signature.push_back(cls[static_cast<std::size_t>(dense[succ])]);
+      }
+      const auto [it, inserted] = interned.emplace(std::move(signature), interned.size());
+      next_cls[i] = it->second;
+    }
+    const std::size_t next_total = interned.size();
+    cls = std::move(next_cls);
+    if (next_total == class_total) break;
+    class_total = next_total;
+  }
+
+  const std::size_t class_count = 1 + *std::max_element(cls.begin(), cls.end());
+  Dfa out(class_count, alphabet_, cls[static_cast<std::size_t>(dense[start_])]);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t state = reachable[i];
+    for (std::size_t s = 0; s < alphabet_; ++s) {
+      const std::size_t succ = table_[state * alphabet_ + s];
+      out.set_transition(cls[i], static_cast<std::uint8_t>(s),
+                         cls[static_cast<std::size_t>(dense[succ])]);
+    }
+    if (accepting_[state]) out.set_accepting(cls[i]);
+  }
+  return out;
+}
+
+std::vector<SymbolSeq> Dfa::accepting_grams(std::size_t n) const {
+  MMIR_EXPECTS(n >= 1 && n <= 8);
+  const auto reachable = reachable_states();
+  std::vector<SymbolSeq> grams;
+  SymbolSeq gram(n, 0);
+  // Enumerate alphabet^n strings in lexicographic order.
+  const auto total = static_cast<std::uint64_t>(std::pow(static_cast<double>(alphabet_),
+                                                         static_cast<double>(n)) + 0.5);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t rest = code;
+    for (std::size_t i = n; i-- > 0;) {
+      gram[i] = static_cast<std::uint8_t>(rest % alphabet_);
+      rest /= alphabet_;
+    }
+    for (std::size_t q : reachable) {
+      std::size_t state = q;
+      for (std::uint8_t symbol : gram) state = step(state, symbol);
+      if (accepting_[state]) {
+        grams.push_back(gram);
+        break;
+      }
+    }
+  }
+  return grams;
+}
+
+}  // namespace mmir

@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic finite automata over small symbol alphabets — the execution
+// engine for the paper's finite-state models (§2.2).
+//
+// Multi-modal observations (rain, temperature) are discretized into symbols
+// by the model's observation mapping (see fire_ants.hpp); the DFA then runs
+// over each region's symbol stream.  Besides simulation, the DFA exposes
+// `accepting_grams`, the query-compilation hook for the n-gram index: every
+// window that drives the machine into an accepting state must end with one of
+// those grams, so posting-list lookups prune the archive before simulation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/gram_index.hpp"  // SymbolSeq
+#include "util/cost.hpp"
+#include "util/error.hpp"
+
+namespace mmir {
+
+class Dfa {
+ public:
+  /// All transitions initially self-loop on the start state; callers must set
+  /// every (state, symbol) pair they rely on.
+  Dfa(std::size_t states, std::size_t alphabet, std::size_t start);
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return states_; }
+  [[nodiscard]] std::size_t alphabet_size() const noexcept { return alphabet_; }
+  [[nodiscard]] std::size_t start_state() const noexcept { return start_; }
+
+  void set_transition(std::size_t state, std::uint8_t symbol, std::size_t next);
+  void set_accepting(std::size_t state, bool accepting = true);
+
+  [[nodiscard]] std::size_t step(std::size_t state, std::uint8_t symbol) const {
+    MMIR_EXPECTS(state < states_ && symbol < alphabet_);
+    return table_[state * alphabet_ + symbol];
+  }
+  [[nodiscard]] bool is_accepting(std::size_t state) const {
+    MMIR_EXPECTS(state < states_);
+    return accepting_[state];
+  }
+
+  /// Final state after consuming the whole sequence from the start state.
+  [[nodiscard]] std::size_t run(std::span<const std::uint8_t> input) const;
+
+  /// True when the full sequence ends in an accepting state.
+  [[nodiscard]] bool accepts(std::span<const std::uint8_t> input) const;
+
+  /// Positions i where the machine is in an accepting state after consuming
+  /// input[i] (one full pass; charges `meter` one op per symbol).
+  [[nodiscard]] std::vector<std::size_t> accept_positions(std::span<const std::uint8_t> input,
+                                                          CostMeter& meter) const;
+
+  /// States reachable from the start state.
+  [[nodiscard]] std::vector<std::size_t> reachable_states() const;
+
+  /// All length-n symbol strings g such that some reachable state q has
+  /// δ*(q, g) accepting — i.e. the possible "last n symbols" of any accepted
+  /// prefix.  Used to compile the model into gram-index lookups.  The
+  /// enumeration is exhaustive over alphabet^n, so keep n small (<= 8).
+  [[nodiscard]] std::vector<SymbolSeq> accepting_grams(std::size_t n) const;
+
+  /// Language-equivalent DFA with the minimum number of states (Moore
+  /// partition refinement; unreachable states are dropped).  Useful after
+  /// subset construction, whose output is rarely minimal.
+  [[nodiscard]] Dfa minimized() const;
+
+ private:
+  std::size_t states_;
+  std::size_t alphabet_;
+  std::size_t start_;
+  std::vector<std::size_t> table_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,78 @@
+#include "fsm/distance.hpp"
+
+#include <vector>
+
+namespace mmir {
+
+double bounded_language_distance(const Dfa& a, const Dfa& b, std::size_t max_len) {
+  MMIR_EXPECTS(a.alphabet_size() == b.alphabet_size());
+  MMIR_EXPECTS(max_len >= 1);
+  const std::size_t alphabet = a.alphabet_size();
+  const std::size_t nb = b.state_count();
+
+  // counts[qa * nb + qb] = number of strings of the current length driving
+  // (a, b) into (qa, qb).  Doubles avoid overflow for alphabet^len.
+  std::vector<double> counts(a.state_count() * nb, 0.0);
+  counts[a.start_state() * nb + b.start_state()] = 1.0;
+
+  double total_distance = 0.0;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    std::vector<double> next(counts.size(), 0.0);
+    for (std::size_t qa = 0; qa < a.state_count(); ++qa) {
+      for (std::size_t qb = 0; qb < nb; ++qb) {
+        const double c = counts[qa * nb + qb];
+        if (c == 0.0) continue;
+        for (std::size_t s = 0; s < alphabet; ++s) {
+          const std::size_t na = a.step(qa, static_cast<std::uint8_t>(s));
+          const std::size_t nb_state = b.step(qb, static_cast<std::uint8_t>(s));
+          next[na * nb + nb_state] += c;
+        }
+      }
+    }
+    counts = std::move(next);
+
+    double disagree = 0.0;
+    double total = 0.0;
+    for (std::size_t qa = 0; qa < a.state_count(); ++qa) {
+      for (std::size_t qb = 0; qb < nb; ++qb) {
+        const double c = counts[qa * nb + qb];
+        if (c == 0.0) continue;
+        total += c;
+        if (a.is_accepting(qa) != b.is_accepting(qb)) disagree += c;
+      }
+    }
+    total_distance += total > 0.0 ? disagree / total : 0.0;
+  }
+  return total_distance / static_cast<double>(max_len);
+}
+
+Dfa markov_fsm_from_sequence(std::span<const std::uint8_t> sequence, std::size_t alphabet,
+                             std::uint8_t accept_symbol, std::size_t min_count) {
+  MMIR_EXPECTS(alphabet >= 2);
+  MMIR_EXPECTS(accept_symbol < alphabet);
+  MMIR_EXPECTS(min_count >= 1);
+
+  // Count observed bigrams.
+  std::vector<std::size_t> bigram(alphabet * alphabet, 0);
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    MMIR_EXPECTS(sequence[i] < alphabet && sequence[i + 1] < alphabet);
+    ++bigram[sequence[i] * alphabet + sequence[i + 1]];
+  }
+
+  // States: one per symbol, plus start (= alphabet) and dead (= alphabet+1).
+  const std::size_t start = alphabet;
+  const std::size_t dead = alphabet + 1;
+  Dfa dfa(alphabet + 2, alphabet, start);
+  for (std::size_t s = 0; s < alphabet; ++s) {
+    dfa.set_transition(start, static_cast<std::uint8_t>(s), s);  // first symbol always enters
+    dfa.set_transition(dead, static_cast<std::uint8_t>(s), dead);
+    for (std::size_t t = 0; t < alphabet; ++t) {
+      const bool observed = bigram[s * alphabet + t] >= min_count;
+      dfa.set_transition(s, static_cast<std::uint8_t>(t), observed ? t : dead);
+    }
+  }
+  dfa.set_accepting(accept_symbol);
+  return dfa;
+}
+
+}  // namespace mmir

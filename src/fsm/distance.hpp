@@ -1,0 +1,35 @@
+#pragma once
+// Distances between finite-state models (§3: "when the finite state machine
+// extracted from the data is slightly different from the target finite state
+// machine, it is also possible to define a distance between these two finite
+// state machines based on their similarities").
+//
+// Two complementary notions:
+//  * bounded_language_distance — behavioural: the average fraction of strings
+//    of each length 1..L that the two machines classify differently, computed
+//    exactly on the product automaton (no sampling).
+//  * extraction: markov_fsm_from_sequence builds the empirical
+//    symbol-transition machine of an observed stream, the "finite state
+//    machine extracted from the data" that gets compared against the target.
+
+#include <span>
+
+#include "fsm/dfa.hpp"
+
+namespace mmir {
+
+/// Exact behavioural distance in [0, 1]: mean over lengths 1..max_len of
+/// (strings classified differently) / (alphabet^length).  Both machines must
+/// share the alphabet.  Cost: O(max_len · |A| · states_a · states_b).
+[[nodiscard]] double bounded_language_distance(const Dfa& a, const Dfa& b, std::size_t max_len);
+
+/// Empirical first-order machine extracted from a symbol stream: one state
+/// per symbol, transition s -> t present when "t follows s" was observed at
+/// least `min_count` times; unobserved transitions go to a dead state.
+/// State `accept_symbol` is accepting, so the machine accepts streams ending
+/// in that symbol through observed transitions only.
+[[nodiscard]] Dfa markov_fsm_from_sequence(std::span<const std::uint8_t> sequence,
+                                           std::size_t alphabet, std::uint8_t accept_symbol,
+                                           std::size_t min_count = 1);
+
+}  // namespace mmir

@@ -1,0 +1,58 @@
+#include "fsm/fire_ants.hpp"
+
+namespace mmir {
+
+Dfa fire_ants_model() {
+  Dfa dfa(6, kWeatherAlphabet, kStart);
+  // Before the first rain nothing accumulates.
+  dfa.set_transition(kStart, kRain, kRainSt);
+  dfa.set_transition(kStart, kDryHot, kStart);
+  dfa.set_transition(kStart, kDryCool, kStart);
+  // Rain resets the dry counter from anywhere.
+  dfa.set_transition(kRainSt, kRain, kRainSt);
+  dfa.set_transition(kRainSt, kDryHot, kDry1);
+  dfa.set_transition(kRainSt, kDryCool, kDry1);
+  dfa.set_transition(kDry1, kRain, kRainSt);
+  dfa.set_transition(kDry1, kDryHot, kDry2);
+  dfa.set_transition(kDry1, kDryCool, kDry2);
+  // Fig. 1: from "dry for two days", a third dry day flies if hot.
+  dfa.set_transition(kDry2, kRain, kRainSt);
+  dfa.set_transition(kDry2, kDryHot, kFly);
+  dfa.set_transition(kDry2, kDryCool, kDry3);
+  // "Dry for three days or more": waits for a hot day, loops while cool.
+  dfa.set_transition(kDry3, kRain, kRainSt);
+  dfa.set_transition(kDry3, kDryHot, kFly);
+  dfa.set_transition(kDry3, kDryCool, kDry3);
+  // Flying continues on hot dry days; cool days fall back to the dry state.
+  dfa.set_transition(kFly, kRain, kRainSt);
+  dfa.set_transition(kFly, kDryHot, kFly);
+  dfa.set_transition(kFly, kDryCool, kDry3);
+  dfa.set_accepting(kFly);
+  return dfa;
+}
+
+SymbolSeq discretize_weather(const WeatherSeries& series, double hot_threshold_c) {
+  SymbolSeq symbols;
+  symbols.reserve(series.size());
+  for (const DailyWeather& day : series) {
+    if (day.rained()) {
+      symbols.push_back(kRain);
+    } else if (day.temp_c >= hot_threshold_c) {
+      symbols.push_back(kDryHot);
+    } else {
+      symbols.push_back(kDryCool);
+    }
+  }
+  return symbols;
+}
+
+std::vector<SymbolSeq> discretize_archive(const WeatherArchive& archive, double hot_threshold_c) {
+  std::vector<SymbolSeq> out;
+  out.reserve(archive.regions.size());
+  for (const WeatherSeries& series : archive.regions) {
+    out.push_back(discretize_weather(series, hot_threshold_c));
+  }
+  return out;
+}
+
+}  // namespace mmir

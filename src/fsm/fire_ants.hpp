@@ -1,0 +1,50 @@
+#pragma once
+// The fire-ants finite-state model of paper Fig. 1.
+//
+// "the fire ants of a region will fly if the region has some rain fall, and
+//  then remain dry for at least three days.  In addition, the temperature
+//  needs to reach 25 degrees Celsius or higher."
+//
+// Multi-modal observations (rain_mm, temp_c) discretize to a 3-symbol
+// alphabet; the DFA below transcribes the figure's states and edges,
+// including the Dry-2 → Fly edge on a hot third dry day and the Dry-3+
+// self-loop on cool dry days.
+
+#include "data/weather.hpp"
+#include "fsm/dfa.hpp"
+#include "index/gram_index.hpp"
+
+namespace mmir {
+
+/// Weather symbols for the fire-ants model.
+enum WeatherSymbol : std::uint8_t {
+  kRain = 0,     ///< rained today
+  kDryHot = 1,   ///< no rain, T >= hot threshold
+  kDryCool = 2,  ///< no rain, T < hot threshold
+};
+
+inline constexpr std::size_t kWeatherAlphabet = 3;
+inline constexpr double kDefaultHotThresholdC = 25.0;
+
+/// Fig. 1 state ids (exposed for tests and for reading traces).
+enum FireAntState : std::size_t {
+  kStart = 0,    ///< before any rain has been seen
+  kRainSt = 1,   ///< raining / just rained
+  kDry1 = 2,     ///< dry for one day
+  kDry2 = 3,     ///< dry for two days
+  kDry3 = 4,     ///< dry for three days or more (cool)
+  kFly = 5,      ///< fire ants fly (accepting)
+};
+
+/// Builds the Fig. 1 DFA over the weather alphabet.
+[[nodiscard]] Dfa fire_ants_model();
+
+/// Discretizes a daily series into weather symbols.
+[[nodiscard]] SymbolSeq discretize_weather(const WeatherSeries& series,
+                                           double hot_threshold_c = kDefaultHotThresholdC);
+
+/// Discretizes every region of an archive.
+[[nodiscard]] std::vector<SymbolSeq> discretize_archive(
+    const WeatherArchive& archive, double hot_threshold_c = kDefaultHotThresholdC);
+
+}  // namespace mmir

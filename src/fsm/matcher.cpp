@@ -1,0 +1,72 @@
+#include "fsm/matcher.hpp"
+
+#include "util/topk.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// Scores one region; returns false when the region never accepts.
+bool match_region(const SymbolSeq& seq, const Dfa& model, std::uint32_t region, FsmHit& hit,
+                  CostMeter& meter) {
+  const auto positions = model.accept_positions(seq, meter);
+  if (positions.empty()) return false;
+  hit.region = region;
+  hit.accept_days = positions.size();
+  hit.first_accept = positions.front();
+  // More accepting days ranks higher; among equals, earlier onset wins.
+  hit.score = static_cast<double>(positions.size()) +
+              1.0 / (2.0 + static_cast<double>(positions.front()));
+  return true;
+}
+
+std::vector<FsmHit> rank(std::vector<FsmHit> hits, std::size_t k) {
+  TopK<FsmHit> top(k);
+  for (auto& hit : hits) top.offer(hit.score, hit);
+  std::vector<FsmHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+}  // namespace
+
+std::vector<FsmHit> fsm_scan_top_k(std::span<const SymbolSeq> sequences, const Dfa& model,
+                                   std::size_t k, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  std::vector<FsmHit> hits;
+  for (std::size_t r = 0; r < sequences.size(); ++r) {
+    FsmHit hit;
+    if (match_region(sequences[r], model, static_cast<std::uint32_t>(r), hit, meter)) {
+      hits.push_back(hit);
+    }
+  }
+  return rank(std::move(hits), k);
+}
+
+std::vector<FsmHit> fsm_indexed_top_k(std::span<const SymbolSeq> sequences, const Dfa& model,
+                                      const GramIndex& index, std::size_t k, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  const auto grams = model.accepting_grams(index.gram_length());
+  const auto candidates = index.candidates_any(grams, meter);
+
+  std::vector<FsmHit> hits;
+  for (std::uint32_t r : candidates) {
+    FsmHit hit;
+    if (match_region(sequences[r], model, r, hit, meter)) hits.push_back(hit);
+  }
+  // Sequences too short for the index were never posted; simulate them too.
+  for (std::size_t r = 0; r < sequences.size(); ++r) {
+    if (sequences[r].size() < index.gram_length()) {
+      FsmHit hit;
+      if (match_region(sequences[r], model, static_cast<std::uint32_t>(r), hit, meter)) {
+        hits.push_back(hit);
+      }
+    }
+  }
+  meter.add_pruned(sequences.size() - candidates.size());
+  return rank(std::move(hits), k);
+}
+
+}  // namespace mmir

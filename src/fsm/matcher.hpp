@@ -1,0 +1,45 @@
+#pragma once
+// Top-K retrieval of finite-state model matches over a symbol-stream archive
+// (§3: "the finite state model is used to locate the top-K data patterns that
+// satisfy a model that can be described by a finite state machine").
+//
+// Regions are ranked by how strongly they satisfy the model: the number of
+// days the machine spends in an accepting state, with earlier first
+// acceptance breaking ties.  Two execution paths are provided:
+//   * fsm_scan_top_k      — simulate every region (the sequential baseline);
+//   * fsm_indexed_top_k   — compile the DFA to accepting grams, fetch
+//     candidates from the n-gram inverted index, and simulate only those.
+// Both return identical rankings; the benchmark measures the work gap.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "index/gram_index.hpp"
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// One region's match result.
+struct FsmHit {
+  std::uint32_t region = 0;
+  double score = 0.0;             ///< accepting-day count
+  std::size_t first_accept = 0;   ///< first accepting position
+  std::size_t accept_days = 0;
+};
+
+/// Simulates the DFA over every sequence; returns top-k regions (best first).
+[[nodiscard]] std::vector<FsmHit> fsm_scan_top_k(std::span<const SymbolSeq> sequences,
+                                                 const Dfa& model, std::size_t k,
+                                                 CostMeter& meter);
+
+/// Index-pruned variant: only sequences containing at least one accepting
+/// gram are simulated.  Exact (no accepted region can lack all grams, since
+/// the last `gram_length` symbols before an accept form an accepting gram);
+/// sequences shorter than the gram length are simulated unconditionally.
+[[nodiscard]] std::vector<FsmHit> fsm_indexed_top_k(std::span<const SymbolSeq> sequences,
+                                                    const Dfa& model, const GramIndex& index,
+                                                    std::size_t k, CostMeter& meter);
+
+}  // namespace mmir

@@ -1,0 +1,189 @@
+#include "fsm/nfa.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mmir {
+
+NfaBuilder::NfaBuilder(std::size_t alphabet) : alphabet_(alphabet) {
+  MMIR_EXPECTS(alphabet > 0 && alphabet <= 16);
+}
+
+std::size_t NfaBuilder::new_state() {
+  states_.emplace_back();
+  return states_.size() - 1;
+}
+
+void NfaBuilder::add_edge(std::size_t from, std::uint8_t symbol, std::size_t to) {
+  MMIR_EXPECTS(from < states_.size() && to < states_.size());
+  MMIR_EXPECTS(symbol < alphabet_);
+  states_[from].push_back(Edge{symbol, to});
+}
+
+void NfaBuilder::add_epsilon(std::size_t from, std::size_t to) {
+  MMIR_EXPECTS(from < states_.size() && to < states_.size());
+  states_[from].push_back(Edge{kEpsilon, to});
+}
+
+NfaFragment NfaBuilder::symbol(std::uint8_t s) {
+  const std::size_t entry = new_state();
+  const std::size_t exit = new_state();
+  add_edge(entry, s, exit);
+  return {entry, exit};
+}
+
+NfaFragment NfaBuilder::any_of(std::initializer_list<std::uint8_t> symbols) {
+  MMIR_EXPECTS(symbols.size() > 0);
+  const std::size_t entry = new_state();
+  const std::size_t exit = new_state();
+  for (std::uint8_t s : symbols) add_edge(entry, s, exit);
+  return {entry, exit};
+}
+
+NfaFragment NfaBuilder::any() {
+  const std::size_t entry = new_state();
+  const std::size_t exit = new_state();
+  for (std::size_t s = 0; s < alphabet_; ++s) add_edge(entry, static_cast<std::uint8_t>(s), exit);
+  return {entry, exit};
+}
+
+NfaFragment NfaBuilder::concat(NfaFragment a, NfaFragment b) {
+  add_epsilon(a.exit, b.entry);
+  return {a.entry, b.exit};
+}
+
+NfaFragment NfaBuilder::alternate(NfaFragment a, NfaFragment b) {
+  const std::size_t entry = new_state();
+  const std::size_t exit = new_state();
+  add_epsilon(entry, a.entry);
+  add_epsilon(entry, b.entry);
+  add_epsilon(a.exit, exit);
+  add_epsilon(b.exit, exit);
+  return {entry, exit};
+}
+
+NfaFragment NfaBuilder::star(NfaFragment a) {
+  const std::size_t entry = new_state();
+  const std::size_t exit = new_state();
+  add_epsilon(entry, a.entry);
+  add_epsilon(entry, exit);
+  add_epsilon(a.exit, a.entry);
+  add_epsilon(a.exit, exit);
+  return {entry, exit};
+}
+
+NfaFragment NfaBuilder::plus(NfaFragment a) {
+  const NfaFragment rest = star(clone(a));
+  return concat(a, rest);
+}
+
+NfaFragment NfaBuilder::repeat(NfaFragment a, std::size_t n) {
+  MMIR_EXPECTS(n >= 1);
+  NfaFragment result = a;
+  for (std::size_t i = 1; i < n; ++i) result = concat(result, clone(a));
+  return result;
+}
+
+NfaFragment NfaBuilder::at_least(NfaFragment a, std::size_t n) {
+  MMIR_EXPECTS(n >= 1);
+  NfaFragment required = repeat(a, n);
+  return concat(required, star(clone(a)));
+}
+
+NfaFragment NfaBuilder::clone(NfaFragment a) {
+  // Copy the subgraph reachable from a.entry.  Fragments must be "fresh"
+  // (not yet composed into a larger pattern) for the reachable set to be
+  // exactly the fragment — the builder API is designed for linear use.
+  std::map<std::size_t, std::size_t> remap;
+  std::vector<std::size_t> stack{a.entry};
+  remap[a.entry] = new_state();
+  while (!stack.empty()) {
+    const std::size_t old_state = stack.back();
+    stack.pop_back();
+    for (const Edge& e : states_[old_state]) {
+      if (remap.find(e.to) == remap.end()) {
+        remap[e.to] = new_state();
+        stack.push_back(e.to);
+      }
+    }
+  }
+  if (remap.find(a.exit) == remap.end()) remap[a.exit] = new_state();
+  for (const auto& [old_state, new_id] : remap) {
+    for (const Edge& e : states_[old_state]) {
+      states_[new_id].push_back(Edge{e.symbol, remap.at(e.to)});
+    }
+  }
+  return {remap.at(a.entry), remap.at(a.exit)};
+}
+
+std::vector<std::size_t> NfaBuilder::epsilon_closure(std::vector<std::size_t> states) const {
+  std::vector<bool> seen(states_.size(), false);
+  std::vector<std::size_t> stack = states;
+  for (std::size_t s : states) seen[s] = true;
+  while (!stack.empty()) {
+    const std::size_t s = stack.back();
+    stack.pop_back();
+    for (const Edge& e : states_[s]) {
+      if (e.symbol == kEpsilon && !seen[e.to]) {
+        seen[e.to] = true;
+        states.push_back(e.to);
+        stack.push_back(e.to);
+      }
+    }
+  }
+  std::sort(states.begin(), states.end());
+  return states;
+}
+
+Dfa NfaBuilder::to_dfa(NfaFragment fragment, bool match_anywhere) {
+  std::size_t start_nfa = fragment.entry;
+  if (match_anywhere) {
+    // .* prefix: a fresh start state that loops on every symbol and can
+    // epsilon-enter the pattern at any time.
+    const std::size_t loop = new_state();
+    for (std::size_t s = 0; s < alphabet_; ++s) add_edge(loop, static_cast<std::uint8_t>(s), loop);
+    add_epsilon(loop, fragment.entry);
+    start_nfa = loop;
+  }
+
+  std::map<std::vector<std::size_t>, std::size_t> dfa_ids;
+  std::vector<std::vector<std::size_t>> subsets;
+  const auto intern = [&](std::vector<std::size_t> subset) {
+    const auto it = dfa_ids.find(subset);
+    if (it != dfa_ids.end()) return it->second;
+    const std::size_t id = subsets.size();
+    dfa_ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+
+  const std::size_t start_id = intern(epsilon_closure({start_nfa}));
+  std::vector<std::vector<std::size_t>> transitions;  // [dfa_state][symbol]
+  for (std::size_t current = 0; current < subsets.size(); ++current) {
+    transitions.emplace_back(alphabet_, 0);
+    for (std::size_t symbol = 0; symbol < alphabet_; ++symbol) {
+      std::vector<std::size_t> next;
+      for (std::size_t nfa_state : subsets[current]) {
+        for (const Edge& e : states_[nfa_state]) {
+          if (e.symbol == static_cast<std::uint8_t>(symbol)) next.push_back(e.to);
+        }
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      transitions[current][symbol] = intern(epsilon_closure(std::move(next)));
+    }
+  }
+
+  Dfa dfa(subsets.size(), alphabet_, start_id);
+  for (std::size_t state = 0; state < subsets.size(); ++state) {
+    for (std::size_t symbol = 0; symbol < alphabet_; ++symbol) {
+      dfa.set_transition(state, static_cast<std::uint8_t>(symbol), transitions[state][symbol]);
+    }
+    if (std::binary_search(subsets[state].begin(), subsets[state].end(), fragment.exit)) {
+      dfa.set_accepting(state);
+    }
+  }
+  return dfa;
+}
+
+}  // namespace mmir

@@ -1,0 +1,71 @@
+#pragma once
+// Nondeterministic finite automata with epsilon transitions, a combinator
+// builder, and subset-construction determinization.
+//
+// §2.2 notes that "finite state machines have been used intensively for
+// compiler design [and] natural language understanding"; this module supplies
+// that classical machinery so finite-state *queries* can be authored as
+// patterns (concat / union / star / repeat) and compiled to the Dfa engine
+// that the matcher and the gram index consume.
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+
+namespace mmir {
+
+/// Fragment handle produced by NfaBuilder combinators.
+struct NfaFragment {
+  std::size_t entry = 0;
+  std::size_t exit = 0;
+};
+
+/// Thompson-construction NFA builder over a fixed alphabet.
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(std::size_t alphabet);
+
+  /// Fragment matching exactly one occurrence of `symbol`.
+  [[nodiscard]] NfaFragment symbol(std::uint8_t s);
+  /// Fragment matching any single symbol from the set.
+  [[nodiscard]] NfaFragment any_of(std::initializer_list<std::uint8_t> symbols);
+  /// Fragment matching any single symbol of the alphabet.
+  [[nodiscard]] NfaFragment any();
+  [[nodiscard]] NfaFragment concat(NfaFragment a, NfaFragment b);
+  [[nodiscard]] NfaFragment alternate(NfaFragment a, NfaFragment b);
+  /// Kleene star (zero or more).
+  [[nodiscard]] NfaFragment star(NfaFragment a);
+  /// One or more.
+  [[nodiscard]] NfaFragment plus(NfaFragment a);
+  /// Exactly n copies (n >= 1).
+  [[nodiscard]] NfaFragment repeat(NfaFragment a, std::size_t n);
+  /// n or more copies.
+  [[nodiscard]] NfaFragment at_least(NfaFragment a, std::size_t n);
+
+  /// Determinizes the fragment via subset construction.  When
+  /// `match_anywhere` is true the pattern is wrapped as .*(pattern), so the
+  /// DFA accepts every prefix that *ends* with a match — the windowed
+  /// semantics the series matcher needs.
+  [[nodiscard]] Dfa to_dfa(NfaFragment fragment, bool match_anywhere = false);
+
+ private:
+  std::size_t new_state();
+  void add_edge(std::size_t from, std::uint8_t symbol, std::size_t to);
+  void add_epsilon(std::size_t from, std::size_t to);
+  /// Deep-copies a fragment's subgraph (for repeat/at_least).
+  [[nodiscard]] NfaFragment clone(NfaFragment a);
+  [[nodiscard]] std::vector<std::size_t> epsilon_closure(std::vector<std::size_t> states) const;
+
+  struct Edge {
+    std::uint8_t symbol;  // kEpsilon for epsilon edges
+    std::size_t to;
+  };
+  static constexpr std::uint8_t kEpsilon = 0xff;
+
+  std::size_t alphabet_;
+  std::vector<std::vector<Edge>> states_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,57 @@
+#include "index/gram_index.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+const std::vector<std::uint32_t> GramIndex::kEmpty{};
+
+GramIndex::GramIndex(std::span<const SymbolSeq> sequences, std::size_t n, std::size_t alphabet)
+    : n_(n), alphabet_(alphabet), sequence_count_(sequences.size()) {
+  MMIR_EXPECTS(n >= 1 && n <= 16);
+  MMIR_EXPECTS(alphabet >= 2 && alphabet <= 16);
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    const SymbolSeq& seq = sequences[s];
+    if (seq.size() < n_) continue;
+    for (std::size_t i = 0; i + n_ <= seq.size(); ++i) {
+      const std::uint64_t key = pack(std::span<const std::uint8_t>(seq).subspan(i, n_));
+      auto& list = postings_[key];
+      if (list.empty() || list.back() != static_cast<std::uint32_t>(s)) {
+        list.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+  }
+}
+
+std::uint64_t GramIndex::pack(std::span<const std::uint8_t> gram) const {
+  MMIR_EXPECTS(gram.size() == n_);
+  std::uint64_t key = 0;
+  for (std::uint8_t symbol : gram) {
+    MMIR_EXPECTS(symbol < alphabet_);
+    key = (key << 4) | symbol;
+  }
+  return key;
+}
+
+std::span<const std::uint32_t> GramIndex::postings(std::span<const std::uint8_t> gram) const {
+  const auto it = postings_.find(pack(gram));
+  return it == postings_.end() ? std::span<const std::uint32_t>(kEmpty)
+                               : std::span<const std::uint32_t>(it->second);
+}
+
+std::vector<std::uint32_t> GramIndex::candidates_any(std::span<const SymbolSeq> grams,
+                                                     CostMeter& meter) const {
+  std::vector<std::uint32_t> out;
+  for (const SymbolSeq& gram : grams) {
+    const auto list = postings(gram);
+    meter.add_ops(list.size());
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mmir

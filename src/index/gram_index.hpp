@@ -1,0 +1,56 @@
+#pragma once
+// n-gram inverted index over symbol sequences — the model-specific index for
+// finite-state retrieval.
+//
+// Weather series are discretized to a small symbol alphabet (see src/fsm).
+// The index maps every length-n symbol window to the list of series
+// containing it.  A finite-state model compiles to a set of "required grams":
+// any series accepted by the FSM must contain at least one gram from that set
+// (derived from the DFA's accepting paths), so candidate series are fetched
+// from the posting lists and only those are simulated — the §3.2 idea of
+// pruning the search space with a model-specific index, applied to the
+// finite-state family where convex-hull indexing "may not be suitable".
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// Discrete symbol stream (values < alphabet size, which must be <= 16 so
+/// grams pack into a u64 key for n <= 16).
+using SymbolSeq = std::vector<std::uint8_t>;
+
+class GramIndex {
+ public:
+  /// Indexes all length-`n` windows of every sequence.
+  GramIndex(std::span<const SymbolSeq> sequences, std::size_t n, std::size_t alphabet);
+
+  [[nodiscard]] std::size_t gram_length() const noexcept { return n_; }
+  [[nodiscard]] std::size_t sequence_count() const noexcept { return sequence_count_; }
+  [[nodiscard]] std::size_t distinct_grams() const noexcept { return postings_.size(); }
+
+  /// Packs a gram into its u64 key; gram.size() must equal gram_length().
+  [[nodiscard]] std::uint64_t pack(std::span<const std::uint8_t> gram) const;
+
+  /// Sequence ids containing the gram (sorted, deduplicated).
+  [[nodiscard]] std::span<const std::uint32_t> postings(std::span<const std::uint8_t> gram) const;
+
+  /// Union of postings over a set of grams: the candidate set for a query
+  /// that requires at least one of them.  Charges the meter one op per
+  /// posting touched.
+  [[nodiscard]] std::vector<std::uint32_t> candidates_any(
+      std::span<const SymbolSeq> grams, CostMeter& meter) const;
+
+ private:
+  std::size_t n_;
+  std::size_t alphabet_;
+  std::size_t sequence_count_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> postings_;
+  static const std::vector<std::uint32_t> kEmpty;
+};
+
+}  // namespace mmir

@@ -1,0 +1,59 @@
+#include "index/hull2d.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// Twice the signed area of triangle (o, a, b): > 0 for a left turn.
+double cross(std::span<const double> o, std::span<const double> a,
+             std::span<const double> b) noexcept {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> convex_hull_2d(const TupleSet& points,
+                                          std::span<const std::uint32_t> candidates) {
+  MMIR_EXPECTS(points.dim() == 2);
+  std::vector<std::uint32_t> ids(candidates.begin(), candidates.end());
+  std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto pa = points.row(a);
+    const auto pb = points.row(b);
+    if (pa[0] != pb[0]) return pa[0] < pb[0];
+    return pa[1] < pb[1];
+  });
+  ids.erase(std::unique(ids.begin(), ids.end(),
+                        [&](std::uint32_t a, std::uint32_t b) {
+                          const auto pa = points.row(a);
+                          const auto pb = points.row(b);
+                          return pa[0] == pb[0] && pa[1] == pb[1];
+                        }),
+            ids.end());
+  if (ids.size() <= 2) return ids;
+
+  std::vector<std::uint32_t> hull(2 * ids.size());
+  std::size_t k = 0;
+  // Lower chain.
+  for (std::uint32_t id : ids) {
+    while (k >= 2 && cross(points.row(hull[k - 2]), points.row(hull[k - 1]), points.row(id)) <= 0.0)
+      --k;
+    hull[k++] = id;
+  }
+  // Upper chain.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = ids.size() - 1; i-- > 0;) {
+    const std::uint32_t id = ids[i];
+    while (k >= lower_size &&
+           cross(points.row(hull[k - 2]), points.row(hull[k - 1]), points.row(id)) <= 0.0)
+      --k;
+    hull[k++] = id;
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+}  // namespace mmir

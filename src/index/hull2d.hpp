@@ -1,0 +1,25 @@
+#pragma once
+// 2-D convex hull (Andrew's monotone chain) over indexed point sets.
+//
+// Used by the Onion index for two-parameter linear models.  The hull is
+// computed over a subset of rows of a TupleSet identified by indices, so the
+// onion peeler can repeatedly hull the "still alive" points without copying
+// coordinates.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+
+namespace mmir {
+
+/// Returns the indices (into `candidates`' values, i.e. row ids of `points`)
+/// of the convex-hull vertices of the 2-D rows listed in `candidates`,
+/// in counter-clockwise order.  Collinear points on hull edges are NOT
+/// included (strict hull), so peeling makes progress on degenerate inputs.
+/// Handles n < 3 by returning all distinct input points.
+[[nodiscard]] std::vector<std::uint32_t> convex_hull_2d(const TupleSet& points,
+                                                        std::span<const std::uint32_t> candidates);
+
+}  // namespace mmir

@@ -1,0 +1,396 @@
+#include "index/hull3d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "index/hull2d.hpp"
+#include "util/error.hpp"
+
+namespace mmir {
+
+namespace {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator*(double s, const Vec3& a) noexcept { return {s * a.x, s * a.y, s * a.z}; }
+};
+
+double dot(const Vec3& a, const Vec3& b) noexcept { return a.x * b.x + a.y * b.y + a.z * b.z; }
+Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+double norm(const Vec3& a) noexcept { return std::sqrt(dot(a, a)); }
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+struct Face {
+  std::array<std::uint32_t, 3> v{};           // vertex row ids, outward winding
+  Vec3 normal;                                 // unit outward normal
+  double offset = 0.0;                         // plane: dot(normal, p) == offset
+  std::array<std::uint32_t, 3> neighbor{kNone, kNone, kNone};  // across edge (v[i], v[i+1])
+  std::vector<std::uint32_t> outside;          // candidate points above this face
+  bool alive = true;
+};
+
+class QuickHull3D {
+ public:
+  QuickHull3D(const TupleSet& points, std::span<const std::uint32_t> candidates)
+      : points_(points), ids_(candidates.begin(), candidates.end()) {}
+
+  std::vector<std::uint32_t> run() {
+    if (ids_.size() <= 3) return dedup_small();
+    compute_epsilon();
+    if (!build_initial_simplex()) return degenerate_hull();
+    assign_outside_points();
+    process();
+    return collect_vertices();
+  }
+
+ private:
+  Vec3 p(std::uint32_t id) const {
+    const auto row = points_.row(id);
+    return {row[0], row[1], row[2]};
+  }
+
+  double signed_distance(const Face& f, std::uint32_t id) const {
+    return dot(f.normal, p(id)) - f.offset;
+  }
+
+  void compute_epsilon() {
+    Vec3 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+    Vec3 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+    for (auto id : ids_) {
+      const Vec3 q = p(id);
+      lo = {std::min(lo.x, q.x), std::min(lo.y, q.y), std::min(lo.z, q.z)};
+      hi = {std::max(hi.x, q.x), std::max(hi.y, q.y), std::max(hi.z, q.z)};
+    }
+    const double extent = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-300});
+    eps_ = 1e-9 * extent;
+  }
+
+  std::vector<std::uint32_t> dedup_small() const {
+    std::vector<std::uint32_t> out;
+    for (auto id : ids_) {
+      bool duplicate = false;
+      for (auto kept : out) {
+        const Vec3 d = p(id) - p(kept);
+        if (norm(d) == 0.0) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) out.push_back(id);
+    }
+    return out;
+  }
+
+  /// Picks four affinely independent points; returns false when degenerate.
+  bool build_initial_simplex() {
+    // Extreme along x (ties broken by the coordinates themselves).
+    std::uint32_t a = ids_[0];
+    std::uint32_t b = ids_[0];
+    for (auto id : ids_) {
+      if (p(id).x < p(a).x) a = id;
+      if (p(id).x > p(b).x) b = id;
+    }
+    if (norm(p(b) - p(a)) <= eps_) {
+      // All points nearly coincident on x; try any distant pair.
+      for (auto id : ids_) {
+        if (norm(p(id) - p(a)) > norm(p(b) - p(a))) b = id;
+      }
+      if (norm(p(b) - p(a)) <= eps_) return false;  // coincident cloud
+    }
+    // Furthest from line ab.
+    const Vec3 ab = p(b) - p(a);
+    std::uint32_t c = kNone;
+    double best_line = eps_;
+    for (auto id : ids_) {
+      const double d = norm(cross(ab, p(id) - p(a))) / norm(ab);
+      if (d > best_line) {
+        best_line = d;
+        c = id;
+      }
+    }
+    if (c == kNone) return false;  // collinear
+    // Furthest from plane abc.
+    Vec3 n = cross(p(b) - p(a), p(c) - p(a));
+    n = (1.0 / norm(n)) * n;
+    const double plane_offset = dot(n, p(a));
+    std::uint32_t d_id = kNone;
+    double best_plane = eps_;
+    for (auto id : ids_) {
+      const double d = std::abs(dot(n, p(id)) - plane_offset);
+      if (d > best_plane) {
+        best_plane = d;
+        d_id = id;
+      }
+    }
+    if (d_id == kNone) return false;  // coplanar
+
+    interior_ = 0.25 * (p(a) + p(b) + p(c) + p(d_id));
+    make_face(a, b, c);
+    make_face(a, c, d_id);
+    make_face(a, d_id, b);
+    make_face(b, d_id, c);
+    link_all_faces();
+    simplex_ = {a, b, c, d_id};
+    return true;
+  }
+
+  /// Creates a face whose outward normal points away from interior_.
+  std::uint32_t make_face(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+    Face f;
+    f.v = {a, b, c};
+    Vec3 n = cross(p(b) - p(a), p(c) - p(a));
+    const double len = norm(n);
+    MMIR_ENSURES(len > 0.0);
+    n = (1.0 / len) * n;
+    double offset = dot(n, p(a));
+    if (dot(n, interior_) - offset > 0.0) {  // flip to face outward
+      std::swap(f.v[1], f.v[2]);
+      n = {-n.x, -n.y, -n.z};
+      offset = -offset;
+    }
+    f.normal = n;
+    f.offset = offset;
+    faces_.push_back(std::move(f));
+    return static_cast<std::uint32_t>(faces_.size() - 1);
+  }
+
+  /// Rebuilds neighbor links for every alive face (used once on the simplex).
+  void link_all_faces() {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint32_t, int>> edge_owner;
+    for (std::uint32_t fi = 0; fi < faces_.size(); ++fi) {
+      if (!faces_[fi].alive) continue;
+      for (int e = 0; e < 3; ++e) {
+        const std::uint32_t u = faces_[fi].v[static_cast<std::size_t>(e)];
+        const std::uint32_t w = faces_[fi].v[static_cast<std::size_t>((e + 1) % 3)];
+        const auto key = std::minmax(u, w);
+        auto it = edge_owner.find(key);
+        if (it == edge_owner.end()) {
+          edge_owner.emplace(key, std::make_pair(fi, e));
+        } else {
+          faces_[fi].neighbor[static_cast<std::size_t>(e)] = it->second.first;
+          faces_[it->second.first].neighbor[static_cast<std::size_t>(it->second.second)] = fi;
+        }
+      }
+    }
+  }
+
+  void assign_outside_points() {
+    for (auto id : ids_) {
+      if (id == simplex_[0] || id == simplex_[1] || id == simplex_[2] || id == simplex_[3]) continue;
+      assign_point(id, 0);
+    }
+    for (std::uint32_t fi = 0; fi < faces_.size(); ++fi) {
+      if (!faces_[fi].outside.empty()) pending_.push_back(fi);
+    }
+  }
+
+  /// Attaches a point to the first face (from `start`) it lies above.
+  void assign_point(std::uint32_t id, std::uint32_t start) {
+    for (std::uint32_t fi = start; fi < faces_.size(); ++fi) {
+      if (!faces_[fi].alive) continue;
+      if (signed_distance(faces_[fi], id) > eps_) {
+        faces_[fi].outside.push_back(id);
+        return;
+      }
+    }
+    // Interior (or on the surface): not a hull vertex; dropped.
+  }
+
+  void process() {
+    while (!pending_.empty()) {
+      const std::uint32_t fi = pending_.back();
+      pending_.pop_back();
+      if (fi >= faces_.size() || !faces_[fi].alive || faces_[fi].outside.empty()) continue;
+
+      // Eye point: farthest above this face.
+      const Face& face = faces_[fi];
+      std::uint32_t eye = face.outside.front();
+      double best = -1.0;
+      for (auto id : face.outside) {
+        const double d = signed_distance(face, id);
+        if (d > best) {
+          best = d;
+          eye = id;
+        }
+      }
+
+      // Find all faces visible from the eye (BFS over adjacency).
+      std::vector<std::uint32_t> visible;
+      std::set<std::uint32_t> visited;
+      std::vector<std::uint32_t> stack{fi};
+      visited.insert(fi);
+      while (!stack.empty()) {
+        const std::uint32_t cur = stack.back();
+        stack.pop_back();
+        visible.push_back(cur);
+        for (int e = 0; e < 3; ++e) {
+          const std::uint32_t nb = faces_[cur].neighbor[static_cast<std::size_t>(e)];
+          if (nb == kNone || visited.count(nb) != 0 || !faces_[nb].alive) continue;
+          if (signed_distance(faces_[nb], eye) > eps_) {
+            visited.insert(nb);
+            stack.push_back(nb);
+          }
+        }
+      }
+
+      // Horizon: edges of visible faces whose neighbor is not visible.
+      struct HorizonEdge {
+        std::uint32_t a, b;         // oriented as in the visible face
+        std::uint32_t outer_face;   // surviving neighbor across (a, b)
+      };
+      std::vector<HorizonEdge> horizon;
+      const std::set<std::uint32_t> visible_set(visible.begin(), visible.end());
+      for (auto vf : visible) {
+        for (int e = 0; e < 3; ++e) {
+          const std::uint32_t nb = faces_[vf].neighbor[static_cast<std::size_t>(e)];
+          if (nb != kNone && visible_set.count(nb) == 0) {
+            horizon.push_back(HorizonEdge{faces_[vf].v[static_cast<std::size_t>(e)],
+                                          faces_[vf].v[static_cast<std::size_t>((e + 1) % 3)], nb});
+          }
+        }
+      }
+
+      // Gather orphaned outside points and kill the visible faces.
+      std::vector<std::uint32_t> orphans;
+      for (auto vf : visible) {
+        for (auto id : faces_[vf].outside) {
+          if (id != eye) orphans.push_back(id);
+        }
+        faces_[vf].outside.clear();
+        faces_[vf].alive = false;
+      }
+
+      // Build the new cone of faces around the eye.
+      const std::uint32_t first_new = static_cast<std::uint32_t>(faces_.size());
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint32_t, int>> edge_map;
+      for (const auto& edge : horizon) {
+        const std::uint32_t nf = make_face(edge.a, edge.b, eye);
+        // Link with the surviving outer face across (a, b).
+        for (int e = 0; e < 3; ++e) {
+          const std::uint32_t u = faces_[nf].v[static_cast<std::size_t>(e)];
+          const std::uint32_t w = faces_[nf].v[static_cast<std::size_t>((e + 1) % 3)];
+          if (std::minmax(u, w) == std::minmax(edge.a, edge.b)) {
+            faces_[nf].neighbor[static_cast<std::size_t>(e)] = edge.outer_face;
+            // Update the outer face's back-pointer.
+            Face& outer = faces_[edge.outer_face];
+            for (int oe = 0; oe < 3; ++oe) {
+              const std::uint32_t ou = outer.v[static_cast<std::size_t>(oe)];
+              const std::uint32_t ow = outer.v[static_cast<std::size_t>((oe + 1) % 3)];
+              if (std::minmax(ou, ow) == std::minmax(edge.a, edge.b)) {
+                outer.neighbor[static_cast<std::size_t>(oe)] = nf;
+              }
+            }
+          } else {
+            // Eye-adjacent edge: link against sibling new faces via the map.
+            const auto key = std::minmax(u, w);
+            auto it = edge_map.find(key);
+            if (it == edge_map.end()) {
+              edge_map.emplace(key, std::make_pair(nf, e));
+            } else {
+              faces_[nf].neighbor[static_cast<std::size_t>(e)] = it->second.first;
+              faces_[it->second.first].neighbor[static_cast<std::size_t>(it->second.second)] = nf;
+            }
+          }
+        }
+      }
+
+      // Redistribute orphans over the new faces only (they were inside every
+      // surviving face already).
+      for (auto id : orphans) {
+        bool placed = false;
+        for (std::uint32_t nf = first_new; nf < faces_.size(); ++nf) {
+          if (signed_distance(faces_[nf], id) > eps_) {
+            faces_[nf].outside.push_back(id);
+            placed = true;
+            break;
+          }
+        }
+        (void)placed;  // unplaced points are now interior
+      }
+      for (std::uint32_t nf = first_new; nf < faces_.size(); ++nf) {
+        if (!faces_[nf].outside.empty()) pending_.push_back(nf);
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> collect_vertices() const {
+    std::set<std::uint32_t> verts;
+    for (const auto& f : faces_) {
+      if (f.alive) verts.insert(f.v.begin(), f.v.end());
+    }
+    return {verts.begin(), verts.end()};
+  }
+
+  /// Coplanar / collinear / coincident fallback: hull of the projection onto
+  /// the two dominant principal axes of the bounding box.
+  std::vector<std::uint32_t> degenerate_hull() const {
+    // Project to the plane spanned by the two widest axes.
+    std::array<double, 3> lo{std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::infinity()};
+    std::array<double, 3> hi{-std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+    for (auto id : ids_) {
+      const auto row = points_.row(id);
+      for (int d = 0; d < 3; ++d) {
+        lo[static_cast<std::size_t>(d)] = std::min(lo[static_cast<std::size_t>(d)], row[static_cast<std::size_t>(d)]);
+        hi[static_cast<std::size_t>(d)] = std::max(hi[static_cast<std::size_t>(d)], row[static_cast<std::size_t>(d)]);
+      }
+    }
+    std::array<int, 3> axes{0, 1, 2};
+    std::sort(axes.begin(), axes.end(), [&](int a, int b) {
+      return hi[static_cast<std::size_t>(a)] - lo[static_cast<std::size_t>(a)] >
+             hi[static_cast<std::size_t>(b)] - lo[static_cast<std::size_t>(b)];
+    });
+    TupleSet projected(2, ids_.size());
+    std::vector<std::uint32_t> local(ids_.size());
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      const auto row = points_.row(ids_[i]);
+      const double xy[2] = {row[static_cast<std::size_t>(axes[0])],
+                            row[static_cast<std::size_t>(axes[1])]};
+      projected.push_row(xy);
+      local[i] = static_cast<std::uint32_t>(i);
+    }
+    const auto hull_local = convex_hull_2d(projected, local);
+    std::vector<std::uint32_t> out;
+    out.reserve(hull_local.size());
+    for (auto li : hull_local) out.push_back(ids_[li]);
+    return out;
+  }
+
+  const TupleSet& points_;
+  std::vector<std::uint32_t> ids_;
+  std::vector<Face> faces_;
+  std::vector<std::uint32_t> pending_;
+  std::array<std::uint32_t, 4> simplex_{kNone, kNone, kNone, kNone};
+  Vec3 interior_;
+  double eps_ = 1e-12;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> convex_hull_3d(const TupleSet& points,
+                                          std::span<const std::uint32_t> candidates) {
+  MMIR_EXPECTS(points.dim() == 3);
+  QuickHull3D hull(points, candidates);
+  return hull.run();
+}
+
+}  // namespace mmir

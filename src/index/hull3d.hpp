@@ -1,0 +1,25 @@
+#pragma once
+// 3-D convex hull (quickhull) over indexed point sets.
+//
+// This is the geometric engine behind the Onion index for the paper's
+// three-parameter linear-model experiment (E1).  The implementation is
+// incremental quickhull with face adjacency, a scale-relative epsilon, and
+// interior-point orientation checks.  Degenerate inputs (coplanar, collinear,
+// coincident) fall back to lower-dimensional hulls so onion peeling always
+// makes progress.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+
+namespace mmir {
+
+/// Returns the row ids of the convex-hull vertices of the 3-D rows of
+/// `points` listed in `candidates` (unordered).  For degenerate point sets
+/// the result is the hull of the effective lower-dimensional configuration.
+[[nodiscard]] std::vector<std::uint32_t> convex_hull_3d(const TupleSet& points,
+                                                        std::span<const std::uint32_t> candidates);
+
+}  // namespace mmir

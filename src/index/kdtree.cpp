@@ -1,0 +1,170 @@
+#include "index/kdtree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+bool BoundingBox::contains(std::span<const double> p) const noexcept {
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (p[d] < lo[d] || p[d] > hi[d]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::intersects(const BoundingBox& other) const noexcept {
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (hi[d] < other.lo[d] || other.hi[d] < lo[d]) return false;
+  }
+  return true;
+}
+
+double BoundingBox::linear_upper_bound(std::span<const double> w) const noexcept {
+  double bound = 0.0;
+  for (std::size_t d = 0; d < lo.size(); ++d) bound += w[d] >= 0.0 ? w[d] * hi[d] : w[d] * lo[d];
+  return bound;
+}
+
+KdTree::KdTree(const TupleSet& points, std::size_t leaf_size) : points_(points) {
+  MMIR_EXPECTS(points_.size() > 0);
+  MMIR_EXPECTS(leaf_size > 0);
+  order_.resize(points_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<std::uint32_t>(i);
+  root_ = build(0, static_cast<std::uint32_t>(order_.size()), leaf_size);
+}
+
+BoundingBox KdTree::compute_box(std::uint32_t begin, std::uint32_t end) const {
+  BoundingBox box;
+  box.lo.assign(points_.dim(), std::numeric_limits<double>::infinity());
+  box.hi.assign(points_.dim(), -std::numeric_limits<double>::infinity());
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const auto row = points_.row(order_[i]);
+    for (std::size_t d = 0; d < points_.dim(); ++d) {
+      box.lo[d] = std::min(box.lo[d], row[d]);
+      box.hi[d] = std::max(box.hi[d], row[d]);
+    }
+  }
+  return box;
+}
+
+std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end, std::size_t leaf_size) {
+  Node node;
+  node.box = compute_box(begin, end);
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);  // placeholder; children filled below
+
+  if (end - begin <= leaf_size) {
+    nodes_[static_cast<std::size_t>(id)].begin = begin;
+    nodes_[static_cast<std::size_t>(id)].end = end;
+    return id;
+  }
+
+  // Split on the widest dimension at the median.
+  std::size_t axis = 0;
+  double widest = -1.0;
+  for (std::size_t d = 0; d < points_.dim(); ++d) {
+    const double extent = nodes_[static_cast<std::size_t>(id)].box.hi[d] -
+                          nodes_[static_cast<std::size_t>(id)].box.lo[d];
+    if (extent > widest) {
+      widest = extent;
+      axis = d;
+    }
+  }
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return points_.row(a)[axis] < points_.row(b)[axis];
+                   });
+  const std::int32_t left = build(begin, mid, leaf_size);
+  const std::int32_t right = build(mid, end, leaf_size);
+  nodes_[static_cast<std::size_t>(id)].left = left;
+  nodes_[static_cast<std::size_t>(id)].right = right;
+  return id;
+}
+
+std::vector<std::uint32_t> KdTree::range_query(std::span<const double> lo,
+                                               std::span<const double> hi,
+                                               CostMeter& meter) const {
+  MMIR_EXPECTS(lo.size() == points_.dim() && hi.size() == points_.dim());
+  ScopedTimer timer(meter);
+  BoundingBox query;
+  query.lo.assign(lo.begin(), lo.end());
+  query.hi.assign(hi.begin(), hi.end());
+
+  std::vector<std::uint32_t> out;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const auto ni = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (!node.box.intersects(query)) {
+      meter.add_pruned();
+      continue;
+    }
+    if (node.left < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = order_[i];
+        meter.add_points(1);
+        if (query.contains(points_.row(id))) out.push_back(id);
+      }
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ScoredId> KdTree::top_k_linear(std::span<const double> weights, std::size_t k,
+                                           CostMeter& meter) const {
+  MMIR_EXPECTS(weights.size() == points_.dim());
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+
+  struct Frontier {
+    double bound;
+    std::int32_t node;
+    bool operator<(const Frontier& other) const noexcept { return bound < other.bound; }
+  };
+  std::priority_queue<Frontier> frontier;
+  frontier.push({nodes_[static_cast<std::size_t>(root_)].box.linear_upper_bound(weights), root_});
+
+  TopK<std::uint32_t> top(k);
+  while (!frontier.empty()) {
+    const Frontier f = frontier.top();
+    frontier.pop();
+    // Once the best outstanding bound cannot beat the k-th best, stop.
+    if (top.full() && f.bound <= top.threshold()) {
+      meter.add_pruned();
+      break;
+    }
+    const Node& node = nodes_[static_cast<std::size_t>(f.node)];
+    if (node.left < 0) {
+      for (std::uint32_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = order_[i];
+        top.offer(dot(points_.row(id), weights), id);
+      }
+      meter.add_points(node.end - node.begin);
+      meter.add_ops((node.end - node.begin) * points_.dim());
+    } else {
+      for (std::int32_t child : {node.left, node.right}) {
+        frontier.push(
+            {nodes_[static_cast<std::size_t>(child)].box.linear_upper_bound(weights), child});
+        // Index-node work: reading the child MBR and computing its bound.
+        meter.add_ops(points_.dim());
+        meter.add_bytes(2 * points_.dim() * sizeof(double));
+      }
+    }
+  }
+
+  std::vector<ScoredId> out;
+  for (auto& entry : top.take_sorted()) out.push_back(ScoredId{entry.item, entry.score});
+  return out;
+}
+
+}  // namespace mmir

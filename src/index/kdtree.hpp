@@ -1,0 +1,67 @@
+#pragma once
+// kd-tree over tuple sets: the conventional spatial-index baseline.
+//
+// §3.2 of the paper argues that range-optimized structures (R*-tree and kin)
+// are "sub-optimal for model-based queries".  We implement both a kd-tree and
+// an R-tree so the benchmarks can quantify that argument: each supports
+// (a) axis-aligned range queries — their home turf — and (b) best-first
+// branch-and-bound top-K linear optimization using node bounding boxes,
+// which is the strongest reasonable adaptation of a spatial index to the
+// paper's linear-model queries.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+#include "index/seqscan.hpp"
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// Axis-aligned box in d dimensions.
+struct BoundingBox {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  [[nodiscard]] bool contains(std::span<const double> p) const noexcept;
+  [[nodiscard]] bool intersects(const BoundingBox& other) const noexcept;
+  /// max over the box of w·x (attained at a corner).
+  [[nodiscard]] double linear_upper_bound(std::span<const double> w) const noexcept;
+};
+
+/// Static median-split kd-tree (leaf buckets of `leaf_size` rows).
+class KdTree {
+ public:
+  explicit KdTree(const TupleSet& points, std::size_t leaf_size = 16);
+
+  /// Row ids of all points inside [lo, hi] (inclusive).
+  [[nodiscard]] std::vector<std::uint32_t> range_query(std::span<const double> lo,
+                                                       std::span<const double> hi,
+                                                       CostMeter& meter) const;
+
+  /// Top-k maximizers of w·x via best-first branch & bound.
+  [[nodiscard]] std::vector<ScoredId> top_k_linear(std::span<const double> weights, std::size_t k,
+                                                   CostMeter& meter) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    std::int32_t left = -1;    // children node ids, -1 for leaf
+    std::int32_t right = -1;
+    std::uint32_t begin = 0;   // leaf: [begin, end) into order_
+    std::uint32_t end = 0;
+  };
+
+  std::int32_t build(std::uint32_t begin, std::uint32_t end, std::size_t leaf_size);
+  [[nodiscard]] BoundingBox compute_box(std::uint32_t begin, std::uint32_t end) const;
+
+  const TupleSet& points_;
+  std::vector<std::uint32_t> order_;  // row ids, permuted by the build
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace mmir

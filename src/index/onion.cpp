@@ -1,0 +1,205 @@
+#include "index/onion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/hull2d.hpp"
+#include "index/hull3d.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+OnionIndex::OnionIndex(const TupleSet& points, OnionConfig config) : points_(points) {
+  MMIR_EXPECTS(points_.size() > 0);
+  MMIR_EXPECTS(config.max_layers > 0);
+  exact_ = points_.dim() <= 3;
+  if (!exact_) {
+    // Sample unit directions once; peeling extremes over them approximates
+    // the hull vertex set in high dimensions.
+    MMIR_EXPECTS(config.direction_samples > 0);
+    Rng rng(config.seed);
+    directions_.reserve(config.direction_samples);
+    for (std::size_t s = 0; s < config.direction_samples; ++s) {
+      std::vector<double> dir(points_.dim());
+      double norm = 0.0;
+      for (auto& v : dir) {
+        v = rng.normal();
+        norm += v * v;
+      }
+      norm = std::sqrt(norm);
+      for (auto& v : dir) v /= norm;
+      directions_.push_back(std::move(dir));
+    }
+  }
+  build(config);
+}
+
+void OnionIndex::build(const OnionConfig& config) {
+  std::vector<std::uint32_t> alive(points_.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = static_cast<std::uint32_t>(i);
+
+  while (!alive.empty() && layers_.size() < config.max_layers) {
+    std::vector<std::uint32_t> layer = peel_once(alive, config);
+    if (layer.empty()) break;  // defensive: peel must make progress
+    std::sort(layer.begin(), layer.end());
+    std::vector<std::uint32_t> next_alive;
+    next_alive.reserve(alive.size() - layer.size());
+    std::set_difference(alive.begin(), alive.end(), layer.begin(), layer.end(),
+                        std::back_inserter(next_alive));
+    layers_.push_back(std::move(layer));
+    alive = std::move(next_alive);
+  }
+  residual_ = std::move(alive);
+
+  // Suffix bounding boxes, innermost outward: box[i] covers layers >= i and
+  // the residual.
+  const std::size_t dim = points_.dim();
+  const auto grow = [&](std::vector<Interval>& box, std::uint32_t id) {
+    const auto row = points_.row(id);
+    for (std::size_t d = 0; d < dim; ++d) box[d] = box[d].hull(Interval::point(row[d]));
+  };
+  std::vector<Interval> suffix;
+  bool suffix_started = false;
+  const auto start_or_grow = [&](std::uint32_t id) {
+    if (!suffix_started) {
+      const auto row = points_.row(id);
+      suffix.assign(dim, Interval::point(row[0]));
+      for (std::size_t d = 0; d < dim; ++d) suffix[d] = Interval::point(row[d]);
+      suffix_started = true;
+    } else {
+      grow(suffix, id);
+    }
+  };
+  for (auto id : residual_) start_or_grow(id);
+  if (!residual_.empty()) residual_box_ = suffix;
+  layer_boxes_.resize(layers_.size());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    for (auto id : layers_[l]) start_or_grow(id);
+    layer_boxes_[l] = suffix;
+  }
+}
+
+std::vector<std::uint32_t> OnionIndex::peel_once(std::span<const std::uint32_t> alive,
+                                                 const OnionConfig&) const {
+  if (alive.size() <= points_.dim() + 1) {
+    return {alive.begin(), alive.end()};  // tiny remainder: one final layer
+  }
+  switch (points_.dim()) {
+    case 2:
+      return convex_hull_2d(points_, alive);
+    case 3:
+      return convex_hull_3d(points_, alive);
+    default: {
+      // Directional-extreme peel: argmax and argmin per sampled direction.
+      std::vector<std::uint32_t> extremes;
+      for (const auto& dir : directions_) {
+        std::uint32_t best_max = alive[0];
+        std::uint32_t best_min = alive[0];
+        double vmax = dot(points_.row(alive[0]), dir);
+        double vmin = vmax;
+        for (auto id : alive) {
+          const double v = dot(points_.row(id), dir);
+          if (v > vmax) {
+            vmax = v;
+            best_max = id;
+          }
+          if (v < vmin) {
+            vmin = v;
+            best_min = id;
+          }
+        }
+        extremes.push_back(best_max);
+        extremes.push_back(best_min);
+      }
+      std::sort(extremes.begin(), extremes.end());
+      extremes.erase(std::unique(extremes.begin(), extremes.end()), extremes.end());
+      return extremes;
+    }
+  }
+}
+
+std::span<const std::uint32_t> OnionIndex::layer(std::size_t i) const {
+  MMIR_EXPECTS(i < layers_.size());
+  return layers_[i];
+}
+
+std::size_t OnionIndex::size() const noexcept {
+  std::size_t total = residual_.size();
+  for (const auto& l : layers_) total += l.size();
+  return total;
+}
+
+std::vector<ScoredId> OnionIndex::query(std::span<const double> weights, std::size_t k,
+                                        double sign, CostMeter& meter) const {
+  MMIR_EXPECTS(weights.size() == points_.dim());
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  TopK<std::uint32_t> top(k);
+  const auto evaluate = [&](std::uint32_t id) {
+    top.offer(sign * dot(points_.row(id), weights), id);
+  };
+
+  // Signed linear bound of a suffix box: max of sign*(w.x) over the box.
+  const auto box_bound = [&](const std::vector<Interval>& box) {
+    double bound = 0.0;
+    for (std::size_t d = 0; d < box.size(); ++d) {
+      const double sw = sign * weights[d];
+      bound += sw >= 0.0 ? sw * box[d].hi : sw * box[d].lo;
+    }
+    return bound;
+  };
+
+  // The j-th best lies within the first j layers, so scanning min(k, L)
+  // layers suffices; the suffix-box bound usually terminates much earlier —
+  // as soon as nothing at or below the current layer can beat the K-th best.
+  const std::size_t scan_layers = std::min(k, layers_.size());
+  std::size_t evaluated = 0;
+  bool terminated_early = false;
+  for (std::size_t l = 0; l < scan_layers; ++l) {
+    if (top.full() && box_bound(layer_boxes_[l]) <= top.threshold()) {
+      terminated_early = true;
+      break;
+    }
+    for (auto id : layers_[l]) evaluate(id);
+    evaluated += layers_[l].size();
+    meter.add_ops(points_.dim());  // the suffix-box bound check
+  }
+  // When k exceeds the peeled depth the guarantee needs the leftovers too.
+  if (k > layers_.size() && !terminated_early) {
+    for (std::size_t l = scan_layers; l < layers_.size(); ++l) {
+      if (top.full() && box_bound(layer_boxes_[l]) <= top.threshold()) {
+        terminated_early = true;
+        break;
+      }
+      for (auto id : layers_[l]) evaluate(id);
+      evaluated += layers_[l].size();
+    }
+    if (!terminated_early &&
+        !(top.full() && !residual_.empty() && box_bound(residual_box_) <= top.threshold())) {
+      for (auto id : residual_) evaluate(id);
+      evaluated += residual_.size();
+    }
+  }
+  meter.add_points(evaluated);
+  meter.add_ops(evaluated * points_.dim());
+  meter.add_bytes(evaluated * points_.dim() * sizeof(double));
+
+  std::vector<ScoredId> out;
+  for (auto& entry : top.take_sorted()) out.push_back(ScoredId{entry.item, sign * entry.score});
+  return out;
+}
+
+std::vector<ScoredId> OnionIndex::top_k(std::span<const double> weights, std::size_t k,
+                                        CostMeter& meter) const {
+  return query(weights, k, 1.0, meter);
+}
+
+std::vector<ScoredId> OnionIndex::bottom_k(std::span<const double> weights, std::size_t k,
+                                           CostMeter& meter) const {
+  return query(weights, k, -1.0, meter);
+}
+
+}  // namespace mmir

@@ -1,0 +1,181 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+RTree::RTree(const TupleSet& points, std::size_t fanout) : points_(points) {
+  MMIR_EXPECTS(points_.size() > 0);
+  MMIR_EXPECTS(fanout >= 2);
+
+  std::vector<std::uint32_t> items(points_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = static_cast<std::uint32_t>(i);
+
+  bool leaf = true;
+  height_ = 0;
+  while (items.size() > 1 || height_ == 0) {
+    items = pack_level(std::move(items), leaf, fanout);
+    leaf = false;
+    ++height_;
+    if (items.size() == 1) break;
+  }
+  root_ = items.front();
+}
+
+BoundingBox RTree::box_of_item(std::uint32_t item, bool leaf) const {
+  if (leaf) {
+    const auto row = points_.row(item);
+    BoundingBox box;
+    box.lo.assign(row.begin(), row.end());
+    box.hi.assign(row.begin(), row.end());
+    return box;
+  }
+  return nodes_[item].box;
+}
+
+std::vector<double> RTree::center_of_item(std::uint32_t item, bool leaf) const {
+  const BoundingBox box = box_of_item(item, leaf);
+  std::vector<double> center(box.lo.size());
+  for (std::size_t d = 0; d < center.size(); ++d) center[d] = 0.5 * (box.lo[d] + box.hi[d]);
+  return center;
+}
+
+std::vector<std::uint32_t> RTree::pack_level(std::vector<std::uint32_t> items, bool leaf,
+                                             std::size_t fanout) {
+  const std::size_t dim = points_.dim();
+
+  // Recursive STR slab partitioning: sorts by successive center coordinates
+  // and slices so that final runs of `fanout` items are spatially compact.
+  struct Packer {
+    RTree& tree;
+    bool leaf;
+    std::size_t fanout;
+    std::size_t dim;
+    std::vector<std::uint32_t> parents;
+
+    void pack(std::span<std::uint32_t> span, std::size_t axis) {
+      const std::size_t groups = (span.size() + fanout - 1) / fanout;
+      if (groups <= 1 || axis + 1 >= dim) {
+        // Final axis: sort and chunk into nodes.
+        std::sort(span.begin(), span.end(), [&](std::uint32_t a, std::uint32_t b) {
+          return tree.center_of_item(a, leaf)[axis] < tree.center_of_item(b, leaf)[axis];
+        });
+        for (std::size_t start = 0; start < span.size(); start += fanout) {
+          const std::size_t count = std::min(fanout, span.size() - start);
+          Node node;
+          node.leaf = leaf;
+          node.children.assign(span.begin() + static_cast<long>(start),
+                               span.begin() + static_cast<long>(start + count));
+          node.box = tree.box_of_item(node.children.front(), leaf);
+          for (std::size_t c = 1; c < node.children.size(); ++c) {
+            const BoundingBox child = tree.box_of_item(node.children[c], leaf);
+            for (std::size_t d = 0; d < node.box.lo.size(); ++d) {
+              node.box.lo[d] = std::min(node.box.lo[d], child.lo[d]);
+              node.box.hi[d] = std::max(node.box.hi[d], child.hi[d]);
+            }
+          }
+          tree.nodes_.push_back(std::move(node));
+          parents.push_back(static_cast<std::uint32_t>(tree.nodes_.size() - 1));
+        }
+        return;
+      }
+      // Slab count: groups^(1/remaining_axes), at least 1.
+      const double remaining = static_cast<double>(dim - axis);
+      const auto slabs = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(std::pow(static_cast<double>(groups), 1.0 / remaining))));
+      std::sort(span.begin(), span.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return tree.center_of_item(a, leaf)[axis] < tree.center_of_item(b, leaf)[axis];
+      });
+      const std::size_t slab_size = (span.size() + slabs - 1) / slabs;
+      for (std::size_t start = 0; start < span.size(); start += slab_size) {
+        const std::size_t count = std::min(slab_size, span.size() - start);
+        pack(span.subspan(start, count), axis + 1);
+      }
+    }
+  };
+
+  Packer packer{*this, leaf, fanout, dim, {}};
+  packer.pack(items, 0);
+  return std::move(packer.parents);
+}
+
+std::vector<std::uint32_t> RTree::range_query(std::span<const double> lo,
+                                              std::span<const double> hi,
+                                              CostMeter& meter) const {
+  MMIR_EXPECTS(lo.size() == points_.dim() && hi.size() == points_.dim());
+  ScopedTimer timer(meter);
+  BoundingBox query;
+  query.lo.assign(lo.begin(), lo.end());
+  query.hi.assign(hi.begin(), hi.end());
+
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.intersects(query)) {
+      meter.add_pruned();
+      continue;
+    }
+    if (node.leaf) {
+      for (std::uint32_t id : node.children) {
+        meter.add_points(1);
+        if (query.contains(points_.row(id))) out.push_back(id);
+      }
+    } else {
+      for (std::uint32_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ScoredId> RTree::top_k_linear(std::span<const double> weights, std::size_t k,
+                                          CostMeter& meter) const {
+  MMIR_EXPECTS(weights.size() == points_.dim());
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+
+  struct Frontier {
+    double bound;
+    std::uint32_t node;
+    bool operator<(const Frontier& other) const noexcept { return bound < other.bound; }
+  };
+  std::priority_queue<Frontier> frontier;
+  frontier.push({nodes_[root_].box.linear_upper_bound(weights), root_});
+
+  TopK<std::uint32_t> top(k);
+  while (!frontier.empty()) {
+    const Frontier f = frontier.top();
+    frontier.pop();
+    if (top.full() && f.bound <= top.threshold()) {
+      meter.add_pruned();
+      break;
+    }
+    const Node& node = nodes_[f.node];
+    if (node.leaf) {
+      for (std::uint32_t id : node.children) top.offer(dot(points_.row(id), weights), id);
+      meter.add_points(node.children.size());
+      meter.add_ops(node.children.size() * points_.dim());
+    } else {
+      for (std::uint32_t child : node.children) {
+        frontier.push({nodes_[child].box.linear_upper_bound(weights), child});
+        // Index-node work: reading the child MBR and computing its bound.
+        meter.add_ops(points_.dim());
+        meter.add_bytes(2 * points_.dim() * sizeof(double));
+      }
+    }
+  }
+
+  std::vector<ScoredId> out;
+  for (auto& entry : top.take_sorted()) out.push_back(ScoredId{entry.item, entry.score});
+  return out;
+}
+
+}  // namespace mmir

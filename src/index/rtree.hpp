@@ -1,0 +1,56 @@
+#pragma once
+// STR bulk-loaded R-tree — the paper's explicitly named conventional index
+// ("Most of the high-dimensional indexing techniques such as R*-tree are
+// optimized for spatial range queries… sub-optimal for model-based queries").
+//
+// Sort-Tile-Recursive packing produces near-optimal static R-trees, which is
+// the fair comparison point for an archive that is bulk-ingested once.  The
+// tree answers range queries and best-first branch-and-bound linear top-K,
+// letting benchmark E1 quantify the paper's sub-optimality claim against the
+// Onion index.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+#include "index/kdtree.hpp"  // BoundingBox, ScoredId
+#include "util/cost.hpp"
+
+namespace mmir {
+
+class RTree {
+ public:
+  /// Bulk-loads via STR packing with the given node fanout.
+  explicit RTree(const TupleSet& points, std::size_t fanout = 32);
+
+  [[nodiscard]] std::vector<std::uint32_t> range_query(std::span<const double> lo,
+                                                       std::span<const double> hi,
+                                                       CostMeter& meter) const;
+
+  [[nodiscard]] std::vector<ScoredId> top_k_linear(std::span<const double> weights, std::size_t k,
+                                                   CostMeter& meter) const;
+
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    bool leaf = false;
+    std::vector<std::uint32_t> children;  // node ids, or row ids when leaf
+  };
+
+  /// Packs `items` (node ids or row ids) into parent nodes; returns parents.
+  [[nodiscard]] std::vector<std::uint32_t> pack_level(std::vector<std::uint32_t> items, bool leaf,
+                                                      std::size_t fanout);
+  [[nodiscard]] BoundingBox box_of_item(std::uint32_t item, bool leaf) const;
+  [[nodiscard]] std::vector<double> center_of_item(std::uint32_t item, bool leaf) const;
+
+  const TupleSet& points_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = 0;
+  std::size_t height_ = 0;
+};
+
+}  // namespace mmir

@@ -1,0 +1,43 @@
+#include "index/seqscan.hpp"
+
+#include "util/matrix.hpp"
+
+namespace mmir {
+
+namespace {
+
+std::vector<ScoredId> scan_impl(const TupleSet& points, std::span<const double> weights,
+                                std::size_t k, double sign, CostMeter& meter) {
+  MMIR_EXPECTS(weights.size() == points.dim());
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  TopK<std::uint32_t> top(k);
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double value = sign * dot(points.row(i), weights);
+    top.offer(value, static_cast<std::uint32_t>(i));
+  }
+  meter.add_points(n);
+  meter.add_ops(n * points.dim());
+  meter.add_bytes(n * points.dim() * sizeof(double));
+
+  std::vector<ScoredId> out;
+  for (auto& entry : top.take_sorted()) {
+    out.push_back(ScoredId{entry.item, sign * entry.score});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScoredId> scan_top_k(const TupleSet& points, std::span<const double> weights,
+                                 std::size_t k, CostMeter& meter) {
+  return scan_impl(points, weights, k, 1.0, meter);
+}
+
+std::vector<ScoredId> scan_bottom_k(const TupleSet& points, std::span<const double> weights,
+                                    std::size_t k, CostMeter& meter) {
+  return scan_impl(points, weights, k, -1.0, meter);
+}
+
+}  // namespace mmir

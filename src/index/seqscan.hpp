@@ -1,0 +1,34 @@
+#pragma once
+// Sequential-scan evaluation of a linear preference over a tuple set — the
+// baseline every index in the paper is measured against ("almost all existing
+// methods require applying the model sequentially over the entire region of
+// the data").
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+#include "util/cost.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+/// A scored retrieval hit: tuple row id + model value.
+struct ScoredId {
+  std::uint32_t id = 0;
+  double score = 0.0;
+};
+
+/// Evaluates w·x over every row and returns the top-k maximizers
+/// (best first).  Charges `meter` one point + dim ops per row.
+[[nodiscard]] std::vector<ScoredId> scan_top_k(const TupleSet& points,
+                                               std::span<const double> weights, std::size_t k,
+                                               CostMeter& meter);
+
+/// Same, for minimization.
+[[nodiscard]] std::vector<ScoredId> scan_bottom_k(const TupleSet& points,
+                                                  std::span<const double> weights, std::size_t k,
+                                                  CostMeter& meter);
+
+}  // namespace mmir

@@ -1,0 +1,127 @@
+#include "knowledge/hps.hpp"
+
+#include <algorithm>
+
+#include "util/topk.hpp"
+
+namespace mmir {
+
+BayesNet hps_house_network() {
+  BayesNet net;
+  const std::size_t house = net.add_variable(kHpsHouse, 2);
+  const std::size_t bushes = net.add_variable(kHpsBushes, 2);
+  const std::size_t rain = net.add_variable(kHpsRainSeason, 2);
+  const std::size_t dry = net.add_variable(kHpsDrySeason, 2);
+  const std::size_t surrounded = net.add_variable(kHpsSurrounded, 2, {house, bushes});
+  const std::size_t wet_dry = net.add_variable(kHpsWetThenDry, 2, {rain, dry});
+  const std::size_t risk = net.add_variable(kHpsHighRisk, 2, {surrounded, wet_dry});
+
+  // Priors (typical rural scene / climate frequencies).
+  net.set_cpt(house, {0.9, 0.1});
+  net.set_cpt(bushes, {0.6, 0.4});
+  net.set_cpt(rain, {0.45, 0.55});
+  net.set_cpt(dry, {0.35, 0.65});
+
+  // surrounded = house AND bushes, with small observation leakage: a house in
+  // partial scrub occasionally qualifies.
+  net.set_cpt(surrounded, {
+                              // house=0,bushes=0 -> P(surrounded = 0,1)
+                              1.00, 0.00,
+                              // house=0,bushes=1
+                              1.00, 0.00,
+                              // house=1,bushes=0
+                              0.95, 0.05,
+                              // house=1,bushes=1
+                              0.10, 0.90,
+                          });
+  // wet_then_dry = raining season AND subsequent dry season (noisy AND).
+  net.set_cpt(wet_dry, {
+                           1.00, 0.00,  // rain=0,dry=0
+                           0.97, 0.03,  // rain=0,dry=1
+                           0.95, 0.05,  // rain=1,dry=0
+                           0.15, 0.85,  // rain=1,dry=1
+                       });
+  // The epidemiological core: rodent habitat (bushy house) plus the food-
+  // pulse weather pattern drive the outbreak risk.
+  net.set_cpt(risk, {
+                        0.99, 0.01,  // surrounded=0, wet_dry=0
+                        0.90, 0.10,  // surrounded=0, wet_dry=1
+                        0.80, 0.20,  // surrounded=1, wet_dry=0
+                        0.15, 0.85,  // surrounded=1, wet_dry=1
+                    });
+  return net;
+}
+
+SeasonPattern detect_seasons(const WeatherSeries& series, std::size_t season_days,
+                             double wet_fraction, double dry_fraction) {
+  MMIR_EXPECTS(season_days >= 2);
+  SeasonPattern pattern;
+  if (series.size() < season_days) return pattern;
+
+  // Sliding wet-day count over season-length windows.
+  std::size_t wet_days = 0;
+  for (std::size_t i = 0; i < season_days; ++i) wet_days += series[i].rained() ? 1 : 0;
+  long rain_season_end = -1;
+  const auto window_count = series.size() - season_days + 1;
+  for (std::size_t start = 0;; ++start) {
+    const double fraction = static_cast<double>(wet_days) / static_cast<double>(season_days);
+    if (fraction >= wet_fraction && rain_season_end < 0) {
+      pattern.had_rain_season = true;
+      rain_season_end = static_cast<long>(start + season_days);
+    }
+    if (fraction <= dry_fraction && rain_season_end >= 0 &&
+        static_cast<long>(start) >= rain_season_end) {
+      pattern.had_dry_season_after = true;
+      break;
+    }
+    if (start + 1 >= window_count) break;
+    wet_days -= series[start].rained() ? 1 : 0;
+    wet_days += series[start + season_days].rained() ? 1 : 0;
+  }
+  return pattern;
+}
+
+std::vector<HouseRisk> rank_high_risk_houses(const Scene& scene, const WeatherSeries& weather,
+                                             std::size_t k, CostMeter& meter,
+                                             std::size_t bush_radius, double bush_fraction) {
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  BayesNet net = hps_house_network();
+  const std::size_t house_var = net.find(kHpsHouse);
+  const std::size_t bushes_var = net.find(kHpsBushes);
+  const std::size_t rain_var = net.find(kHpsRainSeason);
+  const std::size_t dry_var = net.find(kHpsDrySeason);
+  const std::size_t risk_var = net.find(kHpsHighRisk);
+
+  // Regional weather evidence is shared by every cell.
+  const SeasonPattern seasons = detect_seasons(weather);
+
+  TopK<HouseRisk> top(k);
+  const double house_label = static_cast<double>(LandCover::kHouse);
+  const double bush_label = static_cast<double>(LandCover::kBush);
+  const std::size_t window = 2 * bush_radius + 1;
+  for (std::size_t y = 0; y < scene.height; ++y) {
+    for (std::size_t x = 0; x < scene.width; ++x) {
+      if (scene.landcover.cell(x, y) != house_label) continue;
+      const std::size_t x0 = x >= bush_radius ? x - bush_radius : 0;
+      const std::size_t y0 = y >= bush_radius ? y - bush_radius : 0;
+      const double fraction = scene.landcover.window_fraction(x0, y0, window, window, bush_label);
+      meter.add_points(window * window);
+
+      std::map<std::size_t, std::size_t> evidence;
+      evidence[house_var] = 1;
+      evidence[bushes_var] = fraction >= bush_fraction ? 1 : 0;
+      evidence[rain_var] = seasons.had_rain_season ? 1 : 0;
+      evidence[dry_var] = seasons.had_dry_season_after ? 1 : 0;
+      const auto posterior = net.posterior(risk_var, evidence, meter);
+      // The bush fraction breaks ties among cells with identical evidence so
+      // the ranking is stable and favours the densest habitat.
+      top.offer(posterior[1] + 1e-6 * fraction, HouseRisk{x, y, posterior[1]});
+    }
+  }
+  std::vector<HouseRisk> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+}  // namespace mmir

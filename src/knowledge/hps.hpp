@@ -1,0 +1,70 @@
+#pragma once
+// The Hantavirus Pulmonary Syndrome knowledge model of paper Figs. 2–3:
+// high-risk houses are "houses, surrounded by bushes, with a weather pattern
+// of a raining season followed by a dry season."
+//
+// The Bayesian network transcribes Fig. 3:
+//
+//     house   bushes        raining_season   dry_season
+//        \     /                  \            /
+//     house_surrounded_by_bushes   wet_then_dry
+//                   \                /
+//                    --- high_risk --
+//
+// Evidence is multi-modal: land-cover raster cells supply house/bush nodes,
+// the regional weather series supplies the season nodes, and the posterior
+// P(high_risk | evidence) ranks candidate locations.
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/bayesnet.hpp"
+#include "data/scene.hpp"
+#include "data/weather.hpp"
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// Variable names in the network returned by hps_house_network().
+inline constexpr const char* kHpsHouse = "house";
+inline constexpr const char* kHpsBushes = "bushes";
+inline constexpr const char* kHpsRainSeason = "raining_season";
+inline constexpr const char* kHpsDrySeason = "dry_season";
+inline constexpr const char* kHpsSurrounded = "house_surrounded_by_bushes";
+inline constexpr const char* kHpsWetThenDry = "wet_then_dry";
+inline constexpr const char* kHpsHighRisk = "high_risk";
+
+/// Builds the Fig. 3 network with expert-knowledge CPTs (all binary nodes).
+[[nodiscard]] BayesNet hps_house_network();
+
+/// Detects the "raining season followed by a dry season" pattern: a window of
+/// `season_days` whose wet-day fraction exceeds `wet_fraction`, followed
+/// (anywhere later) by a window whose wet-day fraction is below
+/// `dry_fraction`.  Returns the two season flags.
+struct SeasonPattern {
+  bool had_rain_season = false;
+  bool had_dry_season_after = false;
+};
+[[nodiscard]] SeasonPattern detect_seasons(const WeatherSeries& series,
+                                           std::size_t season_days = 60,
+                                           double wet_fraction = 0.4,
+                                           double dry_fraction = 0.12);
+
+/// One candidate location with its inferred risk.
+struct HouseRisk {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  double probability = 0.0;  ///< P(high_risk = 1 | evidence)
+};
+
+/// Ranks the k most at-risk house cells of the scene under the regional
+/// weather series (best first).  `bush_radius` is the neighbourhood (in
+/// cells) inspected for the "surrounded by bushes" evidence; a cell counts as
+/// bushy when the bush fraction in that window exceeds `bush_fraction`.
+[[nodiscard]] std::vector<HouseRisk> rank_high_risk_houses(const Scene& scene,
+                                                           const WeatherSeries& weather,
+                                                           std::size_t k, CostMeter& meter,
+                                                           std::size_t bush_radius = 3,
+                                                           double bush_fraction = 0.25);
+
+}  // namespace mmir

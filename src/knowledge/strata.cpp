@@ -1,0 +1,74 @@
+#include "knowledge/strata.hpp"
+
+#include <algorithm>
+
+#include "bayes/fuzzy.hpp"
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+CartesianQuery riverbed_query(const WellLog& well, const RiverbedRule& rule) {
+  MMIR_EXPECTS(!well.layers.empty());
+  static constexpr Lithology kWanted[3] = {Lithology::kShale, Lithology::kSandstone,
+                                           Lithology::kSiltstone};
+
+  const Membership gamma_high =
+      ramp_up(rule.gamma_threshold_api - rule.gamma_softness_api,
+              rule.gamma_threshold_api + rule.gamma_softness_api);
+  const Membership thick_enough = ramp_up(0.0, rule.min_thickness_ft);
+  const Membership small_gap = ramp_down(0.0, rule.max_gap_ft);
+
+  CartesianQuery query;
+  query.components = 3;
+  query.library_size = well.layers.size();
+  query.unary = [&well, gamma_high, thick_enough](std::size_t m, std::uint32_t j) {
+    const LogLayer& layer = well.layers[j];
+    if (layer.lithology != kWanted[m]) return 0.0;
+    // Fig. 4's gamma condition singles out the hot (shale) response; clean
+    // sandstone/siltstone run low-API, so only component 0 grades gamma.
+    return fuzzy_and_min(gamma_high(m == 0 ? layer.gamma_api : 100.0),
+                         thick_enough(layer.thickness_ft));
+  };
+  query.binary = [&well, small_gap](std::size_t, std::uint32_t i, std::uint32_t j) {
+    const LogLayer& upper = well.layers[i];
+    const LogLayer& lower = well.layers[j];
+    const double upper_bottom = upper.top_ft + upper.thickness_ft;
+    if (lower.top_ft < upper_bottom) return 0.0;  // must be strictly below
+    return small_gap(lower.top_ft - upper_bottom);
+  };
+  return query;
+}
+
+std::vector<WellMatch> find_riverbeds(const WellLogArchive& archive, std::size_t k,
+                                      SprocEngine engine, CostMeter& meter,
+                                      const RiverbedRule& rule) {
+  MMIR_EXPECTS(k > 0);
+  TopK<WellMatch> top(k);
+  for (const WellLog& well : archive.wells) {
+    if (well.layers.empty()) continue;
+    const CartesianQuery query = riverbed_query(well, rule);
+    std::vector<CompositeMatch> matches;
+    switch (engine) {
+      case SprocEngine::kBruteForce:
+        matches = brute_force_top_k(query, 1, meter);
+        break;
+      case SprocEngine::kDynamicProgramming:
+        matches = sproc_top_k(query, 1, meter);
+        break;
+      case SprocEngine::kThreshold:
+        matches = fast_sproc_top_k(query, 1, meter);
+        break;
+    }
+    if (!matches.empty() && matches.front().score > 0.0) {
+      top.offer(matches.front().score, WellMatch{well.id, std::move(matches.front())});
+    }
+  }
+  std::vector<WellMatch> out;
+  for (auto& entry : top.take_sorted()) out.push_back(std::move(entry.item));
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,48 @@
+#pragma once
+// The geology knowledge model of paper Fig. 4: "riverbed consists of shale,
+// on top of sandstones, on top of siltstones, adjacent, < 10 ft, and the
+// Gamma ray of these region is higher than 45."
+//
+// The rule compiles to a 3-component fuzzy Cartesian query over a well's
+// layer stack: unary degrees grade lithology identity and the gamma-ray
+// threshold (soft ramp around 45 API); binary degrees grade "directly above
+// with a gap under 10 ft".  Any of the SPROC processors evaluates the query;
+// archive-level retrieval ranks wells by their best-scoring match.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/welllog.hpp"
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+/// Tuning knobs of the riverbed rule (defaults transcribe Fig. 4).
+struct RiverbedRule {
+  double gamma_threshold_api = 45.0;  ///< "gamma ray higher than 45"
+  double gamma_softness_api = 10.0;   ///< ramp width around the threshold
+  double max_gap_ft = 10.0;           ///< "adjacent, < 10 ft"
+  double min_thickness_ft = 2.0;      ///< layers thinner than this fade out
+};
+
+/// Compiles the rule into a Cartesian query over `well`'s layers
+/// (components: 0 = shale, 1 = sandstone, 2 = siltstone, top-down).
+/// The well must outlive the query (the closures capture a reference).
+[[nodiscard]] CartesianQuery riverbed_query(const WellLog& well, const RiverbedRule& rule = {});
+
+/// Which SPROC processor evaluates the per-well query.
+enum class SprocEngine { kBruteForce, kDynamicProgramming, kThreshold };
+
+/// A well together with its best riverbed match.
+struct WellMatch {
+  std::size_t well_id = 0;
+  CompositeMatch match;  ///< layer indices per component + fuzzy score
+};
+
+/// Ranks the k wells with the strongest riverbed pattern (best first).
+/// Wells with score 0 are omitted.
+[[nodiscard]] std::vector<WellMatch> find_riverbeds(const WellLogArchive& archive, std::size_t k,
+                                                    SprocEngine engine, CostMeter& meter,
+                                                    const RiverbedRule& rule = {});
+
+}  // namespace mmir

@@ -1,0 +1,42 @@
+#include "linear/model.hpp"
+
+namespace mmir {
+
+LinearModel::LinearModel(std::vector<double> weights, double bias, std::vector<std::string> names)
+    : weights_(std::move(weights)), bias_(bias), names_(std::move(names)) {
+  MMIR_EXPECTS(!weights_.empty());
+  if (names_.empty()) {
+    names_.reserve(weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i) names_.push_back("x" + std::to_string(i));
+  }
+  MMIR_EXPECTS(names_.size() == weights_.size());
+}
+
+double LinearModel::evaluate(std::span<const double> x) const {
+  MMIR_EXPECTS(x.size() == weights_.size());
+  double sum = bias_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) sum += weights_[i] * x[i];
+  return sum;
+}
+
+Interval LinearModel::evaluate_interval(std::span<const Interval> x) const {
+  MMIR_EXPECTS(x.size() == weights_.size());
+  Interval sum = Interval::point(bias_);
+  for (std::size_t i = 0; i < weights_.size(); ++i) sum = sum + weights_[i] * x[i];
+  return sum;
+}
+
+LinearModel hps_risk_model() {
+  return LinearModel({0.443, 0.222, 0.153, 0.183}, 0.0, {"b4", "b5", "b7", "elevation_m"});
+}
+
+LinearModel fico_score_model() {
+  // FICO = 900 − 28·late − (−6)·credit_age − 180·utilization − (−2)·residence
+  //            − (−3)·employment − 60·derogatories
+  // expressed directly as weights on the attributes plus bias 900.
+  return LinearModel({-28.0, 6.0, -180.0, 2.0, 3.0, -60.0}, 900.0,
+                     {"late_payments", "credit_age_years", "utilization", "residence_years",
+                      "employment_years", "derogatories"});
+}
+
+}  // namespace mmir

@@ -1,0 +1,56 @@
+#pragma once
+// Linear time-invariant models (paper §2.1):  Y = a1·X1 + a2·X2 + … + an·Xn
+// (+ optional constant term).
+//
+// Presets reproduce the two §2.1 examples: the Hantavirus Pulmonary Syndrome
+// risk model over Landsat bands 4/5/7 + DEM elevation, and a FICO-style
+// credit score of the form  FICO = 900 − Σ ai·Xi.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/interval.hpp"
+
+namespace mmir {
+
+/// Immutable linear model with named attributes.
+class LinearModel {
+ public:
+  LinearModel(std::vector<double> weights, double bias, std::vector<std::string> names);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return weights_.size(); }
+  [[nodiscard]] double weight(std::size_t i) const {
+    MMIR_EXPECTS(i < weights_.size());
+    return weights_[i];
+  }
+  [[nodiscard]] std::span<const double> weights() const noexcept { return weights_; }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    MMIR_EXPECTS(i < names_.size());
+    return names_[i];
+  }
+
+  /// Model value at an attribute vector.
+  [[nodiscard]] double evaluate(std::span<const double> x) const;
+
+  /// Interval bound of the model over an attribute box (used for screening).
+  [[nodiscard]] Interval evaluate_interval(std::span<const Interval> x) const;
+
+ private:
+  std::vector<double> weights_;
+  double bias_;
+  std::vector<std::string> names_;
+};
+
+/// §2.1: R(x,y) = 0.443·b4 + 0.222·b5 + 0.153·b7 + 0.183·elevation.
+/// Attribute order: b4, b5, b7, elevation_m.
+[[nodiscard]] LinearModel hps_risk_model();
+
+/// §2.1: FICO = 900 − Σ ai·Xi over the six credit attributes of
+/// data/tuples.hpp (CreditAttribute order).  Negative a_i for credit age /
+/// residence / employment encode that longer histories *raise* the score.
+[[nodiscard]] LinearModel fico_score_model();
+
+}  // namespace mmir

@@ -1,0 +1,141 @@
+#include "linear/progressive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+ProgressiveLinearModel::ProgressiveLinearModel(const LinearModel& model,
+                                               std::vector<Interval> ranges)
+    : model_(model), ranges_(std::move(ranges)) {
+  MMIR_EXPECTS(ranges_.size() == model_.dim());
+  order_.resize(model_.dim());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    const double ca = std::abs(model_.weight(a)) * ranges_[a].width();
+    const double cb = std::abs(model_.weight(b)) * ranges_[b].width();
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  // tails_[s]: interval of Σ_{j>s} w_order[j] · X_order[j].
+  tails_.assign(model_.dim(), Interval::point(0.0));
+  Interval tail = Interval::point(0.0);
+  for (std::size_t s = model_.dim(); s-- > 0;) {
+    tails_[s] = tail;  // uncertainty remaining AFTER evaluating stage s
+    const std::size_t attr = order_[s];
+    tail = tail + model_.weight(attr) * ranges_[attr];
+  }
+}
+
+double ProgressiveLinearModel::contribution(std::size_t stage) const {
+  MMIR_EXPECTS(stage < order_.size());
+  const std::size_t attr = order_[stage];
+  return std::abs(model_.weight(attr)) * ranges_[attr].width();
+}
+
+Interval ProgressiveLinearModel::tail(std::size_t stage) const {
+  MMIR_EXPECTS(stage < tails_.size());
+  return tails_[stage];
+}
+
+LinearModel ProgressiveLinearModel::truncated(std::size_t terms) const {
+  MMIR_EXPECTS(terms >= 1 && terms <= order_.size());
+  std::vector<double> weights(model_.dim(), 0.0);
+  std::vector<std::string> names;
+  names.reserve(model_.dim());
+  for (std::size_t i = 0; i < model_.dim(); ++i) names.push_back(model_.name(i));
+  for (std::size_t s = 0; s < terms; ++s) weights[order_[s]] = model_.weight(order_[s]);
+  return LinearModel(std::move(weights), model_.bias(), std::move(names));
+}
+
+std::vector<Interval> attribute_ranges(const TupleSet& points) {
+  MMIR_EXPECTS(points.size() > 0);
+  std::vector<OnlineStats> stats(points.dim());
+  for (std::size_t r = 0; r < points.size(); ++r) {
+    const auto row = points.row(r);
+    for (std::size_t d = 0; d < points.dim(); ++d) stats[d].add(row[d]);
+  }
+  std::vector<Interval> ranges;
+  ranges.reserve(points.dim());
+  for (const auto& s : stats) ranges.push_back(s.range());
+  return ranges;
+}
+
+std::vector<ScoredId> progressive_top_k(const TupleSet& points,
+                                        const ProgressiveLinearModel& model, std::size_t k,
+                                        CostMeter& meter, ProgressiveScanStats* stats) {
+  MMIR_EXPECTS(points.dim() == model.model().dim());
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  const std::size_t n = points.size();
+  const std::size_t dim = points.dim();
+  const auto order = model.order();
+
+  // Candidates carry their running partial sum.
+  struct Candidate {
+    std::uint32_t id;
+    double partial;
+  };
+  std::vector<Candidate> candidates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates[i] = {static_cast<std::uint32_t>(i), model.model().bias()};
+  }
+
+  std::uint64_t terms_computed = 0;
+  for (std::size_t stage = 0; stage < dim; ++stage) {
+    const std::size_t attr = order[stage];
+    const double w = model.model().weight(attr);
+    for (auto& c : candidates) c.partial += w * points.row(c.id)[attr];
+    terms_computed += candidates.size();
+    if (stats != nullptr) stats->stages_run = stage + 1;
+
+    if (stage + 1 == dim) break;  // final stage: partials are exact values
+
+    // Guaranteed value of the current k-th best: partial + tail.lo.
+    const Interval tail = model.tail(stage);
+    if (candidates.size() > k) {
+      // k-th largest guaranteed lower bound.
+      std::vector<double> lows;
+      lows.reserve(candidates.size());
+      for (const auto& c : candidates) lows.push_back(c.partial + tail.lo);
+      std::nth_element(lows.begin(), lows.begin() + static_cast<long>(k - 1), lows.end(),
+                       std::greater<>());
+      const double kth_low = lows[k - 1];
+      // Keep candidates whose best possible value can still reach kth_low.
+      const auto keep_end = std::remove_if(candidates.begin(), candidates.end(),
+                                           [&](const Candidate& c) {
+                                             return c.partial + tail.hi < kth_low;
+                                           });
+      meter.add_pruned(static_cast<std::uint64_t>(std::distance(keep_end, candidates.end())));
+      candidates.erase(keep_end, candidates.end());
+    }
+    if (candidates.size() <= k) {
+      // Cheaper to finish the survivors exactly than to keep staging.
+      for (auto& c : candidates) {
+        for (std::size_t s = stage + 1; s < dim; ++s) {
+          const std::size_t a = order[s];
+          c.partial += model.model().weight(a) * points.row(c.id)[a];
+          ++terms_computed;
+        }
+      }
+      break;
+    }
+  }
+
+  meter.add_ops(terms_computed);
+  meter.add_points(terms_computed);
+  meter.add_bytes(terms_computed * sizeof(double));
+  if (stats != nullptr) stats->candidates_after_final_stage = candidates.size();
+
+  TopK<std::uint32_t> top(k);
+  for (const auto& c : candidates) top.offer(c.partial, c.id);
+  std::vector<ScoredId> out;
+  for (auto& entry : top.take_sorted()) out.push_back(ScoredId{entry.item, entry.score});
+  return out;
+}
+
+}  // namespace mmir

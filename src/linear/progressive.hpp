@@ -1,0 +1,69 @@
+#pragma once
+// Progressive linear-model execution (paper §3.1).
+//
+// "If |a1,a2| ≫ |a3,a4| then a coarser representation of the model … is
+//  R*(x,y,t) ≈ a1·X1 + a2·X2" — the model is decomposed into stages ordered
+// by each term's *contribution* |ai| · spread(Xi), and candidates are
+// evaluated stage by stage.  After each stage, interval bounds on the not-yet
+// -evaluated terms prune every candidate whose best possible final value
+// cannot reach the current K-th best guaranteed value.  This is exact top-K
+// with a fraction of the multiply-adds — the pm factor of §4.2.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/tuples.hpp"
+#include "index/seqscan.hpp"
+#include "linear/model.hpp"
+#include "util/cost.hpp"
+#include "util/interval.hpp"
+
+namespace mmir {
+
+/// Stage decomposition of a linear model for a known attribute-range box.
+class ProgressiveLinearModel {
+ public:
+  /// `ranges` bounds each attribute over the archive (from tile summaries or
+  /// a single data pass); they drive both the stage ordering and the pruning
+  /// bounds.
+  ProgressiveLinearModel(const LinearModel& model, std::vector<Interval> ranges);
+
+  [[nodiscard]] const LinearModel& model() const noexcept { return model_; }
+  /// Attribute evaluation order, highest contribution first.
+  [[nodiscard]] std::span<const std::size_t> order() const noexcept { return order_; }
+  /// Contribution score |w_i|·width(range_i) of the attribute at order
+  /// position `stage`.
+  [[nodiscard]] double contribution(std::size_t stage) const;
+  /// Interval of the sum of all terms *after* order position `stage`
+  /// (i.e. the uncertainty remaining once stages 0..stage have been added).
+  [[nodiscard]] Interval tail(std::size_t stage) const;
+
+  /// The coarse model R* made of the first `terms` stages (§3.1): remaining
+  /// attributes get weight zero.  Attribute order matches the full model.
+  [[nodiscard]] LinearModel truncated(std::size_t terms) const;
+
+ private:
+  LinearModel model_;
+  std::vector<Interval> ranges_;
+  std::vector<std::size_t> order_;
+  std::vector<Interval> tails_;  // tails_[s] = sum of term intervals after stage s
+};
+
+struct ProgressiveScanStats {
+  std::size_t stages_run = 0;
+  std::size_t candidates_after_final_stage = 0;
+};
+
+/// Exact top-k maximizers of the model over `points`, evaluated progressively.
+/// Charges the meter one op + one point per term actually computed; pruned
+/// candidates are tallied via CostMeter::add_pruned.
+[[nodiscard]] std::vector<ScoredId> progressive_top_k(const TupleSet& points,
+                                                      const ProgressiveLinearModel& model,
+                                                      std::size_t k, CostMeter& meter,
+                                                      ProgressiveScanStats* stats = nullptr);
+
+/// Per-attribute [min, max] ranges of a tuple set (one pass).
+[[nodiscard]] std::vector<Interval> attribute_ranges(const TupleSet& points);
+
+}  // namespace mmir

@@ -1,0 +1,77 @@
+#include "linear/regression.hpp"
+
+#include <cmath>
+
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+
+RegressionResult fit_linear(const TupleSet& x, std::span<const double> y, double ridge,
+                            std::vector<std::string> names) {
+  MMIR_EXPECTS(x.size() == y.size());
+  MMIR_EXPECTS(x.size() > x.dim());
+  MMIR_EXPECTS(ridge >= 0.0);
+  const std::size_t n = x.size();
+  const std::size_t d = x.dim();
+  const std::size_t m = d + 1;  // weights + intercept (last column)
+
+  // Normal equations A^T A w = A^T y with an appended all-ones column.
+  Matrix ata(m, m, 0.0);
+  std::vector<double> aty(m, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = i < d ? row[i] : 1.0;
+      aty[i] += xi * y[r];
+      for (std::size_t j = i; j < m; ++j) {
+        const double xj = j < d ? row[j] : 1.0;
+        ata(i, j) += xi * xj;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+  for (std::size_t i = 0; i < d; ++i) ata(i, i) += ridge;  // no penalty on intercept
+
+  std::vector<double> solution;
+  try {
+    solution = cholesky_solve(ata, aty);
+  } catch (const Error&) {
+    if (ridge > 0.0) throw;
+    throw Error("fit_linear: singular design matrix (try ridge > 0)");
+  }
+
+  std::vector<double> weights(solution.begin(), solution.begin() + static_cast<long>(d));
+  const double bias = solution[d];
+  RegressionResult result{LinearModel(std::move(weights), bias, std::move(names)), 0.0, 0.0};
+
+  // Fit diagnostics.
+  OnlineStats ys;
+  for (double v : y) ys.add(v);
+  double sse = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double e = result.model.evaluate(x.row(r)) - y[r];
+    sse += e * e;
+  }
+  const double sst = ys.variance() * static_cast<double>(n);
+  result.rmse = std::sqrt(sse / static_cast<double>(n));
+  result.r_squared = sst > 0.0 ? 1.0 - sse / sst : 1.0;
+  return result;
+}
+
+double r_squared(const LinearModel& model, const TupleSet& x, std::span<const double> y) {
+  MMIR_EXPECTS(x.size() == y.size());
+  MMIR_EXPECTS(x.size() > 1);
+  OnlineStats ys;
+  for (double v : y) ys.add(v);
+  double sse = 0.0;
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    const double e = model.evaluate(x.row(r)) - y[r];
+    sse += e * e;
+  }
+  const double sst = ys.variance() * static_cast<double>(x.size());
+  return sst > 0.0 ? 1.0 - sse / sst : 1.0;
+}
+
+}  // namespace mmir

@@ -1,0 +1,33 @@
+#pragma once
+// Ordinary least squares / ridge regression — the "well known techniques …
+// in deriving the optimal weights based on collections of data" of §2.1, and
+// the calibration step (steps 1–2) of the Fig. 5 workflow.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/tuples.hpp"
+#include "linear/model.hpp"
+
+namespace mmir {
+
+struct RegressionResult {
+  LinearModel model;       ///< fitted weights + intercept
+  double r_squared = 0.0;  ///< coefficient of determination on the fit data
+  double rmse = 0.0;       ///< root-mean-square residual
+};
+
+/// Fits y ≈ w·x + b by least squares over the rows of `x`.
+/// `ridge` adds L2 regularization (lambda >= 0) on the weights (not the
+/// intercept), which also makes rank-deficient designs solvable.
+/// Throws mmir::Error when the normal equations are singular and ridge == 0.
+[[nodiscard]] RegressionResult fit_linear(const TupleSet& x, std::span<const double> y,
+                                          double ridge = 0.0,
+                                          std::vector<std::string> names = {});
+
+/// Out-of-sample R² of a model on data (1 − SSE/SST; can be negative).
+[[nodiscard]] double r_squared(const LinearModel& model, const TupleSet& x,
+                               std::span<const double> y);
+
+}  // namespace mmir

@@ -1,0 +1,115 @@
+#include "metrics/accuracy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+
+namespace {
+
+void check_same_shape(const Grid& a, const Grid& b) {
+  MMIR_EXPECTS(a.width() == b.width() && a.height() == b.height());
+}
+
+}  // namespace
+
+ErrorRates error_rates(const Grid& risk, const Grid& events, double threshold) {
+  check_same_shape(risk, events);
+  std::size_t zero_cells = 0;
+  std::size_t pos_cells = 0;
+  std::size_t miss_hits = 0;
+  std::size_t false_hits = 0;
+  const auto risk_cells = risk.flat();
+  const auto event_cells = events.flat();
+  for (std::size_t i = 0; i < risk_cells.size(); ++i) {
+    if (event_cells[i] > 0.0) {
+      ++pos_cells;
+      if (risk_cells[i] < threshold) ++false_hits;
+    } else {
+      ++zero_cells;
+      if (risk_cells[i] > threshold) ++miss_hits;
+    }
+  }
+  ErrorRates rates;
+  const auto total = static_cast<double>(risk_cells.size());
+  rates.frac_zero = static_cast<double>(zero_cells) / total;
+  rates.frac_pos = static_cast<double>(pos_cells) / total;
+  rates.p_m = zero_cells > 0 ? static_cast<double>(miss_hits) / static_cast<double>(zero_cells) : 0.0;
+  rates.p_f = pos_cells > 0 ? static_cast<double>(false_hits) / static_cast<double>(pos_cells) : 0.0;
+  return rates;
+}
+
+double total_cost(const Grid& risk, const Grid& events, const Grid& weights, double threshold,
+                  double cost_miss, double cost_false_alarm) {
+  check_same_shape(risk, events);
+  check_same_shape(risk, weights);
+  const auto risk_cells = risk.flat();
+  const auto event_cells = events.flat();
+  const auto weight_cells = weights.flat();
+  double ct = 0.0;
+  for (std::size_t i = 0; i < risk_cells.size(); ++i) {
+    double cell_cost = 0.0;
+    if (event_cells[i] > 0.0) {
+      if (risk_cells[i] < threshold) cell_cost = cost_false_alarm;
+    } else {
+      if (risk_cells[i] > threshold) cell_cost = cost_miss;
+    }
+    ct += weight_cells[i] * cell_cost;
+  }
+  return ct;
+}
+
+PrecisionRecall precision_recall_at_k(const Grid& risk, const Grid& events, std::size_t k) {
+  check_same_shape(risk, events);
+  MMIR_EXPECTS(k > 0);
+  TopK<std::size_t> top(k);
+  const auto risk_cells = risk.flat();
+  for (std::size_t i = 0; i < risk_cells.size(); ++i) top.offer(risk_cells[i], i);
+
+  PrecisionRecall pr;
+  pr.k = std::min(k, risk_cells.size());
+  const auto event_cells = events.flat();
+  for (double occurrences : event_cells) {
+    if (occurrences > 0.0) ++pr.relevant;
+  }
+  for (const auto& entry : top.take_sorted()) {
+    if (event_cells[entry.item] > 0.0) ++pr.retrieved_correct;
+  }
+  pr.precision = static_cast<double>(pr.retrieved_correct) / static_cast<double>(pr.k);
+  pr.recall = pr.relevant > 0
+                  ? static_cast<double>(pr.retrieved_correct) / static_cast<double>(pr.relevant)
+                  : 0.0;
+  return pr;
+}
+
+std::vector<ThresholdPoint> threshold_sweep(const Grid& risk, const Grid& events,
+                                            const Grid& weights, double cost_miss,
+                                            double cost_false_alarm, std::size_t steps) {
+  MMIR_EXPECTS(steps >= 2);
+  const OnlineStats stats = risk.stats();
+  std::vector<ThresholdPoint> sweep;
+  sweep.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double t = stats.min() + (stats.max() - stats.min()) * static_cast<double>(s) /
+                                       static_cast<double>(steps - 1);
+    ThresholdPoint point;
+    point.threshold = t;
+    point.rates = error_rates(risk, events, t);
+    point.cost = total_cost(risk, events, weights, t, cost_miss, cost_false_alarm);
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+ThresholdPoint best_threshold(const std::vector<ThresholdPoint>& sweep) {
+  MMIR_EXPECTS(!sweep.empty());
+  const auto it = std::min_element(sweep.begin(), sweep.end(),
+                                   [](const ThresholdPoint& a, const ThresholdPoint& b) {
+                                     return a.cost < b.cost;
+                                   });
+  return *it;
+}
+
+}  // namespace mmir

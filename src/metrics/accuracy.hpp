@@ -1,0 +1,73 @@
+#pragma once
+// Model-accuracy metrics, transcribing paper §4.1 exactly.
+//
+//   Pm(x,y) = Prob[ R(x,y) > T | O(x,y) = 0 ]
+//   Pf(x,y) = Prob[ R(x,y) < T | O(x,y) > 0 ]
+//   C(x,y)  = cm·Pm·P[O=0] + cf·Pf·P[O>0]
+//   CT      = Σ w(x,y)·C(x,y)
+//
+// Note: the paper's prose calls "misses" the high-risk-regions-considered-low
+// case, while its Pm formula conditions on O=0 (the false-alarm case under
+// the usual naming).  We implement the *equations* verbatim and keep the
+// paper's symbol names; EXPERIMENTS.md records the prose/equation mismatch.
+//
+// With one observed realization per location the conditional probabilities
+// reduce to indicators, so the empirical rates below are frequencies over
+// the region, and C(x,y) is the per-cell indicator cost.
+//
+// Top-K accuracy follows the paper: "the precision is defined as the
+// percentage of retrieved results that are correct, while the recall is the
+// percentage of correct results that are retrieved.  The correct results are
+// those locations where O(x,y) > 0 … the top-K retrieval is based on the
+// ordering of R(x,y)."
+
+#include <cstddef>
+#include <vector>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// Empirical §4.1 error rates at decision threshold T.
+struct ErrorRates {
+  double p_m = 0.0;       ///< fraction of O==0 cells with R > T
+  double p_f = 0.0;       ///< fraction of O>0 cells with R < T
+  double frac_zero = 0.0; ///< P[O = 0] over the region
+  double frac_pos = 0.0;  ///< P[O > 0] over the region
+};
+
+[[nodiscard]] ErrorRates error_rates(const Grid& risk, const Grid& events, double threshold);
+
+/// Weighted total cost CT = Σ w·(cm·1[R>T ∧ O=0] + cf·1[R<T ∧ O>0]).
+[[nodiscard]] double total_cost(const Grid& risk, const Grid& events, const Grid& weights,
+                                double threshold, double cost_miss, double cost_false_alarm);
+
+/// Precision / recall of retrieving the top-k cells by R(x,y).
+struct PrecisionRecall {
+  std::size_t k = 0;
+  std::size_t retrieved_correct = 0;  ///< top-k cells with O > 0
+  std::size_t relevant = 0;           ///< all cells with O > 0
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+[[nodiscard]] PrecisionRecall precision_recall_at_k(const Grid& risk, const Grid& events,
+                                                    std::size_t k);
+
+/// One row of a threshold sweep (the §4.1 tradeoff curve).
+struct ThresholdPoint {
+  double threshold = 0.0;
+  ErrorRates rates;
+  double cost = 0.0;  ///< CT at this threshold
+};
+
+/// Sweeps `steps` thresholds across the risk range (inclusive of min/max).
+[[nodiscard]] std::vector<ThresholdPoint> threshold_sweep(const Grid& risk, const Grid& events,
+                                                          const Grid& weights, double cost_miss,
+                                                          double cost_false_alarm,
+                                                          std::size_t steps);
+
+/// The threshold of the sweep minimizing CT (ties: the smallest threshold).
+[[nodiscard]] ThresholdPoint best_threshold(const std::vector<ThresholdPoint>& sweep);
+
+}  // namespace mmir

@@ -1,0 +1,34 @@
+#include "metrics/efficiency.hpp"
+
+#include <ostream>
+
+namespace mmir {
+
+namespace {
+
+double safe_ratio(double num, double den) noexcept { return den > 0.0 ? num / den : 1.0; }
+
+}  // namespace
+
+EfficiencyReport efficiency_report(std::string label, const CostMeter& baseline,
+                                   const CostMeter& model_only, const CostMeter& combined) {
+  EfficiencyReport report;
+  report.label = std::move(label);
+  report.pm = safe_ratio(static_cast<double>(baseline.ops()),
+                         static_cast<double>(model_only.ops()));
+  // pd isolates the data-representation leg: how much *additional* reduction
+  // the combined run achieves beyond the model-only run.
+  report.measured_speedup = safe_ratio(static_cast<double>(baseline.ops()),
+                                       static_cast<double>(combined.ops()));
+  report.pd = safe_ratio(report.measured_speedup, report.pm);
+  return report;
+}
+
+std::ostream& operator<<(std::ostream& os, const EfficiencyReport& report) {
+  os << report.label << ": pm=" << report.pm << " pd=" << report.pd
+     << " predicted=" << report.predicted_speedup() << "x measured=" << report.measured_speedup
+     << "x";
+  return os;
+}
+
+}  // namespace mmir

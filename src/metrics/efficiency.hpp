@@ -1,0 +1,40 @@
+#pragma once
+// Model-efficiency reporting, transcribing paper §4.2:
+//
+//   sequential cost        O(n·N)
+//   progressive cost       O(n·N / (pm·pd))
+//
+// where pm is the complexity-reduction ratio from progressive *model*
+// execution and pd the ratio from progressive *data* representation.  The
+// helpers below derive pm / pd / combined ratios from CostMeters so every
+// benchmark reports the same quantities the paper defines.
+
+#include <iosfwd>
+#include <string>
+
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// §4.2 decomposition of a progressive run against its sequential baseline.
+struct EfficiencyReport {
+  std::string label;
+  double pm = 1.0;  ///< model-execution reduction (ops ratio)
+  double pd = 1.0;  ///< data-representation reduction (points ratio)
+  double measured_speedup = 1.0;  ///< baseline ops / combined ops
+
+  /// The §4.2 prediction O(nN)/O(nN/(pm·pd)) = pm·pd.
+  [[nodiscard]] double predicted_speedup() const noexcept { return pm * pd; }
+};
+
+/// Builds the report from three meters: the full sequential run, a run using
+/// only progressive model execution, and the combined progressive run.
+/// pm = baseline.ops / model_only.ops, pd = baseline.points / combined.points
+/// scaled by the model-only ratio, measured = baseline.ops / combined.ops.
+[[nodiscard]] EfficiencyReport efficiency_report(std::string label, const CostMeter& baseline,
+                                                 const CostMeter& model_only,
+                                                 const CostMeter& combined);
+
+std::ostream& operator<<(std::ostream& os, const EfficiencyReport& report);
+
+}  // namespace mmir

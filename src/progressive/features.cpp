@@ -1,0 +1,105 @@
+#include "progressive/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmir {
+
+double TextureDescriptor::coarse_distance(const TextureDescriptor& other) const noexcept {
+  const double dm = mean - other.mean;
+  const double dv = variance - other.variance;
+  return std::sqrt(dm * dm + dv * dv);
+}
+
+double TextureDescriptor::full_distance(const TextureDescriptor& other) const noexcept {
+  const double dm = mean - other.mean;
+  const double dv = variance - other.variance;
+  const double dh = edge_h - other.edge_h;
+  const double dvv = edge_v - other.edge_v;
+  const double dd = edge_d - other.edge_d;
+  return std::sqrt(dm * dm + dv * dv + dh * dh + dvv * dvv + dd * dd);
+}
+
+TextureDescriptor extract_texture(const Grid& grid, std::size_t x0, std::size_t y0, std::size_t w,
+                                  std::size_t h, CostMeter& meter) {
+  MMIR_EXPECTS(w > 0 && h > 0);
+  const std::size_t x1 = std::min(x0 + w, grid.width());
+  const std::size_t y1 = std::min(y0 + h, grid.height());
+  MMIR_EXPECTS(x0 < x1 && y0 < y1);
+
+  OnlineStats stats;
+  double sum_h = 0.0;
+  double sum_v = 0.0;
+  double sum_d = 0.0;
+  std::size_t gradient_samples = 0;
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) {
+      const double v = grid.cell(x, y);
+      stats.add(v);
+      if (x + 1 < x1 && y + 1 < y1) {
+        sum_h += std::abs(grid.cell(x + 1, y) - v);
+        sum_v += std::abs(grid.cell(x, y + 1) - v);
+        sum_d += std::abs(grid.cell(x + 1, y + 1) - v);
+        ++gradient_samples;
+      }
+    }
+  }
+  meter.add_points((x1 - x0) * (y1 - y0));
+  meter.add_ops(4 * (x1 - x0) * (y1 - y0));
+
+  TextureDescriptor d;
+  d.mean = stats.mean();
+  d.variance = stats.variance();
+  if (gradient_samples > 0) {
+    d.edge_h = sum_h / static_cast<double>(gradient_samples);
+    d.edge_v = sum_v / static_cast<double>(gradient_samples);
+    d.edge_d = sum_d / static_cast<double>(gradient_samples);
+  }
+  return d;
+}
+
+TextureDescriptor extract_coarse_texture(const Grid& grid, std::size_t x0, std::size_t y0,
+                                         std::size_t w, std::size_t h, CostMeter& meter) {
+  MMIR_EXPECTS(w > 0 && h > 0);
+  const std::size_t x1 = std::min(x0 + w, grid.width());
+  const std::size_t y1 = std::min(y0 + h, grid.height());
+  MMIR_EXPECTS(x0 < x1 && y0 < y1);
+  OnlineStats stats;
+  for (std::size_t y = y0; y < y1; ++y)
+    for (std::size_t x = x0; x < x1; ++x) stats.add(grid.cell(x, y));
+  meter.add_points((x1 - x0) * (y1 - y0));
+  meter.add_ops((x1 - x0) * (y1 - y0));
+  TextureDescriptor d;
+  d.mean = stats.mean();
+  d.variance = stats.variance();
+  return d;
+}
+
+Grid iso_bands(const Grid& grid, std::size_t bands) {
+  MMIR_EXPECTS(bands >= 2);
+  const OnlineStats stats = grid.stats();
+  const double span = std::max(stats.max() - stats.min(), 1e-12);
+  Grid out(grid.width(), grid.height());
+  for (std::size_t y = 0; y < grid.height(); ++y) {
+    for (std::size_t x = 0; x < grid.width(); ++x) {
+      const double t = (grid.cell(x, y) - stats.min()) / span;
+      auto band = static_cast<std::size_t>(t * static_cast<double>(bands));
+      if (band >= bands) band = bands - 1;
+      out.cell(x, y) = static_cast<double>(band);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> cells_at_or_above(const Grid& banded,
+                                                                   double min_band) {
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t y = 0; y < banded.height(); ++y) {
+    for (std::size_t x = 0; x < banded.width(); ++x) {
+      if (banded.cell(x, y) >= min_band) cells.emplace_back(x, y);
+    }
+  }
+  return cells;
+}
+
+}  // namespace mmir

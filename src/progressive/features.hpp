@@ -1,0 +1,57 @@
+#pragma once
+// Multi-abstraction feature level: derived representations that are much
+// smaller than raw pixels but preserve enough signal for screening (§3.1:
+// "raw information can be processed into alternate formulations such as
+// features (texture, color, shape, etc.)… at the expense of fidelity").
+//
+// TextureDescriptor is the workhorse for the progressive texture-matching
+// experiment (E3 / ref [12]): a cheap coarse part (mean, variance) that can be
+// computed from low-resolution data, plus a fine part (directional edge
+// energies) that requires full resolution.  IsoBands implements the paper's
+// contour abstraction ("contours can be computed from a data array, allowing
+// very rapid identification of areas with low or high parameter values").
+
+#include <cstddef>
+#include <vector>
+
+#include "data/grid.hpp"
+#include "util/cost.hpp"
+
+namespace mmir {
+
+/// Texture features of a raster window.
+struct TextureDescriptor {
+  double mean = 0.0;
+  double variance = 0.0;
+  double edge_h = 0.0;  ///< mean |horizontal gradient|
+  double edge_v = 0.0;  ///< mean |vertical gradient|
+  double edge_d = 0.0;  ///< mean |diagonal gradient|
+
+  /// Distance using only the coarse components (mean, variance) — computable
+  /// from a low-resolution approximation.
+  [[nodiscard]] double coarse_distance(const TextureDescriptor& other) const noexcept;
+  /// Full-feature Euclidean distance.
+  [[nodiscard]] double full_distance(const TextureDescriptor& other) const noexcept;
+};
+
+/// Extracts the full descriptor from a window of `grid`, charging `meter`
+/// for every pixel touched.
+[[nodiscard]] TextureDescriptor extract_texture(const Grid& grid, std::size_t x0, std::size_t y0,
+                                                std::size_t w, std::size_t h, CostMeter& meter);
+
+/// Extracts only the coarse (mean/variance) components; edge fields are zero.
+[[nodiscard]] TextureDescriptor extract_coarse_texture(const Grid& grid, std::size_t x0,
+                                                       std::size_t y0, std::size_t w,
+                                                       std::size_t h, CostMeter& meter);
+
+/// Iso-band (contour-class) abstraction: quantizes a raster into `bands`
+/// equal-width value classes between the grid min and max.  The result is a
+/// semantic raster that answers "where are the high-value areas" in one pass.
+[[nodiscard]] Grid iso_bands(const Grid& grid, std::size_t bands);
+
+/// Cells of `grid` whose iso-band class is >= `min_band` (fast high-value
+/// area identification on the abstracted representation).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> cells_at_or_above(
+    const Grid& banded, double min_band);
+
+}  // namespace mmir

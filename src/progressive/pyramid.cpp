@@ -1,0 +1,43 @@
+#include "progressive/pyramid.hpp"
+
+#include <algorithm>
+
+namespace mmir {
+
+ResolutionPyramid::ResolutionPyramid(const Grid& base, std::size_t levels) {
+  MMIR_EXPECTS(levels >= 1);
+  MMIR_EXPECTS(!base.empty());
+  grids_.push_back(base);
+  while (grids_.size() < levels) {
+    const Grid& prev = grids_.back();
+    if (prev.width() == 1 && prev.height() == 1) break;
+    grids_.push_back(prev.downsample2x());
+  }
+}
+
+PixelRegion ResolutionPyramid::base_region(std::size_t l, std::size_t x, std::size_t y) const {
+  MMIR_EXPECTS(l < grids_.size());
+  MMIR_EXPECTS(x < grids_[l].width() && y < grids_[l].height());
+  const std::size_t scale = std::size_t{1} << l;
+  PixelRegion region;
+  region.x0 = x * scale;
+  region.y0 = y * scale;
+  const Grid& base = grids_.front();
+  region.width = std::min(scale, base.width() - region.x0);
+  region.height = std::min(scale, base.height() - region.y0);
+  return region;
+}
+
+MultiBandPyramid::MultiBandPyramid(const std::vector<const Grid*>& bands, std::size_t levels) {
+  MMIR_EXPECTS(!bands.empty());
+  pyramids_.reserve(bands.size());
+  for (const Grid* band : bands) {
+    MMIR_EXPECTS(band != nullptr);
+    pyramids_.emplace_back(*band, levels);
+  }
+  for (const auto& p : pyramids_) {
+    MMIR_EXPECTS(p.levels() == pyramids_.front().levels());
+  }
+}
+
+}  // namespace mmir

@@ -1,0 +1,74 @@
+#pragma once
+// Resolution pyramids: the concrete multi-resolution representation used by
+// the progressive executors.
+//
+// Level 0 is the full-resolution raster; each level above halves both axes by
+// mean pooling (equivalent to the Haar approximation up to scaling, but kept
+// in data units so models evaluate unchanged at any level).  A coarse cell at
+// level L covers a 2^L × 2^L block of base pixels, and the pyramid exposes
+// that mapping so a screening pass at level L can enqueue base regions for
+// refinement at level L-1.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// Axis-aligned region of base-resolution pixels.
+struct PixelRegion {
+  std::size_t x0 = 0;
+  std::size_t y0 = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  [[nodiscard]] std::size_t area() const noexcept { return width * height; }
+};
+
+/// Mean-pooled resolution pyramid over one band.
+class ResolutionPyramid {
+ public:
+  /// Builds `levels` levels including the base (levels >= 1).  Construction
+  /// stops early when a level degenerates to 1×1.
+  ResolutionPyramid(const Grid& base, std::size_t levels);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return grids_.size(); }
+  [[nodiscard]] const Grid& level(std::size_t l) const {
+    MMIR_EXPECTS(l < grids_.size());
+    return grids_[l];
+  }
+
+  /// Base-resolution region covered by cell (x, y) of level `l` (clipped to
+  /// the base extent).
+  [[nodiscard]] PixelRegion base_region(std::size_t l, std::size_t x, std::size_t y) const;
+
+  /// Number of cells at level `l`.
+  [[nodiscard]] std::size_t cell_count(std::size_t l) const {
+    MMIR_EXPECTS(l < grids_.size());
+    return grids_[l].size();
+  }
+
+ private:
+  std::vector<Grid> grids_;
+};
+
+/// Co-registered pyramids over several bands (all bands share dimensions).
+class MultiBandPyramid {
+ public:
+  MultiBandPyramid(const std::vector<const Grid*>& bands, std::size_t levels);
+
+  [[nodiscard]] std::size_t band_count() const noexcept { return pyramids_.size(); }
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return pyramids_.empty() ? 0 : pyramids_.front().levels();
+  }
+  [[nodiscard]] const ResolutionPyramid& band(std::size_t b) const {
+    MMIR_EXPECTS(b < pyramids_.size());
+    return pyramids_[b];
+  }
+
+ private:
+  std::vector<ResolutionPyramid> pyramids_;
+};
+
+}  // namespace mmir

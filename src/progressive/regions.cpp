@@ -1,0 +1,80 @@
+#include "progressive/regions.hpp"
+
+#include <algorithm>
+
+namespace mmir {
+
+const Region& Segmentation::region_at(std::size_t x, std::size_t y) const {
+  const auto id = static_cast<std::size_t>(region_ids.at(x, y));
+  MMIR_EXPECTS(id < regions.size());
+  return regions[id];
+}
+
+Segmentation label_regions(const Grid& labels) {
+  MMIR_EXPECTS(!labels.empty());
+  const std::size_t width = labels.width();
+  const std::size_t height = labels.height();
+  Segmentation out{Grid(width, height, -1.0), {}};
+
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (out.region_ids.cell(x, y) >= 0.0) continue;
+      // Flood-fill a new region from (x, y).
+      Region region;
+      region.id = static_cast<std::uint32_t>(out.regions.size());
+      region.label = labels.cell(x, y);
+      region.min_x = region.max_x = x;
+      region.min_y = region.max_y = y;
+      double sum_x = 0.0;
+      double sum_y = 0.0;
+      stack.clear();
+      stack.emplace_back(x, y);
+      out.region_ids.cell(x, y) = static_cast<double>(region.id);
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        ++region.area;
+        sum_x += static_cast<double>(cx);
+        sum_y += static_cast<double>(cy);
+        region.min_x = std::min(region.min_x, cx);
+        region.max_x = std::max(region.max_x, cx);
+        region.min_y = std::min(region.min_y, cy);
+        region.max_y = std::max(region.max_y, cy);
+        const long neighbors[4][2] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+        for (const auto& d : neighbors) {
+          const long nx = static_cast<long>(cx) + d[0];
+          const long ny = static_cast<long>(cy) + d[1];
+          if (nx < 0 || ny < 0 || nx >= static_cast<long>(width) ||
+              ny >= static_cast<long>(height))
+            continue;
+          const auto ux = static_cast<std::size_t>(nx);
+          const auto uy = static_cast<std::size_t>(ny);
+          if (out.region_ids.cell(ux, uy) >= 0.0) continue;
+          if (labels.cell(ux, uy) != region.label) continue;
+          out.region_ids.cell(ux, uy) = static_cast<double>(region.id);
+          stack.emplace_back(ux, uy);
+        }
+      }
+      region.centroid_x = sum_x / static_cast<double>(region.area);
+      region.centroid_y = sum_y / static_cast<double>(region.area);
+      out.regions.push_back(region);
+    }
+  }
+  return out;
+}
+
+std::vector<Region> regions_of_class(const Segmentation& segmentation, double label,
+                                     std::size_t min_area) {
+  std::vector<Region> out;
+  for (const Region& region : segmentation.regions) {
+    if (region.label == label && region.area >= min_area) out.push_back(region);
+  }
+  std::sort(out.begin(), out.end(), [](const Region& a, const Region& b) {
+    if (a.area != b.area) return a.area > b.area;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,47 @@
+#pragma once
+// Semantic region extraction — the top abstraction level of §3.1's
+// progressive data representation (raw → features → *semantics*).
+//
+// A label raster (land-cover classes, iso-band classes, classifier output)
+// is segmented into 4-connected regions; each region carries its class,
+// area, bounding box and centroid.  Decision-support queries then operate on
+// a handful of semantic objects ("the largest contiguous high-risk zone")
+// instead of raw cells — the cheapest representation in the hierarchy.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// One connected region of equal-valued cells.
+struct Region {
+  std::uint32_t id = 0;       ///< dense region id (index into the region list)
+  double label = 0.0;         ///< the cell value shared by the region
+  std::size_t area = 0;       ///< cell count
+  std::size_t min_x = 0, min_y = 0, max_x = 0, max_y = 0;  ///< inclusive bbox
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+
+  [[nodiscard]] std::size_t bbox_width() const noexcept { return max_x - min_x + 1; }
+  [[nodiscard]] std::size_t bbox_height() const noexcept { return max_y - min_y + 1; }
+};
+
+/// Segmentation result: per-cell region id plus the region table.
+struct Segmentation {
+  Grid region_ids;             ///< region id per cell (as double)
+  std::vector<Region> regions;
+
+  [[nodiscard]] const Region& region_at(std::size_t x, std::size_t y) const;
+};
+
+/// 4-connected components of equal-valued cells.
+[[nodiscard]] Segmentation label_regions(const Grid& labels);
+
+/// Regions of a given class, largest first, optionally dropping regions
+/// smaller than `min_area`.
+[[nodiscard]] std::vector<Region> regions_of_class(const Segmentation& segmentation,
+                                                   double label, std::size_t min_area = 1);
+
+}  // namespace mmir

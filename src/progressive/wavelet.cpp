@@ -1,0 +1,136 @@
+#include "progressive/wavelet.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mmir {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+std::size_t dyadic_cover(std::size_t w, std::size_t h) {
+  std::size_t n = 1;
+  while (n < w || n < h) n *= 2;
+  return n;
+}
+
+}  // namespace
+
+HaarWavelet2D::HaarWavelet2D(const Grid& input, std::size_t levels) {
+  MMIR_EXPECTS(!input.empty());
+  original_width_ = input.width();
+  original_height_ = input.height();
+  padded_ = dyadic_cover(original_width_, original_height_);
+
+  // Clamp the level count to the dyadic depth.
+  std::size_t max_levels = 0;
+  for (std::size_t n = padded_; n > 1; n /= 2) ++max_levels;
+  levels_ = std::min(levels, max_levels);
+  MMIR_EXPECTS(levels_ > 0);
+
+  // Edge-replicated padding to the dyadic square.
+  coeff_ = Grid(padded_, padded_);
+  for (std::size_t y = 0; y < padded_; ++y) {
+    for (std::size_t x = 0; x < padded_; ++x) {
+      coeff_.cell(x, y) =
+          input.at_clamped(static_cast<long>(std::min(x, original_width_ - 1)),
+                           static_cast<long>(std::min(y, original_height_ - 1)));
+    }
+  }
+
+  // In-place Mallat decomposition on the shrinking approximation quadrant.
+  std::vector<double> scratch(padded_);
+  for (std::size_t level = 0; level < levels_; ++level) {
+    const std::size_t n = level_size(level);
+    const std::size_t half = n / 2;
+    // Rows.
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t i = 0; i < half; ++i) {
+        const double a = coeff_.cell(2 * i, y);
+        const double b = coeff_.cell(2 * i + 1, y);
+        scratch[i] = (a + b) * kInvSqrt2;
+        scratch[half + i] = (a - b) * kInvSqrt2;
+      }
+      for (std::size_t i = 0; i < n; ++i) coeff_.cell(i, y) = scratch[i];
+    }
+    // Columns.
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t i = 0; i < half; ++i) {
+        const double a = coeff_.cell(x, 2 * i);
+        const double b = coeff_.cell(x, 2 * i + 1);
+        scratch[i] = (a + b) * kInvSqrt2;
+        scratch[half + i] = (a - b) * kInvSqrt2;
+      }
+      for (std::size_t i = 0; i < n; ++i) coeff_.cell(x, i) = scratch[i];
+    }
+  }
+}
+
+Grid HaarWavelet2D::approximation(std::size_t level) const {
+  MMIR_EXPECTS(level <= levels_);
+  if (level == 0) return reconstruct();
+  const std::size_t n = level_size(level);
+  // Each orthonormal Haar step scales the approximation by sqrt(2) per axis,
+  // so level L coefficients are local means times 2^L.
+  const double scale = std::pow(2.0, -static_cast<double>(level));
+  // Crop the approximation quadrant to the region covering original pixels.
+  const std::size_t w = std::max<std::size_t>(1, (original_width_ + (padded_ / n) - 1) / (padded_ / n));
+  const std::size_t h = std::max<std::size_t>(1, (original_height_ + (padded_ / n) - 1) / (padded_ / n));
+  Grid out(std::min(w, n), std::min(h, n));
+  for (std::size_t y = 0; y < out.height(); ++y)
+    for (std::size_t x = 0; x < out.width(); ++x) out.cell(x, y) = coeff_.cell(x, y) * scale;
+  return out;
+}
+
+double HaarWavelet2D::detail_energy(std::size_t level) const {
+  MMIR_EXPECTS(level >= 1 && level <= levels_);
+  const std::size_t n = level_size(level - 1);
+  const std::size_t half = n / 2;
+  double energy = 0.0;
+  // Horizontal detail (top-right), vertical (bottom-left), diagonal (bottom-right).
+  for (std::size_t y = 0; y < half; ++y) {
+    for (std::size_t x = 0; x < half; ++x) {
+      const double h = coeff_.cell(half + x, y);
+      const double v = coeff_.cell(x, half + y);
+      const double d = coeff_.cell(half + x, half + y);
+      energy += h * h + v * v + d * d;
+    }
+  }
+  return energy;
+}
+
+Grid HaarWavelet2D::reconstruct() const {
+  Grid work = coeff_;
+  std::vector<double> scratch(padded_);
+  for (std::size_t level = levels_; level > 0; --level) {
+    const std::size_t n = level_size(level - 1);
+    const std::size_t half = n / 2;
+    // Columns (inverse of the forward order).
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t i = 0; i < half; ++i) {
+        const double s = work.cell(x, i);
+        const double d = work.cell(x, half + i);
+        scratch[2 * i] = (s + d) * kInvSqrt2;
+        scratch[2 * i + 1] = (s - d) * kInvSqrt2;
+      }
+      for (std::size_t i = 0; i < n; ++i) work.cell(x, i) = scratch[i];
+    }
+    // Rows.
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t i = 0; i < half; ++i) {
+        const double s = work.cell(i, y);
+        const double d = work.cell(half + i, y);
+        scratch[2 * i] = (s + d) * kInvSqrt2;
+        scratch[2 * i + 1] = (s - d) * kInvSqrt2;
+      }
+      for (std::size_t i = 0; i < n; ++i) work.cell(i, y) = scratch[i];
+    }
+  }
+  Grid out(original_width_, original_height_);
+  for (std::size_t y = 0; y < original_height_; ++y)
+    for (std::size_t x = 0; x < original_width_; ++x) out.cell(x, y) = work.cell(x, y);
+  return out;
+}
+
+}  // namespace mmir

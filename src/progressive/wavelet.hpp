@@ -1,0 +1,61 @@
+#pragma once
+// 2-D Haar wavelet transform — the multi-resolution leg of the paper's
+// progressive data representation (§3.1, refs [1-3]).
+//
+// The transform is orthonormal (coefficients scaled by 1/sqrt(2) per step),
+// computed level by level on the approximation quadrant.  Non-power-of-two
+// inputs are edge-replicated up to the enclosing dyadic square; the original
+// size is remembered so reconstruction crops back exactly.
+//
+// Two views matter to the retrieval engines:
+//   * approximation(level): a coarse raster whose cells are (scaled) local
+//     means — what a progressive model evaluates first;
+//   * detail_energy(level): the energy of the H/V/D detail subbands — a cheap
+//     texture feature for the multi-abstraction level.
+
+#include <cstddef>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// Multi-level 2-D Haar decomposition of a single-band raster.
+class HaarWavelet2D {
+ public:
+  /// Decomposes `input` down `levels` times.  `levels` must leave at least a
+  /// 1×1 approximation (it is clamped internally to the dyadic depth).
+  HaarWavelet2D(const Grid& input, std::size_t levels);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t original_width() const noexcept { return original_width_; }
+  [[nodiscard]] std::size_t original_height() const noexcept { return original_height_; }
+
+  /// Approximation raster at the given level (level 0 = original scale).
+  /// Values are rescaled to local means, i.e. directly comparable with the
+  /// original data range.
+  [[nodiscard]] Grid approximation(std::size_t level) const;
+
+  /// Sum of squared detail coefficients (H+V+D subbands) at a level in
+  /// [1, levels]; a scale-selective roughness measure.
+  [[nodiscard]] double detail_energy(std::size_t level) const;
+
+  /// Inverse transform back to the original raster (exact up to FP error).
+  [[nodiscard]] Grid reconstruct() const;
+
+  /// Raw coefficient plane (approximation quadrant top-left, then detail
+  /// quadrants per level, standard Mallat layout) — exposed for tests.
+  [[nodiscard]] const Grid& coefficients() const noexcept { return coeff_; }
+
+ private:
+  [[nodiscard]] std::size_t level_size(std::size_t level) const noexcept {
+    return padded_ >> level;
+  }
+
+  std::size_t original_width_ = 0;
+  std::size_t original_height_ = 0;
+  std::size_t padded_ = 0;  ///< dyadic square edge
+  std::size_t levels_ = 0;
+  Grid coeff_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,57 @@
+#include "sproc/brute.hpp"
+
+#include <cmath>
+
+#include "util/topk.hpp"
+
+namespace mmir {
+
+std::vector<CompositeMatch> brute_force_top_k(const CartesianQuery& query, std::size_t k,
+                                              CostMeter& meter,
+                                              std::uint64_t max_combinations) {
+  query.validate();
+  MMIR_EXPECTS(k > 0);
+  const double combos = std::pow(static_cast<double>(query.library_size),
+                                 static_cast<double>(query.components));
+  if (combos > static_cast<double>(max_combinations)) {
+    throw Error("brute_force_top_k: L^M exceeds the combination guard");
+  }
+  ScopedTimer timer(meter);
+
+  TopK<std::vector<std::uint32_t>> top(k);
+  std::vector<std::uint32_t> assignment(query.components, 0);
+  std::uint64_t ops = 0;
+
+  // Odometer enumeration of all L^M assignments.
+  while (true) {
+    double score = 1.0;
+    for (std::size_t m = 0; m < query.components && score > 0.0; ++m) {
+      score = tnorm_combine(query.tnorm, score, query.unary(m, assignment[m]));
+      ++ops;
+      if (m > 0 && score > 0.0) {
+        score = tnorm_combine(query.tnorm, score, query.binary(m, assignment[m - 1], assignment[m]));
+        ++ops;
+      }
+    }
+    if (score > 0.0) top.offer(score, assignment);
+
+    // Advance the odometer.
+    std::size_t digit = query.components;
+    while (digit > 0) {
+      --digit;
+      if (++assignment[digit] < query.library_size) break;
+      assignment[digit] = 0;
+      if (digit == 0) {
+        meter.add_ops(ops);
+        meter.add_points(ops);
+        std::vector<CompositeMatch> out;
+        for (auto& entry : top.take_sorted()) {
+          out.push_back(CompositeMatch{std::move(entry.item), entry.score});
+        }
+        return out;
+      }
+    }
+  }
+}
+
+}  // namespace mmir

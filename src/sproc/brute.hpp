@@ -1,0 +1,15 @@
+#pragma once
+// Exhaustive O(L^M) evaluation of a fuzzy Cartesian query — the baseline the
+// paper's SPROC complexity reduction is measured against.
+
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+/// Enumerates every assignment.  Throws mmir::Error when L^M exceeds
+/// `max_combinations` (a guard against accidentally exponential benchmarks).
+[[nodiscard]] std::vector<CompositeMatch> brute_force_top_k(
+    const CartesianQuery& query, std::size_t k, CostMeter& meter,
+    std::uint64_t max_combinations = 100'000'000ULL);
+
+}  // namespace mmir

@@ -1,0 +1,123 @@
+#include "sproc/fast_sproc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+namespace mmir {
+
+namespace {
+
+/// Immutable shared path node (persistent list) so frontier entries stay
+/// cheap to copy during best-first search.
+struct PathNode {
+  std::uint32_t item;
+  std::shared_ptr<const PathNode> prev;
+};
+
+std::vector<std::uint32_t> unwind(const std::shared_ptr<const PathNode>& tail,
+                                  std::size_t length) {
+  std::vector<std::uint32_t> items(length);
+  const PathNode* node = tail.get();
+  for (std::size_t m = length; m-- > 0;) {
+    items[m] = node->item;
+    node = node->prev.get();
+  }
+  return items;
+}
+
+struct Frontier {
+  double bound = 0.0;      // optimistic completion bound (== score when complete)
+  double score = 0.0;      // achieved product so far
+  std::size_t filled = 0;  // number of components assigned
+  std::uint32_t next_rank = 0;  // sibling cursor into the next component's list
+  std::shared_ptr<const PathNode> path;
+
+  bool operator<(const Frontier& other) const noexcept { return bound < other.bound; }
+};
+
+}  // namespace
+
+std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                             CostMeter& meter) {
+  query.validate();
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  const std::size_t m_total = query.components;
+  const std::size_t l = query.library_size;
+  std::uint64_t ops = 0;
+
+  // Sorted unary lists per component: O(M L log L).
+  std::vector<std::vector<std::pair<double, std::uint32_t>>> sorted(m_total);
+  for (std::size_t m = 0; m < m_total; ++m) {
+    auto& list = sorted[m];
+    list.reserve(l);
+    for (std::uint32_t j = 0; j < l; ++j) {
+      list.emplace_back(query.unary(m, j), j);
+      ++ops;
+    }
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+  }
+
+  // tail_max[m] = t-norm fold of the best unary degree of components m..M-1
+  // (binary degrees are bounded by 1, the identity of both t-norms), i.e. the
+  // optimistic completion factor for a partial with components < m assigned.
+  std::vector<double> tail_max(m_total + 1, 1.0);
+  for (std::size_t m = m_total; m-- > 0;) {
+    tail_max[m] = tnorm_combine(query.tnorm, tail_max[m + 1],
+                                sorted[m].empty() ? 0.0 : sorted[m].front().first);
+  }
+
+  std::priority_queue<Frontier> frontier;
+  // Root: nothing assigned, sibling cursor at the best component-0 item.
+  frontier.push(Frontier{tail_max[0], 1.0, 0, 0, nullptr});
+
+  std::vector<CompositeMatch> out;
+  while (!frontier.empty() && out.size() < k) {
+    const Frontier node = frontier.top();
+    frontier.pop();
+    if (node.filled == m_total) {
+      // Complete assignments are popped in exact score order (bound == score
+      // and every other bound is an upper bound).
+      out.push_back(CompositeMatch{unwind(node.path, m_total), node.score});
+      continue;
+    }
+    if (node.next_rank >= l) continue;  // siblings exhausted
+
+    const auto [u, item] = sorted[node.filled][node.next_rank];
+    if (u > 0.0) {
+      double child_score = tnorm_combine(query.tnorm, node.score, u);
+      ++ops;
+      if (node.filled > 0 && child_score > 0.0) {
+        child_score = tnorm_combine(query.tnorm, child_score,
+                                    query.binary(node.filled, node.path->item, item));
+        ++ops;
+      }
+      if (child_score > 0.0) {
+        auto child_path = std::make_shared<const PathNode>(PathNode{item, node.path});
+        frontier.push(Frontier{tnorm_combine(query.tnorm, child_score, tail_max[node.filled + 1]),
+                               child_score, node.filled + 1, 0, std::move(child_path)});
+      }
+    }
+    // Sibling: same prefix, next-ranked item for this component.  Its bound
+    // shrinks to the sibling's (lower) unary degree.
+    if (node.next_rank + 1 < l) {
+      const double sibling_u = sorted[node.filled][node.next_rank + 1].first;
+      if (sibling_u > 0.0) {
+        Frontier sibling = node;
+        ++sibling.next_rank;
+        sibling.bound = tnorm_combine(query.tnorm, tnorm_combine(query.tnorm, node.score, sibling_u),
+                                      tail_max[node.filled + 1]);
+        frontier.push(std::move(sibling));
+      }
+    }
+  }
+  meter.add_ops(ops);
+  meter.add_points(ops);
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,20 @@
+#pragma once
+// Threshold-style fuzzy Cartesian processing (paper ref [16]: "this
+// complexity is further reduced to O(ML log L + sqrt(LK) + K² log K)").
+//
+// Per-component candidate lists are sorted by unary degree once
+// (O(M·L·log L)); assignments are then enumerated best-first with optimistic
+// bounds: a partial assignment's bound multiplies its achieved score by the
+// best remaining unary degree of every unfilled component (binary degrees are
+// bounded by 1).  Lazy sibling expansion keeps the frontier small, and the
+// first K complete assignments popped are exactly the global top-K — the
+// monotone-bound argument of Fagin's threshold family.
+
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+[[nodiscard]] std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query,
+                                                           std::size_t k, CostMeter& meter);
+
+}  // namespace mmir

@@ -1,0 +1,16 @@
+#include "sproc/query.hpp"
+
+#include <cmath>
+
+namespace mmir {
+
+bool same_scores(const std::vector<CompositeMatch>& a, const std::vector<CompositeMatch>& b,
+                 double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].score - b[i].score) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mmir

@@ -1,0 +1,72 @@
+#pragma once
+// Fuzzy Cartesian composite queries (paper §3.2, refs [15][16]).
+//
+// A composite query asks for an ordered tuple of M library items — e.g. the
+// Fig. 4 riverbed: (shale layer, sandstone layer, siltstone layer) — where
+// each component has a *unary* fuzzy degree (how shale-like, gamma > 45) and
+// consecutive components have a *binary* compatibility degree (directly
+// above, gap < 10 ft).  The composite score is the product t-norm of all
+// degrees, and retrieval wants the top-K scoring tuples out of the L^M
+// candidates.
+//
+// Three processors, identical answers:
+//  * brute_force_top_k — O(L^M), the paper's baseline;
+//  * sproc_top_k       — k-best dynamic programming, O(M·K·L²) (ref [15]);
+//  * fast_sproc_top_k  — sorted-list / threshold best-first enumeration in
+//    the spirit of ref [16]'s O(M·L·log L + …) bound.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/cost.hpp"
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// Fuzzy conjunction used to combine a composite's degrees (§3: "fuzzy
+/// and/or probabilistic rules").  Both are monotone, so the DP and threshold
+/// processors stay exact under either.
+enum class TNorm {
+  kProduct,  ///< probabilistic AND: a*b
+  kMin,      ///< Zadeh AND: min(a, b)
+};
+
+/// Applies the t-norm.  Degrees are in [0, 1], so 1.0 is the identity for
+/// both choices.
+[[nodiscard]] inline double tnorm_combine(TNorm t, double a, double b) noexcept {
+  return t == TNorm::kProduct ? a * b : (a < b ? a : b);
+}
+
+/// Composite query over a library of L items.  All degree functions must
+/// return values in [0, 1] (the fast processor's bounds rely on this).
+struct CartesianQuery {
+  std::size_t components = 0;  ///< M
+  std::size_t library_size = 0;  ///< L
+  TNorm tnorm = TNorm::kProduct;
+  /// Unary degree of item `j` for component `m`.
+  std::function<double(std::size_t m, std::uint32_t j)> unary;
+  /// Compatibility of consecutive items: component m-1's item `i` followed by
+  /// component m's item `j` (m in [1, M)).
+  std::function<double(std::size_t m, std::uint32_t i, std::uint32_t j)> binary;
+
+  void validate() const {
+    MMIR_EXPECTS(components >= 1);
+    MMIR_EXPECTS(library_size >= 1);
+    MMIR_EXPECTS(static_cast<bool>(unary));
+    MMIR_EXPECTS(components == 1 || static_cast<bool>(binary));
+  }
+};
+
+/// One scored composite assignment (component m -> items[m]).
+struct CompositeMatch {
+  std::vector<std::uint32_t> items;
+  double score = 0.0;
+};
+
+/// True when two result lists agree on scores (and sizes) within tolerance —
+/// assignments may legitimately differ on exact ties.
+[[nodiscard]] bool same_scores(const std::vector<CompositeMatch>& a,
+                               const std::vector<CompositeMatch>& b, double tol = 1e-9);
+
+}  // namespace mmir

@@ -1,0 +1,95 @@
+#include "sproc/sproc.hpp"
+
+#include <algorithm>
+
+#include "util/topk.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// Partial assignment ending at some item, with back-pointers for recovery.
+struct Partial {
+  double score = 0.0;
+  std::uint32_t prev_item = 0;  // item at component m-1
+  std::uint32_t prev_rank = 0;  // rank within that item's K-best list
+};
+
+}  // namespace
+
+std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                        CostMeter& meter) {
+  query.validate();
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  const std::size_t m_total = query.components;
+  const std::size_t l = query.library_size;
+  std::uint64_t ops = 0;
+
+  // best[m][j] = up to k best partials ending at item j, sorted best-first.
+  std::vector<std::vector<std::vector<Partial>>> best(m_total);
+
+  // Component 0: unary scores only.
+  best[0].resize(l);
+  for (std::uint32_t j = 0; j < l; ++j) {
+    const double u = query.unary(0, j);
+    ++ops;
+    if (u > 0.0) best[0][j].push_back(Partial{u, 0, 0});
+  }
+
+  for (std::size_t m = 1; m < m_total; ++m) {
+    best[m].resize(l);
+    for (std::uint32_t j = 0; j < l; ++j) {
+      const double u = query.unary(m, j);
+      ++ops;
+      if (u == 0.0) continue;
+      TopK<Partial> top(k);
+      for (std::uint32_t i = 0; i < l; ++i) {
+        if (best[m - 1][i].empty()) continue;
+        const double p = query.binary(m, i, j);
+        ++ops;
+        if (p == 0.0) continue;
+        for (std::uint32_t r = 0; r < best[m - 1][i].size(); ++r) {
+          const double score =
+              tnorm_combine(query.tnorm, tnorm_combine(query.tnorm, best[m - 1][i][r].score, p), u);
+          ++ops;
+          top.offer(score, Partial{score, i, r});
+        }
+      }
+      for (auto& entry : top.take_sorted()) best[m][j].push_back(entry.item);
+    }
+  }
+  meter.add_ops(ops);
+  meter.add_points(ops);
+
+  // Global top-k over final-component partials, then back-track the paths.
+  struct Terminal {
+    std::uint32_t item;
+    std::uint32_t rank;
+  };
+  TopK<Terminal> global(k);
+  for (std::uint32_t j = 0; j < l; ++j) {
+    for (std::uint32_t r = 0; r < best[m_total - 1][j].size(); ++r) {
+      global.offer(best[m_total - 1][j][r].score, Terminal{j, r});
+    }
+  }
+
+  std::vector<CompositeMatch> out;
+  for (auto& entry : global.take_sorted()) {
+    CompositeMatch match;
+    match.score = entry.score;
+    match.items.resize(m_total);
+    std::uint32_t item = entry.item.item;
+    std::uint32_t rank = entry.item.rank;
+    for (std::size_t m = m_total; m-- > 0;) {
+      match.items[m] = item;
+      const Partial& partial = best[m][item][rank];
+      item = partial.prev_item;
+      rank = partial.prev_rank;
+    }
+    out.push_back(std::move(match));
+  }
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,18 @@
+#pragma once
+// SPROC: Sequential Processing of fuzzy Cartesian queries (paper ref [15]).
+//
+// k-best dynamic programming over the component chain: for every component m
+// and library item j, keep the K best-scoring partial assignments ending with
+// item j at component m.  Because the product t-norm is monotone, extending a
+// dominated partial can never beat extending a better one ending at the same
+// item, so per-item K-best lists preserve exact global top-K.  Complexity
+// O(M·K·L²) — the reduction from O(L^M) quoted in §3.2.
+
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+[[nodiscard]] std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                                      CostMeter& meter);
+
+}  // namespace mmir

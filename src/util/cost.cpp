@@ -1,0 +1,36 @@
+#include "util/cost.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace mmir {
+
+namespace {
+double ratio(double num, double den) noexcept {
+  if (den <= 0.0) return num > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  return num / den;
+}
+}  // namespace
+
+double SpeedupReport::point_speedup() const noexcept {
+  return ratio(static_cast<double>(baseline.points()), static_cast<double>(method.points()));
+}
+
+double SpeedupReport::op_speedup() const noexcept {
+  return ratio(static_cast<double>(baseline.ops()), static_cast<double>(method.ops()));
+}
+
+double SpeedupReport::wall_speedup() const noexcept {
+  return ratio(baseline.wall_ms(), method.wall_ms());
+}
+
+std::ostream& operator<<(std::ostream& os, const SpeedupReport& report) {
+  os << report.label << ": points " << report.baseline.points() << " -> "
+     << report.method.points() << " (" << report.point_speedup() << "x), ops "
+     << report.baseline.ops() << " -> " << report.method.ops() << " (" << report.op_speedup()
+     << "x), wall " << report.baseline.wall_ms() << "ms -> " << report.method.wall_ms() << "ms ("
+     << report.wall_speedup() << "x)";
+  return os;
+}
+
+}  // namespace mmir

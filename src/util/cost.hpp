@@ -1,0 +1,99 @@
+#pragma once
+// Hardware-independent cost accounting.
+//
+// The paper reports speedups measured on the authors' testbed; we cannot
+// reproduce their wall-clock numbers, so every retrieval engine in this
+// library threads a CostMeter that counts *work*: data points touched, model
+// operations executed, and bytes notionally read from the archive.  Speedup
+// ratios computed from these counters reproduce the paper's *shape* on any
+// host, and wall-clock is recorded alongside for reference.
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mmir {
+
+/// Accumulates the work performed by one retrieval execution.
+class CostMeter {
+ public:
+  /// Records that `n` archive data points (pixels, tuples, log samples,
+  /// series days) were read and fed to some computation.
+  void add_points(std::uint64_t n) noexcept { points_ += n; }
+
+  /// Records `n` elementary model operations (multiply-adds, CPT lookups,
+  /// FSM transitions, fuzzy evaluations).
+  void add_ops(std::uint64_t n) noexcept { ops_ += n; }
+
+  /// Records `n` bytes notionally transferred from archive storage.
+  void add_bytes(std::uint64_t n) noexcept { bytes_ += n; }
+
+  /// Records that one candidate was pruned without evaluation.
+  void add_pruned(std::uint64_t n = 1) noexcept { pruned_ += n; }
+
+  void add_wall(std::chrono::nanoseconds d) noexcept { wall_ += d; }
+
+  [[nodiscard]] std::uint64_t points() const noexcept { return points_; }
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t pruned() const noexcept { return pruned_; }
+  [[nodiscard]] std::chrono::nanoseconds wall() const noexcept { return wall_; }
+  [[nodiscard]] double wall_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(wall_).count();
+  }
+
+  void reset() noexcept { *this = CostMeter{}; }
+
+  CostMeter& operator+=(const CostMeter& other) noexcept {
+    points_ += other.points_;
+    ops_ += other.ops_;
+    bytes_ += other.bytes_;
+    pruned_ += other.pruned_;
+    wall_ += other.wall_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t points_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t pruned_ = 0;
+  std::chrono::nanoseconds wall_{0};
+};
+
+/// RAII timer adding its lifetime to a CostMeter's wall-clock on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(CostMeter& meter) noexcept
+      : meter_(meter), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    meter_.add_wall(std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_));
+  }
+
+ private:
+  CostMeter& meter_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Baseline-vs-method comparison, as reported in the paper's evaluation.
+struct SpeedupReport {
+  std::string label;
+  CostMeter baseline;
+  CostMeter method;
+
+  /// Work speedup as the paper reports it: points touched by the baseline
+  /// over points touched by the method (>= 1 means the method wins).
+  [[nodiscard]] double point_speedup() const noexcept;
+  /// Operation-count speedup.
+  [[nodiscard]] double op_speedup() const noexcept;
+  /// Wall-clock speedup (host-dependent; shown for reference only).
+  [[nodiscard]] double wall_speedup() const noexcept;
+};
+
+std::ostream& operator<<(std::ostream& os, const SpeedupReport& report);
+
+}  // namespace mmir

@@ -1,0 +1,37 @@
+#pragma once
+// Error handling primitives for the MMIR library.
+//
+// Construction / validation failures throw mmir::Error (an std::runtime_error
+// with a formatted message).  Hot-path preconditions use MMIR_EXPECTS, which
+// throws in all builds: model-based retrieval engines are driven by untrusted
+// query parameters, so silently corrupting an index is never acceptable.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mmir {
+
+/// Exception type thrown for all MMIR validation and domain errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(std::string_view cond, std::string_view file, int line) {
+  throw Error("precondition failed: " + std::string(cond) + " at " + std::string(file) + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace mmir
+
+/// Precondition check: throws mmir::Error when violated (all build types).
+#define MMIR_EXPECTS(cond)                                         \
+  do {                                                             \
+    if (!(cond)) ::mmir::detail::fail_expects(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition check, same behaviour as MMIR_EXPECTS.
+#define MMIR_ENSURES(cond) MMIR_EXPECTS(cond)

@@ -1,0 +1,73 @@
+#pragma once
+// Closed-interval arithmetic used for progressive screening.
+//
+// Tile summaries store [min, max] per band; pushing those intervals through a
+// model yields bounds on the model's value anywhere in the tile.  A tile whose
+// upper bound falls below the current top-K threshold is pruned without
+// touching its pixels — the core mechanism behind the paper's progressive
+// execution speedups.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// Closed interval [lo, hi].  Empty intervals are not representable; callers
+/// construct only from observed data, so lo <= hi always holds.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr Interval() = default;
+  constexpr Interval(double low, double high) : lo(low), hi(high) {}
+
+  /// Degenerate interval containing a single point.
+  [[nodiscard]] static constexpr Interval point(double v) noexcept { return {v, v}; }
+
+  /// The whole real line.
+  [[nodiscard]] static Interval everything() noexcept {
+    return {-std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr bool contains(double v) const noexcept { return lo <= v && v <= hi; }
+  [[nodiscard]] constexpr double width() const noexcept { return hi - lo; }
+  [[nodiscard]] constexpr double mid() const noexcept { return 0.5 * (lo + hi); }
+
+  /// Smallest interval covering both operands.
+  [[nodiscard]] constexpr Interval hull(const Interval& other) const noexcept {
+    return {lo < other.lo ? lo : other.lo, hi > other.hi ? hi : other.hi};
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Interval& other) const noexcept {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  friend constexpr Interval operator+(const Interval& a, const Interval& b) noexcept {
+    return {a.lo + b.lo, a.hi + b.hi};
+  }
+  friend constexpr Interval operator-(const Interval& a, const Interval& b) noexcept {
+    return {a.lo - b.hi, a.hi - b.lo};
+  }
+  friend constexpr Interval operator*(double c, const Interval& x) noexcept {
+    return c >= 0.0 ? Interval{c * x.lo, c * x.hi} : Interval{c * x.hi, c * x.lo};
+  }
+  friend constexpr Interval operator*(const Interval& x, double c) noexcept { return c * x; }
+  friend constexpr Interval operator+(const Interval& x, double c) noexcept {
+    return {x.lo + c, x.hi + c};
+  }
+  friend constexpr Interval operator+(double c, const Interval& x) noexcept { return x + c; }
+
+  friend Interval operator*(const Interval& a, const Interval& b) noexcept {
+    const double p1 = a.lo * b.lo;
+    const double p2 = a.lo * b.hi;
+    const double p3 = a.hi * b.lo;
+    const double p4 = a.hi * b.hi;
+    return {std::min(std::min(p1, p2), std::min(p3, p4)),
+            std::max(std::max(p1, p2), std::max(p3, p4))};
+  }
+};
+
+}  // namespace mmir

@@ -1,0 +1,148 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+namespace mmir {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    MMIR_EXPECTS(r.size() == cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  MMIR_EXPECTS(a.cols_ == b.rows_);
+  Matrix out(a.rows_, b.cols_, 0.0);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  MMIR_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i)
+    for (std::size_t j = 0; j < a.cols_; ++j) out(i, j) = a(i, j) + b(i, j);
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  MMIR_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i)
+    for (std::size_t j = 0; j < a.cols_; ++j) out(i, j) = a(i, j) - b(i, j);
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) {
+  Matrix out(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < a.rows_; ++i)
+    for (std::size_t j = 0; j < a.cols_; ++j) out(i, j) = s * a(i, j);
+  return out;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  MMIR_EXPECTS(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) y[i] = dot(row(i), x);
+  return y;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  MMIR_EXPECTS(a.rows() == a.cols());
+  MMIR_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) throw Error("cholesky_solve: matrix is not positive definite");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> gaussian_solve(Matrix a, std::vector<double> b) {
+  MMIR_EXPECTS(a.rows() == a.cols());
+  MMIR_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) throw Error("gaussian_solve: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  MMIR_EXPECTS(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace mmir

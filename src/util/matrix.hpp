@@ -1,0 +1,70 @@
+#pragma once
+// Small dense linear algebra: just enough for OLS/ridge regression and
+// Bayesian-network factor bookkeeping.  Row-major, double precision.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    MMIR_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    MMIR_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    MMIR_EXPECTS(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  friend Matrix operator*(double s, const Matrix& a);
+
+  /// Matrix–vector product.
+  [[nodiscard]] std::vector<double> apply(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws mmir::Error when A is not SPD (within tolerance).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Solves A x = b via Gaussian elimination with partial pivoting.
+/// Throws mmir::Error for singular systems.
+[[nodiscard]] std::vector<double> gaussian_solve(Matrix a, std::vector<double> b);
+
+/// Dot product of equally sized spans.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace mmir

@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mmir {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 uniform bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded sampling.
+  if (n == 0) return 0;
+  __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next_u64()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+double Rng::exponential(double lambda) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+int Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; clamps at zero.
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample < 0.0 ? 0 : static_cast<int>(sample + 0.5);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (pick < w) return i;
+    pick -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace mmir

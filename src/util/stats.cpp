@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+void OnlineStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Interval OnlineStats::range() const noexcept {
+  return count_ == 0 ? Interval::point(0.0) : Interval{min_, max_};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  MMIR_EXPECTS(bins > 0);
+  MMIR_EXPECTS(hi > lo);
+}
+
+void Histogram::add(double value) noexcept {
+  const double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<long>(counts_.size())) bin = static_cast<long>(counts_.size()) - 1;
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  MMIR_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::l1_distance(const Histogram& other) const {
+  MMIR_EXPECTS(counts_.size() == other.counts_.size());
+  const auto a = normalized();
+  const auto b = other.normalized();
+  double distance = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) distance += std::abs(a[i] - b[i]);
+  return distance;
+}
+
+double Histogram::quantile(double q) const {
+  MMIR_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative >= target) return lo_ + bin_width * static_cast<double>(i);
+  }
+  return hi_;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  MMIR_EXPECTS(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  OnlineStats sa;
+  OnlineStats sb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa.add(a[i]);
+    sb.add(b[i]);
+  }
+  const double denom = sa.stddev() * sb.stddev();
+  if (denom == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  cov /= static_cast<double>(a.size());
+  return cov / denom;
+}
+
+}  // namespace mmir

@@ -1,0 +1,70 @@
+#pragma once
+// Streaming statistics and fixed-bin histograms.
+//
+// Tile summaries, feature extractors and the accuracy metrics all need
+// single-pass mean/variance/min/max; OnlineStats implements Welford's
+// algorithm.  Histogram supports the multi-abstraction feature level
+// (band histograms as cheap raster surrogates).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/interval.hpp"
+
+namespace mmir {
+
+/// Welford single-pass accumulator: mean, variance, min, max, count.
+class OnlineStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (0 for fewer than 2 samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// [min, max] of the observed samples; point(0) when empty.
+  [[nodiscard]] Interval range() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over a closed range; out-of-range values clamp to the
+/// boundary bins (raster bands are range-limited by construction).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Normalized bin frequencies (sums to 1; all-zero when empty).
+  [[nodiscard]] std::vector<double> normalized() const;
+  /// L1 distance between normalized histograms (must have equal bin counts).
+  [[nodiscard]] double l1_distance(const Histogram& other) const;
+  /// Value at the given cumulative quantile q in [0,1] (bin lower edge).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equally sized samples (0 when degenerate).
+[[nodiscard]] double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace mmir

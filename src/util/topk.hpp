@@ -1,0 +1,90 @@
+#pragma once
+// Bounded top-K accumulator.
+//
+// Every retrieval path in the framework (sequential scan, Onion, SPROC, FSM
+// matching, progressive execution) funnels scored candidates through TopK.
+// The structure keeps the K best items seen so far in a min-heap so insertion
+// is O(log K) and the current K-th best score — the pruning threshold used by
+// index early-termination — is O(1).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// Keeps the K items with the largest scores.  Ties are broken by insertion
+/// order (earlier wins) so results are deterministic.
+template <typename Item>
+class TopK {
+ public:
+  struct Entry {
+    double score;
+    std::uint64_t sequence;  // insertion counter, for deterministic ties
+    Item item;
+  };
+
+  explicit TopK(std::size_t k) : k_(k) { MMIR_EXPECTS(k > 0); }
+
+  /// Offers a candidate; returns true when it entered the top-K set.
+  bool offer(double score, Item item) {
+    const std::uint64_t seq = next_sequence_++;
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{score, seq, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), worse_first());
+      return true;
+    }
+    if (!beats_worst(score, seq)) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), worse_first());
+    heap_.back() = Entry{score, seq, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), worse_first());
+    return true;
+  }
+
+  /// True once K items are held; combined with threshold() enables pruning.
+  [[nodiscard]] bool full() const noexcept { return heap_.size() >= k_; }
+
+  /// Score of the current K-th best (pruning bound).  -inf until full.
+  [[nodiscard]] double threshold() const noexcept {
+    return full() ? heap_.front().score : -std::numeric_limits<double>::infinity();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return k_; }
+
+  /// Extracts results ordered best-first.  The accumulator is left empty.
+  [[nodiscard]] std::vector<Entry> take_sorted() {
+    std::vector<Entry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.sequence < b.sequence;
+    });
+    return out;
+  }
+
+ private:
+  // Min-heap on (score, reversed sequence): the *worst* entry sits on top.
+  [[nodiscard]] static auto worse_first() noexcept {
+    return [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.sequence < b.sequence;  // later insertions are "worse" on ties
+    };
+  }
+
+  [[nodiscard]] bool beats_worst(double score, std::uint64_t) const noexcept {
+    // Strictly-greater: on ties the incumbent (earlier) entry is kept.
+    return score > heap_.front().score;
+  }
+
+  std::size_t k_;
+  std::uint64_t next_sequence_ = 0;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace mmir

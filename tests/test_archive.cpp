@@ -1,0 +1,310 @@
+// Unit tests for src/archive: tiled multi-band archives and the catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "archive/catalog.hpp"
+#include "archive/io.hpp"
+#include "archive/tiled.hpp"
+#include "data/scene.hpp"
+#include "data/tuples.hpp"
+#include "data/welllog.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+Grid make_ramp(std::size_t w, std::size_t h) {
+  Grid g(w, h);
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) g.at(x, y) = static_cast<double>(y * w + x);
+  return g;
+}
+
+// ---------------------------------------------------------------- TiledArchive
+
+TEST(TiledArchive, TileGeometryCoversGrid) {
+  const Grid band = make_ramp(50, 30);
+  const TiledArchive archive({&band}, 16);
+  EXPECT_EQ(archive.tiles_x(), 4u);  // 50 -> 16,16,16,2
+  EXPECT_EQ(archive.tiles_y(), 2u);  // 30 -> 16,14
+  EXPECT_EQ(archive.tiles().size(), 8u);
+
+  std::size_t covered = 0;
+  for (const auto& tile : archive.tiles()) covered += tile.pixel_count();
+  EXPECT_EQ(covered, 50u * 30u);
+}
+
+TEST(TiledArchive, EdgeTilesAreClipped) {
+  const Grid band = make_ramp(50, 30);
+  const TiledArchive archive({&band}, 16);
+  const TileSummary& corner = archive.tile(3, 1);
+  EXPECT_EQ(corner.width, 2u);
+  EXPECT_EQ(corner.height, 14u);
+  EXPECT_EQ(corner.x0, 48u);
+  EXPECT_EQ(corner.y0, 16u);
+}
+
+TEST(TiledArchive, SummariesBoundTheirPixels) {
+  Rng rng(1);
+  Grid band(64, 64);
+  for (double& v : band.flat()) v = rng.normal(50, 20);
+  const TiledArchive archive({&band}, 8);
+  for (const auto& tile : archive.tiles()) {
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        ASSERT_TRUE(tile.band_range[0].contains(band.at(x, y)));
+      }
+    }
+  }
+}
+
+TEST(TiledArchive, SummaryMeansMatchWindows) {
+  const Grid band = make_ramp(32, 32);
+  const TiledArchive archive({&band}, 16);
+  for (const auto& tile : archive.tiles()) {
+    const auto stats = band.window_stats(tile.x0, tile.y0, tile.width, tile.height);
+    EXPECT_NEAR(tile.band_mean[0], stats.mean(), 1e-9);
+  }
+}
+
+TEST(TiledArchive, MultiBandSummariesIndependent) {
+  const Grid a = make_ramp(32, 32);
+  Grid b(32, 32, 7.0);
+  const TiledArchive archive({&a, &b}, 8);
+  EXPECT_EQ(archive.band_count(), 2u);
+  for (const auto& tile : archive.tiles()) {
+    ASSERT_EQ(tile.band_range.size(), 2u);
+    EXPECT_DOUBLE_EQ(tile.band_range[1].lo, 7.0);
+    EXPECT_DOUBLE_EQ(tile.band_range[1].hi, 7.0);
+  }
+}
+
+TEST(TiledArchive, ReadPixelChargesMeter) {
+  const Grid a = make_ramp(8, 8);
+  Grid b(8, 8, 1.0);
+  const TiledArchive archive({&a, &b}, 4);
+  CostMeter meter;
+  std::vector<double> pixel(2);
+  archive.read_pixel(3, 2, pixel, meter);
+  EXPECT_DOUBLE_EQ(pixel[0], a.at(3, 2));
+  EXPECT_DOUBLE_EQ(pixel[1], 1.0);
+  EXPECT_EQ(meter.points(), 2u);
+  EXPECT_EQ(meter.bytes(), 2u * sizeof(double));
+}
+
+TEST(TiledArchive, RejectsMismatchedBands) {
+  const Grid a = make_ramp(8, 8);
+  const Grid b = make_ramp(8, 9);
+  EXPECT_THROW(TiledArchive({&a, &b}, 4), Error);
+  EXPECT_THROW(TiledArchive({}, 4), Error);
+  EXPECT_THROW(TiledArchive({&a}, 0), Error);
+}
+
+TEST(TiledArchive, WorksOnGeneratedScene) {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  const Scene scene = generate_scene(cfg);
+  const TiledArchive archive(
+      {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem}, 16);
+  EXPECT_EQ(archive.band_count(), 4u);
+  EXPECT_EQ(archive.pixel_count(), 64u * 64u);
+}
+
+// ---------------------------------------------------------------- Catalog
+
+TEST(Catalog, AddAndFind) {
+  Catalog catalog;
+  DatasetInfo info;
+  info.name = "landsat_scene";
+  info.modality = Modality::kRaster;
+  info.item_count = 1000;
+  info.dims = 4;
+  info.attributes["sensor"] = "tm";
+  catalog.add(info);
+
+  const auto found = catalog.find("landsat_scene");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->dims, 4u);
+  EXPECT_EQ(found->attributes.at("sensor"), "tm");
+  EXPECT_FALSE(catalog.find("nope").has_value());
+}
+
+TEST(Catalog, RejectsDuplicateNames) {
+  Catalog catalog;
+  DatasetInfo info;
+  info.name = "x";
+  catalog.add(info);
+  EXPECT_THROW(catalog.add(info), Error);
+}
+
+TEST(Catalog, FiltersByModality) {
+  Catalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    DatasetInfo info;
+    info.name = "raster_" + std::to_string(i);
+    info.modality = Modality::kRaster;
+    catalog.add(info);
+  }
+  DatasetInfo wells;
+  wells.name = "wells";
+  wells.modality = Modality::kWellLog;
+  catalog.add(wells);
+
+  EXPECT_EQ(catalog.by_modality(Modality::kRaster).size(), 3u);
+  EXPECT_EQ(catalog.by_modality(Modality::kWellLog).size(), 1u);
+  EXPECT_EQ(catalog.by_modality(Modality::kTuples).size(), 0u);
+  EXPECT_EQ(catalog.size(), 4u);
+}
+
+TEST(Catalog, FiltersByAttribute) {
+  Catalog catalog;
+  DatasetInfo a;
+  a.name = "a";
+  a.attributes["region"] = "southwest";
+  catalog.add(a);
+  DatasetInfo b;
+  b.name = "b";
+  b.attributes["region"] = "northeast";
+  catalog.add(b);
+
+  const auto hits = catalog.by_attribute("region", "southwest");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].name, "a");
+  EXPECT_TRUE(catalog.by_attribute("region", "mars").empty());
+  EXPECT_TRUE(catalog.by_attribute("missing_key", "x").empty());
+}
+
+TEST(Catalog, ModalityNames) {
+  EXPECT_EQ(modality_name(Modality::kRaster), "raster");
+  EXPECT_EQ(modality_name(Modality::kTimeSeries), "time_series");
+  EXPECT_EQ(modality_name(Modality::kWellLog), "well_log");
+  EXPECT_EQ(modality_name(Modality::kTuples), "tuples");
+}
+
+// ---------------------------------------------------------------- io
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) { return std::string("/tmp/mmir_io_test_") + name; }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, GridBinaryRoundTrip) {
+  Rng rng(1);
+  Grid grid(37, 23);
+  for (double& v : grid.flat()) v = rng.normal();
+  const auto file = track(path("grid.bin"));
+  save_grid(grid, file);
+  const Grid back = load_grid(file);
+  ASSERT_EQ(back.width(), 37u);
+  ASSERT_EQ(back.height(), 23u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.flat()[i], grid.flat()[i]);
+  }
+}
+
+TEST_F(IoTest, GridCsvRoundTrip) {
+  Rng rng(2);
+  Grid grid(5, 4);
+  for (double& v : grid.flat()) v = rng.uniform(-10, 10);
+  const auto file = track(path("grid.csv"));
+  save_grid_csv(grid, file);
+  const Grid back = load_grid_csv(file);
+  ASSERT_EQ(back.width(), 5u);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.flat()[i], grid.flat()[i]);  // precision 17 is exact
+  }
+}
+
+TEST_F(IoTest, GridRejectsWrongMagic) {
+  const auto file = track(path("tuple_as_grid.bin"));
+  save_tuples(gaussian_tuples(10, 2, 3), file);
+  EXPECT_THROW((void)load_grid(file), Error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_grid("/tmp/mmir_io_test_does_not_exist.bin"), Error);
+  EXPECT_THROW((void)load_tuples_csv("/tmp/mmir_io_test_does_not_exist.csv"), Error);
+}
+
+TEST_F(IoTest, TruncatedGridThrows) {
+  Grid grid(16, 16, 1.0);
+  const auto file = track(path("trunc.bin"));
+  save_grid(grid, file);
+  // Chop the payload.
+  std::ofstream(file, std::ios::binary | std::ios::trunc).write("MMIRGRD1", 8);
+  EXPECT_THROW((void)load_grid(file), Error);
+}
+
+TEST_F(IoTest, TuplesBinaryRoundTrip) {
+  const TupleSet tuples = gaussian_tuples(100, 4, 4);
+  const auto file = track(path("tuples.bin"));
+  save_tuples(tuples, file);
+  const TupleSet back = load_tuples(file);
+  ASSERT_EQ(back.size(), 100u);
+  ASSERT_EQ(back.dim(), 4u);
+  for (std::size_t r = 0; r < 100; ++r) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_DOUBLE_EQ(back.row(r)[d], tuples.row(r)[d]);
+    }
+  }
+}
+
+TEST_F(IoTest, TuplesCsvRoundTrip) {
+  const TupleSet tuples = credit_applicants(50, 5);
+  const auto file = track(path("tuples.csv"));
+  save_tuples_csv(tuples, file);
+  const TupleSet back = load_tuples_csv(file);
+  ASSERT_EQ(back.size(), 50u);
+  ASSERT_EQ(back.dim(), kCreditAttributes);
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (std::size_t d = 0; d < kCreditAttributes; ++d) {
+      EXPECT_DOUBLE_EQ(back.row(r)[d], tuples.row(r)[d]);
+    }
+  }
+}
+
+TEST_F(IoTest, CsvRejectsRaggedAndNonNumeric) {
+  const auto ragged = track(path("ragged.csv"));
+  {
+    std::ofstream out(ragged);
+    out << "1,2,3\n1,2\n";
+  }
+  EXPECT_THROW((void)load_tuples_csv(ragged), Error);
+  const auto garbage = track(path("garbage.csv"));
+  {
+    std::ofstream out(garbage);
+    out << "1,banana\n";
+  }
+  EXPECT_THROW((void)load_grid_csv(garbage), Error);
+}
+
+TEST_F(IoTest, WellLogCsvRoundTrip) {
+  const WellLogArchive archive = generate_well_log_archive(5, WellLogConfig{}, 6);
+  const auto file = track(path("wells.csv"));
+  save_well_logs_csv(archive, file);
+  const WellLogArchive back = load_well_logs_csv(file);
+  ASSERT_EQ(back.size(), 5u);
+  for (std::size_t w = 0; w < 5; ++w) {
+    ASSERT_EQ(back.wells[w].layers.size(), archive.wells[w].layers.size());
+    for (std::size_t l = 0; l < back.wells[w].layers.size(); ++l) {
+      EXPECT_EQ(back.wells[w].layers[l].lithology, archive.wells[w].layers[l].lithology);
+      EXPECT_DOUBLE_EQ(back.wells[w].layers[l].top_ft, archive.wells[w].layers[l].top_ft);
+      EXPECT_DOUBLE_EQ(back.wells[w].layers[l].gamma_api, archive.wells[w].layers[l].gamma_api);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,330 @@
+// Unit + property tests for src/bayes: Bayesian networks (representation,
+// exact inference, sampling, learning) and fuzzy logic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bayes/bayesnet.hpp"
+#include "bayes/fuzzy.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+/// The classic sprinkler network: Rain -> Sprinkler, {Rain, Sprinkler} -> Wet.
+BayesNet sprinkler_net() {
+  BayesNet net;
+  const auto rain = net.add_variable("rain", 2);
+  const auto sprinkler = net.add_variable("sprinkler", 2, {rain});
+  const auto wet = net.add_variable("wet", 2, {rain, sprinkler});
+  net.set_cpt(rain, {0.8, 0.2});
+  net.set_cpt(sprinkler, {0.6, 0.4,    // rain=0
+                          0.99, 0.01});  // rain=1
+  net.set_cpt(wet, {1.0, 0.0,     // rain=0, sprinkler=0
+                    0.1, 0.9,     // rain=0, sprinkler=1
+                    0.2, 0.8,     // rain=1, sprinkler=0
+                    0.01, 0.99});  // rain=1, sprinkler=1
+  return net;
+}
+
+// ---------------------------------------------------------------- structure
+
+TEST(BayesNet, AddAndLookup) {
+  BayesNet net = sprinkler_net();
+  EXPECT_EQ(net.variable_count(), 3u);
+  EXPECT_EQ(net.find("rain"), 0u);
+  EXPECT_EQ(net.find("wet"), 2u);
+  EXPECT_THROW((void)net.find("snow"), Error);
+  EXPECT_EQ(net.cardinality(1), 2u);
+  EXPECT_EQ(net.parents(2).size(), 2u);
+  EXPECT_EQ(net.name(1), "sprinkler");
+}
+
+TEST(BayesNet, RejectsInvalidConstruction) {
+  BayesNet net;
+  EXPECT_THROW(net.add_variable("x", 1), Error);          // cardinality < 2
+  EXPECT_THROW(net.add_variable("x", 2, {5}), Error);     // unknown parent
+  net.add_variable("x", 2);
+  EXPECT_THROW(net.add_variable("x", 2), Error);          // duplicate name
+}
+
+TEST(BayesNet, CptValidation) {
+  BayesNet net;
+  const auto a = net.add_variable("a", 2);
+  EXPECT_THROW(net.set_cpt(a, {0.5, 0.6}), Error);        // doesn't sum to 1
+  EXPECT_THROW(net.set_cpt(a, {0.5}), Error);             // wrong size
+  net.set_cpt(a, {0.3, 0.7});
+  EXPECT_DOUBLE_EQ(net.cpt(a, {}, 1), 0.7);
+}
+
+TEST(BayesNet, JointFactorizes) {
+  const BayesNet net = sprinkler_net();
+  // P(rain=1, sprinkler=0, wet=1) = 0.2 * 0.99 * 0.8.
+  const std::vector<std::size_t> assignment{1, 0, 1};
+  EXPECT_NEAR(net.joint(assignment), 0.2 * 0.99 * 0.8, 1e-12);
+}
+
+TEST(BayesNet, JointSumsToOne) {
+  const BayesNet net = sprinkler_net();
+  double total = 0.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t w = 0; w < 2; ++w) {
+        total += net.joint(std::vector<std::size_t>{r, s, w});
+      }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- inference
+
+/// Brute-force posterior by joint enumeration (reference implementation).
+std::vector<double> brute_posterior(const BayesNet& net, std::size_t query,
+                                    const std::map<std::size_t, std::size_t>& evidence) {
+  const std::size_t n = net.variable_count();
+  std::vector<double> posterior(net.cardinality(query), 0.0);
+  std::vector<std::size_t> assignment(n, 0);
+  const auto recurse = [&](auto&& self, std::size_t var) -> void {
+    if (var == n) {
+      posterior[assignment[query]] += net.joint(assignment);
+      return;
+    }
+    const auto it = evidence.find(var);
+    if (it != evidence.end()) {
+      assignment[var] = it->second;
+      self(self, var + 1);
+      return;
+    }
+    for (std::size_t v = 0; v < net.cardinality(var); ++v) {
+      assignment[var] = v;
+      self(self, var + 1);
+    }
+  };
+  recurse(recurse, 0);
+  double z = 0.0;
+  for (double p : posterior) z += p;
+  for (double& p : posterior) p /= z;
+  return posterior;
+}
+
+TEST(BayesNet, PosteriorNoEvidenceIsPrior) {
+  const BayesNet net = sprinkler_net();
+  CostMeter meter;
+  const auto p = net.posterior(net.find("rain"), {}, meter);
+  EXPECT_NEAR(p[0], 0.8, 1e-9);
+  EXPECT_NEAR(p[1], 0.2, 1e-9);
+}
+
+TEST(BayesNet, PosteriorMatchesEnumerationAllEvidencePatterns) {
+  const BayesNet net = sprinkler_net();
+  for (std::size_t query = 0; query < 3; ++query) {
+    for (int pattern = 0; pattern < 9; ++pattern) {
+      std::map<std::size_t, std::size_t> evidence;
+      int code = pattern;
+      for (std::size_t var = 0; var < 3 && evidence.size() < 2; ++var) {
+        if (var == query) continue;
+        const int choice = code % 3;  // 0: unobserved, 1: =0, 2: =1
+        code /= 3;
+        if (choice > 0) evidence[var] = static_cast<std::size_t>(choice - 1);
+      }
+      CostMeter meter;
+      const auto expected = brute_posterior(net, query, evidence);
+      const auto actual = net.posterior(query, evidence, meter);
+      ASSERT_EQ(expected.size(), actual.size());
+      for (std::size_t v = 0; v < expected.size(); ++v) {
+        EXPECT_NEAR(actual[v], expected[v], 1e-9) << "query " << query << " pattern " << pattern;
+      }
+    }
+  }
+}
+
+TEST(BayesNet, ExplainingAway) {
+  // Classic: observing wet grass raises P(rain); additionally observing the
+  // sprinkler ran lowers it again.
+  const BayesNet net = sprinkler_net();
+  CostMeter meter;
+  const auto rain = net.find("rain");
+  const auto sprinkler = net.find("sprinkler");
+  const auto wet = net.find("wet");
+  const double prior = net.posterior(rain, {}, meter)[1];
+  const double wet_only = net.posterior(rain, {{wet, 1}}, meter)[1];
+  const double wet_and_sprinkler = net.posterior(rain, {{wet, 1}, {sprinkler, 1}}, meter)[1];
+  EXPECT_GT(wet_only, prior);
+  EXPECT_LT(wet_and_sprinkler, wet_only);
+}
+
+TEST(BayesNet, PosteriorRejectsImpossibleEvidence) {
+  BayesNet net;
+  const auto a = net.add_variable("a", 2);
+  const auto b = net.add_variable("b", 2, {a});
+  net.set_cpt(a, {1.0, 0.0});           // a is always 0
+  net.set_cpt(b, {0.5, 0.5, 0.5, 0.5});
+  CostMeter meter;
+  EXPECT_THROW((void)net.posterior(b, {{a, 1}}, meter), Error);
+}
+
+TEST(BayesNet, InferenceChargesMeter) {
+  const BayesNet net = sprinkler_net();
+  CostMeter meter;
+  (void)net.posterior(net.find("rain"), {{net.find("wet"), 1}}, meter);
+  EXPECT_GT(meter.ops(), 0u);
+}
+
+TEST(BayesNet, MultiValuedVariables) {
+  BayesNet net;
+  const auto season = net.add_variable("season", 4);
+  const auto rain = net.add_variable("rain", 2, {season});
+  net.set_cpt(season, {0.25, 0.25, 0.25, 0.25});
+  net.set_cpt(rain, {0.9, 0.1,   // winter... etc
+                     0.5, 0.5,
+                     0.3, 0.7,
+                     0.6, 0.4});
+  CostMeter meter;
+  const auto p_season = net.posterior(season, {{rain, 1}}, meter);
+  const auto expected = brute_posterior(net, season, {{rain, 1}});
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_NEAR(p_season[v], expected[v], 1e-9);
+  // Rainy evidence makes the rainy season most likely.
+  EXPECT_EQ(std::max_element(p_season.begin(), p_season.end()) - p_season.begin(), 2);
+}
+
+// ---------------------------------------------------------------- sampling
+
+TEST(BayesNet, SampleFrequenciesMatchJoint) {
+  const BayesNet net = sprinkler_net();
+  Rng rng(5);
+  std::map<std::vector<std::size_t>, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[net.sample(rng)];
+  for (const auto& [assignment, count] : counts) {
+    const double expected = net.joint(assignment);
+    EXPECT_NEAR(static_cast<double>(count) / n, expected, 0.01);
+  }
+}
+
+// ---------------------------------------------------------------- learning
+
+TEST(BayesNet, FitRecoversCptsFromSamples) {
+  const BayesNet truth = sprinkler_net();
+  Rng rng(6);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 100000; ++i) rows.push_back(truth.sample(rng));
+
+  BayesNet learned = sprinkler_net();  // same structure, CPTs overwritten
+  learned.fit(rows, 1.0);
+  EXPECT_NEAR(learned.cpt(0, {}, 1), 0.2, 0.01);
+  const std::vector<std::size_t> rain1{1};
+  EXPECT_NEAR(learned.cpt(1, rain1, 1), 0.01, 0.01);
+  const std::vector<std::size_t> r0s1{0, 1};
+  EXPECT_NEAR(learned.cpt(2, r0s1, 1), 0.9, 0.02);
+}
+
+TEST(BayesNet, FitSmoothingHandlesUnseenConfigurations) {
+  BayesNet net;
+  const auto a = net.add_variable("a", 2);
+  const auto b = net.add_variable("b", 2, {a});
+  net.set_cpt(a, {0.5, 0.5});
+  net.set_cpt(b, {0.5, 0.5, 0.5, 0.5});
+  // Only a=0 rows: the a=1 CPT row must stay a proper (uniform) distribution.
+  std::vector<std::vector<std::size_t>> rows(10, {0, 1});
+  net.fit(rows, 1.0);
+  const std::vector<std::size_t> a1{1};
+  EXPECT_NEAR(net.cpt(b, a1, 0) + net.cpt(b, a1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(net.cpt(b, a1, 0), 0.5, 1e-12);
+}
+
+TEST(BayesNet, FitThenInferenceEndToEnd) {
+  const BayesNet truth = sprinkler_net();
+  Rng rng(7);
+  std::vector<std::vector<std::size_t>> rows;
+  for (int i = 0; i < 50000; ++i) rows.push_back(truth.sample(rng));
+  BayesNet learned = sprinkler_net();
+  learned.fit(rows, 1.0);
+  CostMeter m1;
+  CostMeter m2;
+  const auto p_true = truth.posterior(0, {{2, 1}}, m1);
+  const auto p_learned = learned.posterior(0, {{2, 1}}, m2);
+  EXPECT_NEAR(p_learned[1], p_true[1], 0.02);
+}
+
+// ---------------------------------------------------------------- fuzzy
+
+TEST(Fuzzy, RampUpShape) {
+  const Membership m = ramp_up(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(m(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(m(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(m(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(m(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(m(25.0), 1.0);
+}
+
+TEST(Fuzzy, RampDownShape) {
+  const Membership m = ramp_down(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(m(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(m(10.0), 0.0);
+}
+
+TEST(Fuzzy, TriangularShape) {
+  const Membership m = triangular(0.0, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(m(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(m(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(m(7.5), 0.5);
+  EXPECT_DOUBLE_EQ(m(12.0), 0.0);
+}
+
+TEST(Fuzzy, TrapezoidShape) {
+  const Membership m = trapezoid(0.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(m(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(m(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(m(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(m(7.0), 0.0);
+}
+
+TEST(Fuzzy, CrispThreshold) {
+  const Membership m = crisp_at_least(45.0);
+  EXPECT_DOUBLE_EQ(m(44.999), 0.0);
+  EXPECT_DOUBLE_EQ(m(45.0), 1.0);
+}
+
+TEST(Fuzzy, ConnectiveIdentities) {
+  EXPECT_DOUBLE_EQ(fuzzy_and_min(0.3, 0.7), 0.3);
+  EXPECT_DOUBLE_EQ(fuzzy_and_product(0.5, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(fuzzy_or_max(0.3, 0.7), 0.7);
+  EXPECT_NEAR(fuzzy_or_probsum(0.5, 0.5), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(fuzzy_not(0.3), 0.7);
+  // De Morgan for the product pair: not(a AND b) == not(a) OR not(b).
+  const double a = 0.4;
+  const double b = 0.6;
+  EXPECT_NEAR(fuzzy_not(fuzzy_and_product(a, b)),
+              fuzzy_or_probsum(fuzzy_not(a), fuzzy_not(b)), 1e-12);
+}
+
+TEST(Fuzzy, AllFoldsWithMin) {
+  EXPECT_DOUBLE_EQ(fuzzy_all({0.9, 0.5, 0.7}), 0.5);
+  EXPECT_DOUBLE_EQ(fuzzy_all({}), 1.0);
+}
+
+TEST(Fuzzy, MembershipRangeProperty) {
+  Rng rng(8);
+  const Membership funcs[] = {ramp_up(0, 1), ramp_down(0, 1), triangular(0, 0.5, 1),
+                              trapezoid(0, 0.25, 0.75, 1)};
+  for (const auto& f : funcs) {
+    for (int i = 0; i < 200; ++i) {
+      const double v = f(rng.uniform(-2, 3));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Fuzzy, ValidatesParameters) {
+  EXPECT_THROW((void)ramp_up(1.0, 1.0), Error);
+  EXPECT_THROW((void)triangular(0.0, 0.0, 1.0), Error);
+  EXPECT_THROW((void)trapezoid(0.0, 0.0, 0.5, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,466 @@
+// Unit + property tests for src/core: progressive executors (exactness and
+// cost decomposition), progressive classification, texture search, the Fig. 5
+// workflow, and the Framework facade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "archive/tiled.hpp"
+#include "core/classify.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/retrieval.hpp"
+#include "core/texture_search.hpp"
+#include "core/workflow.hpp"
+#include "data/events.hpp"
+#include "data/scene.hpp"
+#include "fsm/fire_ants.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "metrics/accuracy.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+struct SceneFixture {
+  Scene scene;
+  std::vector<const Grid*> bands;
+  SceneFixture(std::size_t size = 96, std::uint64_t seed = 21) {
+    SceneConfig cfg;
+    cfg.width = size;
+    cfg.height = size;
+    cfg.seed = seed;
+    scene = generate_scene(cfg);
+    bands = {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem};
+  }
+  [[nodiscard]] std::vector<Interval> ranges() const {
+    std::vector<Interval> out;
+    for (const Grid* band : bands) out.push_back(band->stats().range());
+    return out;
+  }
+};
+
+void expect_same_scores(const std::vector<RasterHit>& a, const std::vector<RasterHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+}
+
+// ---------------------------------------------------------------- executors
+
+class ProgressiveExecutors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProgressiveExecutors, AllFourReturnIdenticalScores) {
+  const std::size_t k = GetParam();
+  const SceneFixture f;
+  const TiledArchive archive(f.bands, 16);
+  const LinearModel model = hps_risk_model();
+  const LinearRasterModel raster_model(model);
+  const ProgressiveLinearModel progressive(model, f.ranges());
+
+  CostMeter m0;
+  CostMeter m1;
+  CostMeter m2;
+  CostMeter m3;
+  const auto full = full_scan_top_k(archive, raster_model, k, m0);
+  const auto model_only = progressive_model_top_k(archive, progressive, k, m1);
+  const auto data_only = tile_screened_top_k(archive, raster_model, k, m2);
+  const auto combined = progressive_combined_top_k(archive, progressive, k, m3);
+  expect_same_scores(full, model_only);
+  expect_same_scores(full, data_only);
+  expect_same_scores(full, combined);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ProgressiveExecutors, ::testing::Values(1, 5, 25, 100));
+
+TEST(ProgressiveExecutors, CostDecomposition) {
+  const SceneFixture f(128, 5);
+  const TiledArchive archive(f.bands, 16);
+  const LinearModel model = hps_risk_model();
+  const LinearRasterModel raster_model(model);
+  const ProgressiveLinearModel progressive(model, f.ranges());
+
+  CostMeter m_base;
+  CostMeter m_model;
+  CostMeter m_data;
+  CostMeter m_comb;
+  (void)full_scan_top_k(archive, raster_model, 10, m_base);
+  (void)progressive_model_top_k(archive, progressive, 10, m_model);
+  (void)tile_screened_top_k(archive, raster_model, 10, m_data);
+  (void)progressive_combined_top_k(archive, progressive, 10, m_comb);
+
+  // Each leg must beat the baseline; combined must beat each single leg.
+  EXPECT_LT(m_model.ops(), m_base.ops());
+  EXPECT_LT(m_data.ops(), m_base.ops());
+  EXPECT_LT(m_comb.ops(), m_model.ops());
+  EXPECT_LE(m_comb.ops(), m_data.ops());
+  EXPECT_GT(m_data.pruned(), 0u);
+}
+
+TEST(ProgressiveExecutors, BaselineCostIsExactlyNTimesN) {
+  const SceneFixture f(64, 6);
+  const TiledArchive archive(f.bands, 16);
+  const LinearRasterModel raster_model(hps_risk_model());
+  CostMeter meter;
+  (void)full_scan_top_k(archive, raster_model, 1, meter);
+  // §4.2: O(n·N) with n = 4 ops per pixel, N = 64*64.
+  EXPECT_EQ(meter.ops(), 64u * 64u * 4u);
+  EXPECT_EQ(meter.points(), 64u * 64u * 4u);
+}
+
+TEST(ProgressiveExecutors, HitsCarryCorrectCoordinates) {
+  const SceneFixture f(64, 7);
+  const TiledArchive archive(f.bands, 16);
+  const LinearRasterModel raster_model(hps_risk_model());
+  CostMeter meter;
+  const auto hits = full_scan_top_k(archive, raster_model, 3, meter);
+  for (const auto& hit : hits) {
+    std::vector<double> pixel(4);
+    CostMeter scratch;
+    archive.read_pixel(hit.x, hit.y, pixel, scratch);
+    EXPECT_NEAR(raster_model.evaluate(pixel), hit.score, 1e-12);
+  }
+}
+
+TEST(ProgressiveExecutors, DistinctCellsInTopK) {
+  const SceneFixture f(64, 8);
+  const TiledArchive archive(f.bands, 8);
+  const ProgressiveLinearModel progressive(hps_risk_model(), f.ranges());
+  CostMeter meter;
+  const auto hits = progressive_combined_top_k(archive, progressive, 20, meter);
+  std::set<std::pair<std::size_t, std::size_t>> cells;
+  for (const auto& hit : hits) cells.emplace(hit.x, hit.y);
+  EXPECT_EQ(cells.size(), hits.size());
+}
+
+TEST(ProgressiveExecutors, SmallTilesPruneMoreThanHugeTiles) {
+  const SceneFixture f(128, 9);
+  const ProgressiveLinearModel progressive(hps_risk_model(), f.ranges());
+  const TiledArchive fine(f.bands, 8);
+  const TiledArchive coarse(f.bands, 64);
+  CostMeter m_fine;
+  CostMeter m_coarse;
+  (void)progressive_combined_top_k(fine, progressive, 10, m_fine);
+  (void)progressive_combined_top_k(coarse, progressive, 10, m_coarse);
+  EXPECT_LT(m_fine.points(), m_coarse.points());
+}
+
+// ---------------------------------------------------------------- classify
+
+struct ClassifyFixture {
+  SceneFixture f;
+  MultiBandPyramid pyramid;
+  GaussianNaiveBayes classifier;
+  ClassifyFixture()
+      : f(128, 31),
+        pyramid({&f.scene.band("b4"), &f.scene.band("b5"), &f.scene.band("b7")}, 4),
+        classifier(3, kLandCoverClasses) {
+    Rng rng(17);
+    std::vector<std::vector<double>> samples;
+    std::vector<std::size_t> labels;
+    sample_training_data({&f.scene.band("b4"), &f.scene.band("b5"), &f.scene.band("b7")},
+                         f.scene.landcover, 3000, rng, samples, labels);
+    classifier.fit(samples, labels);
+  }
+};
+
+TEST(Classify, FullClassificationBeatsChance) {
+  const ClassifyFixture fx;
+  CostMeter meter;
+  const auto result = classify_full(fx.pyramid, fx.classifier, meter);
+  const double accuracy = label_agreement(result.labels, fx.f.scene.landcover);
+  EXPECT_GT(accuracy, 0.55);  // 6 classes, chance ~ 0.17 (land cover is skewed)
+}
+
+TEST(Classify, ProgressiveAgreesWithFullOnMostCells) {
+  const ClassifyFixture fx;
+  CostMeter m_full;
+  CostMeter m_prog;
+  const auto full = classify_full(fx.pyramid, fx.classifier, m_full);
+  ProgressiveClassifyConfig config;
+  const auto progressive = classify_progressive(fx.pyramid, fx.classifier, config, m_prog);
+  EXPECT_GT(label_agreement(full.labels, progressive.labels), 0.8);
+}
+
+TEST(Classify, ProgressiveIsMuchCheaperOnLargeScenes) {
+  // The ref-[13] regime: big scene, coarse start, modest margin.  Spatially
+  // coherent land cover lets most blocks stamp at the coarse level.
+  const SceneFixture f(256, 31);
+  const std::vector<const Grid*> bands = {&f.scene.band("b4"), &f.scene.band("b5"),
+                                          &f.scene.band("b7")};
+  const MultiBandPyramid pyramid(bands, 6);
+  GaussianNaiveBayes classifier(3, kLandCoverClasses);
+  Rng rng(17);
+  std::vector<std::vector<double>> samples;
+  std::vector<std::size_t> labels;
+  sample_training_data(bands, f.scene.landcover, 5000, rng, samples, labels);
+  classifier.fit(samples, labels);
+
+  CostMeter m_full;
+  CostMeter m_prog;
+  const auto full = classify_full(pyramid, classifier, m_full);
+  ProgressiveClassifyConfig config;
+  config.start_level = 5;
+  config.confidence_margin = 1.5;
+  const auto progressive = classify_progressive(pyramid, classifier, config, m_prog);
+
+  const double speedup = static_cast<double>(m_full.ops()) / static_cast<double>(m_prog.ops());
+  EXPECT_GT(speedup, 10.0);  // the paper's order-of-magnitude claim
+  // Accuracy against ground truth stays close to the full classification.
+  const double full_acc = label_agreement(full.labels, f.scene.landcover);
+  const double prog_acc = label_agreement(progressive.labels, f.scene.landcover);
+  EXPECT_GT(prog_acc, full_acc - 0.08);
+  // Every cell got a label.
+  for (double v : progressive.labels.flat()) EXPECT_GE(v, 0.0);
+}
+
+TEST(Classify, ZeroMarginForcesFullDescent) {
+  const ClassifyFixture fx;
+  ProgressiveClassifyConfig config;
+  config.confidence_margin = 1e18;  // nothing is ever confident
+  CostMeter m_prog;
+  CostMeter m_full;
+  const auto progressive = classify_progressive(fx.pyramid, fx.classifier, config, m_prog);
+  const auto full = classify_full(fx.pyramid, fx.classifier, m_full);
+  // Full descent must equal full classification exactly.
+  EXPECT_DOUBLE_EQ(label_agreement(progressive.labels, full.labels), 1.0);
+}
+
+TEST(Classify, PredictMarginIsNonNegative) {
+  const ClassifyFixture fx;
+  Rng rng(5);
+  CostMeter meter;
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> pixel{rng.uniform(0, 255), rng.uniform(0, 255),
+                                    rng.uniform(0, 255)};
+    const auto pred = fx.classifier.predict(pixel, meter);
+    EXPECT_LT(pred.label, static_cast<std::size_t>(kLandCoverClasses));
+    EXPECT_GE(pred.margin, 0.0);
+  }
+}
+
+TEST(Classify, FitRejectsBadInput) {
+  GaussianNaiveBayes classifier(2, 3);
+  std::vector<std::vector<double>> samples{{1.0, 2.0}};
+  std::vector<std::size_t> labels{0, 1};  // size mismatch
+  EXPECT_THROW(classifier.fit(samples, labels), Error);
+}
+
+// ---------------------------------------------------------------- texture
+
+TEST(Texture, ProgressiveFindsMostOfExactTopK) {
+  const SceneFixture f(128, 33);
+  const Grid& band = f.scene.band("b4");
+  const ResolutionPyramid pyramid(band, 4);
+  CostMeter m_query;
+  const TextureDescriptor query = extract_texture(band, 40, 40, 16, 16, m_query);
+
+  CostMeter m_full;
+  CostMeter m_prog;
+  const auto exact = texture_search_full(band, 16, query, 5, m_full);
+  ProgressiveTextureConfig config;
+  config.shortlist_factor = 6.0;
+  const TextureDescriptor coarse =
+      coarse_query_descriptor(pyramid, config.coarse_level, 40, 40, 16, m_prog);
+  const auto approx = texture_search_progressive(pyramid, 16, query, coarse, 5, config, m_prog);
+  EXPECT_GE(texture_recall(exact, approx), 0.6);
+  EXPECT_LT(m_prog.points(), m_full.points());
+}
+
+TEST(Texture, QueryTileItselfIsTopHit) {
+  const SceneFixture f(128, 34);
+  const Grid& band = f.scene.band("b5");
+  CostMeter m_query;
+  // Query descriptor comes from an exact tile boundary: tile (3, 2).
+  const TextureDescriptor query = extract_texture(band, 48, 32, 16, 16, m_query);
+  CostMeter meter;
+  const auto hits = texture_search_full(band, 16, query, 1, meter);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].tile_x, 3u);
+  EXPECT_EQ(hits[0].tile_y, 2u);
+  EXPECT_NEAR(hits[0].distance, 0.0, 1e-9);
+}
+
+TEST(Texture, RecallHelperBounds) {
+  std::vector<TextureHit> ref{{0, 0, 0.0}, {1, 1, 0.0}};
+  std::vector<TextureHit> res{{0, 0, 0.0}, {2, 2, 0.0}};
+  EXPECT_DOUBLE_EQ(texture_recall(ref, res), 0.5);
+  EXPECT_DOUBLE_EQ(texture_recall({}, res), 1.0);
+}
+
+TEST(Texture, BiggerShortlistRaisesRecall) {
+  const SceneFixture f(128, 35);
+  const Grid& band = f.scene.band("b7");
+  const ResolutionPyramid pyramid(band, 4);
+  CostMeter m_query;
+  const TextureDescriptor query = extract_texture(band, 80, 80, 16, 16, m_query);
+  CostMeter m_full;
+  const auto exact = texture_search_full(band, 16, query, 8, m_full);
+
+  double recall_small = 0.0;
+  double recall_large = 0.0;
+  for (double factor : {1.0, 8.0}) {
+    ProgressiveTextureConfig config;
+    config.shortlist_factor = factor;
+    CostMeter meter;
+    const TextureDescriptor coarse =
+        coarse_query_descriptor(pyramid, config.coarse_level, 80, 80, 16, meter);
+    const auto approx = texture_search_progressive(pyramid, 16, query, coarse, 8, config, meter);
+    (factor == 1.0 ? recall_small : recall_large) = texture_recall(exact, approx);
+  }
+  EXPECT_GE(recall_large, recall_small);
+}
+
+// ---------------------------------------------------------------- workflow
+
+TEST(Workflow, PrecisionImprovesOrHoldsWithFeedback) {
+  const SceneFixture f(96, 36);
+  // Ground truth generated by the HPS model itself.
+  const LinearModel truth = hps_risk_model();
+  Grid latent(f.scene.width, f.scene.height);
+  for (std::size_t y = 0; y < f.scene.height; ++y) {
+    for (std::size_t x = 0; x < f.scene.width; ++x) {
+      std::vector<double> pixel(4);
+      for (std::size_t b = 0; b < 4; ++b) pixel[b] = f.bands[b]->cell(x, y);
+      latent.cell(x, y) = truth.evaluate(pixel);
+    }
+  }
+  const Grid events = generate_events(latent, EventConfig{0.1, 4.0, 0.01, 8});
+
+  WorkflowConfig config;
+  config.iterations = 4;
+  config.initial_samples = 100;
+  config.k = 150;
+  CostMeter meter;
+  const WorkflowResult result = run_model_workflow(f.scene, events, config, &truth, meter);
+  ASSERT_EQ(result.iterations.size(), 4u);
+
+  // Training set grows, weight similarity stays high or improves, and the
+  // final iteration must out-retrieve (or match) the first.
+  EXPECT_GT(result.iterations.back().training_size, result.iterations.front().training_size);
+  EXPECT_GE(result.iterations.back().precision_at_k,
+            result.iterations.front().precision_at_k - 0.05);
+  EXPECT_GT(result.iterations.back().weight_cosine, 0.5);
+  EXPECT_EQ(result.final_risk.width(), f.scene.width);
+}
+
+TEST(Workflow, RecordsPerIterationDiagnostics) {
+  const SceneFixture f(64, 37);
+  Grid latent(64, 64);
+  Rng rng(9);
+  for (double& v : latent.flat()) v = rng.uniform();
+  const Grid events = generate_events(latent, EventConfig{});
+  WorkflowConfig config;
+  config.iterations = 2;
+  config.initial_samples = 50;
+  config.k = 30;
+  CostMeter meter;
+  const WorkflowResult result = run_model_workflow(f.scene, events, config, nullptr, meter);
+  for (const auto& iter : result.iterations) {
+    EXPECT_EQ(iter.weights.size(), 4u);
+    EXPECT_GE(iter.training_size, 50u);
+    EXPECT_GE(iter.precision_at_k, 0.0);
+    EXPECT_LE(iter.precision_at_k, 1.0);
+    EXPECT_DOUBLE_EQ(iter.weight_cosine, 0.0);  // no truth supplied
+  }
+  EXPECT_GT(meter.ops(), 0u);
+}
+
+// ---------------------------------------------------------------- framework
+
+TEST(Framework, CatalogTracksRegistrations) {
+  const SceneFixture f(64, 38);
+  WeatherConfig wcfg;
+  wcfg.days = 120;
+  const WeatherArchive weather = generate_weather_archive(20, wcfg, 1);
+  const WellLogArchive wells = generate_well_log_archive(10, WellLogConfig{}, 2);
+  const TupleSet tuples = gaussian_tuples(1000, 3, 3);
+
+  Framework framework;
+  framework.register_scene("scene", f.scene);
+  framework.register_weather("weather", weather);
+  framework.register_well_logs("wells", wells);
+  framework.register_tuples("tuples", tuples);
+
+  EXPECT_EQ(framework.catalog().size(), 4u);
+  EXPECT_EQ(framework.catalog().by_modality(Modality::kRaster).size(), 1u);
+  EXPECT_EQ(framework.catalog().find("tuples")->item_count, 1000u);
+  EXPECT_GT(std::stoi(framework.catalog().find("tuples")->attributes.at("onion_layers")), 0);
+}
+
+TEST(Framework, LinearStrategiesAgree) {
+  const SceneFixture f(64, 39);
+  Framework framework;
+  framework.register_scene("scene", f.scene);
+  CostMeter m1;
+  CostMeter m2;
+  const auto full = framework.retrieve_linear("scene", hps_risk_model(), 10,
+                                              LinearStrategy::kFullScan, m1);
+  const auto prog = framework.retrieve_linear("scene", hps_risk_model(), 10,
+                                              LinearStrategy::kProgressive, m2);
+  expect_same_scores(full, prog);
+  EXPECT_LT(m2.ops(), m1.ops());
+}
+
+TEST(Framework, TupleRetrievalOnionVsScan) {
+  const TupleSet tuples = gaussian_tuples(20000, 3, 4);
+  Framework framework;
+  framework.register_tuples("credit", tuples);
+  const std::vector<double> w{1.0, -2.0, 0.5};
+  CostMeter m1;
+  CostMeter m2;
+  const auto scan = framework.retrieve_tuples("credit", w, 5, false, m1);
+  const auto onion = framework.retrieve_tuples("credit", w, 5, true, m2);
+  ASSERT_EQ(scan.size(), onion.size());
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_NEAR(scan[i].score, onion[i].score, 1e-9);
+  }
+  EXPECT_LT(m2.points(), m1.points() / 10);
+}
+
+TEST(Framework, FsmRetrievalIndexedVsScan) {
+  WeatherConfig wcfg;
+  wcfg.days = 365;
+  const WeatherArchive weather = generate_weather_archive(100, wcfg, 5);
+  Framework framework;
+  framework.register_weather("weather", weather);
+  const Dfa model = fire_ants_model();
+  CostMeter m1;
+  CostMeter m2;
+  const auto scan = framework.retrieve_fsm("weather", model, 5, false, m1);
+  const auto indexed = framework.retrieve_fsm("weather", model, 5, true, m2);
+  ASSERT_EQ(scan.size(), indexed.size());
+  for (std::size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_EQ(scan[i].region, indexed[i].region);
+  }
+}
+
+TEST(Framework, UnknownDatasetsThrow) {
+  Framework framework;
+  CostMeter meter;
+  EXPECT_THROW((void)framework.retrieve_linear("missing", hps_risk_model(), 1,
+                                               LinearStrategy::kFullScan, meter),
+               Error);
+  EXPECT_THROW((void)framework.retrieve_tuples("missing", std::vector<double>{1.0}, 1, true, meter),
+               Error);
+  EXPECT_THROW((void)framework.retrieve_fsm("missing", fire_ants_model(), 1, true, meter), Error);
+  EXPECT_THROW((void)framework.retrieve_riverbeds("missing", 1,
+                                                  SprocEngine::kDynamicProgramming, meter),
+               Error);
+}
+
+TEST(Framework, KnowledgeRetrievalEndToEnd) {
+  const WellLogArchive wells = generate_well_log_archive(30, WellLogConfig{}, 6);
+  Framework framework;
+  framework.register_well_logs("wells", wells);
+  CostMeter meter;
+  const auto hits = framework.retrieve_riverbeds("wells", 3, SprocEngine::kThreshold, meter);
+  for (const auto& hit : hits) {
+    EXPECT_LT(hit.well_id, 30u);
+    EXPECT_GT(hit.match.score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mmir

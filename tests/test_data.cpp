@@ -1,0 +1,584 @@
+// Unit tests for src/data: grids, terrain, scenes, weather, well logs,
+// tuple clouds and the event ground-truth generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/events.hpp"
+#include "data/grid.hpp"
+#include "data/scene.hpp"
+#include "data/terrain.hpp"
+#include "data/tuples.hpp"
+#include "data/weather.hpp"
+#include "data/welllog.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+namespace {
+
+// ---------------------------------------------------------------- Grid
+
+TEST(Grid, AccessAndDims) {
+  Grid g(4, 3, 1.5);
+  EXPECT_EQ(g.width(), 4u);
+  EXPECT_EQ(g.height(), 3u);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 1.5);
+  g.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 7.0);
+  EXPECT_THROW((void)g.at(4, 0), Error);
+  EXPECT_THROW((void)g.at(0, 3), Error);
+}
+
+TEST(Grid, ClampedAccessReplicatesEdges) {
+  Grid g(2, 2);
+  g.at(0, 0) = 1;
+  g.at(1, 0) = 2;
+  g.at(0, 1) = 3;
+  g.at(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(g.at_clamped(-5, -5), 1.0);
+  EXPECT_DOUBLE_EQ(g.at_clamped(10, 10), 4.0);
+  EXPECT_DOUBLE_EQ(g.at_clamped(-1, 1), 3.0);
+}
+
+TEST(Grid, StatsAndWindowStats) {
+  Grid g(4, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) g.at(x, y) = static_cast<double>(y * 4 + x);
+  EXPECT_DOUBLE_EQ(g.stats().mean(), 7.5);
+  const auto window = g.window_stats(2, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(window.mean(), (10.0 + 11 + 14 + 15) / 4.0);
+  // Clipped window.
+  const auto clipped = g.window_stats(3, 3, 10, 10);
+  EXPECT_EQ(clipped.count(), 1u);
+  EXPECT_DOUBLE_EQ(clipped.mean(), 15.0);
+}
+
+TEST(Grid, Downsample2xAverages) {
+  Grid g(4, 2);
+  for (std::size_t x = 0; x < 4; ++x) {
+    g.at(x, 0) = static_cast<double>(x);
+    g.at(x, 1) = static_cast<double>(x) + 4.0;
+  }
+  const Grid d = g.downsample2x();
+  EXPECT_EQ(d.width(), 2u);
+  EXPECT_EQ(d.height(), 1u);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), (0 + 1 + 4 + 5) / 4.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), (2 + 3 + 6 + 7) / 4.0);
+}
+
+TEST(Grid, Downsample2xOddDims) {
+  Grid g(3, 3, 2.0);
+  const Grid d = g.downsample2x();
+  EXPECT_EQ(d.width(), 2u);
+  EXPECT_EQ(d.height(), 2u);
+  for (std::size_t y = 0; y < 2; ++y)
+    for (std::size_t x = 0; x < 2; ++x) EXPECT_DOUBLE_EQ(d.at(x, y), 2.0);
+}
+
+TEST(Grid, DownsamplePreservesMean) {
+  Rng rng(5);
+  Grid g(16, 16);
+  for (double& v : g.flat()) v = rng.normal(10.0, 3.0);
+  const Grid d = g.downsample2x();
+  EXPECT_NEAR(d.stats().mean(), g.stats().mean(), 1e-9);
+}
+
+TEST(Grid, NormalizeRescales) {
+  Grid g(2, 2);
+  g.at(0, 0) = -10;
+  g.at(1, 0) = 0;
+  g.at(0, 1) = 10;
+  g.at(1, 1) = 30;
+  g.normalize(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.stats().min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.stats().max(), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 0.25);
+}
+
+TEST(Grid, NormalizeConstantIsNoop) {
+  Grid g(2, 2, 5.0);
+  g.normalize(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 5.0);
+}
+
+TEST(Grid, WindowFraction) {
+  Grid g(4, 4, 0.0);
+  g.at(0, 0) = 3.0;
+  g.at(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(g.window_fraction(0, 0, 2, 2, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(g.window_fraction(2, 2, 2, 2, 3.0), 0.0);
+}
+
+// ---------------------------------------------------------------- Terrain
+
+TEST(Terrain, DimensionsAndDeterminism) {
+  TerrainConfig cfg;
+  cfg.width = 100;
+  cfg.height = 60;
+  cfg.seed = 5;
+  const Grid a = generate_terrain(cfg);
+  const Grid b = generate_terrain(cfg);
+  EXPECT_EQ(a.width(), 100u);
+  EXPECT_EQ(a.height(), 60u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(Terrain, DifferentSeedsDiffer) {
+  TerrainConfig cfg;
+  cfg.seed = 1;
+  const Grid a = generate_terrain(cfg);
+  cfg.seed = 2;
+  const Grid b = generate_terrain(cfg);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a.flat()[i] - b.flat()[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Terrain, HasSpatialCorrelation) {
+  TerrainConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  const Grid dem = generate_terrain(cfg);
+  // Neighbouring cells must be far more similar than random pairs.
+  OnlineStats neighbor_diff;
+  OnlineStats random_diff;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t x = rng.uniform_int(127);
+    const std::size_t y = rng.uniform_int(127);
+    neighbor_diff.add(std::abs(dem.at(x, y) - dem.at(x + 1, y)));
+    const std::size_t x2 = rng.uniform_int(128);
+    const std::size_t y2 = rng.uniform_int(128);
+    random_diff.add(std::abs(dem.at(x, y) - dem.at(x2, y2)));
+  }
+  EXPECT_LT(neighbor_diff.mean() * 3.0, random_diff.mean());
+}
+
+TEST(ValueNoise, RangeAndSmoothness) {
+  const Grid noise = value_noise(64, 64, 4, 11);
+  const auto stats = noise.stats();
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_LE(stats.max(), 1.0);
+  EXPECT_GT(stats.stddev(), 0.01);  // not constant
+}
+
+// ---------------------------------------------------------------- Scene
+
+class SceneTest : public ::testing::Test {
+ protected:
+  static const Scene& scene() {
+    static const Scene s = [] {
+      SceneConfig cfg;
+      cfg.width = 128;
+      cfg.height = 128;
+      cfg.seed = 42;
+      return generate_scene(cfg);
+    }();
+    return s;
+  }
+};
+
+TEST_F(SceneTest, HasExpectedBands) {
+  EXPECT_EQ(scene().bands.size(), 3u);
+  EXPECT_NO_THROW((void)scene().band("b4"));
+  EXPECT_NO_THROW((void)scene().band("b5"));
+  EXPECT_NO_THROW((void)scene().band("b7"));
+  EXPECT_THROW((void)scene().band("b1"), Error);
+}
+
+TEST_F(SceneTest, BandsInDigitalNumberRange) {
+  for (const auto& band : scene().bands) {
+    const auto stats = band.stats();
+    EXPECT_GE(stats.min(), 0.0);
+    EXPECT_LE(stats.max(), 255.0);
+  }
+}
+
+TEST_F(SceneTest, ContainsHousesAndBushes) {
+  std::set<int> classes;
+  for (double v : scene().landcover.flat()) classes.insert(static_cast<int>(v));
+  EXPECT_TRUE(classes.count(static_cast<int>(LandCover::kHouse)));
+  EXPECT_TRUE(classes.count(static_cast<int>(LandCover::kBush)));
+  EXPECT_TRUE(classes.count(static_cast<int>(LandCover::kGrass)));
+}
+
+TEST_F(SceneTest, NirTracksVegetation) {
+  // b4 (near-IR) must correlate positively with the latent vegetation field.
+  const auto& b4 = scene().band("b4");
+  std::vector<double> nir(b4.flat().begin(), b4.flat().end());
+  std::vector<double> veg(scene().vegetation.flat().begin(), scene().vegetation.flat().end());
+  EXPECT_GT(pearson(nir, veg), 0.5);
+}
+
+TEST_F(SceneTest, SwirAntiTracksMoisture) {
+  const auto& b5 = scene().band("b5");
+  std::vector<double> swir(b5.flat().begin(), b5.flat().end());
+  std::vector<double> moist(scene().moisture.flat().begin(), scene().moisture.flat().end());
+  EXPECT_LT(pearson(swir, moist), -0.5);
+}
+
+TEST_F(SceneTest, PopulationPositiveEverywhere) {
+  EXPECT_GT(scene().population.stats().min(), 0.0);
+}
+
+TEST_F(SceneTest, Deterministic) {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.seed = 9;
+  const Scene a = generate_scene(cfg);
+  const Scene b = generate_scene(cfg);
+  for (std::size_t i = 0; i < a.landcover.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.landcover.flat()[i], b.landcover.flat()[i]);
+  }
+}
+
+TEST(LandCoverNames, AllNamed) {
+  for (int c = 0; c < kLandCoverClasses; ++c) {
+    EXPECT_FALSE(land_cover_name(static_cast<LandCover>(c)).empty());
+  }
+}
+
+// ---------------------------------------------------------------- Weather
+
+TEST(Weather, SeriesLengthAndDeterminism) {
+  WeatherConfig cfg;
+  cfg.days = 200;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto a = generate_weather(cfg, rng_a);
+  const auto b = generate_weather(cfg, rng_b);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].rain_mm, b[i].rain_mm);
+    EXPECT_DOUBLE_EQ(a[i].temp_c, b[i].temp_c);
+  }
+}
+
+TEST(Weather, RainFrequencyNearStationary) {
+  WeatherConfig cfg;
+  cfg.days = 20000;
+  cfg.p_wet_given_wet = 0.6;
+  cfg.p_wet_given_dry = 0.2;
+  Rng rng(3);
+  const auto series = generate_weather(cfg, rng);
+  std::size_t wet = 0;
+  for (const auto& d : series) wet += d.rained() ? 1 : 0;
+  // Stationary wet fraction of the 2-state chain: p_wd / (1 - p_ww + p_wd) = 1/3.
+  EXPECT_NEAR(static_cast<double>(wet) / 20000.0, 1.0 / 3.0, 0.03);
+}
+
+TEST(Weather, MarkovPersistenceCreatesDrySpells) {
+  WeatherConfig persistent;
+  persistent.days = 5000;
+  persistent.p_wet_given_wet = 0.9;
+  persistent.p_wet_given_dry = 0.05;
+  WeatherConfig independent = persistent;
+  independent.p_wet_given_wet = 0.3;
+  independent.p_wet_given_dry = 0.3;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto clustered = generate_weather(persistent, rng1);
+  const auto iid = generate_weather(independent, rng2);
+  EXPECT_GT(longest_dry_spell(clustered), longest_dry_spell(iid));
+}
+
+TEST(Weather, SeasonalTemperatureSwing) {
+  WeatherConfig cfg;
+  cfg.days = 365;
+  cfg.temp_mean_c = 20.0;
+  cfg.temp_amplitude_c = 10.0;
+  cfg.temp_noise_c = 0.5;
+  Rng rng(9);
+  const auto series = generate_weather(cfg, rng);
+  OnlineStats winter;
+  OnlineStats summer;
+  for (std::size_t d = 0; d < 60; ++d) winter.add(series[d].temp_c);
+  for (std::size_t d = 150; d < 210; ++d) summer.add(series[d].temp_c);
+  EXPECT_GT(summer.mean(), winter.mean() + 5.0);
+}
+
+TEST(WeatherArchive, RegionsIndependentButReproducible) {
+  WeatherConfig cfg;
+  cfg.days = 100;
+  const auto a = generate_weather_archive(10, cfg, 77);
+  const auto b = generate_weather_archive(10, cfg, 77);
+  ASSERT_EQ(a.region_count(), 10u);
+  EXPECT_EQ(a.days(), 100u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t d = 0; d < 100; ++d) {
+      ASSERT_DOUBLE_EQ(a.regions[r][d].rain_mm, b.regions[r][d].rain_mm);
+    }
+  }
+  // Regions differ from each other.
+  double diff = 0.0;
+  for (std::size_t d = 0; d < 100; ++d) {
+    diff += std::abs(a.regions[0][d].temp_c - a.regions[1][d].temp_c);
+  }
+  EXPECT_GT(diff, 10.0);
+}
+
+TEST(Weather, LongestDrySpellHandCases) {
+  WeatherSeries series;
+  for (double mm : {5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 1.0}) {
+    series.push_back(DailyWeather{mm, 20.0});
+  }
+  EXPECT_EQ(longest_dry_spell(series), 3u);
+  EXPECT_EQ(longest_dry_spell({}), 0u);
+}
+
+// ---------------------------------------------------------------- WellLog
+
+TEST(WellLog, LayersAreContiguousTopDown) {
+  WellLogConfig cfg;
+  Rng rng(15);
+  const WellLog log = generate_well_log(3, cfg, rng);
+  EXPECT_EQ(log.id, 3u);
+  ASSERT_GE(log.layers.size(), 3u);
+  double depth = 0.0;
+  for (const auto& layer : log.layers) {
+    EXPECT_DOUBLE_EQ(layer.top_ft, depth);
+    EXPECT_GE(layer.thickness_ft, 1.0);
+    depth += layer.thickness_ft;
+  }
+  EXPECT_DOUBLE_EQ(log.total_depth_ft(), depth);
+}
+
+TEST(WellLog, LayerAtFindsCorrectLayer) {
+  WellLogConfig cfg;
+  Rng rng(16);
+  const WellLog log = generate_well_log(0, cfg, rng);
+  for (std::size_t i = 0; i < log.layers.size(); ++i) {
+    const double mid = log.layers[i].top_ft + log.layers[i].thickness_ft / 2.0;
+    EXPECT_EQ(log.layer_at(mid), static_cast<long>(i));
+  }
+  EXPECT_EQ(log.layer_at(-1.0), -1);
+  EXPECT_EQ(log.layer_at(log.total_depth_ft() + 1.0), -1);
+}
+
+TEST(WellLog, GammaTraceCoversDepth) {
+  WellLogConfig cfg;
+  cfg.sample_interval_ft = 1.0;
+  Rng rng(17);
+  const WellLog log = generate_well_log(0, cfg, rng);
+  EXPECT_NEAR(static_cast<double>(log.gamma_trace.size()), log.total_depth_ft(), 2.0);
+  for (double g : log.gamma_trace) EXPECT_GE(g, 0.0);
+}
+
+TEST(WellLog, ShaleIsGammaHot) {
+  WellLogConfig cfg;
+  cfg.gamma_noise_api = 1.0;
+  const auto archive = generate_well_log_archive(50, cfg, 18);
+  OnlineStats shale;
+  OnlineStats sand;
+  for (const auto& well : archive.wells) {
+    for (const auto& layer : well.layers) {
+      if (layer.lithology == Lithology::kShale) shale.add(layer.gamma_api);
+      if (layer.lithology == Lithology::kSandstone) sand.add(layer.gamma_api);
+    }
+  }
+  EXPECT_GT(shale.mean(), 90.0);
+  EXPECT_LT(sand.mean(), 50.0);
+}
+
+TEST(WellLog, SuccessionBiasFavoursRiverbeds) {
+  WellLogConfig cfg;
+  cfg.succession_bias = 0.9;
+  const auto archive = generate_well_log_archive(200, cfg, 19);
+  std::size_t shale_sand = 0;
+  std::size_t total_pairs = 0;
+  for (const auto& well : archive.wells) {
+    for (std::size_t i = 0; i + 1 < well.layers.size(); ++i) {
+      ++total_pairs;
+      if (well.layers[i].lithology == Lithology::kShale &&
+          well.layers[i + 1].lithology == Lithology::kSandstone) {
+        ++shale_sand;
+      }
+    }
+  }
+  // Unbiased expectation would be 1/25 of pairs; the bias should beat that.
+  EXPECT_GT(static_cast<double>(shale_sand) / static_cast<double>(total_pairs), 0.07);
+}
+
+TEST(WellLog, ArchiveDeterministic) {
+  WellLogConfig cfg;
+  const auto a = generate_well_log_archive(5, cfg, 20);
+  const auto b = generate_well_log_archive(5, cfg, 20);
+  for (std::size_t w = 0; w < 5; ++w) {
+    ASSERT_EQ(a.wells[w].layers.size(), b.wells[w].layers.size());
+    for (std::size_t l = 0; l < a.wells[w].layers.size(); ++l) {
+      EXPECT_DOUBLE_EQ(a.wells[w].layers[l].gamma_api, b.wells[w].layers[l].gamma_api);
+    }
+  }
+}
+
+TEST(Lithology, NamesAndGamma) {
+  for (int l = 0; l < kLithologyClasses; ++l) {
+    EXPECT_FALSE(lithology_name(static_cast<Lithology>(l)).empty());
+    EXPECT_GT(typical_gamma_api(static_cast<Lithology>(l)), 0.0);
+  }
+}
+
+// ---------------------------------------------------------------- Tuples
+
+TEST(TupleSet, PushAndRowAccess) {
+  TupleSet set(3);
+  const double row[3] = {1, 2, 3};
+  set.push_row(row);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.row(0)[2], 3.0);
+  EXPECT_THROW((void)set.row(1), Error);
+}
+
+TEST(Tuples, GaussianMoments) {
+  const TupleSet set = gaussian_tuples(50000, 3, 8);
+  ASSERT_EQ(set.size(), 50000u);
+  ASSERT_EQ(set.dim(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    OnlineStats stats;
+    for (std::size_t i = 0; i < set.size(); ++i) stats.add(set.row(i)[d]);
+    EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+  }
+}
+
+TEST(Tuples, UniformInCube) {
+  const TupleSet set = uniform_tuples(1000, 4, 9);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (double v : set.row(i)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Tuples, CorrelatedHaveCrossCorrelation) {
+  const TupleSet set = correlated_tuples(20000, 3, 10);
+  std::vector<double> c0;
+  std::vector<double> c1;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    c0.push_back(set.row(i)[0]);
+    c1.push_back(set.row(i)[1]);
+  }
+  // A random dense covariance essentially never leaves dimensions
+  // uncorrelated; just require non-degeneracy and determinism.
+  const TupleSet again = correlated_tuples(20000, 3, 10);
+  EXPECT_DOUBLE_EQ(set.row(5)[1], again.row(5)[1]);
+  OnlineStats s0;
+  for (double v : c0) s0.add(v);
+  EXPECT_GT(s0.stddev(), 0.5);
+}
+
+TEST(Tuples, ClusteredFormClusters) {
+  const TupleSet set = clustered_tuples(5000, 2, 4, 11);
+  // Cluster spread (0.05) is far below inter-cluster distances, so the
+  // average nearest-sample distance must be small while the bounding box is
+  // wide.
+  OnlineStats spread;
+  for (std::size_t d = 0; d < 2; ++d) {
+    OnlineStats s;
+    for (std::size_t i = 0; i < set.size(); ++i) s.add(set.row(i)[d]);
+    spread.add(s.max() - s.min());
+  }
+  EXPECT_GT(spread.mean(), 0.3);
+}
+
+TEST(Tuples, CreditApplicantsPlausible) {
+  const TupleSet set = credit_applicants(20000, 12);
+  ASSERT_EQ(set.dim(), kCreditAttributes);
+  OnlineStats util;
+  OnlineStats late;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto row = set.row(i);
+    util.add(row[static_cast<std::size_t>(CreditAttribute::kUtilization)]);
+    late.add(row[static_cast<std::size_t>(CreditAttribute::kLatePayments)]);
+    EXPECT_GE(row[static_cast<std::size_t>(CreditAttribute::kCreditAgeYears)], 0.0);
+    EXPECT_GE(row[static_cast<std::size_t>(CreditAttribute::kDerogatories)], 0.0);
+  }
+  EXPECT_GE(util.min(), 0.0);
+  EXPECT_LE(util.max(), 1.0);
+  EXPECT_GT(late.mean(), 0.5);
+}
+
+TEST(Tuples, CreditAttributesCorrelateThroughStability) {
+  const TupleSet set = credit_applicants(20000, 13);
+  std::vector<double> age;
+  std::vector<double> late;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    age.push_back(set.row(i)[static_cast<std::size_t>(CreditAttribute::kCreditAgeYears)]);
+    late.push_back(set.row(i)[static_cast<std::size_t>(CreditAttribute::kLatePayments)]);
+  }
+  EXPECT_LT(pearson(age, late), -0.2);  // stable applicants pay on time
+}
+
+TEST(Tuples, AttributeNamesComplete) {
+  for (std::size_t a = 0; a < kCreditAttributes; ++a) {
+    EXPECT_FALSE(credit_attribute_name(static_cast<CreditAttribute>(a)).empty());
+  }
+}
+
+// ---------------------------------------------------------------- Events
+
+TEST(Events, HighRiskCellsGetMoreEvents) {
+  Grid risk(64, 64);
+  Rng rng(14);
+  for (double& v : risk.flat()) v = rng.uniform();
+  EventConfig cfg;
+  cfg.high_risk_fraction = 0.1;
+  cfg.peak_rate = 5.0;
+  cfg.background_rate = 0.01;
+  const Grid events = generate_events(risk, cfg);
+
+  OnlineStats high;
+  OnlineStats low;
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 0; x < 64; ++x) {
+      (risk.at(x, y) > 0.95 ? high : low).add(events.at(x, y));
+    }
+  }
+  EXPECT_GT(high.mean(), low.mean() * 10.0);
+}
+
+TEST(Events, BackgroundEventsExist) {
+  Grid risk(128, 128, 0.0);
+  // Monotone gradient so quantiles are well defined.
+  for (std::size_t y = 0; y < 128; ++y)
+    for (std::size_t x = 0; x < 128; ++x) risk.at(x, y) = static_cast<double>(y * 128 + x);
+  EventConfig cfg;
+  cfg.background_rate = 0.05;
+  cfg.seed = 2;
+  const Grid events = generate_events(risk, cfg);
+  // Some events must land in the low-risk 50% (the false-alarm fodder).
+  double low_events = 0.0;
+  for (std::size_t y = 0; y < 64; ++y)
+    for (std::size_t x = 0; x < 128; ++x) low_events += events.at(x, y);
+  EXPECT_GT(low_events, 0.0);
+}
+
+TEST(Events, DeterministicForSeed) {
+  Grid risk(32, 32);
+  Rng rng(1);
+  for (double& v : risk.flat()) v = rng.uniform();
+  EventConfig cfg;
+  const Grid a = generate_events(risk, cfg);
+  const Grid b = generate_events(risk, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(Events, CountsAreNonNegativeIntegers) {
+  Grid risk(32, 32);
+  Rng rng(22);
+  for (double& v : risk.flat()) v = rng.normal();
+  const Grid events = generate_events(risk, EventConfig{});
+  for (double v : events.flat()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));
+  }
+}
+
+}  // namespace
+}  // namespace mmir

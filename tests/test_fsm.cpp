@@ -1,0 +1,476 @@
+// Unit + property tests for src/fsm: DFA engine, NFA builder + subset
+// construction, the fire-ants preset (Fig. 1), the matcher, and FSM distance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/weather.hpp"
+#include "fsm/dfa.hpp"
+#include "fsm/distance.hpp"
+#include "fsm/fire_ants.hpp"
+#include "fsm/matcher.hpp"
+#include "fsm/nfa.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+SymbolSeq seq(std::initializer_list<int> symbols) {
+  SymbolSeq s;
+  for (int v : symbols) s.push_back(static_cast<std::uint8_t>(v));
+  return s;
+}
+
+/// DFA accepting strings over {0,1} ending in 1.
+Dfa ends_in_one() {
+  Dfa dfa(2, 2, 0);
+  dfa.set_transition(0, 0, 0);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 0);
+  dfa.set_transition(1, 1, 1);
+  dfa.set_accepting(1);
+  return dfa;
+}
+
+// ---------------------------------------------------------------- Dfa
+
+TEST(Dfa, RunAndAccept) {
+  const Dfa dfa = ends_in_one();
+  EXPECT_TRUE(dfa.accepts(seq({0, 0, 1})));
+  EXPECT_FALSE(dfa.accepts(seq({1, 0})));
+  EXPECT_FALSE(dfa.accepts(seq({})));
+  EXPECT_EQ(dfa.run(seq({1, 1, 0})), 0u);
+}
+
+TEST(Dfa, AcceptPositionsChargesMeter) {
+  const Dfa dfa = ends_in_one();
+  CostMeter meter;
+  const auto positions = dfa.accept_positions(seq({1, 0, 1, 1}), meter);
+  EXPECT_EQ(positions, (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_EQ(meter.ops(), 4u);
+}
+
+TEST(Dfa, ReachableStatesOmitsOrphans) {
+  Dfa dfa(4, 2, 0);
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 0);
+  dfa.set_transition(1, 1, 1);
+  // State 2 and 3 unreachable (their default transitions point at start).
+  const auto reachable = dfa.reachable_states();
+  const std::set<std::size_t> set(reachable.begin(), reachable.end());
+  EXPECT_EQ(set, (std::set<std::size_t>{0, 1}));
+}
+
+TEST(Dfa, AcceptingGramsEndInAccept) {
+  const Dfa dfa = ends_in_one();
+  const auto grams = dfa.accepting_grams(2);
+  // Over {0,1}^2, strings ending in 1: 01 and 11.
+  ASSERT_EQ(grams.size(), 2u);
+  for (const auto& gram : grams) EXPECT_EQ(gram.back(), 1);
+}
+
+TEST(Dfa, ValidatesArguments) {
+  EXPECT_THROW(Dfa(0, 2, 0), Error);
+  EXPECT_THROW(Dfa(2, 0, 0), Error);
+  EXPECT_THROW(Dfa(2, 2, 5), Error);
+  Dfa dfa(2, 2, 0);
+  EXPECT_THROW(dfa.set_transition(5, 0, 0), Error);
+  EXPECT_THROW(dfa.set_transition(0, 5, 0), Error);
+  EXPECT_THROW(dfa.set_accepting(9), Error);
+}
+
+// ---------------------------------------------------------------- NfaBuilder
+
+TEST(Nfa, SymbolAndConcat) {
+  NfaBuilder builder(3);
+  const auto pattern = builder.concat(builder.symbol(0), builder.symbol(1));
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_TRUE(dfa.accepts(seq({0, 1})));
+  EXPECT_FALSE(dfa.accepts(seq({0})));
+  EXPECT_FALSE(dfa.accepts(seq({1, 0})));
+  EXPECT_FALSE(dfa.accepts(seq({0, 1, 1})));
+}
+
+TEST(Nfa, Alternate) {
+  NfaBuilder builder(3);
+  const auto pattern = builder.alternate(builder.symbol(0), builder.symbol(2));
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_TRUE(dfa.accepts(seq({0})));
+  EXPECT_TRUE(dfa.accepts(seq({2})));
+  EXPECT_FALSE(dfa.accepts(seq({1})));
+}
+
+TEST(Nfa, StarAcceptsEmptyAndRepeats) {
+  NfaBuilder builder(2);
+  const auto pattern = builder.star(builder.symbol(1));
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_TRUE(dfa.accepts(seq({})));
+  EXPECT_TRUE(dfa.accepts(seq({1})));
+  EXPECT_TRUE(dfa.accepts(seq({1, 1, 1})));
+  EXPECT_FALSE(dfa.accepts(seq({1, 0})));
+}
+
+TEST(Nfa, PlusRequiresAtLeastOne) {
+  NfaBuilder builder(2);
+  const auto pattern = builder.plus(builder.symbol(0));
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_FALSE(dfa.accepts(seq({})));
+  EXPECT_TRUE(dfa.accepts(seq({0})));
+  EXPECT_TRUE(dfa.accepts(seq({0, 0, 0})));
+}
+
+TEST(Nfa, RepeatExactCount) {
+  NfaBuilder builder(2);
+  const auto pattern = builder.repeat(builder.symbol(1), 3);
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_FALSE(dfa.accepts(seq({1, 1})));
+  EXPECT_TRUE(dfa.accepts(seq({1, 1, 1})));
+  EXPECT_FALSE(dfa.accepts(seq({1, 1, 1, 1})));
+}
+
+TEST(Nfa, AtLeastCount) {
+  NfaBuilder builder(2);
+  const auto pattern = builder.at_least(builder.symbol(0), 2);
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_FALSE(dfa.accepts(seq({0})));
+  EXPECT_TRUE(dfa.accepts(seq({0, 0})));
+  EXPECT_TRUE(dfa.accepts(seq({0, 0, 0, 0})));
+}
+
+TEST(Nfa, AnyOfAndAny) {
+  NfaBuilder builder(4);
+  const auto pattern = builder.concat(builder.any_of({1, 2}), builder.any());
+  const Dfa dfa = builder.to_dfa(pattern);
+  EXPECT_TRUE(dfa.accepts(seq({1, 3})));
+  EXPECT_TRUE(dfa.accepts(seq({2, 0})));
+  EXPECT_FALSE(dfa.accepts(seq({0, 0})));
+  EXPECT_FALSE(dfa.accepts(seq({3})));
+}
+
+TEST(Nfa, MatchAnywhereAcceptsAtEveryMatchEnd) {
+  // Pattern 0 1 anywhere in the stream.
+  NfaBuilder builder(2);
+  const auto pattern = builder.concat(builder.symbol(0), builder.symbol(1));
+  const Dfa dfa = builder.to_dfa(pattern, /*match_anywhere=*/true);
+  CostMeter meter;
+  const auto positions = dfa.accept_positions(seq({1, 0, 1, 0, 0, 1}), meter);
+  EXPECT_EQ(positions, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Nfa, ComplexPatternRainThenThreeDryThenHot) {
+  // The fire-ants pattern as a regex: R (H|C)(H|C)(H|C)* H — rain, at least
+  // 3 dry days of which the last is hot.
+  NfaBuilder builder(3);
+  const auto dry = builder.any_of({kDryHot, kDryCool});
+  const auto dry2 = builder.any_of({kDryHot, kDryCool});
+  const auto tail = builder.star(builder.any_of({kDryHot, kDryCool}));
+  auto pattern = builder.symbol(kRain);
+  pattern = builder.concat(pattern, dry);
+  pattern = builder.concat(pattern, dry2);
+  pattern = builder.concat(pattern, tail);
+  pattern = builder.concat(pattern, builder.symbol(kDryHot));
+  const Dfa dfa = builder.to_dfa(pattern, true);
+  EXPECT_TRUE(dfa.accepts(seq({kRain, kDryCool, kDryCool, kDryHot})));
+  EXPECT_TRUE(dfa.accepts(seq({kRain, kDryCool, kDryCool, kDryCool, kDryHot})));
+  EXPECT_FALSE(dfa.accepts(seq({kRain, kDryCool, kDryHot})));  // only 2 dry days
+}
+
+// ---------------------------------------------------------------- Fire ants
+
+TEST(FireAnts, FigureOneTransitions) {
+  const Dfa model = fire_ants_model();
+  // Rain, then three dry days with the third hot -> fly.
+  EXPECT_TRUE(model.accepts(seq({kRain, kDryCool, kDryCool, kDryHot})));
+  // Third dry day cool, fourth hot -> fly.
+  EXPECT_TRUE(model.accepts(seq({kRain, kDryCool, kDryCool, kDryCool, kDryHot})));
+  // Only two dry days -> no flight.
+  EXPECT_FALSE(model.accepts(seq({kRain, kDryCool, kDryHot})));
+  // Rain resets the dry counter.
+  EXPECT_FALSE(model.accepts(seq({kRain, kDryCool, kDryCool, kRain, kDryHot})));
+  // No rain ever seen -> no flight regardless of dryness.
+  EXPECT_FALSE(model.accepts(seq({kDryHot, kDryHot, kDryHot, kDryHot, kDryHot})));
+  // Cool days keep waiting in Dry3+; a later hot day still triggers.
+  EXPECT_TRUE(model.accepts(
+      seq({kRain, kDryCool, kDryCool, kDryCool, kDryCool, kDryCool, kDryHot})));
+}
+
+TEST(FireAnts, FlyStatePersistsOnHotAndFallsBackOnCool) {
+  const Dfa model = fire_ants_model();
+  std::size_t state = model.start_state();
+  for (std::uint8_t s : seq({kRain, kDryCool, kDryCool, kDryHot})) state = model.step(state, s);
+  EXPECT_EQ(state, static_cast<std::size_t>(kFly));
+  EXPECT_EQ(model.step(state, kDryHot), static_cast<std::size_t>(kFly));
+  EXPECT_EQ(model.step(state, kDryCool), static_cast<std::size_t>(kDry3));
+  EXPECT_EQ(model.step(state, kRain), static_cast<std::size_t>(kRainSt));
+}
+
+TEST(FireAnts, DiscretizerThresholds) {
+  WeatherSeries series;
+  series.push_back(DailyWeather{5.0, 30.0});   // rain
+  series.push_back(DailyWeather{0.0, 30.0});   // dry hot
+  series.push_back(DailyWeather{0.0, 20.0});   // dry cool
+  series.push_back(DailyWeather{0.05, 26.0});  // trace rain -> dry hot
+  const SymbolSeq symbols = discretize_weather(series);
+  EXPECT_EQ(symbols, seq({kRain, kDryHot, kDryCool, kDryHot}));
+}
+
+TEST(FireAnts, HotterThresholdProducesFewerHotDays) {
+  WeatherConfig cfg;
+  cfg.days = 365;
+  Rng rng(3);
+  const auto series = generate_weather(cfg, rng);
+  const SymbolSeq cool = discretize_weather(series, 20.0);
+  const SymbolSeq hot = discretize_weather(series, 30.0);
+  const auto count_hot = [](const SymbolSeq& s) {
+    return std::count(s.begin(), s.end(), static_cast<std::uint8_t>(kDryHot));
+  };
+  EXPECT_GE(count_hot(cool), count_hot(hot));
+}
+
+// ---------------------------------------------------------------- Matcher
+
+TEST(Matcher, ScanRanksByAcceptingDays) {
+  // Region 0 never flies; region 1 flies once; region 2 flies three times.
+  const std::vector<SymbolSeq> sequences{
+      seq({kRain, kDryCool, kRain, kDryCool}),
+      seq({kRain, kDryCool, kDryCool, kDryHot}),
+      seq({kRain, kDryCool, kDryCool, kDryHot, kDryHot, kDryHot}),
+  };
+  const Dfa model = fire_ants_model();
+  CostMeter meter;
+  const auto hits = fsm_scan_top_k(sequences, model, 3, meter);
+  ASSERT_EQ(hits.size(), 2u);  // region 0 never accepts
+  EXPECT_EQ(hits[0].region, 2u);
+  EXPECT_EQ(hits[0].accept_days, 3u);
+  EXPECT_EQ(hits[1].region, 1u);
+  EXPECT_EQ(hits[1].first_accept, 3u);
+}
+
+TEST(Matcher, EarlierOnsetBreaksTies) {
+  const std::vector<SymbolSeq> sequences{
+      seq({kRain, kRain, kDryCool, kDryCool, kDryHot}),  // accepts at day 4
+      seq({kRain, kDryCool, kDryCool, kDryHot, kRain}),  // accepts at day 3
+  };
+  const Dfa model = fire_ants_model();
+  CostMeter meter;
+  const auto hits = fsm_scan_top_k(sequences, model, 2, meter);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].region, 1u);
+}
+
+TEST(Matcher, IndexedMatchesScanOnSyntheticArchive) {
+  WeatherConfig cfg;
+  cfg.days = 365;
+  const WeatherArchive archive = generate_weather_archive(200, cfg, 7);
+  const auto sequences = discretize_archive(archive);
+  const GramIndex index(sequences, 3, kWeatherAlphabet);
+  const Dfa model = fire_ants_model();
+  CostMeter m_scan;
+  CostMeter m_index;
+  const auto expected = fsm_scan_top_k(sequences, model, 10, m_scan);
+  const auto actual = fsm_indexed_top_k(sequences, model, index, 10, m_index);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].region, actual[i].region);
+    EXPECT_DOUBLE_EQ(expected[i].score, actual[i].score);
+  }
+}
+
+TEST(Matcher, IndexPrunesNonMatchingRegions) {
+  // Every accepting gram ends in a hot dry day, so cold regions (rain and
+  // cool days only) carry no accepting gram and must be pruned unsimulated.
+  std::vector<SymbolSeq> sequences;
+  Rng rng(8);
+  for (int r = 0; r < 100; ++r) {
+    SymbolSeq s(100);
+    for (auto& sym : s) {
+      if (r < 80) {
+        sym = static_cast<std::uint8_t>(rng.bernoulli(0.3) ? kRain : kDryCool);  // cold region
+      } else {
+        sym = static_cast<std::uint8_t>(rng.uniform_int(3));
+      }
+    }
+    sequences.push_back(std::move(s));
+  }
+  const GramIndex index(sequences, 3, kWeatherAlphabet);
+  const Dfa model = fire_ants_model();
+  CostMeter m_scan;
+  CostMeter m_index;
+  (void)fsm_scan_top_k(sequences, model, 5, m_scan);
+  (void)fsm_indexed_top_k(sequences, model, index, 5, m_index);
+  EXPECT_LT(m_index.ops(), m_scan.ops());
+}
+
+TEST(Matcher, ShortSequencesStillMatched) {
+  // Shorter than the gram length: must be simulated unconditionally.
+  const std::vector<SymbolSeq> sequences{seq({kRain, kDryHot})};
+  const GramIndex index(sequences, 3, kWeatherAlphabet);
+  const Dfa ants = fire_ants_model();
+  CostMeter meter;
+  const auto hits = fsm_indexed_top_k(sequences, ants, index, 1, meter);
+  EXPECT_TRUE(hits.empty());  // correctly simulated, no accept
+}
+
+// ---------------------------------------------------------------- Minimize
+
+TEST(Minimize, MergesEquivalentStates) {
+  // Two redundant copies of the "seen a 1" state.
+  Dfa dfa(3, 2, 0);
+  dfa.set_transition(0, 0, 0);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 0);
+  dfa.set_transition(1, 1, 2);  // hop between the equivalent accepting states
+  dfa.set_transition(2, 0, 0);
+  dfa.set_transition(2, 1, 1);
+  dfa.set_accepting(1);
+  dfa.set_accepting(2);
+  const Dfa minimal = dfa.minimized();
+  EXPECT_EQ(minimal.state_count(), 2u);
+  EXPECT_DOUBLE_EQ(bounded_language_distance(dfa, minimal, 8), 0.0);
+}
+
+TEST(Minimize, DropsUnreachableStates) {
+  Dfa dfa(5, 2, 0);
+  dfa.set_transition(0, 0, 0);
+  dfa.set_transition(0, 1, 1);
+  dfa.set_transition(1, 0, 1);
+  dfa.set_transition(1, 1, 1);
+  dfa.set_accepting(1);
+  // States 2..4 keep default self-loops to start but are never entered.
+  const Dfa minimal = dfa.minimized();
+  EXPECT_EQ(minimal.state_count(), 2u);
+}
+
+TEST(Minimize, PreservesLanguageOfSubsetConstruction) {
+  // Subset construction output is rarely minimal; minimization must preserve
+  // the language exactly.
+  NfaBuilder builder(kWeatherAlphabet);
+  auto pattern = builder.symbol(kRain);
+  pattern = builder.concat(pattern, builder.at_least(builder.any_of({kDryHot, kDryCool}), 2));
+  pattern = builder.concat(pattern, builder.symbol(kDryHot));
+  const Dfa big = builder.to_dfa(pattern, true);
+  const Dfa small = big.minimized();
+  EXPECT_LE(small.state_count(), big.state_count());
+  EXPECT_DOUBLE_EQ(bounded_language_distance(big, small, 9), 0.0);
+}
+
+TEST(Minimize, FireAntsModelMergesDry2AndDry3) {
+  // Behaviourally, Fig. 1's "dry for two days" and "dry for three days or
+  // more" states are equivalent: from either, a hot dry day flies, a cool
+  // dry day waits, rain resets.  Minimization discovers this: 6 -> 5 states
+  // with the language unchanged.
+  const Dfa model = fire_ants_model();
+  const Dfa minimal = model.minimized();
+  EXPECT_DOUBLE_EQ(bounded_language_distance(model, minimal, 10), 0.0);
+  EXPECT_EQ(minimal.state_count(), 5u);
+}
+
+TEST(Minimize, Idempotent) {
+  const Dfa minimal = fire_ants_model().minimized();
+  EXPECT_EQ(minimal.minimized().state_count(), minimal.state_count());
+}
+
+TEST(Minimize, PropertyRandomDfasKeepLanguage) {
+  Rng rng(44);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t states = 2 + rng.uniform_int(10);
+    Dfa dfa(states, 2, 0);
+    for (std::size_t s = 0; s < states; ++s) {
+      dfa.set_transition(s, 0, rng.uniform_int(states));
+      dfa.set_transition(s, 1, rng.uniform_int(states));
+      if (rng.bernoulli(0.3)) dfa.set_accepting(s);
+    }
+    const Dfa minimal = dfa.minimized();
+    EXPECT_LE(minimal.state_count(), states);
+    EXPECT_DOUBLE_EQ(bounded_language_distance(dfa, minimal, 8), 0.0) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------- Distance
+
+TEST(Distance, IdenticalMachinesHaveZeroDistance) {
+  const Dfa a = fire_ants_model();
+  EXPECT_DOUBLE_EQ(bounded_language_distance(a, a, 6), 0.0);
+}
+
+TEST(Distance, ComplementHasDistanceOne) {
+  Dfa a = ends_in_one();
+  Dfa b = ends_in_one();
+  // Complement of b: flip accepting states.
+  Dfa complement(2, 2, 0);
+  complement.set_transition(0, 0, 0);
+  complement.set_transition(0, 1, 1);
+  complement.set_transition(1, 0, 0);
+  complement.set_transition(1, 1, 1);
+  complement.set_accepting(0);
+  EXPECT_DOUBLE_EQ(bounded_language_distance(a, complement, 5), 1.0);
+}
+
+TEST(Distance, SmallPerturbationGivesSmallDistance) {
+  const Dfa target = fire_ants_model();
+  // Perturbed model: requires only 2 dry days (Dry1 jumps straight to Dry2
+  // behaviourally by making Dry1's hot transition fly).
+  Dfa looser = fire_ants_model();
+  looser.set_transition(kDry1, kDryHot, kFly);
+  const double d = bounded_language_distance(target, looser, 8);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 0.3);
+}
+
+TEST(Distance, SymmetricProperty) {
+  const Dfa a = fire_ants_model();
+  Dfa b = fire_ants_model();
+  b.set_transition(kDry2, kDryHot, kDry3);
+  EXPECT_DOUBLE_EQ(bounded_language_distance(a, b, 6), bounded_language_distance(b, a, 6));
+}
+
+TEST(Distance, MonotoneInPerturbationSize) {
+  const Dfa target = fire_ants_model();
+  Dfa small_change = fire_ants_model();
+  small_change.set_transition(kDry3, kDryCool, kRainSt);  // one edge changed
+  Dfa never_fly(1, 3, 0);  // accepts nothing
+  never_fly.set_transition(0, 0, 0);
+  never_fly.set_transition(0, 1, 0);
+  never_fly.set_transition(0, 2, 0);
+  const double d_small = bounded_language_distance(target, small_change, 8);
+  const double d_large = bounded_language_distance(target, never_fly, 8);
+  EXPECT_LT(d_small, d_large);
+}
+
+TEST(Distance, MarkovExtractionAcceptsObservedBigrams) {
+  // Extracted machine follows only transitions seen in the stream.
+  const SymbolSeq stream = seq({0, 1, 2, 1, 2, 0, 1});
+  const Dfa machine = markov_fsm_from_sequence(stream, 3, 2);
+  EXPECT_TRUE(machine.accepts(seq({0, 1, 2})));   // bigrams 01, 12 observed
+  EXPECT_FALSE(machine.accepts(seq({2, 2})));     // 22 never observed -> dead
+  EXPECT_FALSE(machine.accepts(seq({0, 1})));     // ends in 1, not accept symbol
+}
+
+TEST(Distance, MarkovExtractionMinCountFiltersRareTransitions) {
+  const SymbolSeq stream = seq({0, 0, 0, 0, 1, 0, 0});
+  const Dfa strict = markov_fsm_from_sequence(stream, 2, 0, /*min_count=*/2);
+  // 0->1 and 1->0 each observed once: filtered at min_count 2.
+  EXPECT_TRUE(strict.accepts(seq({0, 0})));
+  EXPECT_FALSE(strict.accepts(seq({0, 1, 0})));
+}
+
+TEST(Distance, ExtractedVsTargetDistanceIsComputable) {
+  // End-to-end: extract an FSM from weather data and measure distance to the
+  // fire-ants target — the §3 "slightly different machine" scenario.
+  WeatherConfig cfg;
+  cfg.days = 2000;
+  Rng rng(10);
+  const auto series = generate_weather(cfg, rng);
+  const SymbolSeq symbols = discretize_weather(series);
+  const Dfa extracted = markov_fsm_from_sequence(symbols, kWeatherAlphabet, kRain);
+  const Dfa target = fire_ants_model();
+  const double d = bounded_language_distance(extracted, target, 6);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,147 @@
+// Unit tests for the n-gram inverted index over symbol sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/gram_index.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+SymbolSeq seq(std::initializer_list<int> symbols) {
+  SymbolSeq s;
+  for (int v : symbols) s.push_back(static_cast<std::uint8_t>(v));
+  return s;
+}
+
+TEST(GramIndex, PostingsContainSequencesWithGram) {
+  const std::vector<SymbolSeq> sequences{
+      seq({0, 1, 2, 0}),  // contains 012, 120
+      seq({1, 2, 0, 1}),  // contains 120, 201
+      seq({2, 2, 2, 2}),  // contains 222
+  };
+  const GramIndex index(sequences, 3, 3);
+  EXPECT_EQ(index.sequence_count(), 3u);
+
+  const auto g012 = seq({0, 1, 2});
+  auto postings = index.postings(g012);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0], 0u);
+
+  const auto g120 = seq({1, 2, 0});
+  postings = index.postings(g120);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 0u);
+  EXPECT_EQ(postings[1], 1u);
+
+  const auto missing = seq({0, 0, 0});
+  EXPECT_TRUE(index.postings(missing).empty());
+}
+
+TEST(GramIndex, PostingsAreDeduplicated) {
+  const std::vector<SymbolSeq> sequences{seq({1, 1, 1, 1, 1, 1})};
+  const GramIndex index(sequences, 2, 2);
+  const auto postings = index.postings(seq({1, 1}));
+  EXPECT_EQ(postings.size(), 1u);
+}
+
+TEST(GramIndex, ShortSequencesAreSkipped) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1}), seq({0, 1, 2})};
+  const GramIndex index(sequences, 3, 3);
+  const auto postings = index.postings(seq({0, 1, 2}));
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0], 1u);
+}
+
+TEST(GramIndex, CandidatesAnyIsSortedUnionOfPostings) {
+  const std::vector<SymbolSeq> sequences{
+      seq({0, 1, 0, 1}),
+      seq({1, 0, 1, 0}),
+      seq({0, 0, 0, 0}),
+  };
+  const GramIndex index(sequences, 2, 2);
+  const std::vector<SymbolSeq> query{seq({0, 1}), seq({0, 0})};
+  CostMeter meter;
+  const auto candidates = index.candidates_any(query, meter);
+  EXPECT_EQ(candidates, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  EXPECT_GT(meter.ops(), 0u);
+}
+
+TEST(GramIndex, CandidatesAnyEmptyQuery) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1, 2})};
+  const GramIndex index(sequences, 2, 3);
+  CostMeter meter;
+  EXPECT_TRUE(index.candidates_any({}, meter).empty());
+}
+
+TEST(GramIndex, PackRoundTripsDistinctGrams) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1, 2, 3})};
+  const GramIndex index(sequences, 2, 4);
+  const auto a = index.pack(seq({1, 2}));
+  const auto b = index.pack(seq({2, 1}));
+  EXPECT_NE(a, b);
+}
+
+TEST(GramIndex, PackRejectsWrongLengthOrSymbol) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1})};
+  const GramIndex index(sequences, 2, 2);
+  EXPECT_THROW((void)index.pack(seq({0})), Error);
+  EXPECT_THROW((void)index.pack(seq({0, 7})), Error);
+}
+
+TEST(GramIndex, ValidatesConstructionParameters) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1})};
+  EXPECT_THROW(GramIndex(sequences, 0, 3), Error);
+  EXPECT_THROW(GramIndex(sequences, 17, 3), Error);
+  EXPECT_THROW(GramIndex(sequences, 2, 1), Error);
+  EXPECT_THROW(GramIndex(sequences, 2, 17), Error);
+}
+
+TEST(GramIndex, DistinctGramCountMatchesContent) {
+  const std::vector<SymbolSeq> sequences{seq({0, 1, 0, 1, 0})};  // grams: 01, 10
+  const GramIndex index(sequences, 2, 2);
+  EXPECT_EQ(index.distinct_grams(), 2u);
+}
+
+// Property: every gram actually present in a random sequence set is findable,
+// and no posting points at a sequence lacking the gram.
+TEST(GramIndex, PropertyPostingsAreExact) {
+  Rng rng(5);
+  std::vector<SymbolSeq> sequences(50);
+  for (auto& s : sequences) {
+    s.resize(30 + rng.uniform_int(40));
+    for (auto& sym : s) sym = static_cast<std::uint8_t>(rng.uniform_int(3));
+  }
+  const std::size_t n = 3;
+  const GramIndex index(sequences, n, 3);
+
+  const auto contains = [&](const SymbolSeq& s, const SymbolSeq& gram) {
+    if (s.size() < gram.size()) return false;
+    for (std::size_t i = 0; i + gram.size() <= s.size(); ++i) {
+      if (std::equal(gram.begin(), gram.end(), s.begin() + static_cast<long>(i))) return true;
+    }
+    return false;
+  };
+
+  // All 27 possible grams.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        const SymbolSeq gram = seq({a, b, c});
+        const auto postings = index.postings(gram);
+        std::set<std::uint32_t> posted(postings.begin(), postings.end());
+        for (std::uint32_t s = 0; s < sequences.size(); ++s) {
+          EXPECT_EQ(posted.count(s) != 0, contains(sequences[s], gram))
+              << "gram " << a << b << c << " sequence " << s;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmir

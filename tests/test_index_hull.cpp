@@ -1,0 +1,226 @@
+// Unit + property tests for convex hulls (2-D monotone chain, 3-D quickhull).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/tuples.hpp"
+#include "index/hull2d.hpp"
+#include "index/hull3d.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+std::vector<std::uint32_t> all_ids(const TupleSet& points) {
+  std::vector<std::uint32_t> ids(points.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<std::uint32_t>(i);
+  return ids;
+}
+
+TupleSet from_rows(std::size_t dim, std::initializer_list<std::initializer_list<double>> rows) {
+  TupleSet set(dim);
+  for (const auto& row : rows) {
+    std::vector<double> r(row);
+    set.push_row(r);
+  }
+  return set;
+}
+
+/// Checks that every linear direction's maximizer over `points` scores no
+/// better than the best hull vertex — the property the Onion index needs.
+void expect_hull_dominates(const TupleSet& points, const std::vector<std::uint32_t>& hull,
+                           std::size_t directions, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = points.dim();
+  std::vector<double> w(dim);
+  for (std::size_t trial = 0; trial < directions; ++trial) {
+    for (auto& v : w) v = rng.normal();
+    double best_all = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      best_all = std::max(best_all, dot(points.row(i), w));
+    }
+    double best_hull = -std::numeric_limits<double>::infinity();
+    for (auto id : hull) best_hull = std::max(best_hull, dot(points.row(id), w));
+    EXPECT_NEAR(best_hull, best_all, 1e-9 * std::max(1.0, std::abs(best_all)));
+  }
+}
+
+// ---------------------------------------------------------------- 2-D
+
+TEST(Hull2D, Square) {
+  const TupleSet points =
+      from_rows(2, {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.25, 0.75}});
+  const auto ids = all_ids(points);
+  const auto hull = convex_hull_2d(points, ids);
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  EXPECT_EQ(hull_set, (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Hull2D, CollinearPointsExcluded) {
+  const TupleSet points = from_rows(2, {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 3}});
+  const auto hull = convex_hull_2d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  // Midpoints (1,1),(2,2) sit on the edge (0,0)-(3,3): excluded.
+  EXPECT_EQ(hull_set, (std::set<std::uint32_t>{0, 3, 4}));
+}
+
+TEST(Hull2D, TinyInputs) {
+  const TupleSet one = from_rows(2, {{1, 2}});
+  EXPECT_EQ(convex_hull_2d(one, all_ids(one)).size(), 1u);
+  const TupleSet two = from_rows(2, {{1, 2}, {3, 4}});
+  EXPECT_EQ(convex_hull_2d(two, all_ids(two)).size(), 2u);
+  const TupleSet dup = from_rows(2, {{1, 2}, {1, 2}, {1, 2}});
+  EXPECT_EQ(convex_hull_2d(dup, all_ids(dup)).size(), 1u);
+}
+
+TEST(Hull2D, CcwOrientation) {
+  const TupleSet points = from_rows(2, {{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const auto hull = convex_hull_2d(points, all_ids(points));
+  ASSERT_EQ(hull.size(), 4u);
+  // Signed area of the returned polygon must be positive (CCW).
+  double area = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const auto a = points.row(hull[i]);
+    const auto b = points.row(hull[(i + 1) % hull.size()]);
+    area += a[0] * b[1] - b[0] * a[1];
+  }
+  EXPECT_GT(area, 0.0);
+}
+
+TEST(Hull2D, SubsetQueryUsesOnlyCandidates) {
+  const TupleSet points = from_rows(2, {{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}});
+  const std::vector<std::uint32_t> subset{0, 1, 4};
+  const auto hull = convex_hull_2d(points, subset);
+  for (auto id : hull) {
+    EXPECT_TRUE(std::find(subset.begin(), subset.end(), id) != subset.end());
+  }
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(Hull2D, PropertyDominatesRandomDirections) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const TupleSet points = gaussian_tuples(500, 2, seed);
+    const auto hull = convex_hull_2d(points, all_ids(points));
+    EXPECT_GE(hull.size(), 3u);
+    EXPECT_LT(hull.size(), 60u);  // Gaussian hulls are small
+    expect_hull_dominates(points, hull, 50, seed + 100);
+  }
+}
+
+TEST(Hull2D, PropertyHullOfUniformSquare) {
+  const TupleSet points = uniform_tuples(2000, 2, 77);
+  const auto hull = convex_hull_2d(points, all_ids(points));
+  expect_hull_dominates(points, hull, 50, 78);
+}
+
+// ---------------------------------------------------------------- 3-D
+
+TEST(Hull3D, Tetrahedron) {
+  const TupleSet points = from_rows(3, {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+                                        {0.25, 0.25, 0.25}});
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  EXPECT_EQ(hull_set, (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Hull3D, CubeCorners) {
+  TupleSet points(3);
+  for (double z : {0.0, 1.0})
+    for (double y : {0.0, 1.0})
+      for (double x : {0.0, 1.0}) {
+        const double row[3] = {x, y, z};
+        points.push_row(row);
+      }
+  // Interior and face-center points must be excluded.
+  const double center[3] = {0.5, 0.5, 0.5};
+  points.push_row(center);
+  const double face[3] = {0.5, 0.5, 1.0};
+  points.push_row(face);
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  EXPECT_EQ(hull_set.size(), 8u);
+  EXPECT_FALSE(hull_set.count(8));
+  EXPECT_FALSE(hull_set.count(9));
+}
+
+TEST(Hull3D, CoplanarFallsBackTo2D) {
+  const TupleSet points =
+      from_rows(3, {{0, 0, 5}, {1, 0, 5}, {1, 1, 5}, {0, 1, 5}, {0.5, 0.5, 5}});
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  EXPECT_EQ(hull_set, (std::set<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(Hull3D, CollinearReturnsEndpoints) {
+  const TupleSet points = from_rows(3, {{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  EXPECT_TRUE(hull_set.count(0));
+  EXPECT_TRUE(hull_set.count(3));
+}
+
+TEST(Hull3D, CoincidentCloudReturnsOnePoint) {
+  const TupleSet points = from_rows(3, {{2, 2, 2}, {2, 2, 2}, {2, 2, 2}});
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  EXPECT_EQ(hull.size(), 1u);
+}
+
+TEST(Hull3D, TinyInputsReturnedDirectly) {
+  const TupleSet points = from_rows(3, {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  EXPECT_EQ(convex_hull_3d(points, all_ids(points)).size(), 3u);
+}
+
+TEST(Hull3D, PropertyDominatesRandomDirectionsGaussian) {
+  for (std::uint64_t seed : {4ULL, 5ULL, 6ULL}) {
+    const TupleSet points = gaussian_tuples(2000, 3, seed);
+    const auto hull = convex_hull_3d(points, all_ids(points));
+    EXPECT_GE(hull.size(), 4u);
+    EXPECT_LT(hull.size(), 250u);
+    expect_hull_dominates(points, hull, 60, seed + 100);
+  }
+}
+
+TEST(Hull3D, PropertyDominatesUniformCube) {
+  const TupleSet points = uniform_tuples(3000, 3, 7);
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  expect_hull_dominates(points, hull, 60, 8);
+}
+
+TEST(Hull3D, PropertyDominatesCorrelatedCloud) {
+  const TupleSet points = correlated_tuples(2000, 3, 9);
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  expect_hull_dominates(points, hull, 60, 10);
+}
+
+TEST(Hull3D, SubsetQueryRestrictsToCandidates) {
+  const TupleSet points = gaussian_tuples(500, 3, 11);
+  std::vector<std::uint32_t> subset;
+  for (std::uint32_t i = 0; i < 250; ++i) subset.push_back(i);
+  const auto hull = convex_hull_3d(points, subset);
+  for (auto id : hull) EXPECT_LT(id, 250u);
+}
+
+TEST(Hull3D, HullVerticesAreExtremeNotInterior) {
+  const TupleSet points = gaussian_tuples(1000, 3, 12);
+  const auto hull = convex_hull_3d(points, all_ids(points));
+  const std::set<std::uint32_t> hull_set(hull.begin(), hull.end());
+  // The centroid-nearest point is essentially never a hull vertex for n=1000.
+  double best = std::numeric_limits<double>::infinity();
+  std::uint32_t nearest = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.row(i);
+    const double d = row[0] * row[0] + row[1] * row[1] + row[2] * row[2];
+    if (d < best) {
+      best = d;
+      nearest = static_cast<std::uint32_t>(i);
+    }
+  }
+  EXPECT_FALSE(hull_set.count(nearest));
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,246 @@
+// Unit + property tests for the Onion index: exactness against sequential
+// scan, layer structure, residual handling, and the speedup mechanism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/tuples.hpp"
+#include "index/onion.hpp"
+#include "index/seqscan.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+void expect_same_hits(const std::vector<ScoredId>& a, const std::vector<ScoredId>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- structure
+
+TEST(Onion, LayersPartitionThePoints) {
+  const TupleSet points = gaussian_tuples(2000, 3, 1);
+  const OnionIndex index(points);
+  EXPECT_EQ(index.size(), points.size());
+  std::set<std::uint32_t> seen;
+  for (std::size_t l = 0; l < index.layer_count(); ++l) {
+    for (auto id : index.layer(l)) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id across layers";
+    }
+  }
+}
+
+TEST(Onion, LayerSizesAreSmallForGaussian) {
+  const TupleSet points = gaussian_tuples(20000, 3, 2);
+  const OnionIndex index(points);
+  ASSERT_GE(index.layer_count(), 2u);
+  // Hulls of Gaussian clouds hold a vanishing fraction of the points.
+  EXPECT_LT(index.layer(0).size(), 300u);
+  EXPECT_LT(index.layer(1).size(), 400u);
+}
+
+TEST(Onion, ExactFlagByDimension) {
+  const TupleSet d2 = gaussian_tuples(100, 2, 3);
+  const TupleSet d3 = gaussian_tuples(100, 3, 3);
+  const TupleSet d5 = gaussian_tuples(100, 5, 3);
+  EXPECT_TRUE(OnionIndex(d2).exact());
+  EXPECT_TRUE(OnionIndex(d3).exact());
+  EXPECT_FALSE(OnionIndex(d5).exact());
+}
+
+TEST(Onion, ResidualHoldsDeepPoints) {
+  OnionConfig config;
+  config.max_layers = 2;
+  const TupleSet points = gaussian_tuples(5000, 3, 4);
+  const OnionIndex index(points, config);
+  EXPECT_EQ(index.layer_count(), 2u);
+  EXPECT_GT(index.residual_size(), 0u);
+  EXPECT_EQ(index.size(), points.size());
+}
+
+// ---------------------------------------------------------------- exactness
+
+class OnionExactness : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(OnionExactness, MatchesSequentialScan3D) {
+  const auto [n, k] = GetParam();
+  const TupleSet points = gaussian_tuples(n, 3, 42 + n + k);
+  const OnionIndex index(points);
+  Rng rng(7 + k);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> w(3);
+    for (auto& v : w) v = rng.normal();
+    CostMeter scan_meter;
+    CostMeter onion_meter;
+    const auto expected = scan_top_k(points, w, k, scan_meter);
+    const auto actual = index.top_k(w, k, onion_meter);
+    expect_same_hits(expected, actual);
+    EXPECT_LE(onion_meter.points(), scan_meter.points());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepSizesAndK, OnionExactness,
+    ::testing::Values(std::make_tuple(100, 1), std::make_tuple(100, 10),
+                      std::make_tuple(1000, 1), std::make_tuple(1000, 5),
+                      std::make_tuple(5000, 1), std::make_tuple(5000, 10),
+                      std::make_tuple(20000, 1), std::make_tuple(20000, 10)));
+
+TEST(Onion, MatchesScan2D) {
+  const TupleSet points = gaussian_tuples(3000, 2, 5);
+  const OnionIndex index(points);
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> w{rng.normal(), rng.normal()};
+    CostMeter m1;
+    CostMeter m2;
+    expect_same_hits(scan_top_k(points, w, 5, m1), index.top_k(w, 5, m2));
+  }
+}
+
+TEST(Onion, BottomKMatchesScan) {
+  const TupleSet points = gaussian_tuples(3000, 3, 7);
+  const OnionIndex index(points);
+  const std::vector<double> w{0.5, -1.0, 2.0};
+  CostMeter m1;
+  CostMeter m2;
+  expect_same_hits(scan_bottom_k(points, w, 8, m1), index.bottom_k(w, 8, m2));
+}
+
+TEST(Onion, MinimizationEqualsNegatedMaximization) {
+  const TupleSet points = gaussian_tuples(1000, 3, 8);
+  const OnionIndex index(points);
+  const std::vector<double> w{1.0, 2.0, -0.5};
+  const std::vector<double> neg{-1.0, -2.0, 0.5};
+  CostMeter m1;
+  CostMeter m2;
+  const auto bottom = index.bottom_k(w, 5, m1);
+  const auto top_neg = index.top_k(neg, 5, m2);
+  ASSERT_EQ(bottom.size(), top_neg.size());
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    EXPECT_EQ(bottom[i].id, top_neg[i].id);
+    EXPECT_NEAR(bottom[i].score, -top_neg[i].score, 1e-12);
+  }
+}
+
+TEST(Onion, KBeyondPeelDepthConsultsResidual) {
+  OnionConfig config;
+  config.max_layers = 3;
+  const TupleSet points = gaussian_tuples(2000, 3, 9);
+  const OnionIndex index(points, config);
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  CostMeter m1;
+  CostMeter m2;
+  // k = 50 far exceeds 3 layers; the index must still be exact.
+  expect_same_hits(scan_top_k(points, w, 50, m1), index.top_k(w, 50, m2));
+}
+
+TEST(Onion, KLargerThanDatasetReturnsEverything) {
+  const TupleSet points = gaussian_tuples(50, 3, 10);
+  const OnionIndex index(points);
+  const std::vector<double> w{1.0, 0.0, 0.0};
+  CostMeter meter;
+  const auto hits = index.top_k(w, 100, meter);
+  EXPECT_EQ(hits.size(), 50u);
+}
+
+TEST(Onion, AxisAlignedQueryFindsExtremePoint) {
+  const TupleSet points = gaussian_tuples(5000, 3, 11);
+  const OnionIndex index(points);
+  CostMeter meter;
+  const auto hits = index.top_k(std::vector<double>{1.0, 0.0, 0.0}, 1, meter);
+  ASSERT_EQ(hits.size(), 1u);
+  double max_x = -1e300;
+  for (std::size_t i = 0; i < points.size(); ++i) max_x = std::max(max_x, points.row(i)[0]);
+  EXPECT_DOUBLE_EQ(hits[0].score, max_x);
+}
+
+// ---------------------------------------------------------------- cost
+
+TEST(Onion, Top1TouchesOnlyFirstLayer) {
+  const TupleSet points = gaussian_tuples(50000, 3, 12);
+  const OnionIndex index(points);
+  CostMeter meter;
+  (void)index.top_k(std::vector<double>{1.0, 1.0, 1.0}, 1, meter);
+  EXPECT_EQ(meter.points(), index.layer(0).size());
+}
+
+TEST(Onion, SpeedupGrowsWithN) {
+  const std::vector<double> w{0.3, -0.7, 1.1};
+  double small_speedup = 0.0;
+  double large_speedup = 0.0;
+  for (const std::size_t n : {2000ULL, 50000ULL}) {
+    const TupleSet points = gaussian_tuples(n, 3, 13);
+    const OnionIndex index(points);
+    CostMeter scan_meter;
+    CostMeter onion_meter;
+    (void)scan_top_k(points, w, 1, scan_meter);
+    (void)index.top_k(w, 1, onion_meter);
+    const double speedup = static_cast<double>(scan_meter.points()) /
+                           static_cast<double>(onion_meter.points());
+    (n == 2000 ? small_speedup : large_speedup) = speedup;
+  }
+  EXPECT_GT(large_speedup, small_speedup);
+  EXPECT_GT(large_speedup, 100.0);  // the paper's orders-of-magnitude claim
+}
+
+TEST(Onion, Top10CostsMoreThanTop1) {
+  const TupleSet points = gaussian_tuples(20000, 3, 14);
+  const OnionIndex index(points);
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  CostMeter m1;
+  CostMeter m10;
+  (void)index.top_k(w, 1, m1);
+  (void)index.top_k(w, 10, m10);
+  EXPECT_GT(m10.points(), m1.points());
+}
+
+// ---------------------------------------------------------------- dim > 3
+
+TEST(Onion, HighDimApproximateHasHighRecall) {
+  const TupleSet points = gaussian_tuples(5000, 6, 15);
+  OnionConfig config;
+  config.direction_samples = 128;
+  const OnionIndex index(points, config);
+  EXPECT_FALSE(index.exact());
+  Rng rng(16);
+  double recall_sum = 0.0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> w(6);
+    for (auto& v : w) v = rng.normal();
+    CostMeter m1;
+    CostMeter m2;
+    const auto expected = scan_top_k(points, w, 10, m1);
+    const auto actual = index.top_k(w, 10, m2);
+    std::set<std::uint32_t> truth;
+    for (const auto& hit : expected) truth.insert(hit.id);
+    int found = 0;
+    for (const auto& hit : actual) found += truth.count(hit.id) ? 1 : 0;
+    recall_sum += static_cast<double>(found) / 10.0;
+  }
+  EXPECT_GT(recall_sum / trials, 0.8);
+}
+
+TEST(Onion, RejectsEmptyInput) {
+  const TupleSet empty(3);
+  EXPECT_THROW(OnionIndex{empty}, Error);
+}
+
+TEST(Onion, ClusteredDataStillExact) {
+  const TupleSet points = clustered_tuples(5000, 3, 5, 17);
+  const OnionIndex index(points);
+  const std::vector<double> w{2.0, -1.0, 0.5};
+  CostMeter m1;
+  CostMeter m2;
+  expect_same_hits(scan_top_k(points, w, 10, m1), index.top_k(w, 10, m2));
+}
+
+}  // namespace
+}  // namespace mmir

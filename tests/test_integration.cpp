@@ -1,0 +1,286 @@
+// End-to-end integration tests: each of the paper's application scenarios
+// exercised through the public API, plus cross-module consistency checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "archive/tiled.hpp"
+#include "core/classify.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/retrieval.hpp"
+#include "core/workflow.hpp"
+#include "data/events.hpp"
+#include "data/scene.hpp"
+#include "data/tuples.hpp"
+#include "data/weather.hpp"
+#include "data/welllog.hpp"
+#include "fsm/fire_ants.hpp"
+#include "index/onion.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "linear/regression.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/efficiency.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+// Scenario 1 (§1, §2.1, Fig. 2): environmental epidemiology end to end —
+// synthesize a scene, compute the HPS risk surface, generate ground-truth
+// events from it, retrieve the top-K risk cells progressively, and check the
+// §4.1 metrics say the retrieval is much better than chance.
+TEST(EndToEnd, EpidemiologyRiskMapping) {
+  SceneConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.seed = 101;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const LinearModel model = hps_risk_model();
+
+  Grid risk(scene.width, scene.height);
+  for (std::size_t y = 0; y < scene.height; ++y) {
+    for (std::size_t x = 0; x < scene.width; ++x) {
+      std::vector<double> pixel(4);
+      for (std::size_t b = 0; b < 4; ++b) pixel[b] = bands[b]->cell(x, y);
+      risk.cell(x, y) = model.evaluate(pixel);
+    }
+  }
+  const Grid events = generate_events(risk, EventConfig{0.08, 4.0, 0.005, 11});
+
+  // Retrieval via the progressive engine.
+  const TiledArchive archive(bands, 16);
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const ProgressiveLinearModel progressive(model, ranges);
+  CostMeter m_prog;
+  CostMeter m_base;
+  const auto hits = progressive_combined_top_k(archive, progressive, 200, m_prog);
+  const LinearRasterModel raster_model(model);
+  (void)full_scan_top_k(archive, raster_model, 200, m_base);
+
+  // Quality: precision@200 must be far above the base rate.
+  const PrecisionRecall pr = precision_recall_at_k(risk, events, 200);
+  std::size_t relevant = 0;
+  for (double v : events.flat()) relevant += v > 0 ? 1 : 0;
+  const double base_rate = static_cast<double>(relevant) / static_cast<double>(events.size());
+  EXPECT_GT(pr.precision, 4.0 * base_rate);
+
+  // Efficiency: the progressive run must cost meaningfully less (§4.2).
+  EXPECT_LT(m_prog.ops() * 2, m_base.ops());
+
+  // The retrieved cells are exactly the top of the risk surface.
+  std::vector<double> sorted(risk.flat().begin(), risk.flat().end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  EXPECT_NEAR(hits.front().score, sorted.front(), 1e-9);
+  EXPECT_NEAR(hits.back().score, sorted[199], 1e-9);
+}
+
+// Scenario 2 (§2.2, Fig. 1): fire ants — regions whose weather makes ants fly
+// are found by the FSM engine, and the gram index returns identical answers.
+TEST(EndToEnd, FireAntsSeasonForecast) {
+  WeatherConfig base;
+  base.days = 730;
+  const WeatherArchive archive = generate_weather_archive(300, base, 102);
+  Framework framework;
+  framework.register_weather("stations", archive);
+
+  const Dfa model = fire_ants_model();
+  CostMeter m_scan;
+  CostMeter m_index;
+  const auto scan_hits = framework.retrieve_fsm("stations", model, 10, false, m_scan);
+  const auto index_hits = framework.retrieve_fsm("stations", model, 10, true, m_index);
+  ASSERT_FALSE(scan_hits.empty());
+  ASSERT_EQ(scan_hits.size(), index_hits.size());
+  for (std::size_t i = 0; i < scan_hits.size(); ++i) {
+    EXPECT_EQ(scan_hits[i].region, index_hits[i].region);
+  }
+
+  // Verify the winner truly flies per the Fig. 1 semantics: find a rain day
+  // followed by >= 3 dry days ending hot.
+  const auto& series = archive.regions[scan_hits[0].region];
+  const SymbolSeq symbols = discretize_weather(series);
+  const auto positions = [&] {
+    CostMeter meter;
+    return model.accept_positions(symbols, meter);
+  }();
+  ASSERT_FALSE(positions.empty());
+  EXPECT_EQ(positions.size(), scan_hits[0].accept_days);
+}
+
+// Scenario 3 (§1, Fig. 4): oil/gas — the riverbed knowledge query on a well
+// archive, with SPROC evaluated against brute force.
+TEST(EndToEnd, GeologyRiverbedHunt) {
+  WellLogConfig cfg;
+  cfg.mean_layers = 30;
+  const WellLogArchive wells = generate_well_log_archive(80, cfg, 103);
+  Framework framework;
+  framework.register_well_logs("basin", wells);
+
+  CostMeter m_dp;
+  CostMeter m_brute;
+  const auto dp = framework.retrieve_riverbeds("basin", 5, SprocEngine::kDynamicProgramming, m_dp);
+  const auto brute = framework.retrieve_riverbeds("basin", 5, SprocEngine::kBruteForce, m_brute);
+  ASSERT_EQ(dp.size(), brute.size());
+  for (std::size_t i = 0; i < dp.size(); ++i) {
+    EXPECT_EQ(dp[i].well_id, brute[i].well_id);
+    EXPECT_NEAR(dp[i].match.score, brute[i].match.score, 1e-9);
+  }
+  EXPECT_LT(m_dp.ops(), m_brute.ops());
+
+  // The matched layers really are shale / sandstone / siltstone top-down.
+  if (!dp.empty()) {
+    const WellLog& well = wells.wells[dp[0].well_id];
+    const auto& items = dp[0].match.items;
+    EXPECT_EQ(well.layers[items[0]].lithology, Lithology::kShale);
+    EXPECT_EQ(well.layers[items[1]].lithology, Lithology::kSandstone);
+    EXPECT_EQ(well.layers[items[2]].lithology, Lithology::kSiltstone);
+    EXPECT_LT(well.layers[items[0]].top_ft, well.layers[items[1]].top_ft);
+    EXPECT_LT(well.layers[items[1]].top_ft, well.layers[items[2]].top_ft);
+  }
+}
+
+// Scenario 4 (§2.1): FICO credit scoring — fit a linear model to synthetic
+// applicants, retrieve best/worst credit risks via the Onion index.
+TEST(EndToEnd, CreditScoring) {
+  const TupleSet applicants = credit_applicants(30000, 104);
+  const LinearModel fico = fico_score_model();
+
+  Framework framework;
+  framework.register_tuples("applicants", applicants);
+  CostMeter m_onion;
+  CostMeter m_scan;
+  const auto best = framework.retrieve_tuples("applicants", fico.weights(), 10, true, m_onion);
+  const auto best_ref = framework.retrieve_tuples("applicants", fico.weights(), 10, false, m_scan);
+  ASSERT_EQ(best.size(), best_ref.size());
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    EXPECT_NEAR(best[i].score, best_ref[i].score, 1e-9);
+  }
+  EXPECT_LT(m_onion.points() * 20, m_scan.points());
+
+  // Scores are bias-relative: add the bias to land in the FICO range, and the
+  // best applicants must beat the population mean by a wide margin.
+  OnlineStats population;
+  for (std::size_t i = 0; i < applicants.size(); ++i) {
+    population.add(fico.evaluate(applicants.row(i)));
+  }
+  EXPECT_GT(fico.bias() + best[0].score, population.mean() + 2.0 * population.stddev() - 1e-9);
+}
+
+// Scenario 5 (Fig. 5): the full workflow loop — calibrate on a training
+// sample, retrieve, revise with feedback, converge toward the generating
+// model.
+TEST(EndToEnd, WorkflowModelRefinement) {
+  SceneConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 105;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const LinearModel truth = hps_risk_model();
+  Grid latent(96, 96);
+  for (std::size_t y = 0; y < 96; ++y) {
+    for (std::size_t x = 0; x < 96; ++x) {
+      std::vector<double> pixel(4);
+      for (std::size_t b = 0; b < 4; ++b) pixel[b] = bands[b]->cell(x, y);
+      latent.cell(x, y) = truth.evaluate(pixel);
+    }
+  }
+  const Grid events = generate_events(latent, EventConfig{0.1, 5.0, 0.01, 12});
+
+  WorkflowConfig config;
+  config.iterations = 3;
+  config.initial_samples = 150;
+  config.k = 100;
+  CostMeter meter;
+  const WorkflowResult result = run_model_workflow(scene, events, config, &truth, meter);
+  EXPECT_GT(result.iterations.back().weight_cosine, 0.6);
+  EXPECT_GT(result.iterations.back().precision_at_k, 0.2);
+}
+
+// Cross-module consistency: the §4.2 efficiency report assembled from real
+// executor runs shows pm > 1, pd > 1 and measured == pm * pd by construction.
+TEST(EndToEnd, EfficiencyReportFromRealRuns) {
+  SceneConfig cfg;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.seed = 106;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const TiledArchive archive(bands, 16);
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const LinearModel model = hps_risk_model();
+  const ProgressiveLinearModel progressive(model, ranges);
+  const LinearRasterModel raster_model(model);
+
+  CostMeter m_base;
+  CostMeter m_model;
+  CostMeter m_comb;
+  (void)full_scan_top_k(archive, raster_model, 10, m_base);
+  (void)progressive_model_top_k(archive, progressive, 10, m_model);
+  (void)progressive_combined_top_k(archive, progressive, 10, m_comb);
+  const EfficiencyReport report = efficiency_report("hps-128", m_base, m_model, m_comb);
+  EXPECT_GT(report.pm, 1.0);
+  EXPECT_GT(report.pd, 1.0);
+  EXPECT_NEAR(report.measured_speedup, report.predicted_speedup(), 1e-9);
+  EXPECT_GT(report.measured_speedup, 2.0);
+}
+
+// Determinism across the whole stack: two identical end-to-end runs produce
+// byte-identical rankings.
+TEST(EndToEnd, FullStackDeterminism) {
+  const auto run_once = [] {
+    SceneConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.seed = 107;
+    const Scene scene = generate_scene(cfg);
+    const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                            &scene.band("b7"), &scene.dem};
+    const TiledArchive archive(bands, 16);
+    std::vector<Interval> ranges;
+    for (const Grid* band : bands) ranges.push_back(band->stats().range());
+    const ProgressiveLinearModel progressive(hps_risk_model(), ranges);
+    CostMeter meter;
+    return progressive_combined_top_k(archive, progressive, 25, meter);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+// The progressive-model coarse representation R* (paper §3.1) ranks almost
+// like the full model when the dropped terms are small — the property that
+// justifies progressive screening.
+TEST(EndToEnd, CoarseModelIsAFaithfulScreen) {
+  const TupleSet points = gaussian_tuples(20000, 4, 108);
+  // Dominant first two weights, tiny tail — the paper's |a1,a2| >> |a3,a4|.
+  const LinearModel full({10.0, 8.0, 0.3, 0.2}, 0.0, {});
+  const ProgressiveLinearModel progressive(full, attribute_ranges(points));
+  const LinearModel coarse = progressive.truncated(2);
+
+  CostMeter m1;
+  CostMeter m2;
+  const auto top_full = scan_top_k(points, full.weights(), 100, m1);
+  const auto top_coarse = scan_top_k(points, coarse.weights(), 100, m2);
+  std::set<std::uint32_t> full_set;
+  for (const auto& hit : top_full) full_set.insert(hit.id);
+  std::size_t overlap = 0;
+  for (const auto& hit : top_coarse) overlap += full_set.count(hit.id);
+  EXPECT_GT(static_cast<double>(overlap) / 100.0, 0.7);
+}
+
+}  // namespace
+}  // namespace mmir

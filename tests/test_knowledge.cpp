@@ -1,0 +1,308 @@
+// Unit + integration tests for src/knowledge: the Fig. 4 geology riverbed
+// query and the Fig. 2/3 HPS high-risk-house model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/scene.hpp"
+#include "data/weather.hpp"
+#include "data/welllog.hpp"
+#include "knowledge/hps.hpp"
+#include "knowledge/strata.hpp"
+#include "sproc/sproc.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+/// Hand-built well with a perfect riverbed at layers (1, 2, 3).
+WellLog perfect_riverbed_well() {
+  WellLog well;
+  well.id = 7;
+  const auto add_layer = [&](Lithology lith, double thickness, double gamma) {
+    LogLayer layer;
+    layer.lithology = lith;
+    layer.top_ft = well.layers.empty()
+                       ? 0.0
+                       : well.layers.back().top_ft + well.layers.back().thickness_ft;
+    layer.thickness_ft = thickness;
+    layer.gamma_api = gamma;
+    well.layers.push_back(layer);
+  };
+  add_layer(Lithology::kLimestone, 20, 20);
+  add_layer(Lithology::kShale, 15, 110);      // hot shale
+  add_layer(Lithology::kSandstone, 12, 30);   // directly below
+  add_layer(Lithology::kSiltstone, 18, 70);   // directly below
+  add_layer(Lithology::kCoal, 10, 45);
+  return well;
+}
+
+/// Well with the right lithologies but in the wrong order.
+WellLog shuffled_well() {
+  WellLog well = perfect_riverbed_well();
+  std::swap(well.layers[1].lithology, well.layers[3].lithology);  // silt over sand over shale
+  std::swap(well.layers[1].gamma_api, well.layers[3].gamma_api);
+  return well;
+}
+
+// ---------------------------------------------------------------- strata
+
+TEST(Riverbed, QueryFindsThePattern) {
+  const WellLog well = perfect_riverbed_well();
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].items, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_GT(matches[0].score, 0.9);
+}
+
+TEST(Riverbed, WrongOrderScoresZero) {
+  const WellLog well = shuffled_well();
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  // Siltstone above sandstone above shale: "above" constraints unmet.
+  EXPECT_TRUE(matches.empty() || matches[0].score < 1e-9);
+}
+
+TEST(Riverbed, ColdShaleIsPenalized) {
+  WellLog well = perfect_riverbed_well();
+  well.layers[1].gamma_api = 30.0;  // gamma below the 45 threshold band
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  if (!matches.empty()) EXPECT_LT(matches[0].score, 0.2);
+}
+
+TEST(Riverbed, GapOverTenFeetBreaksAdjacency) {
+  WellLog well = perfect_riverbed_well();
+  // Open a 15 ft gap between shale and sandstone by moving deeper layers down.
+  for (std::size_t i = 2; i < well.layers.size(); ++i) well.layers[i].top_ft += 15.0;
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  EXPECT_TRUE(matches.empty() || matches[0].score < 1e-9);
+}
+
+TEST(Riverbed, SmallGapOnlySoftensScore) {
+  WellLog well = perfect_riverbed_well();
+  for (std::size_t i = 2; i < well.layers.size(); ++i) well.layers[i].top_ft += 4.0;
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_GT(matches[0].score, 0.2);
+  EXPECT_LT(matches[0].score, 0.9);
+}
+
+TEST(Riverbed, ThinLayersFadeOut) {
+  WellLog well = perfect_riverbed_well();
+  well.layers[2].thickness_ft = 0.5;  // sandstone sliver
+  // Keep geometry consistent: shrink shifts deeper layers up, but adjacency
+  // only looks at top/bottom pairs, so just rebuild tops.
+  double depth = 0.0;
+  for (auto& layer : well.layers) {
+    layer.top_ft = depth;
+    depth += layer.thickness_ft;
+  }
+  const CartesianQuery query = riverbed_query(well);
+  CostMeter meter;
+  const auto matches = sproc_top_k(query, 1, meter);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_LT(matches[0].score, 0.5);
+}
+
+TEST(Riverbed, EnginesAgreeOnArchive) {
+  WellLogConfig cfg;
+  const WellLogArchive archive = generate_well_log_archive(60, cfg, 3);
+  CostMeter mb;
+  CostMeter md;
+  CostMeter mf;
+  const auto brute = find_riverbeds(archive, 5, SprocEngine::kBruteForce, mb);
+  const auto dp = find_riverbeds(archive, 5, SprocEngine::kDynamicProgramming, md);
+  const auto fast = find_riverbeds(archive, 5, SprocEngine::kThreshold, mf);
+  ASSERT_EQ(brute.size(), dp.size());
+  ASSERT_EQ(brute.size(), fast.size());
+  for (std::size_t i = 0; i < brute.size(); ++i) {
+    EXPECT_EQ(brute[i].well_id, dp[i].well_id);
+    EXPECT_NEAR(brute[i].match.score, dp[i].match.score, 1e-9);
+    EXPECT_NEAR(brute[i].match.score, fast[i].match.score, 1e-9);
+  }
+}
+
+TEST(Riverbed, DpDoesLessWorkThanBrute) {
+  WellLogConfig cfg;
+  cfg.mean_layers = 40;
+  const WellLogArchive archive = generate_well_log_archive(20, cfg, 4);
+  CostMeter mb;
+  CostMeter md;
+  (void)find_riverbeds(archive, 5, SprocEngine::kBruteForce, mb);
+  (void)find_riverbeds(archive, 5, SprocEngine::kDynamicProgramming, md);
+  EXPECT_LT(md.ops(), mb.ops());
+}
+
+TEST(Riverbed, ArchiveRetrievalFindsPlantedPattern) {
+  WellLogConfig cfg;
+  WellLogArchive archive = generate_well_log_archive(40, cfg, 5);
+  // Plant a perfect riverbed in well 17 (replace its whole stack).  Natural
+  // wells can also contain perfect patterns (generated stacks are gap-free),
+  // so the planted well must tie the best score and appear in the ranking.
+  WellLog planted = perfect_riverbed_well();
+  planted.id = 17;
+  archive.wells[17] = planted;
+  CostMeter meter;
+  const auto hits = find_riverbeds(archive, 40, SprocEngine::kDynamicProgramming, meter);
+  ASSERT_FALSE(hits.empty());
+  const auto it = std::find_if(hits.begin(), hits.end(),
+                               [](const WellMatch& m) { return m.well_id == 17; });
+  ASSERT_NE(it, hits.end());
+  EXPECT_NEAR(it->match.score, hits[0].match.score, 1e-9);
+  EXPECT_GT(it->match.score, 0.9);
+}
+
+TEST(Riverbed, RuleKnobsChangeSelectivity) {
+  WellLogConfig cfg;
+  const WellLogArchive archive = generate_well_log_archive(50, cfg, 6);
+  RiverbedRule strict;
+  strict.gamma_threshold_api = 100.0;
+  strict.max_gap_ft = 1.0;
+  RiverbedRule loose;
+  loose.gamma_threshold_api = 10.0;
+  loose.max_gap_ft = 50.0;
+  CostMeter m1;
+  CostMeter m2;
+  const auto strict_hits = find_riverbeds(archive, 50, SprocEngine::kDynamicProgramming, m1, strict);
+  const auto loose_hits = find_riverbeds(archive, 50, SprocEngine::kDynamicProgramming, m2, loose);
+  EXPECT_LE(strict_hits.size(), loose_hits.size());
+}
+
+// ---------------------------------------------------------------- HPS
+
+TEST(HpsNetwork, StructureMatchesFigureThree) {
+  const BayesNet net = hps_house_network();
+  EXPECT_EQ(net.variable_count(), 7u);
+  const auto risk = net.find(kHpsHighRisk);
+  ASSERT_EQ(net.parents(risk).size(), 2u);
+  EXPECT_EQ(net.parents(risk)[0], net.find(kHpsSurrounded));
+  EXPECT_EQ(net.parents(risk)[1], net.find(kHpsWetThenDry));
+}
+
+TEST(HpsNetwork, FullEvidenceGivesHighRisk) {
+  const BayesNet net = hps_house_network();
+  CostMeter meter;
+  std::map<std::size_t, std::size_t> evidence{
+      {net.find(kHpsHouse), 1},
+      {net.find(kHpsBushes), 1},
+      {net.find(kHpsRainSeason), 1},
+      {net.find(kHpsDrySeason), 1},
+  };
+  const auto with_all = net.posterior(net.find(kHpsHighRisk), evidence, meter);
+  evidence[net.find(kHpsBushes)] = 0;
+  const auto no_bushes = net.posterior(net.find(kHpsHighRisk), evidence, meter);
+  EXPECT_GT(with_all[1], 0.5);
+  EXPECT_GT(with_all[1], no_bushes[1] * 2.0);
+}
+
+TEST(HpsNetwork, WeatherPatternMatters) {
+  const BayesNet net = hps_house_network();
+  CostMeter meter;
+  std::map<std::size_t, std::size_t> evidence{
+      {net.find(kHpsHouse), 1},
+      {net.find(kHpsBushes), 1},
+      {net.find(kHpsRainSeason), 1},
+      {net.find(kHpsDrySeason), 1},
+  };
+  const double wet_dry = net.posterior(net.find(kHpsHighRisk), evidence, meter)[1];
+  evidence[net.find(kHpsRainSeason)] = 0;
+  const double dry_only = net.posterior(net.find(kHpsHighRisk), evidence, meter)[1];
+  EXPECT_GT(wet_dry, dry_only);
+}
+
+TEST(DetectSeasons, FindsWetThenDry) {
+  WeatherSeries series;
+  Rng rng(7);
+  // 90 wet-ish days, then 120 bone-dry days.
+  for (int d = 0; d < 90; ++d) series.push_back({rng.bernoulli(0.6) ? 8.0 : 0.0, 22.0});
+  for (int d = 0; d < 120; ++d) series.push_back({0.0, 28.0});
+  const SeasonPattern pattern = detect_seasons(series);
+  EXPECT_TRUE(pattern.had_rain_season);
+  EXPECT_TRUE(pattern.had_dry_season_after);
+}
+
+TEST(DetectSeasons, DryFirstDoesNotCount) {
+  WeatherSeries series;
+  Rng rng(8);
+  for (int d = 0; d < 120; ++d) series.push_back({0.0, 28.0});
+  for (int d = 0; d < 90; ++d) series.push_back({rng.bernoulli(0.6) ? 8.0 : 0.0, 22.0});
+  const SeasonPattern pattern = detect_seasons(series);
+  EXPECT_TRUE(pattern.had_rain_season);
+  EXPECT_FALSE(pattern.had_dry_season_after);
+}
+
+TEST(DetectSeasons, UniformDrizzleHasNeither) {
+  WeatherSeries series;
+  Rng rng(9);
+  for (int d = 0; d < 365; ++d) series.push_back({rng.bernoulli(0.25) ? 3.0 : 0.0, 22.0});
+  const SeasonPattern pattern = detect_seasons(series);
+  EXPECT_FALSE(pattern.had_rain_season);
+}
+
+TEST(DetectSeasons, ShortSeriesIsSafe) {
+  WeatherSeries series(10, DailyWeather{0.0, 20.0});
+  const SeasonPattern pattern = detect_seasons(series, 60);
+  EXPECT_FALSE(pattern.had_rain_season);
+  EXPECT_FALSE(pattern.had_dry_season_after);
+}
+
+TEST(HpsRanking, ReturnsOnlyHouses) {
+  SceneConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 10;
+  const Scene scene = generate_scene(cfg);
+  WeatherSeries wet_dry;
+  Rng rng(11);
+  for (int d = 0; d < 90; ++d) wet_dry.push_back({rng.bernoulli(0.6) ? 8.0 : 0.0, 22.0});
+  for (int d = 0; d < 120; ++d) wet_dry.push_back({0.0, 28.0});
+
+  CostMeter meter;
+  const auto hits = rank_high_risk_houses(scene, wet_dry, 10, meter);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) {
+    EXPECT_DOUBLE_EQ(scene.landcover.at(hit.x, hit.y),
+                     static_cast<double>(LandCover::kHouse));
+    EXPECT_GE(hit.probability, 0.0);
+    EXPECT_LE(hit.probability, 1.0);
+  }
+  // Best-first ordering.
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].probability, hits[i].probability - 1e-9);
+  }
+}
+
+TEST(HpsRanking, RiskierUnderWetDryClimate) {
+  SceneConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 12;
+  const Scene scene = generate_scene(cfg);
+  Rng rng(13);
+  WeatherSeries wet_dry;
+  for (int d = 0; d < 90; ++d) wet_dry.push_back({rng.bernoulli(0.6) ? 8.0 : 0.0, 22.0});
+  for (int d = 0; d < 120; ++d) wet_dry.push_back({0.0, 28.0});
+  WeatherSeries drizzle;
+  for (int d = 0; d < 210; ++d) drizzle.push_back({rng.bernoulli(0.25) ? 3.0 : 0.0, 22.0});
+
+  CostMeter m1;
+  CostMeter m2;
+  const auto risky = rank_high_risk_houses(scene, wet_dry, 5, m1);
+  const auto calm = rank_high_risk_houses(scene, drizzle, 5, m2);
+  ASSERT_FALSE(risky.empty());
+  ASSERT_FALSE(calm.empty());
+  EXPECT_GT(risky[0].probability, calm[0].probability);
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,307 @@
+// Unit + property tests for src/linear: models, regression, and progressive
+// linear execution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/tuples.hpp"
+#include "index/seqscan.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "linear/regression.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+// ---------------------------------------------------------------- LinearModel
+
+TEST(LinearModel, EvaluatesWeightedSum) {
+  const LinearModel model({2.0, -1.0, 0.5}, 3.0, {});
+  const std::vector<double> x{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.evaluate(x), 3.0 + 2.0 - 2.0 + 2.0);
+}
+
+TEST(LinearModel, DefaultNamesGenerated) {
+  const LinearModel model({1.0, 1.0}, 0.0, {});
+  EXPECT_EQ(model.name(0), "x0");
+  EXPECT_EQ(model.name(1), "x1");
+}
+
+TEST(LinearModel, RejectsBadConstruction) {
+  EXPECT_THROW(LinearModel({}, 0.0, {}), Error);
+  EXPECT_THROW(LinearModel({1.0}, 0.0, {"a", "b"}), Error);
+}
+
+TEST(LinearModel, IntervalBoundIsSound) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const LinearModel model({rng.normal(), rng.normal(), rng.normal()}, rng.normal(), {});
+    std::vector<Interval> box;
+    for (int d = 0; d < 3; ++d) {
+      const double a = rng.uniform(-10, 10);
+      const double b = rng.uniform(-10, 10);
+      box.push_back({std::min(a, b), std::max(a, b)});
+    }
+    const Interval bound = model.evaluate_interval(box);
+    for (int s = 0; s < 20; ++s) {
+      std::vector<double> x;
+      for (const auto& iv : box) x.push_back(rng.uniform(iv.lo, iv.hi));
+      const double v = model.evaluate(x);
+      EXPECT_LE(v, bound.hi + 1e-9);
+      EXPECT_GE(v, bound.lo - 1e-9);
+    }
+  }
+}
+
+TEST(LinearModel, HpsPresetMatchesPaper) {
+  const LinearModel model = hps_risk_model();
+  ASSERT_EQ(model.dim(), 4u);
+  EXPECT_DOUBLE_EQ(model.weight(0), 0.443);
+  EXPECT_DOUBLE_EQ(model.weight(1), 0.222);
+  EXPECT_DOUBLE_EQ(model.weight(2), 0.153);
+  EXPECT_DOUBLE_EQ(model.weight(3), 0.183);
+  EXPECT_EQ(model.name(0), "b4");
+  EXPECT_EQ(model.name(3), "elevation_m");
+  // R = 0.443 X1 + 0.222 X2 + 0.153 X3 + 0.183 X4 at a concrete point.
+  const std::vector<double> x{100, 50, 25, 1000};
+  EXPECT_NEAR(model.evaluate(x), 0.443 * 100 + 0.222 * 50 + 0.153 * 25 + 0.183 * 1000, 1e-12);
+}
+
+TEST(LinearModel, FicoPresetScoresStableApplicantsHigher) {
+  const LinearModel model = fico_score_model();
+  EXPECT_DOUBLE_EQ(model.bias(), 900.0);
+  // A pristine applicant vs a troubled one.
+  const std::vector<double> good{0.0, 20.0, 0.1, 10.0, 15.0, 0.0};
+  const std::vector<double> bad{6.0, 2.0, 0.9, 1.0, 1.0, 3.0};
+  EXPECT_GT(model.evaluate(good), model.evaluate(bad) + 200.0);
+}
+
+// ---------------------------------------------------------------- Regression
+
+TEST(Regression, RecoversKnownLinearModel) {
+  Rng rng(2);
+  const std::vector<double> true_w{1.5, -2.0, 0.75};
+  const double true_b = 4.0;
+  TupleSet x(3);
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row{rng.normal(), rng.normal(), rng.normal()};
+    y.push_back(true_b + dot(std::span<const double>(row), std::span<const double>(true_w)) +
+                rng.normal(0.0, 0.01));
+    x.push_row(row);
+  }
+  const RegressionResult fit = fit_linear(x, y);
+  for (std::size_t d = 0; d < 3; ++d) EXPECT_NEAR(fit.model.weight(d), true_w[d], 0.01);
+  EXPECT_NEAR(fit.model.bias(), true_b, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+  EXPECT_LT(fit.rmse, 0.02);
+}
+
+TEST(Regression, NoiseLowersR2) {
+  Rng rng(3);
+  TupleSet x(2);
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row{rng.normal(), rng.normal()};
+    y.push_back(row[0] + rng.normal(0.0, 3.0));  // heavy noise
+    x.push_row(row);
+  }
+  const RegressionResult fit = fit_linear(x, y);
+  EXPECT_LT(fit.r_squared, 0.6);
+  EXPECT_GT(fit.r_squared, 0.0);
+}
+
+TEST(Regression, RidgeHandlesDuplicatedColumns) {
+  Rng rng(4);
+  TupleSet x(2);
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.normal();
+    const std::vector<double> row{v, v};  // perfectly collinear
+    y.push_back(2.0 * v);
+    x.push_row(row);
+  }
+  EXPECT_THROW((void)fit_linear(x, y, 0.0), Error);
+  const RegressionResult fit = fit_linear(x, y, 1e-3);
+  // Ridge splits the weight between the twin columns.
+  EXPECT_NEAR(fit.model.weight(0) + fit.model.weight(1), 2.0, 0.05);
+}
+
+TEST(Regression, OutOfSampleR2) {
+  Rng rng(5);
+  TupleSet train(2);
+  std::vector<double> y_train;
+  TupleSet test(2);
+  std::vector<double> y_test;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> row{rng.normal(), rng.normal()};
+    const double target = 3.0 * row[0] - row[1] + rng.normal(0.0, 0.1);
+    if (i % 3 == 0) {
+      test.push_row(row);
+      y_test.push_back(target);
+    } else {
+      train.push_row(row);
+      y_train.push_back(target);
+    }
+  }
+  const RegressionResult fit = fit_linear(train, y_train);
+  EXPECT_GT(r_squared(fit.model, test, y_test), 0.95);
+}
+
+TEST(Regression, RejectsUnderdeterminedSystems) {
+  TupleSet x(5);
+  std::vector<double> y{1.0, 2.0};
+  const std::vector<double> r1{1, 2, 3, 4, 5};
+  const std::vector<double> r2{2, 3, 4, 5, 6};
+  x.push_row(r1);
+  x.push_row(r2);
+  EXPECT_THROW((void)fit_linear(x, y), Error);
+}
+
+// ---------------------------------------------------------------- Progressive
+
+TEST(ProgressiveLinear, OrderIsByContribution) {
+  // weight * range-width: attr1 (10*1=10) > attr0 (1*5=5) > attr2 (2*1=2).
+  const LinearModel model({1.0, 10.0, 2.0}, 0.0, {});
+  const std::vector<Interval> ranges{{0, 5}, {0, 1}, {0, 1}};
+  const ProgressiveLinearModel progressive(model, ranges);
+  ASSERT_EQ(progressive.order().size(), 3u);
+  EXPECT_EQ(progressive.order()[0], 1u);
+  EXPECT_EQ(progressive.order()[1], 0u);
+  EXPECT_EQ(progressive.order()[2], 2u);
+  EXPECT_GT(progressive.contribution(0), progressive.contribution(1));
+  EXPECT_GT(progressive.contribution(1), progressive.contribution(2));
+}
+
+TEST(ProgressiveLinear, TailsShrinkToZero) {
+  const LinearModel model({1.0, -2.0, 3.0}, 0.0, {});
+  const std::vector<Interval> ranges{{-1, 1}, {-1, 1}, {-1, 1}};
+  const ProgressiveLinearModel progressive(model, ranges);
+  const Interval last = progressive.tail(2);
+  EXPECT_DOUBLE_EQ(last.lo, 0.0);
+  EXPECT_DOUBLE_EQ(last.hi, 0.0);
+  EXPECT_GT(progressive.tail(0).width(), progressive.tail(1).width());
+}
+
+TEST(ProgressiveLinear, TailBoundsRemainingTerms) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> w{rng.normal(), rng.normal(), rng.normal(), rng.normal()};
+    const LinearModel model(w, 0.0, {});
+    std::vector<Interval> ranges;
+    for (int d = 0; d < 4; ++d) {
+      const double a = rng.uniform(-3, 3);
+      const double b = rng.uniform(-3, 3);
+      ranges.push_back({std::min(a, b), std::max(a, b)});
+    }
+    const ProgressiveLinearModel progressive(model, ranges);
+    const auto order = progressive.order();
+    for (std::size_t stage = 0; stage < 3; ++stage) {
+      const Interval tail = progressive.tail(stage);
+      for (int s = 0; s < 10; ++s) {
+        double rest = 0.0;
+        for (std::size_t later = stage + 1; later < 4; ++later) {
+          const std::size_t attr = order[later];
+          rest += w[attr] * rng.uniform(ranges[attr].lo, ranges[attr].hi);
+        }
+        EXPECT_LE(rest, tail.hi + 1e-9);
+        EXPECT_GE(rest, tail.lo - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ProgressiveLinear, TruncatedModelKeepsTopTerms) {
+  const LinearModel model({0.443, 0.222, 0.153, 0.183}, 0.0, {"b4", "b5", "b7", "dem"});
+  // Ranges chosen so dem (0.183 * 2000) dominates, then b4 (0.443 * 255).
+  const std::vector<Interval> ranges{{0, 255}, {0, 255}, {0, 255}, {0, 2000}};
+  const ProgressiveLinearModel progressive(model, ranges);
+  const LinearModel coarse = progressive.truncated(2);
+  EXPECT_DOUBLE_EQ(coarse.weight(3), 0.183);  // dem kept
+  EXPECT_DOUBLE_EQ(coarse.weight(0), 0.443);  // b4 kept
+  EXPECT_DOUBLE_EQ(coarse.weight(1), 0.0);    // b5 dropped
+  EXPECT_DOUBLE_EQ(coarse.weight(2), 0.0);    // b7 dropped
+  EXPECT_EQ(coarse.name(1), "b5");
+}
+
+TEST(ProgressiveLinear, AttributeRangesCoverData) {
+  const TupleSet points = gaussian_tuples(1000, 3, 7);
+  const auto ranges = attribute_ranges(points);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_TRUE(ranges[d].contains(points.row(i)[d]));
+    }
+  }
+}
+
+class ProgressiveTopK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProgressiveTopK, MatchesSequentialScan) {
+  const std::size_t k = GetParam();
+  const TupleSet points = gaussian_tuples(5000, 6, 8);
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> w(6);
+    for (auto& v : w) v = rng.normal();
+    // Spread the weight magnitudes so staging has something to exploit.
+    w[0] *= 10.0;
+    w[1] *= 5.0;
+    const LinearModel model(w, 0.0, {});
+    const ProgressiveLinearModel progressive(model, attribute_ranges(points));
+    CostMeter m_scan;
+    CostMeter m_prog;
+    const auto expected = scan_top_k(points, w, k, m_scan);
+    const auto actual = progressive_top_k(points, progressive, k, m_prog);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ProgressiveTopK, ::testing::Values(1, 5, 10, 50));
+
+TEST(ProgressiveLinear, SavesOpsOnSkewedWeights) {
+  const TupleSet points = gaussian_tuples(50000, 8, 10);
+  std::vector<double> w(8, 0.01);
+  w[0] = 10.0;  // one dominant term
+  const LinearModel model(w, 0.0, {});
+  const ProgressiveLinearModel progressive(model, attribute_ranges(points));
+  CostMeter m_scan;
+  CostMeter m_prog;
+  (void)scan_top_k(points, w, 10, m_scan);
+  ProgressiveScanStats stats;
+  (void)progressive_top_k(points, progressive, 10, m_prog, &stats);
+  EXPECT_LT(m_prog.ops(), m_scan.ops() / 2);  // at least 2x fewer multiply-adds
+  EXPECT_GT(m_prog.pruned(), 0u);
+}
+
+TEST(ProgressiveLinear, UniformWeightsDegradeGracefully) {
+  // With equal contributions pruning is weak, but the answer stays exact and
+  // the cost never exceeds the scan by more than the bookkeeping epsilon.
+  const TupleSet points = gaussian_tuples(5000, 4, 11);
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  const LinearModel model(w, 0.0, {});
+  const ProgressiveLinearModel progressive(model, attribute_ranges(points));
+  CostMeter m_scan;
+  CostMeter m_prog;
+  const auto expected = scan_top_k(points, w, 10, m_scan);
+  const auto actual = progressive_top_k(points, progressive, 10, m_prog);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+  }
+  EXPECT_LE(m_prog.ops(), m_scan.ops());
+}
+
+TEST(ProgressiveLinear, RejectsMismatchedRanges) {
+  const LinearModel model({1.0, 2.0}, 0.0, {});
+  EXPECT_THROW(ProgressiveLinearModel(model, {Interval{0, 1}}), Error);
+}
+
+}  // namespace
+}  // namespace mmir

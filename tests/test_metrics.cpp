@@ -1,0 +1,201 @@
+// Unit tests for src/metrics: the §4.1 error/cost formulas and §4.2
+// efficiency reports, checked against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/events.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/efficiency.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+/// 2x2 fixture:
+///   risk  = [0.9 0.1]    events = [1 0]
+///           [0.8 0.2]             [0 1]
+/// At T = 0.5: cell(0,0) R>T,O>0 ok; cell(1,0) R<T,O=0 ok;
+///             cell(0,1) R>T,O=0 -> Pm-type error; cell(1,1) R<T,O>0 -> Pf.
+struct TinyCase {
+  Grid risk{2, 2};
+  Grid events{2, 2};
+  Grid weights{2, 2, 1.0};
+  TinyCase() {
+    risk.at(0, 0) = 0.9;
+    risk.at(1, 0) = 0.1;
+    risk.at(0, 1) = 0.8;
+    risk.at(1, 1) = 0.2;
+    events.at(0, 0) = 1.0;
+    events.at(1, 1) = 2.0;
+  }
+};
+
+TEST(ErrorRates, HandComputed) {
+  const TinyCase t;
+  const ErrorRates rates = error_rates(t.risk, t.events, 0.5);
+  // O==0 cells: (1,0) and (0,1); of those R>T: (0,1) -> Pm = 1/2.
+  EXPECT_DOUBLE_EQ(rates.p_m, 0.5);
+  // O>0 cells: (0,0) and (1,1); of those R<T: (1,1) -> Pf = 1/2.
+  EXPECT_DOUBLE_EQ(rates.p_f, 0.5);
+  EXPECT_DOUBLE_EQ(rates.frac_zero, 0.5);
+  EXPECT_DOUBLE_EQ(rates.frac_pos, 0.5);
+}
+
+TEST(ErrorRates, ExtremeThresholds) {
+  const TinyCase t;
+  // T below every risk: every O==0 cell counts toward Pm, no Pf.
+  const ErrorRates low = error_rates(t.risk, t.events, 0.0);
+  EXPECT_DOUBLE_EQ(low.p_m, 1.0);
+  EXPECT_DOUBLE_EQ(low.p_f, 0.0);
+  // T above every risk: mirror image.
+  const ErrorRates high = error_rates(t.risk, t.events, 1.0);
+  EXPECT_DOUBLE_EQ(high.p_m, 0.0);
+  EXPECT_DOUBLE_EQ(high.p_f, 1.0);
+}
+
+TEST(TotalCost, HandComputed) {
+  const TinyCase t;
+  // Errors at T=0.5: (0,1) miss-type (cost cm), (1,1) false-type (cost cf).
+  EXPECT_DOUBLE_EQ(total_cost(t.risk, t.events, t.weights, 0.5, 2.0, 3.0), 2.0 + 3.0);
+}
+
+TEST(TotalCost, WeightsScaleCellCosts) {
+  TinyCase t;
+  t.weights.at(0, 1) = 10.0;  // upweight the Pm-error cell
+  EXPECT_DOUBLE_EQ(total_cost(t.risk, t.events, t.weights, 0.5, 2.0, 3.0), 20.0 + 3.0);
+}
+
+TEST(TotalCost, CostRatioMovesOptimalThreshold) {
+  // When false alarms (missed events under the paper's formula naming) are
+  // expensive, the optimal threshold drops so more cells flag as high risk.
+  Grid risk(32, 32);
+  Rng rng(1);
+  for (double& v : risk.flat()) v = rng.uniform();
+  const Grid events = generate_events(risk, EventConfig{0.2, 4.0, 0.05, 7});
+  const Grid weights(32, 32, 1.0);
+  const auto sweep_cheap_misses = threshold_sweep(risk, events, weights, 1.0, 10.0, 41);
+  const auto sweep_cheap_false = threshold_sweep(risk, events, weights, 10.0, 1.0, 41);
+  EXPECT_LT(best_threshold(sweep_cheap_misses).threshold,
+            best_threshold(sweep_cheap_false).threshold);
+}
+
+TEST(ThresholdSweep, MonotoneRates) {
+  Grid risk(16, 16);
+  Rng rng(2);
+  for (double& v : risk.flat()) v = rng.uniform();
+  const Grid events = generate_events(risk, EventConfig{});
+  const Grid weights(16, 16, 1.0);
+  const auto sweep = threshold_sweep(risk, events, weights, 1.0, 1.0, 21);
+  ASSERT_EQ(sweep.size(), 21u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].rates.p_m, sweep[i - 1].rates.p_m + 1e-12);   // Pm falls with T
+    EXPECT_GE(sweep[i].rates.p_f, sweep[i - 1].rates.p_f - 1e-12);   // Pf rises with T
+  }
+}
+
+TEST(PrecisionRecall, HandComputed) {
+  const TinyCase t;
+  // Top-2 by risk: (0,0)=0.9 and (0,1)=0.8. Events at (0,0) and (1,1).
+  const PrecisionRecall pr = precision_recall_at_k(t.risk, t.events, 2);
+  EXPECT_EQ(pr.retrieved_correct, 1u);
+  EXPECT_EQ(pr.relevant, 2u);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(PrecisionRecall, PerfectModel) {
+  Grid risk(8, 8, 0.0);
+  Grid events(8, 8, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    risk.at(static_cast<std::size_t>(i), 0) = 10.0 - i;
+    events.at(static_cast<std::size_t>(i), 0) = 1.0;
+  }
+  const PrecisionRecall pr = precision_recall_at_k(risk, events, 5);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecall, RecallRisesWithK) {
+  Grid risk(16, 16);
+  Rng rng(3);
+  for (double& v : risk.flat()) v = rng.uniform();
+  const Grid events = generate_events(risk, EventConfig{0.15, 3.0, 0.02, 5});
+  double last_recall = -1.0;
+  for (std::size_t k : {5, 20, 80, 256}) {
+    const PrecisionRecall pr = precision_recall_at_k(risk, events, k);
+    EXPECT_GE(pr.recall, last_recall - 1e-12);
+    last_recall = pr.recall;
+  }
+}
+
+TEST(PrecisionRecall, RandomRiskGivesBaselinePrecision) {
+  // A risk surface independent of events: precision@k ~ base rate.
+  Grid risk(64, 64);
+  Rng rng(4);
+  for (double& v : risk.flat()) v = rng.uniform();
+  Grid events(64, 64, 0.0);
+  Rng rng2(5);
+  std::size_t relevant = 0;
+  for (double& v : events.flat()) {
+    v = rng2.bernoulli(0.2) ? 1.0 : 0.0;
+    relevant += v > 0 ? 1 : 0;
+  }
+  const PrecisionRecall pr = precision_recall_at_k(risk, events, 500);
+  EXPECT_NEAR(pr.precision, 0.2, 0.06);
+}
+
+TEST(PrecisionRecall, NoRelevantCells) {
+  Grid risk(4, 4, 1.0);
+  const Grid events(4, 4, 0.0);
+  const PrecisionRecall pr = precision_recall_at_k(risk, events, 3);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(Accuracy, ShapeMismatchThrows) {
+  const Grid a(4, 4);
+  const Grid b(4, 5);
+  EXPECT_THROW((void)error_rates(a, b, 0.5), Error);
+  EXPECT_THROW((void)total_cost(a, b, a, 0.5, 1, 1), Error);
+  EXPECT_THROW((void)precision_recall_at_k(a, b, 2), Error);
+}
+
+// ---------------------------------------------------------------- efficiency
+
+TEST(Efficiency, ReportDecomposesPmPd) {
+  CostMeter baseline;
+  baseline.add_ops(12000);
+  baseline.add_points(12000);
+  CostMeter model_only;
+  model_only.add_ops(4000);  // pm = 3
+  CostMeter combined;
+  combined.add_ops(400);     // measured = 30, pd = 10
+  const EfficiencyReport report = efficiency_report("hps", baseline, model_only, combined);
+  EXPECT_DOUBLE_EQ(report.pm, 3.0);
+  EXPECT_DOUBLE_EQ(report.pd, 10.0);
+  EXPECT_DOUBLE_EQ(report.measured_speedup, 30.0);
+  EXPECT_DOUBLE_EQ(report.predicted_speedup(), 30.0);
+}
+
+TEST(Efficiency, StreamOutput) {
+  CostMeter baseline;
+  baseline.add_ops(100);
+  CostMeter other;
+  other.add_ops(50);
+  const EfficiencyReport report = efficiency_report("x", baseline, other, other);
+  std::ostringstream os;
+  os << report;
+  EXPECT_NE(os.str().find("pm=2"), std::string::npos);
+}
+
+TEST(Efficiency, DegenerateZeroOps) {
+  CostMeter empty;
+  const EfficiencyReport report = efficiency_report("z", empty, empty, empty);
+  EXPECT_DOUBLE_EQ(report.pm, 1.0);
+  EXPECT_DOUBLE_EQ(report.pd, 1.0);
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,373 @@
+// Unit tests for src/progressive: Haar wavelets, resolution pyramids and the
+// multi-abstraction feature level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/scene.hpp"
+#include "data/terrain.hpp"
+#include "progressive/features.hpp"
+#include "progressive/pyramid.hpp"
+#include "progressive/regions.hpp"
+#include "progressive/wavelet.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+namespace {
+
+Grid random_grid(std::size_t w, std::size_t h, std::uint64_t seed) {
+  Rng rng(seed);
+  Grid g(w, h);
+  for (double& v : g.flat()) v = rng.normal(100.0, 25.0);
+  return g;
+}
+
+// ---------------------------------------------------------------- Wavelet
+
+TEST(Haar, ReconstructionIsExactPowerOfTwo) {
+  const Grid input = random_grid(64, 64, 1);
+  const HaarWavelet2D wavelet(input, 4);
+  const Grid back = wavelet.reconstruct();
+  ASSERT_EQ(back.width(), 64u);
+  ASSERT_EQ(back.height(), 64u);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(back.flat()[i], input.flat()[i], 1e-8);
+  }
+}
+
+TEST(Haar, ReconstructionIsExactNonDyadic) {
+  const Grid input = random_grid(50, 37, 2);
+  const HaarWavelet2D wavelet(input, 3);
+  const Grid back = wavelet.reconstruct();
+  ASSERT_EQ(back.width(), 50u);
+  ASSERT_EQ(back.height(), 37u);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(back.flat()[i], input.flat()[i], 1e-8);
+  }
+}
+
+TEST(Haar, EnergyIsPreserved) {
+  // Orthonormal transform: sum of squared coefficients == sum of squares.
+  const Grid input = random_grid(32, 32, 3);
+  const HaarWavelet2D wavelet(input, 5);
+  double input_energy = 0.0;
+  for (double v : input.flat()) input_energy += v * v;
+  double coeff_energy = 0.0;
+  for (double v : wavelet.coefficients().flat()) coeff_energy += v * v;
+  EXPECT_NEAR(coeff_energy, input_energy, input_energy * 1e-10);
+}
+
+TEST(Haar, ApproximationIsLocalMean) {
+  Grid input(4, 4);
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t x = 0; x < 4; ++x) input.at(x, y) = static_cast<double>(y * 4 + x);
+  const HaarWavelet2D wavelet(input, 1);
+  const Grid approx = wavelet.approximation(1);
+  ASSERT_EQ(approx.width(), 2u);
+  ASSERT_EQ(approx.height(), 2u);
+  EXPECT_NEAR(approx.at(0, 0), (0 + 1 + 4 + 5) / 4.0, 1e-10);
+  EXPECT_NEAR(approx.at(1, 1), (10 + 11 + 14 + 15) / 4.0, 1e-10);
+}
+
+TEST(Haar, ConstantImageHasZeroDetailEnergy) {
+  const Grid input(16, 16, 42.0);
+  const HaarWavelet2D wavelet(input, 3);
+  for (std::size_t level = 1; level <= wavelet.levels(); ++level) {
+    EXPECT_NEAR(wavelet.detail_energy(level), 0.0, 1e-12);
+  }
+}
+
+TEST(Haar, RoughImageHasMoreDetailEnergyThanSmooth) {
+  Rng rng(4);
+  Grid rough(32, 32);
+  for (double& v : rough.flat()) v = rng.normal(0, 10);
+  Grid smooth(32, 32, 5.0);
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x) smooth.at(x, y) += 0.01 * static_cast<double>(x);
+  const HaarWavelet2D wr(rough, 1);
+  const HaarWavelet2D ws(smooth, 1);
+  EXPECT_GT(wr.detail_energy(1), ws.detail_energy(1) * 100.0);
+}
+
+TEST(Haar, LevelsClampToDyadicDepth) {
+  const Grid input = random_grid(8, 8, 5);
+  const HaarWavelet2D wavelet(input, 99);
+  EXPECT_EQ(wavelet.levels(), 3u);  // 8 -> 4 -> 2 -> 1
+}
+
+// ---------------------------------------------------------------- Pyramid
+
+TEST(Pyramid, LevelDimensionsHalve) {
+  const Grid base = random_grid(64, 48, 6);
+  const ResolutionPyramid pyramid(base, 4);
+  ASSERT_EQ(pyramid.levels(), 4u);
+  EXPECT_EQ(pyramid.level(0).width(), 64u);
+  EXPECT_EQ(pyramid.level(1).width(), 32u);
+  EXPECT_EQ(pyramid.level(1).height(), 24u);
+  EXPECT_EQ(pyramid.level(3).width(), 8u);
+}
+
+TEST(Pyramid, StopsAtOnePixel) {
+  const Grid base = random_grid(4, 4, 7);
+  const ResolutionPyramid pyramid(base, 10);
+  EXPECT_EQ(pyramid.levels(), 3u);  // 4x4, 2x2, 1x1 then stop
+  EXPECT_EQ(pyramid.level(pyramid.levels() - 1).size(), 1u);
+}
+
+TEST(Pyramid, MeansArePreservedAcrossLevels) {
+  const Grid base = random_grid(64, 64, 8);
+  const ResolutionPyramid pyramid(base, 5);
+  const double base_mean = base.stats().mean();
+  for (std::size_t l = 1; l < pyramid.levels(); ++l) {
+    EXPECT_NEAR(pyramid.level(l).stats().mean(), base_mean, 1e-9);
+  }
+}
+
+TEST(Pyramid, BaseRegionMapsBackCorrectly) {
+  const Grid base = random_grid(64, 64, 9);
+  const ResolutionPyramid pyramid(base, 4);
+  const PixelRegion region = pyramid.base_region(3, 1, 2);
+  EXPECT_EQ(region.x0, 8u);
+  EXPECT_EQ(region.y0, 16u);
+  EXPECT_EQ(region.width, 8u);
+  EXPECT_EQ(region.height, 8u);
+  // Level-0 regions are single pixels.
+  const PixelRegion pixel = pyramid.base_region(0, 5, 6);
+  EXPECT_EQ(pixel.area(), 1u);
+}
+
+TEST(Pyramid, BaseRegionClipsAtEdges) {
+  const Grid base = random_grid(20, 20, 10);
+  const ResolutionPyramid pyramid(base, 3);
+  const Grid& coarse = pyramid.level(2);  // 5x5
+  const PixelRegion corner = pyramid.base_region(2, coarse.width() - 1, coarse.height() - 1);
+  EXPECT_LE(corner.x0 + corner.width, 20u);
+  EXPECT_LE(corner.y0 + corner.height, 20u);
+}
+
+TEST(Pyramid, CoarseCellApproximatesBlockMean) {
+  const Grid base = random_grid(32, 32, 11);
+  const ResolutionPyramid pyramid(base, 3);
+  const PixelRegion region = pyramid.base_region(2, 3, 3);
+  const auto stats = base.window_stats(region.x0, region.y0, region.width, region.height);
+  EXPECT_NEAR(pyramid.level(2).at(3, 3), stats.mean(), 1e-9);
+}
+
+TEST(MultiBandPyramid, AllBandsSameDepth) {
+  const Grid a = random_grid(64, 64, 12);
+  const Grid b = random_grid(64, 64, 13);
+  const MultiBandPyramid pyramid({&a, &b}, 4);
+  EXPECT_EQ(pyramid.band_count(), 2u);
+  EXPECT_EQ(pyramid.levels(), 4u);
+  EXPECT_EQ(pyramid.band(1).level(3).width(), 8u);
+}
+
+// ---------------------------------------------------------------- Features
+
+TEST(Texture, DescriptorOfConstantWindow) {
+  const Grid g(16, 16, 3.0);
+  CostMeter meter;
+  const TextureDescriptor d = extract_texture(g, 0, 0, 16, 16, meter);
+  EXPECT_DOUBLE_EQ(d.mean, 3.0);
+  EXPECT_DOUBLE_EQ(d.variance, 0.0);
+  EXPECT_DOUBLE_EQ(d.edge_h, 0.0);
+  EXPECT_EQ(meter.points(), 256u);
+}
+
+TEST(Texture, EdgeEnergyDetectsOrientation) {
+  // Vertical stripes -> horizontal gradients only.
+  Grid stripes(16, 16);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x) stripes.at(x, y) = x % 2 == 0 ? 0.0 : 10.0;
+  CostMeter meter;
+  const TextureDescriptor d = extract_texture(stripes, 0, 0, 16, 16, meter);
+  EXPECT_GT(d.edge_h, 5.0);
+  EXPECT_DOUBLE_EQ(d.edge_v, 0.0);
+}
+
+TEST(Texture, CoarseDescriptorMatchesFullOnMeanVariance) {
+  const Grid g = random_grid(32, 32, 14);
+  CostMeter m1;
+  CostMeter m2;
+  const TextureDescriptor full = extract_texture(g, 4, 4, 16, 16, m1);
+  const TextureDescriptor coarse = extract_coarse_texture(g, 4, 4, 16, 16, m2);
+  EXPECT_DOUBLE_EQ(full.mean, coarse.mean);
+  EXPECT_DOUBLE_EQ(full.variance, coarse.variance);
+  EXPECT_DOUBLE_EQ(coarse.edge_h, 0.0);
+  EXPECT_LT(m2.ops(), m1.ops());  // the coarse pass must be cheaper
+}
+
+TEST(Texture, DistancesAreMetricLike) {
+  TextureDescriptor a{1, 2, 3, 4, 5};
+  TextureDescriptor b{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(a.full_distance(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.coarse_distance(b), 0.0);
+  b.mean = 4.0;
+  EXPECT_DOUBLE_EQ(a.coarse_distance(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.full_distance(b), 3.0);
+  b.edge_d = 9.0;
+  EXPECT_DOUBLE_EQ(a.full_distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.coarse_distance(b), 3.0);  // coarse ignores edges
+}
+
+TEST(IsoBands, QuantizesIntoRequestedClasses) {
+  Grid g(10, 1);
+  for (std::size_t x = 0; x < 10; ++x) g.at(x, 0) = static_cast<double>(x);
+  const Grid banded = iso_bands(g, 5);
+  EXPECT_DOUBLE_EQ(banded.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(banded.at(9, 0), 4.0);
+  for (double v : banded.flat()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 4.0);
+  }
+}
+
+TEST(IsoBands, MonotoneWithValue) {
+  const Grid g = random_grid(16, 16, 15);
+  const Grid banded = iso_bands(g, 8);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x + 1 < 16; ++x) {
+      if (g.at(x, y) < g.at(x + 1, y)) {
+        EXPECT_LE(banded.at(x, y), banded.at(x + 1, y));
+      }
+    }
+  }
+}
+
+TEST(IsoBands, HighValueCellLookup) {
+  Grid g(4, 4, 0.0);
+  g.at(3, 3) = 100.0;
+  g.at(0, 0) = 90.0;
+  const Grid banded = iso_bands(g, 10);
+  const auto cells = cells_at_or_above(banded, 8.0);
+  ASSERT_EQ(cells.size(), 2u);
+}
+
+// ---------------------------------------------------------------- Regions
+
+TEST(Regions, TwoBlobsAreTwoRegions) {
+  Grid labels(6, 4, 0.0);
+  labels.at(1, 1) = 7.0;
+  labels.at(2, 1) = 7.0;
+  labels.at(4, 3) = 7.0;
+  const Segmentation seg = label_regions(labels);
+  const auto sevens = regions_of_class(seg, 7.0);
+  ASSERT_EQ(sevens.size(), 2u);
+  EXPECT_EQ(sevens[0].area, 2u);  // largest first
+  EXPECT_EQ(sevens[1].area, 1u);
+  // Background is a single connected region.
+  EXPECT_EQ(regions_of_class(seg, 0.0).size(), 1u);
+}
+
+TEST(Regions, DiagonalCellsAreNotConnected) {
+  Grid labels(3, 3, 0.0);
+  labels.at(0, 0) = 1.0;
+  labels.at(1, 1) = 1.0;
+  const Segmentation seg = label_regions(labels);
+  EXPECT_EQ(regions_of_class(seg, 1.0).size(), 2u);  // 4-connectivity
+}
+
+TEST(Regions, AreasSumToGridSize) {
+  SceneConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 8;
+  const Scene scene = generate_scene(cfg);
+  const Segmentation seg = label_regions(scene.landcover);
+  std::size_t total = 0;
+  for (const Region& region : seg.regions) total += region.area;
+  EXPECT_EQ(total, 96u * 96u);
+}
+
+TEST(Regions, EveryCellMapsToItsRegion) {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.seed = 9;
+  const Scene scene = generate_scene(cfg);
+  const Segmentation seg = label_regions(scene.landcover);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t x = rng.uniform_int(64);
+    const std::size_t y = rng.uniform_int(64);
+    const Region& region = seg.region_at(x, y);
+    EXPECT_DOUBLE_EQ(region.label, scene.landcover.at(x, y));
+    EXPECT_GE(x, region.min_x);
+    EXPECT_LE(x, region.max_x);
+    EXPECT_GE(y, region.min_y);
+    EXPECT_LE(y, region.max_y);
+  }
+}
+
+TEST(Regions, CentroidInsideBbox) {
+  Grid labels(8, 8, 0.0);
+  for (std::size_t y = 2; y < 6; ++y)
+    for (std::size_t x = 3; x < 7; ++x) labels.at(x, y) = 5.0;
+  const Segmentation seg = label_regions(labels);
+  const auto fives = regions_of_class(seg, 5.0);
+  ASSERT_EQ(fives.size(), 1u);
+  EXPECT_DOUBLE_EQ(fives[0].centroid_x, 4.5);
+  EXPECT_DOUBLE_EQ(fives[0].centroid_y, 3.5);
+  EXPECT_EQ(fives[0].bbox_width(), 4u);
+  EXPECT_EQ(fives[0].bbox_height(), 4u);
+}
+
+TEST(Regions, MinAreaFilters) {
+  Grid labels(8, 1, 0.0);
+  labels.at(0, 0) = 1.0;
+  labels.at(2, 0) = 1.0;
+  labels.at(3, 0) = 1.0;
+  const Segmentation seg = label_regions(labels);
+  EXPECT_EQ(regions_of_class(seg, 1.0, 2).size(), 1u);
+  EXPECT_EQ(regions_of_class(seg, 1.0, 3).size(), 0u);
+}
+
+TEST(Regions, SemanticHighRiskZonesFromIsoBands) {
+  // The full §3.1 abstraction chain: raw DEM -> iso-band classes -> semantic
+  // regions ("the largest contiguous high zone").
+  TerrainConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 11;
+  const Grid dem = generate_terrain(cfg);
+  const Grid banded = iso_bands(dem, 8);
+  const Segmentation seg = label_regions(banded);
+  std::vector<Region> high;
+  for (double band = 7.0; band >= 5.0 && high.empty(); band -= 1.0) {
+    high = regions_of_class(seg, band);
+  }
+  ASSERT_FALSE(high.empty());
+  // Every cell of the zone really is high-elevation (above the mean).
+  const Region& zone = high.front();
+  const auto stats = dem.stats();
+  for (std::size_t y = zone.min_y; y <= zone.max_y; ++y) {
+    for (std::size_t x = zone.min_x; x <= zone.max_x; ++x) {
+      if (static_cast<std::uint32_t>(seg.region_ids.at(x, y)) == zone.id) {
+        EXPECT_GT(dem.at(x, y), stats.mean());
+      }
+    }
+  }
+}
+
+TEST(IsoBands, TerrainHighAreasFoundCheaply) {
+  // The paper's contour use-case: locate high-elevation areas from the
+  // abstraction without touching raw values again.
+  TerrainConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  const Grid dem = generate_terrain(cfg);
+  const Grid banded = iso_bands(dem, 10);
+  const auto high_cells = cells_at_or_above(banded, 9.0);
+  ASSERT_FALSE(high_cells.empty());
+  const double q90 = [&] {
+    std::vector<double> v(dem.flat().begin(), dem.flat().end());
+    std::sort(v.begin(), v.end());
+    return v[v.size() * 85 / 100];
+  }();
+  for (const auto& [x, y] : high_cells) EXPECT_GE(dem.at(x, y), q90);
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,344 @@
+// Cross-module robustness suite: degenerate inputs, duplicates, extreme
+// parameters and randomized fuzzing that the per-module suites do not cover.
+// Everything here defends invariants a production deployment would hit:
+// archives with constant bands, tuple sets full of duplicates, models with
+// zero weights, adversarial fuzzy degrees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/temporal.hpp"
+#include "data/scene.hpp"
+#include "data/tuples.hpp"
+#include "fsm/dfa.hpp"
+#include "fsm/distance.hpp"
+#include "fsm/nfa.hpp"
+#include "index/onion.hpp"
+#include "index/seqscan.hpp"
+#include "linear/progressive.hpp"
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+// ---------------------------------------------------------------- onion
+
+TEST(Robustness, OnionWithManyDuplicatePoints) {
+  // 80% of the cloud is the same point: peeling must terminate and queries
+  // must stay exact.
+  Rng rng(1);
+  TupleSet points(3);
+  const double dup[3] = {1.0, 1.0, 1.0};
+  for (int i = 0; i < 800; ++i) points.push_row(dup);
+  std::vector<double> row(3);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& v : row) v = rng.normal();
+    points.push_row(row);
+  }
+  const OnionIndex index(points);
+  EXPECT_EQ(index.size(), 1000u);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> w{rng.normal(), rng.normal(), rng.normal()};
+    CostMeter m1;
+    CostMeter m2;
+    const auto expected = scan_top_k(points, w, 5, m1);
+    const auto actual = index.top_k(w, 5, m2);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(Robustness, OnionOnCollinearCloud) {
+  // All points on one line in 3-D: degenerate hulls at every peel.
+  TupleSet points(3);
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i);
+    const double row[3] = {t, 2.0 * t, -t};
+    points.push_row(row);
+  }
+  const OnionIndex index(points);
+  const std::vector<double> w{1.0, 0.0, 0.0};
+  CostMeter meter;
+  const auto hits = index.top_k(w, 3, meter);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 99.0);
+  EXPECT_DOUBLE_EQ(hits[1].score, 98.0);
+}
+
+TEST(Robustness, OnionSinglePoint) {
+  TupleSet points(2);
+  const double row[2] = {3.0, 4.0};
+  points.push_row(row);
+  const OnionIndex index(points);
+  CostMeter meter;
+  const auto hits = index.top_k(std::vector<double>{1.0, 1.0}, 5, meter);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 7.0);
+}
+
+TEST(Robustness, OnionFuzzAgainstScan2D) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 5 + rng.uniform_int(200);
+    TupleSet points(2);
+    std::vector<double> row(2);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of clustered, duplicated and extreme points.
+      const double scale = rng.bernoulli(0.1) ? 1000.0 : 1.0;
+      row[0] = std::round(rng.normal() * 3.0) * scale;
+      row[1] = std::round(rng.normal() * 3.0) * scale;
+      points.push_row(row);
+    }
+    const OnionIndex index(points);
+    EXPECT_EQ(index.size(), n);
+    const std::size_t k = 1 + rng.uniform_int(std::min<std::size_t>(n, 12));
+    std::vector<double> w{rng.normal(), rng.normal()};
+    CostMeter m1;
+    CostMeter m2;
+    const auto expected = scan_top_k(points, w, k, m1);
+    const auto actual = index.top_k(w, k, m2);
+    ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- raster
+
+TEST(Robustness, ConstantBandArchiveScreensToOneTile) {
+  // All-constant bands: every tile has a zero-width bound, so after the
+  // first tile fills the top-K, all others tie and must not be evaluated
+  // beyond what exactness requires (ties at the threshold are prunable).
+  Grid flat(64, 64, 5.0);
+  const TiledArchive archive({&flat}, 16);
+  const LinearRasterModel model(LinearModel({2.0}, 1.0, {}));
+  CostMeter meter;
+  const auto hits = tile_screened_top_k(archive, model, 10, meter);
+  ASSERT_EQ(hits.size(), 10u);
+  for (const auto& hit : hits) EXPECT_DOUBLE_EQ(hit.score, 11.0);
+  EXPECT_LT(meter.points(), 64u * 64u);  // pruned the constant remainder
+}
+
+TEST(Robustness, ZeroWeightModelStillRetrieves) {
+  SceneConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const TiledArchive archive(bands, 8);
+  const LinearModel zero({0.0, 0.0, 0.0, 0.0}, 7.0, {});
+  const ProgressiveLinearModel progressive(zero, std::vector<Interval>(4, Interval{0, 1}));
+  CostMeter meter;
+  const auto hits = progressive_combined_top_k(archive, progressive, 5, meter);
+  ASSERT_EQ(hits.size(), 5u);
+  for (const auto& hit : hits) EXPECT_DOUBLE_EQ(hit.score, 7.0);
+}
+
+TEST(Robustness, SingleTileArchive) {
+  Grid band(8, 8, 1.0);
+  band.at(3, 3) = 9.0;
+  const TiledArchive archive({&band}, 64);  // tile bigger than grid
+  EXPECT_EQ(archive.tiles().size(), 1u);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  CostMeter meter;
+  const auto hits = full_scan_top_k(archive, model, 1, meter);
+  EXPECT_EQ(hits[0].x, 3u);
+  EXPECT_EQ(hits[0].y, 3u);
+}
+
+// ---------------------------------------------------------------- sproc
+
+TEST(Robustness, SprocFuzzAllProcessorsAllShapes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 1 + rng.uniform_int(4);
+    const std::size_t l = 1 + rng.uniform_int(9);
+    const TNorm tnorm = rng.bernoulli(0.5) ? TNorm::kProduct : TNorm::kMin;
+    std::vector<double> unary(m * l);
+    // Adversarial degrees: exact 0s, exact 1s, ties everywhere.
+    for (auto& v : unary) {
+      const int pick = static_cast<int>(rng.uniform_int(4));
+      v = pick == 0 ? 0.0 : pick == 1 ? 1.0 : pick == 2 ? 0.5 : rng.uniform();
+    }
+    std::vector<double> binary(m * l * l);
+    for (auto& v : binary) v = rng.bernoulli(0.2) ? 0.0 : rng.uniform();
+
+    CartesianQuery q;
+    q.components = m;
+    q.library_size = l;
+    q.tnorm = tnorm;
+    q.unary = [&](std::size_t comp, std::uint32_t j) { return unary[comp * l + j]; };
+    q.binary = [&](std::size_t comp, std::uint32_t i, std::uint32_t j) {
+      return binary[(comp * l + i) * l + j];
+    };
+    const std::size_t k = 1 + rng.uniform_int(20);
+    CostMeter mb;
+    CostMeter md;
+    CostMeter mf;
+    const auto brute = brute_force_top_k(q, k, mb);
+    const auto dp = sproc_top_k(q, k, md);
+    const auto fast = fast_sproc_top_k(q, k, mf);
+    EXPECT_TRUE(same_scores(brute, dp)) << "trial " << trial << " m=" << m << " l=" << l;
+    EXPECT_TRUE(same_scores(brute, fast)) << "trial " << trial << " m=" << m << " l=" << l;
+  }
+}
+
+// ---------------------------------------------------------------- fsm
+
+TEST(Robustness, NfaFuzzRandomPatternsAgainstBruteMatcher) {
+  // Random concat/alternate/star patterns; the DFA must agree with a naive
+  // recursive NFA-free matcher on short strings.
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Pattern: alternation of two concatenations of 1-3 symbols, starred or
+    // not.  Also build a reference predicate as a lambda chain.
+    NfaBuilder builder(2);
+    const std::size_t len_a = 1 + rng.uniform_int(3);
+    const std::size_t len_b = 1 + rng.uniform_int(3);
+    SymbolSeq word_a(len_a);
+    SymbolSeq word_b(len_b);
+    for (auto& s : word_a) s = static_cast<std::uint8_t>(rng.uniform_int(2));
+    for (auto& s : word_b) s = static_cast<std::uint8_t>(rng.uniform_int(2));
+    auto make_word = [&](const SymbolSeq& w) {
+      NfaFragment f = builder.symbol(w[0]);
+      for (std::size_t i = 1; i < w.size(); ++i) f = builder.concat(f, builder.symbol(w[i]));
+      return f;
+    };
+    const bool starred = rng.bernoulli(0.5);
+    NfaFragment pattern = builder.alternate(make_word(word_a), make_word(word_b));
+    if (starred) pattern = builder.star(pattern);
+    const Dfa dfa = builder.to_dfa(pattern);
+
+    // Reference: accepted iff the string is a concatenation of words from
+    // {a, b} (star) or exactly one word (no star).
+    const auto reference = [&](const SymbolSeq& s) {
+      const auto is_word = [&](std::size_t from, const SymbolSeq& w) {
+        if (from + w.size() > s.size()) return false;
+        return std::equal(w.begin(), w.end(), s.begin() + static_cast<long>(from));
+      };
+      if (!starred) {
+        return (s.size() == word_a.size() && is_word(0, word_a)) ||
+               (s.size() == word_b.size() && is_word(0, word_b));
+      }
+      std::vector<bool> ok(s.size() + 1, false);
+      ok[0] = true;
+      for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (!ok[i]) continue;
+        if (is_word(i, word_a)) ok[i + word_a.size()] = true;
+        if (is_word(i, word_b)) ok[i + word_b.size()] = true;
+      }
+      return static_cast<bool>(ok[s.size()]);
+    };
+
+    // All strings up to length 8.
+    for (std::size_t length = 0; length <= 8; ++length) {
+      const auto total = static_cast<std::uint64_t>(1) << length;
+      for (std::uint64_t code = 0; code < total; ++code) {
+        SymbolSeq s(length);
+        for (std::size_t i = 0; i < length; ++i) {
+          s[i] = static_cast<std::uint8_t>((code >> i) & 1);
+        }
+        ASSERT_EQ(dfa.accepts(s), reference(s))
+            << "trial " << trial << " len " << length << " code " << code;
+      }
+    }
+  }
+}
+
+TEST(Robustness, MinimizedFuzzKeepsAcceptanceOnRandomStrings) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t states = 3 + rng.uniform_int(12);
+    Dfa dfa(states, 3, rng.uniform_int(states));
+    for (std::size_t s = 0; s < states; ++s) {
+      for (std::uint8_t sym = 0; sym < 3; ++sym) {
+        dfa.set_transition(s, sym, rng.uniform_int(states));
+      }
+      if (rng.bernoulli(0.4)) dfa.set_accepting(s);
+    }
+    const Dfa minimal = dfa.minimized();
+    for (int probe = 0; probe < 200; ++probe) {
+      SymbolSeq s(rng.uniform_int(15));
+      for (auto& sym : s) sym = static_cast<std::uint8_t>(rng.uniform_int(3));
+      ASSERT_EQ(dfa.accepts(s), minimal.accepts(s)) << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- temporal
+
+TEST(Robustness, TemporalSingleFrameEqualsStaticModel) {
+  SceneConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.seed = 6;
+  const Scene scene = generate_scene(cfg);
+  WeatherConfig wcfg;
+  wcfg.days = 40;
+  Rng rng(7);
+  const WeatherSeries weather = generate_weather(wcfg, rng);
+  SceneSeriesConfig scfg;
+  scfg.frame_count = 1;
+  const SceneSeries series = generate_scene_series(scene, weather, scfg);
+
+  const TemporalRiskModel model({0.5, -0.25, 0.125}, 0.9, 3.0);
+  CostMeter meter;
+  const Grid risk = model.risk_at_end(series, meter);
+  // One frame: R = a4 * initial + w . x exactly.
+  for (std::size_t i = 0; i < 20; ++i) {
+    const std::size_t x = i % 32;
+    const std::size_t y = (i * 7) % 32;
+    const double expected = 0.9 * 3.0 + 0.5 * series.frames[0].bands[0].at(x, y) -
+                            0.25 * series.frames[0].bands[1].at(x, y) +
+                            0.125 * series.frames[0].bands[2].at(x, y);
+    EXPECT_NEAR(risk.at(x, y), expected, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- misc
+
+TEST(Robustness, ProgressiveLinearWithIdenticalWeightsAndRanges) {
+  // Fully symmetric model: ordering is arbitrary but must be deterministic
+  // and the result exact.
+  const TupleSet points = gaussian_tuples(2000, 4, 8);
+  const LinearModel model({1.0, 1.0, 1.0, 1.0}, 0.0, {});
+  std::vector<Interval> same(4, Interval{-4.0, 4.0});
+  const ProgressiveLinearModel a(model, same);
+  const ProgressiveLinearModel b(model, same);
+  EXPECT_TRUE(std::equal(a.order().begin(), a.order().end(), b.order().begin()));
+  CostMeter m1;
+  CostMeter m2;
+  const auto expected = scan_top_k(points, model.weights(), 7, m1);
+  const auto actual = progressive_top_k(points, a, 7, m2);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+  }
+}
+
+TEST(Robustness, ScanOnHugeValuesStaysFinite) {
+  TupleSet points(2);
+  const double big[2] = {1e300, -1e300};
+  const double small[2] = {1.0, 1.0};
+  points.push_row(big);
+  points.push_row(small);
+  CostMeter meter;
+  const auto hits = scan_top_k(points, std::vector<double>{1.0, 0.0}, 2, meter);
+  EXPECT_TRUE(std::isfinite(hits[0].score));
+  EXPECT_DOUBLE_EQ(hits[0].score, 1e300);
+}
+
+}  // namespace
+}  // namespace mmir

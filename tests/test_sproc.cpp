@@ -1,0 +1,281 @@
+// Unit + property tests for src/sproc: the three fuzzy-Cartesian processors
+// must return identical scores, and the DP / threshold variants must do
+// polynomially less work than the exhaustive baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+/// Random query: unary and binary degree tables drawn in [0,1], with a
+/// `sparsity` fraction of exact zeros (hard constraint violations).
+struct RandomQuery {
+  std::size_t m;
+  std::size_t l;
+  TNorm tnorm = TNorm::kProduct;
+  std::vector<double> unary;   // [m * l]
+  std::vector<double> binary;  // [m * l * l] (component m uses slice m)
+
+  [[nodiscard]] CartesianQuery view() const {
+    CartesianQuery q;
+    q.components = m;
+    q.library_size = l;
+    q.tnorm = tnorm;
+    q.unary = [this](std::size_t comp, std::uint32_t j) { return unary[comp * l + j]; };
+    q.binary = [this](std::size_t comp, std::uint32_t i, std::uint32_t j) {
+      return binary[(comp * l + i) * l + j];
+    };
+    return q;
+  }
+};
+
+RandomQuery make_query(std::size_t m, std::size_t l, double sparsity, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomQuery q{m, l, {}, {}};
+  q.unary.resize(m * l);
+  for (auto& v : q.unary) v = rng.bernoulli(sparsity) ? 0.0 : rng.uniform();
+  q.binary.resize(m * l * l);
+  for (auto& v : q.binary) v = rng.bernoulli(sparsity) ? 0.0 : rng.uniform();
+  return q;
+}
+
+void expect_same_scores(const std::vector<CompositeMatch>& a,
+                        const std::vector<CompositeMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-9) << "rank " << i;
+  }
+}
+
+/// Verifies a match's score is the t-norm fold of its degrees.
+void expect_score_consistent(const CartesianQuery& q, const CompositeMatch& match) {
+  ASSERT_EQ(match.items.size(), q.components);
+  double score = 1.0;
+  for (std::size_t m = 0; m < q.components; ++m) {
+    score = tnorm_combine(q.tnorm, score, q.unary(m, match.items[m]));
+    if (m > 0) score = tnorm_combine(q.tnorm, score, q.binary(m, match.items[m - 1], match.items[m]));
+  }
+  EXPECT_NEAR(score, match.score, 1e-9);
+}
+
+// ---------------------------------------------------------------- basic
+
+TEST(Brute, SingleComponentIsJustUnaryRanking) {
+  RandomQuery rq = make_query(1, 10, 0.0, 1);
+  CostMeter meter;
+  const auto matches = brute_force_top_k(rq.view(), 3, meter);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_GE(matches[0].score, matches[1].score);
+  EXPECT_GE(matches[1].score, matches[2].score);
+  expect_score_consistent(rq.view(), matches[0]);
+}
+
+TEST(Brute, GuardsAgainstExponentialBlowup) {
+  RandomQuery rq = make_query(10, 100, 0.0, 2);
+  CostMeter meter;
+  EXPECT_THROW((void)brute_force_top_k(rq.view(), 1, meter, 1000), Error);
+}
+
+TEST(Brute, HandCraftedKnownBest) {
+  // Two components over three items; best is items (2, 0).
+  CartesianQuery q;
+  q.components = 2;
+  q.library_size = 3;
+  const double unary[2][3] = {{0.1, 0.5, 0.9}, {0.8, 0.2, 0.3}};
+  q.unary = [&unary](std::size_t m, std::uint32_t j) { return unary[m][j]; };
+  q.binary = [](std::size_t, std::uint32_t, std::uint32_t) { return 1.0; };
+  CostMeter meter;
+  const auto matches = brute_force_top_k(q, 1, meter);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].items, (std::vector<std::uint32_t>{2, 0}));
+  EXPECT_NEAR(matches[0].score, 0.72, 1e-12);
+}
+
+TEST(Sproc, HandCraftedBinaryConstraint) {
+  // Binary forbids (2,0): the best must route around it.
+  CartesianQuery q;
+  q.components = 2;
+  q.library_size = 3;
+  const double unary[2][3] = {{0.1, 0.5, 0.9}, {0.8, 0.2, 0.3}};
+  q.unary = [&unary](std::size_t m, std::uint32_t j) { return unary[m][j]; };
+  q.binary = [](std::size_t, std::uint32_t i, std::uint32_t j) {
+    return (i == 2 && j == 0) ? 0.0 : 1.0;
+  };
+  CostMeter meter;
+  const auto matches = sproc_top_k(q, 1, meter);
+  ASSERT_EQ(matches.size(), 1u);
+  // Best alternatives: (1,0)=0.4 or (2,2)=0.27 -> (1,0).
+  EXPECT_EQ(matches[0].items, (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_NEAR(matches[0].score, 0.4, 1e-12);
+}
+
+TEST(FastSproc, EmptyResultWhenAllZero) {
+  CartesianQuery q;
+  q.components = 2;
+  q.library_size = 4;
+  q.unary = [](std::size_t, std::uint32_t) { return 0.0; };
+  q.binary = [](std::size_t, std::uint32_t, std::uint32_t) { return 1.0; };
+  CostMeter meter;
+  EXPECT_TRUE(fast_sproc_top_k(q, 5, meter).empty());
+  CostMeter m2;
+  EXPECT_TRUE(sproc_top_k(q, 5, m2).empty());
+  CostMeter m3;
+  EXPECT_TRUE(brute_force_top_k(q, 5, m3).empty());
+}
+
+// ---------------------------------------------------------------- agreement
+
+class SprocAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(SprocAgreement, AllThreeProcessorsAgree) {
+  const auto [m, l, sparsity] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RandomQuery rq = make_query(m, l, sparsity, seed * 31 + m + l);
+    const CartesianQuery q = rq.view();
+    CostMeter mb;
+    CostMeter md;
+    CostMeter mf;
+    const auto brute = brute_force_top_k(q, 10, mb);
+    const auto dp = sproc_top_k(q, 10, md);
+    const auto fast = fast_sproc_top_k(q, 10, mf);
+    expect_same_scores(brute, dp);
+    expect_same_scores(brute, fast);
+    for (const auto& match : dp) expect_score_consistent(q, match);
+    for (const auto& match : fast) expect_score_consistent(q, match);
+  }
+}
+
+TEST_P(SprocAgreement, AllThreeProcessorsAgreeUnderMinTNorm) {
+  const auto [m, l, sparsity] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomQuery rq = make_query(m, l, sparsity, seed * 57 + m + l);
+    rq.tnorm = TNorm::kMin;
+    const CartesianQuery q = rq.view();
+    CostMeter mb;
+    CostMeter md;
+    CostMeter mf;
+    const auto brute = brute_force_top_k(q, 10, mb);
+    const auto dp = sproc_top_k(q, 10, md);
+    const auto fast = fast_sproc_top_k(q, 10, mf);
+    expect_same_scores(brute, dp);
+    expect_same_scores(brute, fast);
+    for (const auto& match : dp) expect_score_consistent(q, match);
+    for (const auto& match : fast) expect_score_consistent(q, match);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SprocAgreement,
+    ::testing::Values(std::make_tuple(2, 8, 0.0), std::make_tuple(3, 8, 0.0),
+                      std::make_tuple(3, 12, 0.3), std::make_tuple(4, 6, 0.2),
+                      std::make_tuple(5, 5, 0.4), std::make_tuple(2, 30, 0.1),
+                      std::make_tuple(1, 20, 0.0)));
+
+TEST(SprocAgreement, KLargerThanMatchCount) {
+  // Highly sparse query: fewer than k positive assignments exist.
+  const RandomQuery rq = make_query(3, 6, 0.7, 99);
+  const CartesianQuery q = rq.view();
+  CostMeter mb;
+  CostMeter md;
+  CostMeter mf;
+  const auto brute = brute_force_top_k(q, 1000, mb);
+  const auto dp = sproc_top_k(q, 1000, md);
+  const auto fast = fast_sproc_top_k(q, 1000, mf);
+  // DP keeps at most k per (component, item) which caps path multiplicity,
+  // but for k >= all matches every processor must find every positive match.
+  expect_same_scores(brute, dp);
+  expect_same_scores(brute, fast);
+}
+
+// ---------------------------------------------------------------- complexity
+
+TEST(Sproc, PolynomialVsExponentialWork) {
+  const RandomQuery rq = make_query(4, 12, 0.0, 7);
+  const CartesianQuery q = rq.view();
+  CostMeter mb;
+  CostMeter md;
+  (void)brute_force_top_k(q, 5, mb);
+  (void)sproc_top_k(q, 5, md);
+  // L^M = 20736 assignments with ~2M-1 ops each vs O(M K L^2).
+  EXPECT_LT(md.ops(), mb.ops());
+}
+
+TEST(Sproc, OpsScaleQuadraticallyInL) {
+  // Doubling L should roughly 4x the DP ops (O(M K L^2)), not 2^x it.
+  const auto ops_for = [](std::size_t l) {
+    const RandomQuery rq = make_query(3, l, 0.0, 11);
+    CostMeter meter;
+    (void)sproc_top_k(rq.view(), 5, meter);
+    return static_cast<double>(meter.ops());
+  };
+  const double ratio = ops_for(64) / ops_for(32);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(FastSproc, BeatsDpOnPeakedScores) {
+  // When scores are peaked (one clear winner per component), the threshold
+  // processor terminates after exploring a tiny frontier.
+  const std::size_t l = 200;
+  CartesianQuery q;
+  q.components = 3;
+  q.library_size = l;
+  q.unary = [l](std::size_t, std::uint32_t j) {
+    return j == 0 ? 1.0 : 0.3 / static_cast<double>(l + 1 - j);
+  };
+  q.binary = [](std::size_t, std::uint32_t, std::uint32_t) { return 1.0; };
+  CostMeter md;
+  CostMeter mf;
+  const auto dp = sproc_top_k(q, 3, md);
+  const auto fast = fast_sproc_top_k(q, 3, mf);
+  expect_same_scores(dp, fast);
+  EXPECT_LT(mf.ops(), md.ops() / 10);
+}
+
+TEST(FastSproc, SortCostDominatesOnFlatScores) {
+  // Flat scores are the threshold processor's worst case; it must still be
+  // correct (agreement covered above) and terminate.
+  CartesianQuery q;
+  q.components = 3;
+  q.library_size = 40;
+  q.unary = [](std::size_t, std::uint32_t) { return 0.5; };
+  q.binary = [](std::size_t, std::uint32_t, std::uint32_t) { return 0.9; };
+  CostMeter meter;
+  const auto matches = fast_sproc_top_k(q, 5, meter);
+  ASSERT_EQ(matches.size(), 5u);
+  for (const auto& match : matches) {
+    EXPECT_NEAR(match.score, 0.5 * 0.5 * 0.5 * 0.9 * 0.9, 1e-9);
+  }
+}
+
+TEST(Query, ValidatesShape) {
+  CartesianQuery q;
+  CostMeter meter;
+  EXPECT_THROW((void)sproc_top_k(q, 1, meter), Error);  // components == 0
+  q.components = 2;
+  q.library_size = 3;
+  q.unary = [](std::size_t, std::uint32_t) { return 1.0; };
+  EXPECT_THROW((void)sproc_top_k(q, 1, meter), Error);  // binary missing
+}
+
+TEST(Query, SameScoresHelper) {
+  std::vector<CompositeMatch> a{{{0}, 0.5}};
+  std::vector<CompositeMatch> b{{{1}, 0.5}};
+  EXPECT_TRUE(same_scores(a, b));
+  b[0].score = 0.6;
+  EXPECT_FALSE(same_scores(a, b));
+  b.push_back({{2}, 0.1});
+  EXPECT_FALSE(same_scores(a, b));
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,263 @@
+// Tests for the §3.1 time-varying risk model R(x,y,t) = Σ ai·Xi(x,y,t)
+// + a4·R(x,y,t-1) and the SceneSeries substrate it runs on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/retrieval.hpp"
+#include "core/temporal.hpp"
+#include "data/scene.hpp"
+#include "data/scene_series.hpp"
+#include "data/weather.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mmir {
+namespace {
+
+struct SeriesFixture {
+  Scene scene;
+  WeatherSeries weather;
+  SceneSeries series;
+
+  explicit SeriesFixture(std::size_t size = 96, std::size_t frames = 8,
+                         std::uint64_t seed = 51) {
+    SceneConfig cfg;
+    cfg.width = size;
+    cfg.height = size;
+    cfg.seed = seed;
+    scene = generate_scene(cfg);
+    WeatherConfig wcfg;
+    wcfg.days = frames * 30 + 10;
+    Rng rng(seed + 1);
+    weather = generate_weather(wcfg, rng);
+    SceneSeriesConfig scfg;
+    scfg.frame_count = frames;
+    scfg.days_per_frame = 30;
+    scfg.seed = seed + 2;
+    series = generate_scene_series(scene, weather, scfg);
+  }
+};
+
+// ---------------------------------------------------------------- series
+
+TEST(SceneSeries, ShapeAndDeterminism) {
+  const SeriesFixture f;
+  EXPECT_EQ(f.series.frame_count(), 8u);
+  EXPECT_EQ(f.series.band_count(), 3u);
+  EXPECT_EQ(f.series.width, 96u);
+  for (const auto& frame : f.series.frames) {
+    ASSERT_EQ(frame.bands.size(), 3u);
+    EXPECT_GE(frame.wetness, 0.0);
+    EXPECT_LE(frame.wetness, 1.0);
+  }
+  const SeriesFixture g;  // identical seeds
+  for (std::size_t fidx = 0; fidx < 8; ++fidx) {
+    EXPECT_DOUBLE_EQ(f.series.frames[fidx].bands[0].at(5, 5),
+                     g.series.frames[fidx].bands[0].at(5, 5));
+  }
+}
+
+TEST(SceneSeries, BandsStayInDigitalNumberRange) {
+  const SeriesFixture f;
+  for (const auto& frame : f.series.frames) {
+    for (const auto& band : frame.bands) {
+      const auto stats = band.stats();
+      EXPECT_GE(stats.min(), 0.0);
+      EXPECT_LE(stats.max(), 255.0);
+    }
+  }
+}
+
+TEST(SceneSeries, WetFramesDarkenSwir) {
+  // Find the wettest and driest frames and compare mean b5.
+  const SeriesFixture f(96, 10, 53);
+  std::size_t wettest = 0;
+  std::size_t driest = 0;
+  for (std::size_t i = 0; i < f.series.frame_count(); ++i) {
+    if (f.series.frames[i].wetness > f.series.frames[wettest].wetness) wettest = i;
+    if (f.series.frames[i].wetness < f.series.frames[driest].wetness) driest = i;
+  }
+  if (f.series.frames[wettest].wetness > f.series.frames[driest].wetness + 0.1) {
+    EXPECT_LT(f.series.frames[wettest].bands[1].stats().mean(),
+              f.series.frames[driest].bands[1].stats().mean());
+  }
+}
+
+TEST(SceneSeries, RequiresEnoughWeather) {
+  const SeriesFixture f;
+  SceneSeriesConfig cfg;
+  cfg.frame_count = 100;
+  cfg.days_per_frame = 30;
+  EXPECT_THROW((void)generate_scene_series(f.scene, f.weather, cfg), Error);
+}
+
+// ---------------------------------------------------------------- model
+
+TEST(TemporalModel, StepMatchesFormula) {
+  const TemporalRiskModel model({0.443, 0.222, 0.153}, 0.3, 0.0);
+  const std::vector<double> x{100.0, 50.0, 25.0};
+  const double expected = 0.3 * 2.0 + 0.443 * 100 + 0.222 * 50 + 0.153 * 25;
+  EXPECT_NEAR(model.step(2.0, x), expected, 1e-12);
+}
+
+TEST(TemporalModel, RejectsUnstableRecurrence) {
+  EXPECT_THROW(TemporalRiskModel({1.0}, 1.0), Error);
+  EXPECT_THROW(TemporalRiskModel({1.0}, -1.5), Error);
+  EXPECT_THROW(TemporalRiskModel({}, 0.5), Error);
+}
+
+TEST(TemporalModel, IntervalStepBoundsScalarStep) {
+  Rng rng(3);
+  const TemporalRiskModel model({rng.normal(), rng.normal(), rng.normal()}, 0.6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Interval> ranges;
+    for (int d = 0; d < 3; ++d) {
+      const double a = rng.uniform(0, 100);
+      const double b = rng.uniform(0, 100);
+      ranges.push_back({std::min(a, b), std::max(a, b)});
+    }
+    const Interval prev{-5.0, 10.0};
+    const Interval bound = model.step(prev, ranges);
+    for (int s = 0; s < 10; ++s) {
+      std::vector<double> x;
+      for (const auto& r : ranges) x.push_back(rng.uniform(r.lo, r.hi));
+      const double value = model.step(rng.uniform(prev.lo, prev.hi), x);
+      EXPECT_LE(value, bound.hi + 1e-9);
+      EXPECT_GE(value, bound.lo - 1e-9);
+    }
+  }
+}
+
+TEST(TemporalModel, TruncatedDropsRecurrenceAndSmallTerms) {
+  const TemporalRiskModel model({0.443, 0.05, 0.222}, 0.4);
+  const TemporalRiskModel coarse = model.truncated(2);
+  EXPECT_DOUBLE_EQ(coarse.recurrence(), 0.0);
+  EXPECT_DOUBLE_EQ(coarse.feature_weights()[0], 0.443);
+  EXPECT_DOUBLE_EQ(coarse.feature_weights()[1], 0.0);  // smallest dropped
+  EXPECT_DOUBLE_EQ(coarse.feature_weights()[2], 0.222);
+}
+
+TEST(TemporalModel, RiskAtEndMatchesManualRecurrence) {
+  const SeriesFixture f(32, 4, 55);
+  const TemporalRiskModel model({0.01, -0.005, 0.002}, 0.5, 1.0);
+  CostMeter meter;
+  const Grid risk = model.risk_at_end(f.series, meter);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t x = rng.uniform_int(32);
+    const std::size_t y = rng.uniform_int(32);
+    double expected = 1.0;
+    for (const auto& frame : f.series.frames) {
+      expected = 0.5 * expected + 0.01 * frame.bands[0].at(x, y) -
+                 0.005 * frame.bands[1].at(x, y) + 0.002 * frame.bands[2].at(x, y);
+    }
+    EXPECT_NEAR(risk.at(x, y), expected, 1e-9);
+  }
+  EXPECT_EQ(meter.ops(), 4u * 32u * 32u * 4u);
+}
+
+// ---------------------------------------------------------------- retrieval
+
+class TemporalTopK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TemporalTopK, ProgressiveMatchesScan) {
+  const std::size_t k = GetParam();
+  const SeriesFixture f(96, 6, 57);
+  const TemporalRiskModel model({0.443, 0.222, 0.153}, 0.35, 0.0);
+  CostMeter m_scan;
+  CostMeter m_prog;
+  const auto expected = temporal_scan_top_k(f.series, model, k, m_scan);
+  const auto actual = temporal_progressive_top_k(f.series, model, k, 16, m_prog);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, TemporalTopK, ::testing::Values(1, 10, 50));
+
+TEST(TemporalRetrieval, ProgressiveIsCheaper) {
+  const SeriesFixture f(128, 8, 58);
+  const TemporalRiskModel model({0.443, 0.222, 0.153}, 0.35, 0.0);
+  CostMeter m_scan;
+  CostMeter m_prog;
+  (void)temporal_scan_top_k(f.series, model, 10, m_scan);
+  (void)temporal_progressive_top_k(f.series, model, 10, 16, m_prog);
+  // Band ranges accumulate through the recurrence, so temporal tile bounds
+  // are looser than static ones; a 2x saving is the honest expectation here
+  // (the bench sweeps the knobs that widen it).
+  EXPECT_LT(m_prog.ops() * 2, m_scan.ops());
+  EXPECT_GT(m_prog.pruned(), 0u);
+}
+
+TEST(TemporalRetrieval, NegativeRecurrenceStillExact) {
+  const SeriesFixture f(64, 5, 59);
+  const TemporalRiskModel model({0.3, -0.2, 0.1}, -0.4, 2.0);
+  CostMeter m_scan;
+  CostMeter m_prog;
+  const auto expected = temporal_scan_top_k(f.series, model, 15, m_scan);
+  const auto actual = temporal_progressive_top_k(f.series, model, 15, 8, m_prog);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+  }
+}
+
+TEST(TemporalRetrieval, CoarseModelScreensLikePaper) {
+  // §3.1: with |a1,a2| >> |a3,a4|, R* built from the dominant terms ranks
+  // nearly like the full model.
+  const SeriesFixture f(96, 6, 60);
+  const TemporalRiskModel full({0.9, 0.5, 0.01}, 0.05, 0.0);
+  const TemporalRiskModel coarse = full.truncated(2);
+  CostMeter m1;
+  CostMeter m2;
+  const auto top_full = temporal_scan_top_k(f.series, full, 100, m1);
+  const auto top_coarse = temporal_scan_top_k(f.series, coarse, 100, m2);
+  std::set<std::pair<std::size_t, std::size_t>> full_set;
+  for (const auto& hit : top_full) full_set.emplace(hit.x, hit.y);
+  std::size_t overlap = 0;
+  for (const auto& hit : top_coarse) overlap += full_set.count({hit.x, hit.y});
+  EXPECT_GT(static_cast<double>(overlap) / 100.0, 0.6);
+}
+
+TEST(TemporalRetrieval, FrameworkFacadeAgreesAcrossStrategies) {
+  const SeriesFixture f(64, 5, 62);
+  Framework framework;
+  framework.register_scene_series("season", f.series);
+  EXPECT_EQ(framework.catalog().find("season")->attributes.at("temporal"), "true");
+
+  const TemporalRiskModel model({0.443, 0.222, 0.153}, 0.4, 0.0);
+  CostMeter m1;
+  CostMeter m2;
+  const auto dense =
+      framework.retrieve_temporal("season", model, 10, LinearStrategy::kFullScan, m1);
+  const auto screened =
+      framework.retrieve_temporal("season", model, 10, LinearStrategy::kProgressive, m2);
+  ASSERT_EQ(dense.size(), screened.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_NEAR(dense[i].score, screened[i].score, 1e-9);
+  }
+  CostMeter m3;
+  EXPECT_THROW((void)framework.retrieve_temporal("missing", model, 1,
+                                                 LinearStrategy::kFullScan, m3),
+               Error);
+}
+
+TEST(TemporalRetrieval, RecurrenceAccumulatesAcrossFrames) {
+  // With a4 > 0 the final risk exceeds the one-frame static response on
+  // persistent hotspots: the last-frame-only model is a lower bound scaled
+  // by the geometric accumulation factor.
+  const SeriesFixture f(64, 8, 61);
+  const TemporalRiskModel with_memory({0.443, 0.222, 0.153}, 0.5, 0.0);
+  const TemporalRiskModel memoryless({0.443, 0.222, 0.153}, 0.0, 0.0);
+  CostMeter m1;
+  CostMeter m2;
+  const Grid accumulated = with_memory.risk_at_end(f.series, m1);
+  const Grid instant = memoryless.risk_at_end(f.series, m2);
+  EXPECT_GT(accumulated.stats().mean(), 1.5 * instant.stats().mean());
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,538 @@
+// Unit tests for src/util: PRNG, top-K accumulator, intervals, statistics,
+// cost accounting, and the small linear-algebra kernel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "util/cost.hpp"
+#include "util/error.hpp"
+#include "util/interval.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/topk.hpp"
+
+namespace mmir {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.uniform_int(8)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.poisson(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.variance(), 3.0, 0.2);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.poisson(120.0));
+  EXPECT_NEAR(stats.mean(), 120.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(33);
+  std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / static_cast<double>(counts[0]), 3.0, 0.3);
+  EXPECT_NEAR(counts[3] / static_cast<double>(counts[0]), 6.0, 0.5);
+}
+
+TEST(Rng, CategoricalAllZeroWeightsReturnsFirst) {
+  Rng rng(1);
+  EXPECT_EQ(rng.categorical({0.0, 0.0}), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // The child stream should not replicate the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+// ---------------------------------------------------------------- TopK
+
+TEST(TopK, KeepsBestK) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.offer(static_cast<double>(i), i);
+  const auto result = top.take_sorted();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].item, 9);
+  EXPECT_EQ(result[1].item, 8);
+  EXPECT_EQ(result[2].item, 7);
+}
+
+TEST(TopK, ThresholdIsKthBest) {
+  TopK<int> top(2);
+  EXPECT_EQ(top.threshold(), -std::numeric_limits<double>::infinity());
+  top.offer(5.0, 1);
+  EXPECT_EQ(top.threshold(), -std::numeric_limits<double>::infinity());
+  top.offer(7.0, 2);
+  EXPECT_EQ(top.threshold(), 5.0);
+  top.offer(6.0, 3);
+  EXPECT_EQ(top.threshold(), 6.0);
+}
+
+TEST(TopK, OfferReportsAdmission) {
+  TopK<int> top(1);
+  EXPECT_TRUE(top.offer(1.0, 1));
+  EXPECT_FALSE(top.offer(0.5, 2));
+  EXPECT_TRUE(top.offer(2.0, 3));
+}
+
+TEST(TopK, TieBreaksKeepEarlierInsertion) {
+  TopK<int> top(1);
+  top.offer(1.0, 10);
+  top.offer(1.0, 20);  // equal score must not evict the incumbent
+  const auto result = top.take_sorted();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].item, 10);
+}
+
+TEST(TopK, SortedOutputOrdersTiesByInsertion) {
+  TopK<int> top(3);
+  top.offer(1.0, 1);
+  top.offer(1.0, 2);
+  top.offer(1.0, 3);
+  const auto result = top.take_sorted();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].item, 1);
+  EXPECT_EQ(result[1].item, 2);
+  EXPECT_EQ(result[2].item, 3);
+}
+
+TEST(TopK, ZeroCapacityThrows) { EXPECT_THROW(TopK<int>(0), Error); }
+
+TEST(TopK, MatchesSortReference) {
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.normal());
+  TopK<std::size_t> top(25);
+  for (std::size_t i = 0; i < values.size(); ++i) top.offer(values[i], i);
+  auto sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto result = top.take_sorted();
+  ASSERT_EQ(result.size(), 25u);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result[i].score, sorted[i]);
+  }
+}
+
+// ---------------------------------------------------------------- Interval
+
+TEST(Interval, ArithmeticBasics) {
+  const Interval a{1.0, 2.0};
+  const Interval b{-1.0, 3.0};
+  const Interval sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.lo, 0.0);
+  EXPECT_DOUBLE_EQ(sum.hi, 5.0);
+  const Interval diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.lo, -2.0);
+  EXPECT_DOUBLE_EQ(diff.hi, 3.0);
+}
+
+TEST(Interval, ScalarMultiplyFlipsOnNegative) {
+  const Interval a{1.0, 2.0};
+  const Interval pos = 2.0 * a;
+  EXPECT_DOUBLE_EQ(pos.lo, 2.0);
+  EXPECT_DOUBLE_EQ(pos.hi, 4.0);
+  const Interval neg = -2.0 * a;
+  EXPECT_DOUBLE_EQ(neg.lo, -4.0);
+  EXPECT_DOUBLE_EQ(neg.hi, -2.0);
+}
+
+TEST(Interval, ProductCoversAllSignCombinations) {
+  const Interval a{-2.0, 3.0};
+  const Interval b{-1.0, 4.0};
+  const Interval p = a * b;
+  EXPECT_DOUBLE_EQ(p.lo, -8.0);   // -2 * 4
+  EXPECT_DOUBLE_EQ(p.hi, 12.0);   // 3 * 4
+}
+
+TEST(Interval, ContainsAndIntersects) {
+  const Interval a{0.0, 1.0};
+  EXPECT_TRUE(a.contains(0.5));
+  EXPECT_TRUE(a.contains(0.0));
+  EXPECT_FALSE(a.contains(1.5));
+  EXPECT_TRUE(a.intersects({1.0, 2.0}));
+  EXPECT_FALSE(a.intersects({1.1, 2.0}));
+}
+
+TEST(Interval, HullCoversBoth) {
+  const Interval h = Interval{0.0, 1.0}.hull({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 4.0);
+}
+
+// Property: interval evaluation of w·x bounds every point sample.
+TEST(Interval, LinearFormBoundIsSound) {
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double w1 = rng.normal();
+    const double w2 = rng.normal();
+    const Interval x1{rng.uniform(-5, 0), rng.uniform(0, 5)};
+    const Interval x2{rng.uniform(-5, 0), rng.uniform(0, 5)};
+    const Interval bound = w1 * x1 + w2 * x2;
+    for (int s = 0; s < 20; ++s) {
+      const double v1 = rng.uniform(x1.lo, x1.hi);
+      const double v2 = rng.uniform(x2.lo, x2.hi);
+      const double value = w1 * v1 + w2 * v2;
+      EXPECT_LE(value, bound.hi + 1e-9);
+      EXPECT_GE(value, bound.lo - 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(OnlineStats, MergeEqualsCombined) {
+  Rng rng(2);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, EmptyRangeIsPointZero) {
+  const OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.range().lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.range().hi, 0.0);
+}
+
+TEST(Histogram, CountsAndNormalization) {
+  Histogram h(0.0, 10.0, 10);
+  for (double v : {0.5, 1.5, 1.6, 9.5, 100.0, -5.0}) h.add(v);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5 and the clamped -5
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 2u);  // 9.5 and the clamped 100
+  const auto norm = h.normalized();
+  double sum = 0.0;
+  for (double p : norm) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, L1DistanceZeroForIdentical) {
+  Histogram a(0, 1, 4);
+  Histogram b(0, 1, 4);
+  for (double v : {0.1, 0.4, 0.9}) {
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_NEAR(a.l1_distance(b), 0.0, 1e-12);
+}
+
+TEST(Histogram, L1DistanceMaxIsTwo) {
+  Histogram a(0, 1, 2);
+  Histogram b(0, 1, 2);
+  a.add(0.1);
+  b.add(0.9);
+  EXPECT_NEAR(a.l1_distance(b), 2.0, 1e-12);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(0, 100, 100);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0, 100));
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 5.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+// ---------------------------------------------------------------- Cost
+
+TEST(CostMeter, Accumulates) {
+  CostMeter m;
+  m.add_points(10);
+  m.add_ops(20);
+  m.add_bytes(30);
+  m.add_pruned(2);
+  EXPECT_EQ(m.points(), 10u);
+  EXPECT_EQ(m.ops(), 20u);
+  EXPECT_EQ(m.bytes(), 30u);
+  EXPECT_EQ(m.pruned(), 2u);
+  CostMeter other;
+  other.add_points(5);
+  m += other;
+  EXPECT_EQ(m.points(), 15u);
+  m.reset();
+  EXPECT_EQ(m.points(), 0u);
+}
+
+TEST(CostMeter, ScopedTimerAddsWall) {
+  CostMeter m;
+  {
+    ScopedTimer timer(m);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(m.wall_ms(), 1.0);
+}
+
+TEST(SpeedupReport, Ratios) {
+  SpeedupReport report;
+  report.baseline.add_points(1000);
+  report.baseline.add_ops(4000);
+  report.method.add_points(10);
+  report.method.add_ops(40);
+  EXPECT_DOUBLE_EQ(report.point_speedup(), 100.0);
+  EXPECT_DOUBLE_EQ(report.op_speedup(), 100.0);
+}
+
+TEST(SpeedupReport, ZeroMethodWorkIsInfinite) {
+  SpeedupReport report;
+  report.baseline.add_points(10);
+  EXPECT_TRUE(std::isinf(report.point_speedup()));
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, IdentityMultiply) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix result = Matrix::identity(2) * a;
+  EXPECT_DOUBLE_EQ(result(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(result(1, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ApplyVector) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const std::vector<double> b{10.0, 8.0};
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-10);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-10);
+}
+
+TEST(CholeskySolve, RejectsNonSpd) {
+  const Matrix a{{1, 2}, {2, 1}};  // indefinite
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW((void)cholesky_solve(a, b), Error);
+}
+
+TEST(GaussianSolve, SolvesGeneralSystem) {
+  const Matrix a{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  const std::vector<double> b{-8.0, 0.0, 3.0};
+  const auto x = gaussian_solve(a, b);
+  EXPECT_NEAR(0.0 * x[0] + 2.0 * x[1] + 1.0 * x[2], -8.0, 1e-10);
+  EXPECT_NEAR(1.0 * x[0] - 2.0 * x[1] - 3.0 * x[2], 0.0, 1e-10);
+  EXPECT_NEAR(-1.0 * x[0] + 1.0 * x[1] + 2.0 * x[2], 3.0, 1e-10);
+}
+
+TEST(GaussianSolve, RejectsSingular) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW((void)gaussian_solve(a, {1.0, 2.0}), Error);
+}
+
+// Property: Cholesky and Gaussian agree on random SPD systems.
+TEST(Solvers, AgreeOnRandomSpd) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(4);
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+    Matrix spd = m * m.transposed();
+    for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+    std::vector<double> b(n);
+    for (auto& v : b) v = rng.normal();
+    const auto x1 = cholesky_solve(spd, b);
+    const auto x2 = gaussian_solve(spd, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+  }
+}
+
+TEST(Dot, Basics) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Expects, ThrowsWithLocation) {
+  try {
+    MMIR_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mmir
