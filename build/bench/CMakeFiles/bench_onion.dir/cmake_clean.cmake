@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_onion.dir/bench_onion.cpp.o"
+  "CMakeFiles/bench_onion.dir/bench_onion.cpp.o.d"
+  "bench_onion"
+  "bench_onion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_onion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive_classification.dir/bench_progressive_classification.cpp.o"
+  "CMakeFiles/bench_progressive_classification.dir/bench_progressive_classification.cpp.o.d"
+  "bench_progressive_classification"
+  "bench_progressive_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive_model.dir/bench_progressive_model.cpp.o"
+  "CMakeFiles/bench_progressive_model.dir/bench_progressive_model.cpp.o.d"
+  "bench_progressive_model"
+  "bench_progressive_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

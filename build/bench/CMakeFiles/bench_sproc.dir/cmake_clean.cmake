@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sproc.dir/bench_sproc.cpp.o"
+  "CMakeFiles/bench_sproc.dir/bench_sproc.cpp.o.d"
+  "bench_sproc"
+  "bench_sproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

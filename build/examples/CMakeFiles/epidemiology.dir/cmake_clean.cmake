@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemiology.dir/epidemiology.cpp.o"
+  "CMakeFiles/epidemiology.dir/epidemiology.cpp.o.d"
+  "epidemiology"
+  "epidemiology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemiology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_ants.dir/fire_ants.cpp.o"
+  "CMakeFiles/fire_ants.dir/fire_ants.cpp.o.d"
+  "fire_ants"
+  "fire_ants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_ants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

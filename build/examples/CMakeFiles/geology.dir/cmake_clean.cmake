@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geology.dir/geology.cpp.o"
+  "CMakeFiles/geology.dir/geology.cpp.o.d"
+  "geology"
+  "geology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

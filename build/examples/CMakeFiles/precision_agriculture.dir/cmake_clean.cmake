@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_agriculture.dir/precision_agriculture.cpp.o"
+  "CMakeFiles/precision_agriculture.dir/precision_agriculture.cpp.o.d"
+  "precision_agriculture"
+  "precision_agriculture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_agriculture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

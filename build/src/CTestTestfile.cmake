@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("data")
+subdirs("archive")
+subdirs("progressive")
+subdirs("index")
+subdirs("linear")
+subdirs("fsm")
+subdirs("bayes")
+subdirs("sproc")
+subdirs("knowledge")
+subdirs("metrics")
+subdirs("core")

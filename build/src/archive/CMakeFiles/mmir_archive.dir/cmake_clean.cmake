@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_archive.dir/catalog.cpp.o"
+  "CMakeFiles/mmir_archive.dir/catalog.cpp.o.d"
+  "CMakeFiles/mmir_archive.dir/io.cpp.o"
+  "CMakeFiles/mmir_archive.dir/io.cpp.o.d"
+  "CMakeFiles/mmir_archive.dir/tiled.cpp.o"
+  "CMakeFiles/mmir_archive.dir/tiled.cpp.o.d"
+  "libmmir_archive.a"
+  "libmmir_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

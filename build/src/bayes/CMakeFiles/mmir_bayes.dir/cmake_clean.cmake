@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_bayes.dir/bayesnet.cpp.o"
+  "CMakeFiles/mmir_bayes.dir/bayesnet.cpp.o.d"
+  "CMakeFiles/mmir_bayes.dir/fuzzy.cpp.o"
+  "CMakeFiles/mmir_bayes.dir/fuzzy.cpp.o.d"
+  "libmmir_bayes.a"
+  "libmmir_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/mmir_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/progressive_exec.cpp" "src/core/CMakeFiles/mmir_core.dir/progressive_exec.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/progressive_exec.cpp.o.d"
+  "/root/repo/src/core/raster_model.cpp" "src/core/CMakeFiles/mmir_core.dir/raster_model.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/raster_model.cpp.o.d"
+  "/root/repo/src/core/retrieval.cpp" "src/core/CMakeFiles/mmir_core.dir/retrieval.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/retrieval.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/mmir_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/texture_search.cpp" "src/core/CMakeFiles/mmir_core.dir/texture_search.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/texture_search.cpp.o.d"
+  "/root/repo/src/core/workflow.cpp" "src/core/CMakeFiles/mmir_core.dir/workflow.cpp.o" "gcc" "src/core/CMakeFiles/mmir_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/mmir_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/progressive/CMakeFiles/mmir_progressive.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mmir_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/mmir_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/mmir_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/mmir_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sproc/CMakeFiles/mmir_sproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/mmir_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mmir_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

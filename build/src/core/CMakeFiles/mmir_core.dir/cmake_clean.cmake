@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_core.dir/classify.cpp.o"
+  "CMakeFiles/mmir_core.dir/classify.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/progressive_exec.cpp.o"
+  "CMakeFiles/mmir_core.dir/progressive_exec.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/raster_model.cpp.o"
+  "CMakeFiles/mmir_core.dir/raster_model.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/retrieval.cpp.o"
+  "CMakeFiles/mmir_core.dir/retrieval.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/temporal.cpp.o"
+  "CMakeFiles/mmir_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/texture_search.cpp.o"
+  "CMakeFiles/mmir_core.dir/texture_search.cpp.o.d"
+  "CMakeFiles/mmir_core.dir/workflow.cpp.o"
+  "CMakeFiles/mmir_core.dir/workflow.cpp.o.d"
+  "libmmir_core.a"
+  "libmmir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

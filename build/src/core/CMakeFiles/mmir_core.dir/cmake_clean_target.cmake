@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmir_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/events.cpp" "src/data/CMakeFiles/mmir_data.dir/events.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/events.cpp.o.d"
+  "/root/repo/src/data/grid.cpp" "src/data/CMakeFiles/mmir_data.dir/grid.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/grid.cpp.o.d"
+  "/root/repo/src/data/scene.cpp" "src/data/CMakeFiles/mmir_data.dir/scene.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/scene.cpp.o.d"
+  "/root/repo/src/data/scene_series.cpp" "src/data/CMakeFiles/mmir_data.dir/scene_series.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/scene_series.cpp.o.d"
+  "/root/repo/src/data/terrain.cpp" "src/data/CMakeFiles/mmir_data.dir/terrain.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/terrain.cpp.o.d"
+  "/root/repo/src/data/tuples.cpp" "src/data/CMakeFiles/mmir_data.dir/tuples.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/tuples.cpp.o.d"
+  "/root/repo/src/data/weather.cpp" "src/data/CMakeFiles/mmir_data.dir/weather.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/weather.cpp.o.d"
+  "/root/repo/src/data/welllog.cpp" "src/data/CMakeFiles/mmir_data.dir/welllog.cpp.o" "gcc" "src/data/CMakeFiles/mmir_data.dir/welllog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_data.dir/events.cpp.o"
+  "CMakeFiles/mmir_data.dir/events.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/grid.cpp.o"
+  "CMakeFiles/mmir_data.dir/grid.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/scene.cpp.o"
+  "CMakeFiles/mmir_data.dir/scene.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/scene_series.cpp.o"
+  "CMakeFiles/mmir_data.dir/scene_series.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/terrain.cpp.o"
+  "CMakeFiles/mmir_data.dir/terrain.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/tuples.cpp.o"
+  "CMakeFiles/mmir_data.dir/tuples.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/weather.cpp.o"
+  "CMakeFiles/mmir_data.dir/weather.cpp.o.d"
+  "CMakeFiles/mmir_data.dir/welllog.cpp.o"
+  "CMakeFiles/mmir_data.dir/welllog.cpp.o.d"
+  "libmmir_data.a"
+  "libmmir_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/dfa.cpp" "src/fsm/CMakeFiles/mmir_fsm.dir/dfa.cpp.o" "gcc" "src/fsm/CMakeFiles/mmir_fsm.dir/dfa.cpp.o.d"
+  "/root/repo/src/fsm/distance.cpp" "src/fsm/CMakeFiles/mmir_fsm.dir/distance.cpp.o" "gcc" "src/fsm/CMakeFiles/mmir_fsm.dir/distance.cpp.o.d"
+  "/root/repo/src/fsm/fire_ants.cpp" "src/fsm/CMakeFiles/mmir_fsm.dir/fire_ants.cpp.o" "gcc" "src/fsm/CMakeFiles/mmir_fsm.dir/fire_ants.cpp.o.d"
+  "/root/repo/src/fsm/matcher.cpp" "src/fsm/CMakeFiles/mmir_fsm.dir/matcher.cpp.o" "gcc" "src/fsm/CMakeFiles/mmir_fsm.dir/matcher.cpp.o.d"
+  "/root/repo/src/fsm/nfa.cpp" "src/fsm/CMakeFiles/mmir_fsm.dir/nfa.cpp.o" "gcc" "src/fsm/CMakeFiles/mmir_fsm.dir/nfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mmir_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_fsm.dir/dfa.cpp.o"
+  "CMakeFiles/mmir_fsm.dir/dfa.cpp.o.d"
+  "CMakeFiles/mmir_fsm.dir/distance.cpp.o"
+  "CMakeFiles/mmir_fsm.dir/distance.cpp.o.d"
+  "CMakeFiles/mmir_fsm.dir/fire_ants.cpp.o"
+  "CMakeFiles/mmir_fsm.dir/fire_ants.cpp.o.d"
+  "CMakeFiles/mmir_fsm.dir/matcher.cpp.o"
+  "CMakeFiles/mmir_fsm.dir/matcher.cpp.o.d"
+  "CMakeFiles/mmir_fsm.dir/nfa.cpp.o"
+  "CMakeFiles/mmir_fsm.dir/nfa.cpp.o.d"
+  "libmmir_fsm.a"
+  "libmmir_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

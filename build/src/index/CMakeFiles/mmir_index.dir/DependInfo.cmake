@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/gram_index.cpp" "src/index/CMakeFiles/mmir_index.dir/gram_index.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/gram_index.cpp.o.d"
+  "/root/repo/src/index/hull2d.cpp" "src/index/CMakeFiles/mmir_index.dir/hull2d.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/hull2d.cpp.o.d"
+  "/root/repo/src/index/hull3d.cpp" "src/index/CMakeFiles/mmir_index.dir/hull3d.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/hull3d.cpp.o.d"
+  "/root/repo/src/index/kdtree.cpp" "src/index/CMakeFiles/mmir_index.dir/kdtree.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/kdtree.cpp.o.d"
+  "/root/repo/src/index/onion.cpp" "src/index/CMakeFiles/mmir_index.dir/onion.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/onion.cpp.o.d"
+  "/root/repo/src/index/rtree.cpp" "src/index/CMakeFiles/mmir_index.dir/rtree.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/rtree.cpp.o.d"
+  "/root/repo/src/index/seqscan.cpp" "src/index/CMakeFiles/mmir_index.dir/seqscan.cpp.o" "gcc" "src/index/CMakeFiles/mmir_index.dir/seqscan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

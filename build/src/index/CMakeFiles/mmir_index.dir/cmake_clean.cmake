@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_index.dir/gram_index.cpp.o"
+  "CMakeFiles/mmir_index.dir/gram_index.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/hull2d.cpp.o"
+  "CMakeFiles/mmir_index.dir/hull2d.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/hull3d.cpp.o"
+  "CMakeFiles/mmir_index.dir/hull3d.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/kdtree.cpp.o"
+  "CMakeFiles/mmir_index.dir/kdtree.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/onion.cpp.o"
+  "CMakeFiles/mmir_index.dir/onion.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/rtree.cpp.o"
+  "CMakeFiles/mmir_index.dir/rtree.cpp.o.d"
+  "CMakeFiles/mmir_index.dir/seqscan.cpp.o"
+  "CMakeFiles/mmir_index.dir/seqscan.cpp.o.d"
+  "libmmir_index.a"
+  "libmmir_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knowledge/hps.cpp" "src/knowledge/CMakeFiles/mmir_knowledge.dir/hps.cpp.o" "gcc" "src/knowledge/CMakeFiles/mmir_knowledge.dir/hps.cpp.o.d"
+  "/root/repo/src/knowledge/strata.cpp" "src/knowledge/CMakeFiles/mmir_knowledge.dir/strata.cpp.o" "gcc" "src/knowledge/CMakeFiles/mmir_knowledge.dir/strata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/mmir_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sproc/CMakeFiles/mmir_sproc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

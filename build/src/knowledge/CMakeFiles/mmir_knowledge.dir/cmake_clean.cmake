@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_knowledge.dir/hps.cpp.o"
+  "CMakeFiles/mmir_knowledge.dir/hps.cpp.o.d"
+  "CMakeFiles/mmir_knowledge.dir/strata.cpp.o"
+  "CMakeFiles/mmir_knowledge.dir/strata.cpp.o.d"
+  "libmmir_knowledge.a"
+  "libmmir_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linear/model.cpp" "src/linear/CMakeFiles/mmir_linear.dir/model.cpp.o" "gcc" "src/linear/CMakeFiles/mmir_linear.dir/model.cpp.o.d"
+  "/root/repo/src/linear/progressive.cpp" "src/linear/CMakeFiles/mmir_linear.dir/progressive.cpp.o" "gcc" "src/linear/CMakeFiles/mmir_linear.dir/progressive.cpp.o.d"
+  "/root/repo/src/linear/regression.cpp" "src/linear/CMakeFiles/mmir_linear.dir/regression.cpp.o" "gcc" "src/linear/CMakeFiles/mmir_linear.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

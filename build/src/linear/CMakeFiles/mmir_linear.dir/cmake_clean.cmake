@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_linear.dir/model.cpp.o"
+  "CMakeFiles/mmir_linear.dir/model.cpp.o.d"
+  "CMakeFiles/mmir_linear.dir/progressive.cpp.o"
+  "CMakeFiles/mmir_linear.dir/progressive.cpp.o.d"
+  "CMakeFiles/mmir_linear.dir/regression.cpp.o"
+  "CMakeFiles/mmir_linear.dir/regression.cpp.o.d"
+  "libmmir_linear.a"
+  "libmmir_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_metrics.dir/accuracy.cpp.o"
+  "CMakeFiles/mmir_metrics.dir/accuracy.cpp.o.d"
+  "CMakeFiles/mmir_metrics.dir/efficiency.cpp.o"
+  "CMakeFiles/mmir_metrics.dir/efficiency.cpp.o.d"
+  "libmmir_metrics.a"
+  "libmmir_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

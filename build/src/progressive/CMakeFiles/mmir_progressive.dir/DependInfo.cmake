@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progressive/features.cpp" "src/progressive/CMakeFiles/mmir_progressive.dir/features.cpp.o" "gcc" "src/progressive/CMakeFiles/mmir_progressive.dir/features.cpp.o.d"
+  "/root/repo/src/progressive/pyramid.cpp" "src/progressive/CMakeFiles/mmir_progressive.dir/pyramid.cpp.o" "gcc" "src/progressive/CMakeFiles/mmir_progressive.dir/pyramid.cpp.o.d"
+  "/root/repo/src/progressive/regions.cpp" "src/progressive/CMakeFiles/mmir_progressive.dir/regions.cpp.o" "gcc" "src/progressive/CMakeFiles/mmir_progressive.dir/regions.cpp.o.d"
+  "/root/repo/src/progressive/wavelet.cpp" "src/progressive/CMakeFiles/mmir_progressive.dir/wavelet.cpp.o" "gcc" "src/progressive/CMakeFiles/mmir_progressive.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/mmir_archive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_progressive.dir/features.cpp.o"
+  "CMakeFiles/mmir_progressive.dir/features.cpp.o.d"
+  "CMakeFiles/mmir_progressive.dir/pyramid.cpp.o"
+  "CMakeFiles/mmir_progressive.dir/pyramid.cpp.o.d"
+  "CMakeFiles/mmir_progressive.dir/regions.cpp.o"
+  "CMakeFiles/mmir_progressive.dir/regions.cpp.o.d"
+  "CMakeFiles/mmir_progressive.dir/wavelet.cpp.o"
+  "CMakeFiles/mmir_progressive.dir/wavelet.cpp.o.d"
+  "libmmir_progressive.a"
+  "libmmir_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sproc/brute.cpp" "src/sproc/CMakeFiles/mmir_sproc.dir/brute.cpp.o" "gcc" "src/sproc/CMakeFiles/mmir_sproc.dir/brute.cpp.o.d"
+  "/root/repo/src/sproc/fast_sproc.cpp" "src/sproc/CMakeFiles/mmir_sproc.dir/fast_sproc.cpp.o" "gcc" "src/sproc/CMakeFiles/mmir_sproc.dir/fast_sproc.cpp.o.d"
+  "/root/repo/src/sproc/query.cpp" "src/sproc/CMakeFiles/mmir_sproc.dir/query.cpp.o" "gcc" "src/sproc/CMakeFiles/mmir_sproc.dir/query.cpp.o.d"
+  "/root/repo/src/sproc/sproc.cpp" "src/sproc/CMakeFiles/mmir_sproc.dir/sproc.cpp.o" "gcc" "src/sproc/CMakeFiles/mmir_sproc.dir/sproc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

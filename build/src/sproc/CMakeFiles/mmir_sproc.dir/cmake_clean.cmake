@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_sproc.dir/brute.cpp.o"
+  "CMakeFiles/mmir_sproc.dir/brute.cpp.o.d"
+  "CMakeFiles/mmir_sproc.dir/fast_sproc.cpp.o"
+  "CMakeFiles/mmir_sproc.dir/fast_sproc.cpp.o.d"
+  "CMakeFiles/mmir_sproc.dir/query.cpp.o"
+  "CMakeFiles/mmir_sproc.dir/query.cpp.o.d"
+  "CMakeFiles/mmir_sproc.dir/sproc.cpp.o"
+  "CMakeFiles/mmir_sproc.dir/sproc.cpp.o.d"
+  "libmmir_sproc.a"
+  "libmmir_sproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_sproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmir_util.dir/cost.cpp.o"
+  "CMakeFiles/mmir_util.dir/cost.cpp.o.d"
+  "CMakeFiles/mmir_util.dir/matrix.cpp.o"
+  "CMakeFiles/mmir_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/mmir_util.dir/rng.cpp.o"
+  "CMakeFiles/mmir_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mmir_util.dir/stats.cpp.o"
+  "CMakeFiles/mmir_util.dir/stats.cpp.o.d"
+  "libmmir_util.a"
+  "libmmir_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmir_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

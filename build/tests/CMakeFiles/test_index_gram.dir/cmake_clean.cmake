@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_gram.dir/test_index_gram.cpp.o"
+  "CMakeFiles/test_index_gram.dir/test_index_gram.cpp.o.d"
+  "test_index_gram"
+  "test_index_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_hull.dir/test_index_hull.cpp.o"
+  "CMakeFiles/test_index_hull.dir/test_index_hull.cpp.o.d"
+  "test_index_hull"
+  "test_index_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

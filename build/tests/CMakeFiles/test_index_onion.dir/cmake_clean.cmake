@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_onion.dir/test_index_onion.cpp.o"
+  "CMakeFiles/test_index_onion.dir/test_index_onion.cpp.o.d"
+  "test_index_onion"
+  "test_index_onion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_onion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_spatial.dir/test_index_spatial.cpp.o"
+  "CMakeFiles/test_index_spatial.dir/test_index_spatial.cpp.o.d"
+  "test_index_spatial"
+  "test_index_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

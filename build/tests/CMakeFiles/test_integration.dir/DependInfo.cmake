@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/progressive/CMakeFiles/mmir_progressive.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/mmir_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/linear/CMakeFiles/mmir_linear.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/mmir_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mmir_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/mmir_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/mmir_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sproc/CMakeFiles/mmir_sproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mmir_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmir_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knowledge.dir/test_knowledge.cpp.o"
+  "CMakeFiles/test_knowledge.dir/test_knowledge.cpp.o.d"
+  "test_knowledge"
+  "test_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

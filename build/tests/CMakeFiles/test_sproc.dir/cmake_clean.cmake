@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sproc.dir/test_sproc.cpp.o"
+  "CMakeFiles/test_sproc.dir/test_sproc.cpp.o.d"
+  "test_sproc"
+  "test_sproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sproc.
+# This may be replaced when dependencies are built.
