@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the full tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the test suite.  Any sanitizer report fails the run (halt_on_error).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-sanitize"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMMIR_SANITIZE=ON
+cmake --build "${BUILD}" -j"$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)"

@@ -1,8 +1,10 @@
 #include "archive/io.hpp"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 namespace mmir {
@@ -11,6 +13,25 @@ namespace {
 
 constexpr char kGridMagic[8] = {'M', 'M', 'I', 'R', 'G', 'R', 'D', '1'};
 constexpr char kTupleMagic[8] = {'M', 'M', 'I', 'R', 'T', 'U', 'P', '1'};
+constexpr char kChecksumMagic[8] = {'M', 'M', 'I', 'R', 'S', 'U', 'M', '1'};
+
+constexpr std::uint64_t kMagicBytes = 8;
+constexpr std::uint64_t kHeaderBytes = kMagicBytes + 2 * sizeof(std::uint64_t);
+constexpr std::uint64_t kTrailerBytes = kMagicBytes + sizeof(std::uint64_t);
+
+ReadFaultHook g_read_fault_hook;
+
+/// FNV-1a over a byte range — cheap, deterministic, good enough to catch
+/// flipped bits and torn writes (not an adversarial MAC).
+std::uint64_t fnv1a(const void* data, std::size_t n) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
 
 std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
   std::ofstream out(path, mode);
@@ -43,6 +64,127 @@ void check_magic(std::ifstream& in, const char (&magic)[8], const std::string& p
   }
 }
 
+/// Size of the file on disk, before any allocation decisions.
+std::uint64_t checked_file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw Error("io: cannot stat '" + path + "': " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+/// Validates that the file holds exactly header + payload (+ optional
+/// checksum trailer) bytes; returns true when the trailer is present.  Runs
+/// *before* any payload allocation so a corrupt header can never drive one.
+bool validate_payload_size(const std::string& path, std::uint64_t file_size,
+                           std::uint64_t payload_bytes) {
+  if (file_size == kHeaderBytes + payload_bytes) return false;
+  if (file_size == kHeaderBytes + payload_bytes + kTrailerBytes) return true;
+  throw Error("io: '" + path + "' size (" + std::to_string(file_size) +
+              " bytes) does not match its header (payload " + std::to_string(payload_bytes) +
+              " bytes) — truncated file or corrupt header");
+}
+
+void write_checksum_trailer(std::ofstream& out, const void* payload, std::size_t bytes) {
+  out.write(kChecksumMagic, 8);
+  write_u64(out, fnv1a(payload, bytes));
+}
+
+void verify_checksum_trailer(std::ifstream& in, const std::string& path, const void* payload,
+                             std::size_t bytes) {
+  char tag[8] = {};
+  in.read(tag, 8);
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || !std::equal(tag, tag + 8, kChecksumMagic)) {
+    throw Error("io: malformed checksum trailer in '" + path + "'");
+  }
+  if (stored != fnv1a(payload, bytes)) {
+    throw TransientIoError("io: checksum mismatch in '" + path + "'");
+  }
+}
+
+/// Runs `load` under the retry policy: the fault hook and checksum
+/// verification may throw TransientIoError, which is retried with capped
+/// exponential backoff; the final failure propagates.
+template <typename Load>
+auto with_retry(const std::string& path, const RetryPolicy& policy, Load&& load) {
+  MMIR_EXPECTS(policy.max_attempts >= 1);
+  ExponentialBackoff backoff(policy);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (g_read_fault_hook) g_read_fault_hook(path, attempt);
+      return load();
+    } catch (const TransientIoError&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+      std::this_thread::sleep_for(backoff.next_delay());
+    }
+  }
+}
+
+Grid load_grid_once(const std::string& path) {
+  const std::uint64_t file_size = checked_file_size(path);
+  auto in = open_in(path, std::ios::binary);
+  check_magic(in, kGridMagic, path);
+  const std::uint64_t width = read_u64(in, path);
+  const std::uint64_t height = read_u64(in, path);
+  constexpr std::uint64_t kMaxPixels = 1ULL << 32;
+  if (width == 0 || height == 0 || width > kMaxPixels || height > kMaxPixels ||
+      height > kMaxPixels / width) {
+    throw Error("io: implausible grid dimensions in '" + path + "'");
+  }
+  const std::uint64_t payload = width * height * sizeof(double);
+  const bool has_checksum = validate_payload_size(path, file_size, payload);
+  Grid grid(width, height);
+  in.read(reinterpret_cast<char*>(grid.flat().data()), static_cast<std::streamsize>(payload));
+  if (!in) throw Error("io: truncated grid payload in '" + path + "'");
+  if (has_checksum) {
+    verify_checksum_trailer(in, path, grid.flat().data(), static_cast<std::size_t>(payload));
+  }
+  return grid;
+}
+
+TupleSet load_tuples_once(const std::string& path) {
+  const std::uint64_t file_size = checked_file_size(path);
+  auto in = open_in(path, std::ios::binary);
+  check_magic(in, kTupleMagic, path);
+  const std::uint64_t dim = read_u64(in, path);
+  const std::uint64_t rows = read_u64(in, path);
+  if (dim == 0 || dim > 4096) throw Error("io: implausible tuple dim in '" + path + "'");
+  constexpr std::uint64_t kMaxRows = 1ULL << 40;
+  if (rows > kMaxRows || rows > (kMaxRows / sizeof(double)) / dim) {
+    throw Error("io: implausible tuple row count in '" + path + "'");
+  }
+  const std::uint64_t payload = rows * dim * sizeof(double);
+  const bool has_checksum = validate_payload_size(path, file_size, payload);
+  TupleSet tuples(dim, rows);
+  std::vector<double> row(dim);
+  std::uint64_t checksum = 1469598103934665603ULL;
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(dim * sizeof(double)));
+    if (!in) throw Error("io: truncated tuple payload in '" + path + "'");
+    if (has_checksum) {
+      const auto* bytes = reinterpret_cast<const unsigned char*>(row.data());
+      for (std::size_t i = 0; i < dim * sizeof(double); ++i) {
+        checksum ^= bytes[i];
+        checksum *= 1099511628211ULL;
+      }
+    }
+    tuples.push_row(row);
+  }
+  if (has_checksum) {
+    char tag[8] = {};
+    in.read(tag, 8);
+    std::uint64_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in || !std::equal(tag, tag + 8, kChecksumMagic)) {
+      throw Error("io: malformed checksum trailer in '" + path + "'");
+    }
+    if (stored != checksum) throw TransientIoError("io: checksum mismatch in '" + path + "'");
+  }
+  return tuples;
+}
+
 std::vector<double> parse_csv_row(const std::string& line, const std::string& path) {
   std::vector<double> values;
   std::stringstream ss(line);
@@ -59,29 +201,24 @@ std::vector<double> parse_csv_row(const std::string& line, const std::string& pa
 
 }  // namespace
 
+void set_read_fault_hook(ReadFaultHook hook) { g_read_fault_hook = std::move(hook); }
+
 void save_grid(const Grid& grid, const std::string& path) {
   auto out = open_out(path, std::ios::binary);
   out.write(kGridMagic, 8);
   write_u64(out, grid.width());
   write_u64(out, grid.height());
+  const auto payload_bytes = grid.size() * sizeof(double);
   out.write(reinterpret_cast<const char*>(grid.flat().data()),
-            static_cast<std::streamsize>(grid.size() * sizeof(double)));
+            static_cast<std::streamsize>(payload_bytes));
+  write_checksum_trailer(out, grid.flat().data(), payload_bytes);
   if (!out) throw Error("io: short write to '" + path + "'");
 }
 
-Grid load_grid(const std::string& path) {
-  auto in = open_in(path, std::ios::binary);
-  check_magic(in, kGridMagic, path);
-  const std::uint64_t width = read_u64(in, path);
-  const std::uint64_t height = read_u64(in, path);
-  if (width == 0 || height == 0 || width * height > (1ULL << 32)) {
-    throw Error("io: implausible grid dimensions in '" + path + "'");
-  }
-  Grid grid(width, height);
-  in.read(reinterpret_cast<char*>(grid.flat().data()),
-          static_cast<std::streamsize>(grid.size() * sizeof(double)));
-  if (!in) throw Error("io: truncated grid payload in '" + path + "'");
-  return grid;
+Grid load_grid(const std::string& path) { return load_grid(path, RetryPolicy{}); }
+
+Grid load_grid(const std::string& path, const RetryPolicy& policy) {
+  return with_retry(path, policy, [&] { return load_grid_once(path); });
 }
 
 void save_grid_csv(const Grid& grid, const std::string& path) {
@@ -121,26 +258,17 @@ void save_tuples(const TupleSet& tuples, const std::string& path) {
   out.write(kTupleMagic, 8);
   write_u64(out, tuples.dim());
   write_u64(out, tuples.size());
+  const auto payload_bytes = tuples.raw().size() * sizeof(double);
   out.write(reinterpret_cast<const char*>(tuples.raw().data()),
-            static_cast<std::streamsize>(tuples.raw().size() * sizeof(double)));
+            static_cast<std::streamsize>(payload_bytes));
+  write_checksum_trailer(out, tuples.raw().data(), payload_bytes);
   if (!out) throw Error("io: short write to '" + path + "'");
 }
 
-TupleSet load_tuples(const std::string& path) {
-  auto in = open_in(path, std::ios::binary);
-  check_magic(in, kTupleMagic, path);
-  const std::uint64_t dim = read_u64(in, path);
-  const std::uint64_t rows = read_u64(in, path);
-  if (dim == 0 || dim > 4096) throw Error("io: implausible tuple dim in '" + path + "'");
-  TupleSet tuples(dim, rows);
-  std::vector<double> row(dim);
-  for (std::uint64_t r = 0; r < rows; ++r) {
-    in.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(dim * sizeof(double)));
-    if (!in) throw Error("io: truncated tuple payload in '" + path + "'");
-    tuples.push_row(row);
-  }
-  return tuples;
+TupleSet load_tuples(const std::string& path) { return load_tuples(path, RetryPolicy{}); }
+
+TupleSet load_tuples(const std::string& path, const RetryPolicy& policy) {
+  return with_retry(path, policy, [&] { return load_tuples_once(path); });
 }
 
 void save_tuples_csv(const TupleSet& tuples, const std::string& path) {

@@ -3,22 +3,50 @@
 // containers, so archives can be built once and shared between tools (and so
 // downstream users can feed their own rasters / tables into the framework).
 //
-// Binary formats carry a magic tag + dimensions + little-endian doubles;
-// loaders validate the tag and sizes and throw mmir::Error on mismatch.
+// Binary formats carry a magic tag + dimensions + little-endian doubles,
+// followed by an optional "MMIRSUM1" trailer holding an FNV-1a checksum of
+// the payload (written by save_*, tolerated as absent so pre-checksum files
+// still load).  Loaders are hardened for hostile/corrupt inputs:
+//
+//  * header dimensions are validated against the *actual file size* before
+//    any allocation, so a corrupt header cannot drive a multi-GB allocation;
+//  * short reads and malformed trailers throw a precise mmir::Error;
+//  * checksum mismatches throw TransientIoError (a torn or raced write may
+//    heal on re-read), and binary loads retry transient failures with capped
+//    exponential backoff under a RetryPolicy;
+//  * a process-wide read-fault hook lets the fault-injection harness
+//    (src/testing) deterministically fail load attempts.
 
+#include <functional>
 #include <string>
 
 #include "data/grid.hpp"
 #include "data/tuples.hpp"
 #include "data/welllog.hpp"
+#include "util/backoff.hpp"
 
 namespace mmir {
 
+/// An I/O failure that may succeed on retry (injected fault, checksum
+/// mismatch from a torn write).  Persistent corruption throws plain Error.
+class TransientIoError : public Error {
+ public:
+  explicit TransientIoError(const std::string& what) : Error(what) {}
+};
+
+/// Test hook consulted at the start of every binary load attempt; it may
+/// throw TransientIoError to simulate a failing read.  Pass an empty
+/// function to disarm.  Not thread-safe (install before concurrent loads).
+using ReadFaultHook = std::function<void(const std::string& path, int attempt)>;
+void set_read_fault_hook(ReadFaultHook hook);
+
 // ------------------------------------------------------------------- Grid
 
-/// Writes a raster as "MMIRGRD1" + u64 width + u64 height + doubles.
+/// Writes a raster as "MMIRGRD1" + u64 width + u64 height + doubles +
+/// checksum trailer.
 void save_grid(const Grid& grid, const std::string& path);
 [[nodiscard]] Grid load_grid(const std::string& path);
+[[nodiscard]] Grid load_grid(const std::string& path, const RetryPolicy& policy);
 
 /// CSV: one row per raster row, comma-separated cell values.
 void save_grid_csv(const Grid& grid, const std::string& path);
@@ -26,9 +54,11 @@ void save_grid_csv(const Grid& grid, const std::string& path);
 
 // --------------------------------------------------------------- TupleSet
 
-/// Writes a table as "MMIRTUP1" + u64 dim + u64 rows + row-major doubles.
+/// Writes a table as "MMIRTUP1" + u64 dim + u64 rows + row-major doubles +
+/// checksum trailer.
 void save_tuples(const TupleSet& tuples, const std::string& path);
 [[nodiscard]] TupleSet load_tuples(const std::string& path);
+[[nodiscard]] TupleSet load_tuples(const std::string& path, const RetryPolicy& policy);
 
 /// CSV: one row per tuple.
 void save_tuples_csv(const TupleSet& tuples, const std::string& path);

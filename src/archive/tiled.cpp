@@ -1,6 +1,9 @@
 #include "archive/tiled.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
 
 namespace mmir {
 
@@ -28,12 +31,40 @@ TiledArchive::TiledArchive(std::vector<const Grid*> bands, std::size_t tile_size
       summary.band_range.reserve(bands_.size());
       summary.band_mean.reserve(bands_.size());
       for (const Grid* band : bands_) {
-        const OnlineStats stats =
-            band->window_stats(summary.x0, summary.y0, summary.width, summary.height);
+        // NaN-hardened window stats: a poisoned sample must not yield a NaN
+        // interval (which would defeat every pruning bound), so non-finite
+        // values are skipped and counted instead.
+        OnlineStats stats;
+        for (std::size_t y = summary.y0; y < summary.y0 + summary.height; ++y) {
+          for (std::size_t x = summary.x0; x < summary.x0 + summary.width; ++x) {
+            const double v = band->cell(x, y);
+            if (!std::isfinite(v)) {
+              ++summary.bad_pixels;
+              continue;
+            }
+            stats.add(v);
+          }
+        }
         summary.band_range.push_back(stats.range());
         summary.band_mean.push_back(stats.mean());
       }
+      bad_pixels_ += summary.bad_pixels;
       summaries_.push_back(std::move(summary));
+    }
+  }
+
+  // Archive-wide per-band hull of the finite tile ranges (sound missed-score
+  // bounds for truncated scans).
+  band_ranges_.assign(bands_.size(), Interval::point(0.0));
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    bool started = false;
+    for (const TileSummary& summary : summaries_) {
+      if (!started) {
+        band_ranges_[b] = summary.band_range[b];
+        started = true;
+      } else {
+        band_ranges_[b] = band_ranges_[b].hull(summary.band_range[b]);
+      }
     }
   }
 }

@@ -19,13 +19,19 @@
 namespace mmir {
 
 /// Summary of one tile across all bands of the archive.
+///
+/// Summaries are NaN-hardened: non-finite samples (dropped Landsat pixels,
+/// gappy sensors, injected faults) are excluded from the ranges and means —
+/// a single NaN would otherwise poison the [min, max] interval and defeat
+/// every pruning bound downstream — and tallied in `bad_pixels` instead.
 struct TileSummary {
   std::size_t x0 = 0;
   std::size_t y0 = 0;
   std::size_t width = 0;
   std::size_t height = 0;
-  std::vector<Interval> band_range;  ///< per-band [min, max]
-  std::vector<double> band_mean;     ///< per-band mean
+  std::vector<Interval> band_range;  ///< per-band [min, max] over *finite* samples
+  std::vector<double> band_mean;     ///< per-band mean over finite samples
+  std::uint64_t bad_pixels = 0;      ///< non-finite band samples excluded above
 
   [[nodiscard]] std::size_t pixel_count() const noexcept { return width * height; }
 };
@@ -48,6 +54,13 @@ class TiledArchive {
   [[nodiscard]] std::span<const TileSummary> tiles() const noexcept { return summaries_; }
   [[nodiscard]] const TileSummary& tile(std::size_t tx, std::size_t ty) const;
 
+  /// Per-band hull of all tile ranges — bounds every finite value in the
+  /// archive.  Executors use it for sound missed-score bounds on truncation.
+  [[nodiscard]] std::span<const Interval> band_ranges() const noexcept { return band_ranges_; }
+
+  /// Total non-finite band samples across all tiles (0 for a clean archive).
+  [[nodiscard]] std::uint64_t bad_pixel_count() const noexcept { return bad_pixels_; }
+
   /// Reads one pixel across all bands into `out` (size band_count()),
   /// charging the meter for the touched points.
   void read_pixel(std::size_t x, std::size_t y, std::span<double> out, CostMeter& meter) const;
@@ -68,6 +81,8 @@ class TiledArchive {
   std::size_t tiles_x_ = 0;
   std::size_t tiles_y_ = 0;
   std::vector<TileSummary> summaries_;
+  std::vector<Interval> band_ranges_;
+  std::uint64_t bad_pixels_ = 0;
 };
 
 }  // namespace mmir

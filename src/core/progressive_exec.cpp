@@ -1,11 +1,14 @@
 #include "core/progressive_exec.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace mmir {
 
 namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
   std::vector<RasterHit> out;
@@ -15,12 +18,16 @@ std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
 
 /// Staged evaluation of one pixel with early abandoning: returns the exact
 /// score, or any value strictly below `threshold` once the upper bound drops
-/// under it.  Charges one op + point per term actually computed.
+/// under it.  Charges one op + point per term actually computed, both to the
+/// meter and to the query context (whose failure aborts the pixel — callers
+/// must check ctx.stopped() on return).
 double staged_pixel(const TiledArchive& archive, const ProgressiveLinearModel& model,
-                    std::size_t x, std::size_t y, double threshold, CostMeter& meter) {
+                    std::size_t x, std::size_t y, double threshold, QueryContext& ctx,
+                    CostMeter& meter) {
   const auto order = model.order();
   double partial = model.model().bias();
   for (std::size_t stage = 0; stage < order.size(); ++stage) {
+    if (!ctx.charge(1)) return kNegInf;  // aborted mid-pixel; ctx.stopped() is set
     const std::size_t band = order[stage];
     partial += model.model().weight(band) * archive.band(band).cell(x, y);
     meter.add_ops(1);
@@ -62,51 +69,117 @@ std::vector<std::size_t> tiles_by_bound(const TiledArchive& archive, const Raste
   return order;
 }
 
+/// Sound upper bound on the model anywhere in the archive (finite data only),
+/// used as the missed-score bound when a scan-order executor truncates.
+double archive_score_bound(const TiledArchive& archive, const RasterModel& model) {
+  return model.bound(archive.band_ranges()).hi;
+}
+
+/// Status of an execution that ran out its loops without truncating.
+ResultStatus completion_status(const TiledArchive& archive, std::uint64_t bad_points) {
+  // An archive carrying poisoned samples yields a degraded answer even when
+  // this query never touched them (a pruned tile's NaN could have been
+  // anything): the result is exact over the *finite* data only.
+  return bad_points > 0 || archive.bad_pixel_count() > 0 ? ResultStatus::kDegraded
+                                                         : ResultStatus::kComplete;
+}
+
 }  // namespace
 
-std::vector<RasterHit> full_scan_top_k(const TiledArchive& archive, const RasterModel& model,
-                                       std::size_t k, CostMeter& meter) {
+RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model, std::size_t k,
+                           QueryContext& ctx, CostMeter& meter) {
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  RasterTopK out;
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
-  for (std::size_t y = 0; y < archive.height(); ++y) {
+  const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
+  for (std::size_t y = 0; y < archive.height() && !ctx.stopped(); ++y) {
     for (std::size_t x = 0; x < archive.width(); ++x) {
+      if (!ctx.charge(ops_per_pixel)) break;
       const double score = full_pixel(archive, model, x, y, pixel, meter);
+      if (!std::isfinite(score)) {
+        ctx.note_bad_points();
+        ++out.bad_points;
+        continue;
+      }
       top.offer(score, RasterHit{x, y, score});
     }
   }
-  return finalize(top);
+  out.hits = finalize(top);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = archive_score_bound(archive, model);
+  } else {
+    out.status = completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+std::vector<RasterHit> full_scan_top_k(const TiledArchive& archive, const RasterModel& model,
+                                       std::size_t k, CostMeter& meter) {
+  QueryContext unbounded;
+  return full_scan_top_k(archive, model, k, unbounded, meter).hits;
+}
+
+RasterTopK progressive_model_top_k(const TiledArchive& archive,
+                                   const ProgressiveLinearModel& model, std::size_t k,
+                                   QueryContext& ctx, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  ScopedTimer timer(meter);
+  RasterTopK out;
+  TopK<RasterHit> top(k);
+  for (std::size_t y = 0; y < archive.height() && !ctx.stopped(); ++y) {
+    for (std::size_t x = 0; x < archive.width(); ++x) {
+      const double score = staged_pixel(archive, model, x, y, top.threshold(), ctx, meter);
+      if (ctx.stopped()) break;
+      if (!std::isfinite(score)) {
+        ctx.note_bad_points();
+        ++out.bad_points;
+        continue;
+      }
+      if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
+    }
+  }
+  out.hits = finalize(top);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = model.model().evaluate_interval(archive.band_ranges()).hi;
+  } else {
+    out.status = completion_status(archive, out.bad_points);
+  }
+  return out;
 }
 
 std::vector<RasterHit> progressive_model_top_k(const TiledArchive& archive,
                                                const ProgressiveLinearModel& model, std::size_t k,
                                                CostMeter& meter) {
-  MMIR_EXPECTS(k > 0);
-  MMIR_EXPECTS(model.model().dim() == archive.band_count());
-  ScopedTimer timer(meter);
-  TopK<RasterHit> top(k);
-  for (std::size_t y = 0; y < archive.height(); ++y) {
-    for (std::size_t x = 0; x < archive.width(); ++x) {
-      const double score = staged_pixel(archive, model, x, y, top.threshold(), meter);
-      if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
-    }
-  }
-  return finalize(top);
+  QueryContext unbounded;
+  return progressive_model_top_k(archive, model, k, unbounded, meter).hits;
 }
 
-std::vector<RasterHit> tile_screened_top_k(const TiledArchive& archive, const RasterModel& model,
-                                           std::size_t k, CostMeter& meter) {
+RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& model,
+                               std::size_t k, QueryContext& ctx, CostMeter& meter) {
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  RasterTopK out;
   std::vector<Interval> bounds;
   const auto order = tiles_by_bound(archive, model, bounds, meter);
   const auto tiles = archive.tiles();
+  const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
 
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
+  double truncation_bound = kNegInf;
+  // Metadata pass: one bound evaluation per tile.
+  if (!ctx.charge(tiles.size() * ops_per_pixel)) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = archive_score_bound(archive, model);
+    return out;
+  }
   for (std::size_t t : order) {
     if (top.full() && bounds[t].hi <= top.threshold()) {
       // Tiles are sorted, so every later tile is dominated too; count them
@@ -120,28 +193,60 @@ std::vector<RasterHit> tile_screened_top_k(const TiledArchive& archive, const Ra
       break;
     }
     const TileSummary& tile = tiles[t];
-    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height && !ctx.stopped(); ++y) {
       for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        if (!ctx.charge(ops_per_pixel)) break;
         const double score = full_pixel(archive, model, x, y, pixel, meter);
+        if (!std::isfinite(score)) {
+          ctx.note_bad_points();
+          ++out.bad_points;
+          continue;
+        }
         top.offer(score, RasterHit{x, y, score});
       }
     }
+    if (ctx.stopped()) {
+      // Tiles run best-bound-first, so the current tile's bound dominates
+      // everything unexamined (its own remainder and all later tiles).
+      truncation_bound = bounds[t].hi;
+      break;
+    }
   }
-  return finalize(top);
+  out.hits = finalize(top);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = truncation_bound;
+  } else {
+    out.status = completion_status(archive, out.bad_points);
+  }
+  return out;
 }
 
-std::vector<RasterHit> progressive_combined_top_k(const TiledArchive& archive,
-                                                  const ProgressiveLinearModel& model,
-                                                  std::size_t k, CostMeter& meter) {
+std::vector<RasterHit> tile_screened_top_k(const TiledArchive& archive, const RasterModel& model,
+                                           std::size_t k, CostMeter& meter) {
+  QueryContext unbounded;
+  return tile_screened_top_k(archive, model, k, unbounded, meter).hits;
+}
+
+RasterTopK progressive_combined_top_k(const TiledArchive& archive,
+                                      const ProgressiveLinearModel& model, std::size_t k,
+                                      QueryContext& ctx, CostMeter& meter) {
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
   ScopedTimer timer(meter);
+  RasterTopK out;
   const LinearRasterModel raster_model(model.model());
   std::vector<Interval> bounds;
   const auto order = tiles_by_bound(archive, raster_model, bounds, meter);
   const auto tiles = archive.tiles();
 
   TopK<RasterHit> top(k);
+  double truncation_bound = kNegInf;
+  if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = archive_score_bound(archive, raster_model);
+    return out;
+  }
   for (std::size_t t : order) {
     if (top.full() && bounds[t].hi <= top.threshold()) {
       for (std::size_t rest = 0; rest < order.size(); ++rest) {
@@ -153,14 +258,38 @@ std::vector<RasterHit> progressive_combined_top_k(const TiledArchive& archive,
       break;
     }
     const TileSummary& tile = tiles[t];
-    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height && !ctx.stopped(); ++y) {
       for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
-        const double score = staged_pixel(archive, model, x, y, top.threshold(), meter);
+        const double score = staged_pixel(archive, model, x, y, top.threshold(), ctx, meter);
+        if (ctx.stopped()) break;
+        if (!std::isfinite(score)) {
+          ctx.note_bad_points();
+          ++out.bad_points;
+          continue;
+        }
         if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
       }
     }
+    if (ctx.stopped()) {
+      truncation_bound = bounds[t].hi;
+      break;
+    }
   }
-  return finalize(top);
+  out.hits = finalize(top);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = truncation_bound;
+  } else {
+    out.status = completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+std::vector<RasterHit> progressive_combined_top_k(const TiledArchive& archive,
+                                                  const ProgressiveLinearModel& model,
+                                                  std::size_t k, CostMeter& meter) {
+  QueryContext unbounded;
+  return progressive_combined_top_k(archive, model, k, unbounded, meter).hits;
 }
 
 }  // namespace mmir

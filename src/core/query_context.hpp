@@ -1,0 +1,166 @@
+#pragma once
+// QueryContext: the fault-tolerance envelope of one query execution.
+//
+// A production archive serving millions of users cannot let a single query
+// run unbounded.  Every budget-aware execution path (the four progressive
+// raster executors, the three SPROC processors, Onion top-K, the Fig. 5
+// workflow) threads a QueryContext carrying
+//
+//   * a *cost budget* in elementary work units (model term operations),
+//   * a *wall-clock deadline* (checked with amortized frequency so the hot
+//     path pays an add + compare, not a clock read, per unit), and
+//   * a *cooperative cancellation flag* owned by the caller.
+//
+// Executors call charge(n) before doing n units of work; the first failed
+// charge latches a stop reason and every later charge fails too, so inner
+// loops unwind naturally.  Executors then return whatever top-K prefix they
+// accumulated, tagged with the ResultStatus and a *sound upper bound* on the
+// score of anything they did not examine — a partial answer the caller can
+// still reason about instead of an exception or an unbounded stall.
+//
+// The class is fully header-only so leaf libraries (sproc, index) can use it
+// without linking mmir_core; only the cold deadline/cancel path touches the
+// clock, and it is kept out of charge()'s inlined fast path.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/result_status.hpp"
+
+namespace mmir {
+
+/// Budget / deadline / cancellation envelope for one query (or one batch of
+/// queries: spent work accumulates across calls that share a context).
+class QueryContext {
+ public:
+  /// Default: unbounded — charge() never fails, queries behave exactly like
+  /// the budget-unaware code paths.
+  QueryContext() = default;
+
+  // ------------------------------------------------------------- configuration
+
+  /// Caps total charged work at `ops` elementary operations.
+  QueryContext& with_op_budget(std::uint64_t ops) noexcept {
+    budget_ = ops;
+    return *this;
+  }
+
+  /// Stops the query once `deadline` passes (checked every check-interval
+  /// charged units).
+  QueryContext& with_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ = deadline;
+    has_deadline_ = true;
+    return *this;
+  }
+
+  /// Convenience: deadline = now + d.
+  QueryContext& with_timeout(std::chrono::nanoseconds d) noexcept {
+    return with_deadline(std::chrono::steady_clock::now() + d);
+  }
+
+  /// Binds a caller-owned cancellation flag; the query stops soon after the
+  /// flag becomes true.  The flag must outlive the context.
+  QueryContext& with_cancel_flag(const std::atomic<bool>* flag) noexcept {
+    cancel_ = flag;
+    return *this;
+  }
+
+  /// How many charged units elapse between deadline / cancellation checks
+  /// (default 1024).  Lower values react faster and cost more clock reads.
+  QueryContext& with_check_interval(std::uint64_t units) {
+    MMIR_EXPECTS(units > 0);
+    check_interval_ = units;
+    return *this;
+  }
+
+  // ------------------------------------------------------------------ execution
+
+  /// Charges `units` of work.  Returns true when execution may proceed;
+  /// false once the budget is exhausted, the deadline passed, or the caller
+  /// cancelled.  The first failure latches: all later charges fail too.
+  [[nodiscard]] bool charge(std::uint64_t units = 1) noexcept {
+    if (stop_ != ResultStatus::kComplete) return false;
+    spent_ += units;
+    if (spent_ > budget_) {
+      stop_ = ResultStatus::kTruncatedBudget;
+      return false;
+    }
+    if (has_deadline_ || cancel_ != nullptr) {
+      tick_ += units;
+      if (tick_ >= check_interval_) return check_slow();
+    }
+    return true;
+  }
+
+  /// Forces an immediate budget / deadline / cancellation check without
+  /// charging work (used at coarse-grained checkpoints, e.g. between
+  /// workflow iterations).  Latches like charge().
+  [[nodiscard]] bool expired() noexcept {
+    if (stop_ != ResultStatus::kComplete) return true;
+    if (spent_ > budget_) {
+      stop_ = ResultStatus::kTruncatedBudget;
+      return true;
+    }
+    if (cancel_ != nullptr || has_deadline_) {
+      tick_ = check_interval_;  // force the slow path
+      return !check_slow();
+    }
+    return false;
+  }
+
+  /// True once a charge has failed (or expired() observed a stop condition).
+  [[nodiscard]] bool stopped() const noexcept { return stop_ != ResultStatus::kComplete; }
+
+  /// Why the query stopped; kComplete while still running.
+  [[nodiscard]] ResultStatus stop_reason() const noexcept { return stop_; }
+
+  /// Records `n` poisoned (non-finite) data points skipped during evaluation.
+  void note_bad_points(std::uint64_t n = 1) noexcept { bad_points_ += n; }
+  [[nodiscard]] std::uint64_t bad_points() const noexcept { return bad_points_; }
+
+  [[nodiscard]] std::uint64_t spent() const noexcept { return spent_; }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return spent_ >= budget_ ? 0 : budget_ - spent_;
+  }
+
+  /// Clears spent work, the latched stop reason and the bad-point tally,
+  /// keeping the configuration — for reusing one context across queries.
+  void reset() noexcept {
+    spent_ = 0;
+    tick_ = 0;
+    bad_points_ = 0;
+    stop_ = ResultStatus::kComplete;
+  }
+
+ private:
+  /// Cold path: consults the cancellation flag and the clock.  Marked
+  /// noinline so the hot charge() stays small enough to inline.
+  [[gnu::noinline]] bool check_slow() noexcept {
+    tick_ = 0;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      stop_ = ResultStatus::kCancelled;
+      return false;
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      stop_ = ResultStatus::kTruncatedDeadline;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint64_t budget_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t spent_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t check_interval_ = 1024;
+  std::chrono::steady_clock::time_point deadline_{};
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool has_deadline_ = false;
+  std::uint64_t bad_points_ = 0;
+  ResultStatus stop_ = ResultStatus::kComplete;
+};
+
+}  // namespace mmir

@@ -34,6 +34,13 @@ double cosine(std::span<const double> a, std::span<const double> b) {
 WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
                                   const WorkflowConfig& config, const LinearModel* truth,
                                   CostMeter& meter) {
+  QueryContext unbounded;
+  return run_model_workflow(scene, events, config, truth, unbounded, meter);
+}
+
+WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
+                                  const WorkflowConfig& config, const LinearModel* truth,
+                                  QueryContext& ctx, CostMeter& meter) {
   MMIR_EXPECTS(config.iterations >= 1);
   MMIR_EXPECTS(config.initial_samples >= 8);
   MMIR_EXPECTS(events.width() == scene.width && events.height() == scene.height);
@@ -66,6 +73,12 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
   WorkflowResult result;
   result.final_risk = Grid(scene.width, scene.height);
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Inter-iteration checkpoint: stop at the last completed record when the
+    // context has expired rather than starting work we cannot finish.
+    if (ctx.expired()) {
+      result.status = ctx.stop_reason();
+      break;
+    }
     const RegressionResult fit = fit_linear(train_x, train_y, config.ridge, names);
     meter.add_ops(train_x.size() * bands.size());
 
@@ -74,9 +87,20 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
     ranges.reserve(bands.size());
     for (const Grid* band : bands) ranges.push_back(band->stats().range());
     const ProgressiveLinearModel progressive(fit.model, std::move(ranges));
-    const auto hits = progressive_combined_top_k(archive, progressive, config.k, meter);
+    const RasterTopK retrieval =
+        progressive_combined_top_k(archive, progressive, config.k, ctx, meter);
+    const auto& hits = retrieval.hits;
+    if (is_truncated(retrieval.status)) {
+      result.status = retrieval.status;
+      break;
+    }
+    if (retrieval.status == ResultStatus::kDegraded) result.status = ResultStatus::kDegraded;
 
     // Step 5: apply the model to the entire archive for evaluation.
+    if (!ctx.charge(scene.width * scene.height * bands.size())) {
+      result.status = ctx.stop_reason();
+      break;
+    }
     for (std::size_t y = 0; y < scene.height; ++y) {
       for (std::size_t x = 0; x < scene.width; ++x) {
         std::vector<double> row(bands.size());

@@ -16,10 +16,12 @@
 #include <optional>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "data/grid.hpp"
 #include "data/scene.hpp"
 #include "linear/model.hpp"
 #include "util/cost.hpp"
+#include "util/result_status.hpp"
 
 namespace mmir {
 
@@ -48,6 +50,11 @@ struct WorkflowResult {
   /// Risk surface of the final model over the whole scene (step 5's "apply
   /// to a much bigger data set").
   Grid final_risk;
+  /// kComplete when all configured iterations ran; a truncation status when
+  /// the query context expired mid-workflow (iterations then holds the
+  /// records completed before the stop); kDegraded when retrievals skipped
+  /// poisoned data.
+  ResultStatus status = ResultStatus::kComplete;
 };
 
 /// Runs the workflow on a scene whose ground-truth occurrences are `events`.
@@ -57,5 +64,13 @@ struct WorkflowResult {
 [[nodiscard]] WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
                                                 const WorkflowConfig& config,
                                                 const LinearModel* truth, CostMeter& meter);
+
+/// Fault-tolerant form: the context's budget / deadline / cancellation cover
+/// the whole hypothesize-retrieve-revise loop; on expiry the workflow stops
+/// at the last completed iteration and flags the result.
+[[nodiscard]] WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
+                                                const WorkflowConfig& config,
+                                                const LinearModel* truth, QueryContext& ctx,
+                                                CostMeter& meter);
 
 }  // namespace mmir

@@ -132,12 +132,14 @@ std::size_t OnionIndex::size() const noexcept {
   return total;
 }
 
-std::vector<ScoredId> OnionIndex::query(std::span<const double> weights, std::size_t k,
-                                        double sign, CostMeter& meter) const {
+OnionTopK OnionIndex::query(std::span<const double> weights, std::size_t k, double sign,
+                            QueryContext& ctx, CostMeter& meter) const {
   MMIR_EXPECTS(weights.size() == points_.dim());
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
+  OnionTopK out;
   TopK<std::uint32_t> top(k);
+  const std::uint64_t ops_per_point = points_.dim();
   const auto evaluate = [&](std::uint32_t id) {
     top.offer(sign * dot(points_.row(id), weights), id);
   };
@@ -152,54 +154,82 @@ std::vector<ScoredId> OnionIndex::query(std::span<const double> weights, std::si
     return bound;
   };
 
+  // Scans a contiguous id list, charging per point; returns false (and
+  // records the sound missed bound for the enclosing suffix box) on expiry.
+  bool truncated = false;
+  const auto scan_ids = [&](std::span<const std::uint32_t> ids, const std::vector<Interval>& box,
+                            std::size_t& evaluated) {
+    for (auto id : ids) {
+      if (!ctx.charge(ops_per_point)) {
+        // The suffix box covers this id list and everything deeper, so its
+        // bound soundly covers every unexamined point.
+        out.missed_bound = sign * box_bound(box);
+        truncated = true;
+        return false;
+      }
+      evaluate(id);
+      ++evaluated;
+    }
+    return true;
+  };
+
   // The j-th best lies within the first j layers, so scanning min(k, L)
   // layers suffices; the suffix-box bound usually terminates much earlier —
   // as soon as nothing at or below the current layer can beat the K-th best.
   const std::size_t scan_layers = std::min(k, layers_.size());
   std::size_t evaluated = 0;
   bool terminated_early = false;
-  for (std::size_t l = 0; l < scan_layers; ++l) {
+  for (std::size_t l = 0; l < scan_layers && !truncated; ++l) {
     if (top.full() && box_bound(layer_boxes_[l]) <= top.threshold()) {
       terminated_early = true;
       break;
     }
-    for (auto id : layers_[l]) evaluate(id);
-    evaluated += layers_[l].size();
+    if (!scan_ids(layers_[l], layer_boxes_[l], evaluated)) break;
     meter.add_ops(points_.dim());  // the suffix-box bound check
   }
   // When k exceeds the peeled depth the guarantee needs the leftovers too.
-  if (k > layers_.size() && !terminated_early) {
-    for (std::size_t l = scan_layers; l < layers_.size(); ++l) {
+  if (k > layers_.size() && !terminated_early && !truncated) {
+    for (std::size_t l = scan_layers; l < layers_.size() && !truncated; ++l) {
       if (top.full() && box_bound(layer_boxes_[l]) <= top.threshold()) {
         terminated_early = true;
         break;
       }
-      for (auto id : layers_[l]) evaluate(id);
-      evaluated += layers_[l].size();
+      if (!scan_ids(layers_[l], layer_boxes_[l], evaluated)) break;
     }
-    if (!terminated_early &&
+    if (!terminated_early && !truncated &&
         !(top.full() && !residual_.empty() && box_bound(residual_box_) <= top.threshold())) {
-      for (auto id : residual_) evaluate(id);
-      evaluated += residual_.size();
+      (void)scan_ids(residual_, residual_box_, evaluated);
     }
   }
   meter.add_points(evaluated);
   meter.add_ops(evaluated * points_.dim());
   meter.add_bytes(evaluated * points_.dim() * sizeof(double));
 
-  std::vector<ScoredId> out;
-  for (auto& entry : top.take_sorted()) out.push_back(ScoredId{entry.item, sign * entry.score});
+  for (auto& entry : top.take_sorted()) out.hits.push_back(ScoredId{entry.item, sign * entry.score});
+  if (truncated) out.status = ctx.stop_reason();
   return out;
 }
 
 std::vector<ScoredId> OnionIndex::top_k(std::span<const double> weights, std::size_t k,
                                         CostMeter& meter) const {
-  return query(weights, k, 1.0, meter);
+  QueryContext unbounded;
+  return std::move(query(weights, k, 1.0, unbounded, meter).hits);
+}
+
+OnionTopK OnionIndex::top_k(std::span<const double> weights, std::size_t k, QueryContext& ctx,
+                            CostMeter& meter) const {
+  return query(weights, k, 1.0, ctx, meter);
 }
 
 std::vector<ScoredId> OnionIndex::bottom_k(std::span<const double> weights, std::size_t k,
                                            CostMeter& meter) const {
-  return query(weights, k, -1.0, meter);
+  QueryContext unbounded;
+  return std::move(query(weights, k, -1.0, unbounded, meter).hits);
+}
+
+OnionTopK OnionIndex::bottom_k(std::span<const double> weights, std::size_t k, QueryContext& ctx,
+                               CostMeter& meter) const {
+  return query(weights, k, -1.0, ctx, meter);
 }
 
 }  // namespace mmir

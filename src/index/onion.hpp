@@ -22,15 +22,28 @@
 //    (high recall) in the test suite.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "core/query_context.hpp"
 #include "data/tuples.hpp"
 #include "index/seqscan.hpp"
 #include "util/cost.hpp"
 #include "util/interval.hpp"
+#include "util/result_status.hpp"
 
 namespace mmir {
+
+/// Fault-tolerant Onion query result.  `missed_bound` is the most optimistic
+/// score (in the query's ranking direction: largest for top_k, smallest for
+/// bottom_k) any unexamined point could achieve — sound via the suffix
+/// bounding boxes, independent of hull exactness.
+struct OnionTopK {
+  std::vector<ScoredId> hits;  ///< best-first, possibly fewer than K
+  ResultStatus status = ResultStatus::kComplete;
+  double missed_bound = -std::numeric_limits<double>::infinity();
+};
 
 struct OnionConfig {
   std::size_t max_layers = 24;        ///< peeling depth bound
@@ -56,9 +69,17 @@ class OnionIndex {
   [[nodiscard]] std::vector<ScoredId> top_k(std::span<const double> weights, std::size_t k,
                                             CostMeter& meter) const;
 
+  /// Fault-tolerant form: stops when the context expires, returning the hits
+  /// accumulated so far flagged with the stop reason and a sound bound on
+  /// any missed score.
+  [[nodiscard]] OnionTopK top_k(std::span<const double> weights, std::size_t k, QueryContext& ctx,
+                                CostMeter& meter) const;
+
   /// Top-k minimizers of w·x (best-first by smallness).
   [[nodiscard]] std::vector<ScoredId> bottom_k(std::span<const double> weights, std::size_t k,
                                                CostMeter& meter) const;
+  [[nodiscard]] OnionTopK bottom_k(std::span<const double> weights, std::size_t k,
+                                   QueryContext& ctx, CostMeter& meter) const;
 
   /// Total points stored across layers + residual (== points.size()).
   [[nodiscard]] std::size_t size() const noexcept;
@@ -67,8 +88,8 @@ class OnionIndex {
   void build(const OnionConfig& config);
   [[nodiscard]] std::vector<std::uint32_t> peel_once(std::span<const std::uint32_t> alive,
                                                      const OnionConfig& config) const;
-  [[nodiscard]] std::vector<ScoredId> query(std::span<const double> weights, std::size_t k,
-                                            double sign, CostMeter& meter) const;
+  [[nodiscard]] OnionTopK query(std::span<const double> weights, std::size_t k, double sign,
+                                QueryContext& ctx, CostMeter& meter) const;
 
   const TupleSet& points_;
   std::vector<std::vector<std::uint32_t>> layers_;

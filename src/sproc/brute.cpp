@@ -6,9 +6,8 @@
 
 namespace mmir {
 
-std::vector<CompositeMatch> brute_force_top_k(const CartesianQuery& query, std::size_t k,
-                                              CostMeter& meter,
-                                              std::uint64_t max_combinations) {
+CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, QueryContext& ctx,
+                                CostMeter& meter, std::uint64_t max_combinations) {
   query.validate();
   MMIR_EXPECTS(k > 0);
   const double combos = std::pow(static_cast<double>(query.library_size),
@@ -18,12 +17,28 @@ std::vector<CompositeMatch> brute_force_top_k(const CartesianQuery& query, std::
   }
   ScopedTimer timer(meter);
 
+  CompositeTopK out;
   TopK<std::vector<std::uint32_t>> top(k);
   std::vector<std::uint32_t> assignment(query.components, 0);
   std::uint64_t ops = 0;
 
+  const auto finish = [&](bool truncated) {
+    meter.add_ops(ops);
+    meter.add_points(ops);
+    for (auto& entry : top.take_sorted()) {
+      out.matches.push_back(CompositeMatch{std::move(entry.item), entry.score});
+    }
+    if (truncated) {
+      out.status = ctx.stop_reason();
+      out.missed_bound = 1.0;  // enumeration order is arbitrary: loosest sound bound
+    }
+    return out;
+  };
+
   // Odometer enumeration of all L^M assignments.
   while (true) {
+    // Up to 2M - 1 degree evaluations per assignment; charge the worst case.
+    if (!ctx.charge(2 * query.components)) return finish(true);
     double score = 1.0;
     for (std::size_t m = 0; m < query.components && score > 0.0; ++m) {
       score = tnorm_combine(query.tnorm, score, query.unary(m, assignment[m]));
@@ -41,17 +56,15 @@ std::vector<CompositeMatch> brute_force_top_k(const CartesianQuery& query, std::
       --digit;
       if (++assignment[digit] < query.library_size) break;
       assignment[digit] = 0;
-      if (digit == 0) {
-        meter.add_ops(ops);
-        meter.add_points(ops);
-        std::vector<CompositeMatch> out;
-        for (auto& entry : top.take_sorted()) {
-          out.push_back(CompositeMatch{std::move(entry.item), entry.score});
-        }
-        return out;
-      }
+      if (digit == 0) return finish(false);
     }
   }
+}
+
+std::vector<CompositeMatch> brute_force_top_k(const CartesianQuery& query, std::size_t k,
+                                              CostMeter& meter, std::uint64_t max_combinations) {
+  QueryContext unbounded;
+  return std::move(brute_force_top_k(query, k, unbounded, meter, max_combinations).matches);
 }
 
 }  // namespace mmir

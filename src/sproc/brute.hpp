@@ -2,6 +2,7 @@
 // Exhaustive O(L^M) evaluation of a fuzzy Cartesian query — the baseline the
 // paper's SPROC complexity reduction is measured against.
 
+#include "core/query_context.hpp"
 #include "sproc/query.hpp"
 
 namespace mmir {
@@ -11,5 +12,13 @@ namespace mmir {
 [[nodiscard]] std::vector<CompositeMatch> brute_force_top_k(
     const CartesianQuery& query, std::size_t k, CostMeter& meter,
     std::uint64_t max_combinations = 100'000'000ULL);
+
+/// Fault-tolerant form: stops when the context expires and returns the best
+/// assignments seen so far.  Enumeration order is arbitrary, so a truncated
+/// result carries the loosest sound missed bound (1.0) — nothing is
+/// certified; prefer fast_sproc_top_k when certified prefixes matter.
+[[nodiscard]] CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k,
+                                              QueryContext& ctx, CostMeter& meter,
+                                              std::uint64_t max_combinations = 100'000'000ULL);
 
 }  // namespace mmir

@@ -38,14 +38,16 @@ struct Frontier {
 
 }  // namespace
 
-std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::size_t k,
-                                             CostMeter& meter) {
+CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, QueryContext& ctx,
+                               CostMeter& meter) {
   query.validate();
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
   const std::size_t m_total = query.components;
   const std::size_t l = query.library_size;
   std::uint64_t ops = 0;
+
+  CompositeTopK out;
 
   // Sorted unary lists per component: O(M L log L).
   std::vector<std::vector<std::pair<double, std::uint32_t>>> sorted(m_total);
@@ -61,6 +63,15 @@ std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::s
       return a.second < b.second;
     });
   }
+  // The setup pass is mandatory metadata work; if even that exceeds the
+  // budget the query returns empty with the loosest sound bound.
+  if (!ctx.charge(m_total * l)) {
+    meter.add_ops(ops);
+    meter.add_points(ops);
+    out.status = ctx.stop_reason();
+    out.missed_bound = 1.0;
+    return out;
+  }
 
   // tail_max[m] = t-norm fold of the best unary degree of components m..M-1
   // (binary degrees are bounded by 1, the identity of both t-norms), i.e. the
@@ -75,14 +86,22 @@ std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::s
   // Root: nothing assigned, sibling cursor at the best component-0 item.
   frontier.push(Frontier{tail_max[0], 1.0, 0, 0, nullptr});
 
-  std::vector<CompositeMatch> out;
-  while (!frontier.empty() && out.size() < k) {
+  bool truncated = false;
+  while (!frontier.empty() && out.matches.size() < k) {
+    if (!ctx.charge(1)) {
+      // The frontier top's optimistic bound dominates everything unexplored,
+      // and every match already output popped with a bound at least as high
+      // — a truncated result is a certified prefix of the exact top-K.
+      out.missed_bound = frontier.top().bound;
+      truncated = true;
+      break;
+    }
     const Frontier node = frontier.top();
     frontier.pop();
     if (node.filled == m_total) {
       // Complete assignments are popped in exact score order (bound == score
       // and every other bound is an upper bound).
-      out.push_back(CompositeMatch{unwind(node.path, m_total), node.score});
+      out.matches.push_back(CompositeMatch{unwind(node.path, m_total), node.score});
       continue;
     }
     if (node.next_rank >= l) continue;  // siblings exhausted
@@ -117,7 +136,14 @@ std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::s
   }
   meter.add_ops(ops);
   meter.add_points(ops);
+  if (truncated) out.status = ctx.stop_reason();
   return out;
+}
+
+std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                             CostMeter& meter) {
+  QueryContext unbounded;
+  return std::move(fast_sproc_top_k(query, k, unbounded, meter).matches);
 }
 
 }  // namespace mmir

@@ -10,11 +10,18 @@
 // first K complete assignments popped are exactly the global top-K — the
 // monotone-bound argument of Fagin's threshold family.
 
+#include "core/query_context.hpp"
 #include "sproc/query.hpp"
 
 namespace mmir {
 
 [[nodiscard]] std::vector<CompositeMatch> fast_sproc_top_k(const CartesianQuery& query,
                                                            std::size_t k, CostMeter& meter);
+
+/// Fault-tolerant form.  Complete assignments pop off the frontier in exact
+/// global order, so a truncated result is a *certified prefix* of the exact
+/// top-K; the missed bound is the frontier's best remaining optimistic bound.
+[[nodiscard]] CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                             QueryContext& ctx, CostMeter& meter);
 
 }  // namespace mmir

@@ -21,6 +21,7 @@
 
 #include "util/cost.hpp"
 #include "util/error.hpp"
+#include "util/result_status.hpp"
 
 namespace mmir {
 
@@ -62,6 +63,25 @@ struct CartesianQuery {
 struct CompositeMatch {
   std::vector<std::uint32_t> items;
   double score = 0.0;
+};
+
+/// Fault-tolerant composite query result.  Degrees live in [0, 1], so a
+/// `missed_bound` of 0 means nothing scoreable was missed and 1 is the
+/// loosest sound bound.
+struct CompositeTopK {
+  std::vector<CompositeMatch> matches;  ///< best-first, possibly fewer than K
+  ResultStatus status = ResultStatus::kComplete;
+  /// Sound upper bound on the score of any unreported composite.
+  double missed_bound = 0.0;
+
+  /// Leading matches provably in the exact top-K (score strictly above
+  /// missed_bound); all matches when the query was not truncated.
+  [[nodiscard]] std::size_t certified_prefix() const noexcept {
+    if (!is_truncated(status)) return matches.size();
+    std::size_t n = 0;
+    while (n < matches.size() && matches[n].score > missed_bound) ++n;
+    return n;
+  }
 };
 
 /// True when two result lists agree on scores (and sizes) within tolerance —

@@ -17,8 +17,8 @@ struct Partial {
 
 }  // namespace
 
-std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t k,
-                                        CostMeter& meter) {
+CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryContext& ctx,
+                          CostMeter& meter) {
   query.validate();
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
@@ -26,12 +26,24 @@ std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t
   const std::size_t l = query.library_size;
   std::uint64_t ops = 0;
 
+  CompositeTopK out;
+  const auto truncate = [&] {
+    meter.add_ops(ops);
+    meter.add_points(ops);
+    // The DP's partials are not full assignments, so there is no sound
+    // best-effort answer mid-chain; report the stop with the loosest bound.
+    out.status = ctx.stop_reason();
+    out.missed_bound = 1.0;
+    return out;
+  };
+
   // best[m][j] = up to k best partials ending at item j, sorted best-first.
   std::vector<std::vector<std::vector<Partial>>> best(m_total);
 
   // Component 0: unary scores only.
   best[0].resize(l);
   for (std::uint32_t j = 0; j < l; ++j) {
+    if (!ctx.charge(1)) return truncate();
     const double u = query.unary(0, j);
     ++ops;
     if (u > 0.0) best[0][j].push_back(Partial{u, 0, 0});
@@ -40,12 +52,14 @@ std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t
   for (std::size_t m = 1; m < m_total; ++m) {
     best[m].resize(l);
     for (std::uint32_t j = 0; j < l; ++j) {
+      if (!ctx.charge(1)) return truncate();
       const double u = query.unary(m, j);
       ++ops;
       if (u == 0.0) continue;
       TopK<Partial> top(k);
       for (std::uint32_t i = 0; i < l; ++i) {
         if (best[m - 1][i].empty()) continue;
+        if (!ctx.charge(1 + best[m - 1][i].size())) return truncate();
         const double p = query.binary(m, i, j);
         ++ops;
         if (p == 0.0) continue;
@@ -74,7 +88,6 @@ std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t
     }
   }
 
-  std::vector<CompositeMatch> out;
   for (auto& entry : global.take_sorted()) {
     CompositeMatch match;
     match.score = entry.score;
@@ -87,9 +100,15 @@ std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t
       item = partial.prev_item;
       rank = partial.prev_rank;
     }
-    out.push_back(std::move(match));
+    out.matches.push_back(std::move(match));
   }
   return out;
+}
+
+std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                        CostMeter& meter) {
+  QueryContext unbounded;
+  return std::move(sproc_top_k(query, k, unbounded, meter).matches);
 }
 
 }  // namespace mmir

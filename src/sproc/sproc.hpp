@@ -8,11 +8,19 @@
 // item, so per-item K-best lists preserve exact global top-K.  Complexity
 // O(M·K·L²) — the reduction from O(L^M) quoted in §3.2.
 
+#include "core/query_context.hpp"
 #include "sproc/query.hpp"
 
 namespace mmir {
 
 [[nodiscard]] std::vector<CompositeMatch> sproc_top_k(const CartesianQuery& query, std::size_t k,
                                                       CostMeter& meter);
+
+/// Fault-tolerant form.  The DP's per-item partials lack their remaining
+/// components, so no sound partial answer exists mid-chain: a truncated run
+/// returns an empty match list flagged with the stop reason and the loosest
+/// sound missed bound (1.0).  The budget still caps the DP's work.
+[[nodiscard]] CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k,
+                                        QueryContext& ctx, CostMeter& meter);
 
 }  // namespace mmir

@@ -1,0 +1,149 @@
+#include "testing/fault_injector.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+
+#include "archive/io.hpp"
+#include "util/error.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// splitmix64 step — self-contained so the injector's schedule cannot drift
+/// if the library RNG ever changes.
+std::uint64_t next_u64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double next_unit(std::uint64_t& state) noexcept {
+  return static_cast<double>(next_u64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_state_(seed) {}
+
+FaultInjector::~FaultInjector() { disarm(); }
+
+void FaultInjector::install() {
+  if (armed_) return;
+  armed_ = true;
+  set_read_fault_hook([this](const std::string& path, int /*attempt*/) {
+    bool fire = false;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      fire = true;
+    } else if (fail_rate_ > 0.0 && next_unit(rng_state_) < fail_rate_) {
+      fire = true;
+    }
+    if (fire) {
+      ++injected_;
+      throw TransientIoError("fault-injector: simulated read failure on '" + path + "'");
+    }
+  });
+}
+
+void FaultInjector::fail_next_reads(int count) {
+  MMIR_EXPECTS(count >= 0);
+  fail_remaining_ = count;
+  install();
+}
+
+void FaultInjector::fail_reads_with_rate(double rate) {
+  MMIR_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  fail_rate_ = rate;
+  install();
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  fail_remaining_ = 0;
+  fail_rate_ = 0.0;
+  set_read_fault_hook({});
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> FaultInjector::poison_pixels(
+    Grid& grid, std::size_t count, std::uint64_t seed, PoisonKind kind) {
+  MMIR_EXPECTS(count <= grid.size());
+  std::uint64_t state = seed;
+  std::set<std::pair<std::size_t, std::size_t>> chosen;
+  while (chosen.size() < count) {
+    const std::size_t x = next_u64(state) % grid.width();
+    const std::size_t y = next_u64(state) % grid.height();
+    chosen.emplace(x, y);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out(chosen.begin(), chosen.end());
+  std::size_t i = 0;
+  for (const auto& [x, y] : out) {
+    double poison = std::numeric_limits<double>::quiet_NaN();
+    switch (kind) {
+      case PoisonKind::kNaN:
+        break;
+      case PoisonKind::kPosInf:
+        poison = std::numeric_limits<double>::infinity();
+        break;
+      case PoisonKind::kNegInf:
+        poison = -std::numeric_limits<double>::infinity();
+        break;
+      case PoisonKind::kMixed:
+        switch (i % 3) {
+          case 1:
+            poison = std::numeric_limits<double>::infinity();
+            break;
+          case 2:
+            poison = -std::numeric_limits<double>::infinity();
+            break;
+          default:
+            break;
+        }
+        break;
+    }
+    grid.cell(x, y) = poison;
+    ++i;
+  }
+  return out;
+}
+
+void FaultInjector::truncate_file(const std::string& path, std::uint64_t new_size) {
+  MMIR_EXPECTS(new_size <= file_size(path));
+  std::filesystem::resize_file(path, new_size);
+}
+
+void FaultInjector::flip_byte(const std::string& path, std::uint64_t offset, unsigned char mask) {
+  MMIR_EXPECTS(offset < file_size(path));
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  MMIR_EXPECTS(static_cast<bool>(file));
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(static_cast<unsigned char>(byte) ^ mask);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+void FaultInjector::overwrite_u64(const std::string& path, std::uint64_t offset,
+                                  std::uint64_t value) {
+  MMIR_EXPECTS(offset + sizeof(value) <= file_size(path));
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  MMIR_EXPECTS(static_cast<bool>(file));
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t FaultInjector::file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  MMIR_EXPECTS(!ec);
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace mmir

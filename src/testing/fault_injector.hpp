@@ -1,0 +1,85 @@
+#pragma once
+// Deterministic fault-injection harness for robustness testing.
+//
+// Three fault families, all seeded and reproducible:
+//
+//  * read faults — FaultInjector installs itself as the archive/io read-fault
+//    hook and throws TransientIoError on a scripted schedule (the next N
+//    attempts, or a seeded Bernoulli rate), exercising the retry path;
+//  * data poisoning — poison_pixels() overwrites seeded raster cells with
+//    NaN / ±Inf so tests can prove summaries and executors skip-and-count
+//    them instead of propagating garbage;
+//  * file corruption — truncate_file / flip_byte / overwrite_u64 mutate
+//    serialized archives on disk to exercise the hardened loaders.
+//
+// The harness lives in its own library (mmir_testing) so production targets
+// never link it; the only production touch point is the io read-fault hook.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/grid.hpp"
+
+namespace mmir {
+
+/// Which non-finite value poison_pixels writes.
+enum class PoisonKind : std::uint8_t { kNaN, kPosInf, kNegInf, kMixed };
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1);
+  ~FaultInjector();  ///< disarms the hook so faults never leak across tests
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The next `count` load attempts (across all paths) throw TransientIoError.
+  void fail_next_reads(int count);
+
+  /// Every load attempt independently fails with probability `rate`,
+  /// driven by this injector's seeded RNG.
+  void fail_reads_with_rate(double rate);
+
+  /// Uninstalls the read-fault hook; subsequent loads run clean.
+  void disarm();
+
+  /// Number of faults this injector has thrown so far.
+  [[nodiscard]] std::uint64_t injected_failures() const noexcept { return injected_; }
+
+  // ---------------------------------------------------------- data poisoning
+
+  /// Overwrites `count` distinct seeded cells of `grid` with the poison kind
+  /// (kMixed cycles NaN, +Inf, -Inf).  Returns the poisoned coordinates.
+  static std::vector<std::pair<std::size_t, std::size_t>> poison_pixels(
+      Grid& grid, std::size_t count, std::uint64_t seed, PoisonKind kind = PoisonKind::kNaN);
+
+  // --------------------------------------------------------- file corruption
+
+  /// Truncates the file to `new_size` bytes (must not grow it).
+  static void truncate_file(const std::string& path, std::uint64_t new_size);
+
+  /// XORs the byte at `offset` with `mask` (default flips every bit).
+  static void flip_byte(const std::string& path, std::uint64_t offset,
+                        unsigned char mask = 0xFF);
+
+  /// Overwrites 8 bytes at `offset` with `value` (little-endian) — used to
+  /// plant hostile header dimensions.
+  static void overwrite_u64(const std::string& path, std::uint64_t offset, std::uint64_t value);
+
+  /// Size of the file in bytes.
+  [[nodiscard]] static std::uint64_t file_size(const std::string& path);
+
+ private:
+  void install();
+
+  std::uint64_t seed_;
+  std::uint64_t rng_state_;
+  int fail_remaining_ = 0;
+  double fail_rate_ = 0.0;
+  bool armed_ = false;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace mmir

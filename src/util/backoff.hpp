@@ -1,0 +1,42 @@
+#pragma once
+// Capped exponential backoff for retrying transient failures.
+//
+// Archive loads can fail transiently (a flaky NFS mount, a half-synced
+// replica, an injected test fault).  Loaders retry under a RetryPolicy; the
+// delays double from `initial_backoff` up to `max_backoff`.  Policies default
+// to microsecond-scale delays so test suites stay fast; production callers
+// pass their own.
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+/// How many times to attempt an operation and how long to wait in between.
+struct RetryPolicy {
+  int max_attempts = 3;  ///< total attempts (>= 1), not retries
+  std::chrono::microseconds initial_backoff{100};
+  std::chrono::microseconds max_backoff{5000};
+};
+
+/// Stateful backoff sequence: next_delay() yields initial, 2*initial, ...
+/// clamped to the policy's max.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const RetryPolicy& policy) noexcept
+      : current_(policy.initial_backoff), max_(policy.max_backoff) {}
+
+  [[nodiscard]] std::chrono::microseconds next_delay() noexcept {
+    const auto delay = current_;
+    current_ = std::min(current_ * 2, max_);
+    return delay;
+  }
+
+ private:
+  std::chrono::microseconds current_;
+  std::chrono::microseconds max_;
+};
+
+}  // namespace mmir

@@ -1,0 +1,41 @@
+#pragma once
+// Completion status of a fault-tolerant query execution.
+//
+// Production retrieval over large, messy archives cannot promise to run every
+// query to completion: budgets expire, deadlines pass, callers cancel, and
+// poisoned data must be skipped.  Every budget-aware execution path returns
+// its result tagged with a ResultStatus so callers can distinguish an exact
+// answer from a best-effort partial one (see DESIGN.md "Robustness &
+// degraded operation").
+
+#include <cstdint>
+
+namespace mmir {
+
+/// How a query execution ended.
+enum class ResultStatus : std::uint8_t {
+  kComplete = 0,           ///< exact answer, no faults observed
+  kDegraded = 1,           ///< exact over the *finite* data; poisoned samples were skipped
+  kTruncatedBudget = 2,    ///< stopped early: cost budget exhausted
+  kTruncatedDeadline = 3,  ///< stopped early: wall-clock deadline passed
+  kCancelled = 4,          ///< stopped early: cooperative cancellation flag raised
+};
+
+/// True when the execution stopped before examining all candidates.
+[[nodiscard]] constexpr bool is_truncated(ResultStatus s) noexcept {
+  return s == ResultStatus::kTruncatedBudget || s == ResultStatus::kTruncatedDeadline ||
+         s == ResultStatus::kCancelled;
+}
+
+[[nodiscard]] constexpr const char* to_string(ResultStatus s) noexcept {
+  switch (s) {
+    case ResultStatus::kComplete: return "complete";
+    case ResultStatus::kDegraded: return "degraded";
+    case ResultStatus::kTruncatedBudget: return "truncated-budget";
+    case ResultStatus::kTruncatedDeadline: return "truncated-deadline";
+    case ResultStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace mmir

@@ -1,0 +1,322 @@
+// Fault-injection suite: deterministic poisoned pixels, scripted read
+// failures and on-disk corruption, proving the NaN-hardening, retry and
+// checksum layers actually absorb the faults they claim to.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "archive/io.hpp"
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "data/grid.hpp"
+#include "data/tuples.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "testing/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace mmir {
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 24;   // 8 magic + 2 * u64 dims
+constexpr std::uint64_t kTrailerBytes = 16;  // 8 tag + u64 checksum
+
+RetryPolicy fast_retry(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff = std::chrono::microseconds{1};
+  policy.max_backoff = std::chrono::microseconds{10};
+  return policy;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) { return std::string("/tmp/mmir_fault_test_") + name; }
+  void TearDown() override {
+    set_read_fault_hook({});  // belt and braces: never leak faults
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+// ------------------------------------------------------------ data poisoning
+
+TEST_F(FaultInjectionTest, PoisonedPixelsAreSkippedCountedAndExecutorsAgree) {
+  Grid g(48, 48);
+  for (std::size_t y = 0; y < 48; ++y) {
+    for (std::size_t x = 0; x < 48; ++x) g.cell(x, y) = static_cast<double>(y * 48 + x);
+  }
+  const auto poisoned = FaultInjector::poison_pixels(g, 7, /*seed=*/5, PoisonKind::kNaN);
+  ASSERT_EQ(poisoned.size(), 7u);
+
+  const TiledArchive archive({&g}, 16);
+  EXPECT_EQ(archive.bad_pixel_count(), 7u);
+  const LinearRasterModel raster(LinearModel({1.0}, 0.0, {}));
+  std::vector<Interval> ranges(archive.band_ranges().begin(), archive.band_ranges().end());
+  const ProgressiveLinearModel progressive(LinearModel({1.0}, 0.0, {}), ranges);
+
+  CostMeter m;
+  QueryContext c1;
+  QueryContext c2;
+  QueryContext c3;
+  QueryContext c4;
+  const std::size_t k = 12;
+  const RasterTopK full = full_scan_top_k(archive, raster, k, c1, m);
+  const RasterTopK model_leg = progressive_model_top_k(archive, progressive, k, c2, m);
+  const RasterTopK data_leg = tile_screened_top_k(archive, raster, k, c3, m);
+  const RasterTopK combined = progressive_combined_top_k(archive, progressive, k, c4, m);
+
+  // The full scan touches every pixel, so it must see every poisoned one.
+  EXPECT_EQ(full.bad_points, 7u);
+  for (const RasterTopK* r : {&full, &model_leg, &data_leg, &combined}) {
+    EXPECT_EQ(r->status, ResultStatus::kDegraded);
+    ASSERT_EQ(r->hits.size(), k);
+    for (const auto& hit : r->hits) {
+      EXPECT_TRUE(std::isfinite(hit.score));
+      for (const auto& [px, py] : poisoned) {
+        EXPECT_FALSE(hit.x == px && hit.y == py) << "poisoned pixel retrieved";
+      }
+    }
+  }
+  // All four executors agree on the degraded answer (exact over finite data).
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(full.hits[i].x, model_leg.hits[i].x);
+    EXPECT_EQ(full.hits[i].x, data_leg.hits[i].x);
+    EXPECT_EQ(full.hits[i].x, combined.hits[i].x);
+    EXPECT_DOUBLE_EQ(full.hits[i].score, model_leg.hits[i].score);
+    EXPECT_DOUBLE_EQ(full.hits[i].score, data_leg.hits[i].score);
+    EXPECT_DOUBLE_EQ(full.hits[i].score, combined.hits[i].score);
+  }
+}
+
+TEST_F(FaultInjectionTest, InfinityPoisonCannotWinTheTopK) {
+  Grid g(32, 32, 1.0);
+  g.cell(10, 10) = 50.0;  // the legitimate winner
+  (void)FaultInjector::poison_pixels(g, 4, /*seed=*/9, PoisonKind::kPosInf);
+  const TiledArchive archive({&g}, 8);
+  const LinearRasterModel raster(LinearModel({1.0}, 0.0, {}));
+  CostMeter m;
+  QueryContext ctx;
+  const RasterTopK top = full_scan_top_k(archive, raster, 3, ctx, m);
+  EXPECT_EQ(top.status, ResultStatus::kDegraded);
+  ASSERT_FALSE(top.hits.empty());
+  EXPECT_TRUE(std::isfinite(top.hits[0].score));
+  // +Inf pixels are treated as missing, not as winners.
+  if (g.cell(10, 10) == 50.0) {  // unless the seed poisoned the winner itself
+    EXPECT_DOUBLE_EQ(top.hits[0].score, 50.0);
+  }
+}
+
+TEST_F(FaultInjectionTest, TileSummariesStayFiniteUnderMixedPoison) {
+  Grid g(40, 40);
+  Rng rng(6);
+  for (double& v : g.flat()) v = rng.normal();
+  const auto poisoned = FaultInjector::poison_pixels(g, 25, /*seed=*/7, PoisonKind::kMixed);
+  const TiledArchive archive({&g}, 10);
+  EXPECT_EQ(archive.bad_pixel_count(), 25u);
+  std::uint64_t tallied = 0;
+  for (const TileSummary& tile : archive.tiles()) {
+    tallied += tile.bad_pixels;
+    ASSERT_EQ(tile.band_range.size(), 1u);
+    EXPECT_TRUE(std::isfinite(tile.band_range[0].lo));
+    EXPECT_TRUE(std::isfinite(tile.band_range[0].hi));
+    EXPECT_TRUE(std::isfinite(tile.band_mean[0]));
+  }
+  EXPECT_EQ(tallied, 25u);
+  for (const Interval& r : archive.band_ranges()) {
+    EXPECT_TRUE(std::isfinite(r.lo));
+    EXPECT_TRUE(std::isfinite(r.hi));
+  }
+  (void)poisoned;
+}
+
+// ------------------------------------------------------------- read retries
+
+TEST_F(FaultInjectionTest, RetryRecoversFromTransientFaults) {
+  Grid grid(9, 7, 3.25);
+  const auto file = track(path("retry.bin"));
+  save_grid(grid, file);
+
+  FaultInjector injector(42);
+  injector.fail_next_reads(2);  // attempts 0 and 1 fail, attempt 2 succeeds
+  const Grid back = load_grid(file, fast_retry(3));
+  EXPECT_EQ(injector.injected_failures(), 2u);
+  ASSERT_EQ(back.width(), 9u);
+  EXPECT_DOUBLE_EQ(back.cell(4, 3), 3.25);
+}
+
+TEST_F(FaultInjectionTest, RetryGivesUpAfterMaxAttempts) {
+  const TupleSet tuples = gaussian_tuples(20, 3, 8);
+  const auto file = track(path("retry_exhaust.bin"));
+  save_tuples(tuples, file);
+
+  FaultInjector injector(43);
+  injector.fail_next_reads(5);
+  EXPECT_THROW((void)load_tuples(file, fast_retry(3)), TransientIoError);
+  EXPECT_EQ(injector.injected_failures(), 3u);  // one per attempt, then give up
+
+  injector.disarm();
+  const TupleSet back = load_tuples(file, fast_retry(3));  // clean after disarm
+  EXPECT_EQ(back.size(), 20u);
+}
+
+TEST_F(FaultInjectionTest, InjectorDisarmsOnDestruction) {
+  Grid grid(4, 4, 1.0);
+  const auto file = track(path("disarm.bin"));
+  save_grid(grid, file);
+  {
+    FaultInjector injector(44);
+    injector.fail_reads_with_rate(1.0);
+    EXPECT_THROW((void)load_grid(file, fast_retry(2)), TransientIoError);
+  }
+  EXPECT_NO_THROW((void)load_grid(file));  // hook gone with the injector
+}
+
+// ------------------------------------------------------ checksums & corruption
+
+TEST_F(FaultInjectionTest, ChecksumDetectsGridPayloadFlip) {
+  Rng rng(3);
+  Grid grid(16, 12);
+  for (double& v : grid.flat()) v = rng.normal();
+  const auto file = track(path("flip.bin"));
+  save_grid(grid, file);
+  FaultInjector::flip_byte(file, kHeaderBytes + 123);
+  EXPECT_THROW((void)load_grid(file, fast_retry(1)), TransientIoError);
+}
+
+TEST_F(FaultInjectionTest, ChecksumDetectsTuplePayloadFlip) {
+  const TupleSet tuples = gaussian_tuples(40, 3, 5);
+  const auto file = track(path("tflip.bin"));
+  save_tuples(tuples, file);
+  FaultInjector::flip_byte(file, kHeaderBytes + 777);
+  EXPECT_THROW((void)load_tuples(file, fast_retry(1)), TransientIoError);
+}
+
+TEST_F(FaultInjectionTest, LegacyFileWithoutTrailerStillLoads) {
+  Rng rng(4);
+  Grid grid(11, 13);
+  for (double& v : grid.flat()) v = rng.uniform();
+  const auto file = track(path("legacy.bin"));
+  save_grid(grid, file);
+  // Strip the checksum trailer: exactly the pre-checksum on-disk format.
+  FaultInjector::truncate_file(file, FaultInjector::file_size(file) - kTrailerBytes);
+  const Grid back = load_grid(file);
+  ASSERT_EQ(back.width(), 11u);
+  for (std::size_t i = 0; i < grid.size(); ++i) EXPECT_DOUBLE_EQ(back.flat()[i], grid.flat()[i]);
+}
+
+TEST_F(FaultInjectionTest, HostileHeaderRejectedBeforeAllocation) {
+  Grid grid(8, 8, 2.0);
+  const auto file = track(path("hostile.bin"));
+  save_grid(grid, file);
+  // Claim a 2^40 x 2^40 grid: the loader must reject on the size check (the
+  // file is tiny) rather than attempt an exabyte allocation.
+  FaultInjector::overwrite_u64(file, 8, 1ULL << 40);
+  FaultInjector::overwrite_u64(file, 16, 1ULL << 40);
+  EXPECT_THROW((void)load_grid(file, fast_retry(1)), Error);
+}
+
+TEST_F(FaultInjectionTest, FuzzedCorruptionsAllRejected) {
+  using Corruptor = std::function<void(const std::string&)>;
+  const std::uint64_t grid_payload = 16 * 12 * sizeof(double);
+  const std::uint64_t tuple_payload = 40 * 3 * sizeof(double);
+
+  struct Case {
+    const char* name;
+    bool is_grid;
+    Corruptor corrupt;
+  };
+  const std::vector<Case> cases = {
+      {"grid_truncate_empty", true, [](const std::string& p) { FaultInjector::truncate_file(p, 0); }},
+      {"grid_truncate_mid_magic", true,
+       [](const std::string& p) { FaultInjector::truncate_file(p, 4); }},
+      {"grid_truncate_mid_header", true,
+       [](const std::string& p) { FaultInjector::truncate_file(p, 20); }},
+      {"grid_truncate_header_only", true,
+       [](const std::string& p) { FaultInjector::truncate_file(p, kHeaderBytes); }},
+      {"grid_truncate_mid_payload", true,
+       [](const std::string& p) { FaultInjector::truncate_file(p, kHeaderBytes + 100); }},
+      {"grid_truncate_last_byte", true,
+       [](const std::string& p) {
+         FaultInjector::truncate_file(p, FaultInjector::file_size(p) - 1);
+       }},
+      {"grid_truncate_half_trailer", true,
+       [&](const std::string& p) {
+         FaultInjector::truncate_file(p, kHeaderBytes + grid_payload + 8);
+       }},
+      {"grid_flip_magic_first", true, [](const std::string& p) { FaultInjector::flip_byte(p, 0); }},
+      {"grid_flip_magic_last", true, [](const std::string& p) { FaultInjector::flip_byte(p, 7); }},
+      {"grid_width_zero", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, 0); }},
+      {"grid_width_huge", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, 1ULL << 40); }},
+      {"grid_width_max", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, ~0ULL); }},
+      {"grid_height_zero", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 16, 0); }},
+      {"grid_height_huge", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 16, 1ULL << 40); }},
+      {"grid_width_off_by_one", true,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, 17); }},
+      {"grid_flip_payload_first", true,
+       [](const std::string& p) { FaultInjector::flip_byte(p, kHeaderBytes); }},
+      {"grid_flip_payload_mid", true,
+       [&](const std::string& p) { FaultInjector::flip_byte(p, kHeaderBytes + grid_payload / 2); }},
+      {"grid_flip_payload_last", true,
+       [&](const std::string& p) {
+         FaultInjector::flip_byte(p, kHeaderBytes + grid_payload - 1);
+       }},
+      {"grid_flip_trailer_tag", true,
+       [&](const std::string& p) { FaultInjector::flip_byte(p, kHeaderBytes + grid_payload); }},
+      {"grid_flip_checksum", true,
+       [&](const std::string& p) {
+         FaultInjector::flip_byte(p, kHeaderBytes + grid_payload + 8);
+       }},
+      {"tuples_truncate_mid_payload", false,
+       [](const std::string& p) { FaultInjector::truncate_file(p, kHeaderBytes + 50); }},
+      {"tuples_dim_zero", false,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, 0); }},
+      {"tuples_dim_too_large", false,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 8, 5000); }},
+      {"tuples_rows_huge", false,
+       [](const std::string& p) { FaultInjector::overwrite_u64(p, 16, 1ULL << 50); }},
+      {"tuples_flip_payload", false,
+       [&](const std::string& p) { FaultInjector::flip_byte(p, kHeaderBytes + tuple_payload / 3); }},
+      {"tuples_flip_trailer_tag", false,
+       [&](const std::string& p) { FaultInjector::flip_byte(p, kHeaderBytes + tuple_payload + 2); }},
+  };
+  ASSERT_GE(cases.size(), 20u);
+
+  Rng rng(10);
+  Grid grid(16, 12);
+  for (double& v : grid.flat()) v = rng.normal();
+  const TupleSet tuples = gaussian_tuples(40, 3, 11);
+
+  for (const Case& c : cases) {
+    const auto file = track(path((std::string("fuzz_") + c.name + ".bin").c_str()));
+    if (c.is_grid) {
+      save_grid(grid, file);
+    } else {
+      save_tuples(tuples, file);
+    }
+    c.corrupt(file);
+    if (c.is_grid) {
+      EXPECT_THROW((void)load_grid(file, fast_retry(1)), Error) << c.name;
+    } else {
+      EXPECT_THROW((void)load_tuples(file, fast_retry(1)), Error) << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmir

@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 
 #include "archive/tiled.hpp"
 #include "core/progressive_exec.hpp"
 #include "core/temporal.hpp"
+#include "core/workflow.hpp"
+#include "data/events.hpp"
 #include "data/scene.hpp"
 #include "data/tuples.hpp"
 #include "fsm/dfa.hpp"
@@ -325,6 +329,309 @@ TEST(Robustness, ProgressiveLinearWithIdenticalWeightsAndRanges) {
   const auto actual = progressive_top_k(points, a, 7, m2);
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_NEAR(expected[i].score, actual[i].score, 1e-9);
+  }
+}
+
+// ----------------------------------------------------- query context (tentpole)
+
+// A 64x64 ramp grid g(x, y) = y*64 + x: distinct values everywhere, so tile
+// bounds are distinct and top-K answers are unambiguous.
+Grid ramp_grid_64() {
+  Grid g(64, 64);
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 0; x < 64; ++x) g.cell(x, y) = static_cast<double>(y * 64 + x);
+  }
+  return g;
+}
+
+TEST(FaultTolerance, ExecutorsIdenticalWithUnboundedContext) {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.seed = 11;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  const TiledArchive archive(bands, 16);
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const LinearModel model({0.4, -0.3, 0.2, 0.1}, 0.5, {});
+  const ProgressiveLinearModel progressive(model, ranges);
+  const LinearRasterModel raster(model);
+
+  const auto check_identical = [](const std::vector<RasterHit>& legacy, const RasterTopK& ctxed) {
+    EXPECT_EQ(ctxed.status, ResultStatus::kComplete);
+    EXPECT_EQ(ctxed.missed_bound, -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(ctxed.bad_points, 0u);
+    EXPECT_EQ(ctxed.certified_prefix(), ctxed.hits.size());
+    ASSERT_EQ(legacy.size(), ctxed.hits.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i].x, ctxed.hits[i].x);
+      EXPECT_EQ(legacy[i].y, ctxed.hits[i].y);
+      EXPECT_EQ(legacy[i].score, ctxed.hits[i].score);  // bit-identical code path
+    }
+  };
+
+  for (const std::size_t k : {1UL, 10UL, 50UL}) {
+    CostMeter m;
+    QueryContext ctx;
+    check_identical(full_scan_top_k(archive, raster, k, m),
+                    full_scan_top_k(archive, raster, k, ctx, m));
+    ctx.reset();
+    check_identical(progressive_model_top_k(archive, progressive, k, m),
+                    progressive_model_top_k(archive, progressive, k, ctx, m));
+    ctx.reset();
+    check_identical(tile_screened_top_k(archive, raster, k, m),
+                    tile_screened_top_k(archive, raster, k, ctx, m));
+    ctx.reset();
+    check_identical(progressive_combined_top_k(archive, progressive, k, m),
+                    progressive_combined_top_k(archive, progressive, k, ctx, m));
+  }
+}
+
+TEST(FaultTolerance, BudgetTruncationGivesCertifiedPrefixOfExactAnswer) {
+  // One band, weight 1: score == ramp value, so tile (tx, ty) has upper
+  // bound (16*ty+15)*64 + 16*tx+15 and all 16 tile bounds are distinct.
+  const Grid g = ramp_grid_64();
+  const TiledArchive archive({&g}, 16);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  const std::size_t k = 20;
+
+  CostMeter m_exact;
+  const auto exact = tile_screened_top_k(archive, model, k, m_exact);
+  ASSERT_EQ(exact.size(), k);
+  EXPECT_DOUBLE_EQ(exact[0].score, 4095.0);
+
+  // Budget: 16 tile-bound evaluations + the whole best tile (256 px) + 40
+  // more pixels — the query dies inside the second-best tile, whose bound
+  // (value 4079 at (47, 63)) then soundly covers everything unexamined.
+  CostMeter m;
+  QueryContext ctx;
+  ctx.with_op_budget(16 + 256 + 40);
+  const RasterTopK partial = tile_screened_top_k(archive, model, k, ctx, m);
+  EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+  EXPECT_TRUE(is_truncated(partial.status));
+  EXPECT_TRUE(ctx.stopped());
+  EXPECT_DOUBLE_EQ(partial.missed_bound, 4079.0);
+  ASSERT_EQ(partial.hits.size(), k);
+
+  // 16 ramp values beat 4079 (4080..4095); they are certified and must match
+  // the exact answer position by position.
+  EXPECT_EQ(partial.certified_prefix(), 16u);
+  for (std::size_t i = 0; i < partial.certified_prefix(); ++i) {
+    EXPECT_EQ(partial.hits[i].x, exact[i].x);
+    EXPECT_EQ(partial.hits[i].y, exact[i].y);
+    EXPECT_DOUBLE_EQ(partial.hits[i].score, exact[i].score);
+  }
+  // Soundness beyond the certified prefix: nothing reported can beat a hit
+  // it displaced, and no missed pixel can beat missed_bound.
+  for (const auto& hit : partial.hits) EXPECT_LE(hit.score, 4095.0);
+}
+
+TEST(FaultTolerance, BudgetTooSmallForMetadataReturnsArchiveBound) {
+  const Grid g = ramp_grid_64();
+  const TiledArchive archive({&g}, 16);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  CostMeter m;
+  QueryContext ctx;
+  ctx.with_op_budget(8);  // fewer than the 16 tile-bound evaluations
+  const RasterTopK partial = tile_screened_top_k(archive, model, 5, ctx, m);
+  EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+  EXPECT_TRUE(partial.hits.empty());
+  EXPECT_EQ(partial.certified_prefix(), 0u);
+  EXPECT_DOUBLE_EQ(partial.missed_bound, 4095.0);  // archive-wide hull bound
+}
+
+TEST(FaultTolerance, DeadlineExpiryFlagsResult) {
+  const Grid g = ramp_grid_64();
+  const TiledArchive archive({&g}, 16);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  CostMeter m;
+  QueryContext ctx;
+  ctx.with_timeout(std::chrono::nanoseconds{0}).with_check_interval(1);
+  const RasterTopK partial = full_scan_top_k(archive, model, 5, ctx, m);
+  EXPECT_EQ(partial.status, ResultStatus::kTruncatedDeadline);
+  EXPECT_EQ(ctx.stop_reason(), ResultStatus::kTruncatedDeadline);
+  // Whatever prefix was accumulated is still ordered and bounded.
+  for (const auto& hit : partial.hits) EXPECT_LE(hit.score, partial.missed_bound);
+}
+
+TEST(FaultTolerance, CancellationStopsQuery) {
+  const Grid g = ramp_grid_64();
+  const TiledArchive archive({&g}, 16);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  std::atomic<bool> cancel{true};  // cancelled before the query even starts
+  CostMeter m;
+  QueryContext ctx;
+  ctx.with_cancel_flag(&cancel).with_check_interval(1);
+  const RasterTopK partial = progressive_combined_top_k(
+      archive, ProgressiveLinearModel(LinearModel({1.0}, 0.0, {}), {Interval{0.0, 4095.0}}), 5,
+      ctx, m);
+  EXPECT_EQ(partial.status, ResultStatus::kCancelled);
+  EXPECT_TRUE(ctx.stopped());
+}
+
+TEST(FaultTolerance, ContextAccumulatesAcrossCallsAndResets) {
+  const Grid g = ramp_grid_64();
+  const TiledArchive archive({&g}, 16);
+  const LinearRasterModel model(LinearModel({1.0}, 0.0, {}));
+  CostMeter m;
+  QueryContext ctx;
+  ctx.with_op_budget(1U << 20);
+  (void)full_scan_top_k(archive, model, 5, ctx, m);
+  const std::uint64_t after_one = ctx.spent();
+  EXPECT_EQ(after_one, 64u * 64u);  // one op per pixel, one band
+  (void)full_scan_top_k(archive, model, 5, ctx, m);
+  EXPECT_EQ(ctx.spent(), 2 * after_one);  // shared context accumulates
+  ctx.reset();
+  EXPECT_EQ(ctx.spent(), 0u);
+  EXPECT_FALSE(ctx.stopped());
+}
+
+TEST(FaultTolerance, FastSprocBudgetGivesCertifiedPrefix) {
+  Rng rng(21);
+  const std::size_t m_comp = 3;
+  const std::size_t l = 8;
+  std::vector<double> unary(m_comp * l);
+  for (auto& v : unary) v = rng.uniform();
+  std::vector<double> binary(m_comp * l * l);
+  for (auto& v : binary) v = rng.uniform();
+  CartesianQuery q;
+  q.components = m_comp;
+  q.library_size = l;
+  q.tnorm = TNorm::kProduct;
+  q.unary = [&](std::size_t comp, std::uint32_t j) { return unary[comp * l + j]; };
+  q.binary = [&](std::size_t comp, std::uint32_t i, std::uint32_t j) {
+    return binary[(comp * l + i) * l + j];
+  };
+  const std::size_t k = 12;
+  CostMeter m_exact;
+  const auto exact = fast_sproc_top_k(q, k, m_exact);
+  ASSERT_EQ(exact.size(), k);
+
+  // Unbounded context: identical to the legacy path, everything certified.
+  {
+    CostMeter meter;
+    QueryContext ctx;
+    const CompositeTopK full = fast_sproc_top_k(q, k, ctx, meter);
+    EXPECT_EQ(full.status, ResultStatus::kComplete);
+    EXPECT_EQ(full.certified_prefix(), k);
+    EXPECT_TRUE(same_scores(exact, full.matches));
+  }
+
+  // Shrinking budgets: every truncated result must be a certified prefix of
+  // the exact ranking (frontier pops complete assignments in global order).
+  for (const std::uint64_t budget : {400ULL, 250ULL, 120ULL, 60ULL}) {
+    CostMeter meter;
+    QueryContext ctx;
+    ctx.with_op_budget(budget);
+    const CompositeTopK partial = fast_sproc_top_k(q, k, ctx, meter);
+    if (partial.status == ResultStatus::kComplete) continue;  // budget sufficed
+    EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+    EXPECT_LE(partial.matches.size(), k);
+    for (std::size_t i = 0; i < partial.matches.size(); ++i) {
+      EXPECT_NEAR(partial.matches[i].score, exact[i].score, 1e-12) << "budget " << budget;
+    }
+    EXPECT_LE(partial.certified_prefix(), partial.matches.size());
+    // The missed bound must dominate every assignment the query did not pop.
+    for (std::size_t i = partial.matches.size(); i < exact.size(); ++i) {
+      EXPECT_LE(exact[i].score, partial.missed_bound + 1e-12) << "budget " << budget;
+    }
+  }
+}
+
+TEST(FaultTolerance, SprocDpTruncationReturnsEmptyFlagged) {
+  CartesianQuery q;
+  q.components = 3;
+  q.library_size = 16;
+  q.unary = [](std::size_t, std::uint32_t j) { return 1.0 / (1.0 + j); };
+  q.binary = [](std::size_t, std::uint32_t i, std::uint32_t j) {
+    return i == j ? 1.0 : 0.5;
+  };
+  CostMeter meter;
+  QueryContext ctx;
+  ctx.with_op_budget(10);
+  const CompositeTopK partial = sproc_top_k(q, 4, ctx, meter);
+  EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+  EXPECT_TRUE(partial.matches.empty());       // DP has no sound mid-chain answer
+  EXPECT_DOUBLE_EQ(partial.missed_bound, 1.0);  // loosest sound bound
+  EXPECT_EQ(partial.certified_prefix(), 0u);
+}
+
+TEST(FaultTolerance, OnionBudgetMissedBoundIsSound) {
+  const TupleSet points = gaussian_tuples(3000, 3, 33);
+  const OnionIndex index(points);
+  Rng rng(34);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> w{rng.normal(), rng.normal(), rng.normal()};
+    CostMeter m_exact;
+    const auto exact = scan_top_k(points, w, 10, m_exact);
+    for (const std::uint64_t budget : {30ULL, 90ULL, 300ULL}) {
+      CostMeter meter;
+      QueryContext ctx;
+      ctx.with_op_budget(budget);
+      const OnionTopK partial = index.top_k(w, 10, ctx, meter);
+      if (partial.status == ResultStatus::kComplete) {
+        ASSERT_EQ(partial.hits.size(), exact.size());
+        continue;
+      }
+      EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+      // Soundness: every exact hit is either reported or dominated by the
+      // missed bound.
+      for (const auto& truth : exact) {
+        const bool reported = std::any_of(partial.hits.begin(), partial.hits.end(),
+                                          [&](const ScoredId& h) { return h.id == truth.id; });
+        if (!reported) {
+          EXPECT_LE(truth.score, partial.missed_bound + 1e-9)
+              << "trial " << trial << " budget " << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultTolerance, WorkflowStopsAtLastCompletedIteration) {
+  SceneConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.seed = 12;
+  const Scene scene = generate_scene(cfg);
+  Grid latent(32, 32);
+  Rng rng(13);
+  for (double& v : latent.flat()) v = rng.uniform();
+  const Grid events = generate_events(latent, EventConfig{});
+  WorkflowConfig config;
+  config.iterations = 4;
+  config.initial_samples = 40;
+  config.k = 20;
+  config.tile_size = 8;
+
+  CostMeter m_full;
+  const WorkflowResult full = run_model_workflow(scene, events, config, nullptr, m_full);
+  ASSERT_EQ(full.iterations.size(), 4u);
+  EXPECT_EQ(full.status, ResultStatus::kComplete);
+
+  // A budget that covers roughly one iteration's work: the workflow must
+  // stop early, flag the result, and keep the completed records intact.
+  CostMeter meter;
+  QueryContext ctx;
+  ctx.with_op_budget(32 * 32 * 4 + 2000);
+  const WorkflowResult partial = run_model_workflow(scene, events, config, nullptr, ctx, meter);
+  EXPECT_EQ(partial.status, ResultStatus::kTruncatedBudget);
+  EXPECT_LT(partial.iterations.size(), full.iterations.size());
+  for (std::size_t i = 0; i < partial.iterations.size(); ++i) {
+    EXPECT_EQ(partial.iterations[i].training_size, full.iterations[i].training_size);
+  }
+
+  // Unbounded context: byte-identical to the legacy entry point.
+  CostMeter m_ctx;
+  QueryContext unbounded;
+  const WorkflowResult same = run_model_workflow(scene, events, config, nullptr, unbounded, m_ctx);
+  ASSERT_EQ(same.iterations.size(), full.iterations.size());
+  EXPECT_EQ(same.status, ResultStatus::kComplete);
+  for (std::size_t i = 0; i < same.iterations.size(); ++i) {
+    EXPECT_EQ(same.iterations[i].precision_at_k, full.iterations[i].precision_at_k);
+    EXPECT_EQ(same.iterations[i].train_r2, full.iterations[i].train_r2);
   }
 }
 
