@@ -1,0 +1,182 @@
+#pragma once
+// Per-tile / per-pixel kernels shared by the serial progressive executors
+// (core/progressive_exec.cpp) and their tile-parallel variants
+// (engine/parallel_exec.cpp).
+//
+// Each kernel scans one pixel rectangle — a tile, a row band, or the whole
+// scene — into a caller-owned TopK accumulator, charging a caller-owned
+// CostMeter and the shared QueryContext.  Nothing in here is thread-aware:
+// parallelism comes from running many kernels at once over disjoint
+// rectangles with per-worker accumulators/meters, which is exactly why the
+// serial and parallel executors can share this code and stay answer-
+// identical (modulo exact ties).
+//
+// The staged kernel takes its abandoning threshold through a callable so the
+// serial executor can pass the local heap threshold and the parallel one can
+// splice in the shared cross-worker threshold (a stale value only weakens
+// pruning, never soundness).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/raster_model.hpp"
+#include "linear/progressive.hpp"
+#include "util/cost.hpp"
+#include "util/topk.hpp"
+
+namespace mmir::exec {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Drains a TopK accumulator into a best-first hit vector.
+inline std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
+  std::vector<RasterHit> out;
+  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
+  return out;
+}
+
+/// Staged evaluation of one pixel with early abandoning: returns the exact
+/// score, or any value strictly below `threshold` once the upper bound drops
+/// under it.  Charges one op + point per term actually computed, both to the
+/// meter and to the query context (whose failure aborts the pixel — callers
+/// must check ctx.stopped() on return).
+inline double staged_pixel(const TiledArchive& archive, const ProgressiveLinearModel& model,
+                           std::size_t x, std::size_t y, double threshold, QueryContext& ctx,
+                           CostMeter& meter) {
+  const auto order = model.order();
+  double partial = model.model().bias();
+  for (std::size_t stage = 0; stage < order.size(); ++stage) {
+    if (!ctx.charge(1)) return kNegInf;  // aborted mid-pixel; ctx.stopped() is set
+    const std::size_t band = order[stage];
+    partial += model.model().weight(band) * archive.band(band).cell(x, y);
+    meter.add_ops(1);
+    meter.add_points(1);
+    meter.add_bytes(sizeof(double));
+    if (stage + 1 < order.size()) {
+      const Interval tail = model.tail(stage);
+      if (partial + tail.hi < threshold) {
+        meter.add_pruned();
+        return partial + tail.hi;  // certified below threshold
+      }
+    }
+  }
+  return partial;
+}
+
+/// Full-model evaluation of one pixel.
+inline double full_pixel(const TiledArchive& archive, const RasterModel& model, std::size_t x,
+                         std::size_t y, std::vector<double>& scratch, CostMeter& meter) {
+  archive.read_pixel(x, y, scratch, meter);
+  meter.add_ops(model.ops_per_evaluation());
+  return model.evaluate(scratch);
+}
+
+/// Scans the rectangle [x0,x1)×[y0,y1) with the full model, offering every
+/// finite score into `top` and counting non-finite ones into `bad_points`
+/// (and the context).  Stops early — possibly mid-row — once the context
+/// stops; callers check ctx.stopped() to distinguish.
+inline void scan_rect_full(const TiledArchive& archive, const RasterModel& model, std::size_t x0,
+                           std::size_t x1, std::size_t y0, std::size_t y1, TopK<RasterHit>& top,
+                           std::vector<double>& scratch, QueryContext& ctx, CostMeter& meter,
+                           std::uint64_t& bad_points) {
+  const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
+  for (std::size_t y = y0; y < y1 && !ctx.stopped(); ++y) {
+    for (std::size_t x = x0; x < x1; ++x) {
+      if (!ctx.charge(ops_per_pixel)) break;
+      const double score = full_pixel(archive, model, x, y, scratch, meter);
+      if (!std::isfinite(score)) {
+        ctx.note_bad_points();
+        ++bad_points;
+        continue;
+      }
+      top.offer(score, RasterHit{x, y, score});
+    }
+  }
+}
+
+/// Staged-scan counterpart of scan_rect_full.  `threshold` is a callable
+/// returning the current abandoning threshold (a lower bound on the final
+/// global K-th best); `on_offer` runs after each successful offer so callers
+/// can publish their updated heap threshold.
+template <typename ThresholdFn, typename OnOfferFn>
+inline void scan_rect_staged(const TiledArchive& archive, const ProgressiveLinearModel& model,
+                             std::size_t x0, std::size_t x1, std::size_t y0, std::size_t y1,
+                             TopK<RasterHit>& top, ThresholdFn&& threshold, OnOfferFn&& on_offer,
+                             QueryContext& ctx, CostMeter& meter, std::uint64_t& bad_points) {
+  for (std::size_t y = y0; y < y1 && !ctx.stopped(); ++y) {
+    for (std::size_t x = x0; x < x1; ++x) {
+      const double score = staged_pixel(archive, model, x, y, threshold(), ctx, meter);
+      if (ctx.stopped()) break;
+      if (!std::isfinite(score)) {
+        ctx.note_bad_points();
+        ++bad_points;
+        continue;
+      }
+      if (score > top.threshold()) {
+        top.offer(score, RasterHit{x, y, score});
+        on_offer();
+      }
+    }
+  }
+}
+
+/// Per-tile model bounds and the screening visit order (descending interval
+/// upper bound).  Charges the meter one model-bound evaluation per tile —
+/// the metadata-level work of the data leg.
+struct TileBounds {
+  std::vector<Interval> bounds;     ///< per-tile model interval, tile index order
+  std::vector<std::size_t> order;   ///< tile indices, best upper bound first
+};
+
+/// Computes `bounds` (without ordering) for every tile.  Split out so the
+/// engine's tile-summary cache can serve individual tiles (engine/cache.hpp).
+inline void tile_bounds_into(const TiledArchive& archive, const RasterModel& model,
+                             std::vector<Interval>& bounds, CostMeter& meter) {
+  const auto tiles = archive.tiles();
+  bounds.resize(tiles.size());
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    bounds[t] = model.bound(tiles[t].band_range);
+    // Metadata-level work: one model-bound evaluation per tile.
+    meter.add_ops(model.ops_per_evaluation());
+  }
+}
+
+/// Sorts tile indices by descending bound upper bound.
+inline std::vector<std::size_t> order_by_bound(const std::vector<Interval>& bounds) {
+  std::vector<std::size_t> order(bounds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return bounds[a].hi > bounds[b].hi; });
+  return order;
+}
+
+/// Bounds + visit order in one step (the serial executors' metadata pass).
+inline TileBounds compute_tile_bounds(const TiledArchive& archive, const RasterModel& model,
+                                      CostMeter& meter) {
+  TileBounds tb;
+  tile_bounds_into(archive, model, tb.bounds, meter);
+  tb.order = order_by_bound(tb.bounds);
+  return tb;
+}
+
+/// Sound upper bound on the model anywhere in the archive (finite data only),
+/// used as the missed-score bound when a scan-order executor truncates.
+inline double archive_score_bound(const TiledArchive& archive, const RasterModel& model) {
+  return model.bound(archive.band_ranges()).hi;
+}
+
+/// Status of an execution that ran out its loops without truncating.
+inline ResultStatus completion_status(const TiledArchive& archive, std::uint64_t bad_points) {
+  // An archive carrying poisoned samples yields a degraded answer even when
+  // this query never touched them (a pruned tile's NaN could have been
+  // anything): the result is exact over the *finite* data only.
+  return bad_points > 0 || archive.bad_pixel_count() > 0 ? ResultStatus::kDegraded
+                                                         : ResultStatus::kComplete;
+}
+
+}  // namespace mmir::exec

@@ -1,90 +1,16 @@
 #include "core/progressive_exec.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
+
+#include "core/exec_kernels.hpp"
 
 namespace mmir {
 
-namespace {
+// The pixel/tile kernels live in core/exec_kernels.hpp, shared with the
+// tile-parallel executors in engine/parallel_exec.cpp; this file wires them
+// into the four serial executors with the exact historical semantics.
 
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
-  std::vector<RasterHit> out;
-  for (auto& entry : top.take_sorted()) out.push_back(entry.item);
-  return out;
-}
-
-/// Staged evaluation of one pixel with early abandoning: returns the exact
-/// score, or any value strictly below `threshold` once the upper bound drops
-/// under it.  Charges one op + point per term actually computed, both to the
-/// meter and to the query context (whose failure aborts the pixel — callers
-/// must check ctx.stopped() on return).
-double staged_pixel(const TiledArchive& archive, const ProgressiveLinearModel& model,
-                    std::size_t x, std::size_t y, double threshold, QueryContext& ctx,
-                    CostMeter& meter) {
-  const auto order = model.order();
-  double partial = model.model().bias();
-  for (std::size_t stage = 0; stage < order.size(); ++stage) {
-    if (!ctx.charge(1)) return kNegInf;  // aborted mid-pixel; ctx.stopped() is set
-    const std::size_t band = order[stage];
-    partial += model.model().weight(band) * archive.band(band).cell(x, y);
-    meter.add_ops(1);
-    meter.add_points(1);
-    meter.add_bytes(sizeof(double));
-    if (stage + 1 < order.size()) {
-      const Interval tail = model.tail(stage);
-      if (partial + tail.hi < threshold) {
-        meter.add_pruned();
-        return partial + tail.hi;  // certified below threshold
-      }
-    }
-  }
-  return partial;
-}
-
-/// Full-model evaluation of one pixel.
-double full_pixel(const TiledArchive& archive, const RasterModel& model, std::size_t x,
-                  std::size_t y, std::vector<double>& scratch, CostMeter& meter) {
-  archive.read_pixel(x, y, scratch, meter);
-  meter.add_ops(model.ops_per_evaluation());
-  return model.evaluate(scratch);
-}
-
-/// Tile visit order: by descending interval upper bound of the model.
-std::vector<std::size_t> tiles_by_bound(const TiledArchive& archive, const RasterModel& model,
-                                        std::vector<Interval>& bounds, CostMeter& meter) {
-  const auto tiles = archive.tiles();
-  bounds.resize(tiles.size());
-  for (std::size_t t = 0; t < tiles.size(); ++t) {
-    bounds[t] = model.bound(tiles[t].band_range);
-    // Metadata-level work: one model-bound evaluation per tile.
-    meter.add_ops(model.ops_per_evaluation());
-  }
-  std::vector<std::size_t> order(tiles.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return bounds[a].hi > bounds[b].hi; });
-  return order;
-}
-
-/// Sound upper bound on the model anywhere in the archive (finite data only),
-/// used as the missed-score bound when a scan-order executor truncates.
-double archive_score_bound(const TiledArchive& archive, const RasterModel& model) {
-  return model.bound(archive.band_ranges()).hi;
-}
-
-/// Status of an execution that ran out its loops without truncating.
-ResultStatus completion_status(const TiledArchive& archive, std::uint64_t bad_points) {
-  // An archive carrying poisoned samples yields a degraded answer even when
-  // this query never touched them (a pruned tile's NaN could have been
-  // anything): the result is exact over the *finite* data only.
-  return bad_points > 0 || archive.bad_pixel_count() > 0 ? ResultStatus::kDegraded
-                                                         : ResultStatus::kComplete;
-}
-
-}  // namespace
+using exec::kNegInf;
 
 RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model, std::size_t k,
                            QueryContext& ctx, CostMeter& meter) {
@@ -94,25 +20,14 @@ RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model
   RasterTopK out;
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
-  const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
-  for (std::size_t y = 0; y < archive.height() && !ctx.stopped(); ++y) {
-    for (std::size_t x = 0; x < archive.width(); ++x) {
-      if (!ctx.charge(ops_per_pixel)) break;
-      const double score = full_pixel(archive, model, x, y, pixel, meter);
-      if (!std::isfinite(score)) {
-        ctx.note_bad_points();
-        ++out.bad_points;
-        continue;
-      }
-      top.offer(score, RasterHit{x, y, score});
-    }
-  }
-  out.hits = finalize(top);
+  exec::scan_rect_full(archive, model, 0, archive.width(), 0, archive.height(), top, pixel, ctx,
+                       meter, out.bad_points);
+  out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
-    out.missed_bound = archive_score_bound(archive, model);
+    out.missed_bound = exec::archive_score_bound(archive, model);
   } else {
-    out.status = completion_status(archive, out.bad_points);
+    out.status = exec::completion_status(archive, out.bad_points);
   }
   return out;
 }
@@ -131,24 +46,15 @@ RasterTopK progressive_model_top_k(const TiledArchive& archive,
   ScopedTimer timer(meter);
   RasterTopK out;
   TopK<RasterHit> top(k);
-  for (std::size_t y = 0; y < archive.height() && !ctx.stopped(); ++y) {
-    for (std::size_t x = 0; x < archive.width(); ++x) {
-      const double score = staged_pixel(archive, model, x, y, top.threshold(), ctx, meter);
-      if (ctx.stopped()) break;
-      if (!std::isfinite(score)) {
-        ctx.note_bad_points();
-        ++out.bad_points;
-        continue;
-      }
-      if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
-    }
-  }
-  out.hits = finalize(top);
+  exec::scan_rect_staged(
+      archive, model, 0, archive.width(), 0, archive.height(), top,
+      [&] { return top.threshold(); }, [] {}, ctx, meter, out.bad_points);
+  out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound = model.model().evaluate_interval(archive.band_ranges()).hi;
   } else {
-    out.status = completion_status(archive, out.bad_points);
+    out.status = exec::completion_status(archive, out.bad_points);
   }
   return out;
 }
@@ -166,8 +72,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
   RasterTopK out;
-  std::vector<Interval> bounds;
-  const auto order = tiles_by_bound(archive, model, bounds, meter);
+  const exec::TileBounds tb = exec::compute_tile_bounds(archive, model, meter);
   const auto tiles = archive.tiles();
   const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
 
@@ -177,47 +82,37 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   // Metadata pass: one bound evaluation per tile.
   if (!ctx.charge(tiles.size() * ops_per_pixel)) {
     out.status = ctx.stop_reason();
-    out.missed_bound = archive_score_bound(archive, model);
+    out.missed_bound = exec::archive_score_bound(archive, model);
     return out;
   }
-  for (std::size_t t : order) {
-    if (top.full() && bounds[t].hi <= top.threshold()) {
+  for (std::size_t t : tb.order) {
+    if (top.full() && tb.bounds[t].hi <= top.threshold()) {
       // Tiles are sorted, so every later tile is dominated too; count them
       // all as pruned and stop.
-      for (std::size_t rest = 0; rest < order.size(); ++rest) {
-        if (order[rest] == t) {
-          meter.add_pruned(order.size() - rest);
+      for (std::size_t rest = 0; rest < tb.order.size(); ++rest) {
+        if (tb.order[rest] == t) {
+          meter.add_pruned(tb.order.size() - rest);
           break;
         }
       }
       break;
     }
     const TileSummary& tile = tiles[t];
-    for (std::size_t y = tile.y0; y < tile.y0 + tile.height && !ctx.stopped(); ++y) {
-      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
-        if (!ctx.charge(ops_per_pixel)) break;
-        const double score = full_pixel(archive, model, x, y, pixel, meter);
-        if (!std::isfinite(score)) {
-          ctx.note_bad_points();
-          ++out.bad_points;
-          continue;
-        }
-        top.offer(score, RasterHit{x, y, score});
-      }
-    }
+    exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
+                         tile.y0 + tile.height, top, pixel, ctx, meter, out.bad_points);
     if (ctx.stopped()) {
       // Tiles run best-bound-first, so the current tile's bound dominates
       // everything unexamined (its own remainder and all later tiles).
-      truncation_bound = bounds[t].hi;
+      truncation_bound = tb.bounds[t].hi;
       break;
     }
   }
-  out.hits = finalize(top);
+  out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound = truncation_bound;
   } else {
-    out.status = completion_status(archive, out.bad_points);
+    out.status = exec::completion_status(archive, out.bad_points);
   }
   return out;
 }
@@ -236,51 +131,41 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   ScopedTimer timer(meter);
   RasterTopK out;
   const LinearRasterModel raster_model(model.model());
-  std::vector<Interval> bounds;
-  const auto order = tiles_by_bound(archive, raster_model, bounds, meter);
+  const exec::TileBounds tb = exec::compute_tile_bounds(archive, raster_model, meter);
   const auto tiles = archive.tiles();
 
   TopK<RasterHit> top(k);
   double truncation_bound = kNegInf;
   if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
     out.status = ctx.stop_reason();
-    out.missed_bound = archive_score_bound(archive, raster_model);
+    out.missed_bound = exec::archive_score_bound(archive, raster_model);
     return out;
   }
-  for (std::size_t t : order) {
-    if (top.full() && bounds[t].hi <= top.threshold()) {
-      for (std::size_t rest = 0; rest < order.size(); ++rest) {
-        if (order[rest] == t) {
-          meter.add_pruned(order.size() - rest);
+  for (std::size_t t : tb.order) {
+    if (top.full() && tb.bounds[t].hi <= top.threshold()) {
+      for (std::size_t rest = 0; rest < tb.order.size(); ++rest) {
+        if (tb.order[rest] == t) {
+          meter.add_pruned(tb.order.size() - rest);
           break;
         }
       }
       break;
     }
     const TileSummary& tile = tiles[t];
-    for (std::size_t y = tile.y0; y < tile.y0 + tile.height && !ctx.stopped(); ++y) {
-      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
-        const double score = staged_pixel(archive, model, x, y, top.threshold(), ctx, meter);
-        if (ctx.stopped()) break;
-        if (!std::isfinite(score)) {
-          ctx.note_bad_points();
-          ++out.bad_points;
-          continue;
-        }
-        if (score > top.threshold()) top.offer(score, RasterHit{x, y, score});
-      }
-    }
+    exec::scan_rect_staged(
+        archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height, top,
+        [&] { return top.threshold(); }, [] {}, ctx, meter, out.bad_points);
     if (ctx.stopped()) {
-      truncation_bound = bounds[t].hi;
+      truncation_bound = tb.bounds[t].hi;
       break;
     }
   }
-  out.hits = finalize(top);
+  out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound = truncation_bound;
   } else {
-    out.status = completion_status(archive, out.bad_points);
+    out.status = exec::completion_status(archive, out.bad_points);
   }
   return out;
 }

@@ -18,6 +18,23 @@
 // score of anything they did not examine — a partial answer the caller can
 // still reason about instead of an exception or an unbounded stall.
 //
+// Concurrency: one context is shared by every worker of a tile-parallel
+// execution (engine/parallel_exec.hpp), so the mutable execution state —
+// spent counter, check tick, bad-point tally, latched stop reason — lives in
+// relaxed atomics:
+//
+//   * charge() accumulates with fetch_add; concurrent charges never lose
+//     work, so the budget is enforced exactly (the first add that lands past
+//     the budget fails, and every later charge observes the latch).
+//   * the stop reason latches via compare-exchange: exactly one cause wins
+//     and is never overwritten by a concurrently detected one.
+//   * relaxed ordering is sufficient because the context only *steers*
+//     control flow; result data produced by workers is published by the
+//     thread pool's join, never through the context.
+//
+// Configuration (with_*) and reset() are NOT thread-safe: configure before
+// sharing, reset only after all workers have joined.
+//
 // The class is fully header-only so leaf libraries (sproc, index) can use it
 // without linking mmir_core; only the cold deadline/cancel path touches the
 // clock, and it is kept out of charge()'s inlined fast path.
@@ -34,11 +51,16 @@ namespace mmir {
 
 /// Budget / deadline / cancellation envelope for one query (or one batch of
 /// queries: spent work accumulates across calls that share a context).
+/// Safe to share across the workers of one parallel execution; see the
+/// header comment for the exact guarantees.
 class QueryContext {
  public:
   /// Default: unbounded — charge() never fails, queries behave exactly like
   /// the budget-unaware code paths.
   QueryContext() = default;
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
 
   // ------------------------------------------------------------- configuration
 
@@ -70,6 +92,8 @@ class QueryContext {
 
   /// How many charged units elapse between deadline / cancellation checks
   /// (default 1024).  Lower values react faster and cost more clock reads.
+  /// With W workers sharing the context the *aggregate* check cadence is the
+  /// same; each individual worker may go up to W intervals between checks.
   QueryContext& with_check_interval(std::uint64_t units) {
     MMIR_EXPECTS(units > 0);
     check_interval_ = units;
@@ -81,16 +105,17 @@ class QueryContext {
   /// Charges `units` of work.  Returns true when execution may proceed;
   /// false once the budget is exhausted, the deadline passed, or the caller
   /// cancelled.  The first failure latches: all later charges fail too.
+  /// Safe to call concurrently from multiple workers (see header comment).
   [[nodiscard]] bool charge(std::uint64_t units = 1) noexcept {
-    if (stop_ != ResultStatus::kComplete) return false;
-    spent_ += units;
-    if (spent_ > budget_) {
-      stop_ = ResultStatus::kTruncatedBudget;
+    if (stop_.load(std::memory_order_relaxed) != ResultStatus::kComplete) return false;
+    const std::uint64_t spent = spent_.fetch_add(units, std::memory_order_relaxed) + units;
+    if (spent > budget_) {
+      latch(ResultStatus::kTruncatedBudget);
       return false;
     }
     if (has_deadline_ || cancel_ != nullptr) {
-      tick_ += units;
-      if (tick_ >= check_interval_) return check_slow();
+      const std::uint64_t tick = tick_.fetch_add(units, std::memory_order_relaxed) + units;
+      if (tick >= check_interval_) return check_slow();
     }
     return true;
   }
@@ -99,68 +124,90 @@ class QueryContext {
   /// charging work (used at coarse-grained checkpoints, e.g. between
   /// workflow iterations).  Latches like charge().
   [[nodiscard]] bool expired() noexcept {
-    if (stop_ != ResultStatus::kComplete) return true;
-    if (spent_ > budget_) {
-      stop_ = ResultStatus::kTruncatedBudget;
+    if (stop_.load(std::memory_order_relaxed) != ResultStatus::kComplete) return true;
+    if (spent_.load(std::memory_order_relaxed) > budget_) {
+      latch(ResultStatus::kTruncatedBudget);
       return true;
     }
-    if (cancel_ != nullptr || has_deadline_) {
-      tick_ = check_interval_;  // force the slow path
-      return !check_slow();
-    }
+    if (cancel_ != nullptr || has_deadline_) return !check_slow();
     return false;
   }
 
   /// True once a charge has failed (or expired() observed a stop condition).
-  [[nodiscard]] bool stopped() const noexcept { return stop_ != ResultStatus::kComplete; }
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_.load(std::memory_order_relaxed) != ResultStatus::kComplete;
+  }
 
   /// Why the query stopped; kComplete while still running.
-  [[nodiscard]] ResultStatus stop_reason() const noexcept { return stop_; }
+  [[nodiscard]] ResultStatus stop_reason() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
 
   /// Records `n` poisoned (non-finite) data points skipped during evaluation.
-  void note_bad_points(std::uint64_t n = 1) noexcept { bad_points_ += n; }
-  [[nodiscard]] std::uint64_t bad_points() const noexcept { return bad_points_; }
+  void note_bad_points(std::uint64_t n = 1) noexcept {
+    bad_points_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bad_points() const noexcept {
+    return bad_points_.load(std::memory_order_relaxed);
+  }
 
-  [[nodiscard]] std::uint64_t spent() const noexcept { return spent_; }
+  /// Total charged work.  Concurrent failing charges may leave this slightly
+  /// above budget(); remaining() clamps accordingly.
+  [[nodiscard]] std::uint64_t spent() const noexcept {
+    return spent_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
   [[nodiscard]] std::uint64_t remaining() const noexcept {
-    return spent_ >= budget_ ? 0 : budget_ - spent_;
+    const std::uint64_t spent = spent_.load(std::memory_order_relaxed);
+    return spent >= budget_ ? 0 : budget_ - spent;
   }
 
   /// Clears spent work, the latched stop reason and the bad-point tally,
   /// keeping the configuration — for reusing one context across queries.
+  /// Not thread-safe: call only when no worker is executing.
   void reset() noexcept {
-    spent_ = 0;
-    tick_ = 0;
-    bad_points_ = 0;
-    stop_ = ResultStatus::kComplete;
+    spent_.store(0, std::memory_order_relaxed);
+    tick_.store(0, std::memory_order_relaxed);
+    bad_points_.store(0, std::memory_order_relaxed);
+    stop_.store(ResultStatus::kComplete, std::memory_order_relaxed);
   }
 
  private:
+  /// Latches the first stop reason; concurrent detections of a different
+  /// cause lose the race and keep the original reason.
+  void latch(ResultStatus reason) noexcept {
+    ResultStatus expected = ResultStatus::kComplete;
+    stop_.compare_exchange_strong(expected, reason, std::memory_order_relaxed,
+                                  std::memory_order_relaxed);
+  }
+
   /// Cold path: consults the cancellation flag and the clock.  Marked
   /// noinline so the hot charge() stays small enough to inline.
   [[gnu::noinline]] bool check_slow() noexcept {
-    tick_ = 0;
+    tick_.store(0, std::memory_order_relaxed);
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
-      stop_ = ResultStatus::kCancelled;
+      latch(ResultStatus::kCancelled);
       return false;
     }
     if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
-      stop_ = ResultStatus::kTruncatedDeadline;
+      latch(ResultStatus::kTruncatedDeadline);
       return false;
     }
     return true;
   }
 
+  // Configuration: written before workers start, read-only afterwards.
   std::uint64_t budget_ = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t spent_ = 0;
-  std::uint64_t tick_ = 0;
   std::uint64_t check_interval_ = 1024;
   std::chrono::steady_clock::time_point deadline_{};
   const std::atomic<bool>* cancel_ = nullptr;
   bool has_deadline_ = false;
-  std::uint64_t bad_points_ = 0;
-  ResultStatus stop_ = ResultStatus::kComplete;
+
+  // Execution state: shared by workers, relaxed atomics (see header comment).
+  std::atomic<std::uint64_t> spent_{0};
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> bad_points_{0};
+  std::atomic<ResultStatus> stop_{ResultStatus::kComplete};
 };
 
 }  // namespace mmir

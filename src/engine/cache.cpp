@@ -1,0 +1,38 @@
+#include "engine/cache.hpp"
+
+#include <cstring>
+#include <ostream>
+
+namespace mmir {
+
+std::ostream& operator<<(std::ostream& os, const CacheStats& stats) {
+  os << "hits " << stats.hits << ", misses " << stats.misses << " ("
+     << stats.hit_rate() * 100.0 << "% hit), insertions " << stats.insertions << ", evictions "
+     << stats.evictions;
+  return os;
+}
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t size, std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t model_fingerprint(const LinearModel& model) noexcept {
+  const std::span<const double> weights = model.weights();
+  std::uint64_t hash = fnv1a_bytes(weights.data(), weights.size_bytes());
+  const double bias = model.bias();
+  return fnv1a_bytes(&bias, sizeof(bias), hash);
+}
+
+std::uint64_t model_fingerprint(const ProgressiveLinearModel& model) noexcept {
+  std::uint64_t hash = model_fingerprint(model.model());
+  const std::span<const std::size_t> order = model.order();
+  return fnv1a_bytes(order.data(), order.size_bytes(), hash);
+}
+
+}  // namespace mmir

@@ -1,0 +1,270 @@
+#include "engine/parallel_exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+namespace mmir {
+
+namespace {
+
+using exec::kNegInf;
+
+/// Monotone shared pruning threshold: a relaxed atomic maximum.  Readers may
+/// observe a stale (lower) value, which only weakens pruning — never
+/// soundness — so no ordering stronger than relaxed is needed.
+class SharedThreshold {
+ public:
+  [[nodiscard]] double get() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  void raise(double candidate) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_{kNegInf};
+};
+
+/// Per-worker accumulation state; one slot per pool worker + caller, indexed
+/// by the parallel_for slot so no synchronization is needed until the merge.
+struct WorkerState {
+  explicit WorkerState(std::size_t k) : top(k) {}
+  TopK<RasterHit> top;
+  CostMeter meter;
+  std::uint64_t bad_points = 0;
+  double truncation_bound = kNegInf;
+};
+
+/// Merges per-worker heaps/meters into the final result, reducing the
+/// meters with CostMeter::merge.  The global heap re-offers every local
+/// entry; local heaps hold the top-K of their partition, so the union
+/// contains the global top-K.
+void merge_workers(std::vector<WorkerState>& workers, std::size_t k, RasterTopK& out,
+                   CostMeter& meter) {
+  TopK<RasterHit> merged(k);
+  for (WorkerState& w : workers) {
+    for (auto& entry : w.top.take_sorted()) merged.offer(entry.score, entry.item);
+    meter.merge(w.meter);
+    out.bad_points += w.bad_points;
+  }
+  out.hits = exec::finalize(merged);
+}
+
+/// Row-band grain: a few chunks per slot for load balance without shredding
+/// cache locality.
+std::size_t row_grain(std::size_t height, std::size_t slots) {
+  return std::max<std::size_t>(1, height / (slots * 4));
+}
+
+/// Claims tiles best-bound-first off `cursor` and scans each with `scan`
+/// (signature: void(tile_index, WorkerState&)).  Returns via `state`
+/// the bound of the tile being examined when the context stopped.
+template <typename ScanTileFn>
+void tile_claim_loop(const exec::TileBounds& tb, std::atomic<std::size_t>& cursor,
+                     const SharedThreshold& shared, QueryContext& ctx, WorkerState& state,
+                     ScanTileFn&& scan) {
+  while (!ctx.stopped()) {
+    const std::size_t pos = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (pos >= tb.order.size()) return;
+    const std::size_t t = tb.order[pos];
+    const double threshold = shared.get();
+    if (threshold > kNegInf && tb.bounds[t].hi <= threshold) {
+      // Sound prune: threshold > -inf means some worker's heap is full, so
+      // the final global K-th best is at least `threshold`.
+      state.meter.add_pruned();
+      continue;
+    }
+    scan(t, state);
+    if (ctx.stopped()) {
+      // This tile may be partially examined; its bound covers the remainder.
+      state.truncation_bound = std::max(state.truncation_bound, tb.bounds[t].hi);
+      return;
+    }
+  }
+}
+
+/// Missed-score bound for a truncated tile-order run: the max bound over
+/// every tile not fully examined — each worker's in-flight tile plus the
+/// best unclaimed tile (claim order is descending bound, so the first
+/// unclaimed position dominates all later ones).
+double tile_truncation_bound(const std::vector<WorkerState>& workers, const exec::TileBounds& tb,
+                             std::size_t claimed) {
+  double bound = kNegInf;
+  for (const WorkerState& w : workers) bound = std::max(bound, w.truncation_bound);
+  if (claimed < tb.order.size()) bound = std::max(bound, tb.bounds[tb.order[claimed]].hi);
+  return bound;
+}
+
+}  // namespace
+
+RasterTopK parallel_full_scan_top_k(const TiledArchive& archive, const RasterModel& model,
+                                    std::size_t k, QueryContext& ctx, CostMeter& meter,
+                                    ThreadPool& pool) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  ScopedTimer timer(meter);
+  RasterTopK out;
+  std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
+
+  pool.parallel_for(0, archive.height(), row_grain(archive.height(), pool.slot_count()),
+                    [&](std::size_t y0, std::size_t y1, std::size_t slot) {
+                      if (ctx.stopped()) return;
+                      WorkerState& w = workers[slot];
+                      std::vector<double> scratch(archive.band_count());
+                      exec::scan_rect_full(archive, model, 0, archive.width(), y0, y1, w.top,
+                                           scratch, ctx, w.meter, w.bad_points);
+                    });
+
+  merge_workers(workers, k, out, meter);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = exec::archive_score_bound(archive, model);
+  } else {
+    out.status = exec::completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+RasterTopK parallel_progressive_model_top_k(const TiledArchive& archive,
+                                            const ProgressiveLinearModel& model, std::size_t k,
+                                            QueryContext& ctx, CostMeter& meter,
+                                            ThreadPool& pool) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  ScopedTimer timer(meter);
+  RasterTopK out;
+  std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
+  SharedThreshold shared;
+
+  pool.parallel_for(
+      0, archive.height(), row_grain(archive.height(), pool.slot_count()),
+      [&](std::size_t y0, std::size_t y1, std::size_t slot) {
+        if (ctx.stopped()) return;
+        WorkerState& w = workers[slot];
+        exec::scan_rect_staged(
+            archive, model, 0, archive.width(), y0, y1, w.top,
+            [&] { return std::max(w.top.threshold(), shared.get()); },
+            [&] {
+              if (w.top.full()) shared.raise(w.top.threshold());
+            },
+            ctx, w.meter, w.bad_points);
+      });
+
+  merge_workers(workers, k, out, meter);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound = model.model().evaluate_interval(archive.band_ranges()).hi;
+  } else {
+    out.status = exec::completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const RasterModel& model,
+                                        std::size_t k, QueryContext& ctx, CostMeter& meter,
+                                        ThreadPool& pool, const exec::TileBounds* precomputed) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  ScopedTimer timer(meter);
+  RasterTopK out;
+  const auto tiles = archive.tiles();
+  const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
+
+  exec::TileBounds local;
+  const exec::TileBounds* tb = precomputed;
+  if (tb == nullptr) {
+    // Metadata pass: one bound evaluation per tile (charged like the serial
+    // executor; a cached-bounds run skips both the work and the charge).
+    if (!ctx.charge(tiles.size() * ops_per_pixel)) {
+      out.status = ctx.stop_reason();
+      out.missed_bound = exec::archive_score_bound(archive, model);
+      return out;
+    }
+    local = exec::compute_tile_bounds(archive, model, meter);
+    tb = &local;
+  }
+
+  std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
+  SharedThreshold shared;
+  std::atomic<std::size_t> cursor{0};
+
+  pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
+    std::vector<double> scratch(archive.band_count());
+    tile_claim_loop(*tb, cursor, shared, ctx, workers[slot],
+                    [&](std::size_t t, WorkerState& w) {
+                      const TileSummary& tile = tiles[t];
+                      exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
+                                           tile.y0 + tile.height, w.top, scratch, ctx, w.meter,
+                                           w.bad_points);
+                      if (w.top.full()) shared.raise(w.top.threshold());
+                    });
+  });
+
+  merge_workers(workers, k, out, meter);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound =
+        tile_truncation_bound(workers, *tb, std::min(cursor.load(), tb->order.size()));
+  } else {
+    out.status = exec::completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
+                                               const ProgressiveLinearModel& model, std::size_t k,
+                                               QueryContext& ctx, CostMeter& meter,
+                                               ThreadPool& pool,
+                                               const exec::TileBounds* precomputed) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  ScopedTimer timer(meter);
+  RasterTopK out;
+  const LinearRasterModel raster_model(model.model());
+  const auto tiles = archive.tiles();
+
+  exec::TileBounds local;
+  const exec::TileBounds* tb = precomputed;
+  if (tb == nullptr) {
+    if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
+      out.status = ctx.stop_reason();
+      out.missed_bound = exec::archive_score_bound(archive, raster_model);
+      return out;
+    }
+    local = exec::compute_tile_bounds(archive, raster_model, meter);
+    tb = &local;
+  }
+
+  std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
+  SharedThreshold shared;
+  std::atomic<std::size_t> cursor{0};
+
+  pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
+    tile_claim_loop(
+        *tb, cursor, shared, ctx, workers[slot], [&](std::size_t t, WorkerState& w) {
+          const TileSummary& tile = tiles[t];
+          exec::scan_rect_staged(
+              archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height,
+              w.top, [&] { return std::max(w.top.threshold(), shared.get()); },
+              [&] {
+                if (w.top.full()) shared.raise(w.top.threshold());
+              },
+              ctx, w.meter, w.bad_points);
+        });
+  });
+
+  merge_workers(workers, k, out, meter);
+  if (ctx.stopped()) {
+    out.status = ctx.stop_reason();
+    out.missed_bound =
+        tile_truncation_bound(workers, *tb, std::min(cursor.load(), tb->order.size()));
+  } else {
+    out.status = exec::completion_status(archive, out.bad_points);
+  }
+  return out;
+}
+
+}  // namespace mmir

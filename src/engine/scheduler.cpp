@@ -1,0 +1,322 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+
+namespace mmir {
+
+namespace {
+
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// A shed job examined nothing, so its empty result carries the loosest sound
+// missed bound for its score domain.
+void mark_shed(RasterTopK& result) {
+  result.status = ResultStatus::kShed;
+  result.missed_bound = kPosInf;
+}
+void mark_shed(OnionTopK& result) {
+  result.status = ResultStatus::kShed;
+  result.missed_bound = kPosInf;
+}
+void mark_shed(CompositeTopK& result) {
+  result.status = ResultStatus::kShed;
+  result.missed_bound = 1.0;  // fuzzy degrees live in [0, 1]
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
+  exec_pool_ = std::make_unique<ThreadPool>(config_.intra_query_threads);
+  if (config_.result_cache_entries > 0) {
+    result_cache_ =
+        std::make_unique<ResultCache>(config_.result_cache_entries, config_.cache_shards);
+  }
+  if (config_.tile_cache_entries > 0) {
+    tile_cache_ = std::make_unique<TileCache>(config_.tile_cache_entries, config_.cache_shards);
+  }
+  paused_ = config_.start_paused;
+  const std::size_t dispatchers = std::max<std::size_t>(1, config_.dispatchers);
+  dispatchers_.reserve(dispatchers);
+  for (std::size_t i = 0; i < dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  std::vector<QueuedTask> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    for (auto& level : queues_) {
+      for (QueuedTask& task : level) leftovers.push_back(std::move(task));
+      level.clear();
+    }
+    queued_ = 0;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  // Fulfil the futures of jobs that never ran.
+  for (QueuedTask& task : leftovers) task.run(true);
+  drain_cv_.notify_all();
+}
+
+void QueryEngine::pause() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  paused_ = true;
+}
+
+void QueryEngine::resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drain_cv_.wait(lock, [&] { return queued_ == 0 && active_ == 0; });
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queued_;
+    s.active = active_;
+  }
+  return s;
+}
+
+CacheStats QueryEngine::result_cache_stats() const {
+  return result_cache_ ? result_cache_->stats() : CacheStats{};
+}
+
+CacheStats QueryEngine::tile_cache_stats() const {
+  return tile_cache_ ? tile_cache_->stats() : CacheStats{};
+}
+
+void QueryEngine::configure_context(QueryContext& ctx, const JobLimits& limits,
+                                    std::chrono::steady_clock::time_point submitted) const {
+  ctx.with_op_budget(limits.op_budget);
+  if (limits.timeout.count() > 0) ctx.with_deadline(submitted + limits.timeout);
+  if (limits.cancel != nullptr) ctx.with_cancel_flag(limits.cancel);
+}
+
+void QueryEngine::dispatcher_loop() {
+  for (;;) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || (!paused_ && queued_ > 0); });
+      if (stopping_) return;
+      for (auto& level : queues_) {
+        if (!level.empty()) {
+          task = std::move(level.front());
+          level.pop_front();
+          break;
+        }
+      }
+      --queued_;
+      ++active_;
+    }
+    task.run(false);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+template <typename Outcome, typename Execute>
+std::future<Outcome> QueryEngine::enqueue(const JobLimits& limits, Execute execute) {
+  auto promise = std::make_shared<std::promise<Outcome>>();
+  std::future<Outcome> future = promise->get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const auto submitted_at = std::chrono::steady_clock::now();
+
+  QueuedTask task;
+  task.run = [this, promise, execute = std::move(execute), limits, submitted_at](bool shed) {
+    Outcome out;
+    if (shed) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      mark_shed(out.result);
+      promise->set_value(std::move(out));
+      return;
+    }
+    out.dispatch_order = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const auto started = std::chrono::steady_clock::now();
+    out.queue_wait =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(started - submitted_at);
+    try {
+      QueryContext ctx;
+      configure_context(ctx, limits, submitted_at);
+      execute(ctx, out);
+      out.exec_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      promise->set_value(std::move(out));
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      promise->set_exception(std::current_exception());
+    }
+  };
+
+  bool admit = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queued_ < config_.queue_capacity) {
+      queues_[static_cast<std::size_t>(limits.priority)].push_back(std::move(task));
+      ++queued_;
+      admit = true;
+    }
+  }
+  if (admit) {
+    queue_cv_.notify_one();
+  } else {
+    task.run(true);  // admission control: shed without dispatching
+  }
+  return future;
+}
+
+bool QueryEngine::cached_tile_bounds(const RasterJob& job, const RasterModel& screen_model,
+                                     std::uint64_t model_fp, exec::TileBounds& tb,
+                                     CostMeter& meter) {
+  if (tile_cache_ == nullptr || job.archive_id == 0 || model_fp == 0) return false;
+  const auto tiles = job.archive->tiles();
+  tb.bounds.resize(tiles.size());
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const TileCacheKey key{job.archive_id, model_fp, static_cast<std::uint64_t>(t)};
+    if (auto cached = tile_cache_->get(key)) {
+      tb.bounds[t] = *cached;
+      ++hits;
+      continue;
+    }
+    tb.bounds[t] = screen_model.bound(tiles[t].band_range);
+    meter.add_ops(screen_model.ops_per_evaluation());
+    tile_cache_->put(key, tb.bounds[t]);
+    ++misses;
+  }
+  meter.add_cache_hits(hits);
+  meter.add_cache_misses(misses);
+  tb.order = exec::order_by_bound(tb.bounds);
+  return true;
+}
+
+std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
+  MMIR_EXPECTS(job.archive != nullptr);
+  MMIR_EXPECTS(job.k > 0);
+  const bool model_leg =
+      job.mode == RasterJob::Mode::kProgressiveModel || job.mode == RasterJob::Mode::kCombined;
+  if (model_leg) {
+    MMIR_EXPECTS(job.progressive != nullptr);
+  } else {
+    MMIR_EXPECTS(job.model != nullptr);
+  }
+
+  return enqueue<RasterOutcome>(
+      job.limits, [this, job](QueryContext& ctx, RasterOutcome& out) {
+        const bool model_leg = job.mode == RasterJob::Mode::kProgressiveModel ||
+                               job.mode == RasterJob::Mode::kCombined;
+        std::uint64_t fp = job.model_fingerprint;
+        if (fp == 0) {
+          if (model_leg) {
+            fp = model_fingerprint(*job.progressive);
+          } else if (const auto* linear = dynamic_cast<const LinearRasterModel*>(job.model)) {
+            fp = model_fingerprint(linear->linear());
+          }
+        }
+        const bool cacheable = job.archive_id != 0 && fp != 0 && result_cache_ != nullptr;
+        const QueryCacheKey key{job.archive_id, fp, static_cast<std::uint32_t>(job.k),
+                                static_cast<std::uint32_t>(job.mode)};
+        if (cacheable) {
+          if (auto hit = result_cache_->get(key)) {
+            out.result = **hit;
+            out.cache_hit = true;
+            out.meter.add_cache_hits();
+            return;
+          }
+          out.meter.add_cache_misses();
+        }
+
+        exec::TileBounds tb;
+        const exec::TileBounds* precomputed = nullptr;
+        switch (job.mode) {
+          case RasterJob::Mode::kFullScan:
+            out.result = parallel_full_scan_top_k(*job.archive, *job.model, job.k, ctx,
+                                                  out.meter, *exec_pool_);
+            break;
+          case RasterJob::Mode::kProgressiveModel:
+            out.result = parallel_progressive_model_top_k(*job.archive, *job.progressive, job.k,
+                                                          ctx, out.meter, *exec_pool_);
+            break;
+          case RasterJob::Mode::kTileScreened:
+            if (job.archive_id != 0 && fp != 0 &&
+                cached_tile_bounds(job, *job.model, fp, tb, out.meter)) {
+              precomputed = &tb;
+            }
+            out.result = parallel_tile_screened_top_k(*job.archive, *job.model, job.k, ctx,
+                                                      out.meter, *exec_pool_, precomputed);
+            break;
+          case RasterJob::Mode::kCombined: {
+            const LinearRasterModel screen(job.progressive->model());
+            if (job.archive_id != 0 && fp != 0 &&
+                cached_tile_bounds(job, screen, fp, tb, out.meter)) {
+              precomputed = &tb;
+            }
+            out.result = parallel_progressive_combined_top_k(
+                *job.archive, *job.progressive, job.k, ctx, out.meter, *exec_pool_, precomputed);
+            break;
+          }
+        }
+
+        // Only answers that do not depend on this query's budget/deadline
+        // are admissible: a truncated result would poison future lookups.
+        if (cacheable && !is_truncated(out.result.status)) {
+          result_cache_->put(key, std::make_shared<const RasterTopK>(out.result));
+        }
+      });
+}
+
+std::future<OnionOutcome> QueryEngine::submit(OnionJob job) {
+  MMIR_EXPECTS(job.index != nullptr);
+  MMIR_EXPECTS(job.k > 0);
+  MMIR_EXPECTS(!job.weights.empty());
+  return enqueue<OnionOutcome>(job.limits,
+                               [job = std::move(job)](QueryContext& ctx, OnionOutcome& out) {
+                                 out.result = job.index->top_k(job.weights, job.k, ctx, out.meter);
+                               });
+}
+
+std::future<CompositeOutcome> QueryEngine::submit(CompositeJob job) {
+  MMIR_EXPECTS(job.query != nullptr);
+  MMIR_EXPECTS(job.k > 0);
+  return enqueue<CompositeOutcome>(
+      job.limits, [job](QueryContext& ctx, CompositeOutcome& out) {
+        switch (job.processor) {
+          case CompositeJob::Processor::kFastSproc:
+            out.result = fast_sproc_top_k(*job.query, job.k, ctx, out.meter);
+            break;
+          case CompositeJob::Processor::kSproc:
+            out.result = sproc_top_k(*job.query, job.k, ctx, out.meter);
+            break;
+          case CompositeJob::Processor::kBruteForce:
+            out.result = brute_force_top_k(*job.query, job.k, ctx, out.meter);
+            break;
+        }
+      });
+}
+
+}  // namespace mmir

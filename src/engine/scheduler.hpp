@@ -1,0 +1,225 @@
+#pragma once
+// Concurrent query scheduler: bounded admission, priorities, futures.
+//
+// The paper frames model-based retrieval as a *server-side archive service*;
+// PR 1 gave each query a fault envelope (QueryContext), and this scheduler
+// runs many such queries at once:
+//
+//   * submit() enqueues a job into a bounded three-level priority queue and
+//     returns a std::future.  When the queue is at capacity the job is
+//     *shed* instead: the future completes immediately with an empty result
+//     flagged ResultStatus::kShed and the loosest sound missed bound —
+//     back-pressure expressed in the same vocabulary executors already use
+//     for truncation, so callers handle overload and budget expiry with one
+//     code path.
+//   * a fixed set of dispatcher threads drains the queue highest priority
+//     first (FIFO within a level).  Each dispatcher builds the query's
+//     QueryContext (budget, the deadline anchored at *submission* so queue
+//     wait counts against it, caller cancel flag) and runs the executor.
+//   * raster jobs execute tile-parallel on a shared intra-query ThreadPool
+//     (size 0 = serial); results and per-tile screening bounds flow through
+//     the sharded LRU caches (engine/cache.hpp).  Only Complete/Degraded
+//     results are admitted to the result cache — a truncated answer is an
+//     artifact of its budget, not of the data.
+//
+// Outcomes carry the executor result, the merged CostMeter (including cache
+// hits/misses), queue-wait and execution wall times, and a dispatch sequence
+// number — enough for callers to build p50/p99 latency and shed-rate
+// dashboards (see bench/bench_engine.cpp).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/progressive_exec.hpp"
+#include "engine/cache.hpp"
+#include "engine/parallel_exec.hpp"
+#include "engine/thread_pool.hpp"
+#include "index/onion.hpp"
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+/// Scheduling priority; lower value drains first.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kPriorityLevels = 3;
+
+struct EngineConfig {
+  std::size_t dispatchers = 2;          ///< concurrent queries in flight
+  std::size_t intra_query_threads = 0;  ///< tile-parallel pool size (0 = serial execution)
+  std::size_t queue_capacity = 64;      ///< pending jobs before shedding
+  std::size_t result_cache_entries = 256;  ///< whole-query results (0 disables)
+  std::size_t tile_cache_entries = 4096;   ///< per-tile screening bounds (0 disables)
+  std::size_t cache_shards = 8;
+  bool start_paused = false;  ///< admit but do not dispatch until resume()
+};
+
+/// Shared fields of every job type.
+struct JobLimits {
+  Priority priority = Priority::kNormal;
+  std::uint64_t op_budget = std::numeric_limits<std::uint64_t>::max();
+  /// 0 = no deadline; otherwise the deadline is submission time + timeout,
+  /// so time spent queued counts against it.
+  std::chrono::nanoseconds timeout{0};
+  const std::atomic<bool>* cancel = nullptr;  ///< caller-owned; must outlive the job
+};
+
+/// A raster top-K query over a tiled archive.
+struct RasterJob {
+  enum class Mode : std::uint32_t {
+    kFullScan = 0,
+    kProgressiveModel = 1,
+    kTileScreened = 2,
+    kCombined = 3,
+  };
+
+  Mode mode = Mode::kCombined;
+  const TiledArchive* archive = nullptr;
+  /// Required for kFullScan / kTileScreened.
+  const RasterModel* model = nullptr;
+  /// Required for kProgressiveModel / kCombined.
+  const ProgressiveLinearModel* progressive = nullptr;
+  std::size_t k = 10;
+  JobLimits limits;
+  /// Stable caller-assigned archive identity; 0 marks the job uncacheable.
+  std::uint64_t archive_id = 0;
+  /// Optional model fingerprint override; 0 = derive from the model when
+  /// possible (progressive models and LinearRasterModel), else uncacheable.
+  std::uint64_t model_fingerprint = 0;
+};
+
+/// An Onion-index linear top-K query.
+struct OnionJob {
+  const OnionIndex* index = nullptr;
+  std::vector<double> weights;
+  std::size_t k = 10;
+  JobLimits limits;
+};
+
+/// A fuzzy Cartesian composite query.
+struct CompositeJob {
+  enum class Processor : std::uint8_t { kFastSproc = 0, kSproc = 1, kBruteForce = 2 };
+
+  const CartesianQuery* query = nullptr;
+  Processor processor = Processor::kFastSproc;
+  std::size_t k = 10;
+  JobLimits limits;
+};
+
+/// Timing + accounting shared by every outcome type.
+struct OutcomeInfo {
+  CostMeter meter;
+  bool cache_hit = false;
+  std::uint64_t dispatch_order = 0;  ///< 0 for shed jobs (never dispatched)
+  std::chrono::nanoseconds queue_wait{0};
+  std::chrono::nanoseconds exec_time{0};
+
+  [[nodiscard]] std::chrono::nanoseconds latency() const noexcept {
+    return queue_wait + exec_time;
+  }
+};
+
+struct RasterOutcome : OutcomeInfo {
+  RasterTopK result;
+};
+struct OnionOutcome : OutcomeInfo {
+  OnionTopK result;
+};
+struct CompositeOutcome : OutcomeInfo {
+  CompositeTopK result;
+};
+
+/// Snapshot of engine counters.
+struct EngineStats {
+  std::uint64_t submitted = 0;  ///< jobs offered (admitted + shed)
+  std::uint64_t completed = 0;  ///< futures fulfilled by execution
+  std::uint64_t shed = 0;       ///< rejected by admission control / shutdown
+  std::uint64_t failed = 0;     ///< executions that ended in an exception
+  std::size_t queue_depth = 0;  ///< currently queued
+  std::size_t active = 0;       ///< currently executing
+};
+
+/// The engine facade: scheduler + intra-query thread pool + caches.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineConfig config = {});
+
+  /// Stops dispatchers; jobs still queued are shed (their futures complete
+  /// with ResultStatus::kShed).
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] std::future<RasterOutcome> submit(RasterJob job);
+  [[nodiscard]] std::future<OnionOutcome> submit(OnionJob job);
+  [[nodiscard]] std::future<CompositeOutcome> submit(CompositeJob job);
+
+  /// Holds dispatch (admission continues); resume() releases.  Used for
+  /// deterministic queue build-up in tests and for maintenance windows.
+  void pause();
+  void resume();
+
+  /// Blocks until the queue is empty and no query is executing.
+  void drain();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] CacheStats result_cache_stats() const;
+  [[nodiscard]] CacheStats tile_cache_stats() const;
+
+ private:
+  using ResultCache =
+      ShardedLruCache<QueryCacheKey, std::shared_ptr<const RasterTopK>, QueryCacheKeyHash>;
+  using TileCache = ShardedLruCache<TileCacheKey, Interval, TileCacheKeyHash>;
+
+  /// A queued unit of work: run(false) executes, run(true) sheds.
+  struct QueuedTask {
+    std::function<void(bool shed)> run;
+  };
+
+  template <typename Outcome, typename Execute>
+  std::future<Outcome> enqueue(const JobLimits& limits, Execute execute);
+
+  void dispatcher_loop();
+  void configure_context(QueryContext& ctx, const JobLimits& limits,
+                         std::chrono::steady_clock::time_point submitted) const;
+
+  RasterOutcome run_raster(const RasterJob& job, QueryContext& ctx);
+  /// Per-tile screening bounds via the tile cache; falls back to computing
+  /// (and charging) them like the executors do when the job is uncacheable.
+  bool cached_tile_bounds(const RasterJob& job, const RasterModel& screen_model,
+                          std::uint64_t model_fp, exec::TileBounds& tb, CostMeter& meter);
+
+  EngineConfig config_;
+  std::unique_ptr<ThreadPool> exec_pool_;
+  std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<TileCache> tile_cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<QueuedTask> queues_[kPriorityLevels];
+  std::size_t queued_ = 0;
+  std::size_t active_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> dispatch_seq_{0};
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace mmir

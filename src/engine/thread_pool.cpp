@@ -1,0 +1,142 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mmir {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: pairs with the wait in worker_loop so no
+    // worker can re-check its predicate between our store and notify.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();  // zero-worker pool: degrade to inline execution
+    return;
+  }
+  const std::size_t target = push_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first, newest task (LIFO keeps the owner's cache warm)…
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // …then steal the *oldest* task from a sibling (FIFO steals take the task
+  // most likely to fan out into further work).
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;  // drained: every queued task ran before shutdown
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = end - begin;
+
+  struct ForState {
+    std::atomic<std::size_t> next;
+    std::size_t end = 0;
+    std::size_t grain = 0;
+    std::size_t total = 0;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> next_slot{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->total = total;
+  state->body = &body;
+
+  // Each runner claims chunks off the shared cursor until none remain.  The
+  // caller is always one of the runners, so completion never depends on a
+  // pool worker being free.  Late-running stolen/queued runners find the
+  // cursor exhausted and exit without touching `body` (which may be gone).
+  auto run = [](const std::shared_ptr<ForState>& st) {
+    const std::size_t slot = st->next_slot.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      const std::size_t lo = st->next.fetch_add(st->grain, std::memory_order_relaxed);
+      if (lo >= st->end) return;
+      const std::size_t hi = std::min(lo + st->grain, st->end);
+      (*st->body)(lo, hi, slot);
+      if (st->done.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo) == st->total) {
+        std::lock_guard<std::mutex> lock(st->mutex);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t chunks = (total + grain - 1) / grain;
+  const std::size_t helpers = std::min(worker_count(), chunks > 1 ? chunks - 1 : 0);
+  for (std::size_t i = 0; i < helpers; ++i) submit([state, run] { run(state); });
+  run(state);  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) == state->total; });
+}
+
+}  // namespace mmir

@@ -12,6 +12,17 @@ double ratio(double num, double den) noexcept {
 }
 }  // namespace
 
+std::ostream& operator<<(std::ostream& os, const CostMeter& meter) {
+  os << "points " << meter.points() << ", ops " << meter.ops() << ", bytes " << meter.bytes()
+     << ", pruned " << meter.pruned() << ", wall " << meter.wall_ms() << "ms";
+  if (meter.cache_hits() + meter.cache_misses() > 0) {
+    const double total = static_cast<double>(meter.cache_hits() + meter.cache_misses());
+    os << ", cache " << meter.cache_hits() << " hit / " << meter.cache_misses() << " miss ("
+       << (static_cast<double>(meter.cache_hits()) / total * 100.0) << "% hit)";
+  }
+  return os;
+}
+
 double SpeedupReport::point_speedup() const noexcept {
   return ratio(static_cast<double>(baseline.points()), static_cast<double>(method.points()));
 }

@@ -32,12 +32,21 @@ class CostMeter {
   /// Records that one candidate was pruned without evaluation.
   void add_pruned(std::uint64_t n = 1) noexcept { pruned_ += n; }
 
+  /// Records `n` engine-cache hits (whole-query results or tile summaries
+  /// served without recomputation; see engine/cache.hpp).
+  void add_cache_hits(std::uint64_t n = 1) noexcept { cache_hits_ += n; }
+
+  /// Records `n` engine-cache misses (lookups that fell through to work).
+  void add_cache_misses(std::uint64_t n = 1) noexcept { cache_misses_ += n; }
+
   void add_wall(std::chrono::nanoseconds d) noexcept { wall_ += d; }
 
   [[nodiscard]] std::uint64_t points() const noexcept { return points_; }
   [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t pruned() const noexcept { return pruned_; }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return cache_misses_; }
   [[nodiscard]] std::chrono::nanoseconds wall() const noexcept { return wall_; }
   [[nodiscard]] double wall_ms() const noexcept {
     return std::chrono::duration<double, std::milli>(wall_).count();
@@ -50,17 +59,35 @@ class CostMeter {
     ops_ += other.ops_;
     bytes_ += other.bytes_;
     pruned_ += other.pruned_;
+    cache_hits_ += other.cache_hits_;
+    cache_misses_ += other.cache_misses_;
     wall_ += other.wall_;
     return *this;
   }
+
+  /// Folds another meter into this one — the reduction step of per-worker
+  /// meter accounting: each worker of a parallel executor charges a private
+  /// CostMeter with no synchronization, and the coordinating thread merges
+  /// them after the join (see engine/parallel_exec.cpp).  Alias of
+  /// operator+=; both sum every counter including cache hits/misses, and
+  /// wall-clock sums too (so merged wall is aggregate CPU-ish time, not
+  /// elapsed time — executors add elapsed time to the caller's meter via
+  /// ScopedTimer instead).
+  CostMeter& merge(const CostMeter& other) noexcept { return *this += other; }
 
  private:
   std::uint64_t points_ = 0;
   std::uint64_t ops_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t pruned_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   std::chrono::nanoseconds wall_{0};
 };
+
+/// Prints the work counters; cache hit/miss stats are appended only when the
+/// meter saw any cache traffic (hits + misses > 0).
+std::ostream& operator<<(std::ostream& os, const CostMeter& meter);
 
 /// RAII timer adding its lifetime to a CostMeter's wall-clock on destruction.
 class ScopedTimer {

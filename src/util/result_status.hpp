@@ -19,12 +19,16 @@ enum class ResultStatus : std::uint8_t {
   kTruncatedBudget = 2,    ///< stopped early: cost budget exhausted
   kTruncatedDeadline = 3,  ///< stopped early: wall-clock deadline passed
   kCancelled = 4,          ///< stopped early: cooperative cancellation flag raised
+  kShed = 5,               ///< never ran: rejected by engine admission control (queue full
+                           ///< or shutdown); the result examined zero candidates
 };
 
-/// True when the execution stopped before examining all candidates.
+/// True when the execution stopped before examining all candidates.  A shed
+/// query is the extreme case: it examined nothing, so its (empty) result is
+/// truncated with the loosest sound missed bound.
 [[nodiscard]] constexpr bool is_truncated(ResultStatus s) noexcept {
   return s == ResultStatus::kTruncatedBudget || s == ResultStatus::kTruncatedDeadline ||
-         s == ResultStatus::kCancelled;
+         s == ResultStatus::kCancelled || s == ResultStatus::kShed;
 }
 
 [[nodiscard]] constexpr const char* to_string(ResultStatus s) noexcept {
@@ -34,6 +38,7 @@ enum class ResultStatus : std::uint8_t {
     case ResultStatus::kTruncatedBudget: return "truncated-budget";
     case ResultStatus::kTruncatedDeadline: return "truncated-deadline";
     case ResultStatus::kCancelled: return "cancelled";
+    case ResultStatus::kShed: return "shed";
   }
   return "unknown";
 }
