@@ -7,12 +7,32 @@
 // CostMeter) so the tables reproduce the paper's shape on any host;
 // wall-clock columns are for reference only.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "obs/clock.hpp"
 #include "util/cost.hpp"
 
 namespace mmir::bench {
+
+/// Runs `fn` and returns its wall time measured on the project clock path
+/// (obs::Clock via obs::ScopedTimer) — the same RAII timer behind CostMeter
+/// and the engine's latency histograms, so bench numbers and engine metrics
+/// are directly comparable.
+template <typename Fn>
+inline std::chrono::nanoseconds timed_ns(Fn&& fn) {
+  std::chrono::nanoseconds elapsed{0};
+  {
+    const obs::ScopedTimer timer(elapsed);
+    fn();
+  }
+  return elapsed;
+}
+
+inline double to_ms(std::chrono::nanoseconds ns) {
+  return static_cast<double>(ns.count()) / 1e6;
+}
 
 inline void heading(const std::string& experiment, const std::string& claim) {
   std::printf("\n==============================================================================\n");

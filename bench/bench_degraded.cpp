@@ -125,25 +125,23 @@ void run_overhead_table() {
         sink += progressive_combined_top_k(archive, progressive, k, ctx, m).hits.size();
       }
       for (int r = 0; r < reps; ++r) {
-        {
-          const auto t0 = std::chrono::steady_clock::now();
-          for (int b = 0; b < batch; ++b) {
-            CostMeter m;
-            sink += seed_combined_top_k(archive, progressive, k, m).size();
-          }
-          const auto t1 = std::chrono::steady_clock::now();
-          base_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count() / batch);
-        }
-        {
-          const auto t0 = std::chrono::steady_clock::now();
-          for (int b = 0; b < batch; ++b) {
-            CostMeter m;
-            QueryContext ctx;
-            sink += progressive_combined_top_k(archive, progressive, k, ctx, m).hits.size();
-          }
-          const auto t1 = std::chrono::steady_clock::now();
-          ctx_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count() / batch);
-        }
+        base_ms.push_back(to_ms(timed_ns([&] {
+                            for (int b = 0; b < batch; ++b) {
+                              CostMeter m;
+                              sink += seed_combined_top_k(archive, progressive, k, m).size();
+                            }
+                          })) /
+                          batch);
+        ctx_ms.push_back(to_ms(timed_ns([&] {
+                           for (int b = 0; b < batch; ++b) {
+                             CostMeter m;
+                             QueryContext ctx;
+                             sink +=
+                                 progressive_combined_top_k(archive, progressive, k, ctx, m)
+                                     .hits.size();
+                           }
+                         })) /
+                         batch);
       }
       if (sink == 0) std::printf("unexpected empty results\n");
       const double base = median_ms(base_ms);

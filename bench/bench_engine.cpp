@@ -24,6 +24,9 @@
 #include "engine/scheduler.hpp"
 #include "linear/model.hpp"
 #include "linear/progressive.hpp"
+#include "obs/dump.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -51,12 +54,15 @@ double percentile_ms(std::vector<std::chrono::nanoseconds>& latencies, double q)
 }
 
 SweepRow run_config(const TiledArchive& archive, const ProgressiveLinearModel& progressive,
-                    std::size_t dispatchers, std::size_t queue_depth, double target_hit_rate) {
+                    std::size_t dispatchers, std::size_t queue_depth, double target_hit_rate,
+                    obs::MetricsRegistry* metrics, obs::Tracer* tracer) {
   EngineConfig config;
   config.dispatchers = dispatchers;
   config.queue_capacity = queue_depth;
   config.result_cache_entries = 512;
   config.tile_cache_entries = 4096;
+  config.metrics = metrics;  // nullptr = fully inert handles (the no-op build)
+  config.tracer = tracer;
   QueryEngine engine(config);
 
   RasterJob job;
@@ -76,24 +82,24 @@ SweepRow run_config(const TiledArchive& archive, const ProgressiveLinearModel& p
   std::uint64_t next_cold_id = 1000;
   std::vector<std::future<RasterOutcome>> futures;
   futures.reserve(total);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < total; ++i) {
-    job.archive_id = rng.uniform() < target_hit_rate ? 1 : next_cold_id++;
-    futures.push_back(engine.submit(job));
-  }
   std::vector<std::chrono::nanoseconds> latencies;
   std::size_t shed = 0;
   std::size_t cache_hits = 0;
-  for (auto& f : futures) {
-    const RasterOutcome out = f.get();
-    if (out.result.status == ResultStatus::kShed) {
-      ++shed;
-      continue;
+  const std::chrono::nanoseconds wall = timed_ns([&] {
+    for (std::size_t i = 0; i < total; ++i) {
+      job.archive_id = rng.uniform() < target_hit_rate ? 1 : next_cold_id++;
+      futures.push_back(engine.submit(job));
     }
-    latencies.push_back(out.latency());
-    if (out.cache_hit) ++cache_hits;
-  }
-  const auto wall = std::chrono::steady_clock::now() - t0;
+    for (auto& f : futures) {
+      const RasterOutcome out = f.get();
+      if (out.result.status == ResultStatus::kShed) {
+        ++shed;
+        continue;
+      }
+      latencies.push_back(out.latency());
+      if (out.cache_hit) ++cache_hits;
+    }
+  });
 
   SweepRow row;
   row.dispatchers = dispatchers;
@@ -111,7 +117,42 @@ SweepRow run_config(const TiledArchive& archive, const ProgressiveLinearModel& p
   return row;
 }
 
-void write_json(const std::vector<SweepRow>& rows) {
+struct OverheadResult {
+  double qps_noop = 0.0;
+  double qps_traced = 0.0;
+  [[nodiscard]] double overhead_pct() const {
+    return qps_noop > 0.0 ? 100.0 * (qps_noop - qps_traced) / qps_noop : 0.0;
+  }
+};
+
+// Acceptance gate: with per-stage spans and sharded counters, the traced
+// build must stay within 5% of the fully inert (metrics=tracer=nullptr)
+// build.  Rounds alternate and keep each side's best qps so a single
+// scheduling hiccup cannot bias the comparison.
+OverheadResult run_overhead_check(const TiledArchive& archive,
+                                  const ProgressiveLinearModel& progressive) {
+  heading("E10b: observability overhead (traced vs no-op build)",
+          "per-stage tracing and sharded metrics stay within 5% of no instrumentation");
+  obs::MetricsRegistry registry(8);
+  obs::Tracer tracer(64);
+  OverheadResult result;
+  for (int round = 0; round < 3; ++round) {
+    result.qps_noop = std::max(
+        result.qps_noop,
+        run_config(archive, progressive, 2, 256, 0.0, nullptr, nullptr).qps);
+    result.qps_traced = std::max(
+        result.qps_traced,
+        run_config(archive, progressive, 2, 256, 0.0, &registry, &tracer).qps);
+  }
+  std::printf("%12s %12s | %9s\n", "no-op qps", "traced qps", "overhead");
+  std::printf("%12.1f %12.1f | %+8.2f%%  (acceptance: <= 5%%)\n", result.qps_noop,
+              result.qps_traced, result.overhead_pct());
+  footer();
+  return result;
+}
+
+void write_json(const std::vector<SweepRow>& rows, const OverheadResult& overhead,
+                const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::printf("! could not open BENCH_engine.json for writing\n");
@@ -129,9 +170,15 @@ void write_json(const std::vector<SweepRow>& rows) {
                  r.dispatchers, r.queue_depth, r.target_hit_rate, r.qps, r.p50_ms, r.p99_ms,
                  r.shed_rate, r.cache_hit_rate, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"tracing_overhead\": {\"qps_noop\": %.1f, \"qps_traced\": %.1f, "
+               "\"overhead_pct\": %.2f},\n",
+               overhead.qps_noop, overhead.qps_traced, overhead.overhead_pct());
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
   std::fclose(f);
-  std::printf("\nwrote BENCH_engine.json (%zu rows)\n", rows.size());
+  std::printf("\nwrote BENCH_engine.json (%zu rows + tracing overhead + metrics dump)\n",
+              rows.size());
 }
 
 void run_table() {
@@ -158,11 +205,16 @@ void run_table() {
   std::printf(
       "---------------------------------------------------------------------------\n");
 
+  // The sweep runs fully instrumented: one registry accumulates engine
+  // counters/histograms across every config and is dumped into the JSON.
+  obs::MetricsRegistry registry(8);
+  obs::Tracer tracer(16);
   std::vector<SweepRow> rows;
   for (const std::size_t dispatchers : {1ULL, 2ULL, 4ULL, 8ULL}) {
     for (const std::size_t queue_depth : {8ULL, 256ULL}) {
       for (const double hit_rate : {0.0, 0.5, 0.9}) {
-        const SweepRow row = run_config(archive, progressive, dispatchers, queue_depth, hit_rate);
+        const SweepRow row = run_config(archive, progressive, dispatchers, queue_depth, hit_rate,
+                                        &registry, &tracer);
         rows.push_back(row);
         std::printf("%7zu %7zu %9.2f | %9.1f %9.3f %9.3f %8.1f%% %8.1f%%\n", row.dispatchers,
                     row.queue_depth, row.target_hit_rate, row.qps, row.p50_ms, row.p99_ms,
@@ -175,7 +227,19 @@ void run_table() {
       "\nshape check: deeper queues trade shed rate for queue-wait latency; higher\n"
       "cache hit rates raise qps and drop p50 toward the cache lookup cost; more\n"
       "dispatcher threads raise qps until hardware threads are exhausted.\n");
-  write_json(rows);
+
+  // Show the deepest retained trace (cache hits retain only the query root,
+  // so prefer one that ran the executor stages).
+  std::shared_ptr<const obs::Trace> sample;
+  for (const auto& trace : tracer.recent()) {
+    if (sample == nullptr || trace->span_count() > sample->span_count()) sample = trace;
+  }
+  if (sample != nullptr) {
+    std::printf("\nsample traced query (obs::DumpTrace):\n%s", sample->to_text().c_str());
+  }
+
+  const OverheadResult overhead = run_overhead_check(archive, progressive);
+  write_json(rows, overhead, obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer and runs the concurrency-sensitive
 # suites: the engine (thread pool, scheduler, caches), the serial-vs-parallel
-# executor parity tests, and the fault-injection tests that share
-# QueryContext across threads.  Any race report fails the run.
+# executor parity tests, the fault-injection tests that share QueryContext
+# across threads, and the observability-layer concurrency tests (sharded
+# metrics registry, tracer ring, span trees built from pool workers).  Any
+# race report fails the run.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,8 +14,9 @@ cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMMIR_SANITIZE=thread
 cmake --build "${BUILD}" -j"$(nproc)" \
-  --target test_engine test_parallel_exec test_fault_injection test_core
+  --target test_engine test_parallel_exec test_fault_injection test_core \
+           test_obs_concurrency
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
-  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core'
+  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency'

@@ -7,6 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mmir {
 
 namespace {
@@ -103,19 +106,43 @@ void verify_checksum_trailer(std::ifstream& in, const std::string& path, const v
   }
 }
 
+/// Process-wide IO counters (registered once in the global registry) so
+/// retry storms and permanent failures show up in metric dumps.
+struct IoMetrics {
+  obs::Counter reads;
+  obs::Counter retries;
+  obs::Counter failures;
+};
+
+IoMetrics& io_metrics() {
+  static IoMetrics metrics{obs::MetricsRegistry::global().counter("io_reads_total"),
+                           obs::MetricsRegistry::global().counter("io_retries_total"),
+                           obs::MetricsRegistry::global().counter("io_read_failures_total")};
+  return metrics;
+}
+
 /// Runs `load` under the retry policy: the fault hook and checksum
 /// verification may throw TransientIoError, which is retried with capped
-/// exponential backoff; the final failure propagates.
+/// exponential backoff; the final failure propagates.  Retry and failure
+/// events land on the calling thread's current trace span (if any) and on
+/// the global IO counters — this layer has no QueryContext to plumb through.
 template <typename Load>
 auto with_retry(const std::string& path, const RetryPolicy& policy, Load&& load) {
   MMIR_EXPECTS(policy.max_attempts >= 1);
+  io_metrics().reads.add();
   ExponentialBackoff backoff(policy);
   for (int attempt = 0;; ++attempt) {
     try {
       if (g_read_fault_hook) g_read_fault_hook(path, attempt);
       return load();
     } catch (const TransientIoError&) {
-      if (attempt + 1 >= policy.max_attempts) throw;
+      if (attempt + 1 >= policy.max_attempts) {
+        io_metrics().failures.add();
+        obs::note_current("io_read_failed", path);
+        throw;
+      }
+      io_metrics().retries.add();
+      obs::note_current("io_retry", path + " attempt " + std::to_string(attempt + 1));
       std::this_thread::sleep_for(backoff.next_delay());
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/exec_kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace mmir {
 
@@ -12,11 +13,29 @@ namespace mmir {
 
 using exec::kNegInf;
 
+namespace {
+
+/// Closes out an executor's trace span: result shape plus the meter's totals
+/// at stage close (per-pixel work is charged to the meter, never traced
+/// per-event, so tracing cost stays per-stage).
+void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMeter& meter) {
+  if (!span.active()) return;
+  span.annotate("hits", static_cast<double>(out.hits.size()));
+  span.annotate("bad_points", static_cast<double>(out.bad_points));
+  span.annotate("meter_points", static_cast<double>(meter.points()));
+  span.annotate("meter_ops", static_cast<double>(meter.ops()));
+  span.annotate("meter_pruned", static_cast<double>(meter.pruned()));
+  span.note("status", to_string(out.status));
+}
+
+}  // namespace
+
 RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model, std::size_t k,
                            QueryContext& ctx, CostMeter& meter) {
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "full_scan");
   RasterTopK out;
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
@@ -29,6 +48,7 @@ RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter);
   return out;
 }
 
@@ -44,6 +64,7 @@ RasterTopK progressive_model_top_k(const TiledArchive& archive,
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "progressive_model");
   RasterTopK out;
   TopK<RasterHit> top(k);
   exec::scan_rect_staged(
@@ -56,6 +77,7 @@ RasterTopK progressive_model_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter);
   return out;
 }
 
@@ -71,20 +93,27 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "tile_screened");
   RasterTopK out;
+  obs::Span screen_span = obs::Span::child_of(&span, "metadata_screen");
   const exec::TileBounds tb = exec::compute_tile_bounds(archive, model, meter);
+  screen_span.annotate("tiles", static_cast<double>(tb.bounds.size()));
+  screen_span.finish();
   const auto tiles = archive.tiles();
   const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
 
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
   double truncation_bound = kNegInf;
+  std::size_t tiles_scanned = 0;
   // Metadata pass: one bound evaluation per tile.
   if (!ctx.charge(tiles.size() * ops_per_pixel)) {
     out.status = ctx.stop_reason();
     out.missed_bound = exec::archive_score_bound(archive, model);
+    annotate_result(span, out, meter);
     return out;
   }
+  obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
   for (std::size_t t : tb.order) {
     if (top.full() && tb.bounds[t].hi <= top.threshold()) {
       // Tiles are sorted, so every later tile is dominated too; count them
@@ -98,6 +127,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
       break;
     }
     const TileSummary& tile = tiles[t];
+    ++tiles_scanned;
     exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
                          tile.y0 + tile.height, top, pixel, ctx, meter, out.bad_points);
     if (ctx.stopped()) {
@@ -107,6 +137,9 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
       break;
     }
   }
+  scan_span.annotate("tiles_scanned", static_cast<double>(tiles_scanned));
+  scan_span.annotate("tiles_pruned", static_cast<double>(tb.order.size() - tiles_scanned));
+  scan_span.finish();
   out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
@@ -114,6 +147,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter);
   return out;
 }
 
@@ -129,18 +163,25 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "progressive_combined");
   RasterTopK out;
   const LinearRasterModel raster_model(model.model());
+  obs::Span screen_span = obs::Span::child_of(&span, "metadata_screen");
   const exec::TileBounds tb = exec::compute_tile_bounds(archive, raster_model, meter);
+  screen_span.annotate("tiles", static_cast<double>(tb.bounds.size()));
+  screen_span.finish();
   const auto tiles = archive.tiles();
 
   TopK<RasterHit> top(k);
   double truncation_bound = kNegInf;
+  std::size_t tiles_scanned = 0;
   if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
     out.status = ctx.stop_reason();
     out.missed_bound = exec::archive_score_bound(archive, raster_model);
+    annotate_result(span, out, meter);
     return out;
   }
+  obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
   for (std::size_t t : tb.order) {
     if (top.full() && tb.bounds[t].hi <= top.threshold()) {
       for (std::size_t rest = 0; rest < tb.order.size(); ++rest) {
@@ -152,6 +193,7 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
       break;
     }
     const TileSummary& tile = tiles[t];
+    ++tiles_scanned;
     exec::scan_rect_staged(
         archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height, top,
         [&] { return top.threshold(); }, [] {}, ctx, meter, out.bad_points);
@@ -160,6 +202,9 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
       break;
     }
   }
+  scan_span.annotate("tiles_scanned", static_cast<double>(tiles_scanned));
+  scan_span.annotate("tiles_pruned", static_cast<double>(tb.order.size() - tiles_scanned));
+  scan_span.finish();
   out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
@@ -167,6 +212,7 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter);
   return out;
 }
 

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/result_status.hpp"
 
@@ -89,6 +90,19 @@ class QueryContext {
     cancel_ = flag;
     return *this;
   }
+
+  /// Binds the query's trace span: executors hang their stage spans off it
+  /// (obs::Span::child_of(ctx.span(), ...)), and the first charge failure
+  /// notes the latched stop reason on it.  The span must outlive the
+  /// execution; null (the default) disables tracing.  Not thread-safe:
+  /// configure before sharing, like every with_*.
+  QueryContext& with_span(const obs::Span* span) noexcept {
+    span_ = span;
+    return *this;
+  }
+
+  /// The query's trace span; nullptr when untraced.
+  [[nodiscard]] const obs::Span* span() const noexcept { return span_; }
 
   /// How many charged units elapse between deadline / cancellation checks
   /// (default 1024).  Lower values react faster and cost more clock reads.
@@ -174,11 +188,23 @@ class QueryContext {
 
  private:
   /// Latches the first stop reason; concurrent detections of a different
-  /// cause lose the race and keep the original reason.
+  /// cause lose the race and keep the original reason.  The winning latch is
+  /// recorded on the trace span (exactly once, from the winning thread).
   void latch(ResultStatus reason) noexcept {
     ResultStatus expected = ResultStatus::kComplete;
-    stop_.compare_exchange_strong(expected, reason, std::memory_order_relaxed,
-                                  std::memory_order_relaxed);
+    if (stop_.compare_exchange_strong(expected, reason, std::memory_order_relaxed,
+                                      std::memory_order_relaxed) &&
+        span_ != nullptr) {
+      note_stop(reason);
+    }
+  }
+
+  /// Cold: records the winning stop reason on the trace span.  Kept out of
+  /// line so latch() — and through it charge()'s fail branch — stays small
+  /// enough for charge() to inline into per-pixel loops; inlining the span
+  /// note (string building + a mutex) there measurably slows the executors.
+  [[gnu::noinline]] void note_stop(ResultStatus reason) const noexcept {
+    span_->note("stop_reason", to_string(reason));
   }
 
   /// Cold path: consults the cancellation flag and the clock.  Marked
@@ -208,6 +234,11 @@ class QueryContext {
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> bad_points_{0};
   std::atomic<ResultStatus> stop_{ResultStatus::kComplete};
+
+  // Tracing (cold: touched only at configuration and on the first failed
+  // charge).  Kept after the hot atomics so adding it does not shift their
+  // cache-line placement.
+  const obs::Span* span_ = nullptr;
 };
 
 }  // namespace mmir

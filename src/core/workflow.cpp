@@ -9,6 +9,7 @@
 #include "linear/progressive.hpp"
 #include "linear/regression.hpp"
 #include "metrics/accuracy.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mmir {
@@ -45,6 +46,7 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
   MMIR_EXPECTS(config.initial_samples >= 8);
   MMIR_EXPECTS(events.width() == scene.width && events.height() == scene.height);
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "model_workflow");
   Rng rng(config.seed);
 
   const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
@@ -79,6 +81,9 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
       result.status = ctx.stop_reason();
       break;
     }
+    obs::Span iter_span = obs::Span::child_of(&span, "iteration");
+    iter_span.annotate("iteration", static_cast<double>(iter));
+    iter_span.annotate("training_size", static_cast<double>(train_x.size()));
     const RegressionResult fit = fit_linear(train_x, train_y, config.ridge, names);
     meter.add_ops(train_x.size() * bands.size());
 
@@ -90,6 +95,7 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
     const RasterTopK retrieval =
         progressive_combined_top_k(archive, progressive, config.k, ctx, meter);
     const auto& hits = retrieval.hits;
+    iter_span.note("retrieval_status", to_string(retrieval.status));
     if (is_truncated(retrieval.status)) {
       result.status = retrieval.status;
       break;
@@ -119,11 +125,18 @@ WorkflowResult run_model_workflow(const Scene& scene, const Grid& events,
     record.recall_at_k = pr.recall;
     record.weight_cosine = truth != nullptr ? cosine(fit.model.weights(), truth->weights()) : 0.0;
     record.training_size = train_x.size();
+    iter_span.annotate("train_r2", record.train_r2);
+    iter_span.annotate("precision_at_k", record.precision_at_k);
+    iter_span.annotate("recall_at_k", record.recall_at_k);
     result.iterations.push_back(std::move(record));
 
     // Step 4: revise — retrieved locations (with their observed outcomes)
     // become training data for the next cycle.
     for (const RasterHit& hit : hits) add_cell(hit.x, hit.y);
+  }
+  if (span.active()) {
+    span.annotate("iterations_completed", static_cast<double>(result.iterations.size()));
+    span.note("status", to_string(result.status));
   }
   return result;
 }

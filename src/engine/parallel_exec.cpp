@@ -4,11 +4,27 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace mmir {
 
 namespace {
 
 using exec::kNegInf;
+
+/// Stage-close annotations of a parallel executor: result shape plus the
+/// merged meter totals; per-tile and per-pixel work stays on the meters.
+void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMeter& meter,
+                     std::size_t slots) {
+  if (!span.active()) return;
+  span.annotate("workers", static_cast<double>(slots));
+  span.annotate("hits", static_cast<double>(out.hits.size()));
+  span.annotate("bad_points", static_cast<double>(out.bad_points));
+  span.annotate("meter_points", static_cast<double>(meter.points()));
+  span.annotate("meter_ops", static_cast<double>(meter.ops()));
+  span.annotate("meter_pruned", static_cast<double>(meter.pruned()));
+  span.note("status", to_string(out.status));
+}
 
 /// Monotone shared pruning threshold: a relaxed atomic maximum.  Readers may
 /// observe a stale (lower) value, which only weakens pruning — never
@@ -106,6 +122,7 @@ RasterTopK parallel_full_scan_top_k(const TiledArchive& archive, const RasterMod
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "parallel_full_scan");
   RasterTopK out;
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
 
@@ -125,6 +142,7 @@ RasterTopK parallel_full_scan_top_k(const TiledArchive& archive, const RasterMod
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
 
@@ -135,6 +153,7 @@ RasterTopK parallel_progressive_model_top_k(const TiledArchive& archive,
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "parallel_progressive_model");
   RasterTopK out;
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
   SharedThreshold shared;
@@ -160,6 +179,7 @@ RasterTopK parallel_progressive_model_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
 
@@ -169,6 +189,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.bands() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "parallel_tile_screened");
   RasterTopK out;
   const auto tiles = archive.tiles();
   const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
@@ -181,27 +202,40 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
     if (!ctx.charge(tiles.size() * ops_per_pixel)) {
       out.status = ctx.stop_reason();
       out.missed_bound = exec::archive_score_bound(archive, model);
+      annotate_result(span, out, meter, pool.slot_count());
       return out;
     }
+    obs::Span screen_span = obs::Span::child_of(&span, "metadata_screen");
     local = exec::compute_tile_bounds(archive, model, meter);
+    screen_span.annotate("tiles", static_cast<double>(local.bounds.size()));
+    screen_span.finish();
     tb = &local;
+  } else {
+    span.note("tile_bounds", "cached");
   }
 
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
   SharedThreshold shared;
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> tiles_scanned{0};
 
+  obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
     std::vector<double> scratch(archive.band_count());
     tile_claim_loop(*tb, cursor, shared, ctx, workers[slot],
                     [&](std::size_t t, WorkerState& w) {
                       const TileSummary& tile = tiles[t];
+                      tiles_scanned.fetch_add(1, std::memory_order_relaxed);
                       exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
                                            tile.y0 + tile.height, w.top, scratch, ctx, w.meter,
                                            w.bad_points);
                       if (w.top.full()) shared.raise(w.top.threshold());
                     });
   });
+  const std::size_t scanned = tiles_scanned.load(std::memory_order_relaxed);
+  scan_span.annotate("tiles_scanned", static_cast<double>(scanned));
+  scan_span.annotate("tiles_pruned", static_cast<double>(tb->order.size() - scanned));
+  scan_span.finish();
 
   merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
@@ -211,6 +245,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
 
@@ -222,6 +257,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   MMIR_EXPECTS(k > 0);
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "parallel_progressive_combined");
   RasterTopK out;
   const LinearRasterModel raster_model(model.model());
   const auto tiles = archive.tiles();
@@ -232,20 +268,29 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
     if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
       out.status = ctx.stop_reason();
       out.missed_bound = exec::archive_score_bound(archive, raster_model);
+      annotate_result(span, out, meter, pool.slot_count());
       return out;
     }
+    obs::Span screen_span = obs::Span::child_of(&span, "metadata_screen");
     local = exec::compute_tile_bounds(archive, raster_model, meter);
+    screen_span.annotate("tiles", static_cast<double>(local.bounds.size()));
+    screen_span.finish();
     tb = &local;
+  } else {
+    span.note("tile_bounds", "cached");
   }
 
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
   SharedThreshold shared;
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> tiles_scanned{0};
 
+  obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
     tile_claim_loop(
         *tb, cursor, shared, ctx, workers[slot], [&](std::size_t t, WorkerState& w) {
           const TileSummary& tile = tiles[t];
+          tiles_scanned.fetch_add(1, std::memory_order_relaxed);
           exec::scan_rect_staged(
               archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height,
               w.top, [&] { return std::max(w.top.threshold(), shared.get()); },
@@ -255,6 +300,10 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
               ctx, w.meter, w.bad_points);
         });
   });
+  const std::size_t scanned = tiles_scanned.load(std::memory_order_relaxed);
+  scan_span.annotate("tiles_scanned", static_cast<double>(scanned));
+  scan_span.annotate("tiles_pruned", static_cast<double>(tb->order.size() - scanned));
+  scan_span.finish();
 
   merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
@@ -264,6 +313,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
 

@@ -31,6 +31,17 @@ void mark_shed(CompositeTopK& result) {
 }  // namespace
 
 QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    jobs_submitted_metric_ = reg.counter("engine_jobs_submitted_total");
+    jobs_completed_metric_ = reg.counter("engine_jobs_completed_total");
+    jobs_shed_metric_ = reg.counter("engine_jobs_shed_total");
+    jobs_failed_metric_ = reg.counter("engine_jobs_failed_total");
+    queue_depth_gauge_ = reg.gauge("engine_queue_depth");
+    active_gauge_ = reg.gauge("engine_active_queries");
+    queue_wait_hist_ = reg.histogram("engine_queue_wait_ns");
+    exec_time_hist_ = reg.histogram("engine_exec_time_ns");
+  }
   exec_pool_ = std::make_unique<ThreadPool>(config_.intra_query_threads);
   if (config_.result_cache_entries > 0) {
     result_cache_ =
@@ -128,28 +139,35 @@ void QueryEngine::dispatcher_loop() {
       }
       --queued_;
       ++active_;
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queued_));
+      active_gauge_.set(static_cast<std::int64_t>(active_));
     }
     task.run(false);
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       --active_;
+      active_gauge_.set(static_cast<std::int64_t>(active_));
     }
     drain_cv_.notify_all();
   }
 }
 
 template <typename Outcome, typename Execute>
-std::future<Outcome> QueryEngine::enqueue(const JobLimits& limits, Execute execute) {
+std::future<Outcome> QueryEngine::enqueue(const char* kind, const JobLimits& limits,
+                                          Execute execute) {
   auto promise = std::make_shared<std::promise<Outcome>>();
   std::future<Outcome> future = promise->get_future();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  jobs_submitted_metric_.add();
   const auto submitted_at = std::chrono::steady_clock::now();
 
   QueuedTask task;
-  task.run = [this, promise, execute = std::move(execute), limits, submitted_at](bool shed) {
+  task.run = [this, promise, execute = std::move(execute), kind, limits,
+              submitted_at](bool shed) {
     Outcome out;
     if (shed) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_shed_metric_.add();
       mark_shed(out.result);
       promise->set_value(std::move(out));
       return;
@@ -158,16 +176,43 @@ std::future<Outcome> QueryEngine::enqueue(const JobLimits& limits, Execute execu
     const auto started = std::chrono::steady_clock::now();
     out.queue_wait =
         std::chrono::duration_cast<std::chrono::nanoseconds>(started - submitted_at);
+    queue_wait_hist_.observe_duration(out.queue_wait);
     try {
+      // One trace per dispatched query: the root span covers execution, with
+      // queue wait recorded as an annotation (the span clock starts at
+      // dispatch, not submission).  Executors hang stage spans off the root
+      // via ctx.span(); deeper layers (archive/io retries) reach it through
+      // the SpanScope's thread-local hook.
+      std::shared_ptr<obs::Trace> trace;
+      obs::Span root;
+      if (config_.tracer != nullptr) {
+        trace = config_.tracer->start_trace(kind);
+        root = obs::Span(trace.get(), "query");
+        root.annotate("queue_wait_ns", static_cast<double>(out.queue_wait.count()));
+        root.annotate("priority", static_cast<double>(limits.priority));
+        root.annotate("dispatch_order", static_cast<double>(out.dispatch_order));
+      }
+      obs::SpanScope scope(root);
       QueryContext ctx;
       configure_context(ctx, limits, submitted_at);
+      if (root.active()) ctx.with_span(&root);
       execute(ctx, out);
       out.exec_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started);
+      exec_time_hist_.observe_duration(out.exec_time);
+      if (config_.metrics != nullptr) publish(out.meter, *config_.metrics);
+      if (root.active()) {
+        root.annotate("exec_ns", static_cast<double>(out.exec_time.count()));
+        if (out.cache_hit) root.note("result_cache", "hit");
+        root.finish();
+      }
+      if (trace != nullptr) config_.tracer->finish(std::move(trace));
       completed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_completed_metric_.add();
       promise->set_value(std::move(out));
     } catch (...) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_failed_metric_.add();
       promise->set_exception(std::current_exception());
     }
   };
@@ -178,6 +223,7 @@ std::future<Outcome> QueryEngine::enqueue(const JobLimits& limits, Execute execu
     if (!stopping_ && queued_ < config_.queue_capacity) {
       queues_[static_cast<std::size_t>(limits.priority)].push_back(std::move(task));
       ++queued_;
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queued_));
       admit = true;
     }
   }
@@ -227,7 +273,7 @@ std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
   }
 
   return enqueue<RasterOutcome>(
-      job.limits, [this, job](QueryContext& ctx, RasterOutcome& out) {
+      "raster", job.limits, [this, job](QueryContext& ctx, RasterOutcome& out) {
         const bool model_leg = job.mode == RasterJob::Mode::kProgressiveModel ||
                                job.mode == RasterJob::Mode::kCombined;
         std::uint64_t fp = job.model_fingerprint;
@@ -294,17 +340,17 @@ std::future<OnionOutcome> QueryEngine::submit(OnionJob job) {
   MMIR_EXPECTS(job.index != nullptr);
   MMIR_EXPECTS(job.k > 0);
   MMIR_EXPECTS(!job.weights.empty());
-  return enqueue<OnionOutcome>(job.limits,
-                               [job = std::move(job)](QueryContext& ctx, OnionOutcome& out) {
-                                 out.result = job.index->top_k(job.weights, job.k, ctx, out.meter);
-                               });
+  return enqueue<OnionOutcome>(
+      "onion", job.limits, [job = std::move(job)](QueryContext& ctx, OnionOutcome& out) {
+        out.result = job.index->top_k(job.weights, job.k, ctx, out.meter);
+      });
 }
 
 std::future<CompositeOutcome> QueryEngine::submit(CompositeJob job) {
   MMIR_EXPECTS(job.query != nullptr);
   MMIR_EXPECTS(job.k > 0);
   return enqueue<CompositeOutcome>(
-      job.limits, [job](QueryContext& ctx, CompositeOutcome& out) {
+      "composite", job.limits, [job](QueryContext& ctx, CompositeOutcome& out) {
         switch (job.processor) {
           case CompositeJob::Processor::kFastSproc:
             out.result = fast_sproc_top_k(*job.query, job.k, ctx, out.meter);

@@ -45,6 +45,8 @@
 #include "engine/parallel_exec.hpp"
 #include "engine/thread_pool.hpp"
 #include "index/onion.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sproc/query.hpp"
 
 namespace mmir {
@@ -61,6 +63,12 @@ struct EngineConfig {
   std::size_t tile_cache_entries = 4096;   ///< per-tile screening bounds (0 disables)
   std::size_t cache_shards = 8;
   bool start_paused = false;  ///< admit but do not dispatch until resume()
+  /// Registry receiving engine counters, gauges, latency histograms and each
+  /// completed query's published CostMeter; null disables metrics entirely
+  /// (every handle stays inert — the no-op build for overhead comparisons).
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
+  /// Per-query trace sink; null (the default) disables tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Shared fields of every job type.
@@ -187,7 +195,7 @@ class QueryEngine {
   };
 
   template <typename Outcome, typename Execute>
-  std::future<Outcome> enqueue(const JobLimits& limits, Execute execute);
+  std::future<Outcome> enqueue(const char* kind, const JobLimits& limits, Execute execute);
 
   void dispatcher_loop();
   void configure_context(QueryContext& ctx, const JobLimits& limits,
@@ -218,6 +226,16 @@ class QueryEngine {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> dispatch_seq_{0};
+
+  // Registry handles; inert (no-op) when config_.metrics is null.
+  obs::Counter jobs_submitted_metric_;
+  obs::Counter jobs_completed_metric_;
+  obs::Counter jobs_shed_metric_;
+  obs::Counter jobs_failed_metric_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge active_gauge_;
+  obs::Histogram queue_wait_hist_;
+  obs::Histogram exec_time_hist_;
 
   std::vector<std::thread> dispatchers_;
 };

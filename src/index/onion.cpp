@@ -5,6 +5,7 @@
 
 #include "index/hull2d.hpp"
 #include "index/hull3d.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
@@ -137,6 +138,7 @@ OnionTopK OnionIndex::query(std::span<const double> weights, std::size_t k, doub
   MMIR_EXPECTS(weights.size() == points_.dim());
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "onion_query");
   OnionTopK out;
   TopK<std::uint32_t> top(k);
   const std::uint64_t ops_per_point = points_.dim();
@@ -207,6 +209,13 @@ OnionTopK OnionIndex::query(std::span<const double> weights, std::size_t k, doub
 
   for (auto& entry : top.take_sorted()) out.hits.push_back(ScoredId{entry.item, sign * entry.score});
   if (truncated) out.status = ctx.stop_reason();
+  if (span.active()) {
+    span.annotate("layers", static_cast<double>(layers_.size()));
+    span.annotate("points_evaluated", static_cast<double>(evaluated));
+    span.annotate("hits", static_cast<double>(out.hits.size()));
+    span.note("terminated_early", terminated_early ? "true" : "false");
+    span.note("status", to_string(out.status));
+  }
   return out;
 }
 

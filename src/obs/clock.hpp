@@ -1,0 +1,50 @@
+#pragma once
+// The one clock path of the observability layer.
+//
+// Every duration the system reports — CostMeter wall-clock, engine queue-wait
+// and execution times, latency histograms, bench timings — is measured by the
+// same monotonic clock through the same RAII shape, so numbers from different
+// layers are directly comparable and the clock choice lives in exactly one
+// place.  This header has no dependencies; it sits below util so
+// util/cost.hpp can build its meter timer on ScopedTimerBase.
+
+#include <chrono>
+
+namespace mmir::obs {
+
+/// The project-wide monotonic clock.
+using Clock = std::chrono::steady_clock;
+
+/// Stamps its construction time and measures elapsed monotonic time.  Sinks
+/// derive from it (CostMeter's ScopedTimer, the histogram timer) or callers
+/// use the concrete ScopedTimer below.
+class ScopedTimerBase {
+ public:
+  ScopedTimerBase() noexcept : start_(Clock::now()) {}
+
+  ScopedTimerBase(const ScopedTimerBase&) = delete;
+  ScopedTimerBase& operator=(const ScopedTimerBase&) = delete;
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_);
+  }
+
+ protected:
+  ~ScopedTimerBase() = default;
+
+ private:
+  Clock::time_point start_;
+};
+
+/// RAII timer adding its lifetime to a caller-owned nanosecond accumulator —
+/// the shape the benches use instead of hand-rolled now() pairs.
+class ScopedTimer : public ScopedTimerBase {
+ public:
+  explicit ScopedTimer(std::chrono::nanoseconds& out) noexcept : out_(&out) {}
+  ~ScopedTimer() { *out_ += elapsed(); }
+
+ private:
+  std::chrono::nanoseconds* out_;
+};
+
+}  // namespace mmir::obs

@@ -1,0 +1,30 @@
+#include "obs/dump.hpp"
+
+namespace mmir::obs {
+
+std::string DumpMetrics(const MetricsRegistry& registry, DumpFormat format) {
+  const MetricsSnapshot snap = registry.snapshot();
+  return format == DumpFormat::kJson ? snap.to_json() : snap.to_text();
+}
+
+std::string DumpTrace(const Trace& trace, DumpFormat format) {
+  return format == DumpFormat::kJson ? trace.to_json() : trace.to_text();
+}
+
+std::string DumpTraces(const Tracer& tracer, DumpFormat format) {
+  const auto traces = tracer.recent();
+  std::string out;
+  if (format == DumpFormat::kJson) {
+    out += "[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (i != 0) out += ",";
+      out += traces[i]->to_json();
+    }
+    out += "]";
+  } else {
+    for (const auto& trace : traces) out += trace->to_text();
+  }
+  return out;
+}
+
+}  // namespace mmir::obs

@@ -1,0 +1,27 @@
+#pragma once
+// Text + JSON export of the observability state — the surface operators (and
+// the benches, which reuse it to emit BENCH_*.json) read.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mmir::obs {
+
+enum class DumpFormat { kText, kJson };
+
+/// Every registered metric of `registry`, one line per metric (text) or one
+/// object keyed by metric kind (JSON).
+[[nodiscard]] std::string DumpMetrics(const MetricsRegistry& registry = MetricsRegistry::global(),
+                                      DumpFormat format = DumpFormat::kText);
+
+/// One trace's span tree, indented (text) or as a span array (JSON).
+[[nodiscard]] std::string DumpTrace(const Trace& trace, DumpFormat format = DumpFormat::kText);
+
+/// The tracer's retained traces, most recent last.  JSON: an array of trace
+/// objects; text: concatenated trees.
+[[nodiscard]] std::string DumpTraces(const Tracer& tracer = Tracer::global(),
+                                     DumpFormat format = DumpFormat::kText);
+
+}  // namespace mmir::obs

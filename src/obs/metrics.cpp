@@ -1,0 +1,323 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mmir::obs {
+
+namespace {
+
+/// Dense process-wide thread slots: each thread draws one on first use, so
+/// shard selection is a thread_local read + mask, not a hash of thread::id.
+std::size_t next_thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::size_t thread_shard(std::size_t shard_count) noexcept {
+  thread_local const std::size_t slot = next_thread_slot();
+  // shard_count is a power of two (registry rounds up).
+  return slot & (shard_count - 1);
+}
+
+// ------------------------------------------------------------------- storage
+
+/// One histogram's sharded cells, laid out shard-major: shard s owns the
+/// contiguous run cells[s*stride, (s+1)*stride) = buckets... , count, sum —
+/// different shards land on different cache lines for typical bucket counts.
+struct HistogramData {
+  HistogramSpec spec;
+  std::size_t shards = 0;
+  std::size_t stride = 0;  ///< bounds + 1 overflow + count + sum
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+};
+
+struct MetricsRegistry::CounterEntry {
+  std::string name;
+  std::unique_ptr<CounterCell[]> cells;
+};
+
+struct MetricsRegistry::GaugeEntry {
+  std::string name;
+  std::atomic<std::int64_t> cell{0};
+};
+
+struct MetricsRegistry::HistogramEntry {
+  std::string name;
+  HistogramData data;
+};
+
+void Histogram::observe(std::uint64_t value) const noexcept {
+  if (data_ == nullptr) return;
+  const auto& bounds = data_->spec.bounds;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  std::atomic<std::uint64_t>* row = data_->cells.get() + thread_shard(data_->shards) * data_->stride;
+  row[bucket].fetch_add(1, std::memory_order_relaxed);
+  row[bounds.size() + 1].fetch_add(1, std::memory_order_relaxed);      // count
+  row[bounds.size() + 2].fetch_add(value, std::memory_order_relaxed);  // sum
+}
+
+// ---------------------------------------------------------------------- spec
+
+HistogramSpec HistogramSpec::exponential(std::uint64_t first, double factor, std::size_t count) {
+  HistogramSpec spec;
+  double bound = static_cast<double>(first < 1 ? 1 : first);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto b = static_cast<std::uint64_t>(bound);
+    if (spec.bounds.empty() || b > spec.bounds.back()) spec.bounds.push_back(b);
+    bound *= factor;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::latency_ns() { return exponential(1'000, 2.0, 27); }
+
+HistogramSpec HistogramSpec::work_units() { return exponential(1, 4.0, 16); }
+
+// ----------------------------------------------------------------- snapshots
+
+std::uint64_t HistogramSample::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return i < bounds.size() ? bounds[i] : bounds.empty() ? 0 : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    out += c.name;
+    out += " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const GaugeSample& g : gauges) {
+    out += g.name;
+    out += " ";
+    append_i64(out, g.value);
+    out += "\n";
+  }
+  for (const HistogramSample& h : histograms) {
+    out += h.name;
+    out += " count=";
+    append_u64(out, h.count);
+    out += " sum=";
+    append_u64(out, h.sum);
+    out += " p50=";
+    append_u64(out, h.quantile(0.50));
+    out += " p99=";
+    append_u64(out, h.quantile(0.99));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"";
+    append_escaped(out, counters[i].name);
+    out += "\":";
+    append_u64(out, counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"";
+    append_escaped(out, gauges[i].name);
+    out += "\":";
+    append_i64(out, gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    if (i != 0) out += ",";
+    out += "\"";
+    append_escaped(out, h.name);
+    out += "\":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += ",\"p50\":";
+    append_u64(out, h.quantile(0.50));
+    out += ",\"p99\":";
+    append_u64(out, h.quantile(0.99));
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out += ",";
+      out += "[";
+      if (b < h.bounds.size()) {
+        append_u64(out, h.bounds[b]);
+      } else {
+        out += "null";  // +inf overflow bucket
+      }
+      out += ",";
+      append_u64(out, h.counts[b]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+// ----------------------------------------------------------------- registry
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(round_up_pow2(shards == 0 ? 1 : shards)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) {
+    if (entry->name == name) return Counter(entry->cells.get(), shards_);
+  }
+  auto entry = std::make_unique<CounterEntry>();
+  entry->name = std::string(name);
+  entry->cells = std::make_unique<CounterCell[]>(shards_);
+  Counter handle(entry->cells.get(), shards_);
+  counters_.push_back(std::move(entry));
+  return handle;
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : gauges_) {
+    if (entry->name == name) return Gauge(&entry->cell);
+  }
+  auto entry = std::make_unique<GaugeEntry>();
+  entry->name = std::string(name);
+  Gauge handle(&entry->cell);
+  gauges_.push_back(std::move(entry));
+  return handle;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : histograms_) {
+    if (entry->name == name) return Histogram(&entry->data);
+  }
+  auto entry = std::make_unique<HistogramEntry>();
+  entry->name = std::string(name);
+  entry->data.spec = spec;
+  entry->data.shards = shards_;
+  entry->data.stride = spec.bounds.size() + 3;  // +overflow, +count, +sum
+  entry->data.cells =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards_ * entry->data.stride);
+  for (std::size_t i = 0; i < shards_ * entry->data.stride; ++i) {
+    entry->data.cells[i].store(0, std::memory_order_relaxed);
+  }
+  Histogram handle(&entry->data);
+  histograms_.push_back(std::move(entry));
+  return handle;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      total += entry->cells[s].value.load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back({entry->name, total});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    snap.gauges.push_back({entry->name, entry->cell.load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    const HistogramData& data = entry->data;
+    HistogramSample sample;
+    sample.name = entry->name;
+    sample.bounds = data.spec.bounds;
+    sample.counts.assign(data.spec.bounds.size() + 1, 0);
+    for (std::size_t s = 0; s < data.shards; ++s) {
+      const std::atomic<std::uint64_t>* row = data.cells.get() + s * data.stride;
+      for (std::size_t b = 0; b < sample.counts.size(); ++b) {
+        sample.counts[b] += row[b].load(std::memory_order_relaxed);
+      }
+      sample.count += row[sample.counts.size()].load(std::memory_order_relaxed);
+      sample.sum += row[sample.counts.size() + 1].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      entry->cells[s].value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& entry : gauges_) entry->cell.store(0, std::memory_order_relaxed);
+  for (const auto& entry : histograms_) {
+    HistogramData& data = entry->data;
+    for (std::size_t i = 0; i < data.shards * data.stride; ++i) {
+      data.cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(16);
+  return registry;
+}
+
+}  // namespace mmir::obs

@@ -1,0 +1,220 @@
+#pragma once
+// Lock-free sharded metrics registry: counters, gauges, and fixed-bucket
+// histograms for the serving path.
+//
+// Hot-path design: every metric's storage is split across S cache-line-
+// padded shards; a thread increments the shard selected by a process-wide
+// per-thread slot (assigned once, thread_local), so concurrent writers from
+// different threads touch different cache lines and never take a lock or
+// issue anything stronger than a relaxed fetch_add.  Snapshots sum the
+// shards; a snapshot taken during writes sees a consistent monotone view
+// (each counter's total never exceeds the eventual quiescent total and never
+// decreases between snapshots).  Exactness: relaxed fetch_add never loses an
+// increment, so after writers join, snapshot totals are exact.
+//
+// Registration (name -> handle) is the cold path and takes the registry
+// mutex; handles are plain pointers into registry-owned storage, so the
+// registry must outlive every handle.  Default-constructed handles are inert
+// no-ops — instrumented code paths work unchanged when observability is
+// disabled.
+//
+// This registry absorbs the ad-hoc CostMeter counters: executions still
+// charge their per-query CostMeter (merge-reduced across workers), and the
+// engine publishes each completed query's meter into registry-wide totals
+// (see CostMeter::publish in util/cost.hpp).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace mmir::obs {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Shard index of the calling thread: a dense process-wide thread slot
+/// (assigned on first use) folded into [0, shard_count).
+[[nodiscard]] std::size_t thread_shard(std::size_t shard_count) noexcept;
+
+struct alignas(kCacheLineBytes) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Monotone counter handle.  Copyable, trivially destructible; add() is
+/// lock-free (one relaxed fetch_add on the caller's shard).
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) const noexcept {
+    if (cells_ != nullptr) {
+      cells_[thread_shard(shards_)].value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(CounterCell* cells, std::size_t shards) noexcept : cells_(cells), shards_(shards) {}
+
+  CounterCell* cells_ = nullptr;
+  std::size_t shards_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depth, active queries).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) const noexcept {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) const noexcept {
+    if (cell_ != nullptr) cell_->fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool valid() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) noexcept : cell_(cell) {}
+
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Fixed bucket layout of a histogram: ascending inclusive upper bounds plus
+/// an implicit +inf overflow bucket.
+struct HistogramSpec {
+  std::vector<std::uint64_t> bounds;
+
+  /// bounds[i] = first * factor^i, `count` buckets (deduplicated, ascending).
+  [[nodiscard]] static HistogramSpec exponential(std::uint64_t first, double factor,
+                                                 std::size_t count);
+  /// Latency buckets: 1 us .. ~64 s in powers of two (ns values).
+  [[nodiscard]] static HistogramSpec latency_ns();
+  /// Work-unit buckets (ops / points): 1 .. ~10^9 in powers of four.
+  [[nodiscard]] static HistogramSpec work_units();
+};
+
+struct HistogramData;
+
+/// Histogram handle: observe() is lock-free (bucket search + three relaxed
+/// fetch_adds on the caller's shard).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t value) const noexcept;
+  void observe_duration(std::chrono::nanoseconds d) const noexcept {
+    observe(d.count() < 0 ? 0 : static_cast<std::uint64_t>(d.count()));
+  }
+  [[nodiscard]] bool valid() const noexcept { return data_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramData* data) noexcept : data_(data) {}
+
+  HistogramData* data_ = nullptr;
+};
+
+/// RAII timer recording its lifetime into a latency histogram — the
+/// histogram-sink sibling of obs::ScopedTimer, same clock path.
+class ScopedLatencyTimer : public ScopedTimerBase {
+ public:
+  explicit ScopedLatencyTimer(Histogram histogram) noexcept : histogram_(histogram) {}
+  ~ScopedLatencyTimer() { histogram_.observe_duration(elapsed()); }
+
+ private:
+  Histogram histogram_;
+};
+
+// ----------------------------------------------------------------- snapshots
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<std::uint64_t> bounds;  ///< upper bounds; counts has one extra +inf slot
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Bucket-resolution quantile estimate: the upper bound of the first bucket
+  /// whose cumulative count reaches q * count.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a counter by name; 0 when absent (snapshot convenience).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The registry.  Thread-safe; see header comment for the locking story.
+class MetricsRegistry {
+ public:
+  /// `shards` is rounded up to a power of two (default 8).
+  explicit MetricsRegistry(std::size_t shards = 8);
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent by name: registering twice returns a handle to the same
+  /// metric.  Handles stay valid for the registry's lifetime.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    const HistogramSpec& spec = HistogramSpec::latency_ns());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every cell (tests / bench warm-up); handles stay valid.
+  void reset();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+
+  /// Process-wide default registry (what engine and archive/io publish into
+  /// unless configured otherwise).
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  struct CounterEntry;
+  struct GaugeEntry;
+  struct HistogramEntry;
+
+  std::size_t shards_;
+  mutable std::mutex mutex_;  // registration + snapshot + reset
+  std::vector<std::unique_ptr<CounterEntry>> counters_;
+  std::vector<std::unique_ptr<GaugeEntry>> gauges_;
+  std::vector<std::unique_ptr<HistogramEntry>> histograms_;
+};
+
+}  // namespace mmir::obs

@@ -1,0 +1,283 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mmir::obs {
+
+namespace {
+
+thread_local std::vector<const Span*> t_span_stack;
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- Trace
+
+Trace::Trace(std::string name) : name_(std::move(name)), start_(Clock::now()) {}
+
+std::uint64_t Trace::elapsed_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+}
+
+std::size_t Trace::open_span(std::string_view span_name, std::size_t parent) {
+  const std::uint64_t now = elapsed_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.name = std::string(span_name);
+  record.parent = parent;
+  record.start_ns = now;
+  spans_.push_back(std::move(record));
+  return spans_.size() - 1;
+}
+
+void Trace::close_span(std::size_t span) {
+  const std::uint64_t now = elapsed_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span >= spans_.size() || spans_[span].closed) return;
+  spans_[span].duration_ns = now - spans_[span].start_ns;
+  spans_[span].closed = true;
+}
+
+void Trace::annotate(std::size_t span, std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span >= spans_.size()) return;
+  spans_[span].attrs.emplace_back(std::string(key), value);
+}
+
+void Trace::note(std::size_t span, std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span >= spans_.size()) return;
+  spans_[span].notes.emplace_back(std::string(key), std::string(value));
+}
+
+std::size_t Trace::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+bool Trace::well_formed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& span = spans_[i];
+    if (span.parent == kNoSpan) continue;
+    if (span.parent >= i) return false;  // parents must precede children
+    const SpanRecord& parent = spans_[span.parent];
+    if (span.start_ns < parent.start_ns) return false;
+    if (span.closed && parent.closed &&
+        span.start_ns + span.duration_ns > parent.start_ns + parent.duration_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trace::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"trace\":\"";
+  append_escaped(out, name_);
+  out += "\",\"spans\":[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& span = spans_[i];
+    if (i != 0) out += ",";
+    out += "{\"id\":";
+    append_u64(out, i);
+    out += ",\"parent\":";
+    if (span.parent == kNoSpan) {
+      out += "null";
+    } else {
+      append_u64(out, span.parent);
+    }
+    out += ",\"name\":\"";
+    append_escaped(out, span.name);
+    out += "\",\"start_ns\":";
+    append_u64(out, span.start_ns);
+    out += ",\"duration_ns\":";
+    append_u64(out, span.duration_ns);
+    if (!span.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (std::size_t a = 0; a < span.attrs.size(); ++a) {
+        if (a != 0) out += ",";
+        out += "\"";
+        append_escaped(out, span.attrs[a].first);
+        out += "\":";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", span.attrs[a].second);
+        out += buf;
+      }
+      out += "}";
+    }
+    if (!span.notes.empty()) {
+      out += ",\"notes\":{";
+      for (std::size_t n = 0; n < span.notes.size(); ++n) {
+        if (n != 0) out += ",";
+        out += "\"";
+        append_escaped(out, span.notes[n].first);
+        out += "\":\"";
+        append_escaped(out, span.notes[n].second);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Trace::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = name_;
+  out += "\n";
+  // Depth of each span via its parent chain (parents precede children).
+  std::vector<std::size_t> depth(spans_.size(), 0);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent != kNoSpan && spans_[i].parent < i) {
+      depth[i] = depth[spans_[i].parent] + 1;
+    }
+  }
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& span = spans_[i];
+    out.append(2 * (depth[i] + 1), ' ');
+    out += span.name;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, " %.3fms", static_cast<double>(span.duration_ns) / 1e6);
+    out += buf;
+    for (const auto& [key, value] : span.attrs) {
+      std::snprintf(buf, sizeof buf, " %s=%.6g", key.c_str(), value);
+      out += buf;
+    }
+    for (const auto& [key, value] : span.notes) {
+      out += " ";
+      out += key;
+      out += "=";
+      out += value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------- Span
+
+Span::Span(Trace* trace, std::string_view name) {
+  if (trace != nullptr) {
+    trace_ = trace;
+    index_ = trace->open_span(name, kNoSpan);
+  }
+}
+
+Span Span::child_of(const Span* parent, std::string_view name) {
+  if (parent == nullptr || !parent->active()) return Span{};
+  return Span(parent->trace_, parent->trace_->open_span(name, parent->index_));
+}
+
+void Span::finish() noexcept {
+  if (trace_ != nullptr) {
+    trace_->close_span(index_);
+    trace_ = nullptr;
+    index_ = kNoSpan;
+  }
+}
+
+void Span::annotate(std::string_view key, double value) const {
+  if (trace_ != nullptr) trace_->annotate(index_, key, value);
+}
+
+void Span::note(std::string_view key, std::string_view value) const {
+  if (trace_ != nullptr) trace_->note(index_, key, value);
+}
+
+// ---------------------------------------------------------------- SpanScope
+
+SpanScope::SpanScope(const Span& span) noexcept {
+  if (span.active()) {
+    t_span_stack.push_back(&span);
+    pushed_ = true;
+  }
+}
+
+SpanScope::~SpanScope() {
+  if (pushed_) t_span_stack.pop_back();
+}
+
+const Span* current_span() noexcept {
+  return t_span_stack.empty() ? nullptr : t_span_stack.back();
+}
+
+void note_current(std::string_view key, std::string_view value) {
+  if (const Span* span = current_span(); span != nullptr) span->note(key, value);
+}
+
+// ------------------------------------------------------------------- Tracer
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<Trace> Tracer::start_trace(std::string name) {
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<Trace>(std::move(name));
+}
+
+void Tracer::finish(std::shared_ptr<Trace> trace) {
+  if (trace == nullptr) return;
+  finished_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<std::shared_ptr<const Trace>> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::shared_ptr<const Trace> Tracer::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.empty() ? nullptr : ring_.back();
+}
+
+std::uint64_t Tracer::started() const noexcept {
+  return started_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::finished() const noexcept {
+  return finished_.load(std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer(64);
+  return tracer;
+}
+
+}  // namespace mmir::obs

@@ -1,0 +1,180 @@
+#pragma once
+// Structured per-query tracing: RAII spans forming a trace tree.
+//
+// One Trace records one query's execution as a tree of timed spans —
+// metadata screen, coarse-model stage, full-model stage, per-tile pruning
+// aggregates, cache hits, queue wait vs execution, retry events, the latched
+// stop reason.  Spans are created and destroyed RAII-style on any thread;
+// appends synchronize on the trace's mutex (span creation is per-stage /
+// per-worker, never per-pixel, so the lock is far off the hot path — the hot
+// counters live in obs/metrics.hpp and stay lock-free).
+//
+// Memory is bounded end to end: a span is a fixed record plus its
+// annotations, and completed traces are retained in the Tracer's fixed-size
+// ring buffer (oldest evicted first), so a long-running server's trace
+// footprint is capacity x max-trace-size regardless of uptime.
+//
+// An inert Span (default-constructed, or a child of an untraced context) is
+// a no-op on every method, so instrumented code needs no `if (tracing)`
+// branches beyond the null check the span does itself.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace mmir::obs {
+
+inline constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+/// One completed (or still-open) span inside a trace.
+struct SpanRecord {
+  std::string name;
+  std::size_t parent = kNoSpan;   ///< index of the parent span; kNoSpan = root
+  std::uint64_t start_ns = 0;     ///< relative to trace start
+  std::uint64_t duration_ns = 0;  ///< 0 while open
+  bool closed = false;
+  std::vector<std::pair<std::string, double>> attrs;        ///< numeric annotations
+  std::vector<std::pair<std::string, std::string>> notes;   ///< string annotations
+};
+
+/// One query's span tree.  All methods are thread-safe.
+class Trace {
+ public:
+  explicit Trace(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept;
+
+  /// Opens a span; `parent` is an existing span index or kNoSpan for a root.
+  [[nodiscard]] std::size_t open_span(std::string_view span_name, std::size_t parent);
+  void close_span(std::size_t span);
+  void annotate(std::size_t span, std::string_view key, double value);
+  void note(std::size_t span, std::string_view key, std::string_view value);
+
+  [[nodiscard]] std::size_t span_count() const;
+  /// Copy of the span records (test / export surface).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  /// Structural invariants: parents precede children, parent indices valid,
+  /// children start no earlier than their parent, and a closed child of a
+  /// closed parent ends no later than the parent ends.
+  [[nodiscard]] bool well_formed() const;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::string name_;
+  Clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII handle on one open span.  Movable, not copyable; inert when
+/// default-constructed or derived from an inert parent.
+class Span {
+ public:
+  Span() = default;
+  /// Root span; inert when `trace` is null.
+  Span(Trace* trace, std::string_view name);
+
+  Span(Span&& other) noexcept : trace_(other.trace_), index_(other.index_) {
+    other.trace_ = nullptr;
+    other.index_ = kNoSpan;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      trace_ = other.trace_;
+      index_ = other.index_;
+      other.trace_ = nullptr;
+      other.index_ = kNoSpan;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  /// Child of `parent`; inert when parent is null/inert.  Also the
+  /// QueryContext hookup shape: obs::Span::child_of(ctx.span(), "stage").
+  [[nodiscard]] static Span child_of(const Span* parent, std::string_view name);
+
+  /// Closes the span now (idempotent; the destructor calls it too).
+  void finish() noexcept;
+
+  void annotate(std::string_view key, double value) const;
+  void note(std::string_view key, std::string_view value) const;
+
+  [[nodiscard]] bool active() const noexcept { return trace_ != nullptr; }
+  [[nodiscard]] Trace* trace() const noexcept { return trace_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  Span(Trace* trace, std::size_t index) noexcept : trace_(trace), index_(index) {}
+
+  Trace* trace_ = nullptr;
+  std::size_t index_ = kNoSpan;
+};
+
+/// Marks a span as the calling thread's current span for its scope, so deep
+/// layers without explicit plumbing (archive/io retries) can attach events
+/// via note_current().  Scopes nest per thread.
+class SpanScope {
+ public:
+  explicit SpanScope(const Span& span) noexcept;
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// The calling thread's innermost active span; nullptr when none.
+[[nodiscard]] const Span* current_span() noexcept;
+
+/// Attaches a note to the calling thread's current span; no-op without one.
+void note_current(std::string_view key, std::string_view value);
+
+/// Bounded retention of completed traces: a fixed-capacity ring, oldest
+/// evicted first.  Thread-safe.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 64);
+
+  /// Creates a trace; call finish() to move it into the retention ring.
+  [[nodiscard]] std::shared_ptr<Trace> start_trace(std::string name);
+  void finish(std::shared_ptr<Trace> trace);
+
+  /// Most-recent-last completed traces (up to capacity).
+  [[nodiscard]] std::vector<std::shared_ptr<const Trace>> recent() const;
+  [[nodiscard]] std::shared_ptr<const Trace> latest() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t started() const noexcept;
+  [[nodiscard]] std::uint64_t finished() const noexcept;
+
+  void clear();
+
+  /// Process-wide default tracer.
+  [[nodiscard]] static Tracer& global();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<const Trace>> ring_;
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> finished_{0};
+};
+
+}  // namespace mmir::obs

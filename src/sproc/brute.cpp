@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/topk.hpp"
 
 namespace mmir {
@@ -16,6 +17,7 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
     throw Error("brute_force_top_k: L^M exceeds the combination guard");
   }
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "sproc_brute");
 
   CompositeTopK out;
   TopK<std::vector<std::uint32_t>> top(k);
@@ -32,6 +34,12 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
       out.status = ctx.stop_reason();
       out.missed_bound = 1.0;  // enumeration order is arbitrary: loosest sound bound
     }
+    if (span.active()) {
+      span.annotate("combinations", combos);
+      span.annotate("ops", static_cast<double>(ops));
+      span.annotate("matches", static_cast<double>(out.matches.size()));
+      span.note("status", to_string(out.status));
+    }
     return out;
   };
 
@@ -41,10 +49,11 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
     if (!ctx.charge(2 * query.components)) return finish(true);
     double score = 1.0;
     for (std::size_t m = 0; m < query.components && score > 0.0; ++m) {
-      score = tnorm_combine(query.tnorm, score, query.unary(m, assignment[m]));
+      score = tnorm_combine(query.tnorm, score, sanitize_degree(query.unary(m, assignment[m])));
       ++ops;
       if (m > 0 && score > 0.0) {
-        score = tnorm_combine(query.tnorm, score, query.binary(m, assignment[m - 1], assignment[m]));
+        score = tnorm_combine(query.tnorm, score,
+                              sanitize_degree(query.binary(m, assignment[m - 1], assignment[m])));
         ++ops;
       }
     }

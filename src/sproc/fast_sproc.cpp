@@ -4,6 +4,8 @@
 #include <memory>
 #include <queue>
 
+#include "obs/trace.hpp"
+
 namespace mmir {
 
 namespace {
@@ -43,11 +45,20 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
   query.validate();
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "sproc_fast");
   const std::size_t m_total = query.components;
   const std::size_t l = query.library_size;
   std::uint64_t ops = 0;
+  std::uint64_t pops = 0;
 
   CompositeTopK out;
+  const auto close_span = [&] {
+    if (!span.active()) return;
+    span.annotate("ops", static_cast<double>(ops));
+    span.annotate("frontier_pops", static_cast<double>(pops));
+    span.annotate("matches", static_cast<double>(out.matches.size()));
+    span.note("status", to_string(out.status));
+  };
 
   // Sorted unary lists per component: O(M L log L).
   std::vector<std::vector<std::pair<double, std::uint32_t>>> sorted(m_total);
@@ -55,7 +66,7 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
     auto& list = sorted[m];
     list.reserve(l);
     for (std::uint32_t j = 0; j < l; ++j) {
-      list.emplace_back(query.unary(m, j), j);
+      list.emplace_back(sanitize_degree(query.unary(m, j)), j);
       ++ops;
     }
     std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
@@ -70,6 +81,7 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
     meter.add_points(ops);
     out.status = ctx.stop_reason();
     out.missed_bound = 1.0;
+    close_span();
     return out;
   }
 
@@ -98,6 +110,7 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
     }
     const Frontier node = frontier.top();
     frontier.pop();
+    ++pops;
     if (node.filled == m_total) {
       // Complete assignments are popped in exact score order (bound == score
       // and every other bound is an upper bound).
@@ -111,8 +124,9 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
       double child_score = tnorm_combine(query.tnorm, node.score, u);
       ++ops;
       if (node.filled > 0 && child_score > 0.0) {
-        child_score = tnorm_combine(query.tnorm, child_score,
-                                    query.binary(node.filled, node.path->item, item));
+        child_score =
+            tnorm_combine(query.tnorm, child_score,
+                          sanitize_degree(query.binary(node.filled, node.path->item, item)));
         ++ops;
       }
       if (child_score > 0.0) {
@@ -137,6 +151,7 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
   meter.add_ops(ops);
   meter.add_points(ops);
   if (truncated) out.status = ctx.stop_reason();
+  close_span();
   return out;
 }
 

@@ -39,6 +39,14 @@ enum class TNorm {
   return t == TNorm::kProduct ? a * b : (a < b ? a : b);
 }
 
+/// Clamps a fuzzy degree into [0, 1].  Non-finite degrees (poisoned library
+/// metadata) collapse to 0 — a non-match — so all three processors agree on
+/// degenerate inputs instead of propagating NaN through incomparable paths.
+[[nodiscard]] inline double sanitize_degree(double d) noexcept {
+  if (!(d > 0.0)) return 0.0;  // negatives, zero, and NaN
+  return d > 1.0 ? 1.0 : d;
+}
+
 /// Composite query over a library of L items.  All degree functions must
 /// return values in [0, 1] (the fast processor's bounds rely on this).
 struct CartesianQuery {

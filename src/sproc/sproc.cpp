@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/topk.hpp"
 
 namespace mmir {
@@ -22,11 +23,18 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
   query.validate();
   MMIR_EXPECTS(k > 0);
   ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "sproc_dp");
   const std::size_t m_total = query.components;
   const std::size_t l = query.library_size;
   std::uint64_t ops = 0;
 
   CompositeTopK out;
+  const auto close_span = [&] {
+    if (!span.active()) return;
+    span.annotate("ops", static_cast<double>(ops));
+    span.annotate("matches", static_cast<double>(out.matches.size()));
+    span.note("status", to_string(out.status));
+  };
   const auto truncate = [&] {
     meter.add_ops(ops);
     meter.add_points(ops);
@@ -34,6 +42,7 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
     // best-effort answer mid-chain; report the stop with the loosest bound.
     out.status = ctx.stop_reason();
     out.missed_bound = 1.0;
+    close_span();
     return out;
   };
 
@@ -44,7 +53,7 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
   best[0].resize(l);
   for (std::uint32_t j = 0; j < l; ++j) {
     if (!ctx.charge(1)) return truncate();
-    const double u = query.unary(0, j);
+    const double u = sanitize_degree(query.unary(0, j));
     ++ops;
     if (u > 0.0) best[0][j].push_back(Partial{u, 0, 0});
   }
@@ -53,14 +62,14 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
     best[m].resize(l);
     for (std::uint32_t j = 0; j < l; ++j) {
       if (!ctx.charge(1)) return truncate();
-      const double u = query.unary(m, j);
+      const double u = sanitize_degree(query.unary(m, j));
       ++ops;
       if (u == 0.0) continue;
       TopK<Partial> top(k);
       for (std::uint32_t i = 0; i < l; ++i) {
         if (best[m - 1][i].empty()) continue;
         if (!ctx.charge(1 + best[m - 1][i].size())) return truncate();
-        const double p = query.binary(m, i, j);
+        const double p = sanitize_degree(query.binary(m, i, j));
         ++ops;
         if (p == 0.0) continue;
         for (std::uint32_t r = 0; r < best[m - 1][i].size(); ++r) {
@@ -102,6 +111,7 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
     }
     out.matches.push_back(std::move(match));
   }
+  close_span();
   return out;
 }
 

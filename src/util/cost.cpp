@@ -3,6 +3,8 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+
 namespace mmir {
 
 namespace {
@@ -21,6 +23,15 @@ std::ostream& operator<<(std::ostream& os, const CostMeter& meter) {
        << (static_cast<double>(meter.cache_hits()) / total * 100.0) << "% hit)";
   }
   return os;
+}
+
+void publish(const CostMeter& meter, obs::MetricsRegistry& registry) {
+  registry.counter("query_points_total").add(meter.points());
+  registry.counter("query_ops_total").add(meter.ops());
+  registry.counter("query_bytes_total").add(meter.bytes());
+  registry.counter("query_pruned_total").add(meter.pruned());
+  registry.counter("cache_hits_total").add(meter.cache_hits());
+  registry.counter("cache_misses_total").add(meter.cache_misses());
 }
 
 double SpeedupReport::point_speedup() const noexcept {

@@ -13,7 +13,13 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/clock.hpp"
+
 namespace mmir {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Accumulates the work performed by one retrieval execution.
 class CostMeter {
@@ -90,21 +96,22 @@ class CostMeter {
 std::ostream& operator<<(std::ostream& os, const CostMeter& meter);
 
 /// RAII timer adding its lifetime to a CostMeter's wall-clock on destruction.
-class ScopedTimer {
+/// Built on obs::ScopedTimerBase so meters, latency histograms, and bench
+/// timings all read the same clock (obs/clock.hpp).
+class ScopedTimer : public obs::ScopedTimerBase {
  public:
-  explicit ScopedTimer(CostMeter& meter) noexcept
-      : meter_(meter), start_(std::chrono::steady_clock::now()) {}
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-  ~ScopedTimer() {
-    meter_.add_wall(std::chrono::duration_cast<std::chrono::nanoseconds>(
-        std::chrono::steady_clock::now() - start_));
-  }
+  explicit ScopedTimer(CostMeter& meter) noexcept : meter_(meter) {}
+  ~ScopedTimer() { meter_.add_wall(elapsed()); }
 
  private:
   CostMeter& meter_;
-  std::chrono::steady_clock::time_point start_;
 };
+
+/// Publishes a completed execution's meter into registry-wide totals
+/// (query_points_total, query_ops_total, ... — the registry "absorbing" the
+/// ad-hoc CostMeter counters): per-query accounting stays on the meter,
+/// fleet-wide aggregates live in the registry.
+void publish(const CostMeter& meter, obs::MetricsRegistry& registry);
 
 /// Baseline-vs-method comparison, as reported in the paper's evaluation.
 struct SpeedupReport {

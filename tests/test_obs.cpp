@@ -1,0 +1,264 @@
+// Unit tests for the observability layer (src/obs): metrics registry
+// semantics, histogram bucketing and quantiles, inert handles, trace span
+// trees, bounded tracer retention, and the text/JSON dump surface.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "obs/dump.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mmir::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndSnapshots) {
+  MetricsRegistry registry(4);
+  Counter c = registry.counter("requests_total");
+  c.add();
+  c.add(41);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("requests_total"), 42u);
+  EXPECT_EQ(snap.counter("absent_total"), 0u);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("same");
+  Counter b = registry.counter("same");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(registry.snapshot().counter("same"), 5u);
+  EXPECT_EQ(registry.snapshot().counters.size(), 1u);
+}
+
+TEST(Metrics, InertHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  c.add(7);          // must not crash
+  g.set(1);
+  g.add(-1);
+  h.observe(123);
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge g = registry.gauge("queue_depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+TEST(Metrics, HistogramBucketsCountAndSum) {
+  MetricsRegistry registry;
+  HistogramSpec spec;
+  spec.bounds = {10, 100, 1000};
+  Histogram h = registry.histogram("latency", spec);
+  h.observe(5);     // bucket 0 (<= 10)
+  h.observe(10);    // bucket 0 (inclusive upper bound)
+  h.observe(50);    // bucket 1
+  h.observe(5000);  // overflow
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& s = snap.histograms[0];
+  ASSERT_EQ(s.counts.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 5065u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5065.0 / 4.0);
+}
+
+TEST(Metrics, HistogramQuantileIsBucketResolution) {
+  MetricsRegistry registry;
+  HistogramSpec spec;
+  spec.bounds = {10, 100, 1000};
+  Histogram h = registry.histogram("latency", spec);
+  for (int i = 0; i < 99; ++i) h.observe(5);
+  h.observe(500);
+  const HistogramSample s = registry.snapshot().histograms[0];
+  EXPECT_EQ(s.quantile(0.5), 10u);
+  EXPECT_EQ(s.quantile(0.99), 10u);
+  EXPECT_EQ(s.quantile(1.0), 1000u);
+}
+
+TEST(Metrics, ExponentialSpecIsAscendingAndDeduplicated) {
+  const HistogramSpec spec = HistogramSpec::exponential(1, 2.0, 10);
+  ASSERT_FALSE(spec.bounds.empty());
+  for (std::size_t i = 1; i < spec.bounds.size(); ++i) {
+    EXPECT_LT(spec.bounds[i - 1], spec.bounds[i]);
+  }
+  EXPECT_FALSE(HistogramSpec::latency_ns().bounds.empty());
+  EXPECT_FALSE(HistogramSpec::work_units().bounds.empty());
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("n");
+  c.add(5);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot().counter("n"), 0u);
+  c.add(2);
+  EXPECT_EQ(registry.snapshot().counter("n"), 2u);
+}
+
+TEST(Metrics, ScopedLatencyTimerObserves) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("timer_ns");
+  { ScopedLatencyTimer timer(h); }
+  EXPECT_EQ(registry.snapshot().histograms[0].count, 1u);
+}
+
+TEST(Metrics, TextAndJsonDumps) {
+  MetricsRegistry registry;
+  registry.counter("alpha_total").add(3);
+  registry.gauge("beta").set(-2);
+  registry.histogram("gamma_ns").observe(1000);
+  const std::string text = DumpMetrics(registry, DumpFormat::kText);
+  EXPECT_NE(text.find("alpha_total"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  const std::string json = DumpMetrics(registry, DumpFormat::kJson);
+  EXPECT_NE(json.find("\"alpha_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"gamma_ns\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Trace, SpanTreeStructureAndAnnotations) {
+  Trace trace("query");
+  {
+    Span root(&trace, "root");
+    root.annotate("k", 10.0);
+    {
+      Span child = Span::child_of(&root, "stage");
+      child.note("status", "complete");
+    }
+    Span sibling = Span::child_of(&root, "stage2");
+  }
+  EXPECT_TRUE(trace.well_formed());
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[2].parent, 0u);
+  EXPECT_TRUE(spans[0].closed);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+  ASSERT_EQ(spans[1].notes.size(), 1u);
+  EXPECT_EQ(spans[1].notes[0].second, "complete");
+}
+
+TEST(Trace, InertSpansAreNoOps) {
+  Span inert;
+  EXPECT_FALSE(inert.active());
+  inert.annotate("x", 1.0);
+  inert.note("k", "v");
+  inert.finish();
+  Span child = Span::child_of(&inert, "child");
+  EXPECT_FALSE(child.active());
+  Span null_root(nullptr, "root");
+  EXPECT_FALSE(null_root.active());
+  Span orphan = Span::child_of(nullptr, "orphan");
+  EXPECT_FALSE(orphan.active());
+}
+
+TEST(Trace, FinishIsIdempotentAndMoveSafe) {
+  Trace trace("t");
+  Span a(&trace, "a");
+  a.finish();
+  a.finish();
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): moved-from is inert
+  b.finish();
+  EXPECT_TRUE(trace.well_formed());
+  EXPECT_EQ(trace.span_count(), 1u);
+}
+
+TEST(Trace, CurrentSpanScopeNesting) {
+  EXPECT_EQ(current_span(), nullptr);
+  note_current("ignored", "no current span");  // must not crash
+  Trace trace("t");
+  Span outer(&trace, "outer");
+  {
+    SpanScope outer_scope(outer);
+    ASSERT_EQ(current_span(), &outer);
+    Span inner = Span::child_of(&outer, "inner");
+    {
+      SpanScope inner_scope(inner);
+      ASSERT_EQ(current_span(), &inner);
+      note_current("event", "retried");
+    }
+    EXPECT_EQ(current_span(), &outer);
+  }
+  EXPECT_EQ(current_span(), nullptr);
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[1].notes.size(), 1u);
+  EXPECT_EQ(spans[1].notes[0].first, "event");
+}
+
+TEST(Trace, JsonAndTextExports) {
+  Trace trace("export");
+  {
+    Span root(&trace, "root");
+    Span child = Span::child_of(&root, "inner");
+    child.annotate("tiles", 4.0);
+    child.note("status", "complete");
+  }
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"tiles\""), std::string::npos);
+  const std::string text = trace.to_text();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  EXPECT_EQ(DumpTrace(trace, DumpFormat::kJson), json);
+}
+
+TEST(Tracer, RingRetentionIsBounded) {
+  Tracer tracer(3);
+  for (int i = 0; i < 10; ++i) {
+    auto trace = tracer.start_trace("t" + std::to_string(i));
+    Span root(trace.get(), "root");
+    root.finish();
+    tracer.finish(std::move(trace));
+  }
+  EXPECT_EQ(tracer.started(), 10u);
+  EXPECT_EQ(tracer.finished(), 10u);
+  const auto recent = tracer.recent();
+  ASSERT_EQ(recent.size(), 3u);  // capacity bound, oldest evicted
+  EXPECT_EQ(recent.back()->name(), "t9");
+  EXPECT_EQ(recent.front()->name(), "t7");
+  ASSERT_NE(tracer.latest(), nullptr);
+  EXPECT_EQ(tracer.latest()->name(), "t9");
+  tracer.clear();
+  EXPECT_TRUE(tracer.recent().empty());
+  EXPECT_EQ(tracer.latest(), nullptr);
+}
+
+TEST(Tracer, DumpTracesCoversRing) {
+  Tracer tracer(4);
+  auto trace = tracer.start_trace("dumped");
+  { Span root(trace.get(), "root"); }
+  tracer.finish(std::move(trace));
+  const std::string json = DumpTraces(tracer, DumpFormat::kJson);
+  EXPECT_NE(json.find("\"dumped\""), std::string::npos);
+  const std::string text = DumpTraces(tracer, DumpFormat::kText);
+  EXPECT_NE(text.find("dumped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmir::obs
