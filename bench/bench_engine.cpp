@@ -25,14 +25,28 @@
 #include "linear/model.hpp"
 #include "linear/progressive.hpp"
 #include "obs/dump.hpp"
+#include "obs/explain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
+
+// Provenance stamps injected by bench/CMakeLists.txt; the fallbacks cover
+// builds driven outside CMake.
+#ifndef MMIR_GIT_COMMIT
+#define MMIR_GIT_COMMIT "unknown"
+#endif
+#ifndef MMIR_BUILD_FLAGS
+#define MMIR_BUILD_FLAGS "unknown"
+#endif
 
 namespace {
 
 using namespace mmir;
 using namespace mmir::bench;
+
+// Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
+// compare mismatched schemas.
+constexpr int kBenchSchemaVersion = 2;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -159,6 +173,9 @@ void write_json(const std::vector<SweepRow>& rows, const OverheadResult& overhea
     return;
   }
   std::fprintf(f, "{\n  \"experiment\": \"engine_concurrent_serving\",\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
+  std::fprintf(f, "  \"git_commit\": \"%s\",\n", MMIR_GIT_COMMIT);
+  std::fprintf(f, "  \"build_flags\": \"%s\",\n", MMIR_BUILD_FLAGS);
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"queries_per_config\": 256,\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -236,6 +253,8 @@ void run_table() {
   }
   if (sample != nullptr) {
     std::printf("\nsample traced query (obs::DumpTrace):\n%s", sample->to_text().c_str());
+    std::printf("\nEXPLAIN ANALYZE of the same query:\n%s",
+                obs::ExplainReport::from_trace(*sample).to_text().c_str());
   }
 
   const OverheadResult overhead = run_overhead_check(archive, progressive);

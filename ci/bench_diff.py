@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Regression gate over two BENCH_engine.json files.
+
+Compares a baseline run against a candidate run and fails (exit 1) when the
+candidate regresses by more than the threshold (default 15%) on either:
+
+  * E10  — the median qps across the sweep rows, and
+  * E10b — the traced-build qps of the observability-overhead check
+           (tracing_overhead.qps_traced).
+
+Both files must carry the same schema_version (stamped by bench_engine along
+with git_commit and build_flags); mismatched schemas exit 2 rather than
+producing a bogus comparison.  Throughput improvements never fail the gate.
+
+Usage:
+    ci/bench_diff.py baseline.json candidate.json [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def e10_median_qps(doc: dict) -> float:
+    rows = doc.get("rows", [])
+    if not rows:
+        raise ValueError("no sweep rows")
+    return statistics.median(row["qps"] for row in rows)
+
+
+def e10b_traced_qps(doc: dict) -> float:
+    overhead = doc.get("tracing_overhead")
+    if not overhead:
+        raise ValueError("no tracing_overhead block")
+    return float(overhead["qps_traced"])
+
+
+def check(name: str, base: float, cand: float, threshold: float) -> bool:
+    floor = base * (1.0 - threshold)
+    regressed = cand < floor
+    delta = (cand - base) / base * 100.0 if base > 0 else 0.0
+    verdict = "FAIL" if regressed else "ok"
+    print(
+        f"{name}: baseline {base:.1f} qps -> candidate {cand:.1f} qps "
+        f"({delta:+.1f}%, floor {floor:.1f}) [{verdict}]"
+    )
+    return regressed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_engine.json")
+    parser.add_argument("candidate", help="candidate BENCH_engine.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression (default 0.15 = 15%%)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    base_schema = base.get("schema_version")
+    cand_schema = cand.get("schema_version")
+    if base_schema != cand_schema:
+        print(
+            f"schema_version mismatch: baseline={base_schema} candidate={cand_schema}; "
+            "re-run the baseline with the current bench before comparing",
+            file=sys.stderr,
+        )
+        return 2
+
+    for label, doc in (("baseline", base), ("candidate", cand)):
+        print(
+            f"{label}: commit {doc.get('git_commit', '?')} "
+            f"[{doc.get('build_flags', '?')}] "
+            f"hw_threads {doc.get('hardware_concurrency', '?')}"
+        )
+
+    failed = False
+    try:
+        failed |= check(
+            "E10 median qps", e10_median_qps(base), e10_median_qps(cand), args.threshold
+        )
+        failed |= check(
+            "E10b traced qps", e10b_traced_qps(base), e10b_traced_qps(cand), args.threshold
+        )
+    except (KeyError, ValueError) as err:
+        print(f"malformed bench json: {err}", file=sys.stderr)
+        return 2
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,11 @@
 # Builds the tree with ThreadSanitizer and runs the concurrency-sensitive
 # suites: the engine (thread pool, scheduler, caches), the serial-vs-parallel
 # executor parity tests, the fault-injection tests that share QueryContext
-# across threads, and the observability-layer concurrency tests (sharded
-# metrics registry, tracer ring, span trees built from pool workers).  Any
-# race report fails the run.
+# across threads, and the observability-layer suites: the concurrency tests
+# (sharded metrics registry, tracer ring, span trees built from pool
+# workers) plus the obs export surface — the snapshot aggregator's periodic
+# sampling thread and the stats server's socket thread.  Any race report
+# fails the run.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,8 +17,8 @@ cmake -B "${BUILD}" -S "${ROOT}" \
   -DMMIR_SANITIZE=thread
 cmake --build "${BUILD}" -j"$(nproc)" \
   --target test_engine test_parallel_exec test_fault_injection test_core \
-           test_obs_concurrency
+           test_obs_concurrency test_export test_aggregate test_stats_server
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
-  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency'
+  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency|test_export|test_aggregate|test_stats_server'

@@ -40,6 +40,22 @@ inline std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
   return out;
 }
 
+/// Per-scan counters a kernel accumulates for its caller.  `pixels` counts
+/// pixels whose evaluation *began* (data-leg pruning skips a pixel entirely,
+/// so n_total / pixels is the empirical pd of §4.2); `bad_points` counts
+/// non-finite evaluations skipped.  Plain locals — each worker owns one and
+/// the coordinator sums after the join, like the per-worker CostMeters.
+struct ScanTally {
+  std::uint64_t pixels = 0;
+  std::uint64_t bad_points = 0;
+
+  ScanTally& operator+=(const ScanTally& other) noexcept {
+    pixels += other.pixels;
+    bad_points += other.bad_points;
+    return *this;
+  }
+};
+
 /// Staged evaluation of one pixel with early abandoning: returns the exact
 /// score, or any value strictly below `threshold` once the upper bound drops
 /// under it.  Charges one op + point per term actually computed, both to the
@@ -77,21 +93,23 @@ inline double full_pixel(const TiledArchive& archive, const RasterModel& model, 
 }
 
 /// Scans the rectangle [x0,x1)×[y0,y1) with the full model, offering every
-/// finite score into `top` and counting non-finite ones into `bad_points`
-/// (and the context).  Stops early — possibly mid-row — once the context
-/// stops; callers check ctx.stopped() to distinguish.
+/// finite score into `top` and counting visited pixels / non-finite
+/// evaluations into `tally` (bad points also go to the context).  Stops
+/// early — possibly mid-row — once the context stops; callers check
+/// ctx.stopped() to distinguish.
 inline void scan_rect_full(const TiledArchive& archive, const RasterModel& model, std::size_t x0,
                            std::size_t x1, std::size_t y0, std::size_t y1, TopK<RasterHit>& top,
                            std::vector<double>& scratch, QueryContext& ctx, CostMeter& meter,
-                           std::uint64_t& bad_points) {
+                           ScanTally& tally) {
   const std::uint64_t ops_per_pixel = model.ops_per_evaluation();
   for (std::size_t y = y0; y < y1 && !ctx.stopped(); ++y) {
     for (std::size_t x = x0; x < x1; ++x) {
       if (!ctx.charge(ops_per_pixel)) break;
+      ++tally.pixels;
       const double score = full_pixel(archive, model, x, y, scratch, meter);
       if (!std::isfinite(score)) {
         ctx.note_bad_points();
-        ++bad_points;
+        ++tally.bad_points;
         continue;
       }
       top.offer(score, RasterHit{x, y, score});
@@ -107,14 +125,15 @@ template <typename ThresholdFn, typename OnOfferFn>
 inline void scan_rect_staged(const TiledArchive& archive, const ProgressiveLinearModel& model,
                              std::size_t x0, std::size_t x1, std::size_t y0, std::size_t y1,
                              TopK<RasterHit>& top, ThresholdFn&& threshold, OnOfferFn&& on_offer,
-                             QueryContext& ctx, CostMeter& meter, std::uint64_t& bad_points) {
+                             QueryContext& ctx, CostMeter& meter, ScanTally& tally) {
   for (std::size_t y = y0; y < y1 && !ctx.stopped(); ++y) {
     for (std::size_t x = x0; x < x1; ++x) {
+      ++tally.pixels;
       const double score = staged_pixel(archive, model, x, y, threshold(), ctx, meter);
       if (ctx.stopped()) break;
       if (!std::isfinite(score)) {
         ctx.note_bad_points();
-        ++bad_points;
+        ++tally.bad_points;
         continue;
       }
       if (score > top.threshold()) {

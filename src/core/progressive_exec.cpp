@@ -28,6 +28,22 @@ void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMet
   span.note("status", to_string(out.status));
 }
 
+/// Publishes the §4.2 efficiency-model inputs on the executor span: archive
+/// size n (total pixels), full-model cost N (ops per full evaluation),
+/// pixels whose evaluation began, and the ops spent inside the scan stage
+/// (excluding the metadata pass).  obs::ExplainReport derives the empirical
+/// pm = visited·N / scan_ops and pd = n / visited from exactly these four.
+void annotate_efficiency(const obs::Span& span, const TiledArchive& archive,
+                         std::uint64_t model_terms, std::uint64_t pixels_visited,
+                         std::uint64_t scan_ops) {
+  if (!span.active()) return;
+  span.annotate("total_pixels",
+                static_cast<double>(archive.width()) * static_cast<double>(archive.height()));
+  span.annotate("model_terms", static_cast<double>(model_terms));
+  span.annotate("pixels_visited", static_cast<double>(pixels_visited));
+  span.annotate("scan_ops", static_cast<double>(scan_ops));
+}
+
 }  // namespace
 
 RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model, std::size_t k,
@@ -39,8 +55,11 @@ RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model
   RasterTopK out;
   TopK<RasterHit> top(k);
   std::vector<double> pixel(archive.band_count());
+  const std::uint64_t ops_before = meter.ops();
+  exec::ScanTally tally;
   exec::scan_rect_full(archive, model, 0, archive.width(), 0, archive.height(), top, pixel, ctx,
-                       meter, out.bad_points);
+                       meter, tally);
+  out.bad_points = tally.bad_points;
   out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
@@ -48,6 +67,8 @@ RasterTopK full_scan_top_k(const TiledArchive& archive, const RasterModel& model
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.ops_per_evaluation(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter);
   return out;
 }
@@ -67,9 +88,12 @@ RasterTopK progressive_model_top_k(const TiledArchive& archive,
   obs::Span span = obs::Span::child_of(ctx.span(), "progressive_model");
   RasterTopK out;
   TopK<RasterHit> top(k);
+  const std::uint64_t ops_before = meter.ops();
+  exec::ScanTally tally;
   exec::scan_rect_staged(
       archive, model, 0, archive.width(), 0, archive.height(), top,
-      [&] { return top.threshold(); }, [] {}, ctx, meter, out.bad_points);
+      [&] { return top.threshold(); }, [] {}, ctx, meter, tally);
+  out.bad_points = tally.bad_points;
   out.hits = exec::finalize(top);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
@@ -77,6 +101,8 @@ RasterTopK progressive_model_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.order().size(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter);
   return out;
 }
@@ -106,6 +132,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   std::vector<double> pixel(archive.band_count());
   double truncation_bound = kNegInf;
   std::size_t tiles_scanned = 0;
+  exec::ScanTally tally;
   // Metadata pass: one bound evaluation per tile.
   if (!ctx.charge(tiles.size() * ops_per_pixel)) {
     out.status = ctx.stop_reason();
@@ -113,6 +140,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
     annotate_result(span, out, meter);
     return out;
   }
+  const std::uint64_t ops_before = meter.ops();
   obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
   for (std::size_t t : tb.order) {
     if (top.full() && tb.bounds[t].hi <= top.threshold()) {
@@ -129,7 +157,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
     const TileSummary& tile = tiles[t];
     ++tiles_scanned;
     exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
-                         tile.y0 + tile.height, top, pixel, ctx, meter, out.bad_points);
+                         tile.y0 + tile.height, top, pixel, ctx, meter, tally);
     if (ctx.stopped()) {
       // Tiles run best-bound-first, so the current tile's bound dominates
       // everything unexamined (its own remainder and all later tiles).
@@ -137,6 +165,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
       break;
     }
   }
+  out.bad_points = tally.bad_points;
   scan_span.annotate("tiles_scanned", static_cast<double>(tiles_scanned));
   scan_span.annotate("tiles_pruned", static_cast<double>(tb.order.size() - tiles_scanned));
   scan_span.finish();
@@ -147,6 +176,7 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, ops_per_pixel, tally.pixels, meter.ops() - ops_before);
   annotate_result(span, out, meter);
   return out;
 }
@@ -175,12 +205,14 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   TopK<RasterHit> top(k);
   double truncation_bound = kNegInf;
   std::size_t tiles_scanned = 0;
+  exec::ScanTally tally;
   if (!ctx.charge(tiles.size() * raster_model.ops_per_evaluation())) {
     out.status = ctx.stop_reason();
     out.missed_bound = exec::archive_score_bound(archive, raster_model);
     annotate_result(span, out, meter);
     return out;
   }
+  const std::uint64_t ops_before = meter.ops();
   obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
   for (std::size_t t : tb.order) {
     if (top.full() && tb.bounds[t].hi <= top.threshold()) {
@@ -196,12 +228,13 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
     ++tiles_scanned;
     exec::scan_rect_staged(
         archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height, top,
-        [&] { return top.threshold(); }, [] {}, ctx, meter, out.bad_points);
+        [&] { return top.threshold(); }, [] {}, ctx, meter, tally);
     if (ctx.stopped()) {
       truncation_bound = tb.bounds[t].hi;
       break;
     }
   }
+  out.bad_points = tally.bad_points;
   scan_span.annotate("tiles_scanned", static_cast<double>(tiles_scanned));
   scan_span.annotate("tiles_pruned", static_cast<double>(tb.order.size() - tiles_scanned));
   scan_span.finish();
@@ -212,6 +245,8 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.order().size(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter);
   return out;
 }

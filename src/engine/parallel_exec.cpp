@@ -26,6 +26,21 @@ void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMet
   span.note("status", to_string(out.status));
 }
 
+/// Parallel twin of the serial executors' efficiency annotations: the same
+/// four §4.2 inputs (n, N, pixels whose evaluation began, scan-stage ops),
+/// summed across workers, so obs::ExplainReport reads one vocabulary for
+/// both execution paths.
+void annotate_efficiency(const obs::Span& span, const TiledArchive& archive,
+                         std::uint64_t model_terms, std::uint64_t pixels_visited,
+                         std::uint64_t scan_ops) {
+  if (!span.active()) return;
+  span.annotate("total_pixels",
+                static_cast<double>(archive.width()) * static_cast<double>(archive.height()));
+  span.annotate("model_terms", static_cast<double>(model_terms));
+  span.annotate("pixels_visited", static_cast<double>(pixels_visited));
+  span.annotate("scan_ops", static_cast<double>(scan_ops));
+}
+
 /// Monotone shared pruning threshold: a relaxed atomic maximum.  Readers may
 /// observe a stale (lower) value, which only weakens pruning — never
 /// soundness — so no ordering stronger than relaxed is needed.
@@ -50,23 +65,26 @@ struct WorkerState {
   explicit WorkerState(std::size_t k) : top(k) {}
   TopK<RasterHit> top;
   CostMeter meter;
-  std::uint64_t bad_points = 0;
+  exec::ScanTally tally;
   double truncation_bound = kNegInf;
 };
 
-/// Merges per-worker heaps/meters into the final result, reducing the
-/// meters with CostMeter::merge.  The global heap re-offers every local
+/// Merges per-worker heaps/meters/tallies into the final result, reducing
+/// the meters with CostMeter::merge.  The global heap re-offers every local
 /// entry; local heaps hold the top-K of their partition, so the union
-/// contains the global top-K.
-void merge_workers(std::vector<WorkerState>& workers, std::size_t k, RasterTopK& out,
-                   CostMeter& meter) {
+/// contains the global top-K.  Returns the summed scan tally.
+exec::ScanTally merge_workers(std::vector<WorkerState>& workers, std::size_t k, RasterTopK& out,
+                              CostMeter& meter) {
   TopK<RasterHit> merged(k);
+  exec::ScanTally tally;
   for (WorkerState& w : workers) {
     for (auto& entry : w.top.take_sorted()) merged.offer(entry.score, entry.item);
     meter.merge(w.meter);
-    out.bad_points += w.bad_points;
+    tally += w.tally;
   }
+  out.bad_points += tally.bad_points;
   out.hits = exec::finalize(merged);
+  return tally;
 }
 
 /// Row-band grain: a few chunks per slot for load balance without shredding
@@ -125,6 +143,7 @@ RasterTopK parallel_full_scan_top_k(const TiledArchive& archive, const RasterMod
   obs::Span span = obs::Span::child_of(ctx.span(), "parallel_full_scan");
   RasterTopK out;
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
+  const std::uint64_t ops_before = meter.ops();
 
   pool.parallel_for(0, archive.height(), row_grain(archive.height(), pool.slot_count()),
                     [&](std::size_t y0, std::size_t y1, std::size_t slot) {
@@ -132,16 +151,18 @@ RasterTopK parallel_full_scan_top_k(const TiledArchive& archive, const RasterMod
                       WorkerState& w = workers[slot];
                       std::vector<double> scratch(archive.band_count());
                       exec::scan_rect_full(archive, model, 0, archive.width(), y0, y1, w.top,
-                                           scratch, ctx, w.meter, w.bad_points);
+                                           scratch, ctx, w.meter, w.tally);
                     });
 
-  merge_workers(workers, k, out, meter);
+  const exec::ScanTally tally = merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound = exec::archive_score_bound(archive, model);
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.ops_per_evaluation(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
@@ -157,6 +178,7 @@ RasterTopK parallel_progressive_model_top_k(const TiledArchive& archive,
   RasterTopK out;
   std::vector<WorkerState> workers(pool.slot_count(), WorkerState(k));
   SharedThreshold shared;
+  const std::uint64_t ops_before = meter.ops();
 
   pool.parallel_for(
       0, archive.height(), row_grain(archive.height(), pool.slot_count()),
@@ -169,16 +191,18 @@ RasterTopK parallel_progressive_model_top_k(const TiledArchive& archive,
             [&] {
               if (w.top.full()) shared.raise(w.top.threshold());
             },
-            ctx, w.meter, w.bad_points);
+            ctx, w.meter, w.tally);
       });
 
-  merge_workers(workers, k, out, meter);
+  const exec::ScanTally tally = merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound = model.model().evaluate_interval(archive.band_ranges()).hi;
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.order().size(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
@@ -218,6 +242,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   SharedThreshold shared;
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> tiles_scanned{0};
+  const std::uint64_t ops_before = meter.ops();
 
   obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
@@ -228,7 +253,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
                       tiles_scanned.fetch_add(1, std::memory_order_relaxed);
                       exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
                                            tile.y0 + tile.height, w.top, scratch, ctx, w.meter,
-                                           w.bad_points);
+                                           w.tally);
                       if (w.top.full()) shared.raise(w.top.threshold());
                     });
   });
@@ -237,7 +262,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   scan_span.annotate("tiles_pruned", static_cast<double>(tb->order.size() - scanned));
   scan_span.finish();
 
-  merge_workers(workers, k, out, meter);
+  const exec::ScanTally tally = merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound =
@@ -245,6 +270,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, ops_per_pixel, tally.pixels, meter.ops() - ops_before);
   annotate_result(span, out, meter, pool.slot_count());
   return out;
 }
@@ -284,6 +310,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   SharedThreshold shared;
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> tiles_scanned{0};
+  const std::uint64_t ops_before = meter.ops();
 
   obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
@@ -297,7 +324,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
               [&] {
                 if (w.top.full()) shared.raise(w.top.threshold());
               },
-              ctx, w.meter, w.bad_points);
+              ctx, w.meter, w.tally);
         });
   });
   const std::size_t scanned = tiles_scanned.load(std::memory_order_relaxed);
@@ -305,7 +332,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   scan_span.annotate("tiles_pruned", static_cast<double>(tb->order.size() - scanned));
   scan_span.finish();
 
-  merge_workers(workers, k, out, meter);
+  const exec::ScanTally tally = merge_workers(workers, k, out, meter);
   if (ctx.stopped()) {
     out.status = ctx.stop_reason();
     out.missed_bound =
@@ -313,6 +340,8 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   } else {
     out.status = exec::completion_status(archive, out.bad_points);
   }
+  annotate_efficiency(span, archive, model.order().size(), tally.pixels,
+                      meter.ops() - ops_before);
   annotate_result(span, out, meter, pool.slot_count());
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/stats_server.hpp"
 #include "sproc/brute.hpp"
 #include "sproc/fast_sproc.hpp"
 #include "sproc/sproc.hpp"
@@ -41,6 +42,10 @@ QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
     active_gauge_ = reg.gauge("engine_active_queries");
     queue_wait_hist_ = reg.histogram("engine_queue_wait_ns");
     exec_time_hist_ = reg.histogram("engine_exec_time_ns");
+    result_cache_hit_ppm_gauge_ = reg.gauge("engine_result_cache_hit_rate_ppm");
+    result_cache_entries_gauge_ = reg.gauge("engine_result_cache_entries");
+    tile_cache_hit_ppm_gauge_ = reg.gauge("engine_tile_cache_hit_rate_ppm");
+    tile_cache_entries_gauge_ = reg.gauge("engine_tile_cache_entries");
   }
   exec_pool_ = std::make_unique<ThreadPool>(config_.intra_query_threads);
   if (config_.result_cache_entries > 0) {
@@ -56,9 +61,17 @@ QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
   for (std::size_t i = 0; i < dispatchers; ++i) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
   }
+  if (config_.stats_port >= 0) {
+    obs::StatsSources sources;
+    sources.metrics = config_.metrics;
+    sources.tracer = config_.tracer;
+    stats_server_ = std::make_unique<obs::StatsServer>(sources);
+    stats_server_->start(static_cast<std::uint16_t>(config_.stats_port));
+  }
 }
 
 QueryEngine::~QueryEngine() {
+  stats_server_.reset();  // stop serving before the sources drain away
   std::vector<QueuedTask> leftovers;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -114,6 +127,25 @@ CacheStats QueryEngine::result_cache_stats() const {
 
 CacheStats QueryEngine::tile_cache_stats() const {
   return tile_cache_ ? tile_cache_->stats() : CacheStats{};
+}
+
+int QueryEngine::stats_port() const noexcept {
+  return stats_server_ != nullptr && stats_server_->running() ? stats_server_->port() : -1;
+}
+
+void QueryEngine::refresh_cache_gauges() {
+  // ppm (parts per million) keeps a ratio on the integer gauge surface.
+  constexpr double kPpm = 1e6;
+  if (result_cache_ != nullptr) {
+    const CacheStats s = result_cache_->stats();
+    result_cache_hit_ppm_gauge_.set(static_cast<std::int64_t>(s.hit_rate() * kPpm));
+    result_cache_entries_gauge_.set(static_cast<std::int64_t>(result_cache_->size()));
+  }
+  if (tile_cache_ != nullptr) {
+    const CacheStats s = tile_cache_->stats();
+    tile_cache_hit_ppm_gauge_.set(static_cast<std::int64_t>(s.hit_rate() * kPpm));
+    tile_cache_entries_gauge_.set(static_cast<std::int64_t>(tile_cache_->size()));
+  }
 }
 
 void QueryEngine::configure_context(QueryContext& ctx, const JobLimits& limits,
@@ -188,9 +220,16 @@ std::future<Outcome> QueryEngine::enqueue(const char* kind, const JobLimits& lim
       if (config_.tracer != nullptr) {
         trace = config_.tracer->start_trace(kind);
         root = obs::Span(trace.get(), "query");
+        root.annotate("query_id", static_cast<double>(trace->id()));
         root.annotate("queue_wait_ns", static_cast<double>(out.queue_wait.count()));
         root.annotate("priority", static_cast<double>(limits.priority));
         root.annotate("dispatch_order", static_cast<double>(out.dispatch_order));
+        if (limits.op_budget != std::numeric_limits<std::uint64_t>::max()) {
+          root.annotate("op_budget", static_cast<double>(limits.op_budget));
+        }
+        if (limits.timeout.count() > 0) {
+          root.annotate("timeout_ns", static_cast<double>(limits.timeout.count()));
+        }
       }
       obs::SpanScope scope(root);
       QueryContext ctx;
@@ -200,9 +239,15 @@ std::future<Outcome> QueryEngine::enqueue(const char* kind, const JobLimits& lim
       out.exec_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started);
       exec_time_hist_.observe_duration(out.exec_time);
-      if (config_.metrics != nullptr) publish(out.meter, *config_.metrics);
+      if (config_.metrics != nullptr) {
+        publish(out.meter, *config_.metrics);
+        refresh_cache_gauges();
+      }
       if (root.active()) {
         root.annotate("exec_ns", static_cast<double>(out.exec_time.count()));
+        root.annotate("ops_spent", static_cast<double>(out.meter.ops()));
+        root.annotate("cache_hits", static_cast<double>(out.meter.cache_hits()));
+        root.annotate("cache_misses", static_cast<double>(out.meter.cache_misses()));
         if (out.cache_hit) root.note("result_cache", "hit");
         root.finish();
       }

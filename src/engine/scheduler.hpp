@@ -49,6 +49,10 @@
 #include "obs/trace.hpp"
 #include "sproc/query.hpp"
 
+namespace mmir::obs {
+class StatsServer;
+}  // namespace mmir::obs
+
 namespace mmir {
 
 /// Scheduling priority; lower value drains first.
@@ -69,6 +73,11 @@ struct EngineConfig {
   obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
   /// Per-query trace sink; null (the default) disables tracing.
   obs::Tracer* tracer = nullptr;
+  /// Port for the embedded operator stats server (obs/stats_server.hpp):
+  /// -1 (the default) keeps the server off — no thread, no socket, zero
+  /// overhead; 0 binds an ephemeral port (read it back via stats_port());
+  /// >0 binds that port.  The server only listens on 127.0.0.1.
+  int stats_port = -1;
 };
 
 /// Shared fields of every job type.
@@ -184,6 +193,10 @@ class QueryEngine {
   [[nodiscard]] CacheStats result_cache_stats() const;
   [[nodiscard]] CacheStats tile_cache_stats() const;
 
+  /// Actual TCP port of the embedded stats server (useful with
+  /// EngineConfig::stats_port = 0), or -1 when the server is off.
+  [[nodiscard]] int stats_port() const noexcept;
+
  private:
   using ResultCache =
       ShardedLruCache<QueryCacheKey, std::shared_ptr<const RasterTopK>, QueryCacheKeyHash>;
@@ -200,6 +213,10 @@ class QueryEngine {
   void dispatcher_loop();
   void configure_context(QueryContext& ctx, const JobLimits& limits,
                          std::chrono::steady_clock::time_point submitted) const;
+  /// Refreshes the cache hit-rate / occupancy gauges from CacheStats; called
+  /// once per completed query (never per pixel) so the gauges track load
+  /// without adding hot-path work.
+  void refresh_cache_gauges();
 
   RasterOutcome run_raster(const RasterJob& job, QueryContext& ctx);
   /// Per-tile screening bounds via the tile cache; falls back to computing
@@ -236,8 +253,13 @@ class QueryEngine {
   obs::Gauge active_gauge_;
   obs::Histogram queue_wait_hist_;
   obs::Histogram exec_time_hist_;
+  obs::Gauge result_cache_hit_ppm_gauge_;
+  obs::Gauge result_cache_entries_gauge_;
+  obs::Gauge tile_cache_hit_ppm_gauge_;
+  obs::Gauge tile_cache_entries_gauge_;
 
   std::vector<std::thread> dispatchers_;
+  std::unique_ptr<obs::StatsServer> stats_server_;
 };
 
 }  // namespace mmir

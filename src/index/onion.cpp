@@ -212,6 +212,10 @@ OnionTopK OnionIndex::query(std::span<const double> weights, std::size_t k, doub
   if (span.active()) {
     span.annotate("layers", static_cast<double>(layers_.size()));
     span.annotate("points_evaluated", static_cast<double>(evaluated));
+    // Candidate accounting for EXPLAIN: every indexed point is a candidate;
+    // whatever the layer/suffix bounds kept us from touching was pruned.
+    span.annotate("items_examined", static_cast<double>(evaluated));
+    span.annotate("items_pruned", static_cast<double>(size() - evaluated));
     span.annotate("hits", static_cast<double>(out.hits.size()));
     span.note("terminated_early", terminated_early ? "true" : "false");
     span.note("status", to_string(out.status));

@@ -1,0 +1,164 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+
+namespace mmir::obs {
+
+namespace {
+
+double ratio(double num, double den) noexcept { return den <= 0.0 ? 0.0 : num / den; }
+
+}  // namespace
+
+double interpolated_quantile(const HistogramSample& hist, double q) {
+  if (hist.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(hist.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    const std::uint64_t in_bucket = hist.counts[b];
+    if (in_bucket == 0) continue;
+    const double cum_before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    const bool overflow = b >= hist.bounds.size();
+    if (overflow) {
+      // No finite upper edge: clamp to the largest finite bound (or 0 for a
+      // histogram with no finite buckets at all).
+      return hist.bounds.empty() ? 0.0 : static_cast<double>(hist.bounds.back());
+    }
+    const double hi = static_cast<double>(hist.bounds[b]);
+    const double lo = b == 0 ? 0.0 : static_cast<double>(hist.bounds[b - 1]);
+    const double frac = ratio(rank - cum_before, static_cast<double>(in_bucket));
+    return lo + frac * (hi - lo);
+  }
+  // rank == count landed past the last populated bucket (fp edge); treat as
+  // the maximum representable observation.
+  return hist.bounds.empty() ? 0.0 : static_cast<double>(hist.bounds.back());
+}
+
+LatencySummary latency_summary(const HistogramSample& hist) {
+  LatencySummary summary;
+  summary.count = hist.count;
+  summary.p50 = interpolated_quantile(hist, 0.50);
+  summary.p95 = interpolated_quantile(hist, 0.95);
+  summary.p99 = interpolated_quantile(hist, 0.99);
+  return summary;
+}
+
+std::uint64_t AggregateSample::delta(std::string_view name) const noexcept {
+  for (const CounterSample& c : counter_deltas) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+SnapshotAggregator::SnapshotAggregator(MetricsRegistry& registry, std::size_t capacity)
+    : registry_(registry), capacity_(capacity == 0 ? 1 : capacity) {}
+
+SnapshotAggregator::~SnapshotAggregator() { stop(); }
+
+void SnapshotAggregator::sample() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  sample_locked(lock);
+}
+
+void SnapshotAggregator::sample_locked(std::unique_lock<std::mutex>&) {
+  AggregateSample s;
+  s.at = Clock::now();
+  s.cumulative = registry_.snapshot();
+
+  s.counter_deltas.reserve(s.cumulative.counters.size());
+  for (const CounterSample& now : s.cumulative.counters) {
+    std::uint64_t prev = 0;
+    for (const CounterSample& p : prev_counters_) {
+      if (p.name == now.name) {
+        prev = p.value;
+        break;
+      }
+    }
+    // Counters are monotone; a reset() between samples shows as now < prev,
+    // in which case the delta restarts from the new cumulative value.
+    s.counter_deltas.push_back({now.name, now.value >= prev ? now.value - prev : now.value});
+  }
+  if (has_prev_) {
+    s.seconds_since_prev = std::chrono::duration<double>(s.at - prev_at_).count();
+  }
+  prev_at_ = s.at;
+  prev_counters_ = s.cumulative.counters;
+  has_prev_ = true;
+
+  ring_.push_back(std::move(s));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void SnapshotAggregator::start(std::chrono::milliseconds interval) {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    for (;;) {
+      if (thread_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) return;
+      lock.unlock();
+      sample();
+      lock.lock();
+    }
+  });
+}
+
+void SnapshotAggregator::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_requested_ = true;
+  }
+  thread_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SnapshotAggregator::running() const { return thread_.joinable(); }
+
+std::size_t SnapshotAggregator::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::vector<AggregateSample> SnapshotAggregator::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+RollingRates SnapshotAggregator::rates(std::size_t last_n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RollingRates r;
+  const std::size_t n = last_n == 0 ? ring_.size() : std::min(last_n, ring_.size());
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    const AggregateSample& s = ring_[i];
+    r.seconds += s.seconds_since_prev;
+    r.submitted += s.delta("engine_jobs_submitted_total");
+    r.completed += s.delta("engine_jobs_completed_total");
+    r.shed += s.delta("engine_jobs_shed_total");
+    hits += s.delta("cache_hits_total");
+    misses += s.delta("cache_misses_total");
+  }
+  r.qps = ratio(static_cast<double>(r.completed), r.seconds);
+  r.shed_rate = ratio(static_cast<double>(r.shed), static_cast<double>(r.submitted));
+  r.cache_hit_rate = ratio(static_cast<double>(hits), static_cast<double>(hits + misses));
+  return r;
+}
+
+LatencySummary SnapshotAggregator::latency(std::string_view histogram_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return {};
+  for (const HistogramSample& hist : ring_.back().cumulative.histograms) {
+    if (hist.name == histogram_name) return latency_summary(hist);
+  }
+  return {};
+}
+
+}  // namespace mmir::obs

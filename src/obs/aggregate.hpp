@@ -1,0 +1,126 @@
+#pragma once
+// Snapshot aggregation: periodic delta snapshots of a MetricsRegistry, a
+// bounded in-memory ring of them, and the derived operator numbers —
+// rolling rates (qps, shed rate, cache hit rate) and interpolated latency
+// percentiles (p50/p95/p99).
+//
+// The registry's counters are cumulative; dashboards want rates.  The
+// aggregator takes a full snapshot per sample(), diffs every counter against
+// the previous sample, and keeps (cumulative, delta, wall-seconds) tuples in
+// a fixed-capacity ring evicted oldest-first — the same bounded-retention
+// idiom as the trace ring, so a long-running server's footprint is
+// capacity × snapshot-size regardless of uptime.
+//
+// Percentiles: HistogramSample::quantile() is bucket-resolution (it returns
+// a bucket upper bound).  interpolated_quantile() refines that by assuming
+// a uniform distribution inside the target bucket and interpolating between
+// the bucket's edges, which is what operators expect p50/p95/p99 to mean on
+// a fixed-bucket histogram.  The overflow bucket has no finite upper edge,
+// so quantiles landing there clamp to the largest finite bound.
+//
+// sample() can be driven by the caller (tests) or by the built-in periodic
+// thread (start()/stop()); sampling is far off the query path either way —
+// one registry snapshot per tick.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace mmir::obs {
+
+/// Linear-interpolation quantile (q in [0, 1]) over a histogram sample; 0
+/// when the histogram is empty.  See header comment for edge semantics.
+[[nodiscard]] double interpolated_quantile(const HistogramSample& hist, double q);
+
+/// The three latency points dashboards plot, from one histogram sample.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+[[nodiscard]] LatencySummary latency_summary(const HistogramSample& hist);
+
+/// One aggregation tick.
+struct AggregateSample {
+  Clock::time_point at{};
+  double seconds_since_prev = 0;  ///< 0 for the first sample ever
+  MetricsSnapshot cumulative;
+  /// Per-counter increase since the previous sample (first sample: since
+  /// zero, i.e. the cumulative values).
+  std::vector<CounterSample> counter_deltas;
+
+  /// Delta of a counter by name; 0 when absent.
+  [[nodiscard]] std::uint64_t delta(std::string_view name) const noexcept;
+};
+
+/// Rates over a trailing window of samples.
+struct RollingRates {
+  double seconds = 0;          ///< wall time the window covers
+  double qps = 0;              ///< completed queries per second
+  double shed_rate = 0;        ///< shed / submitted (0 when nothing submitted)
+  double cache_hit_rate = 0;   ///< engine-cache hits / (hits + misses)
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+};
+
+class SnapshotAggregator {
+ public:
+  /// Samples `registry` (which must outlive the aggregator); keeps at most
+  /// `capacity` samples, evicting oldest-first.
+  explicit SnapshotAggregator(MetricsRegistry& registry, std::size_t capacity = 120);
+  ~SnapshotAggregator();
+
+  SnapshotAggregator(const SnapshotAggregator&) = delete;
+  SnapshotAggregator& operator=(const SnapshotAggregator&) = delete;
+
+  /// Takes one snapshot now and appends the delta sample to the ring.
+  void sample();
+
+  /// Starts the periodic sampling thread; stop() (or destruction) joins it.
+  void start(std::chrono::milliseconds interval);
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Ring contents, oldest first.
+  [[nodiscard]] std::vector<AggregateSample> samples() const;
+
+  /// Rates over the trailing `last_n` samples (0 = the whole ring).  The
+  /// first-ever sample covers no wall time and is excluded from `seconds`.
+  [[nodiscard]] RollingRates rates(std::size_t last_n = 0) const;
+
+  /// Interpolated p50/p95/p99 of a histogram in the latest sample's
+  /// cumulative snapshot; zeros when no sample or no such histogram.
+  [[nodiscard]] LatencySummary latency(std::string_view histogram_name) const;
+
+ private:
+  void sample_locked(std::unique_lock<std::mutex>& lock);
+
+  MetricsRegistry& registry_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::deque<AggregateSample> ring_;
+  bool has_prev_ = false;
+  Clock::time_point prev_at_{};
+  std::vector<CounterSample> prev_counters_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable thread_cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace mmir::obs

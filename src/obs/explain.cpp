@@ -1,0 +1,320 @@
+#include "obs/explain.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/cost.hpp"
+
+namespace mmir::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Value of attr `key` on `span`, or `fallback` when absent.
+double attr_or(const SpanRecord& span, std::string_view key, double fallback) {
+  for (const auto& [k, v] : span.attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool has_attr(const SpanRecord& span, std::string_view key) {
+  for (const auto& [k, v] : span.attrs) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const std::string* note_or_null(const SpanRecord& span, std::string_view key) {
+  for (const auto& [k, v] : span.notes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+constexpr double kNsPerMs = 1e6;
+
+}  // namespace
+
+double ExplainEfficiency::pm() const noexcept {
+  if (scan_ops <= 0.0) return 1.0;
+  return pixels_visited * model_terms / scan_ops;
+}
+
+double ExplainEfficiency::pd() const noexcept {
+  if (pixels_visited <= 0.0) return 1.0;
+  return total_pixels / pixels_visited;
+}
+
+double ExplainEfficiency::predicted_speedup() const noexcept { return pm() * pd(); }
+
+double ExplainEfficiency::actual_speedup() const noexcept {
+  if (total_ops <= 0.0) return 1.0;
+  const double baseline = static_cast<double>(serial_baseline_ops(
+      static_cast<std::uint64_t>(total_pixels), static_cast<std::uint64_t>(model_terms)));
+  return baseline / total_ops;
+}
+
+ExplainReport ExplainReport::from_trace(const Trace& trace) {
+  ExplainReport report;
+  report.query_id = trace.id();
+  report.kind = trace.name();
+
+  const std::vector<SpanRecord> spans = trace.spans();
+  std::vector<std::size_t> depth(spans.size(), 0);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != kNoSpan && spans[i].parent < i) depth[i] = depth[spans[i].parent] + 1;
+  }
+
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+
+    if (span.parent == kNoSpan && span.name == "query") {
+      // Root accounting written by the scheduler (engine/scheduler.cpp).
+      report.queue_wait_ms = attr_or(span, "queue_wait_ns", 0) / kNsPerMs;
+      report.exec_ms = attr_or(span, "exec_ns", 0) / kNsPerMs;
+      report.ops_spent = attr_or(span, "ops_spent", 0);
+      if (has_attr(span, "op_budget")) {
+        report.has_op_budget = true;
+        report.op_budget = attr_or(span, "op_budget", 0);
+      }
+      if (has_attr(span, "timeout_ns")) {
+        report.has_timeout = true;
+        report.timeout_ms = attr_or(span, "timeout_ns", 0) / kNsPerMs;
+      }
+      report.cache_hits = attr_or(span, "cache_hits", 0);
+      report.cache_misses = attr_or(span, "cache_misses", 0);
+      if (const std::string* hit = note_or_null(span, "result_cache");
+          hit != nullptr && *hit == "hit") {
+        report.result_cache_hit = true;
+        report.disposition = "cached";
+      }
+    }
+
+    // First executor span carrying all four §4.2 inputs wins; its meter_ops
+    // (total stage ops, metadata pass included) is the achieved-cost side.
+    if (!report.has_efficiency && has_attr(span, "total_pixels") &&
+        has_attr(span, "model_terms") && has_attr(span, "pixels_visited") &&
+        has_attr(span, "scan_ops")) {
+      report.has_efficiency = true;
+      report.efficiency.total_pixels = attr_or(span, "total_pixels", 0);
+      report.efficiency.model_terms = attr_or(span, "model_terms", 0);
+      report.efficiency.pixels_visited = attr_or(span, "pixels_visited", 0);
+      report.efficiency.scan_ops = attr_or(span, "scan_ops", 0);
+      report.efficiency.total_ops = attr_or(span, "meter_ops", report.efficiency.scan_ops);
+    }
+
+    // Every stage's latched status is a candidate disposition; the last one
+    // in span order is the innermost/latest stage's verdict.
+    if (const std::string* status = note_or_null(span, "status");
+        status != nullptr && !report.result_cache_hit) {
+      report.disposition = *status;
+    }
+
+    ExplainStage stage;
+    stage.name = span.name;
+    stage.depth = depth[i];
+    stage.start_ms = static_cast<double>(span.start_ns) / kNsPerMs;
+    stage.duration_ms = static_cast<double>(span.duration_ns) / kNsPerMs;
+    if (has_attr(span, "items_examined")) {
+      stage.has_items = true;
+      stage.items_examined = attr_or(span, "items_examined", 0);
+      stage.items_pruned = attr_or(span, "items_pruned", 0);
+    } else if (has_attr(span, "tiles_scanned")) {
+      stage.has_items = true;
+      stage.items_examined = attr_or(span, "tiles_scanned", 0);
+      stage.items_pruned = attr_or(span, "tiles_pruned", 0);
+    } else if (has_attr(span, "pixels_visited") && has_attr(span, "total_pixels")) {
+      stage.has_items = true;
+      stage.items_examined = attr_or(span, "pixels_visited", 0);
+      stage.items_pruned =
+          std::max(0.0, attr_or(span, "total_pixels", 0) - stage.items_examined);
+    }
+    stage.attrs = span.attrs;
+    stage.notes = span.notes;
+    report.stages.push_back(std::move(stage));
+  }
+  return report;
+}
+
+std::string ExplainReport::to_text() const {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof buf, "EXPLAIN ANALYZE %s query #%llu\n", kind.c_str(),
+                static_cast<unsigned long long>(query_id));
+  out += buf;
+
+  std::snprintf(buf, sizeof buf, "  queue_wait %.3fms  exec %.3fms  ops %.0f", queue_wait_ms,
+                exec_ms, ops_spent);
+  out += buf;
+  if (has_op_budget) {
+    std::snprintf(buf, sizeof buf, " (budget %.0f)", op_budget);
+    out += buf;
+  }
+  if (has_timeout) {
+    std::snprintf(buf, sizeof buf, "  timeout %.3fms", timeout_ms);
+    out += buf;
+  }
+  out += "\n";
+
+  std::snprintf(buf, sizeof buf, "  engine cache: %.0f hit / %.0f miss   result cache: %s\n",
+                cache_hits, cache_misses, result_cache_hit ? "hit" : "miss");
+  out += buf;
+  out += "  disposition: " + disposition + "\n";
+
+  // Stage table with the name column sized to the deepest indented name.
+  std::size_t name_width = 5;  // "stage"
+  for (const ExplainStage& stage : stages) {
+    name_width = std::max(name_width, 2 * stage.depth + stage.name.size());
+  }
+  std::snprintf(buf, sizeof buf, "  %-*s %12s %14s %14s\n", static_cast<int>(name_width), "stage",
+                "time_ms", "examined", "pruned");
+  out += buf;
+  for (const ExplainStage& stage : stages) {
+    std::string name(2 * stage.depth, ' ');
+    name += stage.name;
+    if (stage.has_items) {
+      std::snprintf(buf, sizeof buf, "  %-*s %12.3f %14.0f %14.0f\n",
+                    static_cast<int>(name_width), name.c_str(), stage.duration_ms,
+                    stage.items_examined, stage.items_pruned);
+    } else {
+      std::snprintf(buf, sizeof buf, "  %-*s %12.3f %14s %14s\n", static_cast<int>(name_width),
+                    name.c_str(), stage.duration_ms, "-", "-");
+    }
+    out += buf;
+  }
+
+  if (has_efficiency) {
+    std::snprintf(buf, sizeof buf,
+                  "  efficiency (s4.2): pm=%.3f pd=%.3f -> predicted %.2fx, actual %.2fx\n",
+                  efficiency.pm(), efficiency.pd(), efficiency.predicted_speedup(),
+                  efficiency.actual_speedup());
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "    (n=%.0f N=%.0f visited=%.0f scan_ops=%.0f total_ops=%.0f)\n",
+                  efficiency.total_pixels, efficiency.model_terms, efficiency.pixels_visited,
+                  efficiency.scan_ops, efficiency.total_ops);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ExplainReport::to_json() const {
+  std::string out = "{\"query_id\":";
+  append_double(out, static_cast<double>(query_id));
+  out += ",\"kind\":\"";
+  append_escaped(out, kind);
+  out += "\",\"queue_wait_ms\":";
+  append_double(out, queue_wait_ms);
+  out += ",\"exec_ms\":";
+  append_double(out, exec_ms);
+  out += ",\"ops_spent\":";
+  append_double(out, ops_spent);
+  out += ",\"op_budget\":";
+  if (has_op_budget) {
+    append_double(out, op_budget);
+  } else {
+    out += "null";
+  }
+  out += ",\"timeout_ms\":";
+  if (has_timeout) {
+    append_double(out, timeout_ms);
+  } else {
+    out += "null";
+  }
+  out += ",\"cache_hits\":";
+  append_double(out, cache_hits);
+  out += ",\"cache_misses\":";
+  append_double(out, cache_misses);
+  out += ",\"result_cache_hit\":";
+  out += result_cache_hit ? "true" : "false";
+  out += ",\"disposition\":\"";
+  append_escaped(out, disposition);
+  out += "\",\"efficiency\":";
+  if (has_efficiency) {
+    out += "{\"total_pixels\":";
+    append_double(out, efficiency.total_pixels);
+    out += ",\"model_terms\":";
+    append_double(out, efficiency.model_terms);
+    out += ",\"pixels_visited\":";
+    append_double(out, efficiency.pixels_visited);
+    out += ",\"scan_ops\":";
+    append_double(out, efficiency.scan_ops);
+    out += ",\"total_ops\":";
+    append_double(out, efficiency.total_ops);
+    out += ",\"pm\":";
+    append_double(out, efficiency.pm());
+    out += ",\"pd\":";
+    append_double(out, efficiency.pd());
+    out += ",\"predicted_speedup\":";
+    append_double(out, efficiency.predicted_speedup());
+    out += ",\"actual_speedup\":";
+    append_double(out, efficiency.actual_speedup());
+    out += "}";
+  } else {
+    out += "null";
+  }
+  out += ",\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const ExplainStage& stage = stages[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":\"";
+    append_escaped(out, stage.name);
+    out += "\",\"depth\":";
+    append_double(out, static_cast<double>(stage.depth));
+    out += ",\"start_ms\":";
+    append_double(out, stage.start_ms);
+    out += ",\"duration_ms\":";
+    append_double(out, stage.duration_ms);
+    out += ",\"items_examined\":";
+    if (stage.has_items) {
+      append_double(out, stage.items_examined);
+    } else {
+      out += "null";
+    }
+    out += ",\"items_pruned\":";
+    if (stage.has_items) {
+      append_double(out, stage.items_pruned);
+    } else {
+      out += "null";
+    }
+    if (!stage.notes.empty()) {
+      out += ",\"notes\":{";
+      for (std::size_t n = 0; n < stage.notes.size(); ++n) {
+        if (n != 0) out += ",";
+        out += "\"";
+        append_escaped(out, stage.notes[n].first);
+        out += "\":\"";
+        append_escaped(out, stage.notes[n].second);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mmir::obs

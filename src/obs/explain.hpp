@@ -1,0 +1,108 @@
+#pragma once
+// EXPLAIN / ANALYZE: a per-query execution report derived from a completed
+// trace (obs/trace.hpp) — the operator-facing rendering of what the engine
+// actually did for one query.
+//
+// Executors annotate their stage spans with a standardized vocabulary
+// (progressive_exec / parallel_exec / onion / sproc all emit it):
+//
+//   * items_examined / items_pruned — candidate accounting per stage.  For
+//     raster stages the scan spans carry tiles_scanned / tiles_pruned and
+//     the executor span carries pixels_visited; onion / SPROC stages carry
+//     items_examined / items_pruned directly.
+//   * total_pixels, model_terms, pixels_visited, scan_ops — the §4.2
+//     efficiency-model inputs.  From these the report derives the
+//     *empirical* reduction factors
+//         pm = pixels_visited · N / scan_ops   (model-leg: staged
+//              early-abandoning evaluated scan_ops / visited of the N terms)
+//         pd = n / pixels_visited              (data-leg: tile screening
+//              skipped the rest of the n pixels entirely)
+//     and compares the predicted speedup pm·pd against the achieved
+//     speedup  n·N / total_ops  over the serial full-scan baseline
+//     (serial_baseline_ops in util/cost.hpp).  The two differ only by
+//     metadata-pass work, so they should agree closely (bench E5 and the
+//     acceptance test hold them within 10%).
+//   * root-span accounting — queue wait, exec time, ops spent vs op budget,
+//     deadline, engine-cache hits/misses, result-cache provenance, and the
+//     shed/degraded disposition latched by the fault envelope.
+//
+// ExplainReport::from_trace is a pure function of the trace: anything the
+// report shows was recorded at stage granularity during execution, so
+// building a report costs nothing on the query path and EXPLAIN can run on
+// any retained trace (`/explain/<id>` on the stats server).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mmir::obs {
+
+/// The §4.2 efficiency-model observations of one executor stage.
+struct ExplainEfficiency {
+  double total_pixels = 0;    ///< n — archive pixels in scope
+  double model_terms = 0;     ///< N — ops of one full model evaluation
+  double pixels_visited = 0;  ///< pixels whose evaluation began
+  double scan_ops = 0;        ///< ops spent inside the scan stage
+  double total_ops = 0;       ///< ops spent by the whole stage (incl. metadata)
+
+  /// Empirical model-leg reduction: of the N terms a visited pixel would
+  /// cost, staged evaluation paid scan_ops / visited.
+  [[nodiscard]] double pm() const noexcept;
+  /// Empirical data-leg reduction: screening let the scan visit only
+  /// pixels_visited of the n pixels.
+  [[nodiscard]] double pd() const noexcept;
+  /// §4.2 predicted speedup over the serial baseline: pm · pd.
+  [[nodiscard]] double predicted_speedup() const noexcept;
+  /// Achieved speedup: baseline n·N ops over the stage's total ops.
+  [[nodiscard]] double actual_speedup() const noexcept;
+};
+
+/// One rendered stage row (one trace span).
+struct ExplainStage {
+  std::string name;
+  std::size_t depth = 0;  ///< nesting under the root query span
+  double start_ms = 0;
+  double duration_ms = 0;
+  bool has_items = false;  ///< candidate accounting present on this span
+  double items_examined = 0;
+  double items_pruned = 0;
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// The whole report.  Build with from_trace; render with to_text / to_json.
+struct ExplainReport {
+  std::uint64_t query_id = 0;
+  std::string kind;  ///< trace name: "raster" / "onion" / "composite" / ...
+
+  double queue_wait_ms = 0;
+  double exec_ms = 0;
+  double ops_spent = 0;
+  bool has_op_budget = false;
+  double op_budget = 0;
+  bool has_timeout = false;
+  double timeout_ms = 0;
+  double cache_hits = 0;    ///< engine-cache hits charged to the meter
+  double cache_misses = 0;
+  bool result_cache_hit = false;  ///< answer served from the result cache
+  /// Final disposition: the deepest stage's latched status note
+  /// ("complete", "degraded", "shed", "budget_exhausted", ...).
+  std::string disposition = "unknown";
+
+  bool has_efficiency = false;
+  ExplainEfficiency efficiency;
+
+  std::vector<ExplainStage> stages;
+
+  [[nodiscard]] static ExplainReport from_trace(const Trace& trace);
+
+  /// Aligned fixed-width text table (one row per stage) plus the efficiency
+  /// and accounting summary lines.
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace mmir::obs

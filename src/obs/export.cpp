@@ -1,0 +1,174 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mmir::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else maps to '_'.
+void append_prom_name(std::string& out, std::string_view name) {
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+}
+
+void append_family_header(std::string& out, std::string_view name, const char* type) {
+  out += "# HELP ";
+  append_prom_name(out, name);
+  out += " mmir ";
+  out += type;
+  out += "\n# TYPE ";
+  append_prom_name(out, name);
+  out += " ";
+  out += type;
+  out += "\n";
+}
+
+/// One chrome "X" (complete) event.  chrome://tracing expects microseconds;
+/// open spans render with their elapsed-so-far duration of 0.
+void append_chrome_event(std::string& out, const SpanRecord& span, std::uint64_t tid,
+                         bool& first) {
+  if (!first) out += ",";
+  first = false;
+  out += "{\"name\":\"";
+  append_escaped(out, span.name);
+  out += "\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  append_u64(out, tid);
+  out += ",\"ts\":";
+  append_u64(out, span.start_ns / 1000);
+  out += ",\"dur\":";
+  append_u64(out, span.duration_ns / 1000);
+  if (!span.attrs.empty() || !span.notes.empty()) {
+    out += ",\"args\":{";
+    bool first_arg = true;
+    for (const auto& [key, value] : span.attrs) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      out += "\"";
+      append_escaped(out, key);
+      out += "\":";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      out += buf;
+    }
+    for (const auto& [key, value] : span.notes) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      out += "\"";
+      append_escaped(out, key);
+      out += "\":\"";
+      append_escaped(out, value);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+void append_trace_events(std::string& out, const Trace& trace, bool& first) {
+  // tid 0 would collide for untraced-id traces; chrome renders them fine on
+  // a shared row either way.
+  const std::uint64_t tid = trace.id();
+  for (const SpanRecord& span : trace.spans()) {
+    append_chrome_event(out, span, tid, first);
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& counter : snapshot.counters) {
+    append_family_header(out, counter.name, "counter");
+    append_prom_name(out, counter.name);
+    out += " ";
+    append_u64(out, counter.value);
+    out += "\n";
+  }
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    append_family_header(out, gauge.name, "gauge");
+    append_prom_name(out, gauge.name);
+    out += " ";
+    append_i64(out, gauge.value);
+    out += "\n";
+  }
+  for (const HistogramSample& hist : snapshot.histograms) {
+    append_family_header(out, hist.name, "histogram");
+    // Prometheus buckets are *cumulative*; our per-bucket counts convert by
+    // a running sum, with the implicit overflow bucket becoming le="+Inf".
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      cumulative += b < hist.counts.size() ? hist.counts[b] : 0;
+      append_prom_name(out, hist.name);
+      out += "_bucket{le=\"";
+      append_u64(out, hist.bounds[b]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    append_prom_name(out, hist.name);
+    out += "_bucket{le=\"+Inf\"} ";
+    append_u64(out, hist.count);
+    out += "\n";
+    append_prom_name(out, hist.name);
+    out += "_sum ";
+    append_u64(out, hist.sum);
+    out += "\n";
+    append_prom_name(out, hist.name);
+    out += "_count ";
+    append_u64(out, hist.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const Trace& trace) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  append_trace_events(out, trace, first);
+  out += "]}";
+  return out;
+}
+
+std::string to_chrome_trace(std::span<const std::shared_ptr<const Trace>> traces) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& trace : traces) {
+    if (trace != nullptr) append_trace_events(out, *trace, first);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mmir::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Interop exporters for the observability substrate:
+//
+//   * to_prometheus — renders a MetricsSnapshot in the Prometheus text
+//     exposition format (one `# HELP` / `# TYPE` pair per metric family;
+//     histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+//     `_count`), the payload `GET /metrics` on the stats server returns.
+//   * to_chrome_trace — renders one or more traces as chrome://tracing /
+//     Perfetto JSON (an object with a `traceEvents` array of "X" complete
+//     events, microsecond ts/dur, one tid per query), so an operator can
+//     load `GET /traces` straight into the trace viewer and see the span
+//     nesting per query.
+//
+// Both are pure functions over snapshot/trace values — no registry or
+// tracer locks are held while formatting.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mmir::obs {
+
+/// Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// chrome://tracing JSON of one trace (tid = its query id).
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace);
+
+/// chrome://tracing JSON of several traces on one timeline, one tid each —
+/// the shape of the Tracer ring (`Tracer::recent()`).
+[[nodiscard]] std::string to_chrome_trace(
+    std::span<const std::shared_ptr<const Trace>> traces);
+
+}  // namespace mmir::obs

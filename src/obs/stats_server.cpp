@@ -1,0 +1,213 @@
+#include "obs/stats_server.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/explain.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MMIR_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MMIR_HAVE_SOCKETS 0
+#endif
+
+namespace mmir::obs {
+
+namespace {
+
+std::string http_response(int status, const char* reason, const char* content_type,
+                          std::string_view body) {
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type, body.size());
+  std::string out = head;
+  out += body;
+  return out;
+}
+
+/// Parses the decimal id of "/explain/<id>"; false on empty / non-digit /
+/// overflow-ish input.
+bool parse_id(std::string_view s, std::uint64_t& id) {
+  if (s.empty() || s.size() > 19) return false;
+  id = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+StatsServer::StatsServer(StatsSources sources) : sources_(sources) {}
+
+StatsServer::~StatsServer() { stop(); }
+
+std::string StatsServer::respond(std::string_view method, std::string_view target) const {
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain", "GET only\n");
+  }
+  // Strip any query string; the routes take no parameters.
+  if (const std::size_t q = target.find('?'); q != std::string_view::npos) {
+    target = target.substr(0, q);
+  }
+
+  if (target == "/healthz") {
+    return http_response(200, "OK", "text/plain", "ok\n");
+  }
+  if (target == "/metrics") {
+    if (sources_.metrics == nullptr) {
+      return http_response(503, "Service Unavailable", "text/plain", "metrics disabled\n");
+    }
+    return http_response(200, "OK", "text/plain; version=0.0.4",
+                         to_prometheus(sources_.metrics->snapshot()));
+  }
+  if (target == "/traces") {
+    if (sources_.tracer == nullptr) {
+      return http_response(503, "Service Unavailable", "text/plain", "tracing disabled\n");
+    }
+    const auto traces = sources_.tracer->recent();
+    return http_response(200, "OK", "application/json", to_chrome_trace(traces));
+  }
+  constexpr std::string_view kExplainPrefix = "/explain/";
+  if (target.size() > kExplainPrefix.size() && target.substr(0, kExplainPrefix.size()) == kExplainPrefix) {
+    if (sources_.tracer == nullptr) {
+      return http_response(503, "Service Unavailable", "text/plain", "tracing disabled\n");
+    }
+    std::uint64_t id = 0;
+    if (!parse_id(target.substr(kExplainPrefix.size()), id)) {
+      return http_response(400, "Bad Request", "text/plain",
+                           "expected /explain/<numeric query id>\n");
+    }
+    const std::shared_ptr<const Trace> trace = sources_.tracer->find(id);
+    if (trace == nullptr) {
+      // Distinguish the two miss causes so the operator knows whether to
+      // raise ring capacity or to double-check the id.
+      char body[192];
+      const std::uint64_t started = sources_.tracer->started();
+      if (id == 0 || id > started) {
+        std::snprintf(body, sizeof body,
+                      "query %llu was never traced (ids run 1..%llu)\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(started));
+      } else {
+        std::snprintf(body, sizeof body,
+                      "trace for query %llu has been evicted from the ring "
+                      "(capacity %zu, oldest-finished evicted first)\n",
+                      static_cast<unsigned long long>(id), sources_.tracer->capacity());
+      }
+      return http_response(404, "Not Found", "text/plain", body);
+    }
+    return http_response(200, "OK", "text/plain",
+                         ExplainReport::from_trace(*trace).to_text());
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "routes: /healthz /metrics /traces /explain/<id>\n");
+}
+
+#if MMIR_HAVE_SOCKETS
+
+bool StatsServer::start(std::uint16_t port) {
+  stop();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = port;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void StatsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // 100ms stop-flag cadence
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read the request head (bounded; the routes take no body).
+    std::string request;
+    char buf[1024];
+    while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::read(client, buf, sizeof buf);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string response;
+    const std::size_t line_end = request.find("\r\n");
+    const std::string_view line =
+        std::string_view(request).substr(0, line_end == std::string::npos ? 0 : line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                          : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      response = http_response(400, "Bad Request", "text/plain", "malformed request line\n");
+    } else {
+      response = respond(line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n = ::write(client, response.data() + sent, response.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+void StatsServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = -1;
+}
+
+#else  // !MMIR_HAVE_SOCKETS
+
+bool StatsServer::start(std::uint16_t) { return false; }
+void StatsServer::serve_loop() {}
+void StatsServer::stop() {}
+
+#endif
+
+bool StatsServer::running() const noexcept { return thread_.joinable(); }
+
+int StatsServer::port() const noexcept { return port_; }
+
+}  // namespace mmir::obs

@@ -1,0 +1,75 @@
+#pragma once
+// Tiny embedded operator surface: a blocking HTTP/1.0 server on a dedicated
+// thread, serving the observability substrate over loopback TCP:
+//
+//   GET /healthz        -> 200 "ok"
+//   GET /metrics        -> Prometheus text exposition (obs/export.hpp)
+//   GET /traces         -> chrome://tracing JSON of the trace ring
+//   GET /explain/<id>   -> EXPLAIN ANALYZE text for query <id>
+//                          (404 with a clear reason when <id> was never
+//                          traced or its trace was evicted from the ring)
+//
+// Deliberately minimal: HTTP/1.0 semantics, `Connection: close`, one request
+// per connection, requests served sequentially on the one server thread —
+// this is an ops sidecar for curl and a scraper, not a web server.  It binds
+// 127.0.0.1 only.  Off by default everywhere (EngineConfig::stats_port = -1
+// keeps it entirely unconstructed: no thread, no socket, zero overhead).
+//
+// The accept loop polls with a short timeout and re-checks a stop flag, so
+// stop() (and destruction) is prompt without signals or socket shutdown
+// races.  Request handling is factored into respond(), a pure function of
+// (method, target), so tests can exercise routing and payloads without a
+// socket and the integration smoke test covers the real TCP path.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace mmir::obs {
+
+class MetricsRegistry;
+class Tracer;
+
+/// What the server serves.  Null members disable their endpoints (503).
+struct StatsSources {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+class StatsServer {
+ public:
+  explicit StatsServer(StatsSources sources);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port; read it
+  /// back via port()) and starts the serving thread.  Returns false when the
+  /// socket can't be created/bound/listened (port in use, no socket API).
+  bool start(std::uint16_t port);
+
+  /// Stops the serving thread and closes the socket; idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// The bound TCP port; -1 when not running.
+  [[nodiscard]] int port() const noexcept;
+
+  /// Full HTTP response (status line, headers, body) for one request —
+  /// the routing table, exposed for tests.
+  [[nodiscard]] std::string respond(std::string_view method, std::string_view target) const;
+
+ private:
+  void serve_loop();
+
+  StatsSources sources_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace mmir::obs

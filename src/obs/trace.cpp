@@ -34,7 +34,8 @@ void append_u64(std::string& out, std::uint64_t v) {
 
 // -------------------------------------------------------------------- Trace
 
-Trace::Trace(std::string name) : name_(std::move(name)), start_(Clock::now()) {}
+Trace::Trace(std::string name, std::uint64_t id)
+    : name_(std::move(name)), id_(id), start_(Clock::now()) {}
 
 std::uint64_t Trace::elapsed_ns() const noexcept {
   return static_cast<std::uint64_t>(
@@ -102,7 +103,9 @@ std::string Trace::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"trace\":\"";
   append_escaped(out, name_);
-  out += "\",\"spans\":[";
+  out += "\",\"id\":";
+  append_u64(out, id_);
+  out += ",\"spans\":[";
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     const SpanRecord& span = spans_[i];
     if (i != 0) out += ",";
@@ -240,8 +243,8 @@ void note_current(std::string_view key, std::string_view value) {
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::shared_ptr<Trace> Tracer::start_trace(std::string name) {
-  started_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_shared<Trace>(std::move(name));
+  const std::uint64_t id = started_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return std::make_shared<Trace>(std::move(name), id);
 }
 
 void Tracer::finish(std::shared_ptr<Trace> trace) {
@@ -260,6 +263,14 @@ std::vector<std::shared_ptr<const Trace>> Tracer::recent() const {
 std::shared_ptr<const Trace> Tracer::latest() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ring_.empty() ? nullptr : ring_.back();
+}
+
+std::shared_ptr<const Trace> Tracer::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& trace : ring_) {
+    if (trace->id() == id) return trace;
+  }
+  return nullptr;
 }
 
 std::uint64_t Tracer::started() const noexcept {

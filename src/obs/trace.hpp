@@ -48,9 +48,13 @@ struct SpanRecord {
 /// One query's span tree.  All methods are thread-safe.
 class Trace {
  public:
-  explicit Trace(std::string name);
+  explicit Trace(std::string name, std::uint64_t id = 0);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Stable query id assigned by the Tracer (1-based, monotone per tracer);
+  /// 0 for traces built outside a tracer.  This is the id the operator
+  /// surface keys on (`/explain/<id>`).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
   [[nodiscard]] std::uint64_t elapsed_ns() const noexcept;
 
   /// Opens a span; `parent` is an existing span index or kNoSpan for a root.
@@ -73,6 +77,7 @@ class Trace {
 
  private:
   std::string name_;
+  std::uint64_t id_ = 0;
   Clock::time_point start_;
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
@@ -147,19 +152,33 @@ class SpanScope {
 /// Attaches a note to the calling thread's current span; no-op without one.
 void note_current(std::string_view key, std::string_view value);
 
-/// Bounded retention of completed traces: a fixed-capacity ring, oldest
-/// evicted first.  Thread-safe.
+/// Bounded retention of completed traces: a fixed-capacity ring.
+///
+/// Eviction order is deterministic and documented: traces are retained in
+/// *finish order* (the order finish() was called, which under concurrent
+/// dispatchers is the order completions reached the ring mutex), and once
+/// the ring is at capacity each finish() evicts exactly the oldest-finished
+/// trace.  recent() and DumpTraces therefore always list oldest-finished
+/// first, newest-finished last, and an id that is absent was either never
+/// traced or has been evicted — find() distinguishes presence explicitly so
+/// the operator surface can answer "evicted" instead of an empty body.
+/// Thread-safe.
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = 64);
 
-  /// Creates a trace; call finish() to move it into the retention ring.
+  /// Creates a trace carrying a fresh query id (1-based, monotone); call
+  /// finish() to move it into the retention ring.
   [[nodiscard]] std::shared_ptr<Trace> start_trace(std::string name);
   void finish(std::shared_ptr<Trace> trace);
 
-  /// Most-recent-last completed traces (up to capacity).
+  /// Completed traces in finish order: oldest-finished first (up to
+  /// capacity; see the class comment for the eviction contract).
   [[nodiscard]] std::vector<std::shared_ptr<const Trace>> recent() const;
   [[nodiscard]] std::shared_ptr<const Trace> latest() const;
+  /// The retained trace with Trace::id() == id; nullptr when that query was
+  /// never traced or its trace has been evicted from the ring.
+  [[nodiscard]] std::shared_ptr<const Trace> find(std::uint64_t id) const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t started() const noexcept;
   [[nodiscard]] std::uint64_t finished() const noexcept;

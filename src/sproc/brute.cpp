@@ -1,5 +1,6 @@
 #include "sproc/brute.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/trace.hpp"
@@ -23,6 +24,7 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
   TopK<std::vector<std::uint32_t>> top(k);
   std::vector<std::uint32_t> assignment(query.components, 0);
   std::uint64_t ops = 0;
+  std::uint64_t assignments = 0;
 
   const auto finish = [&](bool truncated) {
     meter.add_ops(ops);
@@ -37,6 +39,12 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
     if (span.active()) {
       span.annotate("combinations", combos);
       span.annotate("ops", static_cast<double>(ops));
+      // EXPLAIN candidate accounting: brute force materializes every one of
+      // the L^M candidate assignments unless truncated mid-enumeration.
+      span.annotate("candidate_space", combos);
+      span.annotate("items_examined", static_cast<double>(assignments));
+      span.annotate("items_pruned",
+                    std::max(0.0, combos - static_cast<double>(assignments)));
       span.annotate("matches", static_cast<double>(out.matches.size()));
       span.note("status", to_string(out.status));
     }
@@ -47,6 +55,7 @@ CompositeTopK brute_force_top_k(const CartesianQuery& query, std::size_t k, Quer
   while (true) {
     // Up to 2M - 1 degree evaluations per assignment; charge the worst case.
     if (!ctx.charge(2 * query.components)) return finish(true);
+    ++assignments;
     double score = 1.0;
     for (std::size_t m = 0; m < query.components && score > 0.0; ++m) {
       score = tnorm_combine(query.tnorm, score, sanitize_degree(query.unary(m, assignment[m])));

@@ -1,6 +1,7 @@
 #include "sproc/fast_sproc.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <queue>
 
@@ -56,6 +57,13 @@ CompositeTopK fast_sproc_top_k(const CartesianQuery& query, std::size_t k, Query
     if (!span.active()) return;
     span.annotate("ops", static_cast<double>(ops));
     span.annotate("frontier_pops", static_cast<double>(pops));
+    // EXPLAIN candidate accounting: best-first search pops `pops` frontier
+    // nodes out of the L^M candidate assignment space; everything it never
+    // expanded was pruned by the optimistic completion bound.
+    const double space = std::pow(static_cast<double>(l), static_cast<double>(m_total));
+    span.annotate("candidate_space", space);
+    span.annotate("items_examined", static_cast<double>(pops));
+    span.annotate("items_pruned", std::max(0.0, space - static_cast<double>(pops)));
     span.annotate("matches", static_cast<double>(out.matches.size()));
     span.note("status", to_string(out.status));
   };

@@ -1,6 +1,7 @@
 #include "sproc/sproc.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/trace.hpp"
 #include "util/topk.hpp"
@@ -32,6 +33,12 @@ CompositeTopK sproc_top_k(const CartesianQuery& query, std::size_t k, QueryConte
   const auto close_span = [&] {
     if (!span.active()) return;
     span.annotate("ops", static_cast<double>(ops));
+    // EXPLAIN candidate accounting: the DP touches `ops` partial-chain
+    // extensions instead of the L^M full assignments brute force would.
+    const double space = std::pow(static_cast<double>(l), static_cast<double>(m_total));
+    span.annotate("candidate_space", space);
+    span.annotate("items_examined", static_cast<double>(ops));
+    span.annotate("items_pruned", std::max(0.0, space - static_cast<double>(ops)));
     span.annotate("matches", static_cast<double>(out.matches.size()));
     span.note("status", to_string(out.status));
   };

@@ -107,6 +107,15 @@ class ScopedTimer : public obs::ScopedTimerBase {
   CostMeter& meter_;
 };
 
+/// Op cost of the §4.2 serial baseline: a full-model scan evaluates all N
+/// model terms on every one of the n archive points, so its op count is
+/// exactly n·N.  EXPLAIN (obs/explain.hpp) divides this by the measured op
+/// count to report the achieved speedup next to the predicted pm·pd.
+[[nodiscard]] constexpr std::uint64_t serial_baseline_ops(std::uint64_t total_points,
+                                                          std::uint64_t model_terms) noexcept {
+  return total_points * model_terms;
+}
+
 /// Publishes a completed execution's meter into registry-wide totals
 /// (query_points_total, query_ops_total, ... — the registry "absorbing" the
 /// ad-hoc CostMeter counters): per-query accounting stays on the meter,

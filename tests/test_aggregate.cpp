@@ -1,0 +1,219 @@
+// Tests for obs/aggregate.hpp: interpolated_quantile edge cases (bucket
+// edges, single bucket, empty histogram, overflow clamp) and the
+// SnapshotAggregator's delta samples, ring bound, rolling rates, and
+// reset-safety.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
+
+namespace mmir {
+namespace {
+
+obs::HistogramSample make_hist(std::vector<std::uint64_t> bounds,
+                               std::vector<std::uint64_t> counts) {
+  obs::HistogramSample h;
+  h.name = "h";
+  h.bounds = std::move(bounds);
+  h.counts = std::move(counts);
+  for (std::uint64_t c : h.counts) h.count += c;
+  return h;
+}
+
+// -------------------------------------------------- interpolated_quantile
+
+TEST(InterpolatedQuantile, EmptyHistogramIsZero) {
+  const auto h = make_hist({10, 20}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 1.0), 0.0);
+}
+
+TEST(InterpolatedQuantile, SingleBucketInterpolatesFromZero) {
+  // All 4 observations in [0, 100]: the median under the uniform-in-bucket
+  // assumption is the bucket midpoint, not the bucket bound.
+  const auto h = make_hist({100}, {4, 0});
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.25), 25.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 1.0), 100.0);
+  // Strictly finer than the bucket-resolution estimate, which can only say
+  // "<= 100".
+  EXPECT_EQ(h.quantile(0.5), 100u);
+}
+
+TEST(InterpolatedQuantile, BucketEdgesAreExact) {
+  // 5 observations in (0, 10], 5 in (10, 20].
+  const auto h = make_hist({10, 20}, {5, 5, 0});
+  // q = 0.5 consumes exactly the first bucket: the lower edge of bucket two.
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.5), 10.0);
+  // q = 1.0 consumes everything: the upper edge of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 1.0), 20.0);
+  // q = 0.75 is halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.75), 15.0);
+  // q = 0 sits at the start of the first occupied bucket.
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.0), 0.0);
+}
+
+TEST(InterpolatedQuantile, SkipsEmptyLeadingBuckets) {
+  const auto h = make_hist({10, 20}, {0, 5, 0});
+  // All mass in (10, 20]; q = 0 starts at that bucket's lower edge.
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.5), 15.0);
+}
+
+TEST(InterpolatedQuantile, OverflowBucketClampsToLargestFiniteBound) {
+  // 1 observation under 10, 9 in the +inf overflow bucket: any quantile
+  // landing in the overflow has no finite upper edge and clamps.
+  const auto h = make_hist({10}, {1, 9});
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.99), 10.0);
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 1.0), 10.0);
+}
+
+TEST(InterpolatedQuantile, AllMassInOverflowWithNoFiniteBounds) {
+  const auto h = make_hist({}, {7});
+  EXPECT_DOUBLE_EQ(obs::interpolated_quantile(h, 0.5), 0.0);
+}
+
+TEST(LatencySummary, ReportsInterpolatedPercentiles) {
+  const auto h = make_hist({100}, {100, 0});
+  const obs::LatencySummary s = obs::latency_summary(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+// ------------------------------------------------------ SnapshotAggregator
+
+TEST(SnapshotAggregator, DeltasAreIncreasesSincePreviousSample) {
+  obs::MetricsRegistry registry(2);
+  auto c = registry.counter("engine_jobs_completed_total");
+  obs::SnapshotAggregator agg(registry, 8);
+
+  c.add(5);
+  agg.sample();
+  c.add(3);
+  agg.sample();
+
+  const auto samples = agg.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].delta("engine_jobs_completed_total"), 5u);
+  EXPECT_DOUBLE_EQ(samples[0].seconds_since_prev, 0.0);  // first sample ever
+  EXPECT_EQ(samples[1].delta("engine_jobs_completed_total"), 3u);
+  EXPECT_GE(samples[1].seconds_since_prev, 0.0);
+  EXPECT_EQ(samples[1].cumulative.counter("engine_jobs_completed_total"), 8u);
+  EXPECT_EQ(samples[1].delta("no_such_counter"), 0u);
+}
+
+TEST(SnapshotAggregator, RingEvictsOldestFirstAtCapacity) {
+  obs::MetricsRegistry registry(2);
+  auto c = registry.counter("ticks_total");
+  obs::SnapshotAggregator agg(registry, 3);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    c.add(i);  // delta of sample i is exactly i
+    agg.sample();
+  }
+  EXPECT_EQ(agg.size(), 3u);
+  EXPECT_EQ(agg.capacity(), 3u);
+  const auto samples = agg.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  // Samples 1 and 2 were evicted; 3, 4, 5 remain oldest-first.
+  EXPECT_EQ(samples[0].delta("ticks_total"), 3u);
+  EXPECT_EQ(samples[1].delta("ticks_total"), 4u);
+  EXPECT_EQ(samples[2].delta("ticks_total"), 5u);
+}
+
+TEST(SnapshotAggregator, CounterResetRestartsDeltasSafely) {
+  obs::MetricsRegistry registry(2);
+  auto c = registry.counter("engine_jobs_submitted_total");
+  obs::SnapshotAggregator agg(registry, 8);
+  c.add(10);
+  agg.sample();
+  registry.reset();  // e.g. bench warm-up zeroing
+  c.add(2);
+  agg.sample();
+  const auto samples = agg.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  // cumulative dropped 10 -> 2; the delta restarts from the new cumulative
+  // instead of underflowing.
+  EXPECT_EQ(samples[1].delta("engine_jobs_submitted_total"), 2u);
+}
+
+TEST(SnapshotAggregator, RollingRatesDeriveFromEngineCounters) {
+  obs::MetricsRegistry registry(2);
+  auto submitted = registry.counter("engine_jobs_submitted_total");
+  auto completed = registry.counter("engine_jobs_completed_total");
+  auto shed = registry.counter("engine_jobs_shed_total");
+  auto hits = registry.counter("cache_hits_total");
+  auto misses = registry.counter("cache_misses_total");
+  obs::SnapshotAggregator agg(registry, 8);
+
+  submitted.add(10);
+  completed.add(8);
+  shed.add(2);
+  hits.add(6);
+  misses.add(2);
+  agg.sample();
+  submitted.add(10);
+  completed.add(10);
+  hits.add(2);
+  misses.add(6);
+  agg.sample();
+
+  const obs::RollingRates all = agg.rates();
+  EXPECT_EQ(all.submitted, 20u);
+  EXPECT_EQ(all.completed, 18u);
+  EXPECT_EQ(all.shed, 2u);
+  EXPECT_DOUBLE_EQ(all.shed_rate, 2.0 / 20.0);
+  EXPECT_DOUBLE_EQ(all.cache_hit_rate, 8.0 / 16.0);
+
+  const obs::RollingRates last = agg.rates(1);
+  EXPECT_EQ(last.submitted, 10u);
+  EXPECT_EQ(last.shed, 0u);
+  EXPECT_DOUBLE_EQ(last.shed_rate, 0.0);
+  EXPECT_DOUBLE_EQ(last.cache_hit_rate, 2.0 / 8.0);
+}
+
+TEST(SnapshotAggregator, LatencyPullsFromLatestSample) {
+  obs::MetricsRegistry registry(2);
+  obs::HistogramSpec spec;
+  spec.bounds = {100};
+  auto hist = registry.histogram("engine_exec_time_ns", spec);
+  for (int i = 0; i < 100; ++i) hist.observe(5);
+  obs::SnapshotAggregator agg(registry, 8);
+  agg.sample();
+
+  const obs::LatencySummary s = agg.latency("engine_exec_time_ns");
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+
+  const obs::LatencySummary missing = agg.latency("nope");
+  EXPECT_EQ(missing.count, 0u);
+  EXPECT_DOUBLE_EQ(missing.p50, 0.0);
+}
+
+TEST(SnapshotAggregator, PeriodicThreadSamplesAndStops) {
+  obs::MetricsRegistry registry(2);
+  auto c = registry.counter("ticks_total");
+  c.add(1);
+  obs::SnapshotAggregator agg(registry, 16);
+  agg.start(std::chrono::milliseconds(5));
+  EXPECT_TRUE(agg.running());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (agg.size() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  agg.stop();
+  EXPECT_FALSE(agg.running());
+  EXPECT_GE(agg.size(), 2u);
+  const std::size_t frozen = agg.size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(agg.size(), frozen);  // no samples after stop
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,252 @@
+// Tests for obs/explain.hpp: report extraction from hand-built traces, text
+// and JSON rendering, and the §4.2 acceptance property — the empirical
+// pm·pd predicted speedup of a combined-executor run agrees with the
+// measured op-count speedup over the serial full-scan baseline within 10%.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "data/scene.hpp"
+#include "engine/scheduler.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
+
+namespace mmir {
+namespace {
+
+struct SceneFixture {
+  Scene scene;
+  std::vector<const Grid*> bands;
+  explicit SceneFixture(std::size_t size = 96, std::uint64_t seed = 21) {
+    SceneConfig cfg;
+    cfg.width = size;
+    cfg.height = size;
+    cfg.seed = seed;
+    scene = generate_scene(cfg);
+    bands = {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem};
+  }
+  [[nodiscard]] std::vector<Interval> ranges() const {
+    std::vector<Interval> out;
+    for (const Grid* band : bands) out.push_back(band->stats().range());
+    return out;
+  }
+};
+
+// ------------------------------------------------------- hand-built traces
+
+TEST(ExplainReport, ExtractsRootAccountingAndStages) {
+  obs::Trace trace("raster", 42);
+  {
+    obs::Span root(&trace, "query");
+    root.annotate("query_id", 42);
+    root.annotate("queue_wait_ns", 2e6);
+    root.annotate("exec_ns", 8e6);
+    root.annotate("ops_spent", 1234);
+    root.annotate("op_budget", 5000);
+    root.annotate("timeout_ns", 50e6);
+    root.annotate("cache_hits", 3);
+    root.annotate("cache_misses", 1);
+    obs::Span stage = obs::Span::child_of(&root, "tile_screened");
+    stage.annotate("items_examined", 100);
+    stage.annotate("items_pruned", 900);
+    stage.note("status", "complete");
+  }
+
+  const auto report = obs::ExplainReport::from_trace(trace);
+  EXPECT_EQ(report.query_id, 42u);
+  EXPECT_EQ(report.kind, "raster");
+  EXPECT_DOUBLE_EQ(report.queue_wait_ms, 2.0);
+  EXPECT_DOUBLE_EQ(report.exec_ms, 8.0);
+  EXPECT_DOUBLE_EQ(report.ops_spent, 1234.0);
+  ASSERT_TRUE(report.has_op_budget);
+  EXPECT_DOUBLE_EQ(report.op_budget, 5000.0);
+  ASSERT_TRUE(report.has_timeout);
+  EXPECT_DOUBLE_EQ(report.timeout_ms, 50.0);
+  EXPECT_DOUBLE_EQ(report.cache_hits, 3.0);
+  EXPECT_DOUBLE_EQ(report.cache_misses, 1.0);
+  EXPECT_FALSE(report.result_cache_hit);
+  EXPECT_EQ(report.disposition, "complete");
+
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].name, "query");
+  EXPECT_EQ(report.stages[0].depth, 0u);
+  EXPECT_EQ(report.stages[1].name, "tile_screened");
+  EXPECT_EQ(report.stages[1].depth, 1u);
+  ASSERT_TRUE(report.stages[1].has_items);
+  EXPECT_DOUBLE_EQ(report.stages[1].items_examined, 100.0);
+  EXPECT_DOUBLE_EQ(report.stages[1].items_pruned, 900.0);
+}
+
+TEST(ExplainReport, BudgetAndTimeoutAbsentWhenNotAnnotated) {
+  obs::Trace trace("onion", 7);
+  {
+    obs::Span root(&trace, "query");
+    root.annotate("ops_spent", 10);
+  }
+  const auto report = obs::ExplainReport::from_trace(trace);
+  EXPECT_FALSE(report.has_op_budget);
+  EXPECT_FALSE(report.has_timeout);
+  EXPECT_EQ(report.disposition, "unknown");
+}
+
+TEST(ExplainReport, ResultCacheHitWinsDisposition) {
+  obs::Trace trace("raster", 9);
+  {
+    obs::Span root(&trace, "query");
+    root.note("result_cache", "hit");
+  }
+  const auto report = obs::ExplainReport::from_trace(trace);
+  EXPECT_TRUE(report.result_cache_hit);
+  EXPECT_EQ(report.disposition, "cached");
+}
+
+TEST(ExplainReport, ShedAndDegradedDispositionSurface) {
+  obs::Trace trace("raster", 11);
+  {
+    obs::Span root(&trace, "query");
+    obs::Span stage = obs::Span::child_of(&root, "full_scan");
+    stage.note("status", "degraded");
+  }
+  EXPECT_EQ(obs::ExplainReport::from_trace(trace).disposition, "degraded");
+}
+
+TEST(ExplainReport, EfficiencyDerivesPmPdFromAnnotations) {
+  obs::Trace trace("raster", 3);
+  {
+    obs::Span root(&trace, "query");
+    obs::Span stage = obs::Span::child_of(&root, "progressive_combined");
+    // n = 1000 pixels, N = 8 terms; 250 visited at 2 ops each = 500 scan
+    // ops; meter saw 580 total ops (metadata pass included).
+    stage.annotate("total_pixels", 1000);
+    stage.annotate("model_terms", 8);
+    stage.annotate("pixels_visited", 250);
+    stage.annotate("scan_ops", 500);
+    stage.annotate("meter_ops", 580);
+  }
+  const auto report = obs::ExplainReport::from_trace(trace);
+  ASSERT_TRUE(report.has_efficiency);
+  EXPECT_DOUBLE_EQ(report.efficiency.pm(), 250.0 * 8.0 / 500.0);  // 4x model leg
+  EXPECT_DOUBLE_EQ(report.efficiency.pd(), 1000.0 / 250.0);       // 4x data leg
+  EXPECT_DOUBLE_EQ(report.efficiency.predicted_speedup(), 16.0);
+  EXPECT_DOUBLE_EQ(report.efficiency.actual_speedup(), 8000.0 / 580.0);
+}
+
+TEST(ExplainReport, TextAndJsonRenderTheReport) {
+  obs::Trace trace("raster", 5);
+  {
+    obs::Span root(&trace, "query");
+    root.annotate("ops_spent", 64);
+    obs::Span stage = obs::Span::child_of(&root, "full_scan");
+    stage.annotate("items_examined", 12);
+    stage.annotate("items_pruned", 4);
+    stage.note("status", "complete");
+  }
+  const auto report = obs::ExplainReport::from_trace(trace);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE raster query #5"), std::string::npos);
+  EXPECT_NE(text.find("full_scan"), std::string::npos);
+  EXPECT_NE(text.find("disposition: complete"), std::string::npos);
+  EXPECT_NE(text.find("examined"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"query_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"raster\""), std::string::npos);
+  EXPECT_NE(json.find("\"disposition\":\"complete\""), std::string::npos);
+  EXPECT_NE(json.find("\"items_examined\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"efficiency\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"op_budget\":null"), std::string::npos);
+}
+
+// ------------------------------------------- §4.2 acceptance: pm·pd vs real
+
+// Runs the serial baseline and the combined executor under a tracer, builds
+// EXPLAIN from the combined run's trace, and requires the report's
+// predicted pm·pd to sit within 10% of the measured op-count speedup —
+// the same comparison bench_progressive_model (E5) prints.
+TEST(ExplainReport, PredictedSpeedupTracksMeasuredSpeedup) {
+  const SceneFixture f(128, 5);
+  const TiledArchive archive(f.bands, 16);
+  const LinearModel model = hps_risk_model();
+  const LinearRasterModel raster_model(model);
+  const ProgressiveLinearModel progressive(model, f.ranges());
+  const std::size_t k = 10;
+
+  CostMeter baseline_meter;
+  (void)full_scan_top_k(archive, raster_model, k, baseline_meter);
+
+  obs::Tracer tracer(4);
+  auto trace = tracer.start_trace("raster");
+  CostMeter combined_meter;
+  {
+    obs::Span root(trace.get(), "query");
+    QueryContext ctx;
+    ctx.with_span(&root);
+    (void)progressive_combined_top_k(archive, progressive, k, ctx, combined_meter);
+  }
+  tracer.finish(trace);
+
+  const auto retained = tracer.latest();
+  ASSERT_NE(retained, nullptr);
+  const auto report = obs::ExplainReport::from_trace(*retained);
+  ASSERT_TRUE(report.has_efficiency);
+
+  const double measured = static_cast<double>(baseline_meter.ops()) /
+                          static_cast<double>(combined_meter.ops());
+  const double predicted = report.efficiency.predicted_speedup();
+  EXPECT_GT(measured, 1.0);  // the combined executor must actually win
+  EXPECT_NEAR(predicted / measured, 1.0, 0.10)
+      << "predicted " << predicted << "x vs measured " << measured << "x";
+  // And the report's own actual_speedup must match the meters exactly-ish:
+  // its baseline n·N equals the full scan's op count by construction.
+  EXPECT_NEAR(report.efficiency.actual_speedup(), measured, 1e-6 * measured);
+}
+
+// ------------------------------------------------------ engine end-to-end
+
+TEST(ExplainReport, EngineTraceProducesFullReport) {
+  const SceneFixture f;
+  const TiledArchive archive(f.bands, 16);
+  const LinearModel model = hps_risk_model();
+  const ProgressiveLinearModel progressive(model, f.ranges());
+
+  obs::MetricsRegistry registry(4);
+  obs::Tracer tracer(8);
+  EngineConfig config;
+  config.dispatchers = 1;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  QueryEngine engine(config);
+
+  RasterJob job;
+  job.mode = RasterJob::Mode::kCombined;
+  job.archive = &archive;
+  job.progressive = &progressive;
+  job.k = 5;
+  job.archive_id = 1;
+  job.limits.op_budget = 1'000'000'000;
+  auto outcome = engine.submit(job).get();
+  ASSERT_EQ(outcome.result.status, ResultStatus::kComplete);
+
+  const auto trace = tracer.latest();
+  ASSERT_NE(trace, nullptr);
+  const auto report = obs::ExplainReport::from_trace(*trace);
+  EXPECT_EQ(report.kind, "raster");
+  EXPECT_EQ(report.query_id, trace->id());
+  EXPECT_GT(report.ops_spent, 0.0);
+  ASSERT_TRUE(report.has_op_budget);
+  EXPECT_DOUBLE_EQ(report.op_budget, 1e9);
+  EXPECT_TRUE(report.has_efficiency);
+  EXPECT_EQ(report.disposition, "complete");
+  // Stage rows include the root and the executor stage.
+  ASSERT_GE(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].name, "query");
+}
+
+}  // namespace
+}  // namespace mmir

@@ -1,0 +1,256 @@
+// Tests for obs/stats_server.hpp.  The routing table (respond()) is a pure
+// function and is unit-tested without sockets; the real loopback TCP path is
+// covered by the `integration`-labelled smoke test at the bottom, driven
+// through QueryEngine with EngineConfig::stats_port = 0 (ephemeral port).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "archive/tiled.hpp"
+#include "data/scene.hpp"
+#include "engine/scheduler.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_server.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MMIR_TEST_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MMIR_TEST_HAVE_SOCKETS 0
+#endif
+
+namespace mmir {
+namespace {
+
+std::string status_line(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+// ----------------------------------------------------------- routing unit
+
+TEST(StatsServerRouting, HealthzAlwaysOk) {
+  obs::StatsServer server({});
+  const std::string r = server.respond("GET", "/healthz");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_EQ(body_of(r), "ok\n");
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 3\r\n"), std::string::npos);
+}
+
+TEST(StatsServerRouting, NonGetIsRejected) {
+  obs::StatsServer server({});
+  EXPECT_EQ(status_line(server.respond("POST", "/healthz")),
+            "HTTP/1.0 405 Method Not Allowed");
+}
+
+TEST(StatsServerRouting, UnknownRouteListsTheRoutes) {
+  obs::StatsServer server({});
+  const std::string r = server.respond("GET", "/nope");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
+  EXPECT_NE(body_of(r).find("/explain/<id>"), std::string::npos);
+}
+
+TEST(StatsServerRouting, MetricsServesPrometheusExposition) {
+  obs::MetricsRegistry registry(2);
+  registry.counter("engine_jobs_submitted_total").add(3);
+  obs::StatsServer server({&registry, nullptr});
+  const std::string r = server.respond("GET", "/metrics");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_NE(r.find("Content-Type: text/plain; version=0.0.4\r\n"), std::string::npos);
+  EXPECT_NE(body_of(r).find("engine_jobs_submitted_total 3\n"), std::string::npos);
+}
+
+TEST(StatsServerRouting, MetricsWithoutRegistryIs503) {
+  obs::StatsServer server({});
+  EXPECT_EQ(status_line(server.respond("GET", "/metrics")),
+            "HTTP/1.0 503 Service Unavailable");
+}
+
+TEST(StatsServerRouting, TracesServeChromeJson) {
+  obs::Tracer tracer(4);
+  auto trace = tracer.start_trace("raster");
+  { obs::Span root(trace.get(), "query"); }
+  tracer.finish(std::move(trace));
+  obs::StatsServer server({nullptr, &tracer});
+  const std::string r = server.respond("GET", "/traces");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_NE(r.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(body_of(r).find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(StatsServerRouting, ExplainServesTheReportText) {
+  obs::Tracer tracer(4);
+  auto trace = tracer.start_trace("raster");
+  {
+    obs::Span root(trace.get(), "query");
+    root.annotate("ops_spent", 7);
+  }
+  tracer.finish(std::move(trace));
+  const std::uint64_t id = tracer.latest()->id();
+
+  obs::StatsServer server({nullptr, &tracer});
+  const std::string r = server.respond("GET", "/explain/" + std::to_string(id));
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_NE(body_of(r).find("EXPLAIN ANALYZE"), std::string::npos);
+}
+
+TEST(StatsServerRouting, ExplainNonNumericIdIs400) {
+  obs::Tracer tracer(4);
+  obs::StatsServer server({nullptr, &tracer});
+  const std::string r = server.respond("GET", "/explain/abc");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 400 Bad Request");
+  EXPECT_EQ(body_of(r), "expected /explain/<numeric query id>\n");
+}
+
+TEST(StatsServerRouting, ExplainNeverTracedIdIs404WithReason) {
+  obs::Tracer tracer(4);
+  auto trace = tracer.start_trace("raster");
+  tracer.finish(std::move(trace));  // ids now run 1..1
+  obs::StatsServer server({nullptr, &tracer});
+
+  const std::string r = server.respond("GET", "/explain/99");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
+  EXPECT_EQ(body_of(r), "query 99 was never traced (ids run 1..1)\n");
+  EXPECT_EQ(body_of(server.respond("GET", "/explain/0")),
+            "query 0 was never traced (ids run 1..1)\n");
+}
+
+TEST(StatsServerRouting, ExplainEvictedIdIs404NamingTheRingCapacity) {
+  obs::Tracer tracer(2);  // ring of 2: finishing 3 traces evicts id 1
+  for (int i = 0; i < 3; ++i) {
+    auto trace = tracer.start_trace("raster");
+    { obs::Span root(trace.get(), "query"); }
+    tracer.finish(std::move(trace));
+  }
+  obs::StatsServer server({nullptr, &tracer});
+
+  const std::string r = server.respond("GET", "/explain/1");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
+  EXPECT_EQ(body_of(r),
+            "trace for query 1 has been evicted from the ring "
+            "(capacity 2, oldest-finished evicted first)\n");
+  // Ids 2 and 3 are still resident.
+  EXPECT_EQ(status_line(server.respond("GET", "/explain/3")), "HTTP/1.0 200 OK");
+}
+
+TEST(StatsServerRouting, QueryStringIsIgnored) {
+  obs::StatsServer server({});
+  EXPECT_EQ(status_line(server.respond("GET", "/healthz?verbose=1")), "HTTP/1.0 200 OK");
+}
+
+// ------------------------------------------------- loopback TCP smoke test
+
+#if MMIR_TEST_HAVE_SOCKETS
+
+// One blocking HTTP/1.0 round-trip against 127.0.0.1:`port`.
+std::string http_get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StatsServerIntegration, EngineServesTheOpsSurfaceOverTcp) {
+  SceneConfig cfg;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.seed = 21;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const LinearModel model = hps_risk_model();
+  const ProgressiveLinearModel progressive(model, ranges);
+  const TiledArchive archive(bands, 16);
+
+  obs::MetricsRegistry registry(4);
+  obs::Tracer tracer(8);
+  EngineConfig config;
+  config.dispatchers = 1;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  config.stats_port = 0;  // ephemeral: read the bound port back
+  QueryEngine engine(config);
+  const int port = engine.stats_port();
+  ASSERT_GT(port, 0);
+
+  // Health first — the server must be live before any query runs.
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_EQ(status_line(health), "HTTP/1.0 200 OK");
+  EXPECT_EQ(body_of(health), "ok\n");
+
+  RasterJob job;
+  job.mode = RasterJob::Mode::kCombined;
+  job.archive = &archive;
+  job.progressive = &progressive;
+  job.k = 5;
+  job.archive_id = 1;
+  auto outcome = engine.submit(job).get();
+  ASSERT_EQ(outcome.result.status, ResultStatus::kComplete);
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_EQ(status_line(metrics), "HTTP/1.0 200 OK");
+  EXPECT_NE(body_of(metrics).find("engine_jobs_completed_total 1\n"), std::string::npos);
+  EXPECT_NE(body_of(metrics).find("# TYPE engine_jobs_completed_total counter"),
+            std::string::npos);
+
+  const std::string traces = http_get(port, "/traces");
+  EXPECT_NE(body_of(traces).find("\"traceEvents\""), std::string::npos);
+
+  const auto trace = tracer.latest();
+  ASSERT_NE(trace, nullptr);
+  const std::string explain = http_get(port, "/explain/" + std::to_string(trace->id()));
+  EXPECT_EQ(status_line(explain), "HTTP/1.0 200 OK");
+  EXPECT_NE(body_of(explain).find("EXPLAIN ANALYZE raster query"), std::string::npos);
+  EXPECT_NE(body_of(explain).find("disposition: complete"), std::string::npos);
+
+  EXPECT_EQ(status_line(http_get(port, "/explain/4096")), "HTTP/1.0 404 Not Found");
+}
+
+TEST(StatsServerIntegration, ServerIsOffByDefault) {
+  EngineConfig config;
+  config.dispatchers = 1;
+  QueryEngine engine(config);  // stats_port defaults to -1: no server at all
+  EXPECT_EQ(engine.stats_port(), -1);
+}
+
+#endif  // MMIR_TEST_HAVE_SOCKETS
+
+}  // namespace
+}  // namespace mmir
