@@ -1,4 +1,6 @@
 // E10 — concurrent serving: the QueryEngine under load.
+// E11 — sharded scatter-gather: shard-count sweep of the sharded combined
+//       executor against the serial monolithic reference.
 //
 // Sweeps dispatcher threads x admission queue depth x target result-cache
 // hit rate over a fixed stream of combined-executor raster queries, and
@@ -19,9 +21,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "archive/sharded.hpp"
 #include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
 #include "data/scene.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/shard_exec.hpp"
+#include "engine/thread_pool.hpp"
 #include "linear/model.hpp"
 #include "linear/progressive.hpp"
 #include "obs/dump.hpp"
@@ -45,8 +51,8 @@ using namespace mmir;
 using namespace mmir::bench;
 
 // Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
-// compare mismatched schemas.
-constexpr int kBenchSchemaVersion = 2;
+// compare mismatched schemas.  v3 adds the E11 sharded_throughput rows.
+constexpr int kBenchSchemaVersion = 3;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -165,8 +171,85 @@ OverheadResult run_overhead_check(const TiledArchive& archive,
   return result;
 }
 
-void write_json(const std::vector<SweepRow>& rows, const OverheadResult& overhead,
-                const std::string& metrics_json) {
+struct ShardedRow {
+  std::size_t shards = 0;
+  std::size_t pool_threads = 0;  // executing threads (workers + caller)
+  double qps = 0.0;
+  double speedup_vs_serial = 0.0;
+};
+
+// E11: shard-count sweep of the sharded full-scan executor (scatter on the
+// thread pool, gather under the max-of-bounds merge) against the serial
+// monolithic full scan on the same archive/model.  Full scan is the right
+// carrier here: the combined executor prunes to ~2% of the pixels, so its
+// per-query work is too small to amortize the scatter — the full scan keeps
+// every shard busy on real pixel work.  Byte-identical answers are the
+// parity suite's job; here we track the throughput of the scatter-gather
+// machinery itself, and ci/bench_diff.py gates the best row.  Same caveat
+// as E10: shard speedup only means something on a multi-core host.
+std::vector<ShardedRow> run_sharded_table(const TiledArchive& archive,
+                                          const ProgressiveLinearModel& progressive) {
+  heading("E11: sharded scatter-gather throughput (engine/shard_exec)",
+          "tile-aligned shards scanned in parallel and merged under the max-of-bounds rule");
+
+  constexpr std::size_t kQueries = 24;
+  constexpr std::size_t kK = 10;
+  const LinearRasterModel raster(progressive.model());
+
+  double serial_qps = 0.0;
+  {
+    const std::chrono::nanoseconds wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        QueryContext ctx;
+        CostMeter meter;
+        (void)full_scan_top_k(archive, raster, kK, ctx, meter);
+      }
+    });
+    serial_qps = ratio(static_cast<double>(kQueries),
+                       static_cast<double>(wall.count()) / 1e9);
+  }
+  std::printf("serial monolithic full scan: %.1f qps (speedup reference)\n\n", serial_qps);
+
+  // workers = 3 -> 4 executing threads (pool workers + the calling thread);
+  // single-hardware-thread hosts serialise the shards and speedup stays ~1.
+  const std::size_t pool_workers = 3;
+  ThreadPool pool(pool_workers);
+  std::printf("%7s %8s | %9s %9s\n", "shards", "threads", "qps", "speedup");
+  std::printf("-------------------------------------\n");
+
+  std::vector<ShardedRow> rows;
+  for (const std::size_t shards : {1ULL, 2ULL, 4ULL, 8ULL}) {
+    const ShardedArchive sharded(archive, shards, ShardPolicy::kRowBands);
+    const std::chrono::nanoseconds wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        QueryContext ctx;
+        CostMeter meter;
+        (void)sharded_full_scan_top_k(sharded, raster, kK, ctx, meter, pool);
+      }
+    });
+    ShardedRow row;
+    row.shards = shards;
+    row.pool_threads = pool_workers + 1;
+    row.qps = ratio(static_cast<double>(kQueries),
+                    static_cast<double>(wall.count()) / 1e9);
+    row.speedup_vs_serial = ratio(row.qps, serial_qps);
+    rows.push_back(row);
+    std::printf("%7zu %8zu | %9.1f %8.2fx\n", row.shards, row.pool_threads, row.qps,
+                row.speedup_vs_serial);
+  }
+
+  std::printf(
+      "\nshape check: one shard pays the scatter-gather overhead for no\n"
+      "parallelism; speedup grows with shard count until shards exceed either\n"
+      "pool threads or tile rows, then the per-shard merge overhead flattens\n"
+      "it.  On a single hardware thread every shard count serialises and\n"
+      "speedup stays near 1.0x.\n");
+  footer();
+  return rows;
+}
+
+void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>& sharded_rows,
+                const OverheadResult& overhead, const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::printf("! could not open BENCH_engine.json for writing\n");
@@ -187,6 +270,15 @@ void write_json(const std::vector<SweepRow>& rows, const OverheadResult& overhea
                  r.dispatchers, r.queue_depth, r.target_hit_rate, r.qps, r.p50_ms, r.p99_ms,
                  r.shed_rate, r.cache_hit_rate, i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"sharded_throughput\": [\n");
+  for (std::size_t i = 0; i < sharded_rows.size(); ++i) {
+    const ShardedRow& r = sharded_rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"pool_threads\": %zu, \"qps\": %.1f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 r.shards, r.pool_threads, r.qps, r.speedup_vs_serial,
+                 i + 1 < sharded_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"tracing_overhead\": {\"qps_noop\": %.1f, \"qps_traced\": %.1f, "
@@ -194,8 +286,10 @@ void write_json(const std::vector<SweepRow>& rows, const OverheadResult& overhea
                overhead.qps_noop, overhead.qps_traced, overhead.overhead_pct());
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
   std::fclose(f);
-  std::printf("\nwrote BENCH_engine.json (%zu rows + tracing overhead + metrics dump)\n",
-              rows.size());
+  std::printf(
+      "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + tracing overhead "
+      "+ metrics dump)\n",
+      rows.size(), sharded_rows.size());
 }
 
 void run_table() {
@@ -257,8 +351,9 @@ void run_table() {
                 obs::ExplainReport::from_trace(*sample).to_text().c_str());
   }
 
+  const std::vector<ShardedRow> sharded_rows = run_sharded_table(archive, progressive);
   const OverheadResult overhead = run_overhead_check(archive, progressive);
-  write_json(rows, overhead, obs::DumpMetrics(registry, obs::DumpFormat::kJson));
+  write_json(rows, sharded_rows, overhead, obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }
 

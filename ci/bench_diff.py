@@ -4,13 +4,18 @@
 Compares a baseline run against a candidate run and fails (exit 1) when the
 candidate regresses by more than the threshold (default 15%) on either:
 
-  * E10  — the median qps across the sweep rows, and
+  * E10  — the median qps across the sweep rows,
   * E10b — the traced-build qps of the observability-overhead check
-           (tracing_overhead.qps_traced).
+           (tracing_overhead.qps_traced), and
+  * E11  — the best qps across the sharded scatter-gather shard-count sweep
+           (sharded_throughput rows; schema_version >= 3).
 
 Both files must carry the same schema_version (stamped by bench_engine along
 with git_commit and build_flags); mismatched schemas exit 2 rather than
-producing a bogus comparison.  Throughput improvements never fail the gate.
+producing a bogus comparison.  A missing *baseline* file is not an error —
+the first run on a fresh branch has nothing to diff against, so the script
+warns and exits 0 (a missing candidate still fails: that means the bench
+itself did not run).  Throughput improvements never fail the gate.
 
 Usage:
     ci/bench_diff.py baseline.json candidate.json [--threshold 0.15]
@@ -43,6 +48,13 @@ def e10b_traced_qps(doc: dict) -> float:
     return float(overhead["qps_traced"])
 
 
+def e11_best_sharded_qps(doc: dict) -> float:
+    rows = doc.get("sharded_throughput", [])
+    if not rows:
+        raise ValueError("no sharded_throughput rows")
+    return max(float(row["qps"]) for row in rows)
+
+
 def check(name: str, base: float, cand: float, threshold: float) -> bool:
     floor = base * (1.0 - threshold)
     regressed = cand < floor
@@ -67,7 +79,16 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    base = load(args.baseline)
+    try:
+        base = load(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"baseline {args.baseline} not found — nothing to diff against "
+            "(first run on a fresh branch); record the candidate as the new "
+            "baseline and re-run",
+            file=sys.stderr,
+        )
+        return 0
     cand = load(args.candidate)
 
     base_schema = base.get("schema_version")
@@ -95,6 +116,15 @@ def main() -> int:
         failed |= check(
             "E10b traced qps", e10b_traced_qps(base), e10b_traced_qps(cand), args.threshold
         )
+        # E11 lands with schema_version 3; older pairs (already schema-matched
+        # above) predate the sharded sweep and simply skip the gate.
+        if isinstance(base_schema, int) and base_schema >= 3:
+            failed |= check(
+                "E11 best sharded qps",
+                e11_best_sharded_qps(base),
+                e11_best_sharded_qps(cand),
+                args.threshold,
+            )
     except (KeyError, ValueError) as err:
         print(f"malformed bench json: {err}", file=sys.stderr)
         return 2

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Line-coverage report for the test suite.  Builds with gcov instrumentation
-# (-DMMIR_COVERAGE=ON), runs every ctest suite, and prints per-file and total
+# (-DMMIR_COVERAGE=ON), runs every ctest suite — including the sharded
+# scatter-gather battery (test_shard_parity, test_shard_merge, and the
+# sharded oracle extensions in test_index_onion / test_sproc_oracle /
+# test_explain), which is what keeps src/archive/sharded.* and
+# src/engine/shard_exec.* in the covered set — and prints per-file and total
 # line coverage over src/.  Uses lcov for the report when it is installed and
 # falls back to aggregating raw gcov output otherwise (the container ships
 # only gcov).  The TOTAL figure is the baseline tracked in README.md.

@@ -5,8 +5,12 @@
 # across threads, and the observability-layer suites: the concurrency tests
 # (sharded metrics registry, tracer ring, span trees built from pool
 # workers) plus the obs export surface — the snapshot aggregator's periodic
-# sampling thread and the stats server's socket thread.  Any race report
-# fails the run.
+# sampling thread and the stats server's socket thread, and the sharded
+# scatter-gather suites — the gather/merge step and the cross-shard shared
+# pruning threshold are the race surface (test_shard_parity drives pool
+# workers over shared QueryContext budgets; test_shard_merge, the sharded
+# onion/SPROC oracles and the per-shard EXPLAIN spans ride along).  Any race
+# report fails the run.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,8 +21,10 @@ cmake -B "${BUILD}" -S "${ROOT}" \
   -DMMIR_SANITIZE=thread
 cmake --build "${BUILD}" -j"$(nproc)" \
   --target test_engine test_parallel_exec test_fault_injection test_core \
-           test_obs_concurrency test_export test_aggregate test_stats_server
+           test_obs_concurrency test_export test_aggregate test_stats_server \
+           test_shard_parity test_shard_merge test_index_onion \
+           test_sproc_oracle test_explain
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
-  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency|test_export|test_aggregate|test_stats_server'
+  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain'

@@ -1,0 +1,95 @@
+#include "archive/sharded.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+namespace {
+
+/// splitmix64 finisher — a cheap, well-mixed stateless hash for tile
+/// placement.  Deterministic across runs and platforms, so a given
+/// (archive, policy, S) always produces the same layout (cache keys and the
+/// parity suite depend on that).
+std::uint64_t mix_tile(std::uint64_t t) noexcept {
+  t += 0x9e3779b97f4a7c15ULL;
+  t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+  return t ^ (t >> 31);
+}
+
+}  // namespace
+
+std::string_view shard_policy_name(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kRowBands: return "row_bands";
+    case ShardPolicy::kTileHash: return "tile_hash";
+  }
+  return "unknown";
+}
+
+ShardedArchive::ShardedArchive(const TiledArchive& archive, std::size_t shard_count,
+                               ShardPolicy policy)
+    : archive_(archive), policy_(policy) {
+  MMIR_EXPECTS(shard_count > 0);
+  MMIR_EXPECTS(shard_count <= 0xFFFFFFU);  // layout_tag() packs the count in 24 bits
+  const auto tiles = archive.tiles();
+  shards_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) shards_[s].id = s;
+  owner_.resize(tiles.size());
+
+  const std::size_t tiles_y = archive.tiles_y();
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    std::size_t s = 0;
+    if (policy == ShardPolicy::kRowBands) {
+      // Tile row -> contiguous band; summaries are row-major (ty * tiles_x
+      // + tx) so ascending tile index order is preserved within a band.
+      const std::size_t ty = t / archive.tiles_x();
+      s = ty * shard_count / tiles_y;
+    } else {
+      s = static_cast<std::size_t>(mix_tile(t) % shard_count);
+    }
+    owner_[t] = static_cast<std::uint32_t>(s);
+    ShardInfo& shard = shards_[s];
+    shard.tiles.push_back(t);
+    shard.pixel_count += tiles[t].pixel_count();
+    shard.bad_pixels += tiles[t].bad_pixels;
+    if (shard.band_ranges.empty()) {
+      shard.band_ranges = tiles[t].band_range;
+    } else {
+      for (std::size_t b = 0; b < shard.band_ranges.size(); ++b) {
+        shard.band_ranges[b] = shard.band_ranges[b].hull(tiles[t].band_range[b]);
+      }
+    }
+  }
+}
+
+const ShardInfo& ShardedArchive::shard(std::size_t s) const {
+  MMIR_EXPECTS(s < shards_.size());
+  return shards_[s];
+}
+
+std::size_t ShardedArchive::owner_of_tile(std::size_t t) const {
+  MMIR_EXPECTS(t < owner_.size());
+  return owner_[t];
+}
+
+void ShardedArchive::register_in(Catalog& catalog, std::string_view base_name) const {
+  for (const ShardInfo& shard : shards_) {
+    DatasetInfo info;
+    info.name = std::string(base_name) + "/shard-" + std::to_string(shard.id);
+    info.modality = Modality::kRaster;
+    info.item_count = shard.pixel_count;
+    info.dims = archive_.band_count();
+    info.attributes["shard"] = std::to_string(shard.id);
+    info.attributes["shard_policy"] = std::string(shard_policy_name(policy_));
+    info.attributes["shard_count"] = std::to_string(shards_.size());
+    info.attributes["tiles"] = std::to_string(shard.tiles.size());
+    info.attributes["bad_pixels"] = std::to_string(shard.bad_pixels);
+    info.attributes["parent"] = std::string(base_name);
+    catalog.add(std::move(info));
+  }
+}
+
+}  // namespace mmir

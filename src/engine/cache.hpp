@@ -80,6 +80,10 @@ struct QueryCacheKey {
   std::uint64_t model_fp = 0;
   std::uint32_t k = 0;
   std::uint32_t mode = 0;
+  /// ShardedArchive::layout_tag() of the execution's shard layout; 0 =
+  /// monolithic.  Sharded and monolithic answers agree only modulo exact
+  /// ties, so they must not alias one cache slot.
+  std::uint32_t shard_layout = 0;
 
   friend bool operator==(const QueryCacheKey&, const QueryCacheKey&) = default;
 };
@@ -89,7 +93,8 @@ struct QueryCacheKeyHash {
     std::uint64_t h = fnv1a_bytes(&key.archive_id, sizeof(key.archive_id));
     h = fnv1a_bytes(&key.model_fp, sizeof(key.model_fp), h);
     h = fnv1a_bytes(&key.k, sizeof(key.k), h);
-    return static_cast<std::size_t>(fnv1a_bytes(&key.mode, sizeof(key.mode), h));
+    h = fnv1a_bytes(&key.mode, sizeof(key.mode), h);
+    return static_cast<std::size_t>(fnv1a_bytes(&key.shard_layout, sizeof(key.shard_layout), h));
   }
 };
 
@@ -98,6 +103,11 @@ struct TileCacheKey {
   std::uint64_t archive_id = 0;
   std::uint64_t model_fp = 0;
   std::uint64_t tile_id = 0;
+  /// Owning shard's id + 1 under the execution's layout; 0 = monolithic.
+  /// Bound values are layout-independent, but qualifying the key keeps a
+  /// shard's working set resident together under LRU pressure and lets a
+  /// layout change be invalidated per shard.
+  std::uint32_t shard = 0;
 
   friend bool operator==(const TileCacheKey&, const TileCacheKey&) = default;
 };
@@ -106,7 +116,8 @@ struct TileCacheKeyHash {
   std::size_t operator()(const TileCacheKey& key) const noexcept {
     std::uint64_t h = fnv1a_bytes(&key.archive_id, sizeof(key.archive_id));
     h = fnv1a_bytes(&key.model_fp, sizeof(key.model_fp), h);
-    return static_cast<std::size_t>(fnv1a_bytes(&key.tile_id, sizeof(key.tile_id), h));
+    h = fnv1a_bytes(&key.tile_id, sizeof(key.tile_id), h);
+    return static_cast<std::size_t>(fnv1a_bytes(&key.shard, sizeof(key.shard), h));
   }
 };
 

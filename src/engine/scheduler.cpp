@@ -20,6 +20,10 @@ void mark_shed(RasterTopK& result) {
   result.status = ResultStatus::kShed;
   result.missed_bound = kPosInf;
 }
+void mark_shed(ShardedTopK& result) {
+  result.merged.status = ResultStatus::kShed;
+  result.merged.missed_bound = kPosInf;
+}
 void mark_shed(OnionTopK& result) {
   result.status = ResultStatus::kShed;
   result.missed_bound = kPosInf;
@@ -280,16 +284,19 @@ std::future<Outcome> QueryEngine::enqueue(const char* kind, const JobLimits& lim
   return future;
 }
 
-bool QueryEngine::cached_tile_bounds(const RasterJob& job, const RasterModel& screen_model,
-                                     std::uint64_t model_fp, exec::TileBounds& tb,
-                                     CostMeter& meter) {
-  if (tile_cache_ == nullptr || job.archive_id == 0 || model_fp == 0) return false;
-  const auto tiles = job.archive->tiles();
+bool QueryEngine::cached_tile_bounds(const TiledArchive& archive, std::uint64_t archive_id,
+                                     const ShardedArchive* sharded,
+                                     const RasterModel& screen_model, std::uint64_t model_fp,
+                                     exec::TileBounds& tb, CostMeter& meter) {
+  if (tile_cache_ == nullptr || archive_id == 0 || model_fp == 0) return false;
+  const auto tiles = archive.tiles();
   tb.bounds.resize(tiles.size());
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   for (std::size_t t = 0; t < tiles.size(); ++t) {
-    const TileCacheKey key{job.archive_id, model_fp, static_cast<std::uint64_t>(t)};
+    const std::uint32_t shard =
+        sharded != nullptr ? static_cast<std::uint32_t>(sharded->owner_of_tile(t)) + 1U : 0U;
+    const TileCacheKey key{archive_id, model_fp, static_cast<std::uint64_t>(t), shard};
     if (auto cached = tile_cache_->get(key)) {
       tb.bounds[t] = *cached;
       ++hits;
@@ -302,7 +309,9 @@ bool QueryEngine::cached_tile_bounds(const RasterJob& job, const RasterModel& sc
   }
   meter.add_cache_hits(hits);
   meter.add_cache_misses(misses);
-  tb.order = exec::order_by_bound(tb.bounds);
+  // Sharded executors derive their own per-shard visit order from the raw
+  // bounds; the global best-bound-first order only serves the monolithic path.
+  if (sharded == nullptr) tb.order = exec::order_by_bound(tb.bounds);
   return true;
 }
 
@@ -354,8 +363,8 @@ std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
                                                           ctx, out.meter, *exec_pool_);
             break;
           case RasterJob::Mode::kTileScreened:
-            if (job.archive_id != 0 && fp != 0 &&
-                cached_tile_bounds(job, *job.model, fp, tb, out.meter)) {
+            if (cached_tile_bounds(*job.archive, job.archive_id, nullptr, *job.model, fp, tb,
+                                   out.meter)) {
               precomputed = &tb;
             }
             out.result = parallel_tile_screened_top_k(*job.archive, *job.model, job.k, ctx,
@@ -363,8 +372,8 @@ std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
             break;
           case RasterJob::Mode::kCombined: {
             const LinearRasterModel screen(job.progressive->model());
-            if (job.archive_id != 0 && fp != 0 &&
-                cached_tile_bounds(job, screen, fp, tb, out.meter)) {
+            if (cached_tile_bounds(*job.archive, job.archive_id, nullptr, screen, fp, tb,
+                                   out.meter)) {
               precomputed = &tb;
             }
             out.result = parallel_progressive_combined_top_k(
@@ -377,6 +386,81 @@ std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
         // are admissible: a truncated result would poison future lookups.
         if (cacheable && !is_truncated(out.result.status)) {
           result_cache_->put(key, std::make_shared<const RasterTopK>(out.result));
+        }
+      });
+}
+
+std::future<ShardedRasterOutcome> QueryEngine::submit(ShardedRasterJob job) {
+  MMIR_EXPECTS(job.sharded != nullptr);
+  MMIR_EXPECTS(job.k > 0);
+  const bool model_leg =
+      job.mode == RasterJob::Mode::kProgressiveModel || job.mode == RasterJob::Mode::kCombined;
+  if (model_leg) {
+    MMIR_EXPECTS(job.progressive != nullptr);
+  } else {
+    MMIR_EXPECTS(job.model != nullptr);
+  }
+
+  return enqueue<ShardedRasterOutcome>(
+      "sharded_raster", job.limits, [this, job](QueryContext& ctx, ShardedRasterOutcome& out) {
+        const ShardedArchive& sharded = *job.sharded;
+        const TiledArchive& archive = sharded.archive();
+        const bool model_leg = job.mode == RasterJob::Mode::kProgressiveModel ||
+                               job.mode == RasterJob::Mode::kCombined;
+        std::uint64_t fp = job.model_fingerprint;
+        if (fp == 0) {
+          if (model_leg) {
+            fp = model_fingerprint(*job.progressive);
+          } else if (const auto* linear = dynamic_cast<const LinearRasterModel*>(job.model)) {
+            fp = model_fingerprint(linear->linear());
+          }
+        }
+        const bool cacheable = job.archive_id != 0 && fp != 0 && result_cache_ != nullptr;
+        const QueryCacheKey key{job.archive_id, fp, static_cast<std::uint32_t>(job.k),
+                                static_cast<std::uint32_t>(job.mode), sharded.layout_tag()};
+        if (cacheable) {
+          if (auto hit = result_cache_->get(key)) {
+            out.result.merged = **hit;
+            out.cache_hit = true;
+            out.meter.add_cache_hits();
+            return;
+          }
+          out.meter.add_cache_misses();
+        }
+
+        exec::TileBounds tb;
+        const exec::TileBounds* precomputed = nullptr;
+        switch (job.mode) {
+          case RasterJob::Mode::kFullScan:
+            out.result = sharded_full_scan_top_k(sharded, *job.model, job.k, ctx, out.meter,
+                                                 *exec_pool_);
+            break;
+          case RasterJob::Mode::kProgressiveModel:
+            out.result = sharded_progressive_model_top_k(sharded, *job.progressive, job.k, ctx,
+                                                         out.meter, *exec_pool_);
+            break;
+          case RasterJob::Mode::kTileScreened:
+            if (cached_tile_bounds(archive, job.archive_id, &sharded, *job.model, fp, tb,
+                                   out.meter)) {
+              precomputed = &tb;
+            }
+            out.result = sharded_tile_screened_top_k(sharded, *job.model, job.k, ctx, out.meter,
+                                                     *exec_pool_, precomputed);
+            break;
+          case RasterJob::Mode::kCombined: {
+            const LinearRasterModel screen(job.progressive->model());
+            if (cached_tile_bounds(archive, job.archive_id, &sharded, screen, fp, tb,
+                                   out.meter)) {
+              precomputed = &tb;
+            }
+            out.result = sharded_progressive_combined_top_k(
+                sharded, *job.progressive, job.k, ctx, out.meter, *exec_pool_, precomputed);
+            break;
+          }
+        }
+
+        if (cacheable && !is_truncated(out.result.merged.status)) {
+          result_cache_->put(key, std::make_shared<const RasterTopK>(out.result.merged));
         }
       });
 }

@@ -43,6 +43,7 @@
 #include "core/progressive_exec.hpp"
 #include "engine/cache.hpp"
 #include "engine/parallel_exec.hpp"
+#include "engine/shard_exec.hpp"
 #include "engine/thread_pool.hpp"
 #include "index/onion.hpp"
 #include "obs/metrics.hpp"
@@ -114,6 +115,24 @@ struct RasterJob {
   std::uint64_t model_fingerprint = 0;
 };
 
+/// A raster top-K query executed scatter-gather over a ShardedArchive.  The
+/// same four modes as RasterJob; results equal the monolithic path modulo
+/// exact ties, so the result cache qualifies the key with the shard layout.
+struct ShardedRasterJob {
+  RasterJob::Mode mode = RasterJob::Mode::kCombined;
+  const ShardedArchive* sharded = nullptr;
+  /// Required for kFullScan / kTileScreened.
+  const RasterModel* model = nullptr;
+  /// Required for kProgressiveModel / kCombined.
+  const ProgressiveLinearModel* progressive = nullptr;
+  std::size_t k = 10;
+  JobLimits limits;
+  /// Stable caller-assigned archive identity; 0 marks the job uncacheable.
+  std::uint64_t archive_id = 0;
+  /// Optional model fingerprint override; 0 = derive when possible.
+  std::uint64_t model_fingerprint = 0;
+};
+
 /// An Onion-index linear top-K query.
 struct OnionJob {
   const OnionIndex* index = nullptr;
@@ -148,6 +167,12 @@ struct OutcomeInfo {
 struct RasterOutcome : OutcomeInfo {
   RasterTopK result;
 };
+struct ShardedRasterOutcome : OutcomeInfo {
+  /// On a result-cache hit only `result.merged` is restored; the per-shard
+  /// dispositions belong to the execution that produced the entry and come
+  /// back empty.
+  ShardedTopK result;
+};
 struct OnionOutcome : OutcomeInfo {
   OnionTopK result;
 };
@@ -178,6 +203,7 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   [[nodiscard]] std::future<RasterOutcome> submit(RasterJob job);
+  [[nodiscard]] std::future<ShardedRasterOutcome> submit(ShardedRasterJob job);
   [[nodiscard]] std::future<OnionOutcome> submit(OnionJob job);
   [[nodiscard]] std::future<CompositeOutcome> submit(CompositeJob job);
 
@@ -221,7 +247,10 @@ class QueryEngine {
   RasterOutcome run_raster(const RasterJob& job, QueryContext& ctx);
   /// Per-tile screening bounds via the tile cache; falls back to computing
   /// (and charging) them like the executors do when the job is uncacheable.
-  bool cached_tile_bounds(const RasterJob& job, const RasterModel& screen_model,
+  /// `sharded` non-null qualifies each tile's key with its owning shard and
+  /// skips the global visit order (sharded executors order per shard).
+  bool cached_tile_bounds(const TiledArchive& archive, std::uint64_t archive_id,
+                          const ShardedArchive* sharded, const RasterModel& screen_model,
                           std::uint64_t model_fp, exec::TileBounds& tb, CostMeter& meter);
 
   EngineConfig config_;

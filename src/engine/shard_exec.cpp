@@ -1,0 +1,516 @@
+#include "engine/shard_exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "sproc/brute.hpp"
+#include "sproc/fast_sproc.hpp"
+#include "sproc/sproc.hpp"
+
+namespace mmir {
+
+namespace {
+
+using exec::kNegInf;
+
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+/// Monotone shared pruning threshold across shard tasks (same shape as the
+/// tile-parallel executors'): a relaxed atomic maximum.  Stale reads only
+/// weaken pruning, never soundness, because the value is always the K-th
+/// best of some full all-exact heap — a lower bound on the final global
+/// K-th best.
+class SharedThreshold {
+ public:
+  [[nodiscard]] double get() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+  void raise(double candidate) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> value_{kNegInf};
+};
+
+/// Per-shard accumulation state.  Indexed by shard id — each shard is
+/// processed by exactly one pool slot, so no synchronization is needed until
+/// the gather (parallel_for's completion handshake publishes the writes).
+struct ShardRun {
+  explicit ShardRun(std::size_t k) : top(k) {}
+  TopK<RasterHit> top;
+  CostMeter meter;
+  exec::ScanTally tally;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t tiles_scanned = 0;
+  std::uint64_t tiles_pruned = 0;
+  ResultStatus status = ResultStatus::kComplete;
+  double missed_bound = kNegInf;
+};
+
+/// Shard-level completion status: degraded when the shard carries poisoned
+/// samples anywhere in its tiles (a pruned tile's NaN could have been
+/// anything), matching the archive-level rule of exec::completion_status so
+/// the merged disposition agrees with the monolithic executors.
+ResultStatus shard_completion_status(const ShardInfo& shard, std::uint64_t bad_points) {
+  return bad_points > 0 || shard.bad_pixels > 0 ? ResultStatus::kDegraded
+                                                : ResultStatus::kComplete;
+}
+
+/// The EXPLAIN stage row of one shard: items examined/pruned (pixels whose
+/// evaluation began vs never touched), tile traffic, ops, disposition.
+void annotate_shard(const obs::Span& span, const ShardInfo& shard, const ShardRun& run) {
+  if (!span.active()) return;
+  span.annotate("shard", static_cast<double>(shard.id));
+  span.annotate("items_examined", static_cast<double>(run.tally.pixels));
+  span.annotate("items_pruned",
+                static_cast<double>(shard.pixel_count - std::min<std::uint64_t>(
+                                                            shard.pixel_count, run.tally.pixels)));
+  span.annotate("tiles_scanned", static_cast<double>(run.tiles_scanned));
+  span.annotate("tiles_pruned", static_cast<double>(run.tiles_pruned));
+  span.annotate("meter_ops", static_cast<double>(run.meter.ops()));
+  span.note("status", to_string(run.status));
+}
+
+/// Parent-span annotations: the same four §4.2 efficiency inputs the serial
+/// and tile-parallel executors emit, summed across shards, so
+/// obs::ExplainReport reads one vocabulary for all three execution paths.
+void annotate_efficiency(const obs::Span& span, const TiledArchive& archive,
+                         std::uint64_t model_terms, std::uint64_t pixels_visited,
+                         std::uint64_t scan_ops) {
+  if (!span.active()) return;
+  span.annotate("total_pixels",
+                static_cast<double>(archive.width()) * static_cast<double>(archive.height()));
+  span.annotate("model_terms", static_cast<double>(model_terms));
+  span.annotate("pixels_visited", static_cast<double>(pixels_visited));
+  span.annotate("scan_ops", static_cast<double>(scan_ops));
+}
+
+void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMeter& meter,
+                     std::size_t shards) {
+  if (!span.active()) return;
+  span.annotate("shards", static_cast<double>(shards));
+  span.annotate("hits", static_cast<double>(out.hits.size()));
+  span.annotate("bad_points", static_cast<double>(out.bad_points));
+  span.annotate("meter_points", static_cast<double>(meter.points()));
+  span.annotate("meter_ops", static_cast<double>(meter.ops()));
+  span.annotate("meter_pruned", static_cast<double>(meter.pruned()));
+  span.note("status", to_string(out.status));
+}
+
+/// The scatter-gather skeleton shared by the four sharded executors.
+/// `scan_shard(shard, run, shared)` scans one shard with the serial kernels
+/// and must leave run.status / run.missed_bound sound on truncation;
+/// `shard_bound(shard)` is the loosest sound missed bound over a whole
+/// untouched shard (used when the context stopped before a shard started).
+template <typename ShardScan, typename ShardBound>
+ShardedTopK scatter_gather(const ShardedArchive& sharded, const char* stage, std::size_t k,
+                           std::uint64_t model_terms, QueryContext& ctx, CostMeter& meter,
+                           ThreadPool& pool, ShardScan&& scan_shard, ShardBound&& shard_bound) {
+  ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), stage);
+  const std::size_t count = sharded.shard_count();
+  std::vector<ShardRun> runs;
+  runs.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) runs.emplace_back(k);
+  SharedThreshold shared;
+
+  pool.parallel_for(0, count, 1, [&](std::size_t s0, std::size_t s1, std::size_t) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      ShardRun& run = runs[s];
+      const ShardInfo& shard = sharded.shard(s);
+      // Trace has an internal mutex, so per-shard spans are safe to open
+      // and close from pool workers.
+      const std::string name = "shard_" + std::to_string(s);
+      obs::Span shard_span = obs::Span::child_of(&span, name);
+      if (!shard.tiles.empty()) {
+        if (ctx.stopped()) {
+          // Never started: the whole shard is unexamined.
+          run.status = ctx.stop_reason();
+          run.missed_bound = shard_bound(shard);
+        } else {
+          scan_shard(shard, run, shared);
+        }
+      }
+      annotate_shard(shard_span, shard, run);
+    }
+  });
+
+  // Gather on the caller, in shard-id order, so meter reduction and heap
+  // merging are deterministic regardless of which slot ran which shard.
+  std::vector<ShardPartial> partials;
+  partials.reserve(count);
+  std::uint64_t pixels_visited = 0;
+  std::uint64_t scan_ops = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    ShardRun& run = runs[s];
+    ShardPartial partial;
+    partial.shard_id = s;
+    partial.result.hits = exec::finalize(run.top);
+    partial.result.status = run.status;
+    partial.result.missed_bound = run.missed_bound;
+    partial.result.bad_points = run.tally.bad_points;
+    partial.pixels_visited = run.tally.pixels;
+    partial.tiles_scanned = run.tiles_scanned;
+    partial.tiles_pruned = run.tiles_pruned;
+    meter.merge(run.meter);
+    pixels_visited += run.tally.pixels;
+    scan_ops += run.scan_ops;
+    partials.push_back(std::move(partial));
+  }
+
+  ShardedTopK out;
+  out.merged = merge_shard_partials(partials, k);
+  out.shard_status.reserve(count);
+  for (const ShardPartial& partial : partials) out.shard_status.push_back(partial.result.status);
+  annotate_efficiency(span, sharded.archive(), model_terms, pixels_visited, scan_ops);
+  annotate_result(span, out.merged, meter, count);
+  return out;
+}
+
+}  // namespace
+
+RasterTopK merge_shard_partials(std::span<const ShardPartial> partials, std::size_t k) {
+  MMIR_EXPECTS(k > 0);
+  RasterTopK out;
+  TopK<RasterHit> top(k);
+  double missed = kNegInf;
+  std::uint64_t bad_points = 0;
+  bool any_degraded = false;
+  bool all_shed = !partials.empty();
+  ResultStatus truncated = ResultStatus::kComplete;
+  for (const ShardPartial& partial : partials) {
+    for (const RasterHit& hit : partial.result.hits) top.offer(hit.score, hit);
+    missed = std::max(missed, partial.result.missed_bound);
+    bad_points += partial.result.bad_points;
+    const ResultStatus status = partial.result.status;
+    if (status != ResultStatus::kShed) all_shed = false;
+    if (status == ResultStatus::kDegraded) any_degraded = true;
+    if (is_truncated(status) && truncated == ResultStatus::kComplete) truncated = status;
+  }
+  out.hits = exec::finalize(top);
+  out.missed_bound = missed;
+  out.bad_points = bad_points;
+  if (all_shed) {
+    // Nothing examined anywhere; surface back-pressure, not a bound artifact.
+    out.status = ResultStatus::kShed;
+    out.missed_bound = kPosInf;
+  } else if (truncated != ResultStatus::kComplete) {
+    out.status = truncated;
+  } else if (any_degraded) {
+    out.status = ResultStatus::kDegraded;
+  } else {
+    out.status = ResultStatus::kComplete;
+  }
+  return out;
+}
+
+ShardedTopK sharded_full_scan_top_k(const ShardedArchive& sharded, const RasterModel& model,
+                                    std::size_t k, QueryContext& ctx, CostMeter& meter,
+                                    ThreadPool& pool) {
+  MMIR_EXPECTS(k > 0);
+  const TiledArchive& archive = sharded.archive();
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  const auto tiles = archive.tiles();
+  const auto shard_bound = [&](const ShardInfo& shard) { return model.bound(shard.band_ranges).hi; };
+  return scatter_gather(
+      sharded, "sharded_full_scan", k, model.ops_per_evaluation(), ctx, meter, pool,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold&) {
+        std::vector<double> scratch(archive.band_count());
+        const std::uint64_t ops_before = run.meter.ops();
+        for (std::size_t t : shard.tiles) {
+          const TileSummary& tile = tiles[t];
+          ++run.tiles_scanned;
+          exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
+                               tile.y0 + tile.height, run.top, scratch, ctx, run.meter,
+                               run.tally);
+          if (ctx.stopped()) break;
+        }
+        run.scan_ops = run.meter.ops() - ops_before;
+        if (ctx.stopped()) {
+          run.status = ctx.stop_reason();
+          run.missed_bound = shard_bound(shard);  // covers the in-flight tile's remainder too
+        } else {
+          run.status = shard_completion_status(shard, run.tally.bad_points);
+        }
+      },
+      shard_bound);
+}
+
+ShardedTopK sharded_progressive_model_top_k(const ShardedArchive& sharded,
+                                            const ProgressiveLinearModel& model, std::size_t k,
+                                            QueryContext& ctx, CostMeter& meter,
+                                            ThreadPool& pool) {
+  MMIR_EXPECTS(k > 0);
+  const TiledArchive& archive = sharded.archive();
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  const auto tiles = archive.tiles();
+  const auto shard_bound = [&](const ShardInfo& shard) {
+    return model.model().evaluate_interval(shard.band_ranges).hi;
+  };
+  return scatter_gather(
+      sharded, "sharded_progressive_model", k, model.order().size(), ctx, meter, pool,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+        const std::uint64_t ops_before = run.meter.ops();
+        for (std::size_t t : shard.tiles) {
+          const TileSummary& tile = tiles[t];
+          ++run.tiles_scanned;
+          exec::scan_rect_staged(
+              archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height,
+              run.top, [&] { return std::max(run.top.threshold(), shared.get()); },
+              [&] {
+                if (run.top.full()) shared.raise(run.top.threshold());
+              },
+              ctx, run.meter, run.tally);
+          if (ctx.stopped()) break;
+        }
+        run.scan_ops = run.meter.ops() - ops_before;
+        if (ctx.stopped()) {
+          run.status = ctx.stop_reason();
+          run.missed_bound = shard_bound(shard);
+        } else {
+          run.status = shard_completion_status(shard, run.tally.bad_points);
+        }
+      },
+      shard_bound);
+}
+
+namespace {
+
+/// Screened scan of one shard: per-shard metadata pass (skipped when bounds
+/// are precomputed via the shard-qualified tile cache), shard-local
+/// best-bound-first order, then `scan_tile` over surviving tiles.  Shared by
+/// the tile-screened and combined executors, which differ only in the
+/// per-tile scan kernel and the screening model.
+template <typename ScanTileFn>
+void screened_shard_scan(const TiledArchive& archive, const RasterModel& screen_model,
+                         const exec::TileBounds* precomputed, const ShardInfo& shard,
+                         ShardRun& run, SharedThreshold& shared, QueryContext& ctx,
+                         double whole_shard_bound, ScanTileFn&& scan_tile) {
+  const auto tiles = archive.tiles();
+  const std::uint64_t ops_per_bound = screen_model.ops_per_evaluation();
+
+  // (upper bound, global tile index) pairs for this shard only; ties break
+  // toward the lower tile index so the visit order is deterministic.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(shard.tiles.size());
+  if (precomputed != nullptr) {
+    for (std::size_t t : shard.tiles) order.emplace_back(precomputed->bounds[t].hi, t);
+  } else {
+    if (!ctx.charge(shard.tiles.size() * ops_per_bound)) {
+      run.status = ctx.stop_reason();
+      run.missed_bound = whole_shard_bound;
+      return;
+    }
+    for (std::size_t t : shard.tiles) {
+      order.emplace_back(screen_model.bound(tiles[t].band_range).hi, t);
+      run.meter.add_ops(ops_per_bound);
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  const std::uint64_t ops_before = run.meter.ops();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const auto [hi, t] = order[pos];
+    const double threshold = std::max(run.top.threshold(), shared.get());
+    if (threshold > kNegInf && hi <= threshold) {
+      // Sound prune: the threshold is some full all-exact heap's K-th best,
+      // a lower bound on the final global K-th best.  The order is bound-
+      // descending and the threshold only rises, so the rest prune too.
+      for (std::size_t rest = pos; rest < order.size(); ++rest) {
+        run.meter.add_pruned();
+        ++run.tiles_pruned;
+      }
+      break;
+    }
+    ++run.tiles_scanned;
+    scan_tile(tiles[t], run);
+    if (ctx.stopped()) {
+      run.status = ctx.stop_reason();
+      // This tile may be half-examined; its bound dominates every later
+      // tile in the shard's descending order, so it covers the remainder.
+      run.missed_bound = hi;
+      run.scan_ops = run.meter.ops() - ops_before;
+      return;
+    }
+    if (run.top.full()) shared.raise(run.top.threshold());
+  }
+  run.scan_ops = run.meter.ops() - ops_before;
+  run.status = shard_completion_status(shard, run.tally.bad_points);
+}
+
+}  // namespace
+
+ShardedTopK sharded_tile_screened_top_k(const ShardedArchive& sharded, const RasterModel& model,
+                                        std::size_t k, QueryContext& ctx, CostMeter& meter,
+                                        ThreadPool& pool, const exec::TileBounds* precomputed) {
+  MMIR_EXPECTS(k > 0);
+  const TiledArchive& archive = sharded.archive();
+  MMIR_EXPECTS(model.bands() == archive.band_count());
+  const auto shard_bound = [&](const ShardInfo& shard) { return model.bound(shard.band_ranges).hi; };
+  return scatter_gather(
+      sharded, "sharded_tile_screened", k, model.ops_per_evaluation(), ctx, meter, pool,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+        std::vector<double> scratch(archive.band_count());
+        screened_shard_scan(archive, model, precomputed, shard, run, shared, ctx,
+                            shard_bound(shard), [&](const TileSummary& tile, ShardRun& r) {
+                              exec::scan_rect_full(archive, model, tile.x0,
+                                                   tile.x0 + tile.width, tile.y0,
+                                                   tile.y0 + tile.height, r.top, scratch, ctx,
+                                                   r.meter, r.tally);
+                            });
+      },
+      shard_bound);
+}
+
+ShardedTopK sharded_progressive_combined_top_k(const ShardedArchive& sharded,
+                                               const ProgressiveLinearModel& model,
+                                               std::size_t k, QueryContext& ctx,
+                                               CostMeter& meter, ThreadPool& pool,
+                                               const exec::TileBounds* precomputed) {
+  MMIR_EXPECTS(k > 0);
+  const TiledArchive& archive = sharded.archive();
+  MMIR_EXPECTS(model.model().dim() == archive.band_count());
+  const LinearRasterModel screen(model.model());
+  const auto shard_bound = [&](const ShardInfo& shard) {
+    return screen.bound(shard.band_ranges).hi;
+  };
+  return scatter_gather(
+      sharded, "sharded_progressive_combined", k, model.order().size(), ctx, meter, pool,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+        screened_shard_scan(
+            archive, screen, precomputed, shard, run, shared, ctx, shard_bound(shard),
+            [&](const TileSummary& tile, ShardRun& r) {
+              exec::scan_rect_staged(
+                  archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
+                  tile.y0 + tile.height, r.top,
+                  [&] { return std::max(r.top.threshold(), shared.get()); },
+                  [&] {
+                    if (r.top.full()) shared.raise(r.top.threshold());
+                  },
+                  ctx, r.meter, r.tally);
+            });
+      },
+      shard_bound);
+}
+
+// ------------------------------------------------------------ Onion / SPROC
+
+OnionTopK sharded_onion_top_k(const ShardedOnionIndex& index, std::span<const double> weights,
+                              std::size_t k, QueryContext& ctx, CostMeter& meter,
+                              ThreadPool& pool) {
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "sharded_onion");
+  const std::size_t count = index.shard_count();
+  std::vector<OnionTopK> partials(count);
+  std::vector<CostMeter> meters(count);
+
+  pool.parallel_for(0, count, 1, [&](std::size_t s0, std::size_t s1, std::size_t) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      const std::string name = "shard_" + std::to_string(s);
+      obs::Span shard_span = obs::Span::child_of(&span, name);
+      partials[s] = index.shard(s).top_k(weights, k, ctx, meters[s]);
+      // Remap shard-local tuple ids back into the global id space.
+      for (ScoredId& hit : partials[s].hits) hit.id = index.global_id(s, hit.id);
+      if (shard_span.active()) {
+        shard_span.annotate("shard", static_cast<double>(s));
+        shard_span.annotate("items_examined", static_cast<double>(meters[s].points()));
+        shard_span.annotate("hits", static_cast<double>(partials[s].hits.size()));
+        shard_span.note("status", to_string(partials[s].status));
+      }
+    }
+  });
+
+  for (const CostMeter& m : meters) meter.merge(m);
+  const OnionTopK out = merge_onion_partials(partials, k);
+  if (span.active()) {
+    span.annotate("shards", static_cast<double>(count));
+    span.annotate("hits", static_cast<double>(out.hits.size()));
+    span.note("status", to_string(out.status));
+  }
+  return out;
+}
+
+CompositeTopK sharded_composite_top_k(const CartesianQuery& query, std::size_t shards,
+                                      ShardedSprocProcessor processor, std::size_t k,
+                                      QueryContext& ctx, CostMeter& meter, ThreadPool& pool) {
+  query.validate();
+  MMIR_EXPECTS(shards > 0);
+  MMIR_EXPECTS(k > 0);
+  ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), "sharded_composite");
+  // More shards than component-0 items would leave empty slices; clamp.
+  const std::size_t count = std::min(shards, query.library_size);
+  std::vector<CompositeTopK> partials(count);
+  std::vector<CostMeter> meters(count);
+  std::vector<CartesianQuery> restricted;
+  restricted.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) restricted.push_back(restrict_to_shard(query, s, count));
+
+  pool.parallel_for(0, count, 1, [&](std::size_t s0, std::size_t s1, std::size_t) {
+    for (std::size_t s = s0; s < s1; ++s) {
+      const std::string name = "shard_" + std::to_string(s);
+      obs::Span shard_span = obs::Span::child_of(&span, name);
+      switch (processor) {
+        case ShardedSprocProcessor::kFastSproc:
+          partials[s] = fast_sproc_top_k(restricted[s], k, ctx, meters[s]);
+          break;
+        case ShardedSprocProcessor::kSproc:
+          partials[s] = sproc_top_k(restricted[s], k, ctx, meters[s]);
+          break;
+        case ShardedSprocProcessor::kBruteForce:
+          partials[s] = brute_force_top_k(restricted[s], k, ctx, meters[s]);
+          break;
+      }
+      // The slices are disjoint by construction (out-of-shard component-0
+      // items degrade to 0 and every processor drops zero-score matches);
+      // the filter is defensive hardening against a processor that ever
+      // starts reporting them.
+      std::erase_if(partials[s].matches, [&](const CompositeMatch& match) {
+        return match.items.empty() || match.items[0] % count != s;
+      });
+      if (shard_span.active()) {
+        shard_span.annotate("shard", static_cast<double>(s));
+        shard_span.annotate("items_examined", static_cast<double>(meters[s].points()));
+        shard_span.annotate("hits", static_cast<double>(partials[s].matches.size()));
+        shard_span.note("status", to_string(partials[s].status));
+      }
+    }
+  });
+
+  for (const CostMeter& m : meters) meter.merge(m);
+
+  CompositeTopK out;
+  TopK<CompositeMatch> top(k);
+  out.missed_bound = 0.0;
+  ResultStatus truncated = ResultStatus::kComplete;
+  bool any_degraded = false;
+  for (const CompositeTopK& partial : partials) {
+    for (const CompositeMatch& match : partial.matches) top.offer(match.score, match);
+    out.missed_bound = std::max(out.missed_bound, partial.missed_bound);
+    if (partial.status == ResultStatus::kDegraded) any_degraded = true;
+    if (is_truncated(partial.status) && truncated == ResultStatus::kComplete) {
+      truncated = partial.status;
+    }
+  }
+  for (auto& entry : top.take_sorted()) out.matches.push_back(std::move(entry.item));
+  out.status = truncated != ResultStatus::kComplete
+                   ? truncated
+                   : (any_degraded ? ResultStatus::kDegraded : ResultStatus::kComplete);
+  if (span.active()) {
+    span.annotate("shards", static_cast<double>(count));
+    span.annotate("hits", static_cast<double>(out.matches.size()));
+    span.note("status", to_string(out.status));
+  }
+  return out;
+}
+
+}  // namespace mmir

@@ -1,0 +1,129 @@
+#pragma once
+// Scatter-gather query execution over a ShardedArchive.
+//
+// Each of the four executor modes (core/progressive_exec.hpp) has a sharded
+// twin: the shards of a ShardedArchive are scattered across the engine's
+// ThreadPool, every shard runs the *serial* scan kernels over its own tiles
+// into a private top-K heap, and a gather step merges the partial heaps into
+// one global top-K.  All shard tasks share one QueryContext, so the op budget
+// and deadline are enforced globally — shards draw slices from the shared
+// budget atomically instead of receiving static S-way splits, which keeps a
+// fast shard from stranding budget a slow shard needed.
+//
+// Soundness of the merge (proof sketch in DESIGN.md §6e):
+//   * each shard's partial is the exact top-K of the pixels it examined, plus
+//     a sound missed-score bound over the pixels it did not;
+//   * tiles partition across shards, so the union of partials contains the
+//     global top-K of all examined pixels;
+//   * the merged missed bound is the max of the per-shard bounds — any
+//     unexamined pixel lives in exactly one shard and is covered by that
+//     shard's bound.  A budget-hit shard therefore *widens* the global bound
+//     (max is monotone) and can only shorten, never corrupt, the certified
+//     prefix.
+// Cross-shard pruning uses the same shared monotone threshold as the
+// tile-parallel executors: a stale read weakens pruning, never soundness.
+//
+// Per-shard ResultStatus propagates into the query-level disposition: any
+// truncated shard truncates the merge (the shared context's latched reason),
+// else any degraded shard degrades it, else the query is complete.  EXPLAIN
+// sees one child span per shard ("shard_<id>") with items examined/pruned;
+// the parent span carries the summed §4.2 efficiency inputs so the pm·pd
+// decomposition reconciles exactly as it does for the monolithic executors.
+//
+// Scatter-gather twins for the other retrieval families ride along:
+// per-shard Onion indexes (index/onion.hpp ShardedOnionIndex) queried in
+// parallel, and composite (SPROC) queries partitioned over the component-0
+// item domain — both merged at gather with the same max-of-bounds rule.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "archive/sharded.hpp"
+#include "core/exec_kernels.hpp"
+#include "core/progressive_exec.hpp"
+#include "engine/thread_pool.hpp"
+#include "index/onion.hpp"
+#include "sproc/query.hpp"
+
+namespace mmir {
+
+/// One shard's contribution to a sharded raster execution: its partial top-K
+/// (with per-shard status and missed bound) plus the gather-side counters
+/// EXPLAIN renders per shard.
+struct ShardPartial {
+  std::size_t shard_id = 0;
+  RasterTopK result;
+  std::uint64_t pixels_visited = 0;
+  std::uint64_t tiles_scanned = 0;
+  std::uint64_t tiles_pruned = 0;
+};
+
+/// Merges per-shard partials into a global top-K of size at most `k`.
+/// Deterministic given its inputs: partials are offered in shard order, so
+/// exact score ties break toward the lower shard id.  The merged missed
+/// bound is the max over shard bounds; the disposition is the first
+/// truncated shard's status if any shard truncated, else degraded if any
+/// shard degraded, else complete (all-shed merges stay kShed).  Exposed as a
+/// pure function so merge soundness is unit-testable in isolation
+/// (tests/test_shard_merge.cpp).
+[[nodiscard]] RasterTopK merge_shard_partials(std::span<const ShardPartial> partials,
+                                              std::size_t k);
+
+/// Result of a sharded raster execution: the merged global answer plus the
+/// per-shard dispositions the merge folded together.
+struct ShardedTopK {
+  RasterTopK merged;
+  std::vector<ResultStatus> shard_status;  ///< indexed by shard id
+};
+
+/// Sharded twins of the four executors.  Answers are identical to the serial
+/// monolithic executors modulo exact ties (the shard-parity property suite
+/// checks byte-identity on tie-free inputs).  The tile-screened/combined
+/// forms accept optional precomputed per-tile bounds indexed by *global* tile
+/// id, as served shard-qualified by the engine's tile cache.
+[[nodiscard]] ShardedTopK sharded_full_scan_top_k(const ShardedArchive& sharded,
+                                                  const RasterModel& model, std::size_t k,
+                                                  QueryContext& ctx, CostMeter& meter,
+                                                  ThreadPool& pool);
+[[nodiscard]] ShardedTopK sharded_progressive_model_top_k(const ShardedArchive& sharded,
+                                                          const ProgressiveLinearModel& model,
+                                                          std::size_t k, QueryContext& ctx,
+                                                          CostMeter& meter, ThreadPool& pool);
+[[nodiscard]] ShardedTopK sharded_tile_screened_top_k(const ShardedArchive& sharded,
+                                                      const RasterModel& model, std::size_t k,
+                                                      QueryContext& ctx, CostMeter& meter,
+                                                      ThreadPool& pool,
+                                                      const exec::TileBounds* precomputed =
+                                                          nullptr);
+[[nodiscard]] ShardedTopK sharded_progressive_combined_top_k(
+    const ShardedArchive& sharded, const ProgressiveLinearModel& model, std::size_t k,
+    QueryContext& ctx, CostMeter& meter, ThreadPool& pool,
+    const exec::TileBounds* precomputed = nullptr);
+
+/// Scatter-gather over a ShardedOnionIndex: every per-shard index is queried
+/// on the pool, hits are remapped to global tuple ids, and the partials merge
+/// under the max-of-bounds rule.  Equals the monolithic OnionIndex answer
+/// modulo exact ties.
+[[nodiscard]] OnionTopK sharded_onion_top_k(const ShardedOnionIndex& index,
+                                            std::span<const double> weights, std::size_t k,
+                                            QueryContext& ctx, CostMeter& meter,
+                                            ThreadPool& pool);
+
+/// Which composite processor each shard runs (mirrors CompositeJob::Processor
+/// without dragging the scheduler header in).
+enum class ShardedSprocProcessor : std::uint8_t { kFastSproc = 0, kSproc = 1, kBruteForce = 2 };
+
+/// Scatter-gather composite retrieval: the library's component-0 domain is
+/// partitioned round-robin across `shards` (sproc restrict_to_shard), each
+/// slice runs the chosen processor independently on the pool, and the gather
+/// keeps each shard's own candidates and merges them.  Scores equal the
+/// monolithic processors' (same_scores) because the slices partition the
+/// candidate space.
+[[nodiscard]] CompositeTopK sharded_composite_top_k(const CartesianQuery& query,
+                                                    std::size_t shards,
+                                                    ShardedSprocProcessor processor,
+                                                    std::size_t k, QueryContext& ctx,
+                                                    CostMeter& meter, ThreadPool& pool);
+
+}  // namespace mmir

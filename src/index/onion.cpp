@@ -245,4 +245,79 @@ OnionTopK OnionIndex::bottom_k(std::span<const double> weights, std::size_t k, Q
   return query(weights, k, -1.0, ctx, meter);
 }
 
+OnionTopK merge_onion_partials(std::span<const OnionTopK> partials, std::size_t k) {
+  MMIR_EXPECTS(k > 0);
+  OnionTopK out;
+  TopK<std::uint32_t> top(k);
+  bool all_shed = !partials.empty();
+  ResultStatus truncated = ResultStatus::kComplete;
+  for (const OnionTopK& partial : partials) {
+    for (const ScoredId& hit : partial.hits) top.offer(hit.score, hit.id);
+    out.missed_bound = std::max(out.missed_bound, partial.missed_bound);
+    if (partial.status != ResultStatus::kShed) all_shed = false;
+    if (is_truncated(partial.status) && truncated == ResultStatus::kComplete) {
+      truncated = partial.status;
+    }
+  }
+  for (auto& entry : top.take_sorted()) out.hits.push_back(ScoredId{entry.item, entry.score});
+  if (all_shed) {
+    out.status = ResultStatus::kShed;
+    out.missed_bound = std::numeric_limits<double>::infinity();
+  } else {
+    out.status = truncated;
+  }
+  return out;
+}
+
+ShardedOnionIndex::ShardedOnionIndex(const TupleSet& points, std::size_t shard_count,
+                                     OnionConfig config) {
+  MMIR_EXPECTS(points.size() > 0);
+  MMIR_EXPECTS(shard_count > 0);
+  const std::size_t count = std::min(shard_count, points.size());
+  const std::size_t dim = points.dim();
+  slices_.reserve(count);
+  global_ids_.assign(count, {});
+  for (std::size_t s = 0; s < count; ++s) slices_.emplace_back(dim);
+  for (std::size_t id = 0; id < points.size(); ++id) {
+    const std::size_t s = id % count;
+    slices_[s].push_row(points.row(id));
+    global_ids_[s].push_back(static_cast<std::uint32_t>(id));
+  }
+  // slices_ never reallocates past this point, so the references the
+  // per-shard indexes capture stay valid for the index's lifetime.
+  indexes_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    indexes_.push_back(std::make_unique<OnionIndex>(slices_[s], config));
+  }
+}
+
+const OnionIndex& ShardedOnionIndex::shard(std::size_t s) const {
+  MMIR_EXPECTS(s < indexes_.size());
+  return *indexes_[s];
+}
+
+std::uint32_t ShardedOnionIndex::global_id(std::size_t s, std::uint32_t local) const {
+  MMIR_EXPECTS(s < global_ids_.size());
+  MMIR_EXPECTS(local < global_ids_[s].size());
+  return global_ids_[s][local];
+}
+
+std::size_t ShardedOnionIndex::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& ids : global_ids_) total += ids.size();
+  return total;
+}
+
+OnionTopK ShardedOnionIndex::top_k(std::span<const double> weights, std::size_t k,
+                                   QueryContext& ctx, CostMeter& meter) const {
+  std::vector<OnionTopK> partials;
+  partials.reserve(indexes_.size());
+  for (std::size_t s = 0; s < indexes_.size(); ++s) {
+    OnionTopK partial = indexes_[s]->top_k(weights, k, ctx, meter);
+    for (ScoredId& hit : partial.hits) hit.id = global_id(s, hit.id);
+    partials.push_back(std::move(partial));
+  }
+  return merge_onion_partials(partials, k);
+}
+
 }  // namespace mmir

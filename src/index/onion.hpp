@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -103,6 +104,44 @@ class OnionIndex {
   std::vector<std::uint32_t> residual_;
   bool exact_ = true;
   std::vector<std::vector<double>> directions_;  // dim > 3 peeling directions
+};
+
+/// Merges per-shard Onion partials into one global OnionTopK of size at most
+/// `k`.  Hits are offered in shard order (ties break toward the lower shard),
+/// the merged missed bound is the max over shard bounds, and the disposition
+/// is the first truncated shard's status (complete otherwise; all-shed stays
+/// shed).  Pure, so shard-merge soundness is unit-testable without a pool.
+[[nodiscard]] OnionTopK merge_onion_partials(std::span<const OnionTopK> partials, std::size_t k);
+
+/// Onion indexing partitioned for scatter-gather: the tuple domain is split
+/// round-robin (global id % S) into S slices, each slice gets its own
+/// materialized TupleSet and an independently built OnionIndex.  Slices
+/// partition the ids, so per-shard top-Ks union to the global candidate set —
+/// engine::sharded_onion_top_k queries the shards on the pool and merges with
+/// merge_onion_partials.  The effective shard count is min(S, points.size())
+/// so every shard is non-empty (OnionIndex requires that).
+class ShardedOnionIndex {
+ public:
+  ShardedOnionIndex(const TupleSet& points, std::size_t shard_count, OnionConfig config = {});
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return indexes_.size(); }
+  [[nodiscard]] const OnionIndex& shard(std::size_t s) const;
+  /// Maps a shard-local tuple id back to its id in the source TupleSet.
+  [[nodiscard]] std::uint32_t global_id(std::size_t s, std::uint32_t local) const;
+  /// Total points across all shards (== source points.size()).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serial scatter-gather: queries every shard in shard order on the calling
+  /// thread and merges.  Identical answers to the pooled execution path.
+  [[nodiscard]] OnionTopK top_k(std::span<const double> weights, std::size_t k, QueryContext& ctx,
+                                CostMeter& meter) const;
+
+ private:
+  std::vector<TupleSet> slices_;
+  std::vector<std::vector<std::uint32_t>> global_ids_;  ///< [shard][local] -> global
+  // OnionIndex holds a const reference to its TupleSet and is not movable,
+  // so shards live behind pointers; slices_ is fully built (stable) first.
+  std::vector<std::unique_ptr<OnionIndex>> indexes_;
 };
 
 }  // namespace mmir

@@ -13,4 +13,17 @@ bool same_scores(const std::vector<CompositeMatch>& a, const std::vector<Composi
   return true;
 }
 
+CartesianQuery restrict_to_shard(const CartesianQuery& query, std::size_t shard,
+                                 std::size_t shards) {
+  query.validate();
+  MMIR_EXPECTS(shards > 0);
+  MMIR_EXPECTS(shard < shards);
+  CartesianQuery restricted = query;
+  restricted.unary = [unary = query.unary, shard, shards](std::size_t m, std::uint32_t j) {
+    if (m == 0 && j % shards != shard) return 0.0;
+    return unary(m, j);
+  };
+  return restricted;
+}
+
 }  // namespace mmir

@@ -97,4 +97,13 @@ struct CompositeTopK {
 [[nodiscard]] bool same_scores(const std::vector<CompositeMatch>& a,
                                const std::vector<CompositeMatch>& b, double tol = 1e-9);
 
+/// Shard view of a composite query for scatter-gather execution: component 0
+/// only admits library items with `j % shards == shard` (everything else
+/// degrades to 0, a non-match all three processors drop).  The slices
+/// therefore partition the positive-score candidate space by their leading
+/// item, so per-shard top-Ks union to the global candidate set and merge
+/// exactly.  The returned query captures `query`'s degree functions by value.
+[[nodiscard]] CartesianQuery restrict_to_shard(const CartesianQuery& query, std::size_t shard,
+                                               std::size_t shards);
+
 }  // namespace mmir

@@ -7,10 +7,13 @@
 
 #include <string>
 
+#include "archive/sharded.hpp"
 #include "archive/tiled.hpp"
 #include "core/progressive_exec.hpp"
 #include "data/scene.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/shard_exec.hpp"
+#include "engine/thread_pool.hpp"
 #include "linear/model.hpp"
 #include "linear/progressive.hpp"
 #include "obs/explain.hpp"
@@ -207,6 +210,60 @@ TEST(ExplainReport, PredictedSpeedupTracksMeasuredSpeedup) {
   EXPECT_NEAR(report.efficiency.actual_speedup(), measured, 1e-6 * measured);
 }
 
+// A sharded scatter-gather run must keep the same §4.2 contract: EXPLAIN
+// shows one stage row per shard with items examined/pruned, and the summed
+// efficiency annotations on the parent span still predict the measured
+// speedup within the same 10%.
+TEST(ExplainReport, ShardedQueryShowsPerShardRowsAndPmPdStillTracks) {
+  const SceneFixture f(128, 5);
+  const TiledArchive archive(f.bands, 16);
+  const ShardedArchive sharded(archive, 4, ShardPolicy::kRowBands);
+  const LinearModel model = hps_risk_model();
+  const LinearRasterModel raster_model(model);
+  const ProgressiveLinearModel progressive(model, f.ranges());
+  const std::size_t k = 10;
+
+  CostMeter baseline_meter;
+  (void)full_scan_top_k(archive, raster_model, k, baseline_meter);
+
+  obs::Tracer tracer(4);
+  auto trace = tracer.start_trace("sharded_raster");
+  ThreadPool pool(2);
+  CostMeter sharded_meter;
+  ShardedTopK result;
+  {
+    obs::Span root(trace.get(), "query");
+    QueryContext ctx;
+    ctx.with_span(&root);
+    result = sharded_progressive_combined_top_k(sharded, progressive, k, ctx, sharded_meter, pool);
+  }
+  tracer.finish(trace);
+  ASSERT_EQ(result.merged.status, ResultStatus::kComplete);
+  ASSERT_EQ(result.shard_status.size(), 4u);
+
+  const auto retained = tracer.latest();
+  ASSERT_NE(retained, nullptr);
+  const auto report = obs::ExplainReport::from_trace(*retained);
+
+  // One stage row per shard, each carrying the examined/pruned accounting.
+  std::size_t shard_rows = 0;
+  for (const auto& stage : report.stages) {
+    if (stage.name.rfind("shard_", 0) == 0) {
+      ++shard_rows;
+      EXPECT_TRUE(stage.has_items) << stage.name;
+    }
+  }
+  EXPECT_EQ(shard_rows, 4u);
+
+  ASSERT_TRUE(report.has_efficiency);
+  const double measured = static_cast<double>(baseline_meter.ops()) /
+                          static_cast<double>(sharded_meter.ops());
+  const double predicted = report.efficiency.predicted_speedup();
+  EXPECT_GT(measured, 1.0);
+  EXPECT_NEAR(predicted / measured, 1.0, 0.10)
+      << "predicted " << predicted << "x vs measured " << measured << "x";
+}
+
 // ------------------------------------------------------ engine end-to-end
 
 TEST(ExplainReport, EngineTraceProducesFullReport) {
@@ -246,6 +303,45 @@ TEST(ExplainReport, EngineTraceProducesFullReport) {
   // Stage rows include the root and the executor stage.
   ASSERT_GE(report.stages.size(), 2u);
   EXPECT_EQ(report.stages[0].name, "query");
+}
+
+TEST(ExplainReport, EngineShardedJobTraceShowsOneRowPerShard) {
+  const SceneFixture f;
+  const TiledArchive archive(f.bands, 16);
+  const ShardedArchive sharded(archive, 3, ShardPolicy::kTileHash);
+  const LinearModel model = hps_risk_model();
+  const ProgressiveLinearModel progressive(model, f.ranges());
+
+  obs::MetricsRegistry registry(4);
+  obs::Tracer tracer(8);
+  EngineConfig config;
+  config.dispatchers = 1;
+  config.intra_query_threads = 2;
+  config.metrics = &registry;
+  config.tracer = &tracer;
+  QueryEngine engine(config);
+
+  ShardedRasterJob job;
+  job.mode = RasterJob::Mode::kCombined;
+  job.sharded = &sharded;
+  job.progressive = &progressive;
+  job.k = 5;
+  job.archive_id = 1;
+  auto outcome = engine.submit(job).get();
+  ASSERT_EQ(outcome.result.merged.status, ResultStatus::kComplete);
+  EXPECT_EQ(outcome.result.shard_status.size(), 3u);
+
+  const auto trace = tracer.latest();
+  ASSERT_NE(trace, nullptr);
+  const auto report = obs::ExplainReport::from_trace(*trace);
+  EXPECT_EQ(report.kind, "sharded_raster");
+  EXPECT_EQ(report.disposition, "complete");
+  EXPECT_TRUE(report.has_efficiency);
+  std::size_t shard_rows = 0;
+  for (const auto& stage : report.stages) {
+    if (stage.name.rfind("shard_", 0) == 0) ++shard_rows;
+  }
+  EXPECT_EQ(shard_rows, 3u);
 }
 
 }  // namespace

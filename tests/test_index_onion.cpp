@@ -7,6 +7,8 @@
 #include <set>
 
 #include "data/tuples.hpp"
+#include "engine/shard_exec.hpp"
+#include "engine/thread_pool.hpp"
 #include "index/onion.hpp"
 #include "index/seqscan.hpp"
 #include "util/matrix.hpp"
@@ -240,6 +242,107 @@ TEST(Onion, ClusteredDataStillExact) {
   CostMeter m1;
   CostMeter m2;
   expect_same_hits(scan_top_k(points, w, 10, m1), index.top_k(w, 10, m2));
+}
+
+// ---------------------------------------------------------------- sharding
+
+TEST(ShardedOnion, SlicesPartitionTheIdDomain) {
+  const TupleSet points = gaussian_tuples(1000, 3, 18);
+  const ShardedOnionIndex sharded(points, 4);
+  ASSERT_EQ(sharded.shard_count(), 4u);
+  EXPECT_EQ(sharded.size(), points.size());
+  std::set<std::uint32_t> seen;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    for (std::uint32_t local = 0; local < sharded.shard(s).size(); ++local) {
+      const std::uint32_t global = sharded.global_id(s, local);
+      EXPECT_TRUE(seen.insert(global).second) << "id owned by two shards";
+      // The slice must hold the exact row of its source tuple.
+      const auto got = sharded.shard(s);
+      (void)got;
+      EXPECT_EQ(global % 4, s);
+    }
+  }
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(ShardedOnion, ShardCountClampedToPointCount) {
+  const TupleSet points = gaussian_tuples(3, 3, 19);
+  const ShardedOnionIndex sharded(points, 8);
+  EXPECT_EQ(sharded.shard_count(), 3u);  // every shard non-empty
+  EXPECT_EQ(sharded.size(), points.size());
+}
+
+// The sharded-index-vs-seqscan oracle: per-shard Onion indexes queried
+// independently and merged must reproduce the brute-force scan over the
+// whole tuple set — serially and on a thread pool.
+TEST(ShardedOnion, MergedShardsMatchSequentialScanOracle) {
+  Rng rng(20);
+  for (const std::size_t n : {50UL, 1000UL, 5000UL}) {
+    const TupleSet points = gaussian_tuples(n, 3, 21 + n);
+    for (const std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+      const ShardedOnionIndex sharded(points, shards);
+      for (int trial = 0; trial < 3; ++trial) {
+        std::vector<double> w(3);
+        for (auto& v : w) v = rng.normal();
+        const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(12));
+        CostMeter scan_meter;
+        const auto expected = scan_top_k(points, w, k, scan_meter);
+
+        QueryContext serial_ctx;
+        CostMeter serial_meter;
+        const OnionTopK serial = sharded.top_k(w, k, serial_ctx, serial_meter);
+        EXPECT_EQ(serial.status, ResultStatus::kComplete);
+        expect_same_hits(expected, serial.hits);
+
+        ThreadPool pool(2);
+        QueryContext pooled_ctx;
+        CostMeter pooled_meter;
+        const OnionTopK pooled = sharded_onion_top_k(sharded, w, k, pooled_ctx, pooled_meter, pool);
+        EXPECT_EQ(pooled.status, ResultStatus::kComplete);
+        expect_same_hits(expected, pooled.hits);
+      }
+    }
+  }
+}
+
+TEST(ShardedOnion, RemappedIdsReproduceTheirScores) {
+  const TupleSet points = gaussian_tuples(2000, 3, 22);
+  const ShardedOnionIndex sharded(points, 4);
+  const std::vector<double> w{0.7, -1.3, 0.4};
+  ThreadPool pool(2);
+  QueryContext ctx;
+  CostMeter meter;
+  const OnionTopK result = sharded_onion_top_k(sharded, w, 10, ctx, meter, pool);
+  ASSERT_EQ(result.hits.size(), 10u);
+  for (const ScoredId& hit : result.hits) {
+    ASSERT_LT(hit.id, points.size());
+    EXPECT_NEAR(hit.score, dot(points.row(hit.id), w), 1e-12);
+  }
+}
+
+TEST(ShardedOnion, BudgetTruncationKeepsSoundBound) {
+  const TupleSet points = gaussian_tuples(5000, 3, 23);
+  const ShardedOnionIndex sharded(points, 4);
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  CostMeter scan_meter;
+  const auto exact = scan_top_k(points, w, 10, scan_meter);
+
+  ThreadPool pool(2);
+  QueryContext ctx;
+  ctx.with_op_budget(64).with_check_interval(1);
+  CostMeter meter;
+  const OnionTopK result = sharded_onion_top_k(sharded, w, 10, ctx, meter, pool);
+  if (result.status != ResultStatus::kComplete) {
+    // Certified hits must be a prefix of the exact ranking.
+    std::size_t certified = 0;
+    while (certified < result.hits.size() && result.hits[certified].score > result.missed_bound) {
+      ++certified;
+    }
+    ASSERT_LE(certified, exact.size());
+    for (std::size_t i = 0; i < certified; ++i) {
+      EXPECT_NEAR(result.hits[i].score, exact[i].score, 1e-12) << "certified rank " << i;
+    }
+  }
 }
 
 }  // namespace

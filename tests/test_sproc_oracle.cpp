@@ -15,6 +15,8 @@
 #include <sstream>
 #include <vector>
 
+#include "engine/shard_exec.hpp"
+#include "engine/thread_pool.hpp"
 #include "sproc/brute.hpp"
 #include "sproc/fast_sproc.hpp"
 #include "sproc/sproc.hpp"
@@ -153,6 +155,55 @@ TEST(SprocOracle, BruteDpAndFastAgreeOnRandomQueries) {
     if (!ok) failing_seeds.push_back(seed);
   }
 
+  if (!failing_seeds.empty()) {
+    std::ostringstream os;
+    os << "failing case seeds:";
+    for (std::uint64_t s : failing_seeds) os << ' ' << s;
+    ADD_FAILURE() << os.str();
+  }
+}
+
+// Sharded-vs-monolithic oracle: partitioning the component-0 item domain
+// across S shards (each slice run by any of the three processors, merged at
+// gather) must reproduce the monolithic brute-force ranking score for score —
+// the slices partition the positive-score candidate space, so nothing can be
+// lost or double-counted.
+TEST(SprocOracle, ShardedScatterGatherMatchesMonolithicBruteForce) {
+  const ShardedSprocProcessor processors[] = {ShardedSprocProcessor::kFastSproc,
+                                              ShardedSprocProcessor::kSproc,
+                                              ShardedSprocProcessor::kBruteForce};
+  std::vector<std::uint64_t> failing_seeds;
+  for (std::uint64_t seed = 0; seed < 80; ++seed) {
+    const OracleCase c = make_case(seed);
+    SCOPED_TRACE(c.describe());
+
+    CostMeter exact_meter;
+    const std::vector<CompositeMatch> exact = brute_force_top_k(c.query, c.k, exact_meter);
+
+    bool ok = true;
+    for (std::size_t shards : {1UL, 2UL, 3UL}) {
+      for (ShardedSprocProcessor processor : processors) {
+        for (std::size_t workers : {0UL, 2UL}) {
+          ThreadPool pool(workers);
+          QueryContext ctx;
+          CostMeter meter;
+          const CompositeTopK result =
+              sharded_composite_top_k(c.query, shards, processor, c.k, ctx, meter, pool);
+          if (result.status != ResultStatus::kComplete &&
+              result.status != ResultStatus::kDegraded) {
+            ADD_FAILURE() << "unbudgeted sharded run truncated (shards=" << shards << ")";
+            ok = false;
+          } else if (!same_scores(exact, result.matches)) {
+            ADD_FAILURE() << "sharded (S=" << shards
+                          << " processor=" << static_cast<int>(processor)
+                          << " workers=" << workers << ") diverges from monolithic brute force";
+            ok = false;
+          }
+        }
+      }
+    }
+    if (!ok) failing_seeds.push_back(seed);
+  }
   if (!failing_seeds.empty()) {
     std::ostringstream os;
     os << "failing case seeds:";
