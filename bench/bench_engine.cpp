@@ -1,6 +1,8 @@
 // E10 — concurrent serving: the QueryEngine under load.
 // E11 — sharded scatter-gather: shard-count sweep of the sharded combined
 //       executor against the serial monolithic reference.
+// E12 — hedged tail latency: p99 of the sharded full scan under injected
+//       slow-shard faults, with and without hedged execution.
 //
 // Sweeps dispatcher threads x admission queue depth x target result-cache
 // hit rate over a fixed stream of combined-executor raster queries, and
@@ -51,8 +53,9 @@ using namespace mmir;
 using namespace mmir::bench;
 
 // Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
-// compare mismatched schemas.  v3 adds the E11 sharded_throughput rows.
-constexpr int kBenchSchemaVersion = 3;
+// compare mismatched schemas.  v3 adds the E11 sharded_throughput rows; v4
+// adds the E12 hedged_tail block.
+constexpr int kBenchSchemaVersion = 4;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -248,8 +251,126 @@ std::vector<ShardedRow> run_sharded_table(const TiledArchive& archive,
   return rows;
 }
 
+// Deterministic slow-shard fault source for E12: a seeded per-(shard,
+// attempt) hash stalls `rate` of all attempts for `delay` — the same
+// schedule ChaosPolicy would produce, kept local so the bench links only
+// mmir_engine.
+class SlowShardChaos final : public ShardChaos {
+ public:
+  SlowShardChaos(std::uint64_t seed, double rate, std::chrono::nanoseconds delay) noexcept
+      : seed_(seed), rate_(rate), delay_(delay) {}
+  [[nodiscard]] ShardFaultAction on_attempt(std::size_t shard, int attempt) noexcept override {
+    const std::uint64_t key = mix64(
+        seed_ ^ mix64(static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(attempt) + 1));
+    ShardFaultAction action;
+    if (static_cast<double>(key >> 11) * 0x1.0p-53 < rate_) {
+      action.kind = ShardFault::kDelay;
+      action.delay = delay_;
+    }
+    return action;
+  }
+
+ private:
+  std::uint64_t seed_;
+  double rate_;
+  std::chrono::nanoseconds delay_;
+};
+
+struct HedgedTailResult {
+  std::size_t shards = 8;
+  std::size_t pool_threads = 4;
+  double fault_rate = 0.05;
+  double nofault_p99_ms = 0.0;
+  double faulted_p99_ms = 0.0;  ///< faults injected, no hedging
+  double hedged_p99_ms = 0.0;   ///< faults injected, hedged execution
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+  [[nodiscard]] double hedged_over_nofault() const {
+    return ratio(hedged_p99_ms, nofault_p99_ms);
+  }
+};
+
+// E12: p99 latency of the sharded full scan when 5% of shard attempts stall
+// for ~10x a clean query, with and without hedged execution.  Each query
+// draws a fresh chaos seed, so ~1 - 0.95^8 = 34% of queries contain at least
+// one slow shard and the p99 is dominated by the stall unless hedging
+// rescues it.  Acceptance (gated by ci/bench_diff.py on multi-core hosts):
+// hedged p99 <= 1.5x the no-fault p99.
+HedgedTailResult run_hedged_tail(const TiledArchive& archive,
+                                 const ProgressiveLinearModel& progressive) {
+  heading("E12: hedged tail latency under slow-shard faults (engine/fault_domain)",
+          "a speculative duplicate of the straggler shard caps the p99 near the clean tail");
+
+  constexpr std::size_t kQueries = 120;
+  constexpr std::size_t kK = 10;
+  HedgedTailResult result;
+  const auto kStall = std::chrono::milliseconds(20);
+  const LinearRasterModel raster(progressive.model());
+  const ShardedArchive sharded(archive, result.shards, ShardPolicy::kRowBands);
+  ThreadPool pool(result.pool_threads - 1);  // workers + the calling thread
+
+  ShardFaultStats hedged_stats;
+  // mode 0: no faults; mode 1: faults, no hedge; mode 2: faults + hedging.
+  const auto run_mode = [&](int mode, ShardFaultStats* stats) {
+    std::vector<std::chrono::nanoseconds> latencies;
+    latencies.reserve(kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      SlowShardChaos chaos(mix64(q * 2654435761ULL + 7), result.fault_rate, kStall);
+      ShardExecOptions options;
+      if (mode >= 1) options.chaos = &chaos;
+      if (mode == 2) {
+        options.policy.hedge = true;
+        options.policy.hedge_delay = std::chrono::microseconds(200);
+      }
+      const ShardExecOptions* opt = mode >= 1 ? &options : nullptr;
+      QueryContext ctx;
+      CostMeter meter;
+      ShardedTopK out;
+      latencies.push_back(timed_ns(
+          [&] { out = sharded_full_scan_top_k(sharded, raster, kK, ctx, meter, pool, opt); }));
+      if (stats != nullptr) {
+        stats->hedges_launched += out.fault_stats.hedges_launched;
+        stats->hedges_won += out.fault_stats.hedges_won;
+      }
+    }
+    return percentile_ms(latencies, 0.99);
+  };
+
+  result.nofault_p99_ms = run_mode(0, nullptr);
+  result.faulted_p99_ms = run_mode(1, nullptr);
+  result.hedged_p99_ms = run_mode(2, &hedged_stats);
+  result.hedges_launched = hedged_stats.hedges_launched;
+  result.hedges_won = hedged_stats.hedges_won;
+
+  std::printf("shards=%zu threads=%zu fault_rate=%.0f%% stall=%lldms queries=%zu\n\n",
+              result.shards, result.pool_threads, 100.0 * result.fault_rate,
+              static_cast<long long>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(kStall).count()),
+              kQueries);
+  std::printf("%24s | %9s\n", "configuration", "p99 ms");
+  std::printf("-----------------------------------------\n");
+  std::printf("%24s | %9.3f\n", "no faults", result.nofault_p99_ms);
+  std::printf("%24s | %9.3f\n", "5% slow shards", result.faulted_p99_ms);
+  std::printf("%24s | %9.3f  (%llu hedges, %llu won)\n", "5% slow shards + hedging",
+              result.hedged_p99_ms,
+              static_cast<unsigned long long>(result.hedges_launched),
+              static_cast<unsigned long long>(result.hedges_won));
+  std::printf("\nhedged p99 / no-fault p99: %.2fx  (acceptance: <= 1.5x on multi-core hosts)\n",
+              result.hedged_over_nofault());
+  std::printf(
+      "shape check: without hedging the p99 absorbs the full injected stall;\n"
+      "with hedging the duplicate leg finishes while the primary sleeps, so\n"
+      "the p99 stays near the clean tail plus the hedge delay.  The clean\n"
+      "no-fault p99 is scheduling-noise sensitive on oversubscribed hosts, so\n"
+      "the 1.5x gate only applies on multi-core hardware.\n");
+  footer();
+  return result;
+}
+
 void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>& sharded_rows,
-                const OverheadResult& overhead, const std::string& metrics_json) {
+                const OverheadResult& overhead, const HedgedTailResult& hedged,
+                const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::printf("! could not open BENCH_engine.json for writing\n");
@@ -281,14 +402,23 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
+               "  \"hedged_tail\": {\"shards\": %zu, \"pool_threads\": %zu, "
+               "\"fault_rate\": %.2f, \"nofault_p99_ms\": %.3f, \"faulted_p99_ms\": %.3f, "
+               "\"hedged_p99_ms\": %.3f, \"hedged_over_nofault\": %.3f, "
+               "\"hedges_launched\": %llu, \"hedges_won\": %llu},\n",
+               hedged.shards, hedged.pool_threads, hedged.fault_rate, hedged.nofault_p99_ms,
+               hedged.faulted_p99_ms, hedged.hedged_p99_ms, hedged.hedged_over_nofault(),
+               static_cast<unsigned long long>(hedged.hedges_launched),
+               static_cast<unsigned long long>(hedged.hedges_won));
+  std::fprintf(f,
                "  \"tracing_overhead\": {\"qps_noop\": %.1f, \"qps_traced\": %.1f, "
                "\"overhead_pct\": %.2f},\n",
                overhead.qps_noop, overhead.qps_traced, overhead.overhead_pct());
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
   std::fclose(f);
   std::printf(
-      "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + tracing overhead "
-      "+ metrics dump)\n",
+      "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + hedged tail "
+      "+ tracing overhead + metrics dump)\n",
       rows.size(), sharded_rows.size());
 }
 
@@ -352,8 +482,10 @@ void run_table() {
   }
 
   const std::vector<ShardedRow> sharded_rows = run_sharded_table(archive, progressive);
+  const HedgedTailResult hedged = run_hedged_tail(archive, progressive);
   const OverheadResult overhead = run_overhead_check(archive, progressive);
-  write_json(rows, sharded_rows, overhead, obs::DumpMetrics(registry, obs::DumpFormat::kJson));
+  write_json(rows, sharded_rows, overhead, hedged,
+             obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }
 

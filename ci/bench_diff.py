@@ -10,6 +10,13 @@ candidate regresses by more than the threshold (default 15%) on either:
   * E11  — the best qps across the sharded scatter-gather shard-count sweep
            (sharded_throughput rows; schema_version >= 3).
 
+It also enforces the E12 hedged-tail acceptance bound on the *candidate*
+alone (schema_version >= 4): under injected 5% slow-shard faults, the hedged
+p99 must stay within 1.5x the no-fault p99.  This is an absolute property of
+hedged execution, not a diff, so it needs no baseline — but it only holds
+where a speculative duplicate can actually run in parallel, so hosts with
+hardware_concurrency below 4 report it without gating.
+
 Both files must carry the same schema_version (stamped by bench_engine along
 with git_commit and build_flags); mismatched schemas exit 2 rather than
 producing a bogus comparison.  A missing *baseline* file is not an error —
@@ -53,6 +60,27 @@ def e11_best_sharded_qps(doc: dict) -> float:
     if not rows:
         raise ValueError("no sharded_throughput rows")
     return max(float(row["qps"]) for row in rows)
+
+
+HEDGED_TAIL_LIMIT = 1.5  # E12 acceptance: hedged p99 <= 1.5x no-fault p99
+
+
+def hedged_tail_regressed(doc: dict) -> bool:
+    """E12 absolute gate on the candidate; returns True when it fails."""
+    tail = doc.get("hedged_tail")
+    if not tail:
+        raise ValueError("no hedged_tail block")
+    ratio = float(tail["hedged_over_nofault"])
+    hw = int(doc.get("hardware_concurrency", 0))
+    gated = hw >= 4
+    verdict = "FAIL" if gated and ratio > HEDGED_TAIL_LIMIT else "ok"
+    note = "" if gated else f" (not gated: hardware_concurrency {hw} < 4)"
+    print(
+        f"E12 hedged tail: p99 {tail['hedged_p99_ms']:.3f}ms vs no-fault "
+        f"{tail['nofault_p99_ms']:.3f}ms = {ratio:.2f}x "
+        f"(limit {HEDGED_TAIL_LIMIT:.1f}x) [{verdict}]{note}"
+    )
+    return gated and ratio > HEDGED_TAIL_LIMIT
 
 
 def check(name: str, base: float, cand: float, threshold: float) -> bool:
@@ -125,6 +153,11 @@ def main() -> int:
                 e11_best_sharded_qps(cand),
                 args.threshold,
             )
+        # E12 lands with schema_version 4: an absolute bound on the candidate
+        # (hedging must cap the faulted tail), skipped on few-core hosts where
+        # the duplicate leg cannot overlap the straggler.
+        if isinstance(cand_schema, int) and cand_schema >= 4:
+            failed |= hedged_tail_regressed(cand)
     except (KeyError, ValueError) as err:
         print(f"malformed bench json: {err}", file=sys.stderr)
         return 2

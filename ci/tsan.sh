@@ -9,8 +9,11 @@
 # scatter-gather suites — the gather/merge step and the cross-shard shared
 # pruning threshold are the race surface (test_shard_parity drives pool
 # workers over shared QueryContext budgets; test_shard_merge, the sharded
-# onion/SPROC oracles and the per-shard EXPLAIN spans ride along).  Any race
-# report fails the run.
+# onion/SPROC oracles and the per-shard EXPLAIN spans ride along).  The
+# chaos battery (ctest -L chaos) runs under TSan too: hedged duplicate legs
+# racing the primary through the winner CAS, leg cancellation flags, and the
+# urgent-lane thread pool are exactly the interleavings TSan is for.  Any
+# race report fails the run.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,8 +26,9 @@ cmake --build "${BUILD}" -j"$(nproc)" \
   --target test_engine test_parallel_exec test_fault_injection test_core \
            test_obs_concurrency test_export test_aggregate test_stats_server \
            test_shard_parity test_shard_merge test_index_onion \
-           test_sproc_oracle test_explain
+           test_sproc_oracle test_explain test_chaos
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
   -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain'
+ctest --test-dir "${BUILD}" --output-on-failure -L chaos

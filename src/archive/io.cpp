@@ -130,7 +130,10 @@ template <typename Load>
 auto with_retry(const std::string& path, const RetryPolicy& policy, Load&& load) {
   MMIR_EXPECTS(policy.max_attempts >= 1);
   io_metrics().reads.add();
-  ExponentialBackoff backoff(policy);
+  // Jitter stream keyed by the path: retries of the same file replay the
+  // same (seeded) delay sequence, while concurrent retries of different
+  // shards' files desynchronize instead of thundering back in lockstep.
+  ExponentialBackoff backoff(policy, fnv1a(path.data(), path.size()));
   for (int attempt = 0;; ++attempt) {
     try {
       if (g_read_fault_hook) g_read_fault_hook(path, attempt);

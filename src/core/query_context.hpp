@@ -91,6 +91,20 @@ class QueryContext {
     return *this;
   }
 
+  /// Chains this context under `parent`: every charge is forwarded to the
+  /// parent first, so the *global* budget/deadline/cancel envelope stays
+  /// exactly enforced across any number of children, and a parent stop
+  /// latches the parent's reason here so inner loops unwind with the global
+  /// verdict.  The child may add its own (tighter) deadline and cancel flag
+  /// — the per-shard sub-deadline and hedge-cancellation seams of the shard
+  /// fault domains (engine/fault_domain.hpp).  The parent must outlive the
+  /// child; work charged by a child that is later discarded (a failed shard
+  /// attempt) stays charged to the parent — the work was really done.
+  QueryContext& with_parent(QueryContext* parent) noexcept {
+    parent_ = parent;
+    return *this;
+  }
+
   /// Binds the query's trace span: executors hang their stage spans off it
   /// (obs::Span::child_of(ctx.span(), ...)), and the first charge failure
   /// notes the latched stop reason on it.  The span must outlive the
@@ -122,6 +136,10 @@ class QueryContext {
   /// Safe to call concurrently from multiple workers (see header comment).
   [[nodiscard]] bool charge(std::uint64_t units = 1) noexcept {
     if (stop_.load(std::memory_order_relaxed) != ResultStatus::kComplete) return false;
+    if (parent_ != nullptr && !parent_->charge(units)) {
+      latch(parent_->stop_reason());
+      return false;
+    }
     const std::uint64_t spent = spent_.fetch_add(units, std::memory_order_relaxed) + units;
     if (spent > budget_) {
       latch(ResultStatus::kTruncatedBudget);
@@ -139,6 +157,10 @@ class QueryContext {
   /// workflow iterations).  Latches like charge().
   [[nodiscard]] bool expired() noexcept {
     if (stop_.load(std::memory_order_relaxed) != ResultStatus::kComplete) return true;
+    if (parent_ != nullptr && parent_->expired()) {
+      latch(parent_->stop_reason());
+      return true;
+    }
     if (spent_.load(std::memory_order_relaxed) > budget_) {
       latch(ResultStatus::kTruncatedBudget);
       return true;
@@ -158,7 +180,9 @@ class QueryContext {
   }
 
   /// Records `n` poisoned (non-finite) data points skipped during evaluation.
+  /// Forwarded to the parent (when chained) so the global tally is complete.
   void note_bad_points(std::uint64_t n = 1) noexcept {
+    if (parent_ != nullptr) parent_->note_bad_points(n);
     bad_points_.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t bad_points() const noexcept {
@@ -227,6 +251,7 @@ class QueryContext {
   std::uint64_t check_interval_ = 1024;
   std::chrono::steady_clock::time_point deadline_{};
   const std::atomic<bool>* cancel_ = nullptr;
+  QueryContext* parent_ = nullptr;
   bool has_deadline_ = false;
 
   // Execution state: shared by workers, relaxed atomics (see header comment).

@@ -1,6 +1,7 @@
 #include "engine/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "obs/stats_server.hpp"
@@ -69,6 +70,27 @@ QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
     obs::StatsSources sources;
     sources.metrics = config_.metrics;
     sources.tracer = config_.tracer;
+    // Safe to capture `this`: the destructor stops the server before any
+    // engine member is torn down.
+    sources.health = [this] {
+      const EngineHealth h = health();
+      obs::HealthReport report;
+      report.ok = !h.degraded;
+      report.lines.reserve(h.layouts.size());
+      for (const ShardLayoutHealth& layout : h.layouts) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "layout=0x%llx shards=%zu executions=%llu timeouts=%llu hedges=%llu "
+                      "failed_shards=%llu",
+                      static_cast<unsigned long long>(layout.layout_tag), layout.shard_count,
+                      static_cast<unsigned long long>(layout.executions),
+                      static_cast<unsigned long long>(layout.timeouts),
+                      static_cast<unsigned long long>(layout.hedges),
+                      static_cast<unsigned long long>(layout.failed_shards));
+        report.lines.emplace_back(line);
+      }
+      return report;
+    };
     stats_server_ = std::make_unique<obs::StatsServer>(sources);
     stats_server_->start(static_cast<std::uint16_t>(config_.stats_port));
   }
@@ -131,6 +153,38 @@ CacheStats QueryEngine::result_cache_stats() const {
 
 CacheStats QueryEngine::tile_cache_stats() const {
   return tile_cache_ ? tile_cache_->stats() : CacheStats{};
+}
+
+void QueryEngine::record_shard_health(std::uint64_t layout_tag, const ShardFaultStats& stats) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_window_.size() >= kHealthWindow) health_window_.pop_front();
+  health_window_.push_back(
+      {layout_tag, stats.timeouts, stats.hedges_launched, stats.failed_shards});
+}
+
+EngineHealth QueryEngine::health() const {
+  EngineHealth out;
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  for (const ShardHealthEvent& event : health_window_) {
+    auto it = std::find_if(out.layouts.begin(), out.layouts.end(), [&](const auto& l) {
+      return l.layout_tag == event.layout_tag;
+    });
+    if (it == out.layouts.end()) {
+      ShardLayoutHealth layout;
+      layout.layout_tag = event.layout_tag;
+      // layout_tag is ((policy + 1) << 24) | shard_count (archive/sharded.hpp).
+      layout.shard_count = static_cast<std::size_t>(event.layout_tag & 0xFFFFFFu);
+      it = out.layouts.insert(out.layouts.end(), layout);
+    }
+    ++it->executions;
+    it->timeouts += event.timeouts;
+    it->hedges += event.hedges;
+    it->failed_shards += event.failed_shards;
+    if (event.timeouts > 0 || event.failed_shards > 0) out.degraded = true;
+  }
+  std::sort(out.layouts.begin(), out.layouts.end(),
+            [](const auto& a, const auto& b) { return a.layout_tag < b.layout_tag; });
+  return out;
 }
 
 int QueryEngine::stats_port() const noexcept {
@@ -428,16 +482,25 @@ std::future<ShardedRasterOutcome> QueryEngine::submit(ShardedRasterJob job) {
           out.meter.add_cache_misses();
         }
 
+        // The engine-wide fault envelope: per-shard sub-deadlines, retries,
+        // hedging, chaos injection.  Inactive options pass through to the
+        // plain scatter-gather path unchanged.
+        ShardExecOptions shard_options;
+        shard_options.policy = config_.shard_fault_policy;
+        shard_options.chaos = config_.shard_chaos;
+        shard_options.metrics = config_.metrics;
+        const ShardExecOptions* options = shard_options.active() ? &shard_options : nullptr;
+
         exec::TileBounds tb;
         const exec::TileBounds* precomputed = nullptr;
         switch (job.mode) {
           case RasterJob::Mode::kFullScan:
             out.result = sharded_full_scan_top_k(sharded, *job.model, job.k, ctx, out.meter,
-                                                 *exec_pool_);
+                                                 *exec_pool_, options);
             break;
           case RasterJob::Mode::kProgressiveModel:
             out.result = sharded_progressive_model_top_k(sharded, *job.progressive, job.k, ctx,
-                                                         out.meter, *exec_pool_);
+                                                         out.meter, *exec_pool_, options);
             break;
           case RasterJob::Mode::kTileScreened:
             if (cached_tile_bounds(archive, job.archive_id, &sharded, *job.model, fp, tb,
@@ -445,7 +508,7 @@ std::future<ShardedRasterOutcome> QueryEngine::submit(ShardedRasterJob job) {
               precomputed = &tb;
             }
             out.result = sharded_tile_screened_top_k(sharded, *job.model, job.k, ctx, out.meter,
-                                                     *exec_pool_, precomputed);
+                                                     *exec_pool_, precomputed, options);
             break;
           case RasterJob::Mode::kCombined: {
             const LinearRasterModel screen(job.progressive->model());
@@ -453,13 +516,20 @@ std::future<ShardedRasterOutcome> QueryEngine::submit(ShardedRasterJob job) {
                                    out.meter)) {
               precomputed = &tb;
             }
-            out.result = sharded_progressive_combined_top_k(
-                sharded, *job.progressive, job.k, ctx, out.meter, *exec_pool_, precomputed);
+            out.result = sharded_progressive_combined_top_k(sharded, *job.progressive, job.k,
+                                                            ctx, out.meter, *exec_pool_,
+                                                            precomputed, options);
             break;
           }
         }
+        if (options != nullptr) {
+          record_shard_health(sharded.layout_tag(), out.result.fault_stats);
+        }
 
-        if (cacheable && !is_truncated(out.result.merged.status)) {
+        // A fault-widened (degraded) merge is also inadmissible: the widened
+        // bound is an artifact of this execution's faults, not of the data.
+        if (cacheable && !is_truncated(out.result.merged.status) &&
+            !out.result.fault_stats.any_fault()) {
           result_cache_->put(key, std::make_shared<const RasterTopK>(out.result.merged));
         }
       });

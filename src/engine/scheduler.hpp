@@ -79,6 +79,14 @@ struct EngineConfig {
   /// overhead; 0 binds an ephemeral port (read it back via stats_port());
   /// >0 binds that port.  The server only listens on 127.0.0.1.
   int stats_port = -1;
+  /// Per-shard fault envelope applied to every ShardedRasterJob
+  /// (engine/fault_domain.hpp): sub-deadline, attempt budget, hedging.  The
+  /// inert default keeps the plain scatter-gather path byte-for-byte.
+  ShardFaultPolicy shard_fault_policy{};
+  /// Deterministic chaos source injected into sharded executions (borrowed,
+  /// must outlive the engine; null = no injection).  The test seam for the
+  /// chaos battery — testing::ChaosPolicy is the canonical implementation.
+  ShardChaos* shard_chaos = nullptr;
 };
 
 /// Shared fields of every job type.
@@ -180,6 +188,25 @@ struct CompositeOutcome : OutcomeInfo {
   CompositeTopK result;
 };
 
+/// Rolling fault-domain health of one shard layout (archive/sharded.hpp
+/// layout_tag()), aggregated over the engine's recent-executions window.
+struct ShardLayoutHealth {
+  std::uint64_t layout_tag = 0;
+  std::size_t shard_count = 0;     ///< decoded from the tag
+  std::uint64_t executions = 0;    ///< sharded runs of this layout in the window
+  std::uint64_t timeouts = 0;      ///< per-shard sub-deadlines tripped
+  std::uint64_t hedges = 0;        ///< hedge duplicates launched
+  std::uint64_t failed_shards = 0; ///< shards that contributed nothing
+};
+
+/// Engine health verdict for /healthz: degraded when any recent sharded
+/// execution tripped a shard timeout or lost a shard outright (hedges alone
+/// do not degrade — a hedge that rescued a straggler is the system working).
+struct EngineHealth {
+  bool degraded = false;
+  std::vector<ShardLayoutHealth> layouts;  ///< sorted by layout_tag
+};
+
 /// Snapshot of engine counters.
 struct EngineStats {
   std::uint64_t submitted = 0;  ///< jobs offered (admitted + shed)
@@ -219,6 +246,10 @@ class QueryEngine {
   [[nodiscard]] CacheStats result_cache_stats() const;
   [[nodiscard]] CacheStats tile_cache_stats() const;
 
+  /// Fault-domain health over the last kHealthWindow sharded executions,
+  /// aggregated per shard layout; feeds the stats server's /healthz.
+  [[nodiscard]] EngineHealth health() const;
+
   /// Actual TCP port of the embedded stats server (useful with
   /// EngineConfig::stats_port = 0), or -1 when the server is off.
   [[nodiscard]] int stats_port() const noexcept;
@@ -243,6 +274,10 @@ class QueryEngine {
   /// once per completed query (never per pixel) so the gauges track load
   /// without adding hot-path work.
   void refresh_cache_gauges();
+
+  /// Appends one sharded execution's fault events to the rolling health
+  /// window (bounded at kHealthWindow; oldest evicted).
+  void record_shard_health(std::uint64_t layout_tag, const ShardFaultStats& stats);
 
   RasterOutcome run_raster(const RasterJob& job, QueryContext& ctx);
   /// Per-tile screening bounds via the tile cache; falls back to computing
@@ -286,6 +321,19 @@ class QueryEngine {
   obs::Gauge result_cache_entries_gauge_;
   obs::Gauge tile_cache_hit_ppm_gauge_;
   obs::Gauge tile_cache_entries_gauge_;
+
+  // Rolling fault-domain window: one event per sharded execution, newest at
+  // the back.  Small (kHealthWindow) and touched once per query, so a plain
+  // mutex is fine.
+  struct ShardHealthEvent {
+    std::uint64_t layout_tag = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t hedges = 0;
+    std::uint64_t failed_shards = 0;
+  };
+  static constexpr std::size_t kHealthWindow = 256;
+  mutable std::mutex health_mutex_;
+  std::deque<ShardHealthEvent> health_window_;
 
   std::vector<std::thread> dispatchers_;
   std::unique_ptr<obs::StatsServer> stats_server_;

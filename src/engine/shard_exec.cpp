@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sproc/brute.hpp"
 #include "sproc/fast_sproc.hpp"
 #include "sproc/sproc.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
 
 namespace mmir {
 
@@ -103,15 +110,440 @@ void annotate_result(const obs::Span& span, const RasterTopK& out, const CostMet
   span.note("status", to_string(out.status));
 }
 
+// --------------------------------------------------------------- fault domains
+//
+// When a ShardExecOptions with an active policy/chaos hook is threaded in,
+// each shard runs as an independent fault domain (see engine/fault_domain.hpp
+// and DESIGN.md §6f): per-attempt child QueryContexts chained under the
+// query's global context carry the per-shard sub-deadline and the hedge
+// cancellation flag; transient failures retry under jittered capped backoff;
+// straggler shards optionally get a hedged duplicate through the pool's
+// urgent lane.  A shard that exhausts its attempts is folded into the merge
+// as kDegraded with its whole-shard bound — widening the merged missed bound
+// shortens the certified prefix but never corrupts it.
+
+/// One execution leg (primary or hedge duplicate) of one shard.  The leg's
+/// task is the only writer until the completion handshake publishes it to
+/// the gather; `cancel` is the cross-leg seam (set by the sibling's winning
+/// CAS, read through the leg's child context).
+struct LegState {
+  explicit LegState(std::size_t k) : run(k) {}
+  ShardRun run;
+  std::atomic<bool> cancel{false};
+  bool ok = false;       ///< produced a usable (possibly widened) partial
+  bool clean = false;    ///< ok with no fault-driven widening
+  std::uint32_t attempts = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t faults = 0;
+  ShardFault last_fault = ShardFault::kNone;
+  bool widened = false;  ///< missed bound widened by timeout / fault
+};
+
+/// Both legs of one shard plus the first-clean-result-wins race state.
+/// Holds atomics, so slots are heap-allocated (vector elements must move).
+struct ShardSlot {
+  explicit ShardSlot(std::size_t k) : primary(k), hedge(k) {}
+  LegState primary;
+  LegState hedge;
+  std::atomic<bool> primary_finished{false};  ///< release-published leg fields
+  std::atomic<int> winner{-1};                ///< leg id of the first clean finisher
+  bool hedge_launched = false;                ///< coordinator-thread only
+};
+
+const char* fault_name(ShardFault fault) {
+  switch (fault) {
+    case ShardFault::kDelay:
+      return "delay";
+    case ShardFault::kFail:
+      return "fail";
+    case ShardFault::kCorrupt:
+      return "corrupt";
+    case ShardFault::kNone:
+      break;
+  }
+  return "none";
+}
+
+/// Sleeps up to `total`, waking early when the leg is cancelled, the global
+/// context stopped, or the attempt's sub-context expired — an injected delay
+/// or retry backoff must never stall the query past its envelope or defeat
+/// hedge cancellation.  Polling in slices keeps this dependency-free (no
+/// per-leg condition variable); 100us granularity is far below any
+/// meaningful shard timeout.
+void interruptible_wait(std::chrono::nanoseconds total, const std::atomic<bool>& cancel,
+                        QueryContext& global, QueryContext* sub) {
+  const auto deadline = std::chrono::steady_clock::now() + total;
+  constexpr auto kSlice = std::chrono::microseconds(100);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel.load(std::memory_order_relaxed)) return;
+    if (global.stopped()) return;
+    if (sub != nullptr && sub->expired()) return;
+    std::this_thread::sleep_for(kSlice);
+  }
+}
+
+/// The per-leg EXPLAIN row: the plain shard counters plus the fault-domain
+/// events the leg observed.
+void annotate_leg(const obs::Span& span, const ShardInfo& shard, const LegState& leg) {
+  annotate_shard(span, shard, leg.run);
+  if (!span.active()) return;
+  span.annotate("attempts", static_cast<double>(leg.attempts));
+  span.annotate("timeouts", static_cast<double>(leg.timeouts));
+  span.annotate("faults_injected", static_cast<double>(leg.faults));
+  span.annotate("bound_widened", leg.widened ? 1.0 : 0.0);
+  if (leg.last_fault != ShardFault::kNone) span.note("fault", fault_name(leg.last_fault));
+  if (!leg.ok) span.note("leg_outcome", "dead");
+}
+
+void publish_fault_metrics(obs::MetricsRegistry* registry, const ShardFaultStats& stats) {
+  if (registry == nullptr) return;
+  registry->counter("engine_shard_attempts_total").add(stats.attempts);
+  registry->counter("engine_shard_retries_total").add(stats.retries);
+  registry->counter("engine_shard_timeouts_total").add(stats.timeouts);
+  registry->counter("engine_shard_faults_injected_total").add(stats.faults_injected);
+  registry->counter("engine_shard_hedges_total").add(stats.hedges_launched);
+  registry->counter("engine_shard_hedge_wins_total").add(stats.hedges_won);
+  registry->counter("engine_shard_bounds_widened_total").add(stats.bounds_widened);
+  registry->counter("engine_shard_failed_total").add(stats.failed_shards);
+}
+
+/// Fault-domain scatter-gather: same merge contract as the plain skeleton,
+/// with per-shard attempt loops and (optionally) hedged duplicates.  With
+/// zero injected faults every leg completes cleanly on its first attempt and
+/// the result is byte-identical to the plain path: child contexts forward
+/// every charge to the same global envelope, the shared threshold only ever
+/// receives sound K-th-best values, and the gather walks shards in id order.
+template <typename ShardScan, typename ShardBound>
+ShardedTopK scatter_gather_faulted(const ShardedArchive& sharded, const char* stage,
+                                   std::size_t k, std::uint64_t model_terms, QueryContext& ctx,
+                                   CostMeter& meter, ThreadPool& pool,
+                                   const ShardExecOptions& options, ShardScan&& scan_shard,
+                                   ShardBound&& shard_bound) {
+  ScopedTimer timer(meter);
+  obs::Span span = obs::Span::child_of(ctx.span(), stage);
+  const ShardFaultPolicy& policy = options.policy;
+  const std::size_t count = sharded.shard_count();
+  std::vector<std::unique_ptr<ShardSlot>> slots;
+  slots.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) slots.push_back(std::make_unique<ShardSlot>(k));
+  SharedThreshold shared;
+
+  const int max_attempts = std::max(1, policy.max_attempts);
+  RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  retry.initial_backoff = policy.retry_initial_backoff;
+  retry.max_backoff = policy.retry_max_backoff;
+  retry.jitter_seed = policy.jitter_seed;
+
+  // One leg's attempt loop.  Every attempt gets a fresh child context chained
+  // under the global one: charges stay globally exact, a global stop latches
+  // through, and the child adds the per-shard sub-deadline plus this leg's
+  // cancel flag.  Work charged by attempts that are later discarded stays
+  // charged — the work was really done.
+  const auto run_leg = [&](std::size_t s, int leg_id, LegState& leg, ShardSlot& slot) {
+    const ShardInfo& shard = sharded.shard(s);
+    if (shard.tiles.empty()) {
+      leg.ok = true;
+      leg.clean = true;
+      return;
+    }
+    // Distinct jitter stream per (shard, leg) so concurrent retries spread.
+    ExponentialBackoff backoff(retry,
+                               mix64(static_cast<std::uint64_t>(s) * 2 +
+                                     static_cast<std::uint64_t>(leg_id)));
+    const int attempt_base = leg_id == 0 ? 0 : kHedgeAttemptBase;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (leg.cancel.load(std::memory_order_relaxed)) return;  // sibling won
+      if (ctx.stopped()) {
+        // Global envelope closed before this attempt: the shard counts as
+        // never examined by this leg (prior partials were discarded).
+        leg.run = ShardRun(k);
+        leg.run.status = ctx.stop_reason();
+        leg.run.missed_bound = shard_bound(shard);
+        leg.ok = true;
+        return;
+      }
+      ++leg.attempts;
+      if (attempt > 0) leg.run = ShardRun(k);  // retry scans from scratch
+
+      ShardFaultAction action;
+      if (options.chaos != nullptr) {
+        action = options.chaos->on_attempt(s, attempt_base + attempt);
+        if (action.kind != ShardFault::kNone) {
+          ++leg.faults;
+          leg.last_fault = action.kind;
+        }
+      }
+
+      QueryContext sub;
+      sub.with_parent(&ctx).with_cancel_flag(&leg.cancel).with_check_interval(128);
+      if (policy.shard_timeout.count() > 0) sub.with_timeout(policy.shard_timeout);
+
+      bool discarded = false;
+      bool scanned = false;
+      if (action.kind == ShardFault::kDelay) {
+        interruptible_wait(action.delay, leg.cancel, ctx, &sub);
+      } else if (action.kind == ShardFault::kFail) {
+        discarded = true;
+      }
+      if (!discarded && !sub.expired()) {
+        scan_shard(shard, leg.run, shared, sub);
+        scanned = true;
+        if (action.kind == ShardFault::kCorrupt) discarded = true;
+      }
+
+      if (discarded) {
+        if (ctx.stopped()) {
+          leg.run = ShardRun(k);
+          leg.run.status = ctx.stop_reason();
+          leg.run.missed_bound = shard_bound(shard);
+          leg.ok = true;
+          return;
+        }
+        if (attempt + 1 >= max_attempts) return;  // leg dead: attempts exhausted
+        interruptible_wait(backoff.next_delay(), leg.cancel, ctx, nullptr);
+        continue;
+      }
+
+      if (scanned && !sub.stopped()) {
+        // Clean completion: first clean leg wins the shard and cancels the
+        // sibling so a still-running duplicate unwinds promptly.
+        leg.ok = true;
+        leg.clean = true;
+        int expected = -1;
+        if (slot.winner.compare_exchange_strong(expected, leg_id, std::memory_order_relaxed)) {
+          (leg_id == 0 ? slot.hedge : slot.primary).cancel.store(true, std::memory_order_relaxed);
+        }
+        return;
+      }
+
+      // The sub-context stopped: a global stop, a lost hedge race, or this
+      // shard's own sub-deadline.
+      if (ctx.stopped()) {
+        // Global verdict; the scan kernel (if it ran) already recorded the
+        // latched reason and a sound bound.
+        if (!scanned) {
+          leg.run.status = ctx.stop_reason();
+          leg.run.missed_bound = shard_bound(shard);
+        }
+        leg.ok = true;
+        return;
+      }
+      if (sub.stop_reason() == ResultStatus::kCancelled) return;  // hedge race lost
+      // Per-shard timeout.  Retry while attempts remain; otherwise keep the
+      // partial, remapped onto the Degraded lane with a widened bound (a
+      // truncated status here would poison the whole merge — the fault is
+      // local to this shard).
+      ++leg.timeouts;
+      if (attempt + 1 < max_attempts) {
+        interruptible_wait(backoff.next_delay(), leg.cancel, ctx, nullptr);
+        continue;
+      }
+      if (!scanned || leg.run.missed_bound == kNegInf) {
+        leg.run.missed_bound = shard_bound(shard);
+      }
+      leg.run.status = ResultStatus::kDegraded;
+      leg.widened = true;
+      leg.ok = true;
+      return;
+    }
+  };
+
+  const bool hedging = policy.hedge && pool.worker_count() > 0;
+  if (!hedging) {
+    pool.parallel_for(0, count, 1, [&](std::size_t s0, std::size_t s1, std::size_t) {
+      for (std::size_t s = s0; s < s1; ++s) {
+        ShardSlot& slot = *slots[s];
+        const std::string name = "shard_" + std::to_string(s);
+        obs::Span shard_span = obs::Span::child_of(&span, name);
+        run_leg(s, 0, slot.primary, slot);
+        annotate_leg(shard_span, sharded.shard(s), slot.primary);
+      }
+    });
+  } else {
+    // Hedged execution runs a coordinator on the caller: primaries go to the
+    // pool, and once hedge_delay elapses every shard that has not finished
+    // cleanly gets a speculative duplicate through the urgent lane (a hedge
+    // queued behind the backlog that made the primary straggle would be
+    // useless).  Tasks decrement their counter and notify while holding the
+    // mutex, so the coordinator cannot destroy the cv between a task's
+    // unlock and its notify.
+    std::mutex wait_mutex;
+    std::condition_variable wait_cv;
+    std::size_t primaries_left = count;
+    std::size_t hedges_left = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      pool.submit([&, s] {
+        {
+          ShardSlot& slot = *slots[s];
+          const std::string name = "shard_" + std::to_string(s);
+          obs::Span shard_span = obs::Span::child_of(&span, name);
+          run_leg(s, 0, slot.primary, slot);
+          annotate_leg(shard_span, sharded.shard(s), slot.primary);
+          slot.primary_finished.store(true, std::memory_order_release);
+        }
+        std::lock_guard<std::mutex> lock(wait_mutex);
+        --primaries_left;
+        wait_cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(wait_mutex);
+      wait_cv.wait_until(lock, std::chrono::steady_clock::now() + policy.hedge_delay,
+                         [&] { return primaries_left == 0; });
+    }
+    for (std::size_t s = 0; s < count && !ctx.stopped(); ++s) {
+      ShardSlot& slot = *slots[s];
+      if (sharded.shard(s).tiles.empty()) continue;
+      if (slot.primary_finished.load(std::memory_order_acquire) && slot.primary.clean) continue;
+      slot.hedge_launched = true;
+      {
+        std::lock_guard<std::mutex> lock(wait_mutex);
+        ++hedges_left;
+      }
+      pool.submit_urgent([&, s] {
+        {
+          ShardSlot& hedge_slot = *slots[s];
+          // Skip if the primary won (or the query died) while this hedge
+          // waited in the queue; the launch still counts as a hedge.
+          if (hedge_slot.winner.load(std::memory_order_relaxed) == -1 && !ctx.stopped()) {
+            const std::string name = "shard_" + std::to_string(s) + "_hedge";
+            obs::Span shard_span = obs::Span::child_of(&span, name);
+            run_leg(s, 1, hedge_slot.hedge, hedge_slot);
+            annotate_leg(shard_span, sharded.shard(s), hedge_slot.hedge);
+            if (shard_span.active()) shard_span.note("leg", "hedge");
+          }
+        }
+        std::lock_guard<std::mutex> lock(wait_mutex);
+        --hedges_left;
+        wait_cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> lock(wait_mutex);
+    wait_cv.wait(lock, [&] { return primaries_left == 0 && hedges_left == 0; });
+  }
+
+  // Gather in shard-id order (deterministic regardless of leg interleaving).
+  // Leg preference: clean primary > clean hedge > widened primary > widened
+  // hedge > dead.  Preferring the primary on a clean/clean tie keeps the
+  // result independent of which leg happened to finish first; only the
+  // chosen leg's meter and counters merge, so a cancelled duplicate's work
+  // never double-counts into the answer (the global budget did see it — the
+  // work was really done — but the merged top-K sees exactly one partial per
+  // shard).
+  ShardFaultStats stats;
+  std::vector<ShardPartial> partials;
+  partials.reserve(count);
+  std::uint64_t pixels_visited = 0;
+  std::uint64_t scan_ops = 0;
+  std::size_t live_shards = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    ShardSlot& slot = *slots[s];
+    const ShardInfo& shard = sharded.shard(s);
+    if (!shard.tiles.empty()) ++live_shards;
+    stats.attempts += slot.primary.attempts + slot.hedge.attempts;
+    if (slot.primary.attempts > 1) stats.retries += slot.primary.attempts - 1;
+    if (slot.hedge.attempts > 1) stats.retries += slot.hedge.attempts - 1;
+    stats.timeouts += slot.primary.timeouts + slot.hedge.timeouts;
+    stats.faults_injected += slot.primary.faults + slot.hedge.faults;
+    if (slot.hedge_launched) ++stats.hedges_launched;
+
+    LegState* pick = nullptr;
+    bool hedge_pick = false;
+    if (slot.primary.clean) {
+      pick = &slot.primary;
+    } else if (slot.hedge.clean) {
+      pick = &slot.hedge;
+      hedge_pick = true;
+    } else if (slot.primary.ok) {
+      pick = &slot.primary;
+    } else if (slot.hedge.ok) {
+      pick = &slot.hedge;
+      hedge_pick = true;
+    }
+    if (hedge_pick) ++stats.hedges_won;
+
+    ShardPartial partial;
+    partial.shard_id = s;
+    if (pick != nullptr) {
+      ShardRun& run = pick->run;
+      partial.result.hits = exec::finalize(run.top);
+      partial.result.status = run.status;
+      partial.result.missed_bound = run.missed_bound;
+      partial.result.bad_points = run.tally.bad_points;
+      partial.pixels_visited = run.tally.pixels;
+      partial.tiles_scanned = run.tiles_scanned;
+      partial.tiles_pruned = run.tiles_pruned;
+      meter.merge(run.meter);
+      pixels_visited += run.tally.pixels;
+      scan_ops += run.scan_ops;
+      if (pick->widened) {
+        ++stats.bounds_widened;
+        ++stats.degraded_shards;
+      }
+    } else {
+      // Both legs dead: the shard contributed nothing.  An empty partial
+      // with the whole-shard bound is still sound — the merge widens and
+      // the certified prefix shortens accordingly.
+      partial.result.status = ResultStatus::kDegraded;
+      partial.result.missed_bound = shard_bound(shard);
+      ++stats.failed_shards;
+      ++stats.bounds_widened;
+      ++stats.degraded_shards;
+    }
+    partials.push_back(std::move(partial));
+  }
+
+  ShardedTopK out;
+  out.merged = merge_shard_partials(partials, k);
+  out.shard_status.reserve(count);
+  for (const ShardPartial& partial : partials) out.shard_status.push_back(partial.result.status);
+  out.fault_stats = stats;
+  if (live_shards > 0 && stats.failed_shards == live_shards) {
+    // Every live shard died: nothing was examined anywhere, which is load
+    // shedding in effect — surface it as such, not as a degraded answer with
+    // a merely-finite bound.
+    out.merged.status = ResultStatus::kShed;
+    out.merged.missed_bound = kPosInf;
+  }
+  annotate_efficiency(span, sharded.archive(), model_terms, pixels_visited, scan_ops);
+  annotate_result(span, out.merged, meter, count);
+  publish_fault_metrics(options.metrics, stats);
+
+  // A final "gather" child span, created after every shard/hedge span, so
+  // EXPLAIN's last-status-note disposition reflects the *merged* verdict and
+  // the report carries one fault-summary row per query.
+  obs::Span gather = obs::Span::child_of(&span, "gather");
+  if (gather.active()) {
+    gather.annotate("attempts", static_cast<double>(stats.attempts));
+    gather.annotate("retries", static_cast<double>(stats.retries));
+    gather.annotate("timeouts", static_cast<double>(stats.timeouts));
+    gather.annotate("faults_injected", static_cast<double>(stats.faults_injected));
+    gather.annotate("hedges_launched", static_cast<double>(stats.hedges_launched));
+    gather.annotate("hedges_won", static_cast<double>(stats.hedges_won));
+    gather.annotate("bounds_widened", static_cast<double>(stats.bounds_widened));
+    gather.annotate("shards_failed", static_cast<double>(stats.failed_shards));
+    gather.note("status", to_string(out.merged.status));
+  }
+  return out;
+}
+
 /// The scatter-gather skeleton shared by the four sharded executors.
-/// `scan_shard(shard, run, shared)` scans one shard with the serial kernels
-/// and must leave run.status / run.missed_bound sound on truncation;
+/// `scan_shard(shard, run, shared, ctx)` scans one shard with the serial
+/// kernels and must leave run.status / run.missed_bound sound on truncation
+/// (the context it receives is the global one on the plain path and a
+/// chained per-attempt child on the fault-domain path);
 /// `shard_bound(shard)` is the loosest sound missed bound over a whole
 /// untouched shard (used when the context stopped before a shard started).
 template <typename ShardScan, typename ShardBound>
 ShardedTopK scatter_gather(const ShardedArchive& sharded, const char* stage, std::size_t k,
                            std::uint64_t model_terms, QueryContext& ctx, CostMeter& meter,
-                           ThreadPool& pool, ShardScan&& scan_shard, ShardBound&& shard_bound) {
+                           ThreadPool& pool, const ShardExecOptions* options,
+                           ShardScan&& scan_shard, ShardBound&& shard_bound) {
+  if (options != nullptr && options->active()) {
+    return scatter_gather_faulted(sharded, stage, k, model_terms, ctx, meter, pool, *options,
+                                  scan_shard, shard_bound);
+  }
   ScopedTimer timer(meter);
   obs::Span span = obs::Span::child_of(ctx.span(), stage);
   const std::size_t count = sharded.shard_count();
@@ -134,7 +566,7 @@ ShardedTopK scatter_gather(const ShardedArchive& sharded, const char* stage, std
           run.status = ctx.stop_reason();
           run.missed_bound = shard_bound(shard);
         } else {
-          scan_shard(shard, run, shared);
+          scan_shard(shard, run, shared, ctx);
         }
       }
       annotate_shard(shard_span, shard, run);
@@ -212,15 +644,15 @@ RasterTopK merge_shard_partials(std::span<const ShardPartial> partials, std::siz
 
 ShardedTopK sharded_full_scan_top_k(const ShardedArchive& sharded, const RasterModel& model,
                                     std::size_t k, QueryContext& ctx, CostMeter& meter,
-                                    ThreadPool& pool) {
+                                    ThreadPool& pool, const ShardExecOptions* options) {
   MMIR_EXPECTS(k > 0);
   const TiledArchive& archive = sharded.archive();
   MMIR_EXPECTS(model.bands() == archive.band_count());
   const auto tiles = archive.tiles();
   const auto shard_bound = [&](const ShardInfo& shard) { return model.bound(shard.band_ranges).hi; };
   return scatter_gather(
-      sharded, "sharded_full_scan", k, model.ops_per_evaluation(), ctx, meter, pool,
-      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold&) {
+      sharded, "sharded_full_scan", k, model.ops_per_evaluation(), ctx, meter, pool, options,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold&, QueryContext& ctx) {
         std::vector<double> scratch(archive.band_count());
         const std::uint64_t ops_before = run.meter.ops();
         for (std::size_t t : shard.tiles) {
@@ -245,7 +677,7 @@ ShardedTopK sharded_full_scan_top_k(const ShardedArchive& sharded, const RasterM
 ShardedTopK sharded_progressive_model_top_k(const ShardedArchive& sharded,
                                             const ProgressiveLinearModel& model, std::size_t k,
                                             QueryContext& ctx, CostMeter& meter,
-                                            ThreadPool& pool) {
+                                            ThreadPool& pool, const ShardExecOptions* options) {
   MMIR_EXPECTS(k > 0);
   const TiledArchive& archive = sharded.archive();
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
@@ -254,8 +686,8 @@ ShardedTopK sharded_progressive_model_top_k(const ShardedArchive& sharded,
     return model.model().evaluate_interval(shard.band_ranges).hi;
   };
   return scatter_gather(
-      sharded, "sharded_progressive_model", k, model.order().size(), ctx, meter, pool,
-      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+      sharded, "sharded_progressive_model", k, model.order().size(), ctx, meter, pool, options,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared, QueryContext& ctx) {
         const std::uint64_t ops_before = run.meter.ops();
         for (std::size_t t : shard.tiles) {
           const TileSummary& tile = tiles[t];
@@ -350,14 +782,15 @@ void screened_shard_scan(const TiledArchive& archive, const RasterModel& screen_
 
 ShardedTopK sharded_tile_screened_top_k(const ShardedArchive& sharded, const RasterModel& model,
                                         std::size_t k, QueryContext& ctx, CostMeter& meter,
-                                        ThreadPool& pool, const exec::TileBounds* precomputed) {
+                                        ThreadPool& pool, const exec::TileBounds* precomputed,
+                                        const ShardExecOptions* options) {
   MMIR_EXPECTS(k > 0);
   const TiledArchive& archive = sharded.archive();
   MMIR_EXPECTS(model.bands() == archive.band_count());
   const auto shard_bound = [&](const ShardInfo& shard) { return model.bound(shard.band_ranges).hi; };
   return scatter_gather(
-      sharded, "sharded_tile_screened", k, model.ops_per_evaluation(), ctx, meter, pool,
-      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+      sharded, "sharded_tile_screened", k, model.ops_per_evaluation(), ctx, meter, pool, options,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared, QueryContext& ctx) {
         std::vector<double> scratch(archive.band_count());
         screened_shard_scan(archive, model, precomputed, shard, run, shared, ctx,
                             shard_bound(shard), [&](const TileSummary& tile, ShardRun& r) {
@@ -374,7 +807,8 @@ ShardedTopK sharded_progressive_combined_top_k(const ShardedArchive& sharded,
                                                const ProgressiveLinearModel& model,
                                                std::size_t k, QueryContext& ctx,
                                                CostMeter& meter, ThreadPool& pool,
-                                               const exec::TileBounds* precomputed) {
+                                               const exec::TileBounds* precomputed,
+                                               const ShardExecOptions* options) {
   MMIR_EXPECTS(k > 0);
   const TiledArchive& archive = sharded.archive();
   MMIR_EXPECTS(model.model().dim() == archive.band_count());
@@ -383,8 +817,8 @@ ShardedTopK sharded_progressive_combined_top_k(const ShardedArchive& sharded,
     return screen.bound(shard.band_ranges).hi;
   };
   return scatter_gather(
-      sharded, "sharded_progressive_combined", k, model.order().size(), ctx, meter, pool,
-      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared) {
+      sharded, "sharded_progressive_combined", k, model.order().size(), ctx, meter, pool, options,
+      [&](const ShardInfo& shard, ShardRun& run, SharedThreshold& shared, QueryContext& ctx) {
         screened_shard_scan(
             archive, screen, precomputed, shard, run, shared, ctx, shard_bound(shard),
             [&](const TileSummary& tile, ShardRun& r) {

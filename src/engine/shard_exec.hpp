@@ -23,6 +23,16 @@
 // Cross-shard pruning uses the same shared monotone threshold as the
 // tile-parallel executors: a stale read weakens pruning, never soundness.
 //
+// Fault domains (DESIGN.md §6f): when a ShardExecOptions with an active
+// policy/chaos hook is passed, every shard becomes an independent fault
+// domain — per-shard sub-deadline, capped-backoff retries with seeded
+// jitter, and optional hedged duplicates of stragglers through the pool's
+// urgent lane.  A shard that exhausts its attempt budget contributes an
+// empty (or partial) result with status kDegraded and its whole-shard bound,
+// which *widens* the merged missed bound: the certified prefix shortens but
+// stays sound.  With no options (or an inactive one) the legacy path runs
+// and answers are byte-identical to before.
+//
 // Per-shard ResultStatus propagates into the query-level disposition: any
 // truncated shard truncates the merge (the shared context's latched reason),
 // else any degraded shard degrades it, else the query is complete.  EXPLAIN
@@ -42,6 +52,7 @@
 #include "archive/sharded.hpp"
 #include "core/exec_kernels.hpp"
 #include "core/progressive_exec.hpp"
+#include "engine/fault_domain.hpp"
 #include "engine/thread_pool.hpp"
 #include "index/onion.hpp"
 #include "sproc/query.hpp"
@@ -71,35 +82,44 @@ struct ShardPartial {
                                               std::size_t k);
 
 /// Result of a sharded raster execution: the merged global answer plus the
-/// per-shard dispositions the merge folded together.
+/// per-shard dispositions the merge folded together and the fault-domain
+/// bookkeeping of the run.  fault_stats stays default (all-zero) on the
+/// legacy no-options path and on engine cache-hit replays, which never
+/// re-execute shards.
 struct ShardedTopK {
   RasterTopK merged;
   std::vector<ResultStatus> shard_status;  ///< indexed by shard id
+  ShardFaultStats fault_stats;
 };
 
 /// Sharded twins of the four executors.  Answers are identical to the serial
 /// monolithic executors modulo exact ties (the shard-parity property suite
 /// checks byte-identity on tie-free inputs).  The tile-screened/combined
 /// forms accept optional precomputed per-tile bounds indexed by *global* tile
-/// id, as served shard-qualified by the engine's tile cache.
+/// id, as served shard-qualified by the engine's tile cache.  `options`
+/// (nullable) switches on the fault-domain path; see the header comment.
 [[nodiscard]] ShardedTopK sharded_full_scan_top_k(const ShardedArchive& sharded,
                                                   const RasterModel& model, std::size_t k,
                                                   QueryContext& ctx, CostMeter& meter,
-                                                  ThreadPool& pool);
+                                                  ThreadPool& pool,
+                                                  const ShardExecOptions* options = nullptr);
 [[nodiscard]] ShardedTopK sharded_progressive_model_top_k(const ShardedArchive& sharded,
                                                           const ProgressiveLinearModel& model,
                                                           std::size_t k, QueryContext& ctx,
-                                                          CostMeter& meter, ThreadPool& pool);
+                                                          CostMeter& meter, ThreadPool& pool,
+                                                          const ShardExecOptions* options =
+                                                              nullptr);
 [[nodiscard]] ShardedTopK sharded_tile_screened_top_k(const ShardedArchive& sharded,
                                                       const RasterModel& model, std::size_t k,
                                                       QueryContext& ctx, CostMeter& meter,
                                                       ThreadPool& pool,
                                                       const exec::TileBounds* precomputed =
-                                                          nullptr);
+                                                          nullptr,
+                                                      const ShardExecOptions* options = nullptr);
 [[nodiscard]] ShardedTopK sharded_progressive_combined_top_k(
     const ShardedArchive& sharded, const ProgressiveLinearModel& model, std::size_t k,
     QueryContext& ctx, CostMeter& meter, ThreadPool& pool,
-    const exec::TileBounds* precomputed = nullptr);
+    const exec::TileBounds* precomputed = nullptr, const ShardExecOptions* options = nullptr);
 
 /// Scatter-gather over a ShardedOnionIndex: every per-shard index is queried
 /// on the pool, hits are remapped to global tuple ids, and the partials merge

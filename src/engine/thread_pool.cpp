@@ -39,8 +39,35 @@ void ThreadPool::submit(std::function<void()> task) {
   sleep_cv_.notify_one();
 }
 
+void ThreadPool::submit_urgent(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();  // zero-worker pool: degrade to inline execution
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(urgent_.mutex);
+    urgent_.tasks.push_back(std::move(task));
+  }
+  urgent_count_.fetch_add(1, std::memory_order_release);
+  pending_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
 bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
-  // Own queue first, newest task (LIFO keeps the owner's cache warm)…
+  // Urgent lane first: these tasks are latency-critical by contract and must
+  // not wait behind any queue's backlog.  The atomic pre-check keeps the
+  // common no-urgent-work path lock-free.
+  if (urgent_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(urgent_.mutex);
+    if (!urgent_.tasks.empty()) {
+      out = std::move(urgent_.tasks.front());
+      urgent_.tasks.pop_front();
+      urgent_count_.fetch_sub(1, std::memory_order_relaxed);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Own queue next, newest task (LIFO keeps the owner's cache warm)…
   {
     WorkerQueue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mutex);

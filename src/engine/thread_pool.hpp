@@ -53,6 +53,13 @@ class ThreadPool {
   /// inline before submit returns.
   void submit(std::function<void()> task);
 
+  /// Enqueues a latency-critical task into a shared front-of-line queue that
+  /// every worker drains before its own deque.  Hedged duplicates of
+  /// straggler shards (engine/fault_domain.hpp) go through here: a hedge
+  /// queued behind the very backlog that made the primary straggle would
+  /// defeat its purpose.  With zero workers the task runs inline.
+  void submit_urgent(std::function<void()> task);
+
   /// Chunked parallel-for over [begin, end): splits the range into chunks of
   /// at most `grain` indices and executes `body(chunk_begin, chunk_end,
   /// slot)` across the pool workers and the calling thread.  `slot` is a
@@ -74,10 +81,12 @@ class ThreadPool {
   bool try_pop(std::size_t self, std::function<void()>& out);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  WorkerQueue urgent_;  ///< shared front-of-line queue; drained before own work
   std::vector<std::thread> workers_;
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> urgent_count_{0};
   std::atomic<std::size_t> push_cursor_{0};
   std::atomic<bool> stopping_{false};
 };

@@ -203,6 +203,72 @@ std::string ExplainReport::to_text() const {
                     name.c_str(), stage.duration_ms, "-", "-");
     }
     out += buf;
+
+    // Fault-domain suffix: shard legs and the gather summary carry an
+    // "attempts" attribute (engine/shard_exec.cpp).  Stages with nothing
+    // notable — one clean attempt, no faults — render no extra line, so
+    // fault-free EXPLAIN output is unchanged.
+    const auto stage_attr = [&stage](std::string_view key, double fallback) {
+      for (const auto& [k, v] : stage.attrs) {
+        if (k == key) return v;
+      }
+      return fallback;
+    };
+    const auto stage_note = [&stage](std::string_view key) -> const std::string* {
+      for (const auto& [k, v] : stage.notes) {
+        if (k == key) return &v;
+      }
+      return nullptr;
+    };
+    if (stage_attr("attempts", 0) > 0) {
+      const double attempts = stage_attr("attempts", 0);
+      const double retries = stage_attr("retries", std::max(0.0, attempts - 1.0));
+      const double timeouts = stage_attr("timeouts", 0);
+      const double injected = stage_attr("faults_injected", 0);
+      const double widened = stage_attr("bound_widened", stage_attr("bounds_widened", 0));
+      const double hedges = stage_attr("hedges_launched", 0);
+      const double hedge_wins = stage_attr("hedges_won", 0);
+      const double failed = stage_attr("shards_failed", 0);
+      const std::string* fault = stage_note("fault");
+      const std::string* leg = stage_note("leg");
+      const bool notable = attempts > 1 || timeouts > 0 || injected > 0 || widened > 0 ||
+                           hedges > 0 || failed > 0 || leg != nullptr;
+      if (notable) {
+        std::string line = "  ";
+        line.append(2 * stage.depth + 2, ' ');
+        line += "fault-domain:";
+        std::snprintf(buf, sizeof buf, " attempts=%.0f", attempts);
+        line += buf;
+        if (retries > 0) {
+          std::snprintf(buf, sizeof buf, " retries=%.0f", retries);
+          line += buf;
+        }
+        if (timeouts > 0) {
+          std::snprintf(buf, sizeof buf, " timeouts=%.0f", timeouts);
+          line += buf;
+        }
+        if (injected > 0) {
+          std::snprintf(buf, sizeof buf, " injected=%.0f", injected);
+          line += buf;
+          if (fault != nullptr) line += "(" + *fault + ")";
+        }
+        if (hedges > 0) {
+          std::snprintf(buf, sizeof buf, " hedges=%.0f won=%.0f", hedges, hedge_wins);
+          line += buf;
+        }
+        if (widened > 0) {
+          std::snprintf(buf, sizeof buf, " bounds_widened=%.0f", widened);
+          line += buf;
+        }
+        if (failed > 0) {
+          std::snprintf(buf, sizeof buf, " shards_failed=%.0f", failed);
+          line += buf;
+        }
+        if (leg != nullptr) line += " [" + *leg + " leg]";
+        line += "\n";
+        out += line;
+      }
+    }
   }
 
   if (has_efficiency) {

@@ -66,7 +66,21 @@ std::string StatsServer::respond(std::string_view method, std::string_view targe
   }
 
   if (target == "/healthz") {
-    return http_response(200, "OK", "text/plain", "ok\n");
+    // No health source: pure liveness, unconditionally ok.  With one, a
+    // degraded fault-domain window turns the probe 503 so load balancers and
+    // alerting see shard trouble without scraping /metrics; the body carries
+    // one per-shard-layout counter line either way.
+    if (!sources_.health) {
+      return http_response(200, "OK", "text/plain", "ok\n");
+    }
+    const HealthReport report = sources_.health();
+    std::string body = report.ok ? "ok\n" : "degraded\n";
+    for (const std::string& line : report.lines) {
+      body += line;
+      body += '\n';
+    }
+    return report.ok ? http_response(200, "OK", "text/plain", body)
+                     : http_response(503, "Service Unavailable", "text/plain", body);
   }
   if (target == "/metrics") {
     if (sources_.metrics == nullptr) {

@@ -2,7 +2,7 @@
 // Tiny embedded operator surface: a blocking HTTP/1.0 server on a dedicated
 // thread, serving the observability substrate over loopback TCP:
 //
-//   GET /healthz        -> 200 "ok"
+//   GET /healthz        -> 200 "ok" / 503 "degraded" (fault-domain health)
 //   GET /metrics        -> Prometheus text exposition (obs/export.hpp)
 //   GET /traces         -> chrome://tracing JSON of the trace ring
 //   GET /explain/<id>   -> EXPLAIN ANALYZE text for query <id>
@@ -23,19 +23,32 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 namespace mmir::obs {
 
 class MetricsRegistry;
 class Tracer;
 
-/// What the server serves.  Null members disable their endpoints (503).
+/// A point-in-time health verdict for /healthz: overall ok/degraded plus one
+/// detail line per shard layout (recent timeouts / hedges / failed shards —
+/// the engine's rolling fault-domain window).
+struct HealthReport {
+  bool ok = true;
+  std::vector<std::string> lines;
+};
+
+/// What the server serves.  Null members disable their endpoints (503);
+/// a null health source keeps /healthz unconditionally 200 "ok" (liveness
+/// only — the pre-fault-domain behavior).
 struct StatsSources {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  std::function<HealthReport()> health;
 };
 
 class StatsServer {

@@ -10,17 +10,25 @@
 //    NaN / ±Inf so tests can prove summaries and executors skip-and-count
 //    them instead of propagating garbage;
 //  * file corruption — truncate_file / flip_byte / overwrite_u64 mutate
-//    serialized archives on disk to exercise the hardened loaders.
+//    serialized archives on disk to exercise the hardened loaders;
+//  * shard chaos — ChaosPolicy implements the engine's ShardChaos seam
+//    (engine/fault_domain.hpp) with seed-scheduled per-(shard, attempt)
+//    delay/fail/corrupt faults, driving the chaos battery and ci/chaos.sh.
 //
 // The harness lives in its own library (mmir_testing) so production targets
-// never link it; the only production touch point is the io read-fault hook.
+// never link it; the only production touch points are the io read-fault hook
+// and the ShardChaos interface (both header-only seams).
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "data/grid.hpp"
+#include "engine/fault_domain.hpp"
+#include "util/rng.hpp"
 
 namespace mmir {
 
@@ -80,6 +88,57 @@ class FaultInjector {
   double fail_rate_ = 0.0;
   bool armed_ = false;
   std::uint64_t injected_ = 0;
+};
+
+/// Deterministic shard-chaos schedule for the engine's fault-domain path.
+///
+/// The verdict for a (shard, attempt) pair is a pure hash of
+/// (seed, shard, attempt) — never of wall clock or thread interleaving — so
+/// one seed replays the identical fault schedule under any worker count or
+/// shard execution order, which is what makes the chaos battery's 200+
+/// schedules reproducible.  Rates partition the unit interval cumulatively:
+/// u < delay -> delay, < delay+fail -> fail, < delay+fail+corrupt -> corrupt,
+/// else clean.  Hedge legs draw attempts offset by kHedgeAttemptBase and so
+/// see an independent (but equally deterministic) slice of the schedule.
+class ChaosPolicy final : public ShardChaos {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    double delay_rate = 0.0;
+    double fail_rate = 0.0;
+    double corrupt_rate = 0.0;
+    /// Stall applied by every kDelay fault (interruptible on the engine side).
+    std::chrono::nanoseconds delay{std::chrono::microseconds(300)};
+  };
+
+  explicit ChaosPolicy(Config config) noexcept : config_(config) {}
+
+  [[nodiscard]] ShardFaultAction on_attempt(std::size_t shard, int attempt) noexcept override {
+    const std::uint64_t key = mix64(
+        config_.seed ^ mix64(static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL +
+                             static_cast<std::uint64_t>(attempt) + 1));
+    const double u = static_cast<double>(key >> 11) * 0x1.0p-53;  // [0, 1)
+    ShardFaultAction action;
+    if (u < config_.delay_rate) {
+      action.kind = ShardFault::kDelay;
+      action.delay = config_.delay;
+    } else if (u < config_.delay_rate + config_.fail_rate) {
+      action.kind = ShardFault::kFail;
+    } else if (u < config_.delay_rate + config_.fail_rate + config_.corrupt_rate) {
+      action.kind = ShardFault::kCorrupt;
+    }
+    if (action.kind != ShardFault::kNone) injected_.fetch_add(1, std::memory_order_relaxed);
+    return action;
+  }
+
+  /// Faults handed out so far (all kinds; thread-safe).
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Config config_;
+  std::atomic<std::uint64_t> injected_{0};
 };
 
 }  // namespace mmir

@@ -1,14 +1,23 @@
 #pragma once
-// Capped exponential backoff for retrying transient failures.
+// Capped exponential backoff with seeded jitter for retrying transient
+// failures.
 //
 // Archive loads can fail transiently (a flaky NFS mount, a half-synced
 // replica, an injected test fault).  Loaders retry under a RetryPolicy; the
-// delays double from `initial_backoff` up to `max_backoff`.  Policies default
-// to microsecond-scale delays so test suites stay fast; production callers
-// pass their own.
+// base delays double from `initial_backoff` up to `max_backoff`.  Each delay
+// is then shortened by a deterministic pseudo-random fraction of up to
+// `jitter`, so concurrent retriers (many shards re-reading after the same
+// blip) spread out instead of hammering the store in lockstep — the
+// thundering-herd failure mode.  The jitter stream is seeded: a fixed
+// (jitter_seed, stream) pair always yields the same delay sequence, so
+// retry timing is reproducible in tests; distinct streams (e.g. hashed from
+// the file path or shard id) decorrelate concurrent retriers.  Policies
+// default to microsecond-scale delays so test suites stay fast; production
+// callers pass their own.
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 
 #include "util/error.hpp"
 
@@ -19,24 +28,48 @@ struct RetryPolicy {
   int max_attempts = 3;  ///< total attempts (>= 1), not retries
   std::chrono::microseconds initial_backoff{100};
   std::chrono::microseconds max_backoff{5000};
+  /// Fraction of every delay that jitter may remove, in [0, 1]: each delay
+  /// is base * (1 - jitter * u) with u uniform in [0, 1).  0 disables
+  /// jitter (exact exponential sequence).
+  double jitter = 0.5;
+  /// Seed of the jitter stream; combined with a per-call-site stream id.
+  std::uint64_t jitter_seed = 0x6a69747465727921ULL;
 };
 
-/// Stateful backoff sequence: next_delay() yields initial, 2*initial, ...
-/// clamped to the policy's max.
+/// Stateful backoff sequence: next_delay() yields jittered initial,
+/// 2*initial, ... with the base clamped to the policy's max.
 class ExponentialBackoff {
  public:
-  explicit ExponentialBackoff(const RetryPolicy& policy) noexcept
-      : current_(policy.initial_backoff), max_(policy.max_backoff) {}
+  /// `stream` decorrelates concurrent retriers sharing one policy: same
+  /// (jitter_seed, stream) -> same delay sequence, different stream ->
+  /// independent jitter.
+  explicit ExponentialBackoff(const RetryPolicy& policy, std::uint64_t stream = 0) noexcept
+      : current_(policy.initial_backoff),
+        max_(policy.max_backoff),
+        jitter_(std::clamp(policy.jitter, 0.0, 1.0)),
+        state_(policy.jitter_seed ^ (stream * 0x9e3779b97f4a7c15ULL)) {}
 
   [[nodiscard]] std::chrono::microseconds next_delay() noexcept {
-    const auto delay = current_;
+    const auto base = current_;
     current_ = std::min(current_ * 2, max_);
-    return delay;
+    if (jitter_ <= 0.0) return base;
+    // Inline splitmix64 step (kept self-contained so this header stays
+    // leaf-level, like query_context.hpp).
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    const double scaled = static_cast<double>(base.count()) * (1.0 - jitter_ * u);
+    return std::chrono::microseconds(static_cast<std::int64_t>(scaled));
   }
 
  private:
   std::chrono::microseconds current_;
   std::chrono::microseconds max_;
+  double jitter_;
+  std::uint64_t state_;
 };
 
 }  // namespace mmir

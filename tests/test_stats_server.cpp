@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "archive/sharded.hpp"
 #include "archive/tiled.hpp"
 #include "data/scene.hpp"
 #include "engine/scheduler.hpp"
@@ -50,6 +51,36 @@ TEST(StatsServerRouting, HealthzAlwaysOk) {
   EXPECT_NE(r.find("Content-Length: 3\r\n"), std::string::npos);
 }
 
+TEST(StatsServerRouting, HealthzHealthySourceStays200AndCarriesCounterLines) {
+  obs::StatsSources sources;
+  sources.health = [] {
+    obs::HealthReport report;
+    report.lines = {"layout=0x1000004 shards=4 executions=9 timeouts=0 hedges=3 failed_shards=0"};
+    return report;
+  };
+  obs::StatsServer server(sources);
+  const std::string r = server.respond("GET", "/healthz");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_EQ(body_of(r),
+            "ok\nlayout=0x1000004 shards=4 executions=9 timeouts=0 hedges=3 failed_shards=0\n");
+}
+
+TEST(StatsServerRouting, HealthzDegradedSourceIs503) {
+  obs::StatsSources sources;
+  sources.health = [] {
+    obs::HealthReport report;
+    report.ok = false;
+    report.lines = {"layout=0x2000002 shards=2 executions=5 timeouts=2 hedges=0 failed_shards=1"};
+    return report;
+  };
+  obs::StatsServer server(sources);
+  const std::string r = server.respond("GET", "/healthz");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 503 Service Unavailable");
+  EXPECT_EQ(body_of(r),
+            "degraded\nlayout=0x2000002 shards=2 executions=5 timeouts=2 hedges=0 "
+            "failed_shards=1\n");
+}
+
 TEST(StatsServerRouting, NonGetIsRejected) {
   obs::StatsServer server({});
   EXPECT_EQ(status_line(server.respond("POST", "/healthz")),
@@ -66,7 +97,9 @@ TEST(StatsServerRouting, UnknownRouteListsTheRoutes) {
 TEST(StatsServerRouting, MetricsServesPrometheusExposition) {
   obs::MetricsRegistry registry(2);
   registry.counter("engine_jobs_submitted_total").add(3);
-  obs::StatsServer server({&registry, nullptr});
+  obs::StatsSources sources;
+  sources.metrics = &registry;
+  obs::StatsServer server(sources);
   const std::string r = server.respond("GET", "/metrics");
   EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
   EXPECT_NE(r.find("Content-Type: text/plain; version=0.0.4\r\n"), std::string::npos);
@@ -84,7 +117,9 @@ TEST(StatsServerRouting, TracesServeChromeJson) {
   auto trace = tracer.start_trace("raster");
   { obs::Span root(trace.get(), "query"); }
   tracer.finish(std::move(trace));
-  obs::StatsServer server({nullptr, &tracer});
+  obs::StatsSources sources;
+  sources.tracer = &tracer;
+  obs::StatsServer server(sources);
   const std::string r = server.respond("GET", "/traces");
   EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
   EXPECT_NE(r.find("Content-Type: application/json\r\n"), std::string::npos);
@@ -101,7 +136,9 @@ TEST(StatsServerRouting, ExplainServesTheReportText) {
   tracer.finish(std::move(trace));
   const std::uint64_t id = tracer.latest()->id();
 
-  obs::StatsServer server({nullptr, &tracer});
+  obs::StatsSources sources;
+  sources.tracer = &tracer;
+  obs::StatsServer server(sources);
   const std::string r = server.respond("GET", "/explain/" + std::to_string(id));
   EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
   EXPECT_NE(body_of(r).find("EXPLAIN ANALYZE"), std::string::npos);
@@ -109,7 +146,9 @@ TEST(StatsServerRouting, ExplainServesTheReportText) {
 
 TEST(StatsServerRouting, ExplainNonNumericIdIs400) {
   obs::Tracer tracer(4);
-  obs::StatsServer server({nullptr, &tracer});
+  obs::StatsSources sources;
+  sources.tracer = &tracer;
+  obs::StatsServer server(sources);
   const std::string r = server.respond("GET", "/explain/abc");
   EXPECT_EQ(status_line(r), "HTTP/1.0 400 Bad Request");
   EXPECT_EQ(body_of(r), "expected /explain/<numeric query id>\n");
@@ -119,7 +158,9 @@ TEST(StatsServerRouting, ExplainNeverTracedIdIs404WithReason) {
   obs::Tracer tracer(4);
   auto trace = tracer.start_trace("raster");
   tracer.finish(std::move(trace));  // ids now run 1..1
-  obs::StatsServer server({nullptr, &tracer});
+  obs::StatsSources sources;
+  sources.tracer = &tracer;
+  obs::StatsServer server(sources);
 
   const std::string r = server.respond("GET", "/explain/99");
   EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
@@ -135,7 +176,9 @@ TEST(StatsServerRouting, ExplainEvictedIdIs404NamingTheRingCapacity) {
     { obs::Span root(trace.get(), "query"); }
     tracer.finish(std::move(trace));
   }
-  obs::StatsServer server({nullptr, &tracer});
+  obs::StatsSources sources;
+  sources.tracer = &tracer;
+  obs::StatsServer server(sources);
 
   const std::string r = server.respond("GET", "/explain/1");
   EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
@@ -241,6 +284,64 @@ TEST(StatsServerIntegration, EngineServesTheOpsSurfaceOverTcp) {
   EXPECT_NE(body_of(explain).find("disposition: complete"), std::string::npos);
 
   EXPECT_EQ(status_line(http_get(port, "/explain/4096")), "HTTP/1.0 404 Not Found");
+}
+
+TEST(StatsServerIntegration, HealthzTurnsDegradedAfterAShardFaultsOverTcp) {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.seed = 23;
+  const Scene scene = generate_scene(cfg);
+  const std::vector<const Grid*> bands = {&scene.band("b4"), &scene.band("b5"),
+                                          &scene.band("b7"), &scene.dem};
+  std::vector<Interval> ranges;
+  for (const Grid* band : bands) ranges.push_back(band->stats().range());
+  const LinearModel model = hps_risk_model();
+  const LinearRasterModel raster(model);
+  const ProgressiveLinearModel progressive(model, ranges);
+  const TiledArchive archive(bands, 16);
+  const ShardedArchive sharded(archive, 2, ShardPolicy::kRowBands);
+
+  // Shard 0 fails every attempt: the sharded run degrades and the engine's
+  // rolling health window must flip the probe to 503 with the layout line.
+  class ShardZeroDies final : public ShardChaos {
+   public:
+    [[nodiscard]] ShardFaultAction on_attempt(std::size_t shard, int) noexcept override {
+      ShardFaultAction action;
+      if (shard == 0) action.kind = ShardFault::kFail;
+      return action;
+    }
+  } chaos;
+
+  EngineConfig config;
+  config.dispatchers = 1;
+  config.stats_port = 0;
+  config.shard_chaos = &chaos;
+  QueryEngine engine(config);
+  const int port = engine.stats_port();
+  ASSERT_GT(port, 0);
+
+  // No sharded execution yet: the window is empty, the probe is healthy.
+  const std::string before = http_get(port, "/healthz");
+  EXPECT_EQ(status_line(before), "HTTP/1.0 200 OK");
+
+  ShardedRasterJob job;
+  job.mode = RasterJob::Mode::kFullScan;
+  job.sharded = &sharded;
+  job.model = &raster;
+  job.progressive = &progressive;
+  job.k = 4;
+  job.archive_id = 1;
+  job.model_fingerprint = 11;
+  const ShardedRasterOutcome outcome = engine.submit(job).get();
+  ASSERT_EQ(outcome.result.merged.status, ResultStatus::kDegraded);
+
+  const std::string after = http_get(port, "/healthz");
+  EXPECT_EQ(status_line(after), "HTTP/1.0 503 Service Unavailable");
+  const std::string body = body_of(after);
+  EXPECT_EQ(body.rfind("degraded\n", 0), 0u) << body;
+  EXPECT_NE(body.find("shards=2"), std::string::npos) << body;
+  EXPECT_NE(body.find("failed_shards=1"), std::string::npos) << body;
 }
 
 TEST(StatsServerIntegration, ServerIsOffByDefault) {
