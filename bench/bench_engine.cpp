@@ -3,6 +3,9 @@
 //       executor against the serial monolithic reference.
 // E12 — hedged tail latency: p99 of the sharded full scan under injected
 //       slow-shard faults, with and without hedged execution.
+// E13 — distributed serving: the net::Router scatter-gathering over real
+//       shard-server processes (loopback TCP, wire protocol) against the
+//       in-process sharded executor on the same layout.
 //
 // Sweeps dispatcher threads x admission queue depth x target result-cache
 // hit rate over a fixed stream of combined-executor raster queries, and
@@ -32,6 +35,8 @@
 #include "engine/thread_pool.hpp"
 #include "linear/model.hpp"
 #include "linear/progressive.hpp"
+#include "net/router.hpp"
+#include "net/shard_server.hpp"
 #include "obs/dump.hpp"
 #include "obs/explain.hpp"
 #include "obs/metrics.hpp"
@@ -54,8 +59,8 @@ using namespace mmir::bench;
 
 // Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
 // compare mismatched schemas.  v3 adds the E11 sharded_throughput rows; v4
-// adds the E12 hedged_tail block.
-constexpr int kBenchSchemaVersion = 4;
+// adds the E12 hedged_tail block; v5 adds the E13 router_throughput rows.
+constexpr int kBenchSchemaVersion = 5;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -368,9 +373,120 @@ HedgedTailResult run_hedged_tail(const TiledArchive& archive,
   return result;
 }
 
+struct RouterRow {
+  std::size_t shards = 0;
+  double qps = 0.0;
+  double p99_ms = 0.0;
+  double inproc_qps = 0.0;
+  double router_over_inproc = 0.0;
+};
+
+// E13: the same full-scan carrier as E11, but scattered by a net::Router over
+// real shard-server sockets (loopback TCP, framed wire protocol, one embedded
+// engine per server) instead of the in-process thread pool.  The in-process
+// sharded executor on the identical layout is re-timed alongside as the
+// reference, so the ratio isolates the wire tax: framing, checksums, socket
+// hops, and one scheduler admission per leg.  An empty row set means the host
+// has no loopback sockets; ci/bench_diff.py skips its gate out loud then.
+std::vector<RouterRow> run_router_table(const TiledArchive& archive,
+                                        const ProgressiveLinearModel& progressive,
+                                        const std::vector<Interval>& ranges) {
+  heading("E13: distributed scatter-gather throughput (net/router over loopback TCP)",
+          "router + shard-server processes vs the in-process sharded executor");
+
+  if (!net::sockets_available()) {
+    std::printf("skipped: loopback sockets unavailable on this host\n");
+    footer();
+    return {};
+  }
+
+  constexpr std::size_t kQueries = 24;
+  constexpr std::size_t kK = 10;
+  const LinearRasterModel raster(progressive.model());
+  ThreadPool pool(3);  // the E11 reference configuration: 4 executing threads
+
+  std::printf("%7s | %9s %9s %9s | %12s\n", "shards", "qps", "p99 ms", "inproc", "router/inproc");
+  std::printf("--------------------------------------------------------\n");
+
+  std::vector<RouterRow> rows;
+  for (const std::size_t shards : {2ULL, 4ULL, 8ULL}) {
+    RouterRow row;
+    row.shards = shards;
+
+    const ShardedArchive sharded(archive, shards, ShardPolicy::kRowBands);
+    const std::chrono::nanoseconds inproc_wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        QueryContext ctx;
+        CostMeter meter;
+        (void)sharded_full_scan_top_k(sharded, raster, kK, ctx, meter, pool);
+      }
+    });
+    row.inproc_qps = ratio(static_cast<double>(kQueries),
+                           static_cast<double>(inproc_wall.count()) / 1e9);
+
+    // One server per shard, each with its own single-dispatcher engine — the
+    // deployment shape ci/net.sh launches as separate processes.
+    std::vector<std::unique_ptr<net::ShardServer>> servers;
+    net::RouterConfig router_config;
+    bool fleet_ok = true;
+    for (std::size_t s = 0; s < shards; ++s) {
+      net::ShardServerConfig server_config;
+      server_config.engine.dispatchers = 1;
+      server_config.engine.intra_query_threads = 0;
+      server_config.engine.queue_capacity = 256;
+      server_config.engine.metrics = nullptr;
+      auto server = std::make_unique<net::ShardServer>(server_config);
+      server->register_archive(1, &archive, ranges);
+      if (!server->start()) {
+        fleet_ok = false;
+        break;
+      }
+      router_config.ports.push_back(static_cast<std::uint16_t>(server->port()));
+      servers.push_back(std::move(server));
+    }
+    if (!fleet_ok) {
+      std::printf("skipped: could not start a %zu-server fleet\n", shards);
+      continue;
+    }
+    net::Router router(router_config);
+
+    net::RouterQuery query;
+    query.archive_id = 1;
+    query.shard_count = static_cast<std::uint32_t>(shards);
+    query.policy = ShardPolicy::kRowBands;
+    query.mode = ShardScanMode::kFullScan;
+    query.model = &progressive.model();
+    query.k = kK;
+
+    std::vector<std::chrono::nanoseconds> latencies;
+    latencies.reserve(kQueries);
+    const std::chrono::nanoseconds wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        QueryContext ctx;
+        CostMeter meter;
+        latencies.push_back(timed_ns([&] { (void)router.execute(query, ctx, meter); }));
+      }
+    });
+    row.qps = ratio(static_cast<double>(kQueries), static_cast<double>(wall.count()) / 1e9);
+    row.p99_ms = percentile_ms(latencies, 0.99);
+    row.router_over_inproc = ratio(row.qps, row.inproc_qps);
+    rows.push_back(row);
+    std::printf("%7zu | %9.1f %9.3f %9.1f | %11.2fx\n", row.shards, row.qps, row.p99_ms,
+                row.inproc_qps, row.router_over_inproc);
+  }
+
+  std::printf(
+      "\nshape check: the router pays a per-leg wire tax (framing + checksum +\n"
+      "socket hop + one admission per shard server), so router/inproc sits\n"
+      "below 1.0x and sinks as shard count multiplies the legs per query; the\n"
+      "answers themselves stay byte-identical (tests/test_net_parity.cpp).\n");
+  footer();
+  return rows;
+}
+
 void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>& sharded_rows,
-                const OverheadResult& overhead, const HedgedTailResult& hedged,
-                const std::string& metrics_json) {
+                const std::vector<RouterRow>& router_rows, const OverheadResult& overhead,
+                const HedgedTailResult& hedged, const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::printf("! could not open BENCH_engine.json for writing\n");
@@ -400,6 +516,15 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
                  r.shards, r.pool_threads, r.qps, r.speedup_vs_serial,
                  i + 1 < sharded_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"router_throughput\": [\n");
+  for (std::size_t i = 0; i < router_rows.size(); ++i) {
+    const RouterRow& r = router_rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"qps\": %.1f, \"p99_ms\": %.3f, "
+                 "\"inproc_qps\": %.1f, \"router_over_inproc\": %.3f}%s\n",
+                 r.shards, r.qps, r.p99_ms, r.inproc_qps, r.router_over_inproc,
+                 i + 1 < router_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"hedged_tail\": {\"shards\": %zu, \"pool_threads\": %zu, "
@@ -417,9 +542,9 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
   std::fclose(f);
   std::printf(
-      "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + hedged tail "
-      "+ tracing overhead + metrics dump)\n",
-      rows.size(), sharded_rows.size());
+      "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + %zu router rows "
+      "+ hedged tail + tracing overhead + metrics dump)\n",
+      rows.size(), sharded_rows.size(), router_rows.size());
 }
 
 void run_table() {
@@ -483,8 +608,9 @@ void run_table() {
 
   const std::vector<ShardedRow> sharded_rows = run_sharded_table(archive, progressive);
   const HedgedTailResult hedged = run_hedged_tail(archive, progressive);
+  const std::vector<RouterRow> router_rows = run_router_table(archive, progressive, ranges);
   const OverheadResult overhead = run_overhead_check(archive, progressive);
-  write_json(rows, sharded_rows, overhead, hedged,
+  write_json(rows, sharded_rows, router_rows, overhead, hedged,
              obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }

@@ -6,9 +6,15 @@ candidate regresses by more than the threshold (default 15%) on either:
 
   * E10  — the median qps across the sweep rows,
   * E10b — the traced-build qps of the observability-overhead check
-           (tracing_overhead.qps_traced), and
+           (tracing_overhead.qps_traced),
   * E11  — the best qps across the sharded scatter-gather shard-count sweep
-           (sharded_throughput rows; schema_version >= 3).
+           (sharded_throughput rows; schema_version >= 3), and
+  * E13  — the best qps across the cross-process router shard-count sweep
+           (router_throughput rows; schema_version >= 5).
+
+Gates that do not apply to a given run are *skipped out loud*: every bypassed
+gate prints an explicit "... gate skipped: <reason>" line so a green run can
+be audited for what it actually checked.
 
 It also enforces the E12 hedged-tail acceptance bound on the *candidate*
 alone (schema_version >= 4): under injected 5% slow-shard faults, the hedged
@@ -72,15 +78,32 @@ def hedged_tail_regressed(doc: dict) -> bool:
         raise ValueError("no hedged_tail block")
     ratio = float(tail["hedged_over_nofault"])
     hw = int(doc.get("hardware_concurrency", 0))
-    gated = hw >= 4
-    verdict = "FAIL" if gated and ratio > HEDGED_TAIL_LIMIT else "ok"
-    note = "" if gated else f" (not gated: hardware_concurrency {hw} < 4)"
+    if hw < 4:
+        # A speculative duplicate cannot overlap the straggler without spare
+        # hardware threads, so the 1.5x bound is not a property of this host.
+        print(
+            f"E12 hedged tail gate skipped: hardware_concurrency {hw} < 4 "
+            "(hedge leg cannot run in parallel with the straggler)"
+        )
+        return False
+    verdict = "FAIL" if ratio > HEDGED_TAIL_LIMIT else "ok"
     print(
         f"E12 hedged tail: p99 {tail['hedged_p99_ms']:.3f}ms vs no-fault "
         f"{tail['nofault_p99_ms']:.3f}ms = {ratio:.2f}x "
-        f"(limit {HEDGED_TAIL_LIMIT:.1f}x) [{verdict}]{note}"
+        f"(limit {HEDGED_TAIL_LIMIT:.1f}x) [{verdict}]"
     )
-    return gated and ratio > HEDGED_TAIL_LIMIT
+    return ratio > HEDGED_TAIL_LIMIT
+
+
+def e13_best_router_qps(doc: dict) -> float | None:
+    """Best qps across the E13 router rows; None when the bench skipped the
+    experiment (loopback sockets unavailable on the host)."""
+    rows = doc.get("router_throughput")
+    if rows is None:
+        raise ValueError("no router_throughput block (schema >= 5 expected)")
+    if not rows:
+        return None
+    return max(float(row["qps"]) for row in rows)
 
 
 def check(name: str, base: float, cand: float, threshold: float) -> bool:
@@ -158,6 +181,22 @@ def main() -> int:
         # the duplicate leg cannot overlap the straggler.
         if isinstance(cand_schema, int) and cand_schema >= 4:
             failed |= hedged_tail_regressed(cand)
+        # E13 lands with schema_version 5: the router's cross-process
+        # scatter-gather throughput, diffed like E11.  Either side may have
+        # skipped the experiment (no loopback sockets) — then so does the gate.
+        if isinstance(base_schema, int) and base_schema >= 5:
+            base_qps = e13_best_router_qps(base)
+            cand_qps = e13_best_router_qps(cand)
+            if base_qps is None or cand_qps is None:
+                side = "baseline" if base_qps is None else "candidate"
+                print(
+                    f"E13 router qps gate skipped: {side} recorded no "
+                    "router_throughput rows (loopback sockets unavailable)"
+                )
+            else:
+                failed |= check(
+                    "E13 best router qps", base_qps, cand_qps, args.threshold
+                )
     except (KeyError, ValueError) as err:
         print(f"malformed bench json: {err}", file=sys.stderr)
         return 2

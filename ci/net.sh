@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Cross-process distributed-serving gate (DESIGN.md §6g): builds the tree,
+# launches a fleet of real mmir_shard_server processes on ephemeral loopback
+# ports, and points the net-labelled suites (ctest -L net) at them via
+# MMIR_NET_SHARD_PORTS — so the router-vs-monolithic parity oracle runs
+# genuinely across process boundaries, wire protocol and all.  The
+# mmir_router CLI then re-runs its own differential check against the same
+# fleet.  Servers are torn down on every exit path, success or failure.
+#
+#   MMIR_NET_SERVERS  fleet size               (default 8 — the battery's max)
+#   MMIR_NET_CASES    parity case count        (default: the suite's 220)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build"
+SERVERS="${MMIR_NET_SERVERS:-8}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j"$(nproc)" \
+  --target test_net_wire test_net_parity mmir_shard_server mmir_router
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "${pid}" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+PORTS=""
+for ((i = 0; i < SERVERS; ++i)); do
+  log="$(mktemp)"
+  "${BUILD}/tools/mmir_shard_server" >"${log}" 2>/dev/null &
+  PIDS+=($!)
+  # The server prints "port=<p>" and flushes once it is accepting.
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^port=//p' "${log}")"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  rm -f "${log}"
+  if [[ -z "${port}" ]]; then
+    echo "ci/net.sh: shard server ${i} never reported a port" >&2
+    exit 1
+  fi
+  PORTS="${PORTS:+${PORTS},}${port}"
+done
+echo "ci/net.sh: fleet of ${SERVERS} shard servers on ports ${PORTS}"
+
+export MMIR_NET_SHARD_PORTS="${PORTS}"
+ctest --test-dir "${BUILD}" --output-on-failure -L net
+
+"${BUILD}/tools/mmir_router" --ports="${PORTS}" >/dev/null
+echo "ci/net.sh: cross-process parity + router differential check passed"

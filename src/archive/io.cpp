@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fnv.hpp"
 
 namespace mmir {
 
@@ -23,18 +24,6 @@ constexpr std::uint64_t kHeaderBytes = kMagicBytes + 2 * sizeof(std::uint64_t);
 constexpr std::uint64_t kTrailerBytes = kMagicBytes + sizeof(std::uint64_t);
 
 ReadFaultHook g_read_fault_hook;
-
-/// FNV-1a over a byte range — cheap, deterministic, good enough to catch
-/// flipped bits and torn writes (not an adversarial MAC).
-std::uint64_t fnv1a(const void* data, std::size_t n) noexcept {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    hash ^= bytes[i];
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
 
 std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
   std::ofstream out(path, mode);

@@ -29,6 +29,10 @@ void mark_shed(OnionTopK& result) {
   result.status = ResultStatus::kShed;
   result.missed_bound = kPosInf;
 }
+void mark_shed(ShardScanResult& result) {
+  result.partial.result.status = ResultStatus::kShed;
+  result.partial.result.missed_bound = kPosInf;
+}
 void mark_shed(CompositeTopK& result) {
   result.status = ResultStatus::kShed;
   result.missed_bound = 1.0;  // fuzzy degrees live in [0, 1]
@@ -532,6 +536,24 @@ std::future<ShardedRasterOutcome> QueryEngine::submit(ShardedRasterJob job) {
             !out.result.fault_stats.any_fault()) {
           result_cache_->put(key, std::make_shared<const RasterTopK>(out.result.merged));
         }
+      });
+}
+
+std::future<ShardScanOutcome> QueryEngine::submit(ShardScanJob job) {
+  MMIR_EXPECTS(job.sharded != nullptr);
+  MMIR_EXPECTS(job.k > 0);
+  MMIR_EXPECTS(job.shard_id < job.sharded->shard_count());
+  const bool model_leg =
+      job.mode == ShardScanMode::kProgressiveModel || job.mode == ShardScanMode::kCombined;
+  if (model_leg) {
+    MMIR_EXPECTS(job.progressive != nullptr);
+  } else {
+    MMIR_EXPECTS(job.model != nullptr);
+  }
+  return enqueue<ShardScanOutcome>(
+      "shard_scan", job.limits, [job](QueryContext& ctx, ShardScanOutcome& out) {
+        out.result = scan_shard_partial(*job.sharded, job.shard_id, job.mode, job.model,
+                                        job.progressive, job.k, ctx, out.meter);
       });
 }
 

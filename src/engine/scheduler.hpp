@@ -141,6 +141,23 @@ struct ShardedRasterJob {
   std::uint64_t model_fingerprint = 0;
 };
 
+/// One shard's slice of a distributed query — what a net::ShardServer
+/// submits per wire request.  Runs scan_shard_partial on a dispatcher under
+/// the engine's admission control, so remote load sheds with the same
+/// back-pressure vocabulary as local jobs: a shed scan surfaces as a kShed
+/// partial with a +inf bound, which the router folds into its fault algebra.
+struct ShardScanJob {
+  ShardScanMode mode = ShardScanMode::kCombined;
+  const ShardedArchive* sharded = nullptr;
+  std::size_t shard_id = 0;
+  /// Required for kFullScan / kTileScreened.
+  const RasterModel* model = nullptr;
+  /// Required for kProgressiveModel / kCombined.
+  const ProgressiveLinearModel* progressive = nullptr;
+  std::size_t k = 10;
+  JobLimits limits;
+};
+
 /// An Onion-index linear top-K query.
 struct OnionJob {
   const OnionIndex* index = nullptr;
@@ -180,6 +197,9 @@ struct ShardedRasterOutcome : OutcomeInfo {
   /// dispositions belong to the execution that produced the entry and come
   /// back empty.
   ShardedTopK result;
+};
+struct ShardScanOutcome : OutcomeInfo {
+  ShardScanResult result;
 };
 struct OnionOutcome : OutcomeInfo {
   OnionTopK result;
@@ -231,6 +251,7 @@ class QueryEngine {
 
   [[nodiscard]] std::future<RasterOutcome> submit(RasterJob job);
   [[nodiscard]] std::future<ShardedRasterOutcome> submit(ShardedRasterJob job);
+  [[nodiscard]] std::future<ShardScanOutcome> submit(ShardScanJob job);
   [[nodiscard]] std::future<OnionOutcome> submit(OnionJob job);
   [[nodiscard]] std::future<CompositeOutcome> submit(CompositeJob job);
 

@@ -835,6 +835,143 @@ ShardedTopK sharded_progressive_combined_top_k(const ShardedArchive& sharded,
       shard_bound);
 }
 
+ShardScanResult scan_shard_partial(const ShardedArchive& sharded, std::size_t shard_id,
+                                   ShardScanMode mode, const RasterModel* model,
+                                   const ProgressiveLinearModel* progressive, std::size_t k,
+                                   QueryContext& ctx, CostMeter& meter) {
+  MMIR_EXPECTS(k > 0);
+  MMIR_EXPECTS(shard_id < sharded.shard_count());
+  const bool model_leg =
+      mode == ShardScanMode::kProgressiveModel || mode == ShardScanMode::kCombined;
+  if (model_leg) {
+    MMIR_EXPECTS(progressive != nullptr);
+  } else {
+    MMIR_EXPECTS(model != nullptr);
+  }
+  const TiledArchive& archive = sharded.archive();
+  const ShardInfo& shard = sharded.shard(shard_id);
+  const auto tiles = archive.tiles();
+
+  const auto shard_bound = [&]() -> double {
+    switch (mode) {
+      case ShardScanMode::kFullScan:
+      case ShardScanMode::kTileScreened:
+        return model->bound(shard.band_ranges).hi;
+      case ShardScanMode::kProgressiveModel:
+        return progressive->model().evaluate_interval(shard.band_ranges).hi;
+      case ShardScanMode::kCombined: {
+        const LinearRasterModel screen(progressive->model());
+        return screen.bound(shard.band_ranges).hi;
+      }
+    }
+    return kPosInf;
+  };
+
+  ShardScanResult out;
+  out.model_terms =
+      model_leg ? progressive->order().size() : model->ops_per_evaluation();
+  ShardRun run(k);
+  SharedThreshold shared;  // shard-local: remote legs share no threshold
+
+  ScopedTimer timer(meter);
+  const std::string name = "shard_" + std::to_string(shard_id);
+  obs::Span span = obs::Span::child_of(ctx.span(), name);
+
+  if (!shard.tiles.empty()) {
+    if (ctx.stopped()) {
+      run.status = ctx.stop_reason();
+      run.missed_bound = shard_bound();
+    } else {
+      switch (mode) {
+        case ShardScanMode::kFullScan: {
+          std::vector<double> scratch(archive.band_count());
+          const std::uint64_t ops_before = run.meter.ops();
+          for (std::size_t t : shard.tiles) {
+            const TileSummary& tile = tiles[t];
+            ++run.tiles_scanned;
+            exec::scan_rect_full(archive, *model, tile.x0, tile.x0 + tile.width, tile.y0,
+                                 tile.y0 + tile.height, run.top, scratch, ctx, run.meter,
+                                 run.tally);
+            if (ctx.stopped()) break;
+          }
+          run.scan_ops = run.meter.ops() - ops_before;
+          if (ctx.stopped()) {
+            run.status = ctx.stop_reason();
+            run.missed_bound = shard_bound();
+          } else {
+            run.status = shard_completion_status(shard, run.tally.bad_points);
+          }
+          break;
+        }
+        case ShardScanMode::kProgressiveModel: {
+          const std::uint64_t ops_before = run.meter.ops();
+          for (std::size_t t : shard.tiles) {
+            const TileSummary& tile = tiles[t];
+            ++run.tiles_scanned;
+            exec::scan_rect_staged(
+                archive, *progressive, tile.x0, tile.x0 + tile.width, tile.y0,
+                tile.y0 + tile.height, run.top,
+                [&] { return std::max(run.top.threshold(), shared.get()); },
+                [&] {
+                  if (run.top.full()) shared.raise(run.top.threshold());
+                },
+                ctx, run.meter, run.tally);
+            if (ctx.stopped()) break;
+          }
+          run.scan_ops = run.meter.ops() - ops_before;
+          if (ctx.stopped()) {
+            run.status = ctx.stop_reason();
+            run.missed_bound = shard_bound();
+          } else {
+            run.status = shard_completion_status(shard, run.tally.bad_points);
+          }
+          break;
+        }
+        case ShardScanMode::kTileScreened: {
+          std::vector<double> scratch(archive.band_count());
+          screened_shard_scan(archive, *model, nullptr, shard, run, shared, ctx,
+                              shard_bound(), [&](const TileSummary& tile, ShardRun& r) {
+                                exec::scan_rect_full(archive, *model, tile.x0,
+                                                     tile.x0 + tile.width, tile.y0,
+                                                     tile.y0 + tile.height, r.top, scratch,
+                                                     ctx, r.meter, r.tally);
+                              });
+          break;
+        }
+        case ShardScanMode::kCombined: {
+          const LinearRasterModel screen(progressive->model());
+          screened_shard_scan(
+              archive, screen, nullptr, shard, run, shared, ctx, shard_bound(),
+              [&](const TileSummary& tile, ShardRun& r) {
+                exec::scan_rect_staged(
+                    archive, *progressive, tile.x0, tile.x0 + tile.width, tile.y0,
+                    tile.y0 + tile.height, r.top,
+                    [&] { return std::max(r.top.threshold(), shared.get()); },
+                    [&] {
+                      if (r.top.full()) shared.raise(r.top.threshold());
+                    },
+                    ctx, r.meter, r.tally);
+              });
+          break;
+        }
+      }
+    }
+  }
+  annotate_shard(span, shard, run);
+
+  out.partial.shard_id = shard_id;
+  out.partial.result.hits = exec::finalize(run.top);
+  out.partial.result.status = run.status;
+  out.partial.result.missed_bound = run.missed_bound;
+  out.partial.result.bad_points = run.tally.bad_points;
+  out.partial.pixels_visited = run.tally.pixels;
+  out.partial.tiles_scanned = run.tiles_scanned;
+  out.partial.tiles_pruned = run.tiles_pruned;
+  out.scan_ops = run.scan_ops;
+  meter.merge(run.meter);
+  return out;
+}
+
 // ------------------------------------------------------------ Onion / SPROC
 
 OnionTopK sharded_onion_top_k(const ShardedOnionIndex& index, std::span<const double> weights,

@@ -121,6 +121,40 @@ struct ShardedTopK {
     QueryContext& ctx, CostMeter& meter, ThreadPool& pool,
     const exec::TileBounds* precomputed = nullptr, const ShardExecOptions* options = nullptr);
 
+/// The four executor modes, addressable without dragging the scheduler
+/// header in (values mirror RasterJob::Mode).  This is the mode a shard
+/// server receives over the wire.
+enum class ShardScanMode : std::uint8_t {
+  kFullScan = 0,
+  kProgressiveModel = 1,
+  kTileScreened = 2,
+  kCombined = 3,
+};
+
+/// Result of serially scanning ONE shard: the partial the gather-side merge
+/// consumes plus the §4.2 efficiency inputs (scan_ops, model_terms) a remote
+/// router re-annotates on its own spans.
+struct ShardScanResult {
+  ShardPartial partial;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t model_terms = 0;
+};
+
+/// Serially scans one shard of `sharded` with the same kernels, accounting,
+/// and status rules as the in-process executors — the unit of work a
+/// ShardServer runs per request.  The pruning threshold is shard-local (no
+/// cross-process shared threshold exists), which weakens pruning but never
+/// soundness: a complete shard still returns its exact top-K, so the remote
+/// merge equals the in-process merge.  `model` is required for
+/// kFullScan/kTileScreened, `progressive` for kProgressiveModel/kCombined.
+/// Opens a "shard_<id>" span under ctx's span for EXPLAIN.
+[[nodiscard]] ShardScanResult scan_shard_partial(const ShardedArchive& sharded,
+                                                 std::size_t shard_id, ShardScanMode mode,
+                                                 const RasterModel* model,
+                                                 const ProgressiveLinearModel* progressive,
+                                                 std::size_t k, QueryContext& ctx,
+                                                 CostMeter& meter);
+
 /// Scatter-gather over a ShardedOnionIndex: every per-shard index is queried
 /// on the pool, hits are remapped to global tuple ids, and the partials merge
 /// under the max-of-bounds rule.  Equals the monolithic OnionIndex answer

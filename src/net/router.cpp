@@ -1,0 +1,566 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/backoff.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mmir::net {
+
+namespace {
+
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr std::size_t kHealthWindow = 256;
+
+const char* fault_name(ShardFault fault) noexcept {
+  switch (fault) {
+    case ShardFault::kDelay:
+      return "delay";
+    case ShardFault::kFail:
+      return "fail";
+    case ShardFault::kCorrupt:
+      return "corrupt";
+    case ShardFault::kNone:
+      break;
+  }
+  return "none";
+}
+
+/// Sleeps `total` in short slices, returning early when the leg is
+/// cancelled (hedge sibling won) or the global context stopped — the same
+/// shape as the in-process fault path's interruptible wait.
+void interruptible_wait(std::chrono::nanoseconds total, const std::atomic<bool>& cancel,
+                        QueryContext& ctx) {
+  const auto deadline = std::chrono::steady_clock::now() + total;
+  constexpr auto kSlice = std::chrono::microseconds(100);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel.load(std::memory_order_acquire)) return;
+    if (ctx.expired()) return;
+    std::this_thread::sleep_for(kSlice);
+  }
+}
+
+/// One wire leg's mutable state (primary or hedge of one shard).
+struct Leg {
+  WirePartial reply;
+  bool ok = false;       ///< contributed a usable partial (clean or synthesized)
+  bool clean = false;    ///< a real server reply, no fault-driven widening
+  bool widened = false;  ///< synthesized with the whole-shard bound
+  std::atomic<bool> cancel{false};
+  std::uint32_t attempts = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t faults = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  ShardFault last_fault = ShardFault::kNone;
+};
+
+/// Primary + optional hedge legs of one shard; first clean reply wins.
+struct Slot {
+  Leg primary;
+  Leg hedge;
+  std::atomic<bool> primary_finished{false};
+  std::atomic<int> winner{-1};
+  bool hedge_launched = false;
+};
+
+void annotate_leg(const obs::Span& span, std::size_t shard, const Leg& leg) {
+  if (!span.active()) return;
+  span.annotate("shard", static_cast<double>(shard));
+  span.annotate("hits", static_cast<double>(leg.reply.partial.result.hits.size()));
+  span.annotate("items_examined", static_cast<double>(leg.reply.partial.pixels_visited));
+  span.annotate("tiles_scanned", static_cast<double>(leg.reply.partial.tiles_scanned));
+  span.annotate("tiles_pruned", static_cast<double>(leg.reply.partial.tiles_pruned));
+  span.annotate("attempts", static_cast<double>(leg.attempts));
+  span.annotate("timeouts", static_cast<double>(leg.timeouts));
+  span.annotate("faults_injected", static_cast<double>(leg.faults));
+  span.annotate("bound_widened", leg.widened ? 1.0 : 0.0);
+  span.annotate("bytes_sent", static_cast<double>(leg.bytes_sent));
+  span.annotate("bytes_received", static_cast<double>(leg.bytes_received));
+  span.note("status", to_string(leg.reply.partial.result.status));
+  if (leg.last_fault != ShardFault::kNone) span.note("fault", fault_name(leg.last_fault));
+  if (!leg.ok) span.note("leg_outcome", "dead");
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config) : config_(std::move(config)) {
+  MMIR_EXPECTS(!config_.ports.empty());
+}
+
+ShardDescription Router::describe_shard(std::uint64_t archive_id, std::uint32_t shard_count,
+                                        std::uint8_t policy, std::uint32_t shard) {
+  const auto key = std::make_tuple(archive_id, shard_count, policy, shard);
+  {
+    const std::lock_guard<std::mutex> lock(meta_mutex_);
+    const auto it = meta_cache_.find(key);
+    if (it != meta_cache_.end()) return it->second;
+  }
+  ShardDescription info;
+  Socket sock = Socket::connect_loopback(config_.ports[shard]);
+  if (!sock.valid()) return info;
+  DescribeSpec spec;
+  spec.archive_id = archive_id;
+  spec.shard_count = shard_count;
+  spec.shard_policy = policy;
+  spec.shard_id = shard;
+  if (!write_frame(sock, MsgType::kDescribe, encode_describe(spec))) return info;
+  try {
+    const Frame frame = read_frame(sock, config_.default_leg_timeout);
+    if (frame.type != MsgType::kShardInfo) return info;
+    info = decode_shard_info(frame.payload);
+  } catch (const WireError&) {
+    return ShardDescription{};
+  }
+  if (info.known) {
+    const std::lock_guard<std::mutex> lock(meta_mutex_);
+    meta_cache_.emplace(key, info);
+  }
+  return info;
+}
+
+RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMeter& meter) {
+  MMIR_EXPECTS(query.model != nullptr);
+  MMIR_EXPECTS(query.k > 0);
+  const std::size_t count =
+      query.shard_count == 0 ? config_.ports.size() : static_cast<std::size_t>(query.shard_count);
+  MMIR_EXPECTS(count >= 1 && count <= config_.ports.size());
+
+  ScopedTimer timer(meter);
+  const obs::Span span = obs::Span::child_of(ctx.span(), "router");
+  const std::uint8_t policy8 = static_cast<std::uint8_t>(query.policy);
+  const ShardFaultPolicy& policy = config_.policy;
+  const int max_attempts = std::max(1, policy.max_attempts);
+
+  RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  retry.initial_backoff = policy.retry_initial_backoff;
+  retry.max_backoff = policy.retry_max_backoff;
+  retry.jitter_seed = policy.jitter_seed;
+
+  const auto leg_timeout = std::max(
+      std::chrono::milliseconds(1),
+      policy.shard_timeout.count() > 0
+          ? std::chrono::duration_cast<std::chrono::milliseconds>(policy.shard_timeout)
+          : config_.default_leg_timeout);
+
+  // Shard metadata: dead-leg bounds, empty-shard skips, §4.2 totals.
+  std::vector<ShardDescription> meta(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    meta[s] = describe_shard(query.archive_id, static_cast<std::uint32_t>(count), policy8,
+                             static_cast<std::uint32_t>(s));
+  }
+
+  // A leg the router could not hear from is covered by its whole-shard
+  // bound; with no metadata at all the bound is +inf — maximally wide,
+  // still sound.
+  const auto shard_bound = [&](std::size_t s) -> double {
+    if (!meta[s].known) return kPosInf;
+    if (meta[s].pixel_count == 0) return kNegInf;
+    if (meta[s].band_ranges.empty()) return kPosInf;
+    return query.model->evaluate_interval(meta[s].band_ranges).hi;
+  };
+
+  // Static S-way budget split: remote processes share no atomic budget, so
+  // each leg gets its slice up front.  Re-slices only where a budgeted scan
+  // stops; every leg still bounds whatever it skipped.
+  constexpr std::uint64_t kUnlimited = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> leg_budget(count, kUnlimited);
+  if (query.op_budget != kUnlimited) {
+    const std::uint64_t base = query.op_budget / count;
+    const std::uint64_t rem = query.op_budget % count;
+    for (std::size_t s = 0; s < count; ++s) leg_budget[s] = base + (s < rem ? 1 : 0);
+  }
+
+  const std::uint64_t query_id = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<QuerySpec> specs(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    QuerySpec& spec = specs[s];
+    spec.query_id = query_id;
+    spec.archive_id = query.archive_id;
+    spec.shard_count = static_cast<std::uint32_t>(count);
+    spec.shard_policy = policy8;
+    spec.shard_id = static_cast<std::uint32_t>(s);
+    spec.mode = static_cast<std::uint8_t>(query.mode);
+    spec.k = static_cast<std::uint32_t>(query.k);
+    spec.op_budget = leg_budget[s];
+    spec.bias = query.model->bias();
+    spec.weights.assign(query.model->weights().begin(), query.model->weights().end());
+    spec.names.reserve(query.model->dim());
+    for (std::size_t i = 0; i < query.model->dim(); ++i) spec.names.push_back(query.model->name(i));
+  }
+
+  std::vector<std::unique_ptr<Slot>> slots;
+  slots.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) slots.push_back(std::make_unique<Slot>());
+
+  // One attempt loop per leg, the remote twin of the in-process fault path:
+  // chaos verdicts, per-attempt deadline, capped jittered backoff, and the
+  // same dispositions (clean / stop-reason / degraded+widened / dead).
+  const auto run_leg = [&](std::size_t s, int leg_id, Leg& leg, Slot& slot) {
+    const auto synth = [&](ResultStatus status, double bound) {
+      leg.reply = WirePartial{};
+      leg.reply.partial.shard_id = s;
+      leg.reply.partial.result.status = status;
+      leg.reply.partial.result.missed_bound = bound;
+    };
+
+    if (meta[s].known && meta[s].pixel_count == 0) {
+      synth(ResultStatus::kComplete, kNegInf);
+      leg.ok = leg.clean = true;
+      return;
+    }
+
+    ExponentialBackoff backoff(
+        retry, mix64(static_cast<std::uint64_t>(s) * 2 + static_cast<std::uint64_t>(leg_id)));
+    const int attempt_base = leg_id == 0 ? 0 : kHedgeAttemptBase;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (leg.cancel.load(std::memory_order_acquire)) return;
+      if (ctx.expired()) {
+        synth(ctx.stop_reason(), shard_bound(s));
+        leg.ok = true;
+        return;
+      }
+      ++leg.attempts;
+
+      ShardFaultAction action;
+      if (config_.chaos != nullptr) {
+        action = config_.chaos->on_attempt(s, attempt_base + attempt);
+        if (action.kind != ShardFault::kNone) {
+          ++leg.faults;
+          leg.last_fault = action.kind;
+        }
+      }
+
+      const auto deadline = std::chrono::steady_clock::now() + leg_timeout;
+      bool transient = false;
+      bool timed_out = false;
+
+      if (action.kind == ShardFault::kDelay) {
+        interruptible_wait(action.delay, leg.cancel, ctx);
+        if (std::chrono::steady_clock::now() >= deadline) timed_out = true;
+      } else if (action.kind == ShardFault::kFail) {
+        transient = true;
+      }
+
+      if (!transient && !timed_out) {
+        Socket sock = Socket::connect_loopback(config_.ports[s]);
+        if (!sock.valid()) {
+          transient = true;
+        } else {
+          const std::vector<std::uint8_t> payload = encode_query(specs[s]);
+          if (!write_frame(sock, MsgType::kQuery, payload)) {
+            transient = true;
+          } else {
+            leg.bytes_sent += payload.size() + kFrameHeaderBytes + kFrameTrailerBytes;
+            const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (remaining.count() <= 0) {
+              timed_out = true;
+            } else {
+              try {
+                std::vector<std::uint8_t> raw = read_frame_bytes(sock, remaining, &leg.cancel);
+                leg.bytes_received += raw.size();
+                if (action.kind == ShardFault::kCorrupt &&
+                    raw.size() > kFrameHeaderBytes + kFrameTrailerBytes) {
+                  // Model wire corruption by flipping one deterministic
+                  // payload byte; decode_frame's checksum catches it below.
+                  const std::size_t len = raw.size() - kFrameHeaderBytes - kFrameTrailerBytes;
+                  const std::uint64_t mix = mix64(query_id ^ (static_cast<std::uint64_t>(s) << 32) ^
+                                                  static_cast<std::uint64_t>(attempt_base + attempt));
+                  raw[kFrameHeaderBytes + static_cast<std::size_t>(mix % len)] ^= 0x5a;
+                }
+                const Frame frame = decode_frame(raw);
+                if (frame.type == MsgType::kResult) {
+                  WirePartial reply = decode_partial(frame.payload);
+                  if (reply.partial.shard_id != s) {
+                    transient = true;
+                  } else if (reply.partial.result.status == ResultStatus::kShed) {
+                    // Server back-pressure: the scan never ran; retry.
+                    transient = true;
+                  } else {
+                    leg.reply = std::move(reply);
+                    leg.ok = leg.clean = true;
+                    int expected = -1;
+                    if (slot.winner.compare_exchange_strong(expected, leg_id)) {
+                      (leg_id == 0 ? slot.hedge : slot.primary)
+                          .cancel.store(true, std::memory_order_release);
+                    }
+                    return;
+                  }
+                } else {
+                  // kError (unknown archive, bad request, internal) or an
+                  // unexpected type: transient from the leg's perspective.
+                  transient = true;
+                }
+              } catch (const WireError& err) {
+                if (err.fault() == WireFault::kClosed) {
+                  if (leg.cancel.load(std::memory_order_acquire)) return;  // hedge race lost
+                  if (ctx.expired()) {
+                    synth(ctx.stop_reason(), shard_bound(s));
+                    leg.ok = true;
+                    return;
+                  }
+                  timed_out = true;
+                } else {
+                  // Truncated / corrupt / skewed / malformed frame.
+                  transient = true;
+                }
+              }
+            }
+          }
+        }
+      }
+
+      if (leg.cancel.load(std::memory_order_acquire)) return;
+      if (ctx.expired()) {
+        synth(ctx.stop_reason(), shard_bound(s));
+        leg.ok = true;
+        return;
+      }
+
+      if (timed_out) {
+        ++leg.timeouts;
+        if (attempt + 1 < max_attempts) {
+          interruptible_wait(backoff.next_delay(), leg.cancel, ctx);
+          continue;
+        }
+        synth(ResultStatus::kDegraded, shard_bound(s));
+        leg.ok = true;
+        leg.widened = true;
+        return;
+      }
+      if (attempt + 1 >= max_attempts) return;  // leg dead
+      interruptible_wait(backoff.next_delay(), leg.cancel, ctx);
+    }
+  };
+
+  std::mutex wait_mutex;
+  std::condition_variable wait_cv;
+  std::size_t primaries_left = count;
+
+  const auto leg_task = [&](std::size_t s, int leg_id) {
+    Slot& slot = *slots[s];
+    Leg& leg = leg_id == 0 ? slot.primary : slot.hedge;
+    const std::string name =
+        "shard_" + std::to_string(s) + (leg_id == 0 ? "" : "_hedge");
+    const obs::Span leg_span = obs::Span::child_of(&span, name);
+    if (leg_id == 1) leg_span.note("leg", "hedge");
+    run_leg(s, leg_id, leg, slot);
+    annotate_leg(leg_span, s, leg);
+    if (leg_id == 0) {
+      slot.primary_finished.store(true, std::memory_order_release);
+      {
+        const std::lock_guard<std::mutex> lock(wait_mutex);
+        --primaries_left;
+      }
+      wait_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(count * 2);
+  for (std::size_t s = 0; s < count; ++s) {
+    threads.emplace_back([&leg_task, s] { leg_task(s, 0); });
+  }
+
+  if (policy.hedge) {
+    {
+      std::unique_lock<std::mutex> lock(wait_mutex);
+      wait_cv.wait_for(lock, policy.hedge_delay, [&] { return primaries_left == 0; });
+    }
+    for (std::size_t s = 0; s < count && !ctx.expired(); ++s) {
+      Slot& slot = *slots[s];
+      if (meta[s].known && meta[s].pixel_count == 0) continue;
+      if (slot.primary_finished.load(std::memory_order_acquire) && slot.primary.clean) continue;
+      slot.hedge_launched = true;
+      threads.emplace_back([&leg_task, s] { leg_task(s, 1); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Gather, in shard order for deterministic tie-breaks.
+  RouterResult res;
+  ShardedTopK& out = res.result;
+  ShardFaultStats& stats = out.fault_stats;
+  out.shard_status.assign(count, ResultStatus::kComplete);
+  std::vector<ShardPartial> partials(count);
+  std::vector<LegEvent> events(count);
+  std::uint64_t pixels_visited = 0;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t model_terms = 0;
+  std::size_t live = 0;
+
+  for (std::size_t s = 0; s < count; ++s) {
+    Slot& slot = *slots[s];
+    Leg& primary = slot.primary;
+    Leg& hedge = slot.hedge;
+    stats.attempts += primary.attempts + hedge.attempts;
+    if (primary.attempts > 1) stats.retries += primary.attempts - 1;
+    if (hedge.attempts > 1) stats.retries += hedge.attempts - 1;
+    stats.timeouts += primary.timeouts + hedge.timeouts;
+    stats.faults_injected += primary.faults + hedge.faults;
+    if (slot.hedge_launched) ++stats.hedges_launched;
+    res.bytes_sent += primary.bytes_sent + hedge.bytes_sent;
+    res.bytes_received += primary.bytes_received + hedge.bytes_received;
+
+    const bool empty_shard = meta[s].known && meta[s].pixel_count == 0;
+    if (!empty_shard) ++live;
+
+    events[s].shard = static_cast<std::uint32_t>(s);
+    events[s].timeouts = primary.timeouts + hedge.timeouts;
+    events[s].retries = (primary.attempts > 1 ? primary.attempts - 1 : 0) +
+                        (hedge.attempts > 1 ? hedge.attempts - 1 : 0);
+
+    Leg* pick = nullptr;
+    if (primary.clean) {
+      pick = &primary;
+    } else if (hedge.clean) {
+      pick = &hedge;
+      ++stats.hedges_won;
+    } else if (primary.ok) {
+      pick = &primary;
+    } else if (hedge.ok) {
+      pick = &hedge;
+      ++stats.hedges_won;
+    }
+
+    if (pick != nullptr) {
+      partials[s] = std::move(pick->reply.partial);
+      meter.add_points(pick->reply.meter_points);
+      meter.add_ops(pick->reply.meter_ops);
+      meter.add_bytes(pick->reply.meter_bytes);
+      meter.add_pruned(pick->reply.meter_pruned);
+      pixels_visited += partials[s].pixels_visited;
+      scan_ops += pick->reply.scan_ops;
+      model_terms = std::max(model_terms, pick->reply.model_terms);
+      if (pick->widened) {
+        ++stats.bounds_widened;
+        ++stats.degraded_shards;
+      }
+    } else {
+      partials[s].shard_id = s;
+      partials[s].result.status = ResultStatus::kDegraded;
+      partials[s].result.missed_bound = shard_bound(s);
+      ++stats.failed_shards;
+      ++stats.bounds_widened;
+      ++stats.degraded_shards;
+      events[s].failed = true;
+    }
+    out.shard_status[s] = partials[s].result.status;
+  }
+
+  out.merged = merge_shard_partials(partials, query.k);
+  if (live > 0 && stats.failed_shards == live) {
+    // Every live leg contributed nothing: the answer is no answer.
+    out.merged.status = ResultStatus::kShed;
+    out.merged.missed_bound = kPosInf;
+  }
+
+  if (span.active()) {
+    std::uint64_t total_pixels = 0;
+    for (const ShardDescription& m : meta) {
+      if (m.known) {
+        total_pixels = m.archive_pixels;
+        break;
+      }
+    }
+    if (model_terms == 0) model_terms = query.model->dim();
+    span.annotate("total_pixels", static_cast<double>(total_pixels));
+    span.annotate("model_terms", static_cast<double>(model_terms));
+    span.annotate("pixels_visited", static_cast<double>(pixels_visited));
+    span.annotate("scan_ops", static_cast<double>(scan_ops));
+    span.annotate("shards", static_cast<double>(count));
+    span.annotate("hits", static_cast<double>(out.merged.hits.size()));
+    span.annotate("bad_points", static_cast<double>(out.merged.bad_points));
+    span.annotate("meter_points", static_cast<double>(meter.points()));
+    span.annotate("meter_ops", static_cast<double>(meter.ops()));
+    span.annotate("meter_pruned", static_cast<double>(meter.pruned()));
+    span.note("status", to_string(out.merged.status));
+
+    const obs::Span gather = obs::Span::child_of(&span, "gather");
+    gather.annotate("attempts", static_cast<double>(stats.attempts));
+    gather.annotate("retries", static_cast<double>(stats.retries));
+    gather.annotate("timeouts", static_cast<double>(stats.timeouts));
+    gather.annotate("faults_injected", static_cast<double>(stats.faults_injected));
+    gather.annotate("hedges_launched", static_cast<double>(stats.hedges_launched));
+    gather.annotate("hedges_won", static_cast<double>(stats.hedges_won));
+    gather.annotate("bounds_widened", static_cast<double>(stats.bounds_widened));
+    gather.annotate("shards_failed", static_cast<double>(stats.failed_shards));
+    gather.annotate("bytes_sent", static_cast<double>(res.bytes_sent));
+    gather.annotate("bytes_received", static_cast<double>(res.bytes_received));
+    gather.note("status", to_string(out.merged.status));
+  }
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("engine_net_queries_total").add();
+    m.counter("engine_net_attempts_total").add(stats.attempts);
+    m.counter("engine_net_retries_total").add(stats.retries);
+    m.counter("engine_net_timeouts_total").add(stats.timeouts);
+    m.counter("engine_net_faults_injected_total").add(stats.faults_injected);
+    m.counter("engine_net_hedges_total").add(stats.hedges_launched);
+    m.counter("engine_net_hedge_wins_total").add(stats.hedges_won);
+    m.counter("engine_net_bounds_widened_total").add(stats.bounds_widened);
+    m.counter("engine_net_legs_failed_total").add(stats.failed_shards);
+    m.counter("engine_net_bytes_sent_total").add(res.bytes_sent);
+    m.counter("engine_net_bytes_received_total").add(res.bytes_received);
+  }
+
+  record_health(events);
+  return res;
+}
+
+void Router::record_health(const std::vector<LegEvent>& events) {
+  const std::lock_guard<std::mutex> lock(health_mutex_);
+  for (const LegEvent& event : events) health_window_.push_back(event);
+  while (health_window_.size() > kHealthWindow) health_window_.pop_front();
+}
+
+obs::HealthReport Router::health() const {
+  struct Agg {
+    std::uint64_t executions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failures = 0;
+  };
+  std::map<std::uint32_t, Agg> per_shard;
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const LegEvent& event : health_window_) {
+      Agg& agg = per_shard[event.shard];
+      ++agg.executions;
+      agg.timeouts += event.timeouts;
+      agg.retries += event.retries;
+      if (event.failed) ++agg.failures;
+    }
+  }
+  obs::HealthReport report;
+  for (const auto& [shard, agg] : per_shard) {
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "remote_shard=%u port=%u executions=%llu timeouts=%llu retries=%llu "
+                  "failed=%llu",
+                  shard, shard < config_.ports.size() ? config_.ports[shard] : 0,
+                  static_cast<unsigned long long>(agg.executions),
+                  static_cast<unsigned long long>(agg.timeouts),
+                  static_cast<unsigned long long>(agg.retries),
+                  static_cast<unsigned long long>(agg.failures));
+    report.lines.emplace_back(line);
+    if (agg.timeouts > 0 || agg.failures > 0) report.ok = false;
+  }
+  return report;
+}
+
+}  // namespace mmir::net

@@ -1,0 +1,139 @@
+#pragma once
+// Scatter-gather over shard-server *processes* (DESIGN.md §6g): the Router
+// fans one raster query out to N shard servers over the wire protocol,
+// collects per-shard partials, and merges them under the same max-of-bounds
+// rule as the in-process sharded executors (merge_shard_partials) — so with
+// every leg healthy the answer is byte-identical to the monolithic serial
+// run, and with legs failing it degrades exactly the way an in-process
+// fault-domain execution does.
+//
+// Every wire-layer misfortune maps onto the existing Degraded/Shed status
+// algebra, mirroring engine/shard_exec.cpp's fault path leg for leg:
+//
+//   * connect failure, kError reply, truncated/corrupt/version-skewed frame
+//     -> transient fault: retried under the policy's capped backoff, and a
+//        leg that exhausts its attempts contributes an empty kDegraded
+//        partial whose missed bound is the *whole-shard* score bound — the
+//        merged bound widens, the certified prefix shortens, soundness holds;
+//   * per-attempt timeout -> retried, then kept as kDegraded + widened bound;
+//   * a server kShed reply -> back-pressure, retried like a transient fault;
+//   * hedging: a straggler primary leg gets a speculative duplicate after
+//     hedge_delay; first clean reply wins and cancels the sibling.
+//
+// A slow or dead shard server therefore degrades its shard's bound — it
+// never blocks the query and never poisons the merge with a truncated
+// status.  Whole-shard bounds come from a cached kDescribe exchange (the
+// shard's per-band ranges); when even describe failed, the bound is +inf —
+// maximally wide, still sound.
+//
+// The op budget splits *statically* across legs (remote processes share no
+// atomic budget), which only re-slices where a budgeted scan stops — each
+// leg still reports a sound bound for whatever it skipped.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "archive/sharded.hpp"
+#include "core/query_context.hpp"
+#include "engine/fault_domain.hpp"
+#include "engine/shard_exec.hpp"
+#include "linear/model.hpp"
+#include "net/wire.hpp"
+#include "obs/stats_server.hpp"
+#include "util/cost.hpp"
+
+namespace mmir::obs {
+class MetricsRegistry;
+}  // namespace mmir::obs
+
+namespace mmir::net {
+
+struct RouterConfig {
+  /// Shard id -> loopback port of the server answering for that shard.
+  std::vector<std::uint16_t> ports;
+  /// The same fault envelope the in-process executors take: per-leg
+  /// timeout, attempt budget, backoff, hedging.
+  ShardFaultPolicy policy;
+  /// Deterministic wire-fault source (delays, aborted attempts, corrupted
+  /// reply frames); borrowed, may be null.
+  ShardChaos* chaos = nullptr;
+  /// engine_net_* counters; null disables metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-attempt deadline when policy.shard_timeout is 0 — a remote leg
+  /// must never wait forever on a dead socket.
+  std::chrono::milliseconds default_leg_timeout{2000};
+};
+
+/// One distributed raster query.
+struct RouterQuery {
+  std::uint64_t archive_id = 0;
+  /// 0 = one shard per configured port.
+  std::uint32_t shard_count = 0;
+  ShardPolicy policy = ShardPolicy::kRowBands;
+  ShardScanMode mode = ShardScanMode::kCombined;
+  const LinearModel* model = nullptr;
+  std::size_t k = 10;
+  std::uint64_t op_budget = std::numeric_limits<std::uint64_t>::max();
+};
+
+struct RouterResult {
+  ShardedTopK result;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Scatter-gathers `query` over the configured shard servers.  Blocks
+  /// until every leg resolved (reply, exhausted attempts, or global stop);
+  /// ctx carries the global deadline/cancel/span exactly as for in-process
+  /// execution.  EXPLAIN sees a "router" stage with one "shard_<i>" child
+  /// per remote leg and a "gather" child, the same shape as the in-process
+  /// scatter-gather.
+  [[nodiscard]] RouterResult execute(const RouterQuery& query, QueryContext& ctx,
+                                     CostMeter& meter);
+
+  /// Rolling-window health of the remote legs, one line per shard — the
+  /// /healthz hook, mirroring QueryEngine::health() for remote execution.
+  [[nodiscard]] obs::HealthReport health() const;
+
+ private:
+  struct LegEvent {
+    std::uint32_t shard = 0;
+    std::uint32_t timeouts = 0;
+    std::uint32_t retries = 0;
+    bool failed = false;
+  };
+
+  /// Cached kDescribe exchange; a ShardDescription with known=false means
+  /// the describe failed (not cached — retried on the next query).
+  [[nodiscard]] ShardDescription describe_shard(std::uint64_t archive_id,
+                                                std::uint32_t shard_count, std::uint8_t policy,
+                                                std::uint32_t shard);
+  void record_health(const std::vector<LegEvent>& events);
+
+  RouterConfig config_;
+  std::atomic<std::uint64_t> query_seq_{1};
+
+  mutable std::mutex meta_mutex_;
+  std::map<std::tuple<std::uint64_t, std::uint32_t, std::uint8_t, std::uint32_t>,
+           ShardDescription>
+      meta_cache_;
+
+  mutable std::mutex health_mutex_;
+  std::deque<LegEvent> health_window_;
+};
+
+}  // namespace mmir::net

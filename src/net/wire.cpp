@@ -1,0 +1,396 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "util/fnv.hpp"
+
+namespace mmir::net {
+
+const char* to_string(WireFault fault) noexcept {
+  switch (fault) {
+    case WireFault::kNone: return "none";
+    case WireFault::kClosed: return "closed";
+    case WireFault::kTruncated: return "truncated";
+    case WireFault::kBadMagic: return "bad-magic";
+    case WireFault::kOversized: return "oversized";
+    case WireFault::kVersionSkew: return "version-skew";
+    case WireFault::kChecksumMismatch: return "checksum-mismatch";
+    case WireFault::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireReader::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    throw WireError(WireFault::kMalformed, "payload shorter than its fields claim");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+namespace {
+
+bool known_type(std::uint16_t t) noexcept {
+  return t >= static_cast<std::uint16_t>(MsgType::kQuery) &&
+         t <= static_cast<std::uint16_t>(MsgType::kShardInfo);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Validates the 12-byte header; returns the advertised payload length.
+std::uint32_t check_header(std::span<const std::uint8_t> head) {
+  if (std::memcmp(head.data(), kWireMagic, sizeof kWireMagic) != 0) {
+    throw WireError(WireFault::kBadMagic, "frame does not start with MMW1");
+  }
+  const std::uint16_t version = get_u16(head.data() + 4);
+  if (version != kWireVersion) {
+    throw WireError(WireFault::kVersionSkew,
+                    "peer speaks protocol version " + std::to_string(version) +
+                        ", this build speaks " + std::to_string(kWireVersion));
+  }
+  const std::uint32_t len = get_u32(head.data() + 8);
+  if (len > kMaxFramePayload) {
+    throw WireError(WireFault::kOversized,
+                    "length prefix " + std::to_string(len) + " exceeds the " +
+                        std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  return len;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(MsgType type, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  out.insert(out.end(), kWireMagic, kWireMagic + sizeof kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, fnv1a(payload.data(), payload.size()));
+  return out;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw WireError(WireFault::kTruncated, "frame shorter than its header");
+  }
+  const std::uint32_t len = check_header(bytes.first(kFrameHeaderBytes));
+  const std::uint16_t raw_type = get_u16(bytes.data() + 6);
+  if (!known_type(raw_type)) {
+    throw WireError(WireFault::kMalformed,
+                    "unknown message type " + std::to_string(raw_type));
+  }
+  if (bytes.size() < kFrameHeaderBytes + len + kFrameTrailerBytes) {
+    throw WireError(WireFault::kTruncated, "frame ends before its advertised payload");
+  }
+  const std::uint8_t* payload = bytes.data() + kFrameHeaderBytes;
+  const std::uint64_t expect = get_u64(payload + len);
+  const std::uint64_t actual = fnv1a(payload, len);
+  if (expect != actual) {
+    throw WireError(WireFault::kChecksumMismatch, "payload checksum mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(raw_type);
+  frame.payload.assign(payload, payload + len);
+  return frame;
+}
+
+std::vector<std::uint8_t> read_frame_bytes(Socket& sock, std::chrono::milliseconds timeout,
+                                           const std::atomic<bool>* cancel) {
+  std::vector<std::uint8_t> raw(kFrameHeaderBytes);
+  if (!sock.read_exact(raw.data(), raw.size(), timeout, cancel)) {
+    throw WireError(WireFault::kClosed, "no frame (peer closed, timed out, or cancelled)");
+  }
+  const std::uint32_t len = check_header(raw);
+  raw.resize(kFrameHeaderBytes + len + kFrameTrailerBytes);
+  if (!sock.read_exact(raw.data() + kFrameHeaderBytes, len + kFrameTrailerBytes, timeout,
+                       cancel)) {
+    throw WireError(WireFault::kTruncated, "peer died mid-frame");
+  }
+  return raw;
+}
+
+Frame read_frame(Socket& sock, std::chrono::milliseconds timeout,
+                 const std::atomic<bool>* cancel) {
+  return decode_frame(read_frame_bytes(sock, timeout, cancel));
+}
+
+bool write_frame(Socket& sock, MsgType type, std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> bytes = encode_frame(type, payload);
+  return sock.write_all(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+std::vector<std::uint8_t> encode_query(const QuerySpec& spec) {
+  WireWriter w;
+  w.u64(spec.query_id);
+  w.u64(spec.archive_id);
+  w.u32(spec.shard_count);
+  w.u8(spec.shard_policy);
+  w.u32(spec.shard_id);
+  w.u8(spec.mode);
+  w.u32(spec.k);
+  w.u64(spec.op_budget);
+  w.u64(spec.timeout_ns);
+  w.f64(spec.bias);
+  w.u32(static_cast<std::uint32_t>(spec.weights.size()));
+  for (double weight : spec.weights) w.f64(weight);
+  w.u32(static_cast<std::uint32_t>(spec.names.size()));
+  for (const std::string& name : spec.names) w.str(name);
+  return w.take();
+}
+
+QuerySpec decode_query(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  QuerySpec spec;
+  spec.query_id = r.u64();
+  spec.archive_id = r.u64();
+  spec.shard_count = r.u32();
+  spec.shard_policy = r.u8();
+  spec.shard_id = r.u32();
+  spec.mode = r.u8();
+  spec.k = r.u32();
+  spec.op_budget = r.u64();
+  spec.timeout_ns = r.u64();
+  spec.bias = r.f64();
+  const std::uint32_t n_weights = r.u32();
+  if (r.remaining() < static_cast<std::size_t>(n_weights) * 8) {
+    throw WireError(WireFault::kMalformed, "query weight count oversells the payload");
+  }
+  spec.weights.reserve(n_weights);
+  for (std::uint32_t i = 0; i < n_weights; ++i) spec.weights.push_back(r.f64());
+  const std::uint32_t n_names = r.u32();
+  if (r.remaining() < static_cast<std::size_t>(n_names) * 4) {
+    throw WireError(WireFault::kMalformed, "query name count oversells the payload");
+  }
+  spec.names.reserve(n_names);
+  for (std::uint32_t i = 0; i < n_names; ++i) spec.names.push_back(r.str());
+  if (spec.shard_count == 0 || spec.shard_id >= spec.shard_count || spec.k == 0 ||
+      spec.shard_policy > 1 || spec.mode > 3) {
+    throw WireError(WireFault::kMalformed, "query spec fields out of range");
+  }
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after query spec");
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_partial(const WirePartial& partial) {
+  WireWriter w;
+  w.u64(partial.query_id);
+  w.u64(static_cast<std::uint64_t>(partial.partial.shard_id));
+  w.u8(static_cast<std::uint8_t>(partial.partial.result.status));
+  w.f64(partial.partial.result.missed_bound);
+  w.u64(partial.partial.result.bad_points);
+  w.u32(static_cast<std::uint32_t>(partial.partial.result.hits.size()));
+  for (const RasterHit& hit : partial.partial.result.hits) {
+    w.u64(static_cast<std::uint64_t>(hit.x));
+    w.u64(static_cast<std::uint64_t>(hit.y));
+    w.f64(hit.score);
+  }
+  w.u64(partial.partial.pixels_visited);
+  w.u64(partial.partial.tiles_scanned);
+  w.u64(partial.partial.tiles_pruned);
+  w.u64(partial.meter_points);
+  w.u64(partial.meter_ops);
+  w.u64(partial.meter_bytes);
+  w.u64(partial.meter_pruned);
+  w.u64(partial.scan_ops);
+  w.u64(partial.model_terms);
+  return w.take();
+}
+
+WirePartial decode_partial(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WirePartial out;
+  out.query_id = r.u64();
+  out.partial.shard_id = static_cast<std::size_t>(r.u64());
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResultStatus::kShed)) {
+    throw WireError(WireFault::kMalformed, "unknown ResultStatus on the wire");
+  }
+  out.partial.result.status = static_cast<ResultStatus>(status);
+  out.partial.result.missed_bound = r.f64();
+  out.partial.result.bad_points = r.u64();
+  const std::uint32_t n_hits = r.u32();
+  if (r.remaining() < static_cast<std::size_t>(n_hits) * 24) {
+    throw WireError(WireFault::kMalformed, "hit count oversells the payload");
+  }
+  out.partial.result.hits.reserve(n_hits);
+  for (std::uint32_t i = 0; i < n_hits; ++i) {
+    RasterHit hit;
+    hit.x = static_cast<std::size_t>(r.u64());
+    hit.y = static_cast<std::size_t>(r.u64());
+    hit.score = r.f64();
+    out.partial.result.hits.push_back(hit);
+  }
+  out.partial.pixels_visited = r.u64();
+  out.partial.tiles_scanned = r.u64();
+  out.partial.tiles_pruned = r.u64();
+  out.meter_points = r.u64();
+  out.meter_ops = r.u64();
+  out.meter_bytes = r.u64();
+  out.meter_pruned = r.u64();
+  out.scan_ops = r.u64();
+  out.model_terms = r.u64();
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after partial");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_describe(const DescribeSpec& spec) {
+  WireWriter w;
+  w.u64(spec.archive_id);
+  w.u32(spec.shard_count);
+  w.u8(spec.shard_policy);
+  w.u32(spec.shard_id);
+  return w.take();
+}
+
+DescribeSpec decode_describe(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  DescribeSpec spec;
+  spec.archive_id = r.u64();
+  spec.shard_count = r.u32();
+  spec.shard_policy = r.u8();
+  spec.shard_id = r.u32();
+  if (spec.shard_count == 0 || spec.shard_id >= spec.shard_count || spec.shard_policy > 1) {
+    throw WireError(WireFault::kMalformed, "describe spec fields out of range");
+  }
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after describe");
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_shard_info(const ShardDescription& info) {
+  WireWriter w;
+  w.u8(info.known ? 1 : 0);
+  w.u64(info.pixel_count);
+  w.u64(info.tile_count);
+  w.u64(info.archive_pixels);
+  w.u32(static_cast<std::uint32_t>(info.band_ranges.size()));
+  for (const Interval& range : info.band_ranges) {
+    w.f64(range.lo);
+    w.f64(range.hi);
+  }
+  return w.take();
+}
+
+ShardDescription decode_shard_info(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ShardDescription info;
+  info.known = r.u8() != 0;
+  info.pixel_count = r.u64();
+  info.tile_count = r.u64();
+  info.archive_pixels = r.u64();
+  const std::uint32_t n_bands = r.u32();
+  if (r.remaining() < static_cast<std::size_t>(n_bands) * 16) {
+    throw WireError(WireFault::kMalformed, "band count oversells the payload");
+  }
+  info.band_ranges.reserve(n_bands);
+  for (std::uint32_t i = 0; i < n_bands; ++i) {
+    Interval range;
+    range.lo = r.f64();
+    range.hi = r.f64();
+    info.band_ranges.push_back(range);
+  }
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after shard info");
+  return info;
+}
+
+std::vector<std::uint8_t> encode_error(const WireErrorMsg& err) {
+  WireWriter w;
+  w.u32(err.code);
+  w.str(err.message);
+  return w.take();
+}
+
+WireErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireErrorMsg err;
+  err.code = r.u32();
+  err.message = r.str();
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after error");
+  return err;
+}
+
+}  // namespace mmir::net

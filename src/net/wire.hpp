@@ -1,0 +1,232 @@
+#pragma once
+// Length-prefixed binary wire protocol for shard serving (DESIGN.md §6g).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "MMW1"
+//   4       2     protocol version (kWireVersion)
+//   6       2     message type (MsgType)
+//   8       4     payload length  (<= kMaxFramePayload)
+//   12      N     payload
+//   12+N    8     FNV-1a checksum of the payload (util/fnv.hpp — the same
+//                 scheme as the archive/io on-disk trailer)
+//
+// Every malformation is a *typed* fault (WireFault), never a hang or a
+// crash: a truncated frame, an oversized length prefix, a checksum mismatch,
+// or version skew throws WireError, which a router leg maps onto the
+// Degraded arm of the shard fault algebra and a shard server answers with a
+// kError frame.  Doubles travel as raw IEEE-754 bits (std::bit_cast), so
+// scores, bounds (including ±inf), and weights survive the round trip
+// byte-identically — the cross-process parity oracle depends on it.
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/shard_exec.hpp"
+#include "net/socket.hpp"
+#include "util/error.hpp"
+#include "util/interval.hpp"
+
+namespace mmir::net {
+
+inline constexpr char kWireMagic[4] = {'M', 'M', 'W', '1'};
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Hostile-length guard: a frame advertising more than this is rejected
+/// before any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::size_t kFrameTrailerBytes = 8;
+
+enum class MsgType : std::uint16_t {
+  kQuery = 1,      ///< router -> shard server: one shard's scan
+  kResult = 2,     ///< shard server -> router: the shard partial
+  kError = 3,      ///< shard server -> router: typed refusal
+  kPing = 4,       ///< liveness probe
+  kPong = 5,
+  kDescribe = 6,   ///< router -> shard server: shard metadata request
+  kShardInfo = 7,  ///< shard server -> router: bounds/pixel counts
+};
+
+/// What went wrong at the wire layer; each value maps to one robustness
+/// test and to one router leg disposition.
+enum class WireFault : std::uint8_t {
+  kNone = 0,
+  kClosed,             ///< peer gone before a frame started (EOF/timeout)
+  kTruncated,          ///< frame started but ended early
+  kBadMagic,
+  kOversized,          ///< length prefix beyond kMaxFramePayload
+  kVersionSkew,
+  kChecksumMismatch,
+  kMalformed,          ///< payload did not parse as its message type
+};
+
+[[nodiscard]] const char* to_string(WireFault fault) noexcept;
+
+class WireError : public Error {
+ public:
+  WireError(WireFault fault, const std::string& what)
+      : Error("wire: " + what), fault_(fault) {}
+  [[nodiscard]] WireFault fault() const noexcept { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Little-endian payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s);
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload parser; any overrun throws
+/// WireError(kMalformed).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Assembles a complete frame (header + payload + checksum trailer).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(MsgType type,
+                                                     std::span<const std::uint8_t> payload);
+
+/// Parses and validates a complete frame buffer; throws WireError on bad
+/// magic, version skew, oversized/oversold length, truncation, or checksum
+/// mismatch.  Exposed separately from the socket path so the robustness
+/// suite can fuzz byte buffers directly.
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Reads one raw frame off the socket (header first, then exactly the
+/// advertised payload + trailer).  Throws WireError: kClosed when no frame
+/// starts within the timeout (or the peer hung up), kTruncated when a frame
+/// starts but the peer dies mid-frame, and the header faults eagerly.  The
+/// returned buffer is the full frame, decode_frame-ready — the router's
+/// chaos hook flips bytes in this buffer to model wire corruption.
+[[nodiscard]] std::vector<std::uint8_t> read_frame_bytes(
+    Socket& sock, std::chrono::milliseconds timeout,
+    const std::atomic<bool>* cancel = nullptr);
+
+/// read_frame_bytes + decode_frame.
+[[nodiscard]] Frame read_frame(Socket& sock, std::chrono::milliseconds timeout,
+                               const std::atomic<bool>* cancel = nullptr);
+
+/// Encodes and writes one frame; false on socket failure.
+[[nodiscard]] bool write_frame(Socket& sock, MsgType type,
+                               std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------------------
+// Messages
+
+/// One shard's scan request.  The model travels as raw weights/bias/names so
+/// the server rebuilds LinearModel bit-identically; progressive stage order
+/// derives from the *registered* per-band ranges on the server (the client
+/// registers the same ranges, so ordering — and therefore the answer —
+/// matches the monolithic run exactly).
+struct QuerySpec {
+  std::uint64_t query_id = 0;
+  std::uint64_t archive_id = 0;
+  std::uint32_t shard_count = 1;
+  std::uint8_t shard_policy = 0;  ///< archive ShardPolicy
+  std::uint32_t shard_id = 0;
+  std::uint8_t mode = 0;  ///< engine ShardScanMode
+  std::uint32_t k = 1;
+  std::uint64_t op_budget = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t timeout_ns = 0;  ///< 0 = no server-side deadline
+  double bias = 0.0;
+  std::vector<double> weights;
+  std::vector<std::string> names;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query(const QuerySpec& spec);
+[[nodiscard]] QuerySpec decode_query(std::span<const std::uint8_t> payload);
+
+/// One shard's partial answer plus the CostMeter counters and the §4.2
+/// efficiency inputs EXPLAIN reconciles at the router.
+struct WirePartial {
+  std::uint64_t query_id = 0;
+  ShardPartial partial;
+  std::uint64_t meter_points = 0;
+  std::uint64_t meter_ops = 0;
+  std::uint64_t meter_bytes = 0;
+  std::uint64_t meter_pruned = 0;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t model_terms = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_partial(const WirePartial& partial);
+[[nodiscard]] WirePartial decode_partial(std::span<const std::uint8_t> payload);
+
+/// Shard metadata request: which slice of which layout.
+struct DescribeSpec {
+  std::uint64_t archive_id = 0;
+  std::uint32_t shard_count = 1;
+  std::uint8_t shard_policy = 0;
+  std::uint32_t shard_id = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_describe(const DescribeSpec& spec);
+[[nodiscard]] DescribeSpec decode_describe(std::span<const std::uint8_t> payload);
+
+/// Shard metadata: enough for the router to compute a sound whole-shard
+/// score bound for a dead leg without holding the archive locally.
+struct ShardDescription {
+  bool known = false;          ///< archive_id registered on the server
+  std::uint64_t pixel_count = 0;
+  std::uint64_t tile_count = 0;
+  std::uint64_t archive_pixels = 0;  ///< whole archive (§4.2 total_pixels)
+  std::vector<Interval> band_ranges;  ///< per-band hull of the shard's tiles
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_info(const ShardDescription& info);
+[[nodiscard]] ShardDescription decode_shard_info(std::span<const std::uint8_t> payload);
+
+/// Typed refusal (unknown archive, bad shard id, shed, ...).
+struct WireErrorMsg {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+/// Server-side error codes carried in kError frames.
+inline constexpr std::uint32_t kErrUnknownArchive = 1;
+inline constexpr std::uint32_t kErrBadRequest = 2;
+inline constexpr std::uint32_t kErrShed = 3;
+inline constexpr std::uint32_t kErrInternal = 4;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const WireErrorMsg& err);
+[[nodiscard]] WireErrorMsg decode_error(std::span<const std::uint8_t> payload);
+
+}  // namespace mmir::net

@@ -1,6 +1,7 @@
 #include "obs/explain.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/cost.hpp"
@@ -24,7 +25,13 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
+/// JSON number or null: %.17g would print "nan"/"inf", which no JSON parser
+/// accepts, and speedup ratios over a zero denominator do go non-finite.
 void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out += buf;

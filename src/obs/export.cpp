@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace mmir::obs {
@@ -78,9 +79,14 @@ void append_chrome_event(std::string& out, const SpanRecord& span, std::uint64_t
       out += "\"";
       append_escaped(out, key);
       out += "\":";
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.17g", value);
-      out += buf;
+      if (std::isfinite(value)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        out += buf;
+      } else {
+        // chrome://tracing parses strict JSON: nan/inf must become null.
+        out += "null";
+      }
     }
     for (const auto& [key, value] : span.notes) {
       if (!first_arg) out += ",";

@@ -1,5 +1,6 @@
 #include "obs/stats_server.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -7,17 +8,6 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define MMIR_HAVE_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#else
-#define MMIR_HAVE_SOCKETS 0
-#endif
 
 namespace mmir::obs {
 
@@ -132,31 +122,9 @@ std::string StatsServer::respond(std::string_view method, std::string_view targe
                        "routes: /healthz /metrics /traces /explain/<id>\n");
 }
 
-#if MMIR_HAVE_SOCKETS
-
 bool StatsServer::start(std::uint16_t port) {
   stop();
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return false;
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  } else {
-    port_ = port;
-  }
+  if (!listener_.listen(port)) return false;
   stop_.store(false, std::memory_order_relaxed);
   thread_ = std::thread([this] { serve_loop(); });
   return true;
@@ -164,17 +132,15 @@ bool StatsServer::start(std::uint16_t port) {
 
 void StatsServer::serve_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);  // 100ms stop-flag cadence
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+    // 100ms accept cadence keeps stop() prompt without signals.
+    net::Socket client = listener_.accept(std::chrono::milliseconds(100));
+    if (!client.valid()) continue;
 
     // Read the request head (bounded; the routes take no body).
     std::string request;
     char buf[1024];
     while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
-      const ssize_t n = ::read(client, buf, sizeof buf);
+      const std::ptrdiff_t n = client.read_some(buf, sizeof buf);
       if (n <= 0) break;
       request.append(buf, static_cast<std::size_t>(n));
     }
@@ -192,36 +158,18 @@ void StatsServer::serve_loop() {
       response = respond(line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1));
     }
 
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n = ::write(client, response.data() + sent, response.size() - sent);
-      if (n <= 0) break;
-      sent += static_cast<std::size_t>(n);
-    }
-    ::close(client);
+    (void)client.write_all(response.data(), response.size());
   }
 }
 
 void StatsServer::stop() {
   stop_.store(true, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  port_ = -1;
+  listener_.close();
 }
-
-#else  // !MMIR_HAVE_SOCKETS
-
-bool StatsServer::start(std::uint16_t) { return false; }
-void StatsServer::serve_loop() {}
-void StatsServer::stop() {}
-
-#endif
 
 bool StatsServer::running() const noexcept { return thread_.joinable(); }
 
-int StatsServer::port() const noexcept { return port_; }
+int StatsServer::port() const noexcept { return listener_.port(); }
 
 }  // namespace mmir::obs

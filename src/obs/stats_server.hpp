@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "net/socket.hpp"
+
 namespace mmir::obs {
 
 class MetricsRegistry;
@@ -79,8 +81,7 @@ class StatsServer {
   void serve_loop();
 
   StatsSources sources_;
-  int listen_fd_ = -1;
-  int port_ = -1;
+  net::Listener listener_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace mmir::obs {
@@ -130,9 +131,16 @@ std::string Trace::to_json() const {
         out += "\"";
         append_escaped(out, span.attrs[a].first);
         out += "\":";
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%.17g", span.attrs[a].second);
-        out += buf;
+        const double value = span.attrs[a].second;
+        if (std::isfinite(value)) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%.17g", value);
+          out += buf;
+        } else {
+          // JSON has no nan/inf literals; a non-finite attr (e.g. a -inf
+          // missed bound) must not poison the whole document.
+          out += "null";
+        }
       }
       out += "}";
     }

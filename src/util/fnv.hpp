@@ -1,0 +1,25 @@
+#pragma once
+// FNV-1a over a byte range — cheap, deterministic, good enough to catch
+// flipped bits and torn writes (not an adversarial MAC).  One definition
+// shared by the on-disk checksum trailers (archive/io) and the wire-protocol
+// frame trailers (net/wire), so both layers agree on what "corrupt" means.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmir {
+
+inline constexpr std::uint64_t kFnv1aBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t n) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = kFnv1aBasis;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace mmir

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "archive/sharded.hpp"
@@ -164,6 +165,39 @@ TEST(ExplainReport, TextAndJsonRenderTheReport) {
   EXPECT_NE(json.find("\"items_examined\":12"), std::string::npos);
   EXPECT_NE(json.find("\"efficiency\":null"), std::string::npos);
   EXPECT_NE(json.find("\"op_budget\":null"), std::string::npos);
+}
+
+TEST(ExplainReport, JsonNullsNonFiniteValuesAndEscapesHostileNames) {
+  obs::Trace trace("ras\"ter\\kind", 9);
+  {
+    obs::Span root(&trace, "query");
+    root.annotate("ops_spent", 10);
+    obs::Span stage = obs::Span::child_of(&root, "shard\n\"0\"");
+    // A degraded remote leg legitimately reports an infinite archive extent
+    // (unknown shard meta) — pm/pd and the raw fields must render as null,
+    // never as bare inf/nan tokens that break strict JSON parsers.
+    stage.annotate("total_pixels", std::numeric_limits<double>::infinity());
+    stage.annotate("model_terms", 4);
+    stage.annotate("pixels_visited", std::numeric_limits<double>::quiet_NaN());
+    stage.annotate("scan_ops", 100);
+    stage.annotate("items_examined", 1);
+    stage.annotate("items_pruned", 0);
+    stage.note("status", "degraded");
+    stage.note("fa\"ult", "time\nout");
+  }
+  const auto report = obs::ExplainReport::from_trace(trace);
+  ASSERT_TRUE(report.has_efficiency);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"kind\":\"ras\\\"ter\\\\kind\""), std::string::npos) << json;
+  EXPECT_NE(json.find("shard\\u000a\\\"0\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fa\\\"ult\":\"time\\u000aout\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_pixels\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pixels_visited\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pd\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":-inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
 }
 
 // ------------------------------------------- §4.2 acceptance: pm·pd vs real

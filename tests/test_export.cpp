@@ -7,6 +7,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <regex>
 #include <string>
 #include <vector>
@@ -313,6 +314,27 @@ TEST(ChromeTraceExport, MultipleTracesKeepDistinctTids) {
   ASSERT_NE(events, nullptr);
   ASSERT_EQ(events->array.size(), 2u);
   EXPECT_NE(events->array[0].find("tid")->number, events->array[1].find("tid")->number);
+}
+
+TEST(ChromeTraceExport, NonFiniteAttrsBecomeNull) {
+  obs::Trace trace("t", 7);
+  {
+    obs::Span root(&trace, "query");
+    root.annotate("missed_bound", std::numeric_limits<double>::infinity());
+    root.annotate("floor", -std::numeric_limits<double>::infinity());
+    root.annotate("undefined_ratio", std::numeric_limits<double>::quiet_NaN());
+    root.annotate("ordinary", 2.5);
+  }
+  const std::string json = obs::to_chrome_trace(trace);
+  // %.17g would print bare nan/inf tokens, which no strict parser accepts.
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  const JsonValue* args = doc.find("traceEvents")->array[0].find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("missed_bound")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(args->find("floor")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(args->find("undefined_ratio")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(args->find("ordinary")->number, 2.5);
 }
 
 TEST(ChromeTraceExport, EscapesNoteText) {

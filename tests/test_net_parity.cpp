@@ -1,0 +1,506 @@
+// Cross-process differential battery (ISSUE tentpole oracle): a Router
+// scatter-gathering over shard-server processes must return the
+// *byte-identical* top-K of the serial monolithic executor on the seeded
+// shard-parity cases — and stay sound (certified prefix of the exact
+// answer) under budgets and under ChaosPolicy-driven wire-layer leg kills,
+// delays, and frame corruptions.
+//
+// Two modes, selected by MMIR_NET_SHARD_PORTS:
+//   * unset (default): in-process ShardServers are spun up on ephemeral
+//     loopback ports — same wire path, single process, so the suite runs
+//     under plain ctest;
+//   * "p0,p1,...": the servers are external processes (launched by
+//     ci/net.sh via tools/mmir_shard_server with the identical archive
+//     pool), making the oracle genuinely cross-process.
+// MMIR_NET_CASES caps the case count (TSan runs use a smaller battery).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "archive/sharded.hpp"
+#include "core/progressive_exec.hpp"
+#include "data/scene.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "net/router.hpp"
+#include "net/shard_server.hpp"
+#include "net/socket.hpp"
+#include "obs/trace.hpp"
+#include "testing/fault_injector.hpp"
+#include "util/rng.hpp"
+
+namespace mmir::net {
+namespace {
+
+// ----------------------------------------------------------------- case pool
+// MUST mirror tests/test_shard_parity.cpp (and tools/mmir_shard_server.cpp):
+// the whole point is differential parity against the same seeded cases.
+
+struct PooledArchive {
+  Scene scene;
+  std::vector<const Grid*> bands;
+  std::vector<Interval> ranges;
+  std::unique_ptr<TiledArchive> archive;
+
+  PooledArchive(std::size_t size, std::size_t tile, std::uint64_t seed)
+      : scene(generate_scene([&] {
+          SceneConfig cfg;
+          cfg.width = size;
+          cfg.height = size + size / 3;
+          cfg.seed = seed;
+          return cfg;
+        }())) {
+    bands = {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem};
+    for (const Grid* band : bands) ranges.push_back(band->stats().range());
+    archive = std::make_unique<TiledArchive>(bands, tile);
+  }
+};
+
+const std::vector<std::unique_ptr<PooledArchive>>& archive_pool() {
+  static const auto pool = [] {
+    std::vector<std::unique_ptr<PooledArchive>> p;
+    p.push_back(std::make_unique<PooledArchive>(24, 8, 201));
+    p.push_back(std::make_unique<PooledArchive>(32, 16, 202));
+    p.push_back(std::make_unique<PooledArchive>(40, 8, 203));
+    p.push_back(std::make_unique<PooledArchive>(48, 16, 204));
+    p.push_back(std::make_unique<PooledArchive>(36, 32, 205));
+    p.push_back(std::make_unique<PooledArchive>(28, 16, 206));
+    return p;
+  }();
+  return pool;
+}
+
+struct Case {
+  std::uint64_t seed = 0;
+  const PooledArchive* pooled = nullptr;
+  std::size_t archive_index = 0;
+  ShardScanMode mode = ShardScanMode::kFullScan;
+  ShardPolicy policy = ShardPolicy::kRowBands;
+  std::size_t k = 1;
+  LinearModel model{{0.0}, 0.0, {"w"}};
+  bool budgeted = false;
+  std::uint64_t budget = 0;
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "seed=" << seed << " archive=" << archive_index << " mode=" << static_cast<int>(mode)
+       << " policy=" << shard_policy_name(policy) << " k=" << k << " budgeted=" << budgeted
+       << " budget=" << budget;
+    return os.str();
+  }
+};
+
+Case make_case(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  Case c;
+  c.seed = seed;
+  c.archive_index = rng.uniform_int(archive_pool().size());
+  c.pooled = archive_pool()[c.archive_index].get();
+  c.mode = static_cast<ShardScanMode>(rng.uniform_int(4));
+  c.policy = rng.bernoulli(0.5) ? ShardPolicy::kRowBands : ShardPolicy::kTileHash;
+  c.k = 1 + rng.uniform_int(32);
+  std::vector<double> weights(4);
+  for (double& w : weights) {
+    const double magnitude = rng.uniform(0.25, 2.0);
+    w = rng.bernoulli(0.5) ? magnitude : -magnitude;
+  }
+  c.model = LinearModel(std::move(weights), rng.uniform(-5.0, 5.0), {"b4", "b5", "b7", "dem"});
+  c.budgeted = rng.bernoulli(0.33);
+  if (c.budgeted) {
+    const std::size_t pixels = c.pooled->scene.width * c.pooled->scene.height;
+    c.budget = 16 + rng.uniform_int(pixels * 4ULL);
+  }
+  return c;
+}
+
+std::vector<RasterHit> run_serial(const Case& c, CostMeter& meter) {
+  const TiledArchive& archive = *c.pooled->archive;
+  const LinearRasterModel raster(c.model);
+  const ProgressiveLinearModel progressive(c.model, c.pooled->ranges);
+  switch (c.mode) {
+    case ShardScanMode::kFullScan: return full_scan_top_k(archive, raster, c.k, meter);
+    case ShardScanMode::kProgressiveModel:
+      return progressive_model_top_k(archive, progressive, c.k, meter);
+    case ShardScanMode::kTileScreened: return tile_screened_top_k(archive, raster, c.k, meter);
+    case ShardScanMode::kCombined:
+      return progressive_combined_top_k(archive, progressive, c.k, meter);
+  }
+  return {};
+}
+
+bool identical_hits(const std::vector<RasterHit>& expected, const RasterTopK& got,
+                    std::string& why) {
+  if (expected.size() != got.hits.size()) {
+    why = "size " + std::to_string(got.hits.size()) + " != " + std::to_string(expected.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].x != got.hits[i].x || expected[i].y != got.hits[i].y) {
+      why = "location mismatch at rank " + std::to_string(i);
+      return false;
+    }
+    if (expected[i].score != got.hits[i].score) {
+      why = "score mismatch at rank " + std::to_string(i);
+      return false;
+    }
+  }
+  if (got.certified_prefix() != got.hits.size()) {
+    why = "complete run certified only " + std::to_string(got.certified_prefix()) + " of " +
+          std::to_string(got.hits.size()) + " hits";
+    return false;
+  }
+  return true;
+}
+
+bool sound_prefix(const RasterTopK& result, const std::vector<RasterHit>& exact,
+                  std::string& why) {
+  const std::size_t certified = result.certified_prefix();
+  if (certified > exact.size()) {
+    why = "certified prefix longer than the exact answer";
+    return false;
+  }
+  for (std::size_t i = 0; i < certified; ++i) {
+    if (result.hits[i].score != exact[i].score) {
+      why = "certified rank " + std::to_string(i) + " diverges from the exact answer";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- server fleet
+
+std::size_t case_count() {
+  if (const char* env = std::getenv("MMIR_NET_CASES")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 220;
+}
+
+/// The shard-server fleet behind the suite: external processes when
+/// MMIR_NET_SHARD_PORTS is set, else self-hosted in-process servers with
+/// every parity archive registered under id = pool index + 1.
+class Fleet {
+ public:
+  static constexpr std::size_t kMaxShards = 8;
+
+  Fleet() {
+    if (const char* env = std::getenv("MMIR_NET_SHARD_PORTS")) {
+      std::istringstream is(env);
+      std::string tok;
+      while (std::getline(is, tok, ',')) {
+        if (!tok.empty()) ports_.push_back(static_cast<std::uint16_t>(std::stoul(tok)));
+      }
+      external_ = true;
+      return;
+    }
+    for (std::size_t i = 0; i < kMaxShards; ++i) {
+      ShardServerConfig config;
+      config.engine.dispatchers = 1;
+      config.engine.intra_query_threads = 0;
+      config.engine.queue_capacity = 256;
+      config.engine.metrics = nullptr;
+      auto server = std::make_unique<ShardServer>(config);
+      for (std::size_t a = 0; a < archive_pool().size(); ++a) {
+        const PooledArchive& pooled = *archive_pool()[a];
+        server->register_archive(a + 1, pooled.archive.get(), pooled.ranges);
+      }
+      if (!server->start()) {
+        ports_.clear();
+        return;
+      }
+      ports_.push_back(static_cast<std::uint16_t>(server->port()));
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ports_.size() >= kMaxShards; }
+  [[nodiscard]] bool external() const { return external_; }
+  [[nodiscard]] const std::vector<std::uint16_t>& ports() const { return ports_; }
+
+ private:
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::vector<std::uint16_t> ports_;
+  bool external_ = false;
+};
+
+Fleet& fleet() {
+  static Fleet f;
+  return f;
+}
+
+RouterConfig base_config(std::size_t shards) {
+  RouterConfig config;
+  config.ports.assign(fleet().ports().begin(), fleet().ports().begin() + shards);
+  config.metrics = nullptr;
+  return config;
+}
+
+TEST(NetParity, RouterMatchesSerialMonolithic) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  const std::size_t cases = case_count();
+  std::vector<std::uint64_t> failing_seeds;
+  for (std::uint64_t seed = 0; seed < cases; ++seed) {
+    const Case c = make_case(seed);
+    SCOPED_TRACE(c.describe());
+    bool ok = true;
+    std::string why;
+
+    CostMeter serial_meter;
+    const std::vector<RasterHit> exact = run_serial(c, serial_meter);
+
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      Router router(base_config(shards));
+      RouterQuery query;
+      query.archive_id = c.archive_index + 1;
+      query.shard_count = static_cast<std::uint32_t>(shards);
+      query.policy = c.policy;
+      query.mode = c.mode;
+      query.model = &c.model;
+      query.k = c.k;
+      if (c.budgeted) query.op_budget = c.budget;
+
+      QueryContext ctx;
+      CostMeter meter;
+      const RouterResult res = router.execute(query, ctx, meter);
+      const std::string where = " (shards=" + std::to_string(shards) + ")";
+      if (res.result.shard_status.size() != shards) {
+        ok = false;
+        why = "shard_status has " + std::to_string(res.result.shard_status.size()) + " entries" +
+              where;
+        break;
+      }
+      if (res.bytes_sent == 0 || res.bytes_received == 0) {
+        ok = false;
+        why = "no bytes crossed the wire" + where;
+        break;
+      }
+      if (!c.budgeted || res.result.merged.status == ResultStatus::kComplete) {
+        if (res.result.merged.status != ResultStatus::kComplete) {
+          ok = false;
+          why = "unbudgeted run not complete: " +
+                std::string(to_string(res.result.merged.status)) + where;
+          break;
+        }
+        if (!identical_hits(exact, res.result.merged, why)) {
+          ok = false;
+          why += where;
+          break;
+        }
+        if (res.result.fault_stats.any_fault()) {
+          ok = false;
+          why = "healthy fleet reported faults" + where;
+          break;
+        }
+      } else if (!sound_prefix(res.result.merged, exact, why)) {
+        ok = false;
+        why += where;
+        break;
+      }
+    }
+
+    EXPECT_TRUE(ok) << why;
+    if (!ok) failing_seeds.push_back(seed);
+  }
+
+  if (!failing_seeds.empty()) {
+    std::ostringstream os;
+    os << "failing case seeds:";
+    for (std::uint64_t s : failing_seeds) os << ' ' << s;
+    ADD_FAILURE() << os.str();
+  }
+}
+
+TEST(NetParity, SoundUnderWireChaos) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  // Wire-layer chaos: aborted attempts, stalled attempts, corrupted reply
+  // frames.  With retries + hedging the answer must stay SOUND (certified
+  // prefix of the exact ranking) — never wrong, never a hang.
+  const std::size_t cases = std::min<std::size_t>(case_count(), 60);
+  std::vector<std::uint64_t> failing_seeds;
+  for (std::uint64_t seed = 0; seed < cases; ++seed) {
+    const Case c = make_case(seed);
+    SCOPED_TRACE(c.describe());
+    bool ok = true;
+    std::string why;
+
+    CostMeter serial_meter;
+    const std::vector<RasterHit> exact = run_serial(c, serial_meter);
+
+    ChaosPolicy::Config chaos_config;
+    chaos_config.seed = seed + 1;
+    chaos_config.fail_rate = 0.25;
+    chaos_config.delay_rate = 0.1;
+    chaos_config.corrupt_rate = 0.15;
+    chaos_config.delay = std::chrono::microseconds(200);
+    ChaosPolicy chaos(chaos_config);
+
+    RouterConfig config = base_config(4);
+    config.chaos = &chaos;
+    config.policy.max_attempts = 3;
+    config.policy.hedge = true;
+    config.policy.hedge_delay = std::chrono::milliseconds(20);
+    Router router(config);
+
+    RouterQuery query;
+    query.archive_id = c.archive_index + 1;
+    query.shard_count = 4;
+    query.policy = c.policy;
+    query.mode = c.mode;
+    query.model = &c.model;
+    query.k = c.k;
+
+    QueryContext ctx;
+    CostMeter meter;
+    const RouterResult res = router.execute(query, ctx, meter);
+    if (res.result.merged.status == ResultStatus::kComplete) {
+      // No leg ultimately degraded: the answer must be the exact one.
+      if (!identical_hits(exact, res.result.merged, why)) ok = false;
+    } else if (!sound_prefix(res.result.merged, exact, why)) {
+      ok = false;
+    }
+
+    EXPECT_TRUE(ok) << why;
+    if (!ok) failing_seeds.push_back(seed);
+  }
+
+  if (!failing_seeds.empty()) {
+    std::ostringstream os;
+    os << "failing chaos seeds:";
+    for (std::uint64_t s : failing_seeds) os << ' ' << s;
+    ADD_FAILURE() << os.str();
+  }
+}
+
+TEST(NetParity, DeadFleetShedsInsteadOfHanging) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  // Ports nobody listens on: every leg dies after its attempts; the merge
+  // must come back kShed with a +inf bound, promptly.
+  std::vector<std::uint16_t> dead_ports;
+  {
+    // Grab genuinely unused ports by binding and immediately closing.
+    for (int i = 0; i < 2; ++i) {
+      Listener probe;
+      ASSERT_TRUE(probe.listen(0));
+      dead_ports.push_back(static_cast<std::uint16_t>(probe.port()));
+    }
+  }
+  RouterConfig config;
+  config.ports = dead_ports;
+  config.metrics = nullptr;
+  config.policy.max_attempts = 2;
+  config.default_leg_timeout = std::chrono::milliseconds(200);
+  Router router(config);
+
+  const Case c = make_case(0);
+  RouterQuery query;
+  query.archive_id = c.archive_index + 1;
+  query.shard_count = 2;
+  query.policy = c.policy;
+  query.mode = c.mode;
+  query.model = &c.model;
+  query.k = c.k;
+
+  QueryContext ctx;
+  CostMeter meter;
+  const auto start = std::chrono::steady_clock::now();
+  const RouterResult res = router.execute(query, ctx, meter);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(res.result.merged.status, ResultStatus::kShed);
+  EXPECT_EQ(res.result.merged.missed_bound, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(res.result.fault_stats.failed_shards, 2u);
+  EXPECT_TRUE(res.result.merged.hits.empty());
+  EXPECT_LT(elapsed, std::chrono::seconds(30)) << "dead fleet blocked the query";
+
+  const obs::HealthReport health = router.health();
+  EXPECT_FALSE(health.ok);
+  ASSERT_FALSE(health.lines.empty());
+  EXPECT_NE(health.lines[0].find("remote_shard="), std::string::npos);
+}
+
+TEST(NetParity, RouterExplainShowsRemoteLegs) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  obs::Trace trace("router_query", 1);
+  const obs::Span root(&trace, "query");
+  QueryContext ctx;
+  ctx.with_span(&root);
+
+  const Case c = make_case(3);
+  Router router(base_config(4));
+  RouterQuery query;
+  query.archive_id = c.archive_index + 1;
+  query.shard_count = 4;
+  query.policy = c.policy;
+  query.mode = c.mode;
+  query.model = &c.model;
+  query.k = c.k;
+  CostMeter meter;
+  (void)router.execute(query, ctx, meter);
+
+  bool saw_router = false, saw_leg = false, saw_gather = false;
+  for (const obs::SpanRecord& span : trace.spans()) {
+    if (span.name == "router") saw_router = true;
+    if (span.name == "shard_0") saw_leg = true;
+    if (span.name == "gather") saw_gather = true;
+  }
+  EXPECT_TRUE(saw_router);
+  EXPECT_TRUE(saw_leg);
+  EXPECT_TRUE(saw_gather);
+}
+
+TEST(NetParity, ServerSurvivesHostileBytesAndKeepsServing) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  if (fleet().external()) GTEST_SKIP() << "external fleet: exercised in-process only";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+  const std::uint16_t port = fleet().ports()[0];
+
+  {
+    // Garbage bytes: the server must answer a typed kError frame (or just
+    // close), and must NOT die.
+    Socket hostile = Socket::connect_loopback(port);
+    ASSERT_TRUE(hostile.valid());
+    const char junk[] = "GET / HTTP/1.0\r\n\r\n";
+    ASSERT_TRUE(hostile.write_all(junk, sizeof junk - 1));
+    try {
+      const Frame reply = read_frame(hostile, std::chrono::milliseconds(2000));
+      EXPECT_EQ(reply.type, MsgType::kError);
+    } catch (const WireError&) {
+      // The server closing the desynced stream is acceptable too.
+    }
+  }
+  {
+    // Version skew: typed error, no hang.
+    Socket skewed = Socket::connect_loopback(port);
+    ASSERT_TRUE(skewed.valid());
+    std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {});
+    frame[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+    ASSERT_TRUE(skewed.write_all(frame.data(), frame.size()));
+    try {
+      const Frame reply = read_frame(skewed, std::chrono::milliseconds(2000));
+      EXPECT_EQ(reply.type, MsgType::kError);
+    } catch (const WireError&) {
+    }
+  }
+  // And the server still answers pings afterward.
+  Socket client = Socket::connect_loopback(port);
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(write_frame(client, MsgType::kPing, {}));
+  const Frame pong = read_frame(client, std::chrono::milliseconds(2000));
+  EXPECT_EQ(pong.type, MsgType::kPong);
+}
+
+}  // namespace
+}  // namespace mmir::net

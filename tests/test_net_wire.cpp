@@ -1,0 +1,389 @@
+// Wire-protocol robustness battery (ISSUE satellite): every malformation of
+// a frame — truncation at any byte, flipped bytes, oversized length
+// prefixes, version skew, bad magic, oversold element counts — must surface
+// as a *typed* WireError, never a hang, a crash, or a silently wrong
+// message.  Round-trips must be byte-identical, including non-finite
+// doubles (±inf bounds, NaN scores travel as raw IEEE-754 bits).
+//
+// Fuzzed in the style of tests/test_fault_injection.cpp: deterministic
+// seeds, every failure reproducible from the printed byte offset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace mmir::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+QuerySpec sample_query() {
+  QuerySpec spec;
+  spec.query_id = 42;
+  spec.archive_id = 7;
+  spec.shard_count = 8;
+  spec.shard_policy = 1;
+  spec.shard_id = 3;
+  spec.mode = 2;
+  spec.k = 17;
+  spec.op_budget = 123456789;
+  spec.timeout_ns = 5000000;
+  spec.bias = -2.25;
+  spec.weights = {0.443, -0.222, kInf, kNaN};
+  spec.names = {"b4", "b5", "b7", "dem"};
+  return spec;
+}
+
+WirePartial sample_partial() {
+  WirePartial partial;
+  partial.query_id = 42;
+  partial.partial.shard_id = 3;
+  partial.partial.result.hits = {{10, 20, 99.5}, {11, 21, -kInf}};
+  partial.partial.result.status = ResultStatus::kDegraded;
+  partial.partial.result.missed_bound = -kInf;
+  partial.partial.result.bad_points = 2;
+  partial.partial.pixels_visited = 640;
+  partial.partial.tiles_scanned = 9;
+  partial.partial.tiles_pruned = 7;
+  partial.meter_points = 640;
+  partial.meter_ops = 2560;
+  partial.meter_bytes = 5120;
+  partial.meter_pruned = 111;
+  partial.scan_ops = 2000;
+  partial.model_terms = 4;
+  return partial;
+}
+
+TEST(WireRoundTrip, QuerySpecSurvivesBitExactly) {
+  const QuerySpec spec = sample_query();
+  const QuerySpec got = decode_query(encode_query(spec));
+  EXPECT_EQ(got.query_id, spec.query_id);
+  EXPECT_EQ(got.archive_id, spec.archive_id);
+  EXPECT_EQ(got.shard_count, spec.shard_count);
+  EXPECT_EQ(got.shard_policy, spec.shard_policy);
+  EXPECT_EQ(got.shard_id, spec.shard_id);
+  EXPECT_EQ(got.mode, spec.mode);
+  EXPECT_EQ(got.k, spec.k);
+  EXPECT_EQ(got.op_budget, spec.op_budget);
+  EXPECT_EQ(got.timeout_ns, spec.timeout_ns);
+  EXPECT_TRUE(bits_equal(got.bias, spec.bias));
+  ASSERT_EQ(got.weights.size(), spec.weights.size());
+  for (std::size_t i = 0; i < spec.weights.size(); ++i) {
+    EXPECT_TRUE(bits_equal(got.weights[i], spec.weights[i])) << "weight " << i;
+  }
+  EXPECT_EQ(got.names, spec.names);
+}
+
+TEST(WireRoundTrip, PartialSurvivesBitExactly) {
+  const WirePartial partial = sample_partial();
+  const WirePartial got = decode_partial(encode_partial(partial));
+  EXPECT_EQ(got.query_id, partial.query_id);
+  EXPECT_EQ(got.partial.shard_id, partial.partial.shard_id);
+  EXPECT_EQ(got.partial.result.status, partial.partial.result.status);
+  EXPECT_TRUE(bits_equal(got.partial.result.missed_bound, partial.partial.result.missed_bound));
+  EXPECT_EQ(got.partial.result.bad_points, partial.partial.result.bad_points);
+  ASSERT_EQ(got.partial.result.hits.size(), partial.partial.result.hits.size());
+  for (std::size_t i = 0; i < got.partial.result.hits.size(); ++i) {
+    EXPECT_EQ(got.partial.result.hits[i].x, partial.partial.result.hits[i].x);
+    EXPECT_EQ(got.partial.result.hits[i].y, partial.partial.result.hits[i].y);
+    EXPECT_TRUE(bits_equal(got.partial.result.hits[i].score,
+                           partial.partial.result.hits[i].score));
+  }
+  EXPECT_EQ(got.partial.pixels_visited, partial.partial.pixels_visited);
+  EXPECT_EQ(got.partial.tiles_scanned, partial.partial.tiles_scanned);
+  EXPECT_EQ(got.partial.tiles_pruned, partial.partial.tiles_pruned);
+  EXPECT_EQ(got.meter_points, partial.meter_points);
+  EXPECT_EQ(got.meter_ops, partial.meter_ops);
+  EXPECT_EQ(got.meter_bytes, partial.meter_bytes);
+  EXPECT_EQ(got.meter_pruned, partial.meter_pruned);
+  EXPECT_EQ(got.scan_ops, partial.scan_ops);
+  EXPECT_EQ(got.model_terms, partial.model_terms);
+}
+
+TEST(WireRoundTrip, DescribeAndShardInfoSurvive) {
+  DescribeSpec spec;
+  spec.archive_id = 9;
+  spec.shard_count = 4;
+  spec.shard_policy = 0;
+  spec.shard_id = 2;
+  const DescribeSpec got = decode_describe(encode_describe(spec));
+  EXPECT_EQ(got.archive_id, spec.archive_id);
+  EXPECT_EQ(got.shard_count, spec.shard_count);
+  EXPECT_EQ(got.shard_policy, spec.shard_policy);
+  EXPECT_EQ(got.shard_id, spec.shard_id);
+
+  ShardDescription info;
+  info.known = true;
+  info.pixel_count = 1024;
+  info.tile_count = 16;
+  info.archive_pixels = 4096;
+  info.band_ranges = {{-1.0, 2.5}, {0.0, kInf}};
+  const ShardDescription got_info = decode_shard_info(encode_shard_info(info));
+  EXPECT_TRUE(got_info.known);
+  EXPECT_EQ(got_info.pixel_count, info.pixel_count);
+  EXPECT_EQ(got_info.tile_count, info.tile_count);
+  EXPECT_EQ(got_info.archive_pixels, info.archive_pixels);
+  ASSERT_EQ(got_info.band_ranges.size(), info.band_ranges.size());
+  EXPECT_TRUE(bits_equal(got_info.band_ranges[1].hi, kInf));
+}
+
+TEST(WireRoundTrip, ErrorMessageSurvives) {
+  WireErrorMsg err;
+  err.code = kErrUnknownArchive;
+  err.message = "archive \"x\"\nnot registered";
+  const WireErrorMsg got = decode_error(encode_error(err));
+  EXPECT_EQ(got.code, err.code);
+  EXPECT_EQ(got.message, err.message);
+}
+
+TEST(WireFrame, RoundTripsEveryMessageType) {
+  const std::vector<std::uint8_t> payload = encode_query(sample_query());
+  for (const MsgType type : {MsgType::kQuery, MsgType::kResult, MsgType::kError, MsgType::kPing,
+                             MsgType::kPong, MsgType::kDescribe, MsgType::kShardInfo}) {
+    const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+    const Frame got = decode_frame(frame);
+    EXPECT_EQ(got.type, type);
+    EXPECT_EQ(got.payload, payload);
+  }
+}
+
+TEST(WireFrame, EveryTruncationYieldsTypedFault) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kQuery, encode_query(sample_query()));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const std::vector<std::uint8_t> cut(frame.begin(), frame.begin() + len);
+    try {
+      (void)decode_frame(cut);
+      ADD_FAILURE() << "truncation to " << len << " bytes decoded successfully";
+    } catch (const WireError& err) {
+      EXPECT_EQ(err.fault(), WireFault::kTruncated) << "at length " << len;
+    }
+  }
+}
+
+TEST(WireFrame, EveryByteFlipYieldsTypedFaultOrNothingSilent) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kQuery, encode_query(sample_query()));
+  for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+    for (const std::uint8_t mask : {0x01, 0x80}) {
+      std::vector<std::uint8_t> bad = frame;
+      bad[pos] ^= mask;
+      try {
+        const Frame got = decode_frame(bad);
+        // A flip that decodes must have changed only the message-type field
+        // to another valid type — header bytes 6..7 — everything else is
+        // covered by magic, version, length, or the checksum trailer.
+        EXPECT_TRUE(pos == 6 || pos == 7)
+            << "flip of byte " << pos << " decoded silently";
+        EXPECT_NE(got.type, MsgType::kQuery);
+      } catch (const WireError& err) {
+        EXPECT_NE(err.fault(), WireFault::kNone) << "untyped fault at byte " << pos;
+      }
+    }
+  }
+}
+
+TEST(WireFrame, PayloadCorruptionIsAlwaysChecksumMismatch) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kResult, encode_partial(sample_partial()));
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bad = frame;
+    const std::size_t payload_len = frame.size() - kFrameHeaderBytes - kFrameTrailerBytes;
+    const std::size_t pos = kFrameHeaderBytes + rng.uniform_int(payload_len);
+    const auto mask = static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    bad[pos] ^= mask;
+    try {
+      (void)decode_frame(bad);
+      ADD_FAILURE() << "payload flip at " << pos << " not detected";
+    } catch (const WireError& err) {
+      EXPECT_EQ(err.fault(), WireFault::kChecksumMismatch) << "at byte " << pos;
+    }
+  }
+}
+
+TEST(WireFrame, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {});
+  // Length prefix lives at bytes 8..11 (little-endian).
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  frame[8] = static_cast<std::uint8_t>(huge);
+  frame[9] = static_cast<std::uint8_t>(huge >> 8);
+  frame[10] = static_cast<std::uint8_t>(huge >> 16);
+  frame[11] = static_cast<std::uint8_t>(huge >> 24);
+  try {
+    (void)decode_frame(frame);
+    FAIL() << "oversized frame decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kOversized);
+  }
+}
+
+TEST(WireFrame, VersionSkewIsTyped) {
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {});
+  frame[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  try {
+    (void)decode_frame(frame);
+    FAIL() << "skewed frame decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kVersionSkew);
+  }
+}
+
+TEST(WireFrame, BadMagicIsTyped) {
+  std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, {});
+  frame[0] = 'X';
+  try {
+    (void)decode_frame(frame);
+    FAIL() << "bad-magic frame decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kBadMagic);
+  }
+}
+
+TEST(WireMessages, OversoldElementCountsAreMalformed) {
+  // A query advertising 1M weights in a 40-byte payload must fail the
+  // oversell check, not attempt a 8MB allocation-and-overrun.
+  WireWriter w;
+  w.u64(1);            // query_id
+  w.u64(1);            // archive_id
+  w.u32(2);            // shard_count
+  w.u8(0);             // policy
+  w.u32(0);            // shard_id
+  w.u8(0);             // mode
+  w.u32(1);            // k
+  w.u64(100);          // op_budget
+  w.u64(0);            // timeout_ns
+  w.f64(0.0);          // bias
+  w.u32(1000000);      // weight count — oversold
+  const std::vector<std::uint8_t> payload = w.take();
+  try {
+    (void)decode_query(payload);
+    FAIL() << "oversold query decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kMalformed);
+  }
+}
+
+TEST(WireMessages, FuzzedPayloadsNeverCrash) {
+  // Random byte soup through every decoder: any outcome except a typed
+  // WireError (or a clean decode) is a bug.
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t len = rng.uniform_int(200);
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    for (int decoder = 0; decoder < 5; ++decoder) {
+      try {
+        switch (decoder) {
+          case 0: (void)decode_query(junk); break;
+          case 1: (void)decode_partial(junk); break;
+          case 2: (void)decode_describe(junk); break;
+          case 3: (void)decode_shard_info(junk); break;
+          case 4: (void)decode_error(junk); break;
+        }
+      } catch (const WireError&) {
+        // typed fault: exactly what the contract promises
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- socket path
+
+TEST(WireSocket, PeerClosingMidFrameIsTruncated) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  Listener listener;
+  ASSERT_TRUE(listener.listen(0));
+  const auto port = static_cast<std::uint16_t>(listener.port());
+
+  std::thread hostile([&] {
+    Socket conn = listener.accept(std::chrono::milliseconds(2000));
+    ASSERT_TRUE(conn.valid());
+    // A valid header promising 64 payload bytes, then hang up.
+    const std::vector<std::uint8_t> frame = encode_frame(MsgType::kPing, std::vector<std::uint8_t>(64, 0xab));
+    ASSERT_TRUE(conn.write_all(frame.data(), kFrameHeaderBytes + 10));
+    conn.close();
+  });
+
+  Socket client = Socket::connect_loopback(port);
+  ASSERT_TRUE(client.valid());
+  try {
+    (void)read_frame(client, std::chrono::milliseconds(2000));
+    FAIL() << "mid-frame hangup decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kTruncated);
+  }
+  hostile.join();
+}
+
+TEST(WireSocket, SilentPeerTimesOutAsClosed) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  Listener listener;
+  ASSERT_TRUE(listener.listen(0));
+  const auto port = static_cast<std::uint16_t>(listener.port());
+
+  std::thread silent([&] {
+    Socket conn = listener.accept(std::chrono::milliseconds(2000));
+    // Say nothing for longer than the client's timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+
+  Socket client = Socket::connect_loopback(port);
+  ASSERT_TRUE(client.valid());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)read_frame(client, std::chrono::milliseconds(100));
+    FAIL() << "silent peer produced a frame";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kClosed);
+  }
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::milliseconds(1500)) << "read_frame overshot its timeout";
+  silent.join();
+}
+
+TEST(WireSocket, CancelFlagUnblocksRead) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  Listener listener;
+  ASSERT_TRUE(listener.listen(0));
+  const auto port = static_cast<std::uint16_t>(listener.port());
+
+  std::thread silent([&] {
+    Socket conn = listener.accept(std::chrono::milliseconds(2000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+
+  Socket client = Socket::connect_loopback(port);
+  ASSERT_TRUE(client.valid());
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.store(true);
+  });
+  try {
+    (void)read_frame(client, std::chrono::milliseconds(5000), &cancel);
+    FAIL() << "cancelled read produced a frame";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kClosed);
+  }
+  canceller.join();
+  silent.join();
+}
+
+}  // namespace
+}  // namespace mmir::net

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <string>
 
 #include "obs/dump.hpp"
@@ -226,6 +227,36 @@ TEST(Trace, JsonAndTextExports) {
   EXPECT_NE(text.find("root"), std::string::npos);
   EXPECT_NE(text.find("inner"), std::string::npos);
   EXPECT_EQ(DumpTrace(trace, DumpFormat::kJson), json);
+}
+
+TEST(Trace, JsonEscapesHostileStringsAndNullsNonFiniteAttrs) {
+  Trace trace("tr\"ace\\name");
+  {
+    Span root(&trace, "shard\n0\ttab");
+    // ±inf bounds and NaN ratios are legitimate annotation values (a degraded
+    // shard leg carries a +inf missed bound); the dump must stay strict JSON.
+    root.annotate("ceiling", std::numeric_limits<double>::infinity());
+    root.annotate("floor", -std::numeric_limits<double>::infinity());
+    root.annotate("undefined_ratio", std::numeric_limits<double>::quiet_NaN());
+    root.annotate("ordinary", 1.5);
+    root.note("de\"tail", "quote \" backslash \\ newline \n end");
+  }
+  const std::string json = trace.to_json();
+  // Hostile strings arrive escaped: quotes, backslashes, and control bytes.
+  EXPECT_NE(json.find("tr\\\"ace\\\\name"), std::string::npos) << json;
+  EXPECT_NE(json.find("shard\\u000a0\\u0009tab"), std::string::npos) << json;
+  EXPECT_NE(json.find("de\\\"tail"), std::string::npos) << json;
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\u000a end"),
+            std::string::npos)
+      << json;
+  // Non-finite attrs become null, never bare nan/inf tokens.
+  EXPECT_NE(json.find("\"ceiling\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"floor\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"undefined_ratio\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ordinary\":1.5"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":-inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
 }
 
 TEST(Tracer, RingRetentionIsBounded) {

@@ -1,0 +1,171 @@
+// Scatter-gather router CLI (DESIGN.md §6g): points a net::Router at a
+// fleet of mmir_shard_server processes, runs one raster query per registered
+// archive, and differentially checks every answer against the local serial
+// monolithic executor — the same oracle as tests/test_net_parity.cpp, but
+// genuinely cross-process.  Prints the router EXPLAIN of the first query
+// (the one captured in README.md) and exits non-zero on any mismatch.
+//
+// Usage: mmir_router --ports=p0,p1,... [--k=N] [--budget=N]
+//   --ports   comma-separated shard-server ports; index = shard id
+//   --k       top-K size per query (default 8)
+//   --budget  per-query op budget (default unbudgeted)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/tiled.hpp"
+#include "core/progressive_exec.hpp"
+#include "core/query_context.hpp"
+#include "core/raster_model.hpp"
+#include "data/scene.hpp"
+#include "linear/model.hpp"
+#include "linear/progressive.hpp"
+#include "net/router.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
+#include "util/cost.hpp"
+
+namespace {
+
+struct PooledArchive {
+  mmir::Scene scene;
+  std::vector<const mmir::Grid*> bands;
+  std::vector<mmir::Interval> ranges;
+  std::unique_ptr<mmir::TiledArchive> archive;
+
+  PooledArchive(std::size_t size, std::size_t tile, std::uint64_t seed)
+      : scene(mmir::generate_scene([&] {
+          mmir::SceneConfig cfg;
+          cfg.width = size;
+          cfg.height = size + size / 3;
+          cfg.seed = seed;
+          return cfg;
+        }())) {
+    bands = {&scene.band("b4"), &scene.band("b5"), &scene.band("b7"), &scene.dem};
+    for (const mmir::Grid* band : bands) ranges.push_back(band->stats().range());
+    archive = std::make_unique<mmir::TiledArchive>(bands, tile);
+  }
+};
+
+// MUST mirror tools/mmir_shard_server.cpp (and tests/test_net_parity.cpp).
+std::vector<std::unique_ptr<PooledArchive>> build_pool() {
+  std::vector<std::unique_ptr<PooledArchive>> pool;
+  pool.push_back(std::make_unique<PooledArchive>(24, 8, 201));
+  pool.push_back(std::make_unique<PooledArchive>(32, 16, 202));
+  pool.push_back(std::make_unique<PooledArchive>(40, 8, 203));
+  pool.push_back(std::make_unique<PooledArchive>(48, 16, 204));
+  pool.push_back(std::make_unique<PooledArchive>(36, 32, 205));
+  pool.push_back(std::make_unique<PooledArchive>(28, 16, 206));
+  return pool;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t k = 8;
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--ports=", 8) == 0) {
+      std::string list(arg + 8);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string tok = list.substr(pos, comma - pos);
+        if (!tok.empty()) ports.push_back(static_cast<std::uint16_t>(std::stoul(tok)));
+        pos = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      k = static_cast<std::size_t>(std::strtoul(arg + 4, nullptr, 10));
+    } else if (std::strncmp(arg, "--budget=", 9) == 0) {
+      budget = std::strtoull(arg + 9, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s --ports=p0,p1,... [--k=N] [--budget=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (ports.empty()) {
+    std::fprintf(stderr, "mmir_router: --ports is required\n");
+    return 2;
+  }
+
+  const auto pool = build_pool();
+  const mmir::LinearModel model({0.8, -0.6, 1.2, 0.002}, 0.5, {"b4", "b5", "b7", "dem"});
+
+  mmir::net::RouterConfig config;
+  config.ports = ports;
+  config.policy.max_attempts = 3;
+  mmir::net::Router router(config);
+
+  int mismatches = 0;
+  for (std::size_t a = 0; a < pool.size(); ++a) {
+    const PooledArchive& pooled = *pool[a];
+    mmir::net::RouterQuery query;
+    query.archive_id = a + 1;
+    query.mode = mmir::ShardScanMode::kCombined;
+    query.model = &model;
+    query.k = k;
+    query.op_budget = budget;
+
+    mmir::obs::Trace trace("router_query", a + 1);
+    mmir::QueryContext ctx;
+    mmir::CostMeter meter;
+    mmir::net::RouterResult routed;
+    {
+      mmir::obs::Span root(&trace, "query");
+      ctx.with_span(&root);
+      routed = router.execute(query, ctx, meter);
+    }
+
+    mmir::CostMeter serial_meter;
+    const mmir::ProgressiveLinearModel progressive(model, pooled.ranges);
+    const auto exact =
+        mmir::progressive_combined_top_k(*pooled.archive, progressive, k, serial_meter);
+
+    bool ok = true;
+    if (routed.result.merged.status == mmir::ResultStatus::kComplete) {
+      ok = routed.result.merged.hits.size() == exact.size();
+      for (std::size_t i = 0; ok && i < exact.size(); ++i) {
+        ok = routed.result.merged.hits[i].x == exact[i].x && routed.result.merged.hits[i].y == exact[i].y &&
+             routed.result.merged.hits[i].score == exact[i].score;
+      }
+    } else {
+      // Degraded/budgeted answers must still certify a sound prefix.
+      mmir::RasterTopK as_topk;
+      as_topk.hits = routed.result.merged.hits;
+      as_topk.missed_bound = routed.result.merged.missed_bound;
+      const std::size_t certified = as_topk.certified_prefix();
+      ok = certified <= exact.size();
+      for (std::size_t i = 0; ok && i < certified; ++i) {
+        ok = routed.result.merged.hits[i].score == exact[i].score;
+      }
+    }
+    if (!ok) ++mismatches;
+
+    std::fprintf(stderr, "archive %zu: %s (%zu hits, %llu bytes out, %llu bytes back)\n", a + 1,
+                 ok ? "ok" : "MISMATCH", routed.result.merged.hits.size(),
+                 static_cast<unsigned long long>(routed.bytes_sent),
+                 static_cast<unsigned long long>(routed.bytes_received));
+
+    if (a == 0) {
+      const auto report = mmir::obs::ExplainReport::from_trace(trace);
+      std::printf("%s", report.to_text().c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  const mmir::obs::HealthReport health = router.health();
+  for (const std::string& line : health.lines) std::fprintf(stderr, "%s\n", line.c_str());
+  if (mismatches != 0) {
+    std::fprintf(stderr, "mmir_router: %d mismatches\n", mismatches);
+    return 1;
+  }
+  std::fprintf(stderr, "mmir_router: all %zu queries match the serial oracle\n", pool.size());
+  return 0;
+}
