@@ -6,6 +6,9 @@
 // E13 — distributed serving: the net::Router scatter-gathering over real
 //       shard-server processes (loopback TCP, wire protocol) against the
 //       in-process sharded executor on the same layout.
+// E14 — distributed tracing overhead: the same router fleet queried traced
+//       (trace context on the wire, span trees shipped back and stitched)
+//       vs untraced; the tracing tax is gated <= 5% in ci/bench_diff.py.
 //
 // Sweeps dispatcher threads x admission queue depth x target result-cache
 // hit rate over a fixed stream of combined-executor raster queries, and
@@ -59,8 +62,9 @@ using namespace mmir::bench;
 
 // Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
 // compare mismatched schemas.  v3 adds the E11 sharded_throughput rows; v4
-// adds the E12 hedged_tail block; v5 adds the E13 router_throughput rows.
-constexpr int kBenchSchemaVersion = 5;
+// adds the E12 hedged_tail block; v5 adds the E13 router_throughput rows;
+// v6 adds the E14 router_tracing_overhead block (distributed tracing tax).
+constexpr int kBenchSchemaVersion = 6;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -484,9 +488,106 @@ std::vector<RouterRow> run_router_table(const TiledArchive& archive,
   return rows;
 }
 
+struct RouterOverheadResult {
+  bool ran = false;  ///< false when sockets are unavailable (gate skips)
+  double qps_untraced = 0.0;
+  double qps_traced = 0.0;
+  [[nodiscard]] double overhead_pct() const {
+    return qps_untraced > 0.0 ? 100.0 * (qps_untraced - qps_traced) / qps_untraced : 0.0;
+  }
+};
+
+// E14: the E13 fleet shape (2 shard servers, loopback TCP), queried with and
+// without trace propagation.  Traced queries carry the trace/parent-span ids
+// on the wire, run the remote scan under the server's tracer, ship the span
+// tree + server timestamps back, and the router rebases + stitches them —
+// the whole distributed-tracing path.  Untraced queries are wire-identical
+// to a v1 peer's.  Rounds alternate and keep each side's best qps, the E10b
+// idiom, so one scheduling hiccup cannot bias the ratio.
+RouterOverheadResult run_router_overhead(const TiledArchive& archive,
+                                         const ProgressiveLinearModel& progressive,
+                                         const std::vector<Interval>& ranges) {
+  heading("E14: distributed tracing overhead (traced vs untraced router)",
+          "trace propagation + span shipping + stitching stays within 5% of untraced");
+
+  RouterOverheadResult result;
+  if (!net::sockets_available()) {
+    std::printf("skipped: loopback sockets unavailable on this host\n");
+    footer();
+    return result;
+  }
+
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kQueries = 24;
+  constexpr std::size_t kK = 10;
+
+  std::vector<std::unique_ptr<net::ShardServer>> servers;
+  net::RouterConfig router_config;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    net::ShardServerConfig server_config;
+    server_config.engine.dispatchers = 1;
+    server_config.engine.intra_query_threads = 0;
+    server_config.engine.queue_capacity = 256;
+    server_config.engine.metrics = nullptr;
+    auto server = std::make_unique<net::ShardServer>(server_config);
+    server->register_archive(1, &archive, ranges);
+    if (!server->start()) {
+      std::printf("skipped: could not start a %zu-server fleet\n", kShards);
+      footer();
+      return result;
+    }
+    router_config.ports.push_back(static_cast<std::uint16_t>(server->port()));
+    servers.push_back(std::move(server));
+  }
+  net::Router router(router_config);
+
+  net::RouterQuery query;
+  query.archive_id = 1;
+  query.shard_count = kShards;
+  query.policy = ShardPolicy::kRowBands;
+  query.mode = ShardScanMode::kFullScan;
+  query.model = &progressive.model();
+  query.k = kK;
+
+  for (int round = 0; round < 3; ++round) {
+    const std::chrono::nanoseconds untraced_wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        QueryContext ctx;
+        CostMeter meter;
+        (void)router.execute(query, ctx, meter);
+      }
+    });
+    result.qps_untraced =
+        std::max(result.qps_untraced, ratio(static_cast<double>(kQueries),
+                                            static_cast<double>(untraced_wall.count()) / 1e9));
+
+    const std::chrono::nanoseconds traced_wall = timed_ns([&] {
+      for (std::size_t i = 0; i < kQueries; ++i) {
+        obs::Trace trace("router_query", i + 1);
+        obs::Span root(&trace, "query");
+        QueryContext ctx;
+        ctx.with_span(&root);
+        CostMeter meter;
+        (void)router.execute(query, ctx, meter);
+      }
+    });
+    result.qps_traced =
+        std::max(result.qps_traced, ratio(static_cast<double>(kQueries),
+                                          static_cast<double>(traced_wall.count()) / 1e9));
+  }
+  result.ran = true;
+
+  std::printf("%14s %12s | %9s\n", "untraced qps", "traced qps", "overhead");
+  std::printf("%14.1f %12.1f | %+8.2f%%  (acceptance: <= 5%%)\n", result.qps_untraced,
+              result.qps_traced, result.overhead_pct());
+  footer();
+  return result;
+}
+
 void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>& sharded_rows,
                 const std::vector<RouterRow>& router_rows, const OverheadResult& overhead,
-                const HedgedTailResult& hedged, const std::string& metrics_json) {
+                const RouterOverheadResult& router_overhead, const HedgedTailResult& hedged,
+                const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) {
     std::printf("! could not open BENCH_engine.json for writing\n");
@@ -539,11 +640,16 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
                "  \"tracing_overhead\": {\"qps_noop\": %.1f, \"qps_traced\": %.1f, "
                "\"overhead_pct\": %.2f},\n",
                overhead.qps_noop, overhead.qps_traced, overhead.overhead_pct());
+  std::fprintf(f,
+               "  \"router_tracing_overhead\": {\"ran\": %s, \"qps_untraced\": %.1f, "
+               "\"qps_traced\": %.1f, \"overhead_pct\": %.2f},\n",
+               router_overhead.ran ? "true" : "false", router_overhead.qps_untraced,
+               router_overhead.qps_traced, router_overhead.overhead_pct());
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
   std::fclose(f);
   std::printf(
       "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + %zu router rows "
-      "+ hedged tail + tracing overhead + metrics dump)\n",
+      "+ hedged tail + tracing + router-tracing overhead + metrics dump)\n",
       rows.size(), sharded_rows.size(), router_rows.size());
 }
 
@@ -610,7 +716,9 @@ void run_table() {
   const HedgedTailResult hedged = run_hedged_tail(archive, progressive);
   const std::vector<RouterRow> router_rows = run_router_table(archive, progressive, ranges);
   const OverheadResult overhead = run_overhead_check(archive, progressive);
-  write_json(rows, sharded_rows, router_rows, overhead, hedged,
+  const RouterOverheadResult router_overhead =
+      run_router_overhead(archive, progressive, ranges);
+  write_json(rows, sharded_rows, router_rows, overhead, router_overhead, hedged,
              obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }

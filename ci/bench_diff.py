@@ -12,6 +12,13 @@ candidate regresses by more than the threshold (default 15%) on either:
   * E13  — the best qps across the cross-process router shard-count sweep
            (router_throughput rows; schema_version >= 5).
 
+It also enforces the E14 distributed-tracing acceptance bound on the
+candidate alone (schema_version >= 6): routing the same fleet traced (trace
+context on the wire, span trees shipped back and stitched) must cost at most
+5% of the untraced throughput.  Like E12 this is an absolute property, not a
+diff; it is skipped out loud when the bench could not run the experiment
+(no loopback sockets).
+
 Gates that do not apply to a given run are *skipped out loud*: every bypassed
 gate prints an explicit "... gate skipped: <reason>" line so a green run can
 be audited for what it actually checked.
@@ -106,6 +113,30 @@ def e13_best_router_qps(doc: dict) -> float | None:
     return max(float(row["qps"]) for row in rows)
 
 
+ROUTER_TRACING_LIMIT_PCT = 5.0  # E14 acceptance: tracing tax <= 5%
+
+
+def router_tracing_regressed(doc: dict) -> bool:
+    """E14 absolute gate on the candidate; returns True when it fails."""
+    block = doc.get("router_tracing_overhead")
+    if not block:
+        raise ValueError("no router_tracing_overhead block (schema >= 6 expected)")
+    if not block.get("ran", False):
+        print(
+            "E14 router tracing gate skipped: candidate did not run the "
+            "experiment (loopback sockets unavailable)"
+        )
+        return False
+    pct = float(block["overhead_pct"])
+    verdict = "FAIL" if pct > ROUTER_TRACING_LIMIT_PCT else "ok"
+    print(
+        f"E14 router tracing overhead: untraced {block['qps_untraced']:.1f} qps vs "
+        f"traced {block['qps_traced']:.1f} qps = {pct:+.2f}% "
+        f"(limit {ROUTER_TRACING_LIMIT_PCT:.0f}%) [{verdict}]"
+    )
+    return pct > ROUTER_TRACING_LIMIT_PCT
+
+
 def check(name: str, base: float, cand: float, threshold: float) -> bool:
     floor = base * (1.0 - threshold)
     regressed = cand < floor
@@ -197,6 +228,11 @@ def main() -> int:
                 failed |= check(
                     "E13 best router qps", base_qps, cand_qps, args.threshold
                 )
+        # E14 lands with schema_version 6: an absolute bound on the candidate
+        # (distributed tracing must stay cheap), skipped out loud when the
+        # bench had no sockets to run the fleet.
+        if isinstance(cand_schema, int) and cand_schema >= 6:
+            failed |= router_tracing_regressed(cand)
     except (KeyError, ValueError) as err:
         print(f"malformed bench json: {err}", file=sys.stderr)
         return 2

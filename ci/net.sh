@@ -7,6 +7,10 @@
 # mmir_router CLI then re-runs its own differential check against the same
 # fleet.  Servers are torn down on every exit path, success or failure.
 #
+# Every server's stdout/stderr is kept in build/net-logs/ for the whole run
+# (not discarded after port scraping) and dumped on failure, so a dead or
+# crashing server is diagnosable from the CI transcript alone.
+#
 #   MMIR_NET_SERVERS  fleet size               (default 8 — the battery's max)
 #   MMIR_NET_CASES    parity case count        (default: the suite's 220)
 set -euo pipefail
@@ -14,12 +18,17 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build"
 SERVERS="${MMIR_NET_SERVERS:-8}"
+LOGDIR="${BUILD}/net-logs"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j"$(nproc)" \
   --target test_net_wire test_net_parity mmir_shard_server mmir_router
 
+mkdir -p "${LOGDIR}"
+rm -f "${LOGDIR}"/server-*.log
+
 PIDS=()
+FAILED=1
 cleanup() {
   for pid in "${PIDS[@]:-}"; do
     kill "${pid}" 2>/dev/null || true
@@ -27,13 +36,21 @@ cleanup() {
   for pid in "${PIDS[@]:-}"; do
     wait "${pid}" 2>/dev/null || true
   done
+  if [[ "${FAILED}" -ne 0 ]]; then
+    echo "ci/net.sh: FAILED — shard server logs follow" >&2
+    for log in "${LOGDIR}"/server-*.log; do
+      [[ -e "${log}" ]] || continue
+      echo "--- ${log} ---" >&2
+      cat "${log}" >&2
+    done
+  fi
 }
 trap cleanup EXIT
 
 PORTS=""
 for ((i = 0; i < SERVERS; ++i)); do
-  log="$(mktemp)"
-  "${BUILD}/tools/mmir_shard_server" >"${log}" 2>/dev/null &
+  log="${LOGDIR}/server-${i}.log"
+  "${BUILD}/tools/mmir_shard_server" >"${log}" 2>&1 &
   PIDS+=($!)
   # The server prints "port=<p>" and flushes once it is accepting.
   port=""
@@ -42,17 +59,17 @@ for ((i = 0; i < SERVERS; ++i)); do
     [[ -n "${port}" ]] && break
     sleep 0.1
   done
-  rm -f "${log}"
   if [[ -z "${port}" ]]; then
     echo "ci/net.sh: shard server ${i} never reported a port" >&2
     exit 1
   fi
   PORTS="${PORTS:+${PORTS},}${port}"
 done
-echo "ci/net.sh: fleet of ${SERVERS} shard servers on ports ${PORTS}"
+echo "ci/net.sh: fleet of ${SERVERS} shard servers on ports ${PORTS} (logs in ${LOGDIR})"
 
 export MMIR_NET_SHARD_PORTS="${PORTS}"
 ctest --test-dir "${BUILD}" --output-on-failure -L net
 
-"${BUILD}/tools/mmir_router" --ports="${PORTS}" >/dev/null
+"${BUILD}/tools/mmir_router" --ports="${PORTS}" --explain-remote >/dev/null
+FAILED=0
 echo "ci/net.sh: cross-process parity + router differential check passed"

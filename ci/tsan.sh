@@ -15,7 +15,10 @@
 # urgent-lane thread pool are exactly the interleavings TSan is for.  The
 # net battery (ctest -L net, reduced case count) adds the distributed layer:
 # shard-server connection threads against stop/reap, and router legs racing
-# hedges, cancellation, and the gather join over real sockets.  Any race
+# hedges, cancellation, and the gather join over real sockets — including
+# the stitched-trace suites, where every leg thread grafts a remote span
+# tree into the one shared Trace while siblings annotate it.  test_obs
+# rides along for the clock-offset estimator and rebase clamping.  Any race
 # report fails the run.
 set -euo pipefail
 
@@ -27,14 +30,14 @@ cmake -B "${BUILD}" -S "${ROOT}" \
   -DMMIR_SANITIZE=thread
 cmake --build "${BUILD}" -j"$(nproc)" \
   --target test_engine test_parallel_exec test_fault_injection test_core \
-           test_obs_concurrency test_export test_aggregate test_stats_server \
-           test_shard_parity test_shard_merge test_index_onion \
-           test_sproc_oracle test_explain test_chaos \
+           test_obs test_obs_concurrency test_export test_aggregate \
+           test_stats_server test_shard_parity test_shard_merge \
+           test_index_onion test_sproc_oracle test_explain test_chaos \
            test_net_wire test_net_parity
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
-  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain'
+  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain'
 ctest --test-dir "${BUILD}" --output-on-failure -L chaos
 # TSan serializes heavily; a reduced parity battery still covers every
 # (mode, policy, shard-count) interleaving class.

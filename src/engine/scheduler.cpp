@@ -313,7 +313,10 @@ std::future<Outcome> QueryEngine::enqueue(const char* kind, const JobLimits& lim
         if (out.cache_hit) root.note("result_cache", "hit");
         root.finish();
       }
-      if (trace != nullptr) config_.tracer->finish(std::move(trace));
+      if (trace != nullptr) {
+        out.trace = trace;
+        config_.tracer->finish(std::move(trace));
+      }
       completed_.fetch_add(1, std::memory_order_relaxed);
       jobs_completed_metric_.add();
       promise->set_value(std::move(out));

@@ -183,6 +183,11 @@ struct OutcomeInfo {
   std::uint64_t dispatch_order = 0;  ///< 0 for shed jobs (never dispatched)
   std::chrono::nanoseconds queue_wait{0};
   std::chrono::nanoseconds exec_time{0};
+  /// The query's completed trace when the engine has a tracer; null
+  /// otherwise.  Handed to the caller directly (not via Tracer::latest())
+  /// so concurrent dispatchers can't hand back someone else's trace — the
+  /// shard server serializes this tree into its reply.
+  std::shared_ptr<const obs::Trace> trace;
 
   [[nodiscard]] std::chrono::nanoseconds latency() const noexcept {
     return queue_wait + exec_time;

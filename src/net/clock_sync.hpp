@@ -1,0 +1,142 @@
+#pragma once
+// Per-connection clock-offset estimation and remote-span rebasing
+// (DESIGN.md §6h).
+//
+// The router and each shard server run on independent steady clocks; to
+// graft a server's span tree under the router's leg span, the router must
+// translate server timestamps into its own clock.  Each traced reply yields
+// one NTP-style sample: the router captures t0 (request written) and t1
+// (reply read), the server reports s_recv / s_send, and the offset estimate
+// is the difference of the two interval midpoints:
+//
+//     offset = midpoint(t0, t1) - midpoint(s_recv, s_send)
+//
+// so server_time + offset = router_time.  The estimate's error is bounded
+// by half the "pure wire" round trip (rtt = (t1-t0) - (s_send-s_recv)), so
+// the estimator keeps a sliding window of samples (refined over the
+// router's health window) and answers with the minimum-rtt sample — the
+// classic Cristian/NTP filter: the tightest round trip carries the
+// least-smeared midpoint.  A mid-window offset jump (e.g. a suspended VM)
+// is absorbed as old samples age out of the window.
+//
+// Rebasing is deliberately paranoid: whatever the offset estimate or a
+// hostile peer claims, a rebased interval is clamped into the observed leg
+// window, so grafted spans can never carry negative durations or escape
+// their parent — Trace::well_formed() stays true by construction.
+//
+// Header-only and dependency-free on purpose: the edge-case battery in
+// tests/test_obs.cpp drives this logic without linking the net layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace mmir::net {
+
+/// One request/response timing observation.  t0/t1 are local (router)
+/// steady-clock ns; s_recv/s_send are remote (server) steady-clock ns.
+struct ClockSample {
+  std::int64_t t0 = 0;      ///< request written to the socket
+  std::int64_t t1 = 0;      ///< reply fully read off the socket
+  std::int64_t s_recv = 0;  ///< server: request decoded
+  std::int64_t s_send = 0;  ///< server: reply about to be written
+};
+
+/// Wire-only round trip of a sample: total leg time minus the time the
+/// server held the request.  Negative (clock torn mid-sample, or a hostile
+/// reply) clamps to 0 — such a sample wins the min-rtt filter only if
+/// nothing better exists.
+[[nodiscard]] inline std::int64_t sample_rtt_ns(const ClockSample& s) noexcept {
+  const std::int64_t rtt = (s.t1 - s.t0) - (s.s_send - s.s_recv);
+  return rtt < 0 ? 0 : rtt;
+}
+
+/// Midpoint-difference offset of one sample: server_time + offset ≈
+/// router_time.  Can legitimately be zero or negative (the server's clock
+/// may be ahead of the router's).
+[[nodiscard]] inline std::int64_t sample_offset_ns(const ClockSample& s) noexcept {
+  const std::int64_t local_mid = s.t0 + (s.t1 - s.t0) / 2;
+  const std::int64_t remote_mid = s.s_recv + (s.s_send - s.s_recv) / 2;
+  return local_mid - remote_mid;
+}
+
+/// Sliding-window minimum-rtt offset estimator, one per connection target.
+class ClockOffsetEstimator {
+ public:
+  static constexpr std::size_t kWindow = 64;
+
+  void add_sample(const ClockSample& sample) {
+    window_.push_back(sample);
+    while (window_.size() > kWindow) window_.pop_front();
+  }
+
+  [[nodiscard]] bool known() const noexcept { return !window_.empty(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return window_.size(); }
+
+  /// Offset of the tightest-rtt sample in the window; 0 when unknown.
+  [[nodiscard]] std::int64_t offset_ns() const noexcept {
+    const ClockSample* best = best_sample();
+    return best == nullptr ? 0 : sample_offset_ns(*best);
+  }
+
+  /// rtt of the sample the estimate rests on; 0 when unknown.
+  [[nodiscard]] std::int64_t rtt_ns() const noexcept {
+    const ClockSample* best = best_sample();
+    return best == nullptr ? 0 : sample_rtt_ns(*best);
+  }
+
+ private:
+  [[nodiscard]] const ClockSample* best_sample() const noexcept {
+    const ClockSample* best = nullptr;
+    for (const ClockSample& s : window_) {
+      if (best == nullptr || sample_rtt_ns(s) < sample_rtt_ns(*best)) best = &s;
+    }
+    return best;
+  }
+
+  std::deque<ClockSample> window_;
+};
+
+/// A remote interval translated into local-trace-relative coordinates.
+struct RebasedInterval {
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// Rebases a remote span interval into the local trace's relative timeline
+/// and clamps it into [window_start_ns, window_end_ns] (the enclosing leg
+/// span).  `remote_start_ns` is remote steady-clock absolute ns;
+/// `local_epoch_ns` is the local trace's start_epoch_ns().  Clamping
+/// guarantees: start within the window, duration never negative, end never
+/// past the window — regardless of the offset estimate's sign or error and
+/// of hostile remote timestamps.
+[[nodiscard]] inline RebasedInterval rebase_interval(std::int64_t offset_ns,
+                                                     std::uint64_t remote_start_ns,
+                                                     std::uint64_t duration_ns,
+                                                     std::uint64_t local_epoch_ns,
+                                                     std::uint64_t window_start_ns,
+                                                     std::uint64_t window_end_ns) noexcept {
+  if (window_end_ns < window_start_ns) window_end_ns = window_start_ns;
+  std::int64_t rel =
+      static_cast<std::int64_t>(remote_start_ns) + offset_ns - static_cast<std::int64_t>(local_epoch_ns);
+  if (rel < static_cast<std::int64_t>(window_start_ns)) rel = static_cast<std::int64_t>(window_start_ns);
+  if (rel > static_cast<std::int64_t>(window_end_ns)) rel = static_cast<std::int64_t>(window_end_ns);
+  const std::uint64_t start = static_cast<std::uint64_t>(rel);
+  std::uint64_t end = duration_ns > window_end_ns - start ? window_end_ns : start + duration_ns;
+  if (end < start) end = start;
+  return RebasedInterval{start, end - start};
+}
+
+/// Namespaces a remote server's trace/query id into the router's id space:
+/// high bit marks "remote", bits 48..62 carry the shard ordinal, the low 48
+/// bits the server-local id.  Embedded-server trace ids (small monotone
+/// integers) and router trace ids can therefore never collide with a
+/// namespaced remote id in a merged dump, and two shards' ids never collide
+/// with each other.
+[[nodiscard]] inline std::uint64_t namespaced_remote_id(std::uint32_t shard,
+                                                        std::uint64_t remote_id) noexcept {
+  return (1ULL << 63) | (static_cast<std::uint64_t>(shard & 0x7FFFu) << 48) |
+         (remote_id & ((1ULL << 48) - 1));
+}
+
+}  // namespace mmir::net

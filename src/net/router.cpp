@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "net/socket.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/backoff.hpp"
@@ -39,6 +40,12 @@ const char* fault_name(ShardFault fault) noexcept {
 /// Sleeps `total` in short slices, returning early when the leg is
 /// cancelled (hedge sibling won) or the global context stopped — the same
 /// shape as the in-process fault path's interruptible wait.
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void interruptible_wait(std::chrono::nanoseconds total, const std::atomic<bool>& cancel,
                         QueryContext& ctx) {
   const auto deadline = std::chrono::steady_clock::now() + total;
@@ -63,6 +70,14 @@ struct Leg {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   ShardFault last_fault = ShardFault::kNone;
+  /// Stitched decomposition of the winning attempt (traced replies only):
+  /// wire + queue_wait + scan must reconcile with the leg's wall time.
+  bool traced = false;
+  std::uint64_t wire_ns = 0;
+  std::uint64_t queue_ns = 0;
+  std::uint64_t scan_ns = 0;
+  std::uint64_t wall_ns = 0;  ///< measured attempt window [attempt_start, t1]
+  std::int64_t offset_ns = 0;
 };
 
 /// Primary + optional hedge legs of one shard; first clean reply wins.
@@ -90,6 +105,114 @@ void annotate_leg(const obs::Span& span, std::size_t shard, const Leg& leg) {
   span.note("status", to_string(leg.reply.partial.result.status));
   if (leg.last_fault != ShardFault::kNone) span.note("fault", fault_name(leg.last_fault));
   if (!leg.ok) span.note("leg_outcome", "dead");
+  if (leg.traced) {
+    span.annotate("wire_ns", static_cast<double>(leg.wire_ns));
+    span.annotate("queue_wait_ns", static_cast<double>(leg.queue_ns));
+    span.annotate("scan_ns", static_cast<double>(leg.scan_ns));
+    span.annotate("leg_wall_ns", static_cast<double>(leg.wall_ns));
+    span.annotate("clock_offset_ns", static_cast<double>(leg.offset_ns));
+  }
+}
+
+/// Grafts a traced reply under the still-open leg span: synthesizes the
+/// wire / queue_wait / scan decomposition, then rebases the server's span
+/// tree into router time (via the port's offset estimate) and nests it
+/// under `scan`.  Every grafted time is clamped into the attempt's observed
+/// wall window [attempt_start, t1], so the stitched trace stays
+/// well_formed() whatever the offset error or a hostile peer claims.
+/// Fills leg.wire_ns / queue_ns / scan_ns.
+void stitch_remote_trace(const obs::Span& leg_span, std::size_t shard, const WireTrace& remote,
+                         std::int64_t offset, std::int64_t attempt_start, std::int64_t t1,
+                         Leg& leg) {
+  obs::Trace* trace = leg_span.trace();
+  if (trace == nullptr) return;
+  const std::uint64_t epoch = trace->start_epoch_ns();
+  const auto rel = [&](std::int64_t abs) -> std::uint64_t {
+    return abs > static_cast<std::int64_t>(epoch)
+               ? static_cast<std::uint64_t>(abs) - epoch
+               : 0;
+  };
+  const std::uint64_t win_start = rel(attempt_start);
+  const std::uint64_t win_end = std::max(rel(t1), win_start);
+
+  // The three rows tile the attempt window *exactly*: wire is everything
+  // the server did not hold the request, queue_wait the scheduler's
+  // admission delay, and scan the rest of the server-held time (engine
+  // execution plus request decode/encode — the engine-only number stays
+  // visible as exec_ns on the grafted remote query span).  Clamping
+  // server-held into the window keeps the identity under clock skew or a
+  // hostile peer claiming to have held the request longer than the leg ran.
+  const std::uint64_t leg_wall = win_end - win_start;
+  const std::uint64_t server_held =
+      std::min(remote.server_send_ns > remote.server_recv_ns
+                   ? remote.server_send_ns - remote.server_recv_ns
+                   : 0,
+               leg_wall);
+  leg.traced = true;
+  leg.offset_ns = offset;
+  leg.wall_ns = static_cast<std::uint64_t>(t1 - attempt_start > 0 ? t1 - attempt_start : 0);
+  leg.wire_ns = leg_wall - server_held;
+  leg.queue_ns = std::min(remote.queue_wait_ns, server_held);
+  leg.scan_ns = server_held - leg.queue_ns;
+
+  // wire: everything the server did NOT hold the request — connect, both
+  // frame transfers, kernel queues.  Rendered from the attempt's start so
+  // the three rows tile the leg window.
+  const std::size_t wire_idx =
+      trace->add_completed_span("wire", leg_span.index(), win_start,
+                                std::min(leg.wire_ns, win_end - win_start));
+  trace->annotate(wire_idx, "wire_ns", static_cast<double>(leg.wire_ns));
+  trace->annotate(wire_idx, "clock_offset_ns", static_cast<double>(offset));
+
+  // queue_wait: the scheduler admitted the scan at (trace start - queue
+  // wait) in server time; the engine trace clock starts at dispatch.
+  const std::uint64_t q_start_server =
+      remote.trace_start_ns > remote.queue_wait_ns ? remote.trace_start_ns - remote.queue_wait_ns
+                                                   : 0;
+  const RebasedInterval queued = rebase_interval(offset, q_start_server, remote.queue_wait_ns,
+                                                 epoch, win_start, win_end);
+  const std::size_t queue_idx = trace->add_completed_span("queue_wait", leg_span.index(),
+                                                          queued.start_ns, queued.duration_ns);
+  trace->annotate(queue_idx, "queue_wait_ns", static_cast<double>(remote.queue_wait_ns));
+
+  // scan: the server-held processing window (dispatch-to-completion plus
+  // decode/encode); the remote span tree nests under it.
+  const RebasedInterval scan = rebase_interval(offset, remote.trace_start_ns, leg.scan_ns,
+                                               epoch, win_start, win_end);
+  const std::size_t scan_idx =
+      trace->add_completed_span("scan", leg_span.index(), scan.start_ns, scan.duration_ns);
+  trace->annotate(scan_idx, "scan_ns", static_cast<double>(leg.scan_ns));
+  trace->annotate(scan_idx, "exec_ns", static_cast<double>(remote.exec_ns));
+  const std::uint64_t remote_id =
+      namespaced_remote_id(static_cast<std::uint32_t>(shard), remote.remote_trace_id);
+  trace->note(scan_idx, "remote_query_id", std::to_string(remote_id));
+
+  // Remote spans render under their own chrome pid, one per server.
+  const double remote_pid = static_cast<double>(shard + 2);
+  const std::uint64_t scan_end = scan.start_ns + scan.duration_ns;
+  std::vector<std::size_t> grafted(remote.spans.size(), obs::kNoSpan);
+  for (std::size_t i = 0; i < remote.spans.size(); ++i) {
+    const WireSpan& span = remote.spans[i];
+    const RebasedInterval when =
+        rebase_interval(offset, remote.trace_start_ns + span.start_ns, span.duration_ns, epoch,
+                        scan.start_ns, scan_end);
+    // A parent that is missing, forward, or itself dropped demotes the span
+    // to a child of `scan` — hostile trees cannot break the stitch.
+    std::size_t parent = scan_idx;
+    if (span.parent != kWireNoParent && span.parent < i &&
+        grafted[span.parent] != obs::kNoSpan) {
+      parent = grafted[span.parent];
+    }
+    const std::size_t idx =
+        trace->add_completed_span(span.name, parent, when.start_ns, when.duration_ns);
+    grafted[i] = idx;
+    for (const auto& [key, value] : span.attrs) trace->annotate(idx, key, value);
+    for (const auto& [key, value] : span.notes) trace->note(idx, key, value);
+    trace->annotate(idx, "remote_pid", remote_pid);
+    if (parent == scan_idx) {
+      trace->note(idx, "remote_query_id", std::to_string(remote_id));
+    }
+  }
 }
 
 }  // namespace
@@ -198,6 +321,14 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
     spec.weights.assign(query.model->weights().begin(), query.model->weights().end());
     spec.names.reserve(query.model->dim());
     for (std::size_t i = 0; i < query.model->dim(); ++i) spec.names.push_back(query.model->name(i));
+    if (span.active()) {
+      // Propagate trace context: servers run the scan traced and ship the
+      // span tree back.  Manually-built traces may carry id 0; the wire
+      // treats 0 as "untraced", so fall back to the router query sequence.
+      const std::uint64_t trace_id = span.trace()->id();
+      spec.trace_id = trace_id != 0 ? trace_id : query_id;
+      spec.parent_span = static_cast<std::uint64_t>(span.index());
+    }
   }
 
   std::vector<std::unique_ptr<Slot>> slots;
@@ -207,7 +338,8 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
   // One attempt loop per leg, the remote twin of the in-process fault path:
   // chaos verdicts, per-attempt deadline, capped jittered backoff, and the
   // same dispositions (clean / stop-reason / degraded+widened / dead).
-  const auto run_leg = [&](std::size_t s, int leg_id, Leg& leg, Slot& slot) {
+  const auto run_leg = [&](std::size_t s, int leg_id, Leg& leg, Slot& slot,
+                           const obs::Span& leg_span) {
     const auto synth = [&](ResultStatus status, double bound) {
       leg.reply = WirePartial{};
       leg.reply.partial.shard_id = s;
@@ -255,11 +387,13 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
       }
 
       if (!transient && !timed_out) {
+        const std::int64_t attempt_start = steady_now_ns();
         Socket sock = Socket::connect_loopback(config_.ports[s]);
         if (!sock.valid()) {
           transient = true;
         } else {
           const std::vector<std::uint8_t> payload = encode_query(specs[s]);
+          const std::int64_t t0 = steady_now_ns();
           if (!write_frame(sock, MsgType::kQuery, payload)) {
             transient = true;
           } else {
@@ -271,6 +405,7 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
             } else {
               try {
                 std::vector<std::uint8_t> raw = read_frame_bytes(sock, remaining, &leg.cancel);
+                const std::int64_t t1 = steady_now_ns();
                 leg.bytes_received += raw.size();
                 if (action.kind == ShardFault::kCorrupt &&
                     raw.size() > kFrameHeaderBytes + kFrameTrailerBytes) {
@@ -292,6 +427,18 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
                   } else {
                     leg.reply = std::move(reply);
                     leg.ok = leg.clean = true;
+                    if (leg.reply.has_trace && leg_span.active()) {
+                      ClockSample sample;
+                      sample.t0 = t0;
+                      sample.t1 = t1;
+                      sample.s_recv =
+                          static_cast<std::int64_t>(leg.reply.trace.server_recv_ns);
+                      sample.s_send =
+                          static_cast<std::int64_t>(leg.reply.trace.server_send_ns);
+                      const std::int64_t offset = update_clock(config_.ports[s], sample);
+                      stitch_remote_trace(leg_span, s, leg.reply.trace, offset, attempt_start,
+                                          t1, leg);
+                    }
                     int expected = -1;
                     if (slot.winner.compare_exchange_strong(expected, leg_id)) {
                       (leg_id == 0 ? slot.hedge : slot.primary)
@@ -357,7 +504,7 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
         "shard_" + std::to_string(s) + (leg_id == 0 ? "" : "_hedge");
     const obs::Span leg_span = obs::Span::child_of(&span, name);
     if (leg_id == 1) leg_span.note("leg", "hedge");
-    run_leg(s, leg_id, leg, slot);
+    run_leg(s, leg_id, leg, slot, leg_span);
     annotate_leg(leg_span, s, leg);
     if (leg_id == 0) {
       slot.primary_finished.store(true, std::memory_order_release);
@@ -516,16 +663,180 @@ RouterResult Router::execute(const RouterQuery& query, QueryContext& ctx, CostMe
     m.counter("engine_net_legs_failed_total").add(stats.failed_shards);
     m.counter("engine_net_bytes_sent_total").add(res.bytes_sent);
     m.counter("engine_net_bytes_received_total").add(res.bytes_received);
+    // Labeled family view of the same bytes (the exporter passes the label
+    // block through verbatim), plus the per-leg wire-time distribution the
+    // E14 overhead experiment and ROADMAP item 3 tuning read.
+    m.counter("engine_net_wire_bytes{direction=\"sent\"}").add(res.bytes_sent);
+    m.counter("engine_net_wire_bytes{direction=\"received\"}").add(res.bytes_received);
+    const obs::Histogram wire_hist = m.histogram("engine_net_wire_time_ns");
+    for (const std::unique_ptr<Slot>& slot : slots) {
+      if (slot->primary.traced) wire_hist.observe(slot->primary.wire_ns);
+      if (slot->hedge.traced) wire_hist.observe(slot->hedge.wire_ns);
+    }
   }
 
   record_health(events);
   return res;
 }
 
+std::int64_t Router::update_clock(std::uint16_t port, const ClockSample& sample) {
+  const std::lock_guard<std::mutex> lock(clock_mutex_);
+  ClockOffsetEstimator& estimator = clock_[port];
+  estimator.add_sample(sample);
+  return estimator.offset_ns();
+}
+
+std::int64_t Router::clock_offset_ns(std::uint16_t port) const {
+  const std::lock_guard<std::mutex> lock(clock_mutex_);
+  const auto it = clock_.find(port);
+  return it == clock_.end() ? 0 : it->second.offset_ns();
+}
+
 void Router::record_health(const std::vector<LegEvent>& events) {
   const std::lock_guard<std::mutex> lock(health_mutex_);
   for (const LegEvent& event : events) health_window_.push_back(event);
   while (health_window_.size() > kHealthWindow) health_window_.pop_front();
+}
+
+std::string Router::fleet_prometheus() {
+  struct ShardStats {
+    bool up = false;
+    WireStats stats;
+    double qps = 0;
+  };
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ShardStats> fleet(config_.ports.size());
+  for (std::size_t s = 0; s < config_.ports.size(); ++s) {
+    ShardStats& entry = fleet[s];
+    try {
+      Socket sock = Socket::connect_loopback(config_.ports[s]);
+      if (!sock.valid()) continue;
+      if (!write_frame(sock, MsgType::kStats, {})) continue;
+      const Frame frame = read_frame(sock, config_.default_leg_timeout);
+      if (frame.type != MsgType::kStatsReply) continue;  // v1 peer: kError
+      entry.stats = decode_stats(frame.payload);
+      entry.up = true;
+    } catch (const WireError&) {
+      continue;  // down or hostile; renders as fleet_up 0, page still serves
+    }
+    const std::lock_guard<std::mutex> lock(fleet_mutex_);
+    FleetPrev& prev = fleet_prev_[config_.ports[s]];
+    if (prev.valid && entry.stats.queries_served >= prev.queries_served) {
+      const double dt = std::chrono::duration<double>(now - prev.at).count();
+      if (dt > 0) {
+        entry.qps =
+            static_cast<double>(entry.stats.queries_served - prev.queries_served) / dt;
+      }
+    }
+    prev.queries_served = entry.stats.queries_served;
+    prev.at = now;
+    prev.valid = true;
+  }
+
+  // Router-side view of the same fleet: leg timeouts/failures over the
+  // rolling health window, so /fleetz shows both what the servers report
+  // and what the router experienced talking to them.
+  std::vector<std::uint64_t> leg_timeouts(config_.ports.size(), 0);
+  std::vector<std::uint64_t> leg_failures(config_.ports.size(), 0);
+  {
+    const std::lock_guard<std::mutex> lock(health_mutex_);
+    for (const LegEvent& event : health_window_) {
+      if (event.shard < leg_timeouts.size()) {
+        leg_timeouts[event.shard] += event.timeouts;
+        if (event.failed) ++leg_failures[event.shard];
+      }
+    }
+  }
+
+  const auto find_counter = [](const WireStats& stats, std::string_view name) -> std::uint64_t {
+    for (const obs::CounterSample& c : stats.snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  const auto find_histogram =
+      [](const WireStats& stats, std::string_view name) -> const obs::HistogramSample* {
+    for (const obs::HistogramSample& h : stats.snapshot.histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  };
+
+  std::string out;
+  char line[256];
+  const auto emit = [&out, &line](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+  const auto for_each_shard = [&](const char* help, const char* type, const char* family,
+                                  auto value_fn) {
+    out += "# HELP ";
+    out += family;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+    for (std::size_t s = 0; s < fleet.size(); ++s) value_fn(s, family);
+  };
+
+  for_each_shard("1 when the shard server answered the kStats poll.", "gauge", "fleet_up",
+                 [&](std::size_t s, const char* family) {
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %d\n", family, s, config_.ports[s],
+                        fleet[s].up ? 1 : 0);
+                 });
+  for_each_shard("Queries the server answered with a kResult frame since start.", "counter",
+                 "fleet_queries_served_total", [&](std::size_t s, const char* family) {
+                   if (!fleet[s].up) return;
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %llu\n", family, s, config_.ports[s],
+                        static_cast<unsigned long long>(fleet[s].stats.queries_served));
+                 });
+  for_each_shard("Served-query rate since the previous /fleetz scrape.", "gauge", "fleet_qps",
+                 [&](std::size_t s, const char* family) {
+                   if (!fleet[s].up) return;
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %.3f\n", family, s, config_.ports[s],
+                        fleet[s].qps);
+                 });
+  for_each_shard("Interpolated p99 of the server's engine_exec_time_ns histogram.", "gauge",
+                 "fleet_exec_p99_ns", [&](std::size_t s, const char* family) {
+                   if (!fleet[s].up) return;
+                   const obs::HistogramSample* hist =
+                       find_histogram(fleet[s].stats, "engine_exec_time_ns");
+                   if (hist == nullptr || hist->count == 0) return;
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %.0f\n", family, s, config_.ports[s],
+                        obs::interpolated_quantile(*hist, 0.99));
+                 });
+  for_each_shard("Jobs the server's engine shed under back-pressure.", "counter",
+                 "fleet_shed_total", [&](std::size_t s, const char* family) {
+                   if (!fleet[s].up) return;
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %llu\n", family, s, config_.ports[s],
+                        static_cast<unsigned long long>(
+                            find_counter(fleet[s].stats, "engine_jobs_shed_total")));
+                 });
+  for_each_shard("Server uptime in seconds at poll time.", "gauge", "fleet_uptime_seconds",
+                 [&](std::size_t s, const char* family) {
+                   if (!fleet[s].up) return;
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %.1f\n", family, s, config_.ports[s],
+                        static_cast<double>(fleet[s].stats.uptime_ns) / 1e9);
+                 });
+  for_each_shard("Router-observed leg timeouts over the rolling health window.", "gauge",
+                 "fleet_leg_timeouts", [&](std::size_t s, const char* family) {
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %llu\n", family, s, config_.ports[s],
+                        static_cast<unsigned long long>(leg_timeouts[s]));
+                 });
+  for_each_shard("Router-observed leg failures over the rolling health window.", "gauge",
+                 "fleet_leg_failures", [&](std::size_t s, const char* family) {
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %llu\n", family, s, config_.ports[s],
+                        static_cast<unsigned long long>(leg_failures[s]));
+                 });
+  for_each_shard("Current clock-offset estimate toward the server (ns).", "gauge",
+                 "fleet_clock_offset_ns", [&](std::size_t s, const char* family) {
+                   emit("%s{shard=\"%zu\",port=\"%u\"} %lld\n", family, s, config_.ports[s],
+                        static_cast<long long>(clock_offset_ns(config_.ports[s])));
+                 });
+  return out;
 }
 
 obs::HealthReport Router::health() const {

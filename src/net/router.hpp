@@ -45,6 +45,7 @@
 #include "engine/fault_domain.hpp"
 #include "engine/shard_exec.hpp"
 #include "linear/model.hpp"
+#include "net/clock_sync.hpp"
 #include "net/wire.hpp"
 #include "obs/stats_server.hpp"
 #include "util/cost.hpp"
@@ -109,6 +110,20 @@ class Router {
   /// /healthz hook, mirroring QueryEngine::health() for remote execution.
   [[nodiscard]] obs::HealthReport health() const;
 
+  /// Federated fleet telemetry (the /fleetz hook): polls every configured
+  /// shard server with a kStats message and renders one Prometheus page —
+  /// per-shard up/qps/p99/shed plus the router's own leg-health view, every
+  /// sample labeled {shard="i",port="p"}.  qps derives from the
+  /// queries_served delta between successive calls (0 on the first scrape).
+  /// A server that does not answer (down, or a v1 build without kStats)
+  /// renders as fleet_up 0 — the page never fails outright.
+  [[nodiscard]] std::string fleet_prometheus();
+
+  /// Current clock-offset estimate toward the server on `port`
+  /// (server_time + offset = router_time); 0 when no traced reply has been
+  /// seen yet.  Test hook for the stitching battery.
+  [[nodiscard]] std::int64_t clock_offset_ns(std::uint16_t port) const;
+
  private:
   struct LegEvent {
     std::uint32_t shard = 0;
@@ -123,6 +138,9 @@ class Router {
                                                 std::uint32_t shard_count, std::uint8_t policy,
                                                 std::uint32_t shard);
   void record_health(const std::vector<LegEvent>& events);
+  /// Feeds one traced reply's timing sample into the port's offset
+  /// estimator and returns the refined estimate.
+  [[nodiscard]] std::int64_t update_clock(std::uint16_t port, const ClockSample& sample);
 
   RouterConfig config_;
   std::atomic<std::uint64_t> query_seq_{1};
@@ -134,6 +152,18 @@ class Router {
 
   mutable std::mutex health_mutex_;
   std::deque<LegEvent> health_window_;
+
+  mutable std::mutex clock_mutex_;
+  std::map<std::uint16_t, ClockOffsetEstimator> clock_;
+
+  /// Previous kStats scrape per port, for the /fleetz qps delta.
+  struct FleetPrev {
+    std::uint64_t queries_served = 0;
+    std::chrono::steady_clock::time_point at{};
+    bool valid = false;
+  };
+  std::mutex fleet_mutex_;
+  std::map<std::uint16_t, FleetPrev> fleet_prev_;
 };
 
 }  // namespace mmir::net

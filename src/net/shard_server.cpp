@@ -1,5 +1,6 @@
 #include "net/shard_server.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -22,7 +23,11 @@ Frame error_frame(std::uint32_t code, std::string message) {
 
 }  // namespace
 
-ShardServer::ShardServer(ShardServerConfig config) : config_(config), engine_(config.engine) {}
+ShardServer::ShardServer(ShardServerConfig config)
+    : config_(std::move(config)), engine_([this] {
+        if (config_.engine.tracer == nullptr) config_.engine.tracer = &tracer_;
+        return config_.engine;
+      }()) {}
 
 ShardServer::~ShardServer() { stop(); }
 
@@ -79,12 +84,20 @@ Frame ShardServer::handle(const Frame& request) {
       return handle_query(request.payload);
     case MsgType::kDescribe:
       return handle_describe(request.payload);
+    case MsgType::kStats:
+      return handle_stats();
     default:
       return error_frame(kErrBadRequest, "unexpected message type");
   }
 }
 
 Frame ShardServer::handle_query(std::span<const std::uint8_t> payload) {
+  // s_recv for the router's clock-offset sample: steady-clock time at which
+  // this process took ownership of the request.
+  const std::uint64_t recv_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   QuerySpec spec;
   try {
     spec = decode_query(payload);
@@ -148,6 +161,37 @@ Frame ShardServer::handle_query(std::span<const std::uint8_t> payload) {
     reply.meter_pruned = outcome.meter.pruned();
     reply.scan_ops = outcome.result.scan_ops;
     reply.model_terms = outcome.result.model_terms;
+    // Traced request + traced engine: ship the span tree and the monotonic
+    // timestamps the router's stitcher needs.  An untraced request (or a v1
+    // router) costs nothing extra on the wire.
+    if (spec.trace_id != 0 && outcome.trace != nullptr) {
+      reply.has_trace = true;
+      reply.trace.remote_trace_id = outcome.trace->id();
+      reply.trace.trace_start_ns = outcome.trace->start_epoch_ns();
+      reply.trace.queue_wait_ns = static_cast<std::uint64_t>(outcome.queue_wait.count());
+      reply.trace.exec_ns = static_cast<std::uint64_t>(outcome.exec_time.count());
+      const std::vector<obs::SpanRecord> spans = outcome.trace->spans();
+      const std::size_t n = std::min<std::size_t>(spans.size(), kMaxWireSpans);
+      reply.trace.spans.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const obs::SpanRecord& record = spans[i];
+        WireSpan span;
+        span.name = record.name;
+        span.parent = record.parent == obs::kNoSpan || record.parent >= n
+                          ? kWireNoParent
+                          : static_cast<std::uint32_t>(record.parent);
+        span.start_ns = record.start_ns;
+        span.duration_ns = record.duration_ns;
+        span.attrs = record.attrs;
+        span.notes = record.notes;
+        reply.trace.spans.push_back(std::move(span));
+      }
+      reply.trace.server_recv_ns = recv_ns;
+      reply.trace.server_send_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     return Frame{MsgType::kResult, encode_partial(reply)};
   } catch (const Error& err) {
@@ -183,6 +227,17 @@ Frame ShardServer::handle_describe(std::span<const std::uint8_t> payload) {
     info = ShardDescription{};
   }
   return Frame{MsgType::kShardInfo, encode_shard_info(info)};
+}
+
+Frame ShardServer::handle_stats() {
+  WireStats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           started_at_)
+          .count());
+  if (config_.engine.metrics != nullptr) stats.snapshot = config_.engine.metrics->snapshot();
+  return Frame{MsgType::kStatsReply, encode_stats(stats)};
 }
 
 void ShardServer::accept_loop() {

@@ -104,6 +104,7 @@ class ShardServer {
 
   [[nodiscard]] Frame handle_query(std::span<const std::uint8_t> payload);
   [[nodiscard]] Frame handle_describe(std::span<const std::uint8_t> payload);
+  [[nodiscard]] Frame handle_stats();
   /// Finds/creates the (count, policy) layout of a registered entry; throws
   /// Error on an invalid policy byte.
   [[nodiscard]] const ShardedArchive* layout_for(ArchiveEntry& entry, std::uint32_t count,
@@ -113,6 +114,12 @@ class ShardServer {
   void reap_connections(bool all);
 
   ShardServerConfig config_;
+  /// Owned tracer backing remote-scan traces when the caller's EngineConfig
+  /// did not supply one: every served scan gets a span tree the reply can
+  /// carry back, with zero setup on the embedding side.  Must be declared
+  /// before engine_ (the engine config points at it).
+  obs::Tracer tracer_{64};
+  std::chrono::steady_clock::time_point started_at_{std::chrono::steady_clock::now()};
   QueryEngine engine_;
   std::mutex archives_mutex_;
   std::map<std::uint64_t, ArchiveEntry> archives_;

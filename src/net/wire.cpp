@@ -85,7 +85,7 @@ namespace {
 
 bool known_type(std::uint16_t t) noexcept {
   return t >= static_cast<std::uint16_t>(MsgType::kQuery) &&
-         t <= static_cast<std::uint16_t>(MsgType::kShardInfo);
+         t <= static_cast<std::uint16_t>(MsgType::kStatsReply);
 }
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
@@ -123,10 +123,11 @@ std::uint32_t check_header(std::span<const std::uint8_t> head) {
     throw WireError(WireFault::kBadMagic, "frame does not start with MMW1");
   }
   const std::uint16_t version = get_u16(head.data() + 4);
-  if (version != kWireVersion) {
+  if (version < kWireMinVersion || version > kWireVersion) {
     throw WireError(WireFault::kVersionSkew,
                     "peer speaks protocol version " + std::to_string(version) +
-                        ", this build speaks " + std::to_string(kWireVersion));
+                        ", this build speaks " + std::to_string(kWireMinVersion) + ".." +
+                        std::to_string(kWireVersion));
   }
   const std::uint32_t len = get_u32(head.data() + 8);
   if (len > kMaxFramePayload) {
@@ -139,11 +140,12 @@ std::uint32_t check_header(std::span<const std::uint8_t> head) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_frame(MsgType type, std::span<const std::uint8_t> payload) {
+std::vector<std::uint8_t> encode_frame(MsgType type, std::span<const std::uint8_t> payload,
+                                       std::uint16_t version) {
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
   out.insert(out.end(), kWireMagic, kWireMagic + sizeof kWireMagic);
-  put_u16(out, kWireVersion);
+  put_u16(out, version);
   put_u16(out, static_cast<std::uint16_t>(type));
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
@@ -172,6 +174,7 @@ Frame decode_frame(std::span<const std::uint8_t> bytes) {
   }
   Frame frame;
   frame.type = static_cast<MsgType>(raw_type);
+  frame.version = get_u16(bytes.data() + 4);
   frame.payload.assign(payload, payload + len);
   return frame;
 }
@@ -220,6 +223,13 @@ std::vector<std::uint8_t> encode_query(const QuerySpec& spec) {
   for (double weight : spec.weights) w.f64(weight);
   w.u32(static_cast<std::uint32_t>(spec.names.size()));
   for (const std::string& name : spec.names) w.str(name);
+  // v2 trace context, presence-based: an untraced query stays bit-identical
+  // to the v1 encoding, so old servers keep working on the untraced path.
+  if (spec.trace_id != 0) {
+    w.u8(1);
+    w.u64(spec.trace_id);
+    w.u64(spec.parent_span);
+  }
   return w.take();
 }
 
@@ -252,6 +262,17 @@ QuerySpec decode_query(std::span<const std::uint8_t> payload) {
       spec.shard_policy > 1 || spec.mode > 3) {
     throw WireError(WireFault::kMalformed, "query spec fields out of range");
   }
+  // v1 payload ends here (untraced); v2 appends an optional trace block.
+  if (!r.done()) {
+    if (r.u8() != 1) {
+      throw WireError(WireFault::kMalformed, "unknown trace block tag after query spec");
+    }
+    spec.trace_id = r.u64();
+    spec.parent_span = r.u64();
+    if (spec.trace_id == 0) {
+      throw WireError(WireFault::kMalformed, "trace block with a zero trace id");
+    }
+  }
   if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after query spec");
   return spec;
 }
@@ -278,6 +299,33 @@ std::vector<std::uint8_t> encode_partial(const WirePartial& partial) {
   w.u64(partial.meter_pruned);
   w.u64(partial.scan_ops);
   w.u64(partial.model_terms);
+  // v2 trace block, presence-based like the query side.
+  if (partial.has_trace) {
+    w.u8(1);
+    w.u64(partial.trace.remote_trace_id);
+    w.u64(partial.trace.server_recv_ns);
+    w.u64(partial.trace.server_send_ns);
+    w.u64(partial.trace.queue_wait_ns);
+    w.u64(partial.trace.exec_ns);
+    w.u64(partial.trace.trace_start_ns);
+    w.u32(static_cast<std::uint32_t>(partial.trace.spans.size()));
+    for (const WireSpan& span : partial.trace.spans) {
+      w.str(span.name);
+      w.u32(span.parent);
+      w.u64(span.start_ns);
+      w.u64(span.duration_ns);
+      w.u32(static_cast<std::uint32_t>(span.attrs.size()));
+      for (const auto& [key, value] : span.attrs) {
+        w.str(key);
+        w.f64(value);
+      }
+      w.u32(static_cast<std::uint32_t>(span.notes.size()));
+      for (const auto& [key, value] : span.notes) {
+        w.str(key);
+        w.str(value);
+      }
+    }
+  }
   return w.take();
 }
 
@@ -314,6 +362,56 @@ WirePartial decode_partial(std::span<const std::uint8_t> payload) {
   out.meter_pruned = r.u64();
   out.scan_ops = r.u64();
   out.model_terms = r.u64();
+  // v1 payload ends here (untraced leg); v2 may append the span tree.
+  if (!r.done()) {
+    if (r.u8() != 1) {
+      throw WireError(WireFault::kMalformed, "unknown trace block tag after partial");
+    }
+    out.has_trace = true;
+    out.trace.remote_trace_id = r.u64();
+    out.trace.server_recv_ns = r.u64();
+    out.trace.server_send_ns = r.u64();
+    out.trace.queue_wait_ns = r.u64();
+    out.trace.exec_ns = r.u64();
+    out.trace.trace_start_ns = r.u64();
+    const std::uint32_t n_spans = r.u32();
+    // Minimum wire size per span: empty name (4) + parent (4) + start (8) +
+    // duration (8) + two empty annotation counts (8) = 32 bytes.
+    if (n_spans > kMaxWireSpans || r.remaining() < static_cast<std::size_t>(n_spans) * 32) {
+      throw WireError(WireFault::kMalformed, "span count oversells the payload");
+    }
+    out.trace.spans.reserve(n_spans);
+    for (std::uint32_t i = 0; i < n_spans; ++i) {
+      WireSpan span;
+      span.name = r.str();
+      span.parent = r.u32();
+      span.start_ns = r.u64();
+      span.duration_ns = r.u64();
+      const std::uint32_t n_attrs = r.u32();
+      if (n_attrs > kMaxWireSpanAnnotations ||
+          r.remaining() < static_cast<std::size_t>(n_attrs) * 12) {
+        throw WireError(WireFault::kMalformed, "span attr count oversells the payload");
+      }
+      span.attrs.reserve(n_attrs);
+      for (std::uint32_t a = 0; a < n_attrs; ++a) {
+        std::string key = r.str();
+        const double value = r.f64();
+        span.attrs.emplace_back(std::move(key), value);
+      }
+      const std::uint32_t n_notes = r.u32();
+      if (n_notes > kMaxWireSpanAnnotations ||
+          r.remaining() < static_cast<std::size_t>(n_notes) * 8) {
+        throw WireError(WireFault::kMalformed, "span note count oversells the payload");
+      }
+      span.notes.reserve(n_notes);
+      for (std::uint32_t n = 0; n < n_notes; ++n) {
+        std::string key = r.str();
+        std::string value = r.str();
+        span.notes.emplace_back(std::move(key), std::move(value));
+      }
+      out.trace.spans.push_back(std::move(span));
+    }
+  }
   if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after partial");
   return out;
 }
@@ -391,6 +489,86 @@ WireErrorMsg decode_error(std::span<const std::uint8_t> payload) {
   err.message = r.str();
   if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after error");
   return err;
+}
+
+std::vector<std::uint8_t> encode_stats(const WireStats& stats) {
+  WireWriter w;
+  w.u64(stats.queries_served);
+  w.u64(stats.uptime_ns);
+  w.u32(static_cast<std::uint32_t>(stats.snapshot.counters.size()));
+  for (const obs::CounterSample& c : stats.snapshot.counters) {
+    w.str(c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(stats.snapshot.gauges.size()));
+  for (const obs::GaugeSample& g : stats.snapshot.gauges) {
+    w.str(g.name);
+    w.u64(static_cast<std::uint64_t>(g.value));
+  }
+  w.u32(static_cast<std::uint32_t>(stats.snapshot.histograms.size()));
+  for (const obs::HistogramSample& h : stats.snapshot.histograms) {
+    w.str(h.name);
+    w.u32(static_cast<std::uint32_t>(h.bounds.size()));
+    for (std::uint64_t bound : h.bounds) w.u64(bound);
+    // counts carries exactly bounds+1 slots (the +inf overflow bucket).
+    for (std::uint64_t count : h.counts) w.u64(count);
+    w.u64(h.count);
+    w.u64(h.sum);
+  }
+  return w.take();
+}
+
+WireStats decode_stats(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireStats stats;
+  stats.queries_served = r.u64();
+  stats.uptime_ns = r.u64();
+  const std::uint32_t n_counters = r.u32();
+  if (n_counters > kMaxWireMetrics ||
+      r.remaining() < static_cast<std::size_t>(n_counters) * 12) {
+    throw WireError(WireFault::kMalformed, "counter count oversells the payload");
+  }
+  stats.snapshot.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    obs::CounterSample c;
+    c.name = r.str();
+    c.value = r.u64();
+    stats.snapshot.counters.push_back(std::move(c));
+  }
+  const std::uint32_t n_gauges = r.u32();
+  if (n_gauges > kMaxWireMetrics || r.remaining() < static_cast<std::size_t>(n_gauges) * 12) {
+    throw WireError(WireFault::kMalformed, "gauge count oversells the payload");
+  }
+  stats.snapshot.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    obs::GaugeSample g;
+    g.name = r.str();
+    g.value = static_cast<std::int64_t>(r.u64());
+    stats.snapshot.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t n_hist = r.u32();
+  if (n_hist > kMaxWireMetrics || r.remaining() < static_cast<std::size_t>(n_hist) * 28) {
+    throw WireError(WireFault::kMalformed, "histogram count oversells the payload");
+  }
+  stats.snapshot.histograms.reserve(n_hist);
+  for (std::uint32_t i = 0; i < n_hist; ++i) {
+    obs::HistogramSample h;
+    h.name = r.str();
+    const std::uint32_t n_bounds = r.u32();
+    if (n_bounds > kMaxWireHistogramBuckets ||
+        r.remaining() < (static_cast<std::size_t>(n_bounds) * 2 + 1) * 8) {
+      throw WireError(WireFault::kMalformed, "bucket count oversells the payload");
+    }
+    h.bounds.reserve(n_bounds);
+    for (std::uint32_t b = 0; b < n_bounds; ++b) h.bounds.push_back(r.u64());
+    h.counts.reserve(n_bounds + 1);
+    for (std::uint32_t b = 0; b < n_bounds + 1; ++b) h.counts.push_back(r.u64());
+    h.count = r.u64();
+    h.sum = r.u64();
+    stats.snapshot.histograms.push_back(std::move(h));
+  }
+  if (!r.done()) throw WireError(WireFault::kMalformed, "trailing bytes after stats");
+  return stats;
 }
 
 }  // namespace mmir::net

@@ -32,13 +32,20 @@
 
 #include "engine/shard_exec.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/interval.hpp"
 
 namespace mmir::net {
 
 inline constexpr char kWireMagic[4] = {'M', 'M', 'W', '1'};
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 adds optional trace-context fields to kQuery/kResult payloads and the
+/// kStats/kStatsReply message pair.  The additions are presence-based (they
+/// sit after every v1 field), so a v2 build accepts v1 frames and payloads
+/// unchanged: a peer that never heard of tracing simply yields an untraced
+/// leg, never an error.
+inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireMinVersion = 1;
 /// Hostile-length guard: a frame advertising more than this is rejected
 /// before any allocation happens.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
@@ -53,6 +60,8 @@ enum class MsgType : std::uint16_t {
   kPong = 5,
   kDescribe = 6,   ///< router -> shard server: shard metadata request
   kShardInfo = 7,  ///< shard server -> router: bounds/pixel counts
+  kStats = 8,      ///< router -> shard server: metrics snapshot request (v2)
+  kStatsReply = 9, ///< shard server -> router: MetricsRegistry snapshot (v2)
 };
 
 /// What went wrong at the wire layer; each value maps to one robustness
@@ -83,6 +92,8 @@ class WireError : public Error {
 struct Frame {
   MsgType type = MsgType::kError;
   std::vector<std::uint8_t> payload;
+  /// Header version the peer stamped; in [kWireMinVersion, kWireVersion].
+  std::uint16_t version = kWireVersion;
 };
 
 /// Little-endian payload builder.
@@ -120,9 +131,12 @@ class WireReader {
   std::size_t pos_ = 0;
 };
 
-/// Assembles a complete frame (header + payload + checksum trailer).
+/// Assembles a complete frame (header + payload + checksum trailer).  The
+/// version parameter exists so tests (and a future downgrade path) can craft
+/// frames an old peer would emit; production paths use the default.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(MsgType type,
-                                                     std::span<const std::uint8_t> payload);
+                                                     std::span<const std::uint8_t> payload,
+                                                     std::uint16_t version = kWireVersion);
 
 /// Parses and validates a complete frame buffer; throws WireError on bad
 /// magic, version skew, oversized/oversold length, truncation, or checksum
@@ -169,10 +183,46 @@ struct QuerySpec {
   double bias = 0.0;
   std::vector<double> weights;
   std::vector<std::string> names;
+  /// v2 trace context: the router's trace id (0 = untraced request — also
+  /// what a v1 payload decodes to) and the span index the remote scan should
+  /// consider its logical parent.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const QuerySpec& spec);
 [[nodiscard]] QuerySpec decode_query(std::span<const std::uint8_t> payload);
+
+/// Hostile-payload caps for the serialized span tree: a reply advertising
+/// more than this is kMalformed before any allocation happens.
+inline constexpr std::uint32_t kMaxWireSpans = 4096;
+inline constexpr std::uint32_t kMaxWireSpanAnnotations = 256;
+inline constexpr std::uint32_t kWireNoParent = 0xFFFFFFFFu;
+
+/// One serialized span of the server's trace (obs::SpanRecord shape;
+/// start_ns is relative to the server trace's start).
+struct WireSpan {
+  std::string name;
+  std::uint32_t parent = kWireNoParent;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// The server-side trace a traced kResult carries back: the span tree plus
+/// the monotonic timestamps the router's clock-offset estimator and the
+/// wire/queue_wait/scan decomposition need.  All *_ns fields except the span
+/// starts are server steady-clock nanoseconds since that clock's epoch.
+struct WireTrace {
+  std::uint64_t remote_trace_id = 0;  ///< server Tracer id (pre-namespacing)
+  std::uint64_t server_recv_ns = 0;   ///< request decoded on the server
+  std::uint64_t server_send_ns = 0;   ///< reply about to be written
+  std::uint64_t queue_wait_ns = 0;    ///< scheduler admission -> dispatch
+  std::uint64_t exec_ns = 0;          ///< dispatch -> scan completion
+  std::uint64_t trace_start_ns = 0;   ///< epoch of the spans' start_ns
+  std::vector<WireSpan> spans;
+};
 
 /// One shard's partial answer plus the CostMeter counters and the §4.2
 /// efficiency inputs EXPLAIN reconciles at the router.
@@ -185,6 +235,10 @@ struct WirePartial {
   std::uint64_t meter_pruned = 0;
   std::uint64_t scan_ops = 0;
   std::uint64_t model_terms = 0;
+  /// v2: present when the request carried a trace id AND the server traced
+  /// the scan; absent (false) from v1 peers — the leg renders untraced.
+  bool has_trace = false;
+  WireTrace trace;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_partial(const WirePartial& partial);
@@ -228,5 +282,21 @@ inline constexpr std::uint32_t kErrInternal = 4;
 
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const WireErrorMsg& err);
 [[nodiscard]] WireErrorMsg decode_error(std::span<const std::uint8_t> payload);
+
+/// Hostile-payload caps for a kStatsReply.
+inline constexpr std::uint32_t kMaxWireMetrics = 4096;
+inline constexpr std::uint32_t kMaxWireHistogramBuckets = 512;
+
+/// One server's fleet-telemetry snapshot (kStatsReply payload): its
+/// MetricsRegistry snapshot plus the serving counters the /fleetz federation
+/// page derives qps from.  A kStats request carries an empty payload.
+struct WireStats {
+  std::uint64_t queries_served = 0;
+  std::uint64_t uptime_ns = 0;  ///< server steady-clock time since start()
+  obs::MetricsSnapshot snapshot;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_stats(const WireStats& stats);
+[[nodiscard]] WireStats decode_stats(std::span<const std::uint8_t> payload);
 
 }  // namespace mmir::net

@@ -93,7 +93,9 @@ ExplainReport ExplainReport::from_trace(const Trace& trace) {
     if (spans[i].parent != kNoSpan && spans[i].parent < i) depth[i] = depth[spans[i].parent] + 1;
   }
 
-  for (std::size_t i = 0; i < spans.size(); ++i) {
+  // Walk subtrees contiguously: a concurrently-stitched distributed trace
+  // interleaves leg insertions, but the report must render one tree.
+  for (const std::size_t i : span_dfs_order(spans)) {
     const SpanRecord& span = spans[i];
 
     if (span.parent == kNoSpan && span.name == "query") {

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <set>
 
 namespace mmir::obs {
 
@@ -44,6 +45,23 @@ void append_prom_name(std::string& out, std::string_view name) {
   }
 }
 
+/// Splits a registry name carrying an inline Prometheus label block —
+/// `family{key="value",...}` — into the family (sanitized for the header)
+/// and the label block (emitted verbatim after the sanitized family name).
+/// Names without a well-formed `{...}` suffix pass through whole.
+struct NameParts {
+  std::string_view family;
+  std::string_view labels;
+};
+
+NameParts split_labels(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.empty() || name.back() != '}') {
+    return {name, {}};
+  }
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
 void append_family_header(std::string& out, std::string_view name, const char* type) {
   out += "# HELP ";
   append_prom_name(out, name);
@@ -60,11 +78,23 @@ void append_family_header(std::string& out, std::string_view name, const char* t
 /// open spans render with their elapsed-so-far duration of 0.
 void append_chrome_event(std::string& out, const SpanRecord& span, std::uint64_t tid,
                          bool& first) {
+  // Stitched distributed traces tag grafted remote spans with a
+  // "remote_pid" attr; chrome then renders each server process as its own
+  // pid track.  Router-local spans stay on pid 1.
+  std::uint64_t pid = 1;
+  for (const auto& [key, value] : span.attrs) {
+    if (key == "remote_pid" && std::isfinite(value) && value >= 1) {
+      pid = static_cast<std::uint64_t>(value);
+      break;
+    }
+  }
   if (!first) out += ",";
   first = false;
   out += "{\"name\":\"";
   append_escaped(out, span.name);
-  out += "\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  out += "\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
   append_u64(out, tid);
   out += ",\"ts\":";
   append_u64(out, span.start_ns / 1000);
@@ -115,16 +145,25 @@ void append_trace_events(std::string& out, const Trace& trace, bool& first) {
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  std::set<std::string, std::less<>> seen_families;
   for (const CounterSample& counter : snapshot.counters) {
-    append_family_header(out, counter.name, "counter");
-    append_prom_name(out, counter.name);
+    const auto [family, labels] = split_labels(counter.name);
+    if (seen_families.insert(std::string(family)).second) {
+      append_family_header(out, family, "counter");
+    }
+    append_prom_name(out, family);
+    out += labels;
     out += " ";
     append_u64(out, counter.value);
     out += "\n";
   }
   for (const GaugeSample& gauge : snapshot.gauges) {
-    append_family_header(out, gauge.name, "gauge");
-    append_prom_name(out, gauge.name);
+    const auto [family, labels] = split_labels(gauge.name);
+    if (seen_families.insert(std::string(family)).second) {
+      append_family_header(out, family, "gauge");
+    }
+    append_prom_name(out, family);
+    out += labels;
     out += " ";
     append_i64(out, gauge.value);
     out += "\n";

@@ -79,6 +79,13 @@ std::string StatsServer::respond(std::string_view method, std::string_view targe
     return http_response(200, "OK", "text/plain; version=0.0.4",
                          to_prometheus(sources_.metrics->snapshot()));
   }
+  if (target == "/fleetz") {
+    if (!sources_.fleetz) {
+      return http_response(503, "Service Unavailable", "text/plain",
+                           "fleet telemetry disabled (no router attached)\n");
+    }
+    return http_response(200, "OK", "text/plain; version=0.0.4", sources_.fleetz());
+  }
   if (target == "/traces") {
     if (sources_.tracer == nullptr) {
       return http_response(503, "Service Unavailable", "text/plain", "tracing disabled\n");
@@ -119,7 +126,7 @@ std::string StatsServer::respond(std::string_view method, std::string_view targe
                          ExplainReport::from_trace(*trace).to_text());
   }
   return http_response(404, "Not Found", "text/plain",
-                       "routes: /healthz /metrics /traces /explain/<id>\n");
+                       "routes: /healthz /metrics /fleetz /traces /explain/<id>\n");
 }
 
 bool StatsServer::start(std::uint16_t port) {

@@ -4,6 +4,7 @@
 //
 //   GET /healthz        -> 200 "ok" / 503 "degraded" (fault-domain health)
 //   GET /metrics        -> Prometheus text exposition (obs/export.hpp)
+//   GET /fleetz         -> federated per-shard fleet telemetry (router only)
 //   GET /traces         -> chrome://tracing JSON of the trace ring
 //   GET /explain/<id>   -> EXPLAIN ANALYZE text for query <id>
 //                          (404 with a clear reason when <id> was never
@@ -51,6 +52,10 @@ struct StatsSources {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   std::function<HealthReport()> health;
+  /// Federated fleet telemetry for /fleetz: returns a full Prometheus page
+  /// aggregating every shard server (net::Router::fleet_prometheus).  Null
+  /// keeps the endpoint 503 — only a router-side stats server wires it.
+  std::function<std::string()> fleetz;
 };
 
 class StatsServer {

@@ -6,6 +6,30 @@
 
 namespace mmir::obs {
 
+std::vector<std::size_t> span_dfs_order(const std::vector<SpanRecord>& spans) {
+  std::vector<std::vector<std::size_t>> children(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // A forward or self parent reference cannot come from the Span API;
+    // treat it as a root so the walk still visits every span exactly once.
+    if (spans[i].parent != kNoSpan && spans[i].parent < i) {
+      children[spans[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(spans.size());
+  std::vector<std::size_t> stack(roots.rbegin(), roots.rend());
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    order.push_back(i);
+    for (auto it = children[i].rbegin(); it != children[i].rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
 namespace {
 
 thread_local std::vector<const Span*> t_span_stack;
@@ -43,6 +67,11 @@ std::uint64_t Trace::elapsed_ns() const noexcept {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
 }
 
+std::uint64_t Trace::start_epoch_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_.time_since_epoch()).count());
+}
+
 std::size_t Trace::open_span(std::string_view span_name, std::size_t parent) {
   const std::uint64_t now = elapsed_ns();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -60,6 +89,19 @@ void Trace::close_span(std::size_t span) {
   if (span >= spans_.size() || spans_[span].closed) return;
   spans_[span].duration_ns = now - spans_[span].start_ns;
   spans_[span].closed = true;
+}
+
+std::size_t Trace::add_completed_span(std::string_view span_name, std::size_t parent,
+                                      std::uint64_t start_ns, std::uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord record;
+  record.name = std::string(span_name);
+  record.parent = parent < spans_.size() ? parent : kNoSpan;
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  record.closed = true;
+  spans_.push_back(std::move(record));
+  return spans_.size() - 1;
 }
 
 void Trace::annotate(std::size_t span, std::string_view key, double value) {
@@ -173,7 +215,7 @@ std::string Trace::to_text() const {
       depth[i] = depth[spans_[i].parent] + 1;
     }
   }
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
+  for (const std::size_t i : span_dfs_order(spans_)) {
     const SpanRecord& span = spans_[i];
     out.append(2 * (depth[i] + 1), ' ');
     out += span.name;

@@ -45,6 +45,13 @@ struct SpanRecord {
   std::vector<std::pair<std::string, std::string>> notes;   ///< string annotations
 };
 
+/// Depth-first visit order of a span forest (children after their parent,
+/// siblings in insertion order).  Sequentially-built traces already insert
+/// in this order; concurrently-built ones (the router stitching one leg per
+/// thread) interleave, and renderers that walk this order instead of raw
+/// insertion order still print each subtree contiguously.
+[[nodiscard]] std::vector<std::size_t> span_dfs_order(const std::vector<SpanRecord>& spans);
+
 /// One query's span tree.  All methods are thread-safe.
 class Trace {
  public:
@@ -56,10 +63,22 @@ class Trace {
   /// surface keys on (`/explain/<id>`).
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
   [[nodiscard]] std::uint64_t elapsed_ns() const noexcept;
+  /// Trace start as steady-clock nanoseconds since the clock's epoch.  Two
+  /// traces in the SAME process share that epoch, so cross-trace rebasing is
+  /// a subtraction; across processes it needs a clock-offset estimate
+  /// (net/clock_sync.hpp).
+  [[nodiscard]] std::uint64_t start_epoch_ns() const noexcept;
 
   /// Opens a span; `parent` is an existing span index or kNoSpan for a root.
   [[nodiscard]] std::size_t open_span(std::string_view span_name, std::size_t parent);
   void close_span(std::size_t span);
+  /// Grafts an already-timed span (e.g. one rebased from a remote server's
+  /// trace) with explicit trace-relative timestamps.  The span is appended
+  /// closed; a parent index that does not yet exist is demoted to kNoSpan so
+  /// hostile remote payloads cannot break well_formed()'s
+  /// parents-precede-children ordering.
+  std::size_t add_completed_span(std::string_view span_name, std::size_t parent,
+                                 std::uint64_t start_ns, std::uint64_t duration_ns);
   void annotate(std::size_t span, std::string_view key, double value);
   void note(std::size_t span, std::string_view key, std::string_view value);
 

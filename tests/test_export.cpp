@@ -252,6 +252,32 @@ TEST(PrometheusExport, HistogramBucketsAreCumulativeAndEndAtCount) {
 
 // ---------------------------------------------------------- chrome trace
 
+TEST(PrometheusExport, LabeledNamesPassThroughWithOneHeaderPerFamily) {
+  // Registry names may carry a literal Prometheus label block (the wire
+  // byte counters register as engine_net_wire_bytes{direction="sent"} etc.);
+  // the exporter must emit the labels verbatim on the sample line and the
+  // HELP/TYPE headers once per *family*, not once per labeled series.
+  obs::MetricsRegistry registry(2);
+  registry.counter("engine_net_wire_bytes{direction=\"sent\"}").add(5);
+  registry.counter("engine_net_wire_bytes{direction=\"received\"}").add(7);
+  const std::string text = obs::to_prometheus(registry.snapshot());
+
+  EXPECT_NE(text.find("engine_net_wire_bytes{direction=\"sent\"} 5\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("engine_net_wire_bytes{direction=\"received\"} 7\n"),
+            std::string::npos)
+      << text;
+  std::size_t headers = 0;
+  for (std::size_t at = text.find("# TYPE engine_net_wire_bytes ");
+       at != std::string::npos;
+       at = text.find("# TYPE engine_net_wire_bytes ", at + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u) << text;
+  // The label block must never leak into the header line.
+  EXPECT_EQ(text.find("# TYPE engine_net_wire_bytes{"), std::string::npos) << text;
+}
+
 TEST(ChromeTraceExport, ParsesAndNestsSpans) {
   obs::Trace trace("raster", 12);
   {
@@ -335,6 +361,34 @@ TEST(ChromeTraceExport, NonFiniteAttrsBecomeNull) {
   EXPECT_EQ(args->find("floor")->type, JsonValue::Type::kNull);
   EXPECT_EQ(args->find("undefined_ratio")->type, JsonValue::Type::kNull);
   EXPECT_EQ(args->find("ordinary")->number, 2.5);
+}
+
+TEST(ChromeTraceExport, RemotePidAttrSelectsTheProcessLane) {
+  // Stitched distributed traces tag grafted server spans with a remote_pid
+  // attr; the exporter renders those under that pid so chrome://tracing
+  // shows one lane per server process, router spans under pid 1.
+  obs::Trace trace("router_query", 9);
+  {
+    obs::Span root(&trace, "query");
+    { obs::Span leg = obs::Span::child_of(&root, "shard_0"); }
+  }
+  const std::size_t grafted = trace.add_completed_span("remote_query", 1, 10, 20);
+  trace.annotate(grafted, "remote_pid", 3.0);
+  // Non-finite or sub-1 remote_pid values must not hijack the lane.
+  const std::size_t bogus = trace.add_completed_span("remote_bogus", 1, 12, 2);
+  trace.annotate(bogus, "remote_pid", std::numeric_limits<double>::quiet_NaN());
+
+  const std::string json = obs::to_chrome_trace(trace);
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << json;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 4u);
+  for (const JsonValue& event : events->array) {
+    const std::string& name = event.find("name")->string;
+    const double expected_pid = name == "remote_query" ? 3.0 : 1.0;
+    EXPECT_EQ(event.find("pid")->number, expected_pid) << name;
+  }
 }
 
 TEST(ChromeTraceExport, EscapesNoteText) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "net/router.hpp"
 #include "net/shard_server.hpp"
 #include "net/socket.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "testing/fault_injector.hpp"
 #include "util/rng.hpp"
@@ -459,6 +461,225 @@ TEST(NetParity, RouterExplainShowsRemoteLegs) {
   EXPECT_TRUE(saw_router);
   EXPECT_TRUE(saw_leg);
   EXPECT_TRUE(saw_gather);
+}
+
+// ----------------------------------------------- distributed trace stitching
+
+double attr_or(const obs::SpanRecord& span, const std::string& key, double fallback) {
+  for (const auto& [k, v] : span.attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const std::string* note_or_null(const obs::SpanRecord& span, const std::string& key) {
+  for (const auto& [k, v] : span.notes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Runs one traced query over `shards` shards and leaves the stitched span
+/// tree in `trace`.
+RouterResult run_traced(Router& router, obs::Trace& trace, const Case& c,
+                        std::size_t shards) {
+  const obs::Span root(&trace, "query");
+  QueryContext ctx;
+  ctx.with_span(&root);
+  RouterQuery query;
+  query.archive_id = c.archive_index + 1;
+  query.shard_count = static_cast<std::uint32_t>(shards);
+  query.policy = c.policy;
+  query.mode = c.mode;
+  query.model = &c.model;
+  query.k = c.k;
+  CostMeter meter;
+  return router.execute(query, ctx, meter);
+}
+
+TEST(NetParity, StitchedLegDecompositionReconcilesWithLegWallTime) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  const Case c = make_case(5);
+  Router router(base_config(4));
+  obs::Trace trace("router_query", 11);
+  const RouterResult res = run_traced(router, trace, c, 4);
+  ASSERT_EQ(res.result.shard_status.size(), 4u);
+
+  const std::vector<obs::SpanRecord>& spans = trace.spans();
+  std::size_t legs_checked = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::SpanRecord& leg = spans[i];
+    // Router leg spans are the shard_<i> children of the router span; the
+    // grafted *remote* trees contain a server-side shard_<i> span too.
+    if (leg.name.rfind("shard_", 0) != 0) continue;
+    if (leg.parent >= spans.size() || spans[leg.parent].name != "router") continue;
+    // A zero-tile shard is short-circuited without an RPC and has nothing
+    // to decompose.
+    if (attr_or(leg, "attempts", 0.0) < 1.0) continue;
+    SCOPED_TRACE(leg.name);
+    ++legs_checked;
+
+    // ISSUE acceptance: the explicit wire / queue_wait / scan rows must
+    // reconcile with the measured leg latency (within 10%; the tiling is
+    // exact by construction, the slack covers the independent wall clock).
+    const double wire = attr_or(leg, "wire_ns", -1.0);
+    const double queue = attr_or(leg, "queue_wait_ns", -1.0);
+    const double scan = attr_or(leg, "scan_ns", -1.0);
+    const double wall = attr_or(leg, "leg_wall_ns", -1.0);
+    ASSERT_GE(wire, 0.0);
+    ASSERT_GE(queue, 0.0);
+    ASSERT_GE(scan, 0.0);
+    ASSERT_GT(wall, 0.0);
+    const double sum = wire + queue + scan;
+    EXPECT_NEAR(sum, wall, 0.10 * wall)
+        << "decomposition " << sum << " vs measured leg wall " << wall;
+
+    // The decomposition rows exist as child spans and stay inside the leg.
+    bool saw_wire = false, saw_queue = false, saw_scan = false;
+    for (const obs::SpanRecord& child : spans) {
+      if (child.parent != i) continue;
+      EXPECT_GE(child.start_ns, leg.start_ns);
+      EXPECT_LE(child.start_ns + child.duration_ns, leg.start_ns + leg.duration_ns);
+      if (child.name == "wire") saw_wire = true;
+      if (child.name == "queue_wait") saw_queue = true;
+      if (child.name == "scan") saw_scan = true;
+    }
+    EXPECT_TRUE(saw_wire && saw_queue && saw_scan)
+        << "missing decomposition rows under " << leg.name;
+  }
+  EXPECT_GE(legs_checked, 2u) << "battery needs at least two wire legs";
+
+  // The grafted remote spans carry the server's pid tag and the whole tree
+  // stays well formed despite concurrent per-leg stitching.
+  std::size_t remote_spans = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (attr_or(span, "remote_pid", 0.0) >= 2.0) ++remote_spans;
+  }
+  EXPECT_GE(remote_spans, legs_checked) << "no remote span trees were grafted";
+  EXPECT_TRUE(trace.well_formed());
+}
+
+TEST(NetParity, RemoteTraceIdsAreNamespacedAndUnique) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  const Case c = make_case(7);
+  Router router(base_config(8));
+  obs::Trace trace("router_query", 12);
+  (void)run_traced(router, trace, c, 8);
+
+  // A shard the layout assigned zero tiles to is short-circuited without an
+  // RPC (attempts=0) and legitimately has no scan span; every leg that did
+  // cross the wire must carry one.
+  const std::vector<obs::SpanRecord>& spans = trace.spans();
+  std::size_t dispatched = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name.rfind("shard_", 0) != 0) continue;
+    if (span.parent >= spans.size() || spans[span.parent].name != "router") continue;
+    if (attr_or(span, "attempts", 0.0) >= 1.0) ++dispatched;
+  }
+  ASSERT_GE(dispatched, 2u) << "battery needs at least two wire legs";
+
+  // Each dispatched leg's scan span records the namespaced remote query id;
+  // the high bit tags "remote" (no collision with local monotone trace ids)
+  // and the shard ordinal keeps two servers' ids apart even when both
+  // servers hand out the same local id.
+  std::set<std::uint64_t> ids;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "scan") continue;
+    const std::string* note = note_or_null(span, "remote_query_id");
+    ASSERT_NE(note, nullptr) << "scan span without a remote_query_id note";
+    const std::uint64_t id = std::stoull(*note);
+    EXPECT_TRUE(id >> 63) << "remote id " << id << " is not namespaced";
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate remote id " << id;
+  }
+  EXPECT_EQ(ids.size(), dispatched);
+}
+
+TEST(NetParity, ChromeExportSpreadsStitchedSpansAcrossServerPids) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  const Case c = make_case(9);
+  Router router(base_config(4));
+  obs::Trace trace("router_query", 13);
+  (void)run_traced(router, trace, c, 4);
+
+  const std::string json = obs::to_chrome_trace(trace);
+  // Structural sanity: the exporter promises valid JSON; check the envelope
+  // and that braces/brackets balance (no truncated event).
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  // Router-side spans render under pid 1; each server's grafted spans under
+  // its own pid (shard + 2) — the acceptance wants >= 2 distinct pids.
+  EXPECT_NE(json.find("\"pid\":1,"), std::string::npos);
+  std::size_t server_pids = 0;
+  for (std::uint64_t pid = 2; pid < 2 + 4; ++pid) {
+    if (json.find("\"pid\":" + std::to_string(pid) + ",") != std::string::npos) ++server_pids;
+  }
+  EXPECT_GE(server_pids, 2u);
+}
+
+TEST(NetParity, FleetzFederatesLiveServersAndMarksDeadOnes) {
+  if (!sockets_available()) GTEST_SKIP() << "no socket API on this platform";
+  ASSERT_TRUE(fleet().ok()) << "shard-server fleet failed to start";
+
+  // One query so the fleet has served something, then scrape.
+  const Case c = make_case(2);
+  Router router(base_config(2));
+  obs::Trace trace("router_query", 14);
+  (void)run_traced(router, trace, c, 2);
+
+  const std::string page = router.fleet_prometheus();
+  EXPECT_NE(page.find("# TYPE fleet_up gauge"), std::string::npos);
+  for (const char* shard : {"0", "1"}) {
+    const std::string up = std::string("fleet_up{shard=\"") + shard + "\"";
+    const std::size_t at = page.find(up);
+    ASSERT_NE(at, std::string::npos) << "missing " << up;
+    const std::size_t eol = page.find('\n', at);
+    EXPECT_NE(page.substr(at, eol - at).find("} 1"), std::string::npos)
+        << "live shard " << shard << " not reported up";
+  }
+  EXPECT_NE(page.find("fleet_queries_served_total{shard=\"0\""), std::string::npos);
+  EXPECT_NE(page.find("fleet_uptime_seconds{shard=\"1\""), std::string::npos);
+  EXPECT_NE(page.find("fleet_clock_offset_ns"), std::string::npos);
+
+  // A router pointed at a dead port must still render the page — with the
+  // shard marked down, never an exception or a hang.
+  std::uint16_t dead_port = 0;
+  {
+    Listener probe;
+    ASSERT_TRUE(probe.listen(0));
+    dead_port = static_cast<std::uint16_t>(probe.port());
+  }
+  RouterConfig dead_config;
+  dead_config.ports = {dead_port};
+  dead_config.metrics = nullptr;
+  Router dead_router(dead_config);
+  const std::string dead_page = dead_router.fleet_prometheus();
+  const std::size_t at = dead_page.find("fleet_up{shard=\"0\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t eol = dead_page.find('\n', at);
+  EXPECT_NE(dead_page.substr(at, eol - at).find("} 0"), std::string::npos);
 }
 
 TEST(NetParity, ServerSurvivesHostileBytesAndKeepsServing) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -69,6 +70,48 @@ WirePartial sample_partial() {
   return partial;
 }
 
+WireTrace sample_trace() {
+  WireTrace trace;
+  trace.remote_trace_id = 17;
+  trace.server_recv_ns = 1'000'000'000;
+  trace.server_send_ns = 1'000'250'000;
+  trace.queue_wait_ns = 40'000;
+  trace.exec_ns = 180'000;
+  trace.trace_start_ns = 1'000'050'000;
+  WireSpan root;
+  root.name = "query";
+  root.parent = kWireNoParent;
+  root.start_ns = 0;
+  root.duration_ns = 180'000;
+  root.attrs = {{"ops_spent", 1224.0}, {"bound", kInf}, {"score", kNaN}};
+  root.notes = {{"status", "complete"}};
+  WireSpan child;
+  child.name = "shard_3";
+  child.parent = 0;
+  child.start_ns = 5'000;
+  child.duration_ns = 170'000;
+  child.attrs = {{"items_examined", 384.0}};
+  trace.spans = {std::move(root), std::move(child)};
+  return trace;
+}
+
+WireStats sample_stats() {
+  WireStats stats;
+  stats.queries_served = 321;
+  stats.uptime_ns = 9'876'543'210;
+  stats.snapshot.counters = {{"engine_jobs_completed_total", 321},
+                             {"engine_net_wire_bytes{direction=\"sent\"}", 4096}};
+  stats.snapshot.gauges = {{"engine_queue_depth", -3}};
+  obs::HistogramSample hist;
+  hist.name = "engine_exec_time_ns";
+  hist.bounds = {1000, 10000, 100000};
+  hist.counts = {5, 10, 3, 1};  // one extra +inf slot
+  hist.count = 19;
+  hist.sum = 700000;
+  stats.snapshot.histograms = {std::move(hist)};
+  return stats;
+}
+
 TEST(WireRoundTrip, QuerySpecSurvivesBitExactly) {
   const QuerySpec spec = sample_query();
   const QuerySpec got = decode_query(encode_query(spec));
@@ -115,6 +158,170 @@ TEST(WireRoundTrip, PartialSurvivesBitExactly) {
   EXPECT_EQ(got.model_terms, partial.model_terms);
 }
 
+// ------------------------------------------------- trace context (wire v2)
+
+TEST(WireRoundTrip, TraceContextSurvivesAndStaysV1CompatibleWhenAbsent) {
+  QuerySpec traced = sample_query();
+  traced.trace_id = 0xDEADBEEFCAFEF00DULL;
+  traced.parent_span = 5;
+  const QuerySpec got = decode_query(encode_query(traced));
+  EXPECT_EQ(got.trace_id, traced.trace_id);
+  EXPECT_EQ(got.parent_span, traced.parent_span);
+
+  // An untraced spec encodes to exactly the v1 byte layout (no trailing
+  // trace block), so a v1 server never sees bytes it cannot parse; the
+  // traced payload is that prefix plus the 17-byte block.
+  const std::vector<std::uint8_t> untraced_bytes = encode_query(sample_query());
+  const std::vector<std::uint8_t> traced_bytes = encode_query(traced);
+  ASSERT_EQ(traced_bytes.size(), untraced_bytes.size() + 17);
+  EXPECT_TRUE(std::equal(untraced_bytes.begin(), untraced_bytes.end(), traced_bytes.begin()));
+
+  // A v1 payload (the untraced bytes) decodes to untraced defaults — this is
+  // how a version-skewed peer degrades to an untraced leg.
+  const QuerySpec v1 = decode_query(untraced_bytes);
+  EXPECT_EQ(v1.trace_id, 0u);
+  EXPECT_EQ(v1.parent_span, 0u);
+}
+
+TEST(WireRoundTrip, PartialTraceTreeSurvivesBitExactly) {
+  WirePartial partial = sample_partial();
+  partial.has_trace = true;
+  partial.trace = sample_trace();
+  const WirePartial got = decode_partial(encode_partial(partial));
+  ASSERT_TRUE(got.has_trace);
+  EXPECT_EQ(got.trace.remote_trace_id, partial.trace.remote_trace_id);
+  EXPECT_EQ(got.trace.server_recv_ns, partial.trace.server_recv_ns);
+  EXPECT_EQ(got.trace.server_send_ns, partial.trace.server_send_ns);
+  EXPECT_EQ(got.trace.queue_wait_ns, partial.trace.queue_wait_ns);
+  EXPECT_EQ(got.trace.exec_ns, partial.trace.exec_ns);
+  EXPECT_EQ(got.trace.trace_start_ns, partial.trace.trace_start_ns);
+  ASSERT_EQ(got.trace.spans.size(), partial.trace.spans.size());
+  for (std::size_t i = 0; i < got.trace.spans.size(); ++i) {
+    const WireSpan& a = got.trace.spans[i];
+    const WireSpan& b = partial.trace.spans[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.start_ns, b.start_ns);
+    EXPECT_EQ(a.duration_ns, b.duration_ns);
+    ASSERT_EQ(a.attrs.size(), b.attrs.size());
+    for (std::size_t j = 0; j < a.attrs.size(); ++j) {
+      EXPECT_EQ(a.attrs[j].first, b.attrs[j].first);
+      EXPECT_TRUE(bits_equal(a.attrs[j].second, b.attrs[j].second))
+          << "span " << i << " attr " << j;
+    }
+    EXPECT_EQ(a.notes, b.notes);
+  }
+
+  // A v1 reply (no trace block) decodes with has_trace false.
+  const WirePartial v1 = decode_partial(encode_partial(sample_partial()));
+  EXPECT_FALSE(v1.has_trace);
+}
+
+TEST(WireMessages, TraceBlockTruncationAndCorruptionAreTyped) {
+  WirePartial partial = sample_partial();
+  partial.has_trace = true;
+  partial.trace = sample_trace();
+  const std::vector<std::uint8_t> full = encode_partial(partial);
+  const std::size_t v1_len = encode_partial(sample_partial()).size();
+
+  // Every truncation inside the trace block is a typed fault, never a
+  // silent partial tree (except cutting exactly at the v1 boundary, which
+  // IS a valid v1 payload).
+  for (std::size_t len = v1_len + 1; len < full.size(); ++len) {
+    const std::vector<std::uint8_t> cut(full.begin(), full.begin() + len);
+    try {
+      (void)decode_partial(cut);
+      ADD_FAILURE() << "trace block truncated to " << len << " bytes decoded";
+    } catch (const WireError& err) {
+      EXPECT_NE(err.fault(), WireFault::kNone) << "untyped fault at " << len;
+    }
+  }
+
+  // A wrong presence tag is malformed, not ignored.
+  std::vector<std::uint8_t> bad_tag = full;
+  bad_tag[v1_len] = 0x7;
+  try {
+    (void)decode_partial(bad_tag);
+    FAIL() << "bad trace tag decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kMalformed);
+  }
+}
+
+TEST(WireMessages, ZeroTraceIdInQueryIsMalformed) {
+  std::vector<std::uint8_t> payload = encode_query(sample_query());
+  // Hand-append a trace block claiming trace_id 0 (the untraced sentinel).
+  payload.push_back(1);
+  for (int i = 0; i < 16; ++i) payload.push_back(0);
+  try {
+    (void)decode_query(payload);
+    FAIL() << "zero trace id decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kMalformed);
+  }
+}
+
+TEST(WireMessages, OversoldSpanCountIsMalformed) {
+  WirePartial partial = sample_partial();
+  partial.has_trace = true;
+  partial.trace = sample_trace();
+  partial.trace.spans.resize(kMaxWireSpans + 8);
+  try {
+    (void)decode_partial(encode_partial(partial));
+    FAIL() << "oversold span count decoded";
+  } catch (const WireError& err) {
+    EXPECT_EQ(err.fault(), WireFault::kMalformed);
+  }
+}
+
+// -------------------------------------------------------- kStats (wire v2)
+
+TEST(WireRoundTrip, StatsSnapshotSurvives) {
+  const WireStats stats = sample_stats();
+  const WireStats got = decode_stats(encode_stats(stats));
+  EXPECT_EQ(got.queries_served, stats.queries_served);
+  EXPECT_EQ(got.uptime_ns, stats.uptime_ns);
+  ASSERT_EQ(got.snapshot.counters.size(), stats.snapshot.counters.size());
+  for (std::size_t i = 0; i < got.snapshot.counters.size(); ++i) {
+    EXPECT_EQ(got.snapshot.counters[i].name, stats.snapshot.counters[i].name);
+    EXPECT_EQ(got.snapshot.counters[i].value, stats.snapshot.counters[i].value);
+  }
+  ASSERT_EQ(got.snapshot.gauges.size(), 1u);
+  EXPECT_EQ(got.snapshot.gauges[0].value, -3);  // i64 gauges survive signed
+  ASSERT_EQ(got.snapshot.histograms.size(), 1u);
+  const obs::HistogramSample& hist = got.snapshot.histograms[0];
+  EXPECT_EQ(hist.name, "engine_exec_time_ns");
+  EXPECT_EQ(hist.bounds, stats.snapshot.histograms[0].bounds);
+  EXPECT_EQ(hist.counts, stats.snapshot.histograms[0].counts);
+  EXPECT_EQ(hist.count, stats.snapshot.histograms[0].count);
+  EXPECT_EQ(hist.sum, stats.snapshot.histograms[0].sum);
+}
+
+TEST(WireMessages, StatsTruncationIsTyped) {
+  const std::vector<std::uint8_t> full = encode_stats(sample_stats());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::vector<std::uint8_t> cut(full.begin(), full.begin() + len);
+    try {
+      (void)decode_stats(cut);
+      ADD_FAILURE() << "stats truncated to " << len << " bytes decoded";
+    } catch (const WireError& err) {
+      EXPECT_NE(err.fault(), WireFault::kNone) << "untyped fault at " << len;
+    }
+  }
+}
+
+TEST(WireFrame, MinVersionFrameStillDecodes) {
+  // A v1 peer's frames stay readable after the v2 bump (kWireMinVersion);
+  // the stamped version is surfaced so callers can degrade features.
+  const std::vector<std::uint8_t> payload = encode_query(sample_query());
+  const std::vector<std::uint8_t> frame =
+      encode_frame(MsgType::kQuery, payload, kWireMinVersion);
+  const Frame got = decode_frame(frame);
+  EXPECT_EQ(got.type, MsgType::kQuery);
+  EXPECT_EQ(got.version, kWireMinVersion);
+  EXPECT_EQ(got.payload, payload);
+}
+
 TEST(WireRoundTrip, DescribeAndShardInfoSurvive) {
   DescribeSpec spec;
   spec.archive_id = 9;
@@ -154,7 +361,8 @@ TEST(WireRoundTrip, ErrorMessageSurvives) {
 TEST(WireFrame, RoundTripsEveryMessageType) {
   const std::vector<std::uint8_t> payload = encode_query(sample_query());
   for (const MsgType type : {MsgType::kQuery, MsgType::kResult, MsgType::kError, MsgType::kPing,
-                             MsgType::kPong, MsgType::kDescribe, MsgType::kShardInfo}) {
+                             MsgType::kPong, MsgType::kDescribe, MsgType::kShardInfo,
+                             MsgType::kStats, MsgType::kStatsReply}) {
     const std::vector<std::uint8_t> frame = encode_frame(type, payload);
     const Frame got = decode_frame(frame);
     EXPECT_EQ(got.type, type);
@@ -287,7 +495,7 @@ TEST(WireMessages, FuzzedPayloadsNeverCrash) {
     const std::size_t len = rng.uniform_int(200);
     std::vector<std::uint8_t> junk(len);
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(256));
-    for (int decoder = 0; decoder < 5; ++decoder) {
+    for (int decoder = 0; decoder < 6; ++decoder) {
       try {
         switch (decoder) {
           case 0: (void)decode_query(junk); break;
@@ -295,6 +503,7 @@ TEST(WireMessages, FuzzedPayloadsNeverCrash) {
           case 2: (void)decode_describe(junk); break;
           case 3: (void)decode_shard_info(junk); break;
           case 4: (void)decode_error(junk); break;
+          case 5: (void)decode_stats(junk); break;
         }
       } catch (const WireError&) {
         // typed fault: exactly what the contract promises

@@ -1,13 +1,18 @@
 // Unit tests for the observability layer (src/obs): metrics registry
 // semantics, histogram bucketing and quantiles, inert handles, trace span
-// trees, bounded tracer retention, and the text/JSON dump surface.
+// trees, bounded tracer retention, and the text/JSON dump surface — plus
+// the header-only clock-offset estimator and remote-span rebasing rules
+// from net/clock_sync.hpp that distributed trace stitching rests on.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <limits>
+#include <set>
 #include <string>
 
+#include "net/clock_sync.hpp"
 #include "obs/dump.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -289,6 +294,167 @@ TEST(Tracer, DumpTracesCoversRing) {
   EXPECT_NE(json.find("\"dumped\""), std::string::npos);
   const std::string text = DumpTraces(tracer, DumpFormat::kText);
   EXPECT_NE(text.find("dumped"), std::string::npos);
+}
+
+// --- clock-offset estimation & remote-span rebasing (net/clock_sync.hpp) ---
+//
+// Header-only, so the edge-case battery lives here rather than behind the
+// socket-dependent net suites: the estimator and the clamping rules are pure
+// arithmetic and must hold regardless of what the wire delivers.
+
+// A symmetric sample: the request and reply each spend `wire` ns on the
+// wire, the server holds the request for `held` ns, and the server clock
+// reads local_time - offset (offset > 0 means the server clock is behind).
+net::ClockSample symmetric_sample(std::int64_t t0, std::int64_t wire,
+                                  std::int64_t held, std::int64_t offset) {
+  net::ClockSample s;
+  s.t0 = t0;
+  s.s_recv = t0 + wire - offset;
+  s.s_send = s.s_recv + held;
+  s.t1 = t0 + wire + held + wire;
+  return s;
+}
+
+TEST(ClockSync, SymmetricSampleRecoversOffsetExactly) {
+  // Zero, positive, and negative true offsets all recover exactly when the
+  // wire legs are symmetric — including "server clock ahead of the router".
+  for (const std::int64_t offset : {std::int64_t{0}, std::int64_t{12345},
+                                    std::int64_t{-987654}}) {
+    const net::ClockSample s = symmetric_sample(1'000'000, 40'000, 300'000, offset);
+    EXPECT_EQ(net::sample_offset_ns(s), offset) << "offset " << offset;
+    EXPECT_EQ(net::sample_rtt_ns(s), 80'000);
+  }
+}
+
+TEST(ClockSync, HostileSampleRttClampsToZero) {
+  // A server claiming to have held the request longer than the whole round
+  // trip would make the "pure wire" time negative; it clamps to 0 instead.
+  net::ClockSample s = symmetric_sample(0, 10'000, 50'000, 0);
+  s.s_send += 1'000'000;  // held "longer" than t1 - t0
+  EXPECT_EQ(net::sample_rtt_ns(s), 0);
+}
+
+TEST(ClockSync, EstimatorUnknownUntilFirstSampleAndAnswersZero) {
+  net::ClockOffsetEstimator est;
+  EXPECT_FALSE(est.known());
+  EXPECT_EQ(est.offset_ns(), 0);
+  EXPECT_EQ(est.rtt_ns(), 0);
+  est.add_sample(symmetric_sample(0, 5'000, 100'000, -42));
+  EXPECT_TRUE(est.known());
+  EXPECT_EQ(est.offset_ns(), -42);
+}
+
+TEST(ClockSync, TightestRttSampleWinsOverSmearedOnes) {
+  // Asymmetric (smeared) samples mis-estimate the offset; the min-rtt filter
+  // must prefer the one tight sample even when it arrives first and the
+  // smeared ones keep coming.
+  net::ClockOffsetEstimator est;
+  est.add_sample(symmetric_sample(0, 2'000, 100'000, 7'000));  // rtt 4us, exact
+  for (int i = 1; i <= 20; ++i) {
+    net::ClockSample smeared = symmetric_sample(i * 1'000'000, 2'000, 100'000, 7'000);
+    smeared.t1 += 500'000;  // reply leg stalled: rtt inflates, midpoint smears
+    est.add_sample(smeared);
+    EXPECT_EQ(est.offset_ns(), 7'000) << "after smeared sample " << i;
+    EXPECT_EQ(est.rtt_ns(), 4'000);
+  }
+}
+
+TEST(ClockSync, OffsetJumpMidWindowIsAbsorbedAsSamplesAgeOut) {
+  // The server clock jumps (suspended VM): new samples carry a new true
+  // offset.  While the old tight sample is in the window it still wins, but
+  // once kWindow fresh samples push it out the estimate must follow.
+  net::ClockOffsetEstimator est;
+  est.add_sample(symmetric_sample(0, 1'000, 50'000, 5'000));
+  EXPECT_EQ(est.offset_ns(), 5'000);
+  const std::int64_t jumped = 9'000'000;
+  for (std::size_t i = 0; i < net::ClockOffsetEstimator::kWindow - 1; ++i) {
+    est.add_sample(symmetric_sample(static_cast<std::int64_t>(1'000'000 * (i + 1)),
+                                    3'000, 50'000, jumped));
+    // Old pre-jump sample has the tighter rtt and still anchors the estimate.
+    EXPECT_EQ(est.offset_ns(), 5'000);
+  }
+  EXPECT_EQ(est.sample_count(), net::ClockOffsetEstimator::kWindow);
+  // One more sample evicts the pre-jump anchor; the estimate snaps over.
+  est.add_sample(symmetric_sample(99'000'000, 3'000, 50'000, jumped));
+  EXPECT_EQ(est.sample_count(), net::ClockOffsetEstimator::kWindow);
+  EXPECT_EQ(est.offset_ns(), jumped);
+}
+
+TEST(ClockSync, RebaseExactWhenInsideWindow) {
+  // remote_start + offset - epoch lands inside the leg window: no clamping.
+  const net::RebasedInterval r =
+      net::rebase_interval(/*offset_ns=*/-500, /*remote_start_ns=*/10'500,
+                           /*duration_ns=*/2'000, /*local_epoch_ns=*/4'000,
+                           /*window_start_ns=*/5'000, /*window_end_ns=*/9'000);
+  EXPECT_EQ(r.start_ns, 6'000u);
+  EXPECT_EQ(r.duration_ns, 2'000u);
+}
+
+TEST(ClockSync, RebaseClampsStartIntoWindowAndNeverGoesNegative) {
+  // A wildly negative offset would place the span before the trace epoch;
+  // the result clamps to the window start with the duration trimmed to fit.
+  const net::RebasedInterval r = net::rebase_interval(
+      -5'000'000'000, 1'000, 400, 0, 2'000, 2'300);
+  EXPECT_EQ(r.start_ns, 2'000u);
+  EXPECT_EQ(r.duration_ns, 300u);  // trimmed: may not escape the window end
+}
+
+TEST(ClockSync, RebaseClampsHostileStartAndDurationToWindowEnd) {
+  // Hostile remote timestamps far in the future collapse to a zero-length
+  // span pinned at the window end — never past it.
+  const net::RebasedInterval r = net::rebase_interval(
+      0, std::numeric_limits<std::int64_t>::max() / 2, 123'456, 0, 100, 900);
+  EXPECT_EQ(r.start_ns, 900u);
+  EXPECT_EQ(r.duration_ns, 0u);
+}
+
+TEST(ClockSync, RebaseToleratesInvertedWindow) {
+  // A torn window (end < start, e.g. a clock glitch in the caller) degrades
+  // to a zero-length span at the start rather than an underflowed duration.
+  const net::RebasedInterval r = net::rebase_interval(0, 0, 50, 0, 700, 600);
+  EXPECT_EQ(r.start_ns, 700u);
+  EXPECT_EQ(r.duration_ns, 0u);
+}
+
+TEST(ClockSync, RebasedSpanStaysInsideParentForRandomishInputs) {
+  // Property sweep: whatever the (offset, start, duration) combination, the
+  // rebased interval must sit inside the window with a sane duration.
+  const std::uint64_t win_start = 1'000, win_end = 50'000;
+  for (std::int64_t offset = -3'000'000; offset <= 3'000'000; offset += 700'001) {
+    for (std::uint64_t start = 0; start < 200'000; start += 33'333) {
+      for (const std::uint64_t dur : {0ull, 1ull, 49'000ull, 1ull << 40}) {
+        const net::RebasedInterval r =
+            net::rebase_interval(offset, start, dur, 500, win_start, win_end);
+        EXPECT_GE(r.start_ns, win_start);
+        EXPECT_LE(r.start_ns, win_end);
+        EXPECT_LE(r.start_ns + r.duration_ns, win_end);
+      }
+    }
+  }
+}
+
+TEST(ClockSync, NamespacedRemoteIdsNeverCollide) {
+  // High bit tags "remote", bits 48..62 the shard, low 48 the server-local
+  // id: distinct (shard, id) pairs map to distinct namespaced ids, and none
+  // of them can collide with a local (small, monotone) trace id.
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t shard = 0; shard < 8; ++shard) {
+    for (std::uint64_t id = 1; id <= 64; ++id) {
+      const std::uint64_t ns = net::namespaced_remote_id(shard, id);
+      EXPECT_TRUE(ns >> 63) << "high bit must tag remote ids";
+      EXPECT_EQ((ns >> 48) & 0x7FFFu, shard);
+      EXPECT_EQ(ns & ((1ULL << 48) - 1), id);
+      EXPECT_TRUE(seen.insert(ns).second) << "collision at shard " << shard
+                                          << " id " << id;
+    }
+  }
+  // Local ids are small integers; every namespaced id is >= 2^63.
+  EXPECT_GE(net::namespaced_remote_id(0, 0), 1ULL << 63);
+  // Oversized inputs are masked into their fields, not smeared across them.
+  EXPECT_EQ(net::namespaced_remote_id(0xFFFF'FFFFu, 0),
+            net::namespaced_remote_id(0x7FFFu, 0));
+  EXPECT_EQ(net::namespaced_remote_id(0, (1ULL << 48) | 5),
+            net::namespaced_remote_id(0, 5));
 }
 
 }  // namespace

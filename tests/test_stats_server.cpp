@@ -92,6 +92,28 @@ TEST(StatsServerRouting, UnknownRouteListsTheRoutes) {
   const std::string r = server.respond("GET", "/nope");
   EXPECT_EQ(status_line(r), "HTTP/1.0 404 Not Found");
   EXPECT_NE(body_of(r).find("/explain/<id>"), std::string::npos);
+  EXPECT_NE(body_of(r).find("/fleetz"), std::string::npos);
+}
+
+TEST(StatsServerRouting, FleetzWithoutRouterIs503) {
+  // Only the router-side ops surface wires a fleetz source; a shard server
+  // (or the embedded engine) keeps the endpoint disabled, not 404.
+  obs::StatsServer server({});
+  const std::string r = server.respond("GET", "/fleetz");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 503 Service Unavailable");
+  EXPECT_NE(body_of(r).find("no router attached"), std::string::npos);
+}
+
+TEST(StatsServerRouting, FleetzServesTheFederatedPage) {
+  obs::StatsSources sources;
+  sources.fleetz = [] {
+    return std::string("fleet_up{shard=\"0\",port=\"4101\"} 1\n");
+  };
+  obs::StatsServer server(sources);
+  const std::string r = server.respond("GET", "/fleetz");
+  EXPECT_EQ(status_line(r), "HTTP/1.0 200 OK");
+  EXPECT_NE(r.find("Content-Type: text/plain; version=0.0.4\r\n"), std::string::npos);
+  EXPECT_EQ(body_of(r), "fleet_up{shard=\"0\",port=\"4101\"} 1\n");
 }
 
 TEST(StatsServerRouting, MetricsServesPrometheusExposition) {

@@ -5,10 +5,15 @@
 // genuinely cross-process.  Prints the router EXPLAIN of the first query
 // (the one captured in README.md) and exits non-zero on any mismatch.
 //
-// Usage: mmir_router --ports=p0,p1,... [--k=N] [--budget=N]
-//   --ports   comma-separated shard-server ports; index = shard id
-//   --k       top-K size per query (default 8)
-//   --budget  per-query op budget (default unbudgeted)
+// Usage: mmir_router --ports=p0,p1,... [--k=N] [--budget=N] [--explain-remote]
+//   --ports           comma-separated shard-server ports; index = shard id
+//   --k               top-K size per query (default 8)
+//   --budget          per-query op budget (default unbudgeted)
+//   --explain-remote  also print the stitched cross-process span tree of the
+//                     first query (remote server spans rebased onto the
+//                     router clock and grafted under their shard legs, with
+//                     the per-leg wire / queue_wait / scan decomposition)
+//                     plus the /fleetz federated telemetry page
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint16_t> ports;
   std::size_t k = 8;
   std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  bool explain_remote = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--ports=", 8) == 0) {
@@ -85,8 +91,12 @@ int main(int argc, char** argv) {
       k = static_cast<std::size_t>(std::strtoul(arg + 4, nullptr, 10));
     } else if (std::strncmp(arg, "--budget=", 9) == 0) {
       budget = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strcmp(arg, "--explain-remote") == 0) {
+      explain_remote = true;
     } else {
-      std::fprintf(stderr, "usage: %s --ports=p0,p1,... [--k=N] [--budget=N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s --ports=p0,p1,... [--k=N] [--budget=N] [--explain-remote]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -154,10 +164,21 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(routed.bytes_received));
 
     if (a == 0) {
+      if (explain_remote) {
+        // The raw stitched tree first: every shard leg carries its
+        // wire/queue_wait/scan children, and under scan sit the server's own
+        // spans, rebased onto the router clock.
+        std::printf("%s", trace.to_text().c_str());
+      }
       const auto report = mmir::obs::ExplainReport::from_trace(trace);
       std::printf("%s", report.to_text().c_str());
       std::fflush(stdout);
     }
+  }
+
+  if (explain_remote) {
+    std::printf("--- /fleetz ---\n%s", router.fleet_prometheus().c_str());
+    std::fflush(stdout);
   }
 
   const mmir::obs::HealthReport health = router.health();

@@ -24,6 +24,7 @@
 #include "archive/tiled.hpp"
 #include "data/scene.hpp"
 #include "net/shard_server.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -82,7 +83,10 @@ int main(int argc, char** argv) {
   config.engine.dispatchers = 1;
   config.engine.intra_query_threads = 0;
   config.engine.queue_capacity = 256;
-  config.engine.metrics = nullptr;
+  // A real registry so kStats replies (and the router's /fleetz page) carry
+  // engine counters and latency histograms instead of an empty snapshot.
+  mmir::obs::MetricsRegistry metrics;
+  config.engine.metrics = &metrics;
 
   const auto pool = build_pool();
   mmir::net::ShardServer server(config);
