@@ -9,6 +9,9 @@
 // E14 — distributed tracing overhead: the same router fleet queried traced
 //       (trace context on the wire, span trees shipped back and stitched)
 //       vs untraced; the tracing tax is gated <= 5% in ci/bench_diff.py.
+// E15 — batched shared-scan throughput: cold full-scan qps at batch fan-in
+//       1/4/16/64 with one dispatcher, measuring how much of the per-query
+//       decode cost the shared scan amortizes across batch-mates.
 //
 // Sweeps dispatcher threads x admission queue depth x target result-cache
 // hit rate over a fixed stream of combined-executor raster queries, and
@@ -32,6 +35,7 @@
 #include "archive/sharded.hpp"
 #include "archive/tiled.hpp"
 #include "core/progressive_exec.hpp"
+#include "core/raster_model.hpp"
 #include "data/scene.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/shard_exec.hpp"
@@ -63,8 +67,9 @@ using namespace mmir::bench;
 // Bumped whenever the JSON layout changes; ci/bench_diff.py refuses to
 // compare mismatched schemas.  v3 adds the E11 sharded_throughput rows; v4
 // adds the E12 hedged_tail block; v5 adds the E13 router_throughput rows;
-// v6 adds the E14 router_tracing_overhead block (distributed tracing tax).
-constexpr int kBenchSchemaVersion = 6;
+// v6 adds the E14 router_tracing_overhead block (distributed tracing tax);
+// v7 adds the E15 batch_throughput rows (batched shared-scan cold qps).
+constexpr int kBenchSchemaVersion = 7;
 
 struct SweepRow {
   std::size_t dispatchers = 0;
@@ -584,8 +589,76 @@ RouterOverheadResult run_router_overhead(const TiledArchive& archive,
   return result;
 }
 
+struct BatchRow {
+  std::size_t fan_in = 0;
+  double cold_qps = 0.0;
+};
+
+// E15: batched shared-scan throughput.  A batch of F compatible cold full
+// scans decodes each pixel once and evaluates all F member models against
+// it, so the per-query cost falls from (read + eval) toward read/F + eval.
+// The sweep pins dispatchers at 1 so the measured gain is the shared scan,
+// not thread-level parallelism; queries are all-cold (distinct archive ids,
+// so the result cache never hits) and the engine starts paused so every
+// group closes at exactly the configured fan-in before dispatch begins.
+// ci/bench_diff.py gates batch-64 >= 1.5x batch-1 cold qps on multi-core
+// hosts.
+std::vector<BatchRow> run_batch_table(const TiledArchive& archive, const LinearModel& model) {
+  heading("E15: batched shared-scan throughput (cold full scans)",
+          "compatible concurrent queries share one decode pass per pixel");
+
+  const LinearRasterModel raster(model);
+  const std::size_t total = 128;  // multiple of every swept fan-in
+  std::printf("%7s | %12s %9s\n", "fan-in", "cold qps", "speedup");
+  std::vector<BatchRow> rows;
+  double base_qps = 0.0;
+  for (const std::size_t fan_in : {1ULL, 4ULL, 16ULL, 64ULL}) {
+    EngineConfig config;
+    config.dispatchers = 1;
+    config.queue_capacity = 512;  // room for every group before dispatch
+    config.batch_max_fanin = fan_in;
+    config.batch_window = std::chrono::milliseconds(5);
+    config.start_paused = true;
+    config.metrics = nullptr;
+    QueryEngine engine(config);
+
+    RasterJob job;
+    job.mode = RasterJob::Mode::kFullScan;
+    job.archive = &archive;
+    job.model = &raster;
+    job.k = 10;
+
+    std::vector<std::future<RasterOutcome>> futures;
+    futures.reserve(total);
+    std::uint64_t next_cold_id = 1;
+    for (std::size_t i = 0; i < total; ++i) {
+      job.archive_id = next_cold_id++;
+      futures.push_back(engine.submit(job));
+    }
+    const std::chrono::nanoseconds wall = timed_ns([&] {
+      engine.resume();
+      for (auto& f : futures) (void)f.get();
+    });
+
+    BatchRow row;
+    row.fan_in = fan_in;
+    row.cold_qps =
+        ratio(static_cast<double>(total), static_cast<double>(wall.count()) / 1e9);
+    if (fan_in == 1) base_qps = row.cold_qps;
+    std::printf("%7zu | %12.1f %8.2fx\n", row.fan_in, row.cold_qps,
+                base_qps > 0.0 ? row.cold_qps / base_qps : 0.0);
+    rows.push_back(row);
+  }
+  std::printf(
+      "\nshape check: qps rises with fan-in and saturates once the decode cost\n"
+      "is fully amortized across batch-mates (eval cost is never shared).\n");
+  footer();
+  return rows;
+}
+
 void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>& sharded_rows,
-                const std::vector<RouterRow>& router_rows, const OverheadResult& overhead,
+                const std::vector<RouterRow>& router_rows,
+                const std::vector<BatchRow>& batch_rows, const OverheadResult& overhead,
                 const RouterOverheadResult& router_overhead, const HedgedTailResult& hedged,
                 const std::string& metrics_json) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
@@ -626,6 +699,12 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
                  r.shards, r.qps, r.p99_ms, r.inproc_qps, r.router_over_inproc,
                  i + 1 < router_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"batch_throughput\": [\n");
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& r = batch_rows[i];
+    std::fprintf(f, "    {\"fan_in\": %zu, \"cold_qps\": %.1f}%s\n", r.fan_in, r.cold_qps,
+                 i + 1 < batch_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"hedged_tail\": {\"shards\": %zu, \"pool_threads\": %zu, "
@@ -649,8 +728,8 @@ void write_json(const std::vector<SweepRow>& rows, const std::vector<ShardedRow>
   std::fclose(f);
   std::printf(
       "\nwrote BENCH_engine.json (%zu sweep rows + %zu sharded rows + %zu router rows "
-      "+ hedged tail + tracing + router-tracing overhead + metrics dump)\n",
-      rows.size(), sharded_rows.size(), router_rows.size());
+      "+ %zu batch rows + hedged tail + tracing + router-tracing overhead + metrics dump)\n",
+      rows.size(), sharded_rows.size(), router_rows.size(), batch_rows.size());
 }
 
 void run_table() {
@@ -715,10 +794,11 @@ void run_table() {
   const std::vector<ShardedRow> sharded_rows = run_sharded_table(archive, progressive);
   const HedgedTailResult hedged = run_hedged_tail(archive, progressive);
   const std::vector<RouterRow> router_rows = run_router_table(archive, progressive, ranges);
+  const std::vector<BatchRow> batch_rows = run_batch_table(archive, model);
   const OverheadResult overhead = run_overhead_check(archive, progressive);
   const RouterOverheadResult router_overhead =
       run_router_overhead(archive, progressive, ranges);
-  write_json(rows, sharded_rows, router_rows, overhead, router_overhead, hedged,
+  write_json(rows, sharded_rows, router_rows, batch_rows, overhead, router_overhead, hedged,
              obs::DumpMetrics(registry, obs::DumpFormat::kJson));
   footer();
 }

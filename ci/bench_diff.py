@@ -19,9 +19,18 @@ context on the wire, span trees shipped back and stitched) must cost at most
 diff; it is skipped out loud when the bench could not run the experiment
 (no loopback sockets).
 
+And it enforces the E15 batched shared-scan bound on the candidate alone
+(schema_version >= 7): at batch fan-in 64 the cold full-scan qps must reach
+at least 1.5x the fan-in-1 qps (batch_throughput rows) — shared decode must
+actually pay for itself.  Skipped on hosts with hardware_concurrency < 4,
+where the scan and the serving machinery contend for the same core and the
+amortization signal drowns in scheduler noise.
+
 Gates that do not apply to a given run are *skipped out loud*: every bypassed
 gate prints an explicit "... gate skipped: <reason>" line so a green run can
-be audited for what it actually checked.
+be audited for what it actually checked.  In particular, an experiment that
+is present in the baseline but recorded no rows in the candidate (or vice
+versa) prints "gate skipped: missing rows" rather than silently passing.
 
 It also enforces the E12 hedged-tail acceptance bound on the *candidate*
 alone (schema_version >= 4): under injected 5% slow-shard faults, the hedged
@@ -68,10 +77,12 @@ def e10b_traced_qps(doc: dict) -> float:
     return float(overhead["qps_traced"])
 
 
-def e11_best_sharded_qps(doc: dict) -> float:
-    rows = doc.get("sharded_throughput", [])
+def e11_best_sharded_qps(doc: dict) -> float | None:
+    """Best qps across the E11 sharded rows; None when the run recorded no
+    rows (the gate must then skip out loud, not pass silently)."""
+    rows = doc.get("sharded_throughput")
     if not rows:
-        raise ValueError("no sharded_throughput rows")
+        return None
     return max(float(row["qps"]) for row in rows)
 
 
@@ -103,14 +114,45 @@ def hedged_tail_regressed(doc: dict) -> bool:
 
 
 def e13_best_router_qps(doc: dict) -> float | None:
-    """Best qps across the E13 router rows; None when the bench skipped the
-    experiment (loopback sockets unavailable on the host)."""
+    """Best qps across the E13 router rows; None when the run recorded no
+    rows (block absent, or the bench skipped the experiment because loopback
+    sockets were unavailable on the host)."""
     rows = doc.get("router_throughput")
-    if rows is None:
-        raise ValueError("no router_throughput block (schema >= 5 expected)")
     if not rows:
         return None
     return max(float(row["qps"]) for row in rows)
+
+
+BATCH_SPEEDUP_MIN = 1.5  # E15 acceptance: batch-64 cold qps >= 1.5x batch-1
+
+
+def batch_speedup_regressed(doc: dict) -> bool:
+    """E15 absolute gate on the candidate; returns True when it fails."""
+    rows = doc.get("batch_throughput")
+    if rows is None:
+        raise ValueError("no batch_throughput block (schema >= 7 expected)")
+    qps = {int(row["fan_in"]): float(row["cold_qps"]) for row in rows}
+    if 1 not in qps or 64 not in qps:
+        print(
+            "E15 batch speedup gate skipped: missing rows (candidate recorded "
+            "no fan-in 1 / fan-in 64 batch_throughput rows)"
+        )
+        return False
+    hw = int(doc.get("hardware_concurrency", 0))
+    if hw < 4:
+        print(
+            f"E15 batch speedup gate skipped: hardware_concurrency {hw} < 4 "
+            "(shared-scan amortization is unmeasurable under core contention)"
+        )
+        return False
+    ratio = qps[64] / qps[1] if qps[1] > 0 else 0.0
+    verdict = "FAIL" if ratio < BATCH_SPEEDUP_MIN else "ok"
+    print(
+        f"E15 batch speedup: fan-in 64 {qps[64]:.1f} qps vs fan-in 1 "
+        f"{qps[1]:.1f} qps = {ratio:.2f}x (floor {BATCH_SPEEDUP_MIN:.1f}x) "
+        f"[{verdict}]"
+    )
+    return ratio < BATCH_SPEEDUP_MIN
 
 
 ROUTER_TRACING_LIMIT_PCT = 5.0  # E14 acceptance: tracing tax <= 5%
@@ -199,14 +241,22 @@ def main() -> int:
             "E10b traced qps", e10b_traced_qps(base), e10b_traced_qps(cand), args.threshold
         )
         # E11 lands with schema_version 3; older pairs (already schema-matched
-        # above) predate the sharded sweep and simply skip the gate.
+        # above) predate the sharded sweep and simply skip the gate.  A side
+        # with no rows (experiment present in one run, missing from the
+        # other) skips out loud instead of passing silently.
         if isinstance(base_schema, int) and base_schema >= 3:
-            failed |= check(
-                "E11 best sharded qps",
-                e11_best_sharded_qps(base),
-                e11_best_sharded_qps(cand),
-                args.threshold,
-            )
+            base_qps = e11_best_sharded_qps(base)
+            cand_qps = e11_best_sharded_qps(cand)
+            if base_qps is None or cand_qps is None:
+                side = "baseline" if base_qps is None else "candidate"
+                print(
+                    f"E11 best sharded qps gate skipped: missing rows "
+                    f"({side} recorded no sharded_throughput rows)"
+                )
+            else:
+                failed |= check(
+                    "E11 best sharded qps", base_qps, cand_qps, args.threshold
+                )
         # E12 lands with schema_version 4: an absolute bound on the candidate
         # (hedging must cap the faulted tail), skipped on few-core hosts where
         # the duplicate leg cannot overlap the straggler.
@@ -221,8 +271,9 @@ def main() -> int:
             if base_qps is None or cand_qps is None:
                 side = "baseline" if base_qps is None else "candidate"
                 print(
-                    f"E13 router qps gate skipped: {side} recorded no "
-                    "router_throughput rows (loopback sockets unavailable)"
+                    f"E13 best router qps gate skipped: missing rows "
+                    f"({side} recorded no router_throughput rows — loopback "
+                    "sockets unavailable, or the experiment never ran)"
                 )
             else:
                 failed |= check(
@@ -233,6 +284,11 @@ def main() -> int:
         # bench had no sockets to run the fleet.
         if isinstance(cand_schema, int) and cand_schema >= 6:
             failed |= router_tracing_regressed(cand)
+        # E15 lands with schema_version 7: an absolute bound on the candidate
+        # (batching must amortize the shared decode), skipped on few-core
+        # hosts where the signal drowns in scheduler contention.
+        if isinstance(cand_schema, int) and cand_schema >= 7:
+            failed |= batch_speedup_regressed(cand)
     except (KeyError, ValueError) as err:
         print(f"malformed bench json: {err}", file=sys.stderr)
         return 2

@@ -13,6 +13,9 @@
 # chaos battery (ctest -L chaos) runs under TSan too: hedged duplicate legs
 # racing the primary through the winner CAS, leg cancellation flags, and the
 # urgent-lane thread pool are exactly the interleavings TSan is for.  The
+# batch battery (test_batch_parity) drives the shared-scan path: batch
+# groups forming under batch_mutex_ while dispatchers race the flush, and
+# per-member contexts/meters that must stay unshared across batch-mates.  The
 # net battery (ctest -L net, reduced case count) adds the distributed layer:
 # shard-server connection threads against stop/reap, and router legs racing
 # hedges, cancellation, and the gather join over real sockets — including
@@ -33,11 +36,11 @@ cmake --build "${BUILD}" -j"$(nproc)" \
            test_obs test_obs_concurrency test_export test_aggregate \
            test_stats_server test_shard_parity test_shard_merge \
            test_index_onion test_sproc_oracle test_explain test_chaos \
-           test_net_wire test_net_parity
+           test_batch_parity test_net_wire test_net_parity
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "${BUILD}" --output-on-failure \
-  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain'
+  -R 'test_engine|test_parallel_exec|test_fault_injection|test_core|test_obs|test_obs_concurrency|test_export|test_aggregate|test_stats_server|test_shard_parity|test_shard_merge|test_index_onion|test_sproc_oracle|test_explain|test_batch_parity'
 ctest --test-dir "${BUILD}" --output-on-failure -L chaos
 # TSan serializes heavily; a reduced parity battery still covers every
 # (mode, policy, shard-count) interleaving class.

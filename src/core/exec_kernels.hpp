@@ -9,7 +9,12 @@
 // parallelism comes from running many kernels at once over disjoint
 // rectangles with per-worker accumulators/meters, which is exactly why the
 // serial and parallel executors can share this code and stay answer-
-// identical (modulo exact ties).
+// identical.
+//
+// Offers carry the pixel's row-major offset (`pixel_rank`) as the TopK rank,
+// so exact score ties resolve to the canonical (score desc, rank asc) set no
+// matter which order a scan visits pixels: serial, tile-parallel, sharded and
+// batched runs of the same query return byte-identical results.
 //
 // The staged kernel takes its abandoning threshold through a callable so the
 // serial executor can pass the local heap threshold and the parallel one can
@@ -32,6 +37,19 @@
 namespace mmir::exec {
 
 inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Canonical total-order rank of a pixel: its row-major offset.  Feeding this
+/// as the TopK tie-break makes every executor's result a pure function of the
+/// scored pixel multiset, independent of visit order.
+inline std::uint64_t pixel_rank(const TiledArchive& archive, std::size_t x, std::size_t y) {
+  return static_cast<std::uint64_t>(y) * archive.width() + x;
+}
+
+/// Smallest pixel_rank inside a tile (its top-left corner) — the strongest
+/// rank any of its pixels could bring to an exact-tie contest.
+inline std::uint64_t tile_min_rank(const TiledArchive& archive, const TileSummary& tile) {
+  return static_cast<std::uint64_t>(tile.y0) * archive.width() + tile.x0;
+}
 
 /// Drains a TopK accumulator into a best-first hit vector.
 inline std::vector<RasterHit> finalize(TopK<RasterHit>& top) {
@@ -112,7 +130,7 @@ inline void scan_rect_full(const TiledArchive& archive, const RasterModel& model
         ++tally.bad_points;
         continue;
       }
-      top.offer(score, RasterHit{x, y, score});
+      top.offer_ranked(score, pixel_rank(archive, x, y), RasterHit{x, y, score});
     }
   }
 }
@@ -136,8 +154,10 @@ inline void scan_rect_staged(const TiledArchive& archive, const ProgressiveLinea
         ++tally.bad_points;
         continue;
       }
-      if (score > top.threshold()) {
-        top.offer(score, RasterHit{x, y, score});
+      // >= rather than >: a candidate tying the threshold can still displace
+      // a worse-ranked incumbent under the canonical (score, rank) order.
+      if (score >= top.threshold() &&
+          top.offer_ranked(score, pixel_rank(archive, x, y), RasterHit{x, y, score})) {
         on_offer();
       }
     }
@@ -187,6 +207,29 @@ inline TileBounds compute_tile_bounds(const TiledArchive& archive, const RasterM
 /// used as the missed-score bound when a scan-order executor truncates.
 inline double archive_score_bound(const TiledArchive& archive, const RasterModel& model) {
   return model.bound(archive.band_ranges()).hi;
+}
+
+/// Verdict of screening one tile against the caller's current heap.
+enum class TilePrune : std::uint8_t {
+  kScan = 0,       ///< the tile may still contribute — scan it
+  kPruneOne = 1,   ///< this tile is certified out, but later tiles with the
+                   ///< same bound may still win on rank — keep going
+  kPruneRest = 2,  ///< strictly below the threshold: in a descending-bound
+                   ///< visit order every remaining tile is certified out too
+};
+
+/// Canonical tile-screening rule for heaps fed via offer_ranked.  A tile is
+/// certified out when no pixel in it can enter the canonical top-K: either
+/// its bound is strictly below the K-th best score, or it exactly ties the
+/// threshold but even its best-ranked pixel (top-left corner) ranks at or
+/// after the heap's worst entry, so an exact tie could not displace anything.
+inline TilePrune screen_tile(const TopK<RasterHit>& top, double tile_hi,
+                             std::uint64_t tile_min_rank) {
+  if (!top.full()) return TilePrune::kScan;
+  const double threshold = top.threshold();
+  if (tile_hi < threshold) return TilePrune::kPruneRest;
+  if (tile_hi == threshold && tile_min_rank >= top.worst_rank()) return TilePrune::kPruneOne;
+  return TilePrune::kScan;
 }
 
 /// Status of an execution that ran out its loops without truncating.

@@ -142,19 +142,24 @@ RasterTopK tile_screened_top_k(const TiledArchive& archive, const RasterModel& m
   }
   const std::uint64_t ops_before = meter.ops();
   obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
-  for (std::size_t t : tb.order) {
-    if (top.full() && tb.bounds[t].hi <= top.threshold()) {
-      // Tiles are sorted, so every later tile is dominated too; count them
-      // all as pruned and stop.
-      for (std::size_t rest = 0; rest < tb.order.size(); ++rest) {
-        if (tb.order[rest] == t) {
-          meter.add_pruned(tb.order.size() - rest);
-          break;
-        }
-      }
-      break;
-    }
+  for (std::size_t pos = 0; pos < tb.order.size(); ++pos) {
+    const std::size_t t = tb.order[pos];
     const TileSummary& tile = tiles[t];
+    switch (exec::screen_tile(top, tb.bounds[t].hi, exec::tile_min_rank(archive, tile))) {
+      case exec::TilePrune::kPruneRest:
+        // Strictly dominated; tiles run best-bound-first, so every later
+        // tile is dominated too.
+        meter.add_pruned(tb.order.size() - pos);
+        pos = tb.order.size();
+        continue;
+      case exec::TilePrune::kPruneOne:
+        // Exact-tie prune: this tile cannot win on rank, but a later tile
+        // with the same bound and a smaller corner rank still could.
+        meter.add_pruned();
+        continue;
+      case exec::TilePrune::kScan:
+        break;
+    }
     ++tiles_scanned;
     exec::scan_rect_full(archive, model, tile.x0, tile.x0 + tile.width, tile.y0,
                          tile.y0 + tile.height, top, pixel, ctx, meter, tally);
@@ -214,17 +219,20 @@ RasterTopK progressive_combined_top_k(const TiledArchive& archive,
   }
   const std::uint64_t ops_before = meter.ops();
   obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
-  for (std::size_t t : tb.order) {
-    if (top.full() && tb.bounds[t].hi <= top.threshold()) {
-      for (std::size_t rest = 0; rest < tb.order.size(); ++rest) {
-        if (tb.order[rest] == t) {
-          meter.add_pruned(tb.order.size() - rest);
-          break;
-        }
-      }
-      break;
-    }
+  for (std::size_t pos = 0; pos < tb.order.size(); ++pos) {
+    const std::size_t t = tb.order[pos];
     const TileSummary& tile = tiles[t];
+    switch (exec::screen_tile(top, tb.bounds[t].hi, exec::tile_min_rank(archive, tile))) {
+      case exec::TilePrune::kPruneRest:
+        meter.add_pruned(tb.order.size() - pos);
+        pos = tb.order.size();
+        continue;
+      case exec::TilePrune::kPruneOne:
+        meter.add_pruned();
+        continue;
+      case exec::TilePrune::kScan:
+        break;
+    }
     ++tiles_scanned;
     exec::scan_rect_staged(
         archive, model, tile.x0, tile.x0 + tile.width, tile.y0, tile.y0 + tile.height, top,

@@ -128,6 +128,16 @@ class QueryContext {
     return *this;
   }
 
+  /// True when nothing can ever stop this context — no budget, deadline,
+  /// cancel flag, or (transitively) limited parent.  charge() then cannot
+  /// fail, so bulk executors may charge coarse-grained aggregates (e.g. a
+  /// whole tile at once) without changing trip behavior or the final
+  /// spent() total.  Read-only; safe against concurrent charges.
+  [[nodiscard]] bool unbounded() const noexcept {
+    return budget_ == std::numeric_limits<std::uint64_t>::max() && !has_deadline_ &&
+           cancel_ == nullptr && (parent_ == nullptr || parent_->unbounded());
+  }
+
   // ------------------------------------------------------------------ execution
 
   /// Charges `units` of work.  Returns true when execution may proceed;

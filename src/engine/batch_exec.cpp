@@ -1,0 +1,367 @@
+#include "engine/batch_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace mmir {
+
+namespace {
+
+using exec::kNegInf;
+
+/// Mutable per-member execution state.  Everything a member's decisions read
+/// is member-local (its own heap, bounds, context), so its billing and its
+/// result are independent of who else rides the batch.
+struct MemberState {
+  explicit MemberState(const BatchMemberSpec& s)
+      : spec(&s), ctx(s.ctx), meter(s.meter), top(s.k) {}
+
+  const BatchMemberSpec* spec;
+  QueryContext* ctx;  // hoisted out of spec: dereferenced per pixel
+  CostMeter* meter;
+  TopK<RasterHit> top;
+  exec::ScanTally tally;
+  std::uint64_t ops_before = 0;
+  std::uint64_t tiles_scanned = 0;
+  std::uint64_t tiles_pruned = 0;
+  /// Shared-decode billing, accumulated over the scan and flushed to the
+  /// meter once at finalize: pixels this member logically read but did not
+  /// physically gather, and full-model evaluations it ran.  The flushed
+  /// totals are byte-identical to per-pixel billing — the meter is only
+  /// observed after batch_scan returns — but cost three counter bumps per
+  /// pixel less, which is exactly the overhead the shared scan exists to
+  /// shed.
+  std::uint64_t shared_reads = 0;
+  std::uint64_t evals = 0;
+
+  /// Screening state (kTileScreened / kCombined).
+  std::vector<Interval> local_bounds;             // own metadata pass
+  const std::vector<Interval>* bounds = nullptr;  // tile-index order view
+  std::unique_ptr<LinearRasterModel> owned_screen;
+  const RasterModel* screen = nullptr;
+
+  const RasterModel* full = nullptr;  // full-evaluation model (non-staged)
+  /// Devirtualized view of `full` when it is the (final) linear wrapper:
+  /// the per-pixel call inlines to the dot product instead of dispatching.
+  const LinearRasterModel* full_linear = nullptr;
+  std::uint64_t ops_per_pixel = 0;    // full-model ops (charge unit)
+  double domain_bound = kNegInf;      // sound pre-metadata missed bound
+
+  std::size_t subset_pos = 0;  // cursor into tile_subset (ascending)
+  bool screened = false;
+  bool staged = false;
+  /// Full-model member whose context can never trip: charged per tile in
+  /// one aggregate instead of per pixel (same spent() total, no trip to
+  /// mistime, one atomic where the solo path pays thousands).
+  bool bulk_charged = false;
+  bool done = false;     // finished its tiles or tripped
+  bool stopped = false;  // tripped (budget / deadline / cancel)
+  bool scan_trip = false;
+  std::size_t trip_tile = 0;  // global tile index at a scan-stage trip
+};
+
+/// Whether the member participates in tile `t`; advances the subset cursor
+/// (tiles arrive in ascending index order, matching the subset's order).
+bool wants_tile(MemberState& m, std::size_t t) {
+  const std::vector<std::size_t>* subset = m.spec->tile_subset;
+  if (subset == nullptr) return true;
+  while (m.subset_pos < subset->size() && (*subset)[m.subset_pos] < t) ++m.subset_pos;
+  if (m.subset_pos >= subset->size()) {
+    m.done = true;  // subset exhausted: the member completed its domain
+    return false;
+  }
+  if ((*subset)[m.subset_pos] != t) return false;
+  ++m.subset_pos;
+  return true;
+}
+
+void trip(MemberState& m, std::size_t t) {
+  m.done = true;
+  m.stopped = true;
+  m.scan_trip = true;
+  m.trip_tile = t;
+}
+
+/// Sound missed-score bound after a screened member's scan-stage trip: the
+/// max screening bound over its tiles from the trip tile on.  Earlier tiles
+/// were fully scanned or certified out; the trip tile (possibly half
+/// examined) and everything after are covered by their bounds.
+double screened_trip_bound(const TiledArchive& archive, const MemberState& m) {
+  double bound = kNegInf;
+  const std::vector<Interval>& bounds = *m.bounds;
+  if (const std::vector<std::size_t>* subset = m.spec->tile_subset) {
+    for (std::size_t t : *subset) {
+      if (t >= m.trip_tile) bound = std::max(bound, bounds[t].hi);
+    }
+  } else {
+    for (std::size_t t = m.trip_tile; t < archive.tiles().size(); ++t) {
+      bound = std::max(bound, bounds[t].hi);
+    }
+  }
+  return bound;
+}
+
+/// The solo executors' span vocabulary, so a batched member's EXPLAIN reads
+/// like a solo run: §4.2 efficiency inputs + result shape + meter totals.
+void annotate_member(const obs::Span* span, const TiledArchive& archive, const MemberState& m,
+                     const BatchMemberResult& r, std::uint64_t model_terms) {
+  if (span == nullptr || !span->active()) return;
+  span->annotate("total_pixels",
+                 static_cast<double>(archive.width()) * static_cast<double>(archive.height()));
+  span->annotate("model_terms", static_cast<double>(model_terms));
+  span->annotate("pixels_visited", static_cast<double>(r.pixels_visited));
+  span->annotate("scan_ops", static_cast<double>(r.scan_ops));
+  span->annotate("k", static_cast<double>(m.spec->k));
+  span->annotate("tiles_scanned", static_cast<double>(r.tiles_scanned));
+  span->annotate("tiles_pruned", static_cast<double>(r.tiles_pruned));
+  span->annotate("hits", static_cast<double>(r.result.hits.size()));
+  span->annotate("bad_points", static_cast<double>(r.result.bad_points));
+  const CostMeter& meter = *m.spec->meter;
+  span->annotate("meter_points", static_cast<double>(meter.points()));
+  span->annotate("meter_ops", static_cast<double>(meter.ops()));
+  span->annotate("meter_pruned", static_cast<double>(meter.pruned()));
+  span->note("status", to_string(r.result.status));
+  switch (m.spec->mode) {
+    case BatchScanMode::kFullScan: span->note("mode", "full_scan"); break;
+    case BatchScanMode::kProgressiveModel: span->note("mode", "progressive_model"); break;
+    case BatchScanMode::kTileScreened: span->note("mode", "tile_screened"); break;
+    case BatchScanMode::kCombined: span->note("mode", "progressive_combined"); break;
+  }
+}
+
+}  // namespace
+
+std::vector<BatchMemberResult> batch_scan(const TiledArchive& archive,
+                                          std::span<const BatchMemberSpec> members) {
+  std::vector<BatchMemberResult> out(members.size());
+  if (members.empty()) return out;
+  const auto tiles = archive.tiles();
+  const std::size_t band_count = archive.band_count();
+
+  // ---- Per-member setup + metadata stage -------------------------------
+  std::vector<MemberState> states;
+  states.reserve(members.size());
+  for (const BatchMemberSpec& spec : members) {
+    MMIR_EXPECTS(spec.k > 0);
+    MMIR_EXPECTS(spec.ctx != nullptr && spec.meter != nullptr);
+    MemberState& m = states.emplace_back(spec);
+    m.staged = spec.mode == BatchScanMode::kProgressiveModel ||
+               spec.mode == BatchScanMode::kCombined;
+    m.screened = spec.mode == BatchScanMode::kTileScreened ||
+                 spec.mode == BatchScanMode::kCombined;
+    if (m.staged) {
+      MMIR_EXPECTS(spec.progressive != nullptr);
+      MMIR_EXPECTS(spec.progressive->model().dim() == band_count);
+    } else {
+      MMIR_EXPECTS(spec.model != nullptr);
+      MMIR_EXPECTS(spec.model->bands() == band_count);
+      m.full = spec.model;
+      m.full_linear = dynamic_cast<const LinearRasterModel*>(spec.model);
+      m.ops_per_pixel = spec.model->ops_per_evaluation();
+      m.bulk_charged = spec.ctx->unbounded();
+    }
+    switch (spec.mode) {
+      case BatchScanMode::kTileScreened:
+        m.screen = spec.model;
+        break;
+      case BatchScanMode::kCombined:
+        m.owned_screen = std::make_unique<LinearRasterModel>(spec.progressive->model());
+        m.screen = m.owned_screen.get();
+        break;
+      default:
+        break;
+    }
+
+    const std::span<const Interval> ranges =
+        spec.domain_ranges != nullptr ? std::span<const Interval>(*spec.domain_ranges)
+                                      : archive.band_ranges();
+    // An empty domain (e.g. a tile-less shard) has no scoreable pixels and no
+    // per-band hull to bound them with; kNegInf is the exact missed bound.
+    if (ranges.size() != band_count) {
+      m.ops_before = spec.meter->ops();
+      continue;
+    }
+    switch (spec.mode) {
+      case BatchScanMode::kFullScan:
+      case BatchScanMode::kTileScreened:
+        m.domain_bound = spec.model->bound(ranges).hi;
+        break;
+      case BatchScanMode::kProgressiveModel:
+        m.domain_bound = spec.progressive->model().evaluate_interval(ranges).hi;
+        break;
+      case BatchScanMode::kCombined:
+        m.domain_bound = m.screen->bound(ranges).hi;
+        break;
+    }
+
+    if (m.screened) {
+      if (spec.precomputed_bounds != nullptr) {
+        // Cache-served bounds: like a solo cached run, neither work nor
+        // charge (the engine billed cache traffic on the member's meter).
+        m.bounds = &spec.precomputed_bounds->bounds;
+      } else {
+        // Member-paid metadata pass over its own tiles, billed exactly like
+        // the solo executors: one screening-bound evaluation per tile.
+        const std::uint64_t ops_per_bound = m.screen->ops_per_evaluation();
+        const std::size_t tile_count =
+            spec.tile_subset != nullptr ? spec.tile_subset->size() : tiles.size();
+        if (!spec.ctx->charge(tile_count * ops_per_bound)) {
+          m.done = true;
+          m.stopped = true;  // metadata trip: no bounds, domain bound covers
+        } else {
+          m.local_bounds.assign(tiles.size(), Interval::point(0.0));
+          if (spec.tile_subset != nullptr) {
+            for (std::size_t t : *spec.tile_subset) {
+              m.local_bounds[t] = m.screen->bound(tiles[t].band_range);
+              spec.meter->add_ops(ops_per_bound);
+            }
+          } else {
+            for (std::size_t t = 0; t < tiles.size(); ++t) {
+              m.local_bounds[t] = m.screen->bound(tiles[t].band_range);
+              spec.meter->add_ops(ops_per_bound);
+            }
+          }
+          m.bounds = &m.local_bounds;
+        }
+      }
+    }
+    m.ops_before = spec.meter->ops();
+  }
+
+  // ---- Shared scan: every tile visited once, in tile-index order -------
+  std::vector<double> scratch(band_count);
+  std::vector<MemberState*> needing;
+  needing.reserve(states.size());
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const TileSummary& tile = tiles[t];
+    needing.clear();
+    for (MemberState& m : states) {
+      if (m.done || !wants_tile(m, t)) continue;
+      if (m.screened) {
+        if (exec::screen_tile(m.top, (*m.bounds)[t].hi, exec::tile_min_rank(archive, tile)) !=
+            exec::TilePrune::kScan) {
+          // Certified out for THIS member only; batch-mates may still need
+          // the tile.  Tile-index order is not bound-descending, so even a
+          // strict prune certifies just this tile.
+          m.meter->add_pruned();
+          ++m.tiles_pruned;
+          continue;
+        }
+      }
+      ++m.tiles_scanned;
+      if (m.bulk_charged) {
+        (void)m.ctx->charge(static_cast<std::uint64_t>(tile.width) * tile.height *
+                            m.ops_per_pixel);
+      }
+      needing.push_back(&m);
+    }
+    if (needing.empty()) {
+      bool any_open = false;
+      for (const MemberState& m : states) any_open |= !m.done;
+      if (!any_open) break;
+      continue;
+    }
+
+    for (std::size_t y = tile.y0; y < tile.y0 + tile.height; ++y) {
+      for (std::size_t x = tile.x0; x < tile.x0 + tile.width; ++x) {
+        const std::uint64_t rank = exec::pixel_rank(archive, x, y);
+        bool decoded = false;
+        for (MemberState* mp : needing) {
+          MemberState& m = *mp;
+          if (m.done) continue;
+          QueryContext& ctx = *m.ctx;
+          CostMeter& meter = *m.meter;
+          if (m.staged) {
+            // Mirrors exec::scan_rect_staged with the member-local
+            // threshold: staged evaluation reads bands term by term, so it
+            // shares no decode with the full-model members.
+            ++m.tally.pixels;
+            const double score = exec::staged_pixel(archive, *m.spec->progressive, x, y,
+                                                    m.top.threshold(), ctx, meter);
+            if (ctx.stopped()) {
+              trip(m, t);
+              continue;
+            }
+            if (!std::isfinite(score)) {
+              ctx.note_bad_points();
+              ++m.tally.bad_points;
+              continue;
+            }
+            if (score >= m.top.threshold()) {
+              m.top.offer_ranked(score, rank, RasterHit{x, y, score});
+            }
+          } else {
+            // Mirrors exec::scan_rect_full, except the physical gather runs
+            // once per pixel; every member is billed its full logical read
+            // so its meter matches a solo run byte for byte.
+            if (!m.bulk_charged && !ctx.charge(m.ops_per_pixel)) {
+              trip(m, t);
+              continue;
+            }
+            ++m.tally.pixels;
+            if (!decoded) {
+              archive.read_pixel(x, y, scratch, meter);
+              decoded = true;
+            } else {
+              ++m.shared_reads;
+            }
+            const double score = m.full_linear != nullptr ? m.full_linear->evaluate(scratch)
+                                                          : m.full->evaluate(scratch);
+            ++m.evals;
+            if (!std::isfinite(score)) {
+              ctx.note_bad_points();
+              ++m.tally.bad_points;
+              continue;
+            }
+            m.top.offer_ranked(score, rank, RasterHit{x, y, score});
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Finalize each member exactly like its solo executor -------------
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    MemberState& m = states[i];
+    BatchMemberResult& r = out[i];
+    // Flush the deferred shared-decode billing before anything reads the
+    // meter; the totals equal per-pixel billing byte for byte.
+    if (m.shared_reads > 0) {
+      m.meter->add_points(m.shared_reads * band_count);
+      m.meter->add_bytes(m.shared_reads * band_count * sizeof(double));
+    }
+    if (m.evals > 0) m.meter->add_ops(m.evals * m.ops_per_pixel);
+    r.result.bad_points = m.tally.bad_points;
+    r.result.hits = exec::finalize(m.top);
+    r.scan_ops = m.meter->ops() - m.ops_before;
+    r.pixels_visited = m.tally.pixels;
+    r.tiles_scanned = m.tiles_scanned;
+    r.tiles_pruned = m.tiles_pruned;
+    std::uint64_t model_terms = 0;
+    if (m.staged) {
+      model_terms = m.spec->progressive->order().size();
+    } else {
+      model_terms = m.full->ops_per_evaluation();
+    }
+    if (m.stopped) {
+      r.result.status = m.spec->ctx->stop_reason();
+      r.result.missed_bound = m.screened && m.scan_trip && m.bounds != nullptr
+                                  ? screened_trip_bound(archive, m)
+                                  : m.domain_bound;
+    } else {
+      const std::uint64_t domain_bad =
+          m.spec->domain_bad_pixels == BatchMemberSpec::kDomainBadFromArchive
+              ? archive.bad_pixel_count()
+              : m.spec->domain_bad_pixels;
+      r.result.status = m.tally.bad_points > 0 || domain_bad > 0 ? ResultStatus::kDegraded
+                                                                 : ResultStatus::kComplete;
+    }
+    annotate_member(m.spec->span, archive, m, r, model_terms);
+  }
+  return out;
+}
+
+}  // namespace mmir

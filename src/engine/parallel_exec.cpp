@@ -71,14 +71,17 @@ struct WorkerState {
 
 /// Merges per-worker heaps/meters/tallies into the final result, reducing
 /// the meters with CostMeter::merge.  The global heap re-offers every local
-/// entry; local heaps hold the top-K of their partition, so the union
-/// contains the global top-K.  Returns the summed scan tally.
+/// entry under its original pixel rank; local heaps hold the canonical top-K
+/// of their partition, so the union contains the canonical global top-K and
+/// the merge is byte-identical to a serial scan.  Returns the summed tally.
 exec::ScanTally merge_workers(std::vector<WorkerState>& workers, std::size_t k, RasterTopK& out,
                               CostMeter& meter) {
   TopK<RasterHit> merged(k);
   exec::ScanTally tally;
   for (WorkerState& w : workers) {
-    for (auto& entry : w.top.take_sorted()) merged.offer(entry.score, entry.item);
+    for (auto& entry : w.top.take_sorted()) {
+      merged.offer_ranked(entry.score, entry.sequence, entry.item);
+    }
     meter.merge(w.meter);
     tally += w.tally;
   }
@@ -97,17 +100,27 @@ std::size_t row_grain(std::size_t height, std::size_t slots) {
 /// (signature: void(tile_index, WorkerState&)).  Returns via `state`
 /// the bound of the tile being examined when the context stopped.
 template <typename ScanTileFn>
-void tile_claim_loop(const exec::TileBounds& tb, std::atomic<std::size_t>& cursor,
-                     const SharedThreshold& shared, QueryContext& ctx, WorkerState& state,
-                     ScanTileFn&& scan) {
+void tile_claim_loop(const TiledArchive& archive, const exec::TileBounds& tb,
+                     std::atomic<std::size_t>& cursor, const SharedThreshold& shared,
+                     QueryContext& ctx, WorkerState& state, ScanTileFn&& scan) {
+  const auto tiles = archive.tiles();
   while (!ctx.stopped()) {
     const std::size_t pos = cursor.fetch_add(1, std::memory_order_relaxed);
     if (pos >= tb.order.size()) return;
     const std::size_t t = tb.order[pos];
     const double threshold = shared.get();
-    if (threshold > kNegInf && tb.bounds[t].hi <= threshold) {
+    if (threshold > kNegInf && tb.bounds[t].hi < threshold) {
       // Sound prune: threshold > -inf means some worker's heap is full, so
-      // the final global K-th best is at least `threshold`.
+      // the final global K-th best is at least `threshold`.  Strictly-below
+      // only: a tile tying the cross-worker threshold could still win the
+      // canonical rank tie-break, so it needs the local-evidence check below.
+      state.meter.add_pruned();
+      continue;
+    }
+    if (exec::screen_tile(state.top, tb.bounds[t].hi, exec::tile_min_rank(archive, tiles[t])) !=
+        exec::TilePrune::kScan) {
+      // Local tie/threshold evidence: this worker's own full heap certifies
+      // the tile out (prune-one semantics — later claims re-check).
       state.meter.add_pruned();
       continue;
     }
@@ -247,7 +260,7 @@ RasterTopK parallel_tile_screened_top_k(const TiledArchive& archive, const Raste
   obs::Span scan_span = obs::Span::child_of(&span, "full_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
     std::vector<double> scratch(archive.band_count());
-    tile_claim_loop(*tb, cursor, shared, ctx, workers[slot],
+    tile_claim_loop(archive, *tb, cursor, shared, ctx, workers[slot],
                     [&](std::size_t t, WorkerState& w) {
                       const TileSummary& tile = tiles[t];
                       tiles_scanned.fetch_add(1, std::memory_order_relaxed);
@@ -315,7 +328,7 @@ RasterTopK parallel_progressive_combined_top_k(const TiledArchive& archive,
   obs::Span scan_span = obs::Span::child_of(&span, "staged_model_scan");
   pool.parallel_for(0, pool.slot_count(), 1, [&](std::size_t, std::size_t, std::size_t slot) {
     tile_claim_loop(
-        *tb, cursor, shared, ctx, workers[slot], [&](std::size_t t, WorkerState& w) {
+        archive, *tb, cursor, shared, ctx, workers[slot], [&](std::size_t t, WorkerState& w) {
           const TileSummary& tile = tiles[t];
           tiles_scanned.fetch_add(1, std::memory_order_relaxed);
           exec::scan_rect_staged(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <utility>
 
+#include "engine/batch_exec.hpp"
 #include "obs/stats_server.hpp"
 #include "sproc/brute.hpp"
 #include "sproc/fast_sproc.hpp"
@@ -40,6 +42,37 @@ void mark_shed(CompositeTopK& result) {
 
 }  // namespace
 
+/// A forming shared-scan batch of raster jobs against one archive.  Lives in
+/// open_raster_batches_ from the first member's admission until the flush
+/// task drains it; `closed` stops further joins (fan-in reached, window
+/// expired, or engine stopping).
+struct QueryEngine::RasterBatchGroup {
+  struct Member {
+    RasterJob job;
+    std::shared_ptr<std::promise<RasterOutcome>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+  const TiledArchive* archive = nullptr;
+  std::chrono::steady_clock::time_point deadline;
+  bool closed = false;
+  std::vector<Member> members;
+};
+
+/// Shard-scan twin of RasterBatchGroup, keyed by the sharded archive: a
+/// shard server submitting many ShardScanJobs against the same fleet member
+/// gets shared scans for free through the engine config it already passes.
+struct QueryEngine::ShardScanBatchGroup {
+  struct Member {
+    ShardScanJob job;
+    std::shared_ptr<std::promise<ShardScanOutcome>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+  const ShardedArchive* sharded = nullptr;
+  std::chrono::steady_clock::time_point deadline;
+  bool closed = false;
+  std::vector<Member> members;
+};
+
 QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
@@ -55,6 +88,9 @@ QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
     result_cache_entries_gauge_ = reg.gauge("engine_result_cache_entries");
     tile_cache_hit_ppm_gauge_ = reg.gauge("engine_tile_cache_hit_rate_ppm");
     tile_cache_entries_gauge_ = reg.gauge("engine_tile_cache_entries");
+    batch_batches_metric_ = reg.counter("engine_batch_batches_total");
+    batch_members_metric_ = reg.counter("engine_batch_members_total");
+    batch_fanin_hist_ = reg.histogram("engine_batch_fanin");
   }
   exec_pool_ = std::make_unique<ThreadPool>(config_.intra_query_threads);
   if (config_.result_cache_entries > 0) {
@@ -102,6 +138,14 @@ QueryEngine::QueryEngine(EngineConfig config) : config_(config) {
 
 QueryEngine::~QueryEngine() {
   stats_server_.reset();  // stop serving before the sources drain away
+  // Wake any flush task parked on its batch window so it executes (or sheds)
+  // before the dispatchers join.  The empty critical section orders the store
+  // against a waiter that just evaluated its predicate.
+  batch_stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+  }
+  batch_cv_.notify_all();
   std::vector<QueuedTask> leftovers;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -386,6 +430,7 @@ std::future<RasterOutcome> QueryEngine::submit(RasterJob job) {
   } else {
     MMIR_EXPECTS(job.model != nullptr);
   }
+  if (config_.batch_max_fanin > 1) return submit_batched(std::move(job));
 
   return enqueue<RasterOutcome>(
       "raster", job.limits, [this, job](QueryContext& ctx, RasterOutcome& out) {
@@ -553,11 +598,432 @@ std::future<ShardScanOutcome> QueryEngine::submit(ShardScanJob job) {
   } else {
     MMIR_EXPECTS(job.model != nullptr);
   }
+  if (config_.batch_max_fanin > 1) return submit_batched(std::move(job));
   return enqueue<ShardScanOutcome>(
       "shard_scan", job.limits, [job](QueryContext& ctx, ShardScanOutcome& out) {
         out.result = scan_shard_partial(*job.sharded, job.shard_id, job.mode, job.model,
                                         job.progressive, job.k, ctx, out.meter);
       });
+}
+
+std::future<RasterOutcome> QueryEngine::submit_batched(RasterJob job) {
+  auto promise = std::make_shared<std::promise<RasterOutcome>>();
+  std::future<RasterOutcome> future = promise->get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  jobs_submitted_metric_.add();
+  const auto submitted_at = std::chrono::steady_clock::now();
+  const TiledArchive* archive = job.archive;
+
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    auto it = open_raster_batches_.find(archive);
+    if (it != open_raster_batches_.end()) {
+      RasterBatchGroup& group = *it->second;
+      group.members.push_back({std::move(job), std::move(promise), submitted_at});
+      if (group.members.size() >= config_.batch_max_fanin) {
+        group.closed = true;
+        open_raster_batches_.erase(it);
+        batch_cv_.notify_all();
+      }
+      return future;
+    }
+  }
+
+  // First member on this archive: open a group and enqueue ONE flush task for
+  // the whole batch — joiners ride along without consuming queue slots.
+  auto group = std::make_shared<RasterBatchGroup>();
+  group->archive = archive;
+  group->deadline = submitted_at + config_.batch_window;
+  const Priority priority = job.limits.priority;
+  group->members.push_back({std::move(job), std::move(promise), submitted_at});
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    open_raster_batches_.emplace(archive, group);
+  }
+
+  QueuedTask task;
+  task.run = [this, group](bool shed) { run_raster_batch(group, shed); };
+  bool admit = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queued_ < config_.queue_capacity) {
+      queues_[static_cast<std::size_t>(priority)].push_back(std::move(task));
+      ++queued_;
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queued_));
+      admit = true;
+    }
+  }
+  if (admit) {
+    queue_cv_.notify_one();
+  } else {
+    task.run(true);  // admission control: shed the whole group
+  }
+  return future;
+}
+
+std::future<ShardScanOutcome> QueryEngine::submit_batched(ShardScanJob job) {
+  auto promise = std::make_shared<std::promise<ShardScanOutcome>>();
+  std::future<ShardScanOutcome> future = promise->get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  jobs_submitted_metric_.add();
+  const auto submitted_at = std::chrono::steady_clock::now();
+  const ShardedArchive* sharded = job.sharded;
+
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    auto it = open_shard_batches_.find(sharded);
+    if (it != open_shard_batches_.end()) {
+      ShardScanBatchGroup& group = *it->second;
+      group.members.push_back({std::move(job), std::move(promise), submitted_at});
+      if (group.members.size() >= config_.batch_max_fanin) {
+        group.closed = true;
+        open_shard_batches_.erase(it);
+        batch_cv_.notify_all();
+      }
+      return future;
+    }
+  }
+
+  auto group = std::make_shared<ShardScanBatchGroup>();
+  group->sharded = sharded;
+  group->deadline = submitted_at + config_.batch_window;
+  const Priority priority = job.limits.priority;
+  group->members.push_back({std::move(job), std::move(promise), submitted_at});
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    open_shard_batches_.emplace(sharded, group);
+  }
+
+  QueuedTask task;
+  task.run = [this, group](bool shed) { run_shard_scan_batch(group, shed); };
+  bool admit = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queued_ < config_.queue_capacity) {
+      queues_[static_cast<std::size_t>(priority)].push_back(std::move(task));
+      ++queued_;
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queued_));
+      admit = true;
+    }
+  }
+  if (admit) {
+    queue_cv_.notify_one();
+  } else {
+    task.run(true);
+  }
+  return future;
+}
+
+void QueryEngine::run_raster_batch(const std::shared_ptr<RasterBatchGroup>& group, bool shed) {
+  std::vector<RasterBatchGroup::Member> members;
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    if (!shed && !group->closed && config_.batch_window.count() > 0) {
+      batch_cv_.wait_until(lock, group->deadline, [&] {
+        return group->closed || batch_stop_.load(std::memory_order_relaxed);
+      });
+    }
+    group->closed = true;
+    auto it = open_raster_batches_.find(group->archive);
+    if (it != open_raster_batches_.end() && it->second == group) open_raster_batches_.erase(it);
+    members = std::move(group->members);
+  }
+  if (members.empty()) return;
+  if (shed) {
+    for (auto& member : members) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_shed_metric_.add();
+      RasterOutcome out;
+      mark_shed(out.result);
+      member.promise->set_value(std::move(out));
+    }
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  batch_batches_metric_.add();
+  batch_members_metric_.add(members.size());
+  batch_fanin_hist_.observe(members.size());
+  const TiledArchive& archive = *group->archive;
+
+  // One trace for the whole batch: the root "batch" span carries the fan-in,
+  // each member hangs its own child span (with the solo span vocabulary) off
+  // it, and every member outcome shares the trace.
+  std::shared_ptr<obs::Trace> trace;
+  obs::Span root;
+  if (config_.tracer != nullptr) {
+    trace = config_.tracer->start_trace("batch");
+    root = obs::Span(trace.get(), "batch");
+    root.annotate("query_id", static_cast<double>(trace->id()));
+    root.annotate("fan_in", static_cast<double>(members.size()));
+  }
+  obs::SpanScope scope(root);
+
+  // QueryContext is pinned (non-movable); deque never relocates elements, so
+  // the pointers handed to batch_scan stay valid as members are prepared.
+  struct Prepared {
+    RasterOutcome out;
+    QueryContext ctx;
+    obs::Span span;
+    exec::TileBounds tb;
+    std::unique_ptr<const LinearRasterModel> screen;  // kCombined screening model
+    std::uint64_t fp = 0;
+    bool cacheable = false;
+    QueryCacheKey key{};
+    bool skip = false;  // result-cache hit: not part of the scan
+  };
+  std::deque<Prepared> prepared;
+  std::vector<BatchMemberSpec> specs;
+  std::vector<std::size_t> spec_member;  // spec index -> member index
+
+  try {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const RasterJob& job = members[i].job;
+      Prepared& p = prepared.emplace_back();
+      p.out.dispatch_order = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      p.out.queue_wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          started - members[i].submitted_at);
+      queue_wait_hist_.observe_duration(p.out.queue_wait);
+      if (root.active()) {
+        p.span = obs::Span::child_of(&root, "member");
+        p.span.annotate("member", static_cast<double>(i));
+        p.span.annotate("queue_wait_ns", static_cast<double>(p.out.queue_wait.count()));
+        p.span.annotate("priority", static_cast<double>(job.limits.priority));
+        p.span.annotate("dispatch_order", static_cast<double>(p.out.dispatch_order));
+        if (job.limits.op_budget != std::numeric_limits<std::uint64_t>::max()) {
+          p.span.annotate("op_budget", static_cast<double>(job.limits.op_budget));
+        }
+        if (job.limits.timeout.count() > 0) {
+          p.span.annotate("timeout_ns", static_cast<double>(job.limits.timeout.count()));
+        }
+      }
+      configure_context(p.ctx, job.limits, members[i].submitted_at);
+      if (p.span.active()) p.ctx.with_span(&p.span);
+
+      const bool model_leg = job.mode == RasterJob::Mode::kProgressiveModel ||
+                             job.mode == RasterJob::Mode::kCombined;
+      p.fp = job.model_fingerprint;
+      if (p.fp == 0) {
+        if (model_leg) {
+          p.fp = model_fingerprint(*job.progressive);
+        } else if (const auto* linear = dynamic_cast<const LinearRasterModel*>(job.model)) {
+          p.fp = model_fingerprint(linear->linear());
+        }
+      }
+      p.cacheable = job.archive_id != 0 && p.fp != 0 && result_cache_ != nullptr;
+      p.key = QueryCacheKey{job.archive_id, p.fp, static_cast<std::uint32_t>(job.k),
+                            static_cast<std::uint32_t>(job.mode)};
+      if (p.cacheable) {
+        if (auto hit = result_cache_->get(p.key)) {
+          p.out.result = **hit;
+          p.out.cache_hit = true;
+          p.out.meter.add_cache_hits();
+          p.skip = true;
+          continue;
+        }
+        p.out.meter.add_cache_misses();
+      }
+
+      BatchMemberSpec spec;
+      spec.mode = static_cast<BatchScanMode>(job.mode);
+      spec.model = job.model;
+      spec.progressive = job.progressive;
+      spec.k = job.k;
+      spec.ctx = &p.ctx;
+      spec.meter = &p.out.meter;
+      if (p.span.active()) spec.span = &p.span;
+      if (job.mode == RasterJob::Mode::kTileScreened) {
+        if (cached_tile_bounds(archive, job.archive_id, nullptr, *job.model, p.fp, p.tb,
+                               p.out.meter)) {
+          spec.precomputed_bounds = &p.tb;
+        }
+      } else if (job.mode == RasterJob::Mode::kCombined) {
+        p.screen = std::make_unique<const LinearRasterModel>(job.progressive->model());
+        if (cached_tile_bounds(archive, job.archive_id, nullptr, *p.screen, p.fp, p.tb,
+                               p.out.meter)) {
+          spec.precomputed_bounds = &p.tb;
+        }
+      }
+      specs.push_back(spec);
+      spec_member.push_back(i);
+    }
+
+    std::vector<BatchMemberResult> results =
+        batch_scan(archive, std::span<const BatchMemberSpec>(specs));
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      Prepared& p = prepared[spec_member[s]];
+      p.out.result = std::move(results[s].result);
+      // Same admissibility rule as solo: budget/deadline-truncated answers
+      // would poison future lookups.
+      if (p.cacheable && !is_truncated(p.out.result.status)) {
+        result_cache_->put(p.key, std::make_shared<const RasterTopK>(p.out.result));
+      }
+    }
+
+    const auto exec_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - started);
+    for (Prepared& p : prepared) {
+      p.out.exec_time = exec_time;
+      exec_time_hist_.observe_duration(exec_time);
+      if (config_.metrics != nullptr) publish(p.out.meter, *config_.metrics);
+      if (p.span.active()) {
+        p.span.annotate("exec_ns", static_cast<double>(exec_time.count()));
+        p.span.annotate("ops_spent", static_cast<double>(p.out.meter.ops()));
+        p.span.annotate("cache_hits", static_cast<double>(p.out.meter.cache_hits()));
+        p.span.annotate("cache_misses", static_cast<double>(p.out.meter.cache_misses()));
+        if (p.out.cache_hit) p.span.note("result_cache", "hit");
+        p.span.finish();
+      }
+    }
+    if (config_.metrics != nullptr) refresh_cache_gauges();
+    if (root.active()) root.finish();
+    if (trace != nullptr) {
+      for (Prepared& p : prepared) p.out.trace = trace;
+      config_.tracer->finish(std::move(trace));
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_completed_metric_.add();
+      members[i].promise->set_value(std::move(prepared[i].out));
+    }
+  } catch (...) {
+    for (auto& member : members) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_failed_metric_.add();
+      member.promise->set_exception(std::current_exception());
+    }
+  }
+}
+
+void QueryEngine::run_shard_scan_batch(const std::shared_ptr<ShardScanBatchGroup>& group,
+                                       bool shed) {
+  std::vector<ShardScanBatchGroup::Member> members;
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    if (!shed && !group->closed && config_.batch_window.count() > 0) {
+      batch_cv_.wait_until(lock, group->deadline, [&] {
+        return group->closed || batch_stop_.load(std::memory_order_relaxed);
+      });
+    }
+    group->closed = true;
+    auto it = open_shard_batches_.find(group->sharded);
+    if (it != open_shard_batches_.end() && it->second == group) open_shard_batches_.erase(it);
+    members = std::move(group->members);
+  }
+  if (members.empty()) return;
+  if (shed) {
+    for (auto& member : members) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_shed_metric_.add();
+      ShardScanOutcome out;
+      mark_shed(out.result);
+      member.promise->set_value(std::move(out));
+    }
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  batch_batches_metric_.add();
+  batch_members_metric_.add(members.size());
+  batch_fanin_hist_.observe(members.size());
+  const ShardedArchive& sharded = *group->sharded;
+  const TiledArchive& archive = sharded.archive();
+
+  std::shared_ptr<obs::Trace> trace;
+  obs::Span root;
+  if (config_.tracer != nullptr) {
+    trace = config_.tracer->start_trace("batch");
+    root = obs::Span(trace.get(), "batch");
+    root.annotate("query_id", static_cast<double>(trace->id()));
+    root.annotate("fan_in", static_cast<double>(members.size()));
+  }
+  obs::SpanScope scope(root);
+
+  struct Prepared {
+    ShardScanOutcome out;
+    QueryContext ctx;
+    obs::Span span;
+  };
+  std::deque<Prepared> prepared;
+  std::vector<BatchMemberSpec> specs;
+
+  try {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const ShardScanJob& job = members[i].job;
+      const ShardInfo& shard = sharded.shard(job.shard_id);
+      Prepared& p = prepared.emplace_back();
+      p.out.dispatch_order = dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      p.out.queue_wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          started - members[i].submitted_at);
+      queue_wait_hist_.observe_duration(p.out.queue_wait);
+      if (root.active()) {
+        p.span = obs::Span::child_of(&root, "shard_" + std::to_string(job.shard_id));
+        p.span.annotate("member", static_cast<double>(i));
+        p.span.annotate("shard", static_cast<double>(job.shard_id));
+        p.span.annotate("queue_wait_ns", static_cast<double>(p.out.queue_wait.count()));
+      }
+      configure_context(p.ctx, job.limits, members[i].submitted_at);
+      if (p.span.active()) p.ctx.with_span(&p.span);
+
+      BatchMemberSpec spec;
+      spec.mode = static_cast<BatchScanMode>(job.mode);
+      spec.model = job.model;
+      spec.progressive = job.progressive;
+      spec.k = job.k;
+      spec.ctx = &p.ctx;
+      spec.meter = &p.out.meter;
+      spec.tile_subset = &shard.tiles;
+      spec.domain_ranges = &shard.band_ranges;
+      spec.domain_bad_pixels = shard.bad_pixels;
+      if (p.span.active()) spec.span = &p.span;
+      specs.push_back(spec);
+    }
+
+    std::vector<BatchMemberResult> results =
+        batch_scan(archive, std::span<const BatchMemberSpec>(specs));
+    const auto exec_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - started);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const ShardScanJob& job = members[i].job;
+      Prepared& p = prepared[i];
+      BatchMemberResult& r = results[i];
+      p.out.result.partial.shard_id = job.shard_id;
+      p.out.result.partial.result = std::move(r.result);
+      p.out.result.partial.pixels_visited = r.pixels_visited;
+      p.out.result.partial.tiles_scanned = r.tiles_scanned;
+      p.out.result.partial.tiles_pruned = r.tiles_pruned;
+      p.out.result.scan_ops = r.scan_ops;
+      const bool model_leg =
+          job.mode == ShardScanMode::kProgressiveModel || job.mode == ShardScanMode::kCombined;
+      p.out.result.model_terms =
+          model_leg ? job.progressive->order().size() : job.model->ops_per_evaluation();
+      p.out.exec_time = exec_time;
+      exec_time_hist_.observe_duration(exec_time);
+      if (config_.metrics != nullptr) publish(p.out.meter, *config_.metrics);
+      if (p.span.active()) {
+        p.span.annotate("exec_ns", static_cast<double>(exec_time.count()));
+        p.span.annotate("ops_spent", static_cast<double>(p.out.meter.ops()));
+        p.span.finish();
+      }
+    }
+    if (config_.metrics != nullptr) refresh_cache_gauges();
+    if (root.active()) root.finish();
+    if (trace != nullptr) {
+      for (Prepared& p : prepared) p.out.trace = trace;
+      config_.tracer->finish(std::move(trace));
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_completed_metric_.add();
+      members[i].promise->set_value(std::move(prepared[i].out));
+    }
+  } catch (...) {
+    for (auto& member : members) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      jobs_failed_metric_.add();
+      member.promise->set_exception(std::current_exception());
+    }
+  }
 }
 
 std::future<OnionOutcome> QueryEngine::submit(OnionJob job) {

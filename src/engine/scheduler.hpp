@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/progressive_exec.hpp"
@@ -67,6 +68,18 @@ struct EngineConfig {
   std::size_t result_cache_entries = 256;  ///< whole-query results (0 disables)
   std::size_t tile_cache_entries = 4096;   ///< per-tile screening bounds (0 disables)
   std::size_t cache_shards = 8;
+  /// Shared-scan batching (engine/batch_exec.hpp): compatible raster /
+  /// shard-scan jobs targeting the same archive admitted while a batch is
+  /// open execute as ONE shared tile scan — each tile decoded once, every
+  /// member model evaluated against it, per-member attribution and fault
+  /// envelopes intact, results byte-identical to solo runs.  1 (the
+  /// default) disables batching entirely; N > 1 caps the fan-in at N.
+  std::size_t batch_max_fanin = 1;
+  /// Once a dispatcher picks up an open batch, how long it keeps waiting for
+  /// batch-mates before flushing.  0 flushes immediately — batches then form
+  /// only out of queue pressure (jobs that joined while the flush task
+  /// waited behind the dispatchers, or during an explicit pause()).
+  std::chrono::nanoseconds batch_window{0};
   bool start_paused = false;  ///< admit but do not dispatch until resume()
   /// Registry receiving engine counters, gauges, latency histograms and each
   /// completed query's published CostMeter; null disables metrics entirely
@@ -305,6 +318,21 @@ class QueryEngine {
   /// window (bounded at kHealthWindow; oldest evicted).
   void record_shard_health(std::uint64_t layout_tag, const ShardFaultStats& stats);
 
+  // ---- Shared-scan batching (config_.batch_max_fanin > 1) --------------
+  // One open group per archive: the first member registers the group and
+  // enqueues a single flush task (one queue slot per batch, however many
+  // members join); later compatible submissions join for free until the
+  // fan-in cap closes the group.  The flush task waits out batch_window for
+  // stragglers, then runs every member through one engine/batch_exec.hpp
+  // shared scan with per-member contexts, meters, cache traffic and spans.
+  struct RasterBatchGroup;
+  struct ShardScanBatchGroup;
+
+  std::future<RasterOutcome> submit_batched(RasterJob job);
+  std::future<ShardScanOutcome> submit_batched(ShardScanJob job);
+  void run_raster_batch(const std::shared_ptr<RasterBatchGroup>& group, bool shed);
+  void run_shard_scan_batch(const std::shared_ptr<ShardScanBatchGroup>& group, bool shed);
+
   RasterOutcome run_raster(const RasterJob& job, QueryContext& ctx);
   /// Per-tile screening bounds via the tile cache; falls back to computing
   /// (and charging) them like the executors do when the job is uncacheable.
@@ -328,6 +356,17 @@ class QueryEngine {
   bool paused_ = false;
   bool stopping_ = false;
 
+  // Batch formation state; groups live here between the first member's
+  // admission and the flush task's execution.  batch_cv_ wakes flush tasks
+  // waiting out their window when a group closes (fan-in reached) or the
+  // engine stops.
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::atomic<bool> batch_stop_{false};
+  std::unordered_map<const TiledArchive*, std::shared_ptr<RasterBatchGroup>> open_raster_batches_;
+  std::unordered_map<const ShardedArchive*, std::shared_ptr<ShardScanBatchGroup>>
+      open_shard_batches_;
+
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};
@@ -347,6 +386,9 @@ class QueryEngine {
   obs::Gauge result_cache_entries_gauge_;
   obs::Gauge tile_cache_hit_ppm_gauge_;
   obs::Gauge tile_cache_entries_gauge_;
+  obs::Counter batch_batches_metric_;
+  obs::Counter batch_members_metric_;
+  obs::Histogram batch_fanin_hist_;
 
   // Rolling fault-domain window: one event per sharded execution, newest at
   // the back.  Small (kHealthWindow) and touched once per query, so a plain

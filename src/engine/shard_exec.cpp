@@ -752,15 +752,25 @@ void screened_shard_scan(const TiledArchive& archive, const RasterModel& screen_
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     const auto [hi, t] = order[pos];
     const double threshold = std::max(run.top.threshold(), shared.get());
-    if (threshold > kNegInf && hi <= threshold) {
+    if (threshold > kNegInf && hi < threshold) {
       // Sound prune: the threshold is some full all-exact heap's K-th best,
       // a lower bound on the final global K-th best.  The order is bound-
       // descending and the threshold only rises, so the rest prune too.
+      // Strictly-below only — an exact tie needs the rank evidence below.
       for (std::size_t rest = pos; rest < order.size(); ++rest) {
         run.meter.add_pruned();
         ++run.tiles_pruned;
       }
       break;
+    }
+    if (exec::screen_tile(run.top, hi, exec::tile_min_rank(archive, tiles[t])) !=
+        exec::TilePrune::kScan) {
+      // Shard-local tie evidence: the tile ties this shard's own full heap
+      // and cannot win the canonical rank tie-break, but a later equal-bound
+      // tile with a smaller corner rank still could — prune one, keep going.
+      run.meter.add_pruned();
+      ++run.tiles_pruned;
+      continue;
     }
     ++run.tiles_scanned;
     scan_tile(tiles[t], run);

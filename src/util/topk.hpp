@@ -46,12 +46,42 @@ class TopK {
     return true;
   }
 
+  /// Offers a candidate under a caller-supplied total-order rank (smaller
+  /// rank wins exact score ties).  Unlike offer(), whose insertion-counter
+  /// tie-break depends on visit order, ranked offers make the held set a
+  /// pure function of the candidate multiset: the K best by
+  /// (score desc, rank asc).  Executors feed the pixel's row-major offset as
+  /// the rank, so serial, parallel, sharded and batched scans converge on one
+  /// canonical top-K regardless of traversal order.
+  bool offer_ranked(double score, std::uint64_t rank, Item item) {
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{score, rank, std::move(item)});
+      std::push_heap(heap_.begin(), heap_.end(), worse_first());
+      return true;
+    }
+    const Entry& worst = heap_.front();
+    if (score < worst.score || (score == worst.score && rank >= worst.sequence)) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), worse_first());
+    heap_.back() = Entry{score, rank, std::move(item)};
+    std::push_heap(heap_.begin(), heap_.end(), worse_first());
+    return true;
+  }
+
   /// True once K items are held; combined with threshold() enables pruning.
   [[nodiscard]] bool full() const noexcept { return heap_.size() >= k_; }
 
   /// Score of the current K-th best (pruning bound).  -inf until full.
   [[nodiscard]] double threshold() const noexcept {
     return full() ? heap_.front().score : -std::numeric_limits<double>::infinity();
+  }
+
+  /// Rank (sequence) of the current worst held entry.  Meaningful only for
+  /// heaps fed via offer_ranked; with threshold() it gives complete tie
+  /// evidence: a candidate scoring exactly threshold() displaces the worst
+  /// entry iff its rank is smaller than worst_rank().
+  [[nodiscard]] std::uint64_t worst_rank() const {
+    MMIR_EXPECTS(!heap_.empty());
+    return heap_.front().sequence;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
